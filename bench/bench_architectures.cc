@@ -1,0 +1,108 @@
+// E17 — related-work architecture comparison: the PPS against the CIOQ
+// crossbar family the paper cites (Chuang et al. [7] on speedup for
+// OQ-mimicking, Tamir & Chi [22] on arbitrated crossbars).
+//
+// Same shadow-switch methodology, same workloads; the table shows where
+// the inherent PPS penalty sits relative to crossbar alternatives with
+// comparable resources: the PPS buys slow memories (planes at rate r) at
+// the cost of the demultiplexing information problem, while the CIOQ buys
+// line-rate mimicking at the cost of memories running at speedup * R.
+
+#include "bench_common.h"
+
+#include "cioq/ccf.h"
+#include "cioq/cioq_switch.h"
+#include "cioq/islip.h"
+#include "cioq/oldest_first.h"
+#include "sim/rng.h"
+#include "traffic/random_sources.h"
+
+namespace {
+
+core::RunOptions Opt() {
+  core::RunOptions opt;
+  opt.max_slots = 60'000;
+  opt.source_cutoff = 20'000;
+  return opt;
+}
+
+traffic::BernoulliSource Workload(sim::PortId n, double load) {
+  return traffic::BernoulliSource(n, load, traffic::Pattern::kUniform,
+                                  sim::Rng(321));
+}
+
+void RunExperiment() {
+  const sim::PortId n = 16;
+  core::Table table(
+      "Architecture comparison under identical traffic (N = 16, uniform "
+      "Bernoulli)",
+      {"architecture", "memories run at", "load", "maxRQD", "meanRQD",
+       "maxRDJ"});
+
+  struct PpsCase {
+    const char* algorithm;
+    const char* memo;
+  };
+  for (const double load : {0.8, 0.95}) {
+    for (const PpsCase c :
+         {PpsCase{"rr-per-output", "r = R/2 (PPS, distributed)"},
+          PpsCase{"stale-jsq-u4", "r = R/2 (PPS, 4-RT)"},
+          PpsCase{"cpa", "r = R/2 (PPS, centralized)"}}) {
+      const auto cfg = bench::MakeConfig(n, 2, 2.0, c.algorithm);
+      pps::BufferlessPps sw(cfg, demux::MakeFactory(c.algorithm));
+      auto src = Workload(n, load);
+      const auto result = core::RunRelative(sw, src, Opt());
+      table.AddRow({std::string("pps/") + c.algorithm, c.memo,
+                    core::Fmt(load, 2), core::Fmt(result.max_relative_delay),
+                    core::Fmt(result.relative_delay.mean(), 3),
+                    core::Fmt(result.max_relative_jitter)});
+    }
+    struct CioqCase {
+      int speedup;
+      int scheduler;  // 0 = islip, 1 = oldest-first, 2 = ccf
+      const char* name;
+    };
+    for (const CioqCase c : {CioqCase{1, 0, "cioq/islip-S1"},
+                             CioqCase{2, 0, "cioq/islip-S2"},
+                             CioqCase{2, 1, "cioq/oldest-S2"},
+                             CioqCase{2, 2, "cioq/ccf-S2"}}) {
+      std::unique_ptr<cioq::Scheduler> scheduler;
+      switch (c.scheduler) {
+        case 0: scheduler = std::make_unique<cioq::IslipScheduler>(2); break;
+        case 1: scheduler = std::make_unique<cioq::OldestFirstScheduler>(); break;
+        default: scheduler = std::make_unique<cioq::CcfScheduler>(); break;
+      }
+      cioq::CioqSwitch sw(n, c.speedup, std::move(scheduler));
+      auto src = Workload(n, load);
+      const auto result = core::RunRelative(sw, src, Opt());
+      table.AddRow({c.name,
+                    "R and " + std::to_string(c.speedup) + "R (crossbar)",
+                    core::Fmt(load, 2), core::Fmt(result.max_relative_delay),
+                    core::Fmt(result.relative_delay.mean(), 3),
+                    core::Fmt(result.max_relative_jitter)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "(CCF stable matching at speedup 2 mimics the OQ switch "
+               "exactly [7], with memories at 2R; the PPS reaches the same "
+               "only with the impractical centralized CPA — with practical "
+               "distributed demultiplexing its slow-memory advantage costs "
+               "the information-theoretic delay this paper quantifies)\n\n";
+}
+
+void BM_CioqHarness(benchmark::State& state) {
+  for (auto _ : state) {
+    cioq::CioqSwitch sw(16, 2, std::make_unique<cioq::IslipScheduler>(2));
+    auto src = Workload(16, 0.9);
+    core::RunOptions opt;
+    opt.max_slots = 5'000;
+    opt.source_cutoff = 2'000;
+    const auto result = core::RunRelative(sw, src, opt);
+    benchmark::DoNotOptimize(result.max_relative_delay);
+  }
+}
+BENCHMARK(BM_CioqHarness);
+
+}  // namespace
+
+PPS_BENCH_MAIN(RunExperiment)

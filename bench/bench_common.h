@@ -1,0 +1,93 @@
+// Shared helpers for the experiment benchmark binaries.
+//
+// Every bench binary follows the same pattern:
+//   1. main() runs a deterministic experiment sweep and prints a
+//      core::Table whose rows are "configuration, paper bound, measured" —
+//      the table the paper's evaluation section would contain;
+//   2. google-benchmark then times representative instances so the
+//      simulator's own performance is tracked alongside.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "core/bounds.h"
+#include "core/harness.h"
+#include "core/table.h"
+#include "demux/registry.h"
+#include "switch/input_buffered_pps.h"
+#include "switch/pps.h"
+#include "traffic/trace.h"
+
+namespace bench {
+
+// Switch geometry with speedup S = K/r' for the requested rate ratio.
+inline pps::SwitchConfig MakeConfig(sim::PortId n, int rate_ratio,
+                                    double speedup,
+                                    const std::string& algorithm) {
+  pps::SwitchConfig cfg;
+  cfg.num_ports = n;
+  cfg.rate_ratio = rate_ratio;
+  cfg.num_planes =
+      std::max(rate_ratio, static_cast<int>(speedup * rate_ratio + 0.5));
+  const auto needs = demux::NeedsOf(algorithm);
+  if (needs.booked_planes) {
+    cfg.plane_scheduling = pps::PlaneScheduling::kBooked;
+  }
+  cfg.snapshot_history = std::max(needs.snapshot_history, 0);
+  return cfg;
+}
+
+// Replays a trace through a bufferless PPS built for `algorithm`.
+inline core::RunResult ReplayTrace(const pps::SwitchConfig& cfg,
+                                   const std::string& algorithm,
+                                   const traffic::Trace& trace,
+                                   bool keep_timeline = false) {
+  pps::BufferlessPps sw(cfg, demux::MakeFactory(algorithm));
+  traffic::TraceTraffic src(trace);
+  core::RunOptions opt;
+  opt.max_slots = 4'000'000;
+  opt.keep_timeline = keep_timeline;
+  return core::RunRelative(sw, src, opt);
+}
+
+// Replay variant that also reports the buffer high-water marks (the
+// paper's closing remark: large relative delays imply large middle-stage
+// and output-port buffers).
+struct DetailedReplay {
+  core::RunResult result;
+  std::int64_t max_plane_backlog = 0;
+  std::int64_t max_output_backlog = 0;
+};
+
+inline DetailedReplay ReplayTraceDetailed(const pps::SwitchConfig& cfg,
+                                          const std::string& algorithm,
+                                          const traffic::Trace& trace) {
+  pps::BufferlessPps sw(cfg, demux::MakeFactory(algorithm));
+  traffic::TraceTraffic src(trace);
+  core::RunOptions opt;
+  opt.max_slots = 4'000'000;
+  DetailedReplay out;
+  out.result = core::RunRelative(sw, src, opt);
+  out.max_plane_backlog = sw.max_plane_backlog();
+  out.max_output_backlog = sw.max_output_backlog();
+  return out;
+}
+
+// Standard main: experiment table first, then timing benchmarks.
+#define PPS_BENCH_MAIN(RunExperimentFn)                       \
+  int main(int argc, char** argv) {                           \
+    benchmark::Initialize(&argc, argv);                       \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                               \
+    }                                                         \
+    RunExperimentFn();                                        \
+    benchmark::RunSpecifiedBenchmarks();                      \
+    benchmark::Shutdown();                                    \
+    return 0;                                                 \
+  }
+
+}  // namespace bench

@@ -1,0 +1,84 @@
+// E8 — the CPA upper bound [14]: a bufferless PPS with the centralized
+// demultiplexing algorithm and speedup S >= 2 exactly mimics a FCFS
+// output-queued switch — zero relative queuing delay and zero relative
+// jitter, on every workload.  This brackets all the lower bounds from
+// above: the queuing delay of the PPS is *inherent to the information
+// model of the demultiplexor*, not to the three-stage fabric.
+
+#include "bench_common.h"
+
+#include "sim/rng.h"
+#include "traffic/leaky_bucket.h"
+#include "traffic/random_sources.h"
+
+namespace {
+
+core::RunResult RunCpa(sim::PortId n, int rate_ratio,
+                       traffic::SourcePtr source) {
+  const auto cfg = bench::MakeConfig(n, rate_ratio, 2.0, "cpa");
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("cpa"));
+  core::RunOptions opt;
+  opt.max_slots = 20'000;
+  opt.drain_grace = 4'000;
+  return core::RunRelative(sw, *source, opt);
+}
+
+traffic::SourcePtr MakeWorkload(const std::string& name, sim::PortId n) {
+  if (name == "uniform-0.9") {
+    return std::make_unique<traffic::BernoulliSource>(
+        n, 0.9, traffic::Pattern::kUniform, sim::Rng(7));
+  }
+  if (name == "hotspot-0.6") {
+    return std::make_unique<traffic::BernoulliSource>(
+        n, 0.6, traffic::Pattern::kHotspot, sim::Rng(7), 0.5);
+  }
+  if (name == "onoff-0.7") {
+    return std::make_unique<traffic::OnOffSource>(n, 0.7, 16.0, sim::Rng(7));
+  }
+  // Policed bursty traffic: hard (1, 8) leaky-bucket envelope.
+  auto inner = std::make_unique<traffic::OnOffSource>(n, 0.8, 32.0,
+                                                      sim::Rng(7));
+  return std::make_unique<traffic::PolicedSource>(std::move(inner), n, 8);
+}
+
+void RunExperiment() {
+  core::Table table(
+      "CPA [14]: centralized demultiplexing, S >= 2 => zero RQD/RDJ "
+      "(exact FCFS-OQ mimicking)",
+      {"N", "r'", "S", "workload", "cells", "B", "maxRQD", "maxRDJ",
+       "PPS mean delay", "OQ mean delay"});
+
+  for (const sim::PortId n : {8, 16, 32}) {
+    for (const int rate_ratio : {2, 4}) {
+      for (const std::string& workload :
+           {std::string("uniform-0.9"), std::string("hotspot-0.6"),
+            std::string("onoff-0.7"), std::string("policed-onoff")}) {
+        auto result = RunCpa(n, rate_ratio, MakeWorkload(workload, n));
+        table.AddRow({core::Fmt(n), core::Fmt(rate_ratio), "2.0", workload,
+                      core::Fmt(result.cells),
+                      core::Fmt(result.traffic_burstiness),
+                      core::Fmt(result.max_relative_delay),
+                      core::Fmt(result.max_relative_jitter),
+                      core::Fmt(result.pps_delay.mean(), 3),
+                      core::Fmt(result.shadow_delay.mean(), 3)});
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "(every row must show maxRQD = maxRDJ = 0 and identical mean "
+               "delays: the PPS and the shadow switch emit every cell in "
+               "the same slot)\n\n";
+}
+
+void BM_CpaUpper(benchmark::State& state) {
+  const auto n = static_cast<sim::PortId>(state.range(0));
+  for (auto _ : state) {
+    auto result = RunCpa(n, 2, MakeWorkload("uniform-0.9", n));
+    benchmark::DoNotOptimize(result.max_relative_delay);
+  }
+}
+BENCHMARK(BM_CpaUpper)->Arg(8)->Arg(32);
+
+}  // namespace
+
+PPS_BENCH_MAIN(RunExperiment)

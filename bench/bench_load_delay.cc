@@ -1,0 +1,105 @@
+// E11 — engineering figure: mean / p99 / max relative queuing delay vs
+// offered load under uniform Bernoulli traffic, for every demultiplexing
+// algorithm class.  This is the delay-vs-load curve a switch paper would
+// plot; it shows the ordering the theory predicts
+// (fully-distributed > u-RT > centralized) holds in the average case too,
+// not only in the adversarial worst case.
+
+#include "bench_common.h"
+
+#include "sim/histogram.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "traffic/random_sources.h"
+
+namespace {
+
+struct LoadPoint {
+  double mean;
+  sim::Slot p99;
+  sim::Slot max;
+};
+
+LoadPoint Measure(const std::string& algorithm, sim::PortId n, double load) {
+  const auto cfg = bench::MakeConfig(n, 2, 2.0, algorithm);
+  pps::BufferlessPps sw(cfg, demux::MakeFactory(algorithm));
+  traffic::BernoulliSource src(n, load, traffic::Pattern::kUniform,
+                               sim::Rng(1234));
+  core::RunOptions opt;
+  opt.max_slots = 20'000;
+  opt.drain_grace = 5'000;
+  opt.keep_timeline = true;
+  const auto result = core::RunRelative(sw, src, opt);
+  sim::QuantileSketch sketch;
+  sketch.Reserve(result.timeline.size());
+  for (const auto& c : result.timeline) sketch.Add(c.relative_delay);
+  return {result.relative_delay.mean(),
+          sketch.empty() ? 0 : sketch.P99(), result.max_relative_delay};
+}
+
+void RunExperiment() {
+  const sim::PortId n = 16;
+  core::Table table(
+      "Relative queuing delay vs offered load (N = 16, r' = 2, S = 2, "
+      "uniform Bernoulli)",
+      {"algorithm", "load", "mean RQD", "p99 RQD", "max RQD"});
+  for (const std::string& algorithm :
+       {std::string("rr-per-output"), std::string("rr"), std::string("hash"),
+        std::string("ftd-h2"), std::string("static-partition-d2"),
+        std::string("stale-jsq-u8"), std::string("stale-jsq-u0"),
+        std::string("cpa")}) {
+    for (const double load : {0.5, 0.8, 0.95, 0.99}) {
+      const auto point = Measure(algorithm, n, load);
+      table.AddRow({algorithm, core::Fmt(load, 2), core::Fmt(point.mean, 3),
+                    core::Fmt(point.p99), core::Fmt(point.max)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "(stale-JSQ is worst even on friendly traffic — all inputs "
+               "herd onto the same stale minimum; oblivious round-robin "
+               "spreading is a strong average-case baseline; CPA stays at "
+               "0.  All average-case numbers sit far below the adversarial "
+               "worst cases of E1-E4.)\n\n";
+
+  // Distributional view at the heaviest load: the CCDF of the per-cell
+  // relative delay (fraction of cells with relative delay > d).
+  core::Table ccdf(
+      "Relative-delay CCDF at load 0.99 (N = 16, r' = 2, S = 2)",
+      {"algorithm", "P(>0)", "P(>1)", "P(>2)", "P(>4)", "P(>8)"});
+  for (const std::string& algorithm :
+       {std::string("rr-per-output"), std::string("stale-jsq-u8"),
+        std::string("ftd-h2"), std::string("cpa")}) {
+    const auto cfg = bench::MakeConfig(n, 2, 2.0, algorithm);
+    pps::BufferlessPps sw(cfg, demux::MakeFactory(algorithm));
+    traffic::BernoulliSource src(n, 0.99, traffic::Pattern::kUniform,
+                                 sim::Rng(1234));
+    core::RunOptions opt;
+    opt.max_slots = 60'000;
+    opt.source_cutoff = 20'000;
+    opt.keep_timeline = true;
+    const auto result = core::RunRelative(sw, src, opt);
+    sim::Histogram hist(1 << 10);
+    for (const auto& c : result.timeline) {
+      hist.Add(std::max<sim::Slot>(0, c.relative_delay));
+    }
+    std::vector<std::string> row = {algorithm};
+    for (const int d : {0, 1, 2, 4, 8}) {
+      row.push_back(core::Fmt(hist.Ccdf(d), 4));
+    }
+    ccdf.AddRow(row);
+  }
+  ccdf.Print(std::cout);
+  std::cout << "(negative per-cell relative delays — cells overtaking their "
+               "shadow departure — are clamped to 0 for the CCDF)\n\n";
+}
+
+void BM_LoadDelay(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Measure("rr-per-output", 16, 0.95).mean);
+  }
+}
+BENCHMARK(BM_LoadDelay);
+
+}  // namespace
+
+PPS_BENCH_MAIN(RunExperiment)

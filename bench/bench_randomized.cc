@@ -1,0 +1,115 @@
+// E14 — randomized demultiplexing (the paper's discussion question):
+// "Our lower bounds present worst-case traffics also for randomized
+// demultiplexing algorithms, but it would be interesting to study the
+// distribution of the relative queuing delay when randomization is
+// employed."
+//
+// Two sub-experiments:
+//   (a) white-box: the alignment adversary knows the seed.  The
+//       demultiplexor is then a plain deterministic state machine and the
+//       Theorem-6 concentration goes through unchanged — randomization is
+//       no defence against an adaptive adversary.
+//   (b) oblivious: the same *shape* of traffic (an N-cell single-output
+//       burst) is fixed first, then replayed against many seeds.  The
+//       concentration per plane drops to Binomial(N, 1/K)-like and the
+//       RQD distribution over seeds is reported (min / mean / p95 / max).
+
+#include "bench_common.h"
+
+#include "core/adversary_alignment.h"
+#include "sim/stats.h"
+#include "traffic/trace.h"
+
+namespace {
+
+// The oblivious burst: d cells for output 0, one per slot, fresh inputs.
+traffic::Trace ObliviousBurst(sim::PortId n) {
+  traffic::Trace trace;
+  for (sim::PortId i = 0; i < n; ++i) trace.Add(i, i, 0);
+  // Jitter probe after drain.
+  trace.Add(8 * static_cast<sim::Slot>(n), n - 1, 0);
+  trace.Normalize();
+  return trace;
+}
+
+void RunExperiment() {
+  const sim::PortId n = 32;
+  const int rate_ratio = 2;
+
+  {
+    core::Table table(
+        "Randomized demux, white-box adversary (seed known): Theorem 6 "
+        "still bites",
+        {"seed", "aligned d", "bound", "RQD", "RDJ"});
+    for (const int seed : {1, 7, 1234}) {
+      const std::string algorithm = "random-s" + std::to_string(seed);
+      const auto cfg = bench::MakeConfig(n, rate_ratio, 2.0, algorithm);
+      // Probing a clone consumes the same RNG draws as the real run, so
+      // alignment works exactly as for deterministic algorithms.
+      const auto plan = core::BuildAlignmentTraffic(
+          cfg, demux::MakeFactory(algorithm));
+      const auto result = bench::ReplayTrace(cfg, algorithm, plan.trace);
+      table.AddRow({core::Fmt(seed), core::Fmt(plan.d()),
+                    core::Fmt(core::bounds::Theorem6(rate_ratio, plan.d()), 0),
+                    core::Fmt(result.max_relative_delay),
+                    core::Fmt(result.max_relative_jitter)});
+    }
+    table.Print(std::cout);
+    std::cout << "(adaptive adversaries defeat randomization: the seed is "
+                 "part of the demultiplexor state the proofs quantify "
+                 "over)\n\n";
+  }
+
+  {
+    const auto trace = ObliviousBurst(n);
+    sim::OnlineStats rqd;
+    sim::QuantileSketch sketch;
+    for (int seed = 1; seed <= 100; ++seed) {
+      const std::string algorithm = "random-s" + std::to_string(seed);
+      const auto cfg = bench::MakeConfig(n, rate_ratio, 2.0, algorithm);
+      const auto result = bench::ReplayTrace(cfg, algorithm, trace);
+      rqd.Add(result.max_relative_delay);
+      sketch.Add(result.max_relative_delay);
+    }
+    // Deterministic baseline on the same oblivious burst.
+    const auto cfg = bench::MakeConfig(n, rate_ratio, 2.0, "rr-per-output");
+    const auto det = bench::ReplayTrace(cfg, "rr-per-output", trace);
+
+    core::Table table(
+        "Randomized demux, oblivious N-cell burst (100 seeds) vs "
+        "deterministic round-robin",
+        {"algorithm", "N", "K", "min RQD", "mean RQD", "p95 RQD", "max RQD",
+         "det-bound"});
+    table.AddRow({"random", core::Fmt(n), core::Fmt(cfg.num_planes),
+                  core::Fmt(rqd.min()), core::Fmt(rqd.mean(), 2),
+                  core::Fmt(sketch.Quantile(0.95)), core::Fmt(rqd.max()),
+                  "-"});
+    table.AddRow({"rr-per-output", core::Fmt(n), core::Fmt(cfg.num_planes),
+                  core::Fmt(det.max_relative_delay),
+                  core::Fmt(static_cast<double>(det.max_relative_delay), 0),
+                  core::Fmt(det.max_relative_delay),
+                  core::Fmt(det.max_relative_delay),
+                  core::Fmt(core::bounds::Corollary7(rate_ratio, n), 0)});
+    table.Print(std::cout);
+    std::cout << "(against oblivious traffic the randomized concentration "
+                 "is ~N/K + O(sqrt(N log K)) per plane, so the RQD "
+                 "distribution sits far below the deterministic worst case "
+                 "— quantifying the paper's open question)\n\n";
+  }
+}
+
+void BM_RandomizedSeeds(benchmark::State& state) {
+  const auto trace = ObliviousBurst(32);
+  int seed = 1;
+  for (auto _ : state) {
+    const std::string algorithm = "random-s" + std::to_string(seed++);
+    const auto cfg = bench::MakeConfig(32, 2, 2.0, algorithm);
+    const auto result = bench::ReplayTrace(cfg, algorithm, trace);
+    benchmark::DoNotOptimize(result.max_relative_delay);
+  }
+}
+BENCHMARK(BM_RandomizedSeeds);
+
+}  // namespace
+
+PPS_BENCH_MAIN(RunExperiment)

@@ -1,0 +1,62 @@
+// E13 — simulator substrate performance: cells/second through the full
+// PPS + shadow harness, per algorithm and switch size.  This is the
+// engineering table that justifies the "fast execution" claim: every
+// lower-bound experiment in this repo runs in milliseconds.
+
+#include <benchmark/benchmark.h>
+
+#include "core/harness.h"
+#include "demux/registry.h"
+#include "sim/rng.h"
+#include "switch/pps.h"
+#include "traffic/random_sources.h"
+
+namespace {
+
+void RunThroughput(benchmark::State& state, const std::string& algorithm) {
+  const auto n = static_cast<sim::PortId>(state.range(0));
+  pps::SwitchConfig config;
+  config.num_ports = n;
+  config.num_planes = 2 * 2;  // r' = 2, S = 2
+  config.rate_ratio = 2;
+  const auto needs = demux::NeedsOf(algorithm);
+  if (needs.booked_planes) {
+    config.plane_scheduling = pps::PlaneScheduling::kBooked;
+  }
+  config.snapshot_history = std::max(1, needs.snapshot_history);
+
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    pps::BufferlessPps sw(config, demux::MakeFactory(algorithm));
+    traffic::BernoulliSource source(n, 0.8, traffic::Pattern::kUniform,
+                                    sim::Rng(7));
+    core::RunOptions options;
+    options.max_slots = 2'000;
+    options.drain_grace = 500;
+    const auto result = core::RunRelative(sw, source, options);
+    cells += result.cells;
+    benchmark::DoNotOptimize(result.max_relative_delay);
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(cells), benchmark::Counter::kIsRate);
+}
+
+void BM_Harness_RR(benchmark::State& state) {
+  RunThroughput(state, "rr-per-output");
+}
+void BM_Harness_Cpa(benchmark::State& state) { RunThroughput(state, "cpa"); }
+void BM_Harness_Ftd(benchmark::State& state) {
+  RunThroughput(state, "ftd-h2");
+}
+void BM_Harness_StaleJsq(benchmark::State& state) {
+  RunThroughput(state, "stale-jsq-u4");
+}
+
+}  // namespace
+
+BENCHMARK(BM_Harness_RR)->Arg(8)->Arg(32)->Arg(64);
+BENCHMARK(BM_Harness_Cpa)->Arg(8)->Arg(32)->Arg(64);
+BENCHMARK(BM_Harness_Ftd)->Arg(8)->Arg(32)->Arg(64);
+BENCHMARK(BM_Harness_StaleJsq)->Arg(8)->Arg(32);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// E3 — Theorem 8: *any* bufferless fully-distributed demultiplexing
+// algorithm — even a failure-prone static partition — has relative queuing
+// delay and relative delay jitter of (R/r - 1) * N / S time slots.
+//
+// Mechanism: the input constraint forces every demultiplexor to use at
+// least r' planes, so some plane is shared by at least r'N/K = N/S
+// demultiplexors (pigeonhole), and the alignment adversary concentrates
+// exactly those.  The table sweeps the speedup S at fixed N and the port
+// count N at fixed S, using the minimal partition d = r' (the
+// best case for the switch).
+
+#include "bench_common.h"
+
+#include "core/adversary_alignment.h"
+
+namespace {
+
+void AddRows(core::Table& table, sim::PortId n, int rate_ratio,
+             double speedup) {
+  const std::string algorithm =
+      "static-partition-d" + std::to_string(rate_ratio);
+  const auto cfg = bench::MakeConfig(n, rate_ratio, speedup, algorithm);
+  const auto plan =
+      core::BuildAlignmentTraffic(cfg, demux::MakeFactory(algorithm));
+  const auto result = bench::ReplayTrace(cfg, algorithm, plan.trace);
+  const double bound =
+      core::bounds::Theorem8(rate_ratio, n, cfg.speedup());
+  table.AddRow({algorithm, core::Fmt(n), core::Fmt(cfg.num_planes),
+                core::Fmt(rate_ratio), core::Fmt(cfg.speedup(), 2),
+                core::Fmt(plan.d()), core::Fmt(bound, 1),
+                core::Fmt(result.max_relative_delay),
+                core::Fmt(result.max_relative_jitter),
+                core::FmtRatio(static_cast<double>(result.max_relative_delay),
+                               bound)});
+}
+
+void RunExperiment() {
+  core::Table table(
+      "Theorem 8: RQD/RDJ >= (R/r - 1) * N/S   [bufferless, any "
+      "fully-distributed algorithm; B = 0]",
+      {"algorithm", "N", "K", "r'", "S", "plane-share", "bound", "RQD",
+       "RDJ", "RQD/bound"});
+
+  // Sweep S at fixed N = 32, r' = 2.
+  for (const double speedup : {1.0, 2.0, 4.0, 8.0}) {
+    AddRows(table, 32, 2, speedup);
+  }
+  // Sweep N at fixed S = 2.
+  for (const sim::PortId n : {8, 16, 64, 128}) {
+    AddRows(table, n, 2, 2.0);
+  }
+  // Higher rate ratio.
+  AddRows(table, 32, 4, 2.0);
+  table.Print(std::cout);
+  std::cout << "(plane-share = inputs sharing the worst plane, >= N/S by "
+               "pigeonhole; increasing S buys delay back linearly but "
+               "costs K = S*r' planes)\n\n";
+}
+
+void BM_Theorem8(benchmark::State& state) {
+  const auto n = static_cast<sim::PortId>(state.range(0));
+  const std::string algorithm = "static-partition-d2";
+  const auto cfg = bench::MakeConfig(n, 2, 2.0, algorithm);
+  for (auto _ : state) {
+    const auto plan =
+        core::BuildAlignmentTraffic(cfg, demux::MakeFactory(algorithm));
+    const auto result = bench::ReplayTrace(cfg, algorithm, plan.trace);
+    benchmark::DoNotOptimize(result.max_relative_delay);
+  }
+}
+BENCHMARK(BM_Theorem8)->Arg(32)->Arg(128)->Iterations(2);
+
+}  // namespace
+
+PPS_BENCH_MAIN(RunExperiment)

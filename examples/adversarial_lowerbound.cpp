@@ -1,0 +1,81 @@
+// Adversarial lower-bound demo: constructs the Theorem-6 / Figure-2
+// state-alignment traffic for a chosen fully-distributed algorithm,
+// narrates its phases, replays it against the PPS and its shadow switch,
+// and prints the concentration blow-up.
+//
+//   $ ./adversarial_lowerbound [algorithm] [N] [K] [r']
+//
+// Try:  ./adversarial_lowerbound rr-per-output 8 4 2
+//       ./adversarial_lowerbound hash 16 8 4
+//       ./adversarial_lowerbound static-partition-d2 16 8 2
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/adversary_alignment.h"
+#include "core/bounds.h"
+#include "core/harness.h"
+#include "demux/registry.h"
+#include "switch/pps.h"
+#include "traffic/leaky_bucket.h"
+#include "traffic/trace.h"
+
+int main(int argc, char** argv) {
+  const std::string algorithm = argc > 1 ? argv[1] : "rr-per-output";
+  pps::SwitchConfig config;
+  config.num_ports = argc > 2 ? std::atoi(argv[2]) : 8;
+  config.num_planes = argc > 3 ? std::atoi(argv[3]) : 4;
+  config.rate_ratio = argc > 4 ? std::atoi(argv[4]) : 2;
+  config.Validate();
+
+  std::cout << "=== Theorem 6 adversary vs " << algorithm << " on a PPS ("
+            << config.ToString() << ") ===\n\n";
+
+  const auto factory = demux::MakeFactory(algorithm);
+  const core::AlignmentPlan plan =
+      core::BuildAlignmentTraffic(config, factory);
+
+  std::cout << "Phase 1 (alignment, the A_i of Figure 2): " << plan.probes_used
+            << " cells drive " << plan.d()
+            << " demultiplexors into states from which their next cell for "
+               "output "
+            << plan.target_output << " goes to plane " << plan.target_plane
+            << ".\n";
+  std::cout << "Phase 2 (quiet): no arrivals until every plane buffer "
+               "drains; fully-distributed demultiplexors cannot change "
+               "state without arrivals.\n";
+  std::cout << "Phase 3 (burst): slots [" << plan.burst_start << ", "
+            << plan.burst_end << ") — " << plan.d()
+            << " cells for output " << plan.target_output
+            << ", one per slot, all forced through plane "
+            << plan.target_plane << ".\n";
+  std::cout << "Phase 4 (jitter probe): one trailing cell through the empty "
+               "switch pins the flow's minimum delay at 0.\n\n";
+
+  traffic::BurstinessMeter meter(config.num_ports);
+  for (const auto& e : plan.trace.entries()) {
+    meter.Record(e.slot, e.input, e.output);
+  }
+  std::cout << "Traffic audit: " << plan.trace.size()
+            << " cells, measured leaky-bucket burstiness B = "
+            << meter.OutputBurstiness() << " (Theorem 6 requires B = 0).\n\n";
+
+  pps::BufferlessPps sw(config, factory);
+  traffic::TraceTraffic source(plan.trace);
+  core::RunOptions options;
+  options.max_slots = 4'000'000;
+  const core::RunResult result = core::RunRelative(sw, source, options);
+
+  const double bound =
+      core::bounds::Theorem6(config.rate_ratio, plan.d());
+  std::cout << "Replay: " << core::Summarize(result) << "\n\n";
+  std::cout << "Paper bound  (R/r - 1) * d = " << bound << " slots\n"
+            << "Measured     relative queuing delay = "
+            << result.max_relative_delay << " slots, relative jitter = "
+            << result.max_relative_jitter << " slots\n"
+            << "(the measured worst case is exactly (d-1)(r'-1); the "
+               "difference from the formula is the r'-1 transmission-tail "
+               "convention, see DESIGN.md)\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Algorithm comparison: runs every registered demultiplexing algorithm —
+// bufferless and input-buffered — against the same workload and prints a
+// league table of relative queuing delay, jitter, and load balance.
+//
+//   $ ./algorithm_comparison [load] [slots]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/harness.h"
+#include "core/table.h"
+#include "demux/registry.h"
+#include "sim/rng.h"
+#include "switch/input_buffered_pps.h"
+#include "switch/pps.h"
+#include "traffic/random_sources.h"
+
+namespace {
+
+constexpr sim::PortId kPorts = 16;
+constexpr int kRatePrime = 2;
+
+pps::SwitchConfig ConfigFor(const std::string& algorithm, bool buffered) {
+  pps::SwitchConfig cfg;
+  cfg.num_ports = kPorts;
+  cfg.rate_ratio = kRatePrime;
+  cfg.num_planes = 2 * kRatePrime;  // S = 2
+  const auto needs = demux::NeedsOf(algorithm);
+  if (needs.booked_planes) {
+    cfg.plane_scheduling = pps::PlaneScheduling::kBooked;
+  }
+  cfg.snapshot_history = std::max(1, needs.snapshot_history);
+  if (buffered) cfg.input_buffer_size = 128;
+  return cfg;
+}
+
+double PlaneImbalance(const std::vector<std::uint64_t>& per_plane) {
+  std::uint64_t lo = per_plane[0], hi = per_plane[0];
+  for (auto c : per_plane) {
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  return lo == 0 ? 0.0 : static_cast<double>(hi) / static_cast<double>(lo);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double load = argc > 1 ? std::atof(argv[1]) : 0.9;
+  const sim::Slot slots = argc > 2 ? std::atol(argv[2]) : 20'000;
+
+  core::Table table(
+      "Algorithm league table (N=16, r'=2, S=2, uniform Bernoulli load=" +
+          core::Fmt(load, 2) + ")",
+      {"algorithm", "class", "maxRQD", "meanRQD", "maxRDJ", "plane-imbalance",
+       "reseq-stalls"});
+
+  core::RunOptions options;
+  options.max_slots = slots;
+  options.drain_grace = slots / 4;
+
+  for (const auto& name : demux::BufferlessAlgorithms()) {
+    pps::BufferlessPps sw(ConfigFor(name, false), demux::MakeFactory(name));
+    traffic::BernoulliSource src(kPorts, load, traffic::Pattern::kUniform,
+                                 sim::Rng(777));
+    const auto result = core::RunRelative(sw, src, options);
+    table.AddRow({name, "bufferless", core::Fmt(result.max_relative_delay),
+                  core::Fmt(result.relative_delay.mean(), 3),
+                  core::Fmt(result.max_relative_jitter),
+                  core::Fmt(PlaneImbalance(sw.dispatches_per_plane()), 2),
+                  core::Fmt(result.resequencing_stalls)});
+  }
+  for (const auto& name : demux::BufferedAlgorithms()) {
+    pps::InputBufferedPps sw(ConfigFor(name, true),
+                             demux::MakeBufferedFactory(name));
+    traffic::BernoulliSource src(kPorts, load, traffic::Pattern::kUniform,
+                                 sim::Rng(777));
+    const auto result = core::RunRelative(sw, src, options);
+    table.AddRow({name, "input-buffered",
+                  core::Fmt(result.max_relative_delay),
+                  core::Fmt(result.relative_delay.mean(), 3),
+                  core::Fmt(result.max_relative_jitter), "-",
+                  core::Fmt(result.resequencing_stalls)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading guide: CPA variants pin RQD at 0 (centralized) or "
+               "u (Theorem 12); fully-distributed algorithms pay the "
+               "information price even on friendly traffic.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Congestion study (Section 5 of the paper): floods one output to keep
+// every plane queue backlogged, then shows that the extended FTD
+// demultiplexor adds no relative queuing delay while the congestion lasts
+// — and that the flood traffic cannot be leaky-bucket (Proposition 15).
+//
+//   $ ./congestion_study [h] [flood_slots] [sustain_slots]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/adversary_bursts.h"
+#include "core/harness.h"
+#include "core/table.h"
+#include "demux/registry.h"
+#include "sim/timeseries.h"
+#include "switch/pps.h"
+#include "traffic/leaky_bucket.h"
+#include "traffic/trace.h"
+
+int main(int argc, char** argv) {
+  const int h = argc > 1 ? std::atoi(argv[1]) : 2;
+  const sim::Slot flood = argc > 2 ? std::atol(argv[2]) : 8;
+  const sim::Slot sustain = argc > 3 ? std::atol(argv[3]) : 512;
+
+  pps::SwitchConfig config;
+  config.num_ports = 16;
+  config.rate_ratio = 2;
+  config.num_planes = 8;  // S = 4 >= h
+  const std::string algorithm = "ftd-h" + std::to_string(h);
+
+  std::cout << "=== Congested-period behaviour of " << algorithm
+            << " on a PPS (" << config.ToString() << ") ===\n\n";
+
+  core::CongestionOptions copt;
+  copt.flood_slots = flood;
+  copt.sustain_slots = sustain;
+  const auto plan = BuildCongestionTraffic(config, copt);
+
+  traffic::BurstinessMeter meter(config.num_ports);
+  for (const auto& e : plan.trace.entries()) {
+    meter.Record(e.slot, e.input, e.output);
+  }
+  std::cout << "Traffic: flood of " << flood << " slots x " << config.num_ports
+            << " inputs -> output " << plan.target_output << ", then "
+            << sustain << " slots at exactly the line rate.\n"
+            << "Measured burstiness B = " << meter.OutputBurstiness()
+            << " = flood * (N - 1) — grows without bound in the flood "
+               "length, so no fixed (R, B) envelope admits it "
+               "(Proposition 15).\n\n";
+
+  pps::BufferlessPps sw(config, demux::MakeFactory(algorithm));
+  traffic::TraceTraffic source(plan.trace);
+  core::RunOptions options;
+  options.max_slots = 4'000'000;
+  options.keep_timeline = true;
+  const auto result = core::RunRelative(sw, source, options);
+
+  std::cout << "Replay: " << core::Summarize(result) << "\n\n";
+
+  // Backlog evolution at the hot output: a second, instrumented replay
+  // sampling the plane backlogs toward j every slot.
+  {
+    pps::BufferlessPps probe(config, demux::MakeFactory(algorithm));
+    traffic::TraceTraffic src2(plan.trace);
+    sim::TimeSeries backlog;
+    sim::CellId id = 0;
+    std::uint64_t seq[64 * 64] = {};
+    for (sim::Slot t = 0; t <= plan.sustain_end; ++t) {
+      for (const auto& a : src2.ArrivalsAt(t)) {
+        sim::Cell cell;
+        cell.id = id++;
+        cell.input = a.input;
+        cell.output = a.output;
+        cell.seq = seq[sim::MakeFlowId(a.input, a.output,
+                                       config.num_ports)]++;
+        probe.Inject(cell, t);
+      }
+      probe.Advance(t);
+      std::int64_t total = 0;
+      for (sim::PlaneId k = 0; k < config.num_planes; ++k) {
+        total += probe.PlaneBacklog(k, plan.target_output);
+      }
+      backlog.Record(t, total);
+    }
+    core::Table evolution("Plane backlog toward the hot output over time",
+                          {"window", "min", "mean", "max"});
+    for (const auto& b : backlog.Buckets(8)) {
+      evolution.AddRow({"[" + core::Fmt(b.from) + "," + core::Fmt(b.to) + ")",
+                        core::Fmt(b.min), core::Fmt(b.mean, 1),
+                        core::Fmt(b.max)});
+    }
+    evolution.Print(std::cout);
+    std::cout << "\n";
+  }
+  const sim::Slot warm = result.MaxRelativeDelayIn(0, plan.flood_end);
+  std::cout << "Relative queuing delay by arrival window:\n";
+  std::cout << "  flood (warm-up)          : " << warm << " slots\n";
+  for (sim::Slot from = plan.flood_end; from < plan.sustain_end;
+       from += sustain / 4) {
+    const sim::Slot to = std::min(plan.sustain_end, from + sustain / 4);
+    std::cout << "  congested [" << from << ", " << to << ")      : "
+              << result.MaxRelativeDelayIn(from, to) << " slots\n";
+  }
+  std::cout << "\nTheorem 14: after the warm-up, cells arriving during the "
+               "congested period suffer no additional relative queuing "
+               "delay — every plane queue stays backlogged, so the output "
+               "line never idles, exactly like the reference switch.\n";
+  return 0;
+}

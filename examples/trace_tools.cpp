@@ -1,0 +1,175 @@
+// Trace utility: generate, inspect, and replay cell traces from the
+// command line — the glue for using this library's adversaries on traces
+// you keep, share, or post-process elsewhere.
+//
+//   trace_tools gen-align  <algorithm> <N> <K> <r'> <out.trace>
+//       Builds the Theorem-6 alignment traffic for <algorithm> and saves
+//       it (text format: "slot input output" lines).
+//   trace_tools gen-random <N> <load> <slots> <seed> <out.trace>
+//       Uniform Bernoulli traffic.
+//   trace_tools info <file.trace> <N>
+//       Cell count, horizon, per-port rates, exact leaky-bucket
+//       burstiness, AQT admissibility.
+//   trace_tools replay <file.trace> <algorithm> <N> <K> <r'>
+//       Replays against a PPS + shadow switch and prints the relative
+//       delay summary.
+//   trace_tools transform <in.trace> <op> <arg> <out.trace>
+//       op = shift | dilate | truncate (arg = slots/factor/horizon).
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/adversary_alignment.h"
+#include "core/harness.h"
+#include "demux/registry.h"
+#include "sim/rng.h"
+#include "switch/pps.h"
+#include "traffic/aqt.h"
+#include "traffic/leaky_bucket.h"
+#include "traffic/random_sources.h"
+#include "traffic/trace.h"
+#include "traffic/transforms.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+         "  trace_tools gen-align  <algorithm> <N> <K> <r'> <out.trace>\n"
+         "  trace_tools gen-random <N> <load> <slots> <seed> <out.trace>\n"
+         "  trace_tools info <file.trace> <N>\n"
+         "  trace_tools replay <file.trace> <algorithm> <N> <K> <r'>\n"
+         "  trace_tools transform <in.trace> shift|dilate|truncate <arg>"
+         " <out.trace>\n";
+  return 2;
+}
+
+traffic::Trace LoadTrace(const std::string& path) {
+  std::ifstream in(path);
+  SIM_CHECK(in.good(), "cannot open trace file: " << path);
+  return traffic::Trace::Load(in);
+}
+
+int GenAlign(const std::string& algorithm, sim::PortId n, int k, int rp,
+             const std::string& path) {
+  pps::SwitchConfig cfg;
+  cfg.num_ports = n;
+  cfg.num_planes = k;
+  cfg.rate_ratio = rp;
+  const auto plan =
+      core::BuildAlignmentTraffic(cfg, demux::MakeFactory(algorithm));
+  std::ofstream out(path);
+  SIM_CHECK(out.good(), "cannot write " << path);
+  plan.trace.Save(out);
+  std::cout << "wrote " << plan.trace.size() << " cells to " << path
+            << " (aligned d=" << plan.d() << ", target plane "
+            << plan.target_plane << ", burst at [" << plan.burst_start << ","
+            << plan.burst_end << "))\n";
+  return 0;
+}
+
+int GenRandom(sim::PortId n, double load, sim::Slot slots,
+              std::uint64_t seed, const std::string& path) {
+  traffic::BernoulliSource src(n, load, traffic::Pattern::kUniform,
+                               sim::Rng(seed));
+  traffic::Trace trace;
+  for (sim::Slot t = 0; t < slots; ++t) {
+    for (const auto& a : src.ArrivalsAt(t)) trace.Add(t, a.input, a.output);
+  }
+  trace.Normalize();
+  std::ofstream out(path);
+  SIM_CHECK(out.good(), "cannot write " << path);
+  trace.Save(out);
+  std::cout << "wrote " << trace.size() << " cells to " << path << "\n";
+  return 0;
+}
+
+int Info(const std::string& path, sim::PortId n) {
+  const auto trace = LoadTrace(path);
+  trace.Validate(n);
+  traffic::BurstinessMeter meter(n);
+  traffic::AqtValidator aqt(n, /*window=*/32, 1, 1);
+  for (const auto& e : trace.entries()) {
+    meter.Record(e.slot, e.input, e.output);
+    aqt.Record(e.slot, e.input, e.output);
+  }
+  std::cout << "cells               : " << trace.size() << "\n"
+            << "horizon             : "
+            << (trace.empty() ? 0 : trace.last_slot() + 1) << " slots\n"
+            << "output burstiness B : " << meter.OutputBurstiness() << "\n"
+            << "input burstiness    : " << meter.InputBurstiness() << "\n"
+            << "AQT (rho=1, w=32)   : "
+            << (aqt.admissible() ? "admissible" : "violated") << " (peak "
+            << aqt.peak_utilization() << ")\n";
+  return 0;
+}
+
+int Replay(const std::string& path, const std::string& algorithm,
+           sim::PortId n, int k, int rp) {
+  pps::SwitchConfig cfg;
+  cfg.num_ports = n;
+  cfg.num_planes = k;
+  cfg.rate_ratio = rp;
+  const auto needs = demux::NeedsOf(algorithm);
+  if (needs.booked_planes) {
+    cfg.plane_scheduling = pps::PlaneScheduling::kBooked;
+  }
+  cfg.snapshot_history = std::max(1, needs.snapshot_history);
+  pps::BufferlessPps sw(cfg, demux::MakeFactory(algorithm));
+  traffic::TraceTraffic src(LoadTrace(path));
+  core::RunOptions opt;
+  opt.max_slots = 10'000'000;
+  const auto result = core::RunRelative(sw, src, opt);
+  std::cout << core::Summarize(result) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    if (cmd == "gen-align" && argc == 7) {
+      return GenAlign(argv[2], std::atoi(argv[3]), std::atoi(argv[4]),
+                      std::atoi(argv[5]), argv[6]);
+    }
+    if (cmd == "gen-random" && argc == 7) {
+      return GenRandom(std::atoi(argv[2]), std::atof(argv[3]),
+                       std::atol(argv[4]),
+                       static_cast<std::uint64_t>(std::atoll(argv[5])),
+                       argv[6]);
+    }
+    if (cmd == "info" && argc == 4) {
+      return Info(argv[2], std::atoi(argv[3]));
+    }
+    if (cmd == "replay" && argc == 7) {
+      return Replay(argv[2], argv[3], std::atoi(argv[4]), std::atoi(argv[5]),
+                    std::atoi(argv[6]));
+    }
+    if (cmd == "transform" && argc == 6) {
+      const auto trace = LoadTrace(argv[2]);
+      const std::string op = argv[3];
+      const long arg = std::atol(argv[4]);
+      traffic::Trace out;
+      if (op == "shift") {
+        out = traffic::Shift(trace, arg);
+      } else if (op == "dilate") {
+        out = traffic::Dilate(trace, static_cast<int>(arg));
+      } else if (op == "truncate") {
+        out = traffic::Truncate(trace, arg);
+      } else {
+        return Usage();
+      }
+      std::ofstream file(argv[5]);
+      SIM_CHECK(file.good(), "cannot write " << argv[5]);
+      out.Save(file);
+      std::cout << "wrote " << out.size() << " cells to " << argv[5] << "\n";
+      return 0;
+    }
+    return Usage();
+  } catch (const sim::SimError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

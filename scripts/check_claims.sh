@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Reproduction gate: greps bench_output.txt for the paper-level claims the
+# tables must show.  Run after scripts/run_all.sh (or the manual tee).
+#
+#   ./scripts/check_claims.sh [bench_output.txt]
+set -uo pipefail
+
+OUT="${1:-$(dirname "$0")/../bench_output.txt}"
+fail=0
+
+check() {  # description, pattern
+  if grep -qE "$2" "$OUT"; then
+    echo "ok   : $1"
+  else
+    echo "FAIL : $1  (pattern: $2)"
+    fail=1
+  fi
+}
+
+[ -f "$OUT" ] || { echo "no bench output at $OUT"; exit 2; }
+
+# Corollary 7: the N = 64, r' = 4 row reaches 189 = (N-1)(r'-1).
+check "Corollary 7 worst case at N=64, r'=4" \
+      "rr +64 +4 +2\.0 +192 +256 +189 +189"
+# CPA: every workload row shows zero RQD and RDJ.
+check "CPA zero relative delay (hotspot row)" \
+      "hotspot-0\.6 +[0-9]+ +[0-9]+ +0 +0"
+# Theorem 12: u = 64 row measured exactly 64.
+check "Theorem 12 emulation RQD = u = 64" " 64 +0\.85 +uniform +64 +64 +64"
+# Theorem 13: buffer sweep rows all show RQD 31 at N = 32.
+check "Theorem 13 buffer-independence (buffer=512)" \
+      "buffered-rr +32 +2 +2\.0 +512 +8\.0 +31 +31"
+# Theorem 14: the hot output never idles during congestion.
+check "Theorem 14 output busy 100%" "ftd-h2 .* 100\.0 +15 +0"
+# Scaling headline: N = 1024 fully-distributed worst case.
+check "Scaling N=1024 worst case 1023" "rr-per-output +fully-distributed +15 +63 +255 +1023"
+# CCF exact mimicking at speedup 2.
+check "CCF exact OQ mimicking" "cioq/ccf-S2 .* 0 +0\.000 +0"
+# Fault trade: the d=2 partition loses 10% of cells.
+check "Fault: d=2 partition drops 10%" \
+      "static-partition-d2 .* 10\.000"
+# Information vs buffering: emulation row u=16 exactly 16, flat rr at 7.
+check "Info-vs-buffering identity line" "^16 +16 +16\.00 .* 7 +0\.27"
+
+if [ "$fail" -ne 0 ]; then
+  echo "some claims failed — inspect $OUT"
+  exit 1
+fi
+echo "all claims reproduced"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full reproduction run: build, test, and regenerate every experiment
+# table.  Outputs land in test_output.txt and bench_output.txt at the repo
+# root; set PPS_CSV_DIR to also collect machine-readable CSVs.
+#
+#   ./scripts/run_all.sh [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+cmake -B "$BUILD" -G Ninja -S "$ROOT"
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" 2>&1 | tee "$ROOT/test_output.txt"
+
+: > "$ROOT/bench_output.txt"
+for b in "$BUILD"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "########## $(basename "$b")" | tee -a "$ROOT/bench_output.txt"
+  "$b" --benchmark_min_time=0.01 2>&1 | tee -a "$ROOT/bench_output.txt"
+done
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,88 @@
+#include "cioq/ccf.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "sim/error.h"
+
+namespace cioq {
+namespace {
+
+struct Candidate {
+  sim::Slot urgency;  // shadow departure slot (Cell::tag)
+  sim::CellId id;     // FCFS tie-break
+  sim::PortId input;
+
+  bool MoreUrgentThan(const Candidate& other) const {
+    return urgency != other.urgency ? urgency < other.urgency
+                                    : id < other.id;
+  }
+};
+
+}  // namespace
+
+Matching CcfScheduler::Schedule(const VoqBank& voqs) {
+  const sim::PortId n = num_ports_;
+  // Proposal lists: per output, candidate inputs sorted by urgency.
+  std::vector<std::vector<Candidate>> prefs(static_cast<std::size_t>(n));
+  for (sim::PortId j = 0; j < n; ++j) {
+    for (sim::PortId i = 0; i < n; ++i) {
+      const sim::Cell* head = voqs.Head(i, j);
+      if (head == nullptr) continue;
+      SIM_CHECK(head->tag != sim::kNoSlot,
+                "CCF requires tag-stamped cells (enable stamping in "
+                "CioqSwitch)");
+      prefs[static_cast<std::size_t>(j)].push_back(
+          {head->tag, head->id, i});
+    }
+    std::sort(prefs[static_cast<std::size_t>(j)].begin(),
+              prefs[static_cast<std::size_t>(j)].end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.MoreUrgentThan(b);
+              });
+  }
+
+  // Gale-Shapley, outputs proposing.  held[i] = output whose proposal
+  // input i currently holds, and the urgency it came with.
+  std::vector<sim::PortId> held_output(static_cast<std::size_t>(n),
+                                       sim::kNoPort);
+  std::vector<Candidate> held_candidate(static_cast<std::size_t>(n));
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(n), 0);
+  std::deque<sim::PortId> free_outputs;
+  for (sim::PortId j = 0; j < n; ++j) {
+    if (!prefs[static_cast<std::size_t>(j)].empty()) free_outputs.push_back(j);
+  }
+  while (!free_outputs.empty()) {
+    const sim::PortId j = free_outputs.front();
+    free_outputs.pop_front();
+    auto& list = prefs[static_cast<std::size_t>(j)];
+    auto& pos = cursor[static_cast<std::size_t>(j)];
+    bool placed = false;
+    while (pos < list.size() && !placed) {
+      const Candidate cand = list[pos++];
+      const auto idx = static_cast<std::size_t>(cand.input);
+      if (held_output[idx] == sim::kNoPort) {
+        held_output[idx] = j;
+        held_candidate[idx] = cand;
+        placed = true;
+      } else if (cand.MoreUrgentThan(held_candidate[idx])) {
+        // The input trades up; the displaced output resumes proposing.
+        free_outputs.push_back(held_output[idx]);
+        held_output[idx] = j;
+        held_candidate[idx] = cand;
+        placed = true;
+      }
+    }
+    // If the list is exhausted the output stays unmatched this phase.
+  }
+
+  Matching matching(static_cast<std::size_t>(n), sim::kNoPort);
+  for (sim::PortId i = 0; i < n; ++i) {
+    const sim::PortId j = held_output[static_cast<std::size_t>(i)];
+    if (j != sim::kNoPort) matching[static_cast<std::size_t>(i)] = j;
+  }
+  return matching;
+}
+
+}  // namespace cioq

@@ -1,0 +1,30 @@
+// Critical-cells-first (CCF) stable matching, after Chuang, Goel, McKeown
+// & Prabhakar, "Matching output queueing with a combined input output
+// queued switch": with speedup 2 (their bound: 2 - 1/N) a CIOQ switch can
+// exactly mimic an output-queued switch.
+//
+// Each cell is stamped at arrival with its shadow FCFS-OQ departure slot
+// (Cell::tag, maintained by CioqSwitch when tag stamping is enabled); the
+// scheduler computes a stable matching by Gale-Shapley with outputs
+// proposing to inputs in order of increasing urgency (tag, id), and inputs
+// accepting the most urgent proposal.  Stability means: no unmatched
+// (input, output) pair exists where both would prefer each other — which
+// is exactly the property the mimicking proof needs so that a critical
+// cell is never blocked by two non-critical transfers.
+#pragma once
+
+#include "cioq/voq.h"
+
+namespace cioq {
+
+class CcfScheduler final : public Scheduler {
+ public:
+  void Reset(sim::PortId num_ports) override { num_ports_ = num_ports; }
+  Matching Schedule(const VoqBank& voqs) override;
+  std::string name() const override { return "ccf"; }
+
+ private:
+  sim::PortId num_ports_ = 0;
+};
+
+}  // namespace cioq

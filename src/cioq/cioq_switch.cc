@@ -1,0 +1,92 @@
+#include "cioq/cioq_switch.h"
+
+#include <algorithm>
+
+#include "sim/error.h"
+
+namespace cioq {
+
+CioqSwitch::CioqSwitch(sim::PortId num_ports, int speedup,
+                       std::unique_ptr<Scheduler> scheduler)
+    : config_{num_ports},
+      speedup_(speedup),
+      scheduler_(std::move(scheduler)),
+      voqs_(num_ports) {
+  SIM_CHECK(speedup >= 1, "speedup must be >= 1");
+  SIM_CHECK(scheduler_ != nullptr, "need a scheduler");
+  scheduler_->Reset(num_ports);
+  output_queues_.resize(static_cast<std::size_t>(num_ports));
+  next_dep_.assign(static_cast<std::size_t>(num_ports), 0);
+}
+
+void CioqSwitch::Inject(sim::Cell cell, sim::Slot t) {
+  if (cell.arrival == sim::kNoSlot) cell.arrival = t;
+  SIM_CHECK(cell.arrival == t, "arrival stamp mismatch on " << cell);
+  // Stamp the shadow FCFS departure (injection order = FCFS tie-break).
+  sim::Slot& next = next_dep_[static_cast<std::size_t>(cell.output)];
+  cell.tag = std::max(t, next);
+  next = cell.tag + 1;
+  voqs_.Push(cell);
+}
+
+std::vector<sim::Cell> CioqSwitch::Advance(sim::Slot t) {
+  for (int phase = 0; phase < speedup_; ++phase) {
+    if (voqs_.Empty()) break;
+    const Matching matching = scheduler_->Schedule(voqs_);
+    if (!IsFeasibleMatching(voqs_, matching)) {
+      ++infeasible_;
+      continue;
+    }
+    if (!IsMaximalMatching(voqs_, matching)) ++nonmaximal_;
+    for (sim::PortId i = 0; i < config_.num_ports; ++i) {
+      const sim::PortId j = matching[static_cast<std::size_t>(i)];
+      if (j == sim::kNoPort) continue;
+      sim::Cell cell = voqs_.Pop(i, j);
+      cell.reached_output = t;
+      // Output queues emit in shadow-departure order (tags increase within
+      // a flow, so per-flow order is automatic): sorted insert by
+      // (tag, id).
+      auto& q = output_queues_[static_cast<std::size_t>(j)];
+      auto it = q.end();
+      while (it != q.begin()) {
+        auto prev = std::prev(it);
+        if (prev->tag < cell.tag ||
+            (prev->tag == cell.tag && prev->id < cell.id)) {
+          break;
+        }
+        it = prev;
+      }
+      q.insert(it, cell);
+    }
+  }
+  std::vector<sim::Cell> departed;
+  for (auto& q : output_queues_) {
+    if (q.empty()) continue;
+    sim::Cell cell = q.front();
+    q.pop_front();
+    cell.departure = t;
+    departed.push_back(cell);
+  }
+  return departed;
+}
+
+bool CioqSwitch::Drained() const { return TotalBacklog() == 0; }
+
+std::int64_t CioqSwitch::TotalBacklog() const {
+  std::int64_t total = voqs_.TotalBacklog();
+  for (const auto& q : output_queues_) {
+    total += static_cast<std::int64_t>(q.size());
+  }
+  return total;
+}
+
+void CioqSwitch::Reset() {
+  voqs_.Reset();
+  for (auto& q : output_queues_) q.clear();
+  scheduler_->Reset(config_.num_ports);
+  std::fill(next_dep_.begin(), next_dep_.end(), 0);
+  infeasible_ = 0;
+  nonmaximal_ = 0;
+}
+
+}  // namespace cioq

@@ -1,0 +1,67 @@
+// Combined input-output-queued (CIOQ) crossbar switch with integer
+// speedup: the architecture the paper's related work measures the PPS
+// against (Chuang et al.: speedup 2 - 1/N suffices to mimic an OQ switch;
+// Krishna et al., Prabhakar & McKeown on work-conserving speedups).
+//
+// Slot protocol (same Inject/Advance surface as the PPS fabrics, so
+// core::RunRelative works unchanged):
+//   Inject(cell, t)   cell enters VOQ(input, output);
+//   Advance(t)        `speedup` scheduling phases: each computes a
+//                     crossbar matching and transfers the matched head
+//                     cells to the output queues; then every output emits
+//                     at most one cell.
+// A cell can cross arrival -> VOQ -> crossbar -> output -> wire within one
+// slot, matching the zero-propagation accounting used for the PPS.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cioq/voq.h"
+#include "sim/cell.h"
+#include "sim/types.h"
+
+namespace cioq {
+
+class CioqSwitch {
+ public:
+  // speedup >= 1: scheduling phases per slot.
+  CioqSwitch(sim::PortId num_ports, int speedup,
+             std::unique_ptr<Scheduler> scheduler);
+
+  void Inject(sim::Cell cell, sim::Slot t);
+  std::vector<sim::Cell> Advance(sim::Slot t);
+
+  bool Drained() const;
+  std::int64_t TotalBacklog() const;
+
+  // Matching audits accumulated over the run (tests assert zero).
+  std::uint64_t infeasible_matchings() const { return infeasible_; }
+  std::uint64_t nonmaximal_matchings() const { return nonmaximal_; }
+
+  // Harness compatibility (the PPS fabrics expose the same counter).
+  std::uint64_t resequencing_stalls() const { return 0; }
+
+  struct Config {
+    sim::PortId num_ports;
+  };
+  const Config& config() const { return config_; }
+
+  void Reset();
+
+ private:
+  Config config_;
+  int speedup_;
+  std::unique_ptr<Scheduler> scheduler_;
+  VoqBank voqs_;
+  std::vector<std::deque<sim::Cell>> output_queues_;
+  // Shadow FCFS-OQ departure per output; every arriving cell is stamped
+  // with its value (Cell::tag), which urgency-based schedulers (CCF) use.
+  std::vector<sim::Slot> next_dep_;
+  std::uint64_t infeasible_ = 0;
+  std::uint64_t nonmaximal_ = 0;
+};
+
+}  // namespace cioq

@@ -1,0 +1,64 @@
+#include "cioq/islip.h"
+
+#include "sim/error.h"
+
+namespace cioq {
+
+void IslipScheduler::Reset(sim::PortId num_ports) {
+  SIM_CHECK(iterations_ >= 1, "need at least one iSLIP iteration");
+  num_ports_ = num_ports;
+  grant_ptr_.assign(static_cast<std::size_t>(num_ports), 0);
+  accept_ptr_.assign(static_cast<std::size_t>(num_ports), 0);
+}
+
+Matching IslipScheduler::Schedule(const VoqBank& voqs) {
+  const sim::PortId n = num_ports_;
+  Matching matching(static_cast<std::size_t>(n), sim::kNoPort);
+  std::vector<bool> input_matched(static_cast<std::size_t>(n), false);
+  std::vector<bool> output_matched(static_cast<std::size_t>(n), false);
+
+  for (int iter = 0; iter < iterations_; ++iter) {
+    // Grant phase: each unmatched output picks one requesting input.
+    std::vector<sim::PortId> grant_to(static_cast<std::size_t>(n),
+                                      sim::kNoPort);
+    for (sim::PortId j = 0; j < n; ++j) {
+      if (output_matched[static_cast<std::size_t>(j)]) continue;
+      const int start = grant_ptr_[static_cast<std::size_t>(j)];
+      for (int step = 0; step < n; ++step) {
+        const auto i = static_cast<sim::PortId>((start + step) % n);
+        if (input_matched[static_cast<std::size_t>(i)]) continue;
+        if (voqs.Head(i, j) == nullptr) continue;
+        grant_to[static_cast<std::size_t>(j)] = i;
+        break;
+      }
+    }
+    // Accept phase: each input with grants accepts the output next at or
+    // after its accept pointer.
+    bool any = false;
+    for (sim::PortId i = 0; i < n; ++i) {
+      if (input_matched[static_cast<std::size_t>(i)]) continue;
+      const int start = accept_ptr_[static_cast<std::size_t>(i)];
+      for (int step = 0; step < n; ++step) {
+        const auto j = static_cast<sim::PortId>((start + step) % n);
+        if (grant_to[static_cast<std::size_t>(j)] != i) continue;
+        matching[static_cast<std::size_t>(i)] = j;
+        input_matched[static_cast<std::size_t>(i)] = true;
+        output_matched[static_cast<std::size_t>(j)] = true;
+        any = true;
+        if (iter == 0) {
+          // Pointer updates only on first-iteration acceptance — the
+          // desynchronisation rule.
+          accept_ptr_[static_cast<std::size_t>(i)] =
+              (static_cast<int>(j) + 1) % n;
+          grant_ptr_[static_cast<std::size_t>(j)] =
+              (static_cast<int>(i) + 1) % n;
+        }
+        break;
+      }
+    }
+    if (!any) break;
+  }
+  return matching;
+}
+
+}  // namespace cioq

@@ -1,0 +1,39 @@
+#include "cioq/oldest_first.h"
+
+#include <algorithm>
+
+namespace cioq {
+
+Matching OldestFirstScheduler::Schedule(const VoqBank& voqs) {
+  struct Candidate {
+    sim::Slot arrival;
+    sim::CellId id;
+    sim::PortId input;
+    sim::PortId output;
+  };
+  std::vector<Candidate> candidates;
+  for (sim::PortId i = 0; i < num_ports_; ++i) {
+    for (sim::PortId j = 0; j < num_ports_; ++j) {
+      const sim::Cell* head = voqs.Head(i, j);
+      if (head != nullptr) {
+        candidates.push_back({head->arrival, head->id, i, j});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.arrival != b.arrival ? a.arrival < b.arrival
+                                            : a.id < b.id;
+            });
+  Matching matching(static_cast<std::size_t>(num_ports_), sim::kNoPort);
+  std::vector<bool> out_used(static_cast<std::size_t>(num_ports_), false);
+  for (const Candidate& c : candidates) {
+    if (matching[static_cast<std::size_t>(c.input)] != sim::kNoPort) continue;
+    if (out_used[static_cast<std::size_t>(c.output)]) continue;
+    matching[static_cast<std::size_t>(c.input)] = c.output;
+    out_used[static_cast<std::size_t>(c.output)] = true;
+  }
+  return matching;
+}
+
+}  // namespace cioq

@@ -1,0 +1,87 @@
+#include "cioq/voq.h"
+
+#include "sim/error.h"
+
+namespace cioq {
+
+VoqBank::VoqBank(sim::PortId num_ports) : num_ports_(num_ports) {
+  SIM_CHECK(num_ports > 0, "need ports");
+  queues_.resize(static_cast<std::size_t>(num_ports) *
+                 static_cast<std::size_t>(num_ports));
+}
+
+void VoqBank::Push(const sim::Cell& cell) {
+  SIM_CHECK(cell.input >= 0 && cell.input < num_ports_ && cell.output >= 0 &&
+                cell.output < num_ports_,
+            "bad ports on " << cell);
+  queues_[Index(cell.input, cell.output)].push_back(cell);
+  ++total_;
+}
+
+const sim::Cell* VoqBank::Head(sim::PortId input, sim::PortId output) const {
+  const auto& q = queues_[Index(input, output)];
+  return q.empty() ? nullptr : &q.front();
+}
+
+sim::Cell VoqBank::Pop(sim::PortId input, sim::PortId output) {
+  auto& q = queues_[Index(input, output)];
+  SIM_CHECK(!q.empty(), "pop from empty VOQ(" << input << "," << output
+                                              << ")");
+  sim::Cell cell = q.front();
+  q.pop_front();
+  --total_;
+  return cell;
+}
+
+std::int64_t VoqBank::Backlog(sim::PortId input, sim::PortId output) const {
+  return static_cast<std::int64_t>(queues_[Index(input, output)].size());
+}
+
+std::int64_t VoqBank::InputBacklog(sim::PortId input) const {
+  std::int64_t total = 0;
+  for (sim::PortId j = 0; j < num_ports_; ++j) total += Backlog(input, j);
+  return total;
+}
+
+std::int64_t VoqBank::TotalBacklog() const { return total_; }
+
+void VoqBank::Reset() {
+  for (auto& q : queues_) q.clear();
+  total_ = 0;
+}
+
+bool IsFeasibleMatching(const VoqBank& voqs, const Matching& matching) {
+  const sim::PortId n = voqs.num_ports();
+  if (static_cast<sim::PortId>(matching.size()) != n) return false;
+  std::vector<bool> out_used(static_cast<std::size_t>(n), false);
+  for (sim::PortId i = 0; i < n; ++i) {
+    const sim::PortId j = matching[static_cast<std::size_t>(i)];
+    if (j == sim::kNoPort) continue;
+    if (j < 0 || j >= n) return false;
+    if (out_used[static_cast<std::size_t>(j)]) return false;
+    out_used[static_cast<std::size_t>(j)] = true;
+    if (voqs.Head(i, j) == nullptr) return false;
+  }
+  return true;
+}
+
+bool IsMaximalMatching(const VoqBank& voqs, const Matching& matching) {
+  const sim::PortId n = voqs.num_ports();
+  std::vector<bool> out_used(static_cast<std::size_t>(n), false);
+  for (sim::PortId i = 0; i < n; ++i) {
+    const sim::PortId j = matching[static_cast<std::size_t>(i)];
+    if (j != sim::kNoPort) out_used[static_cast<std::size_t>(j)] = true;
+  }
+  for (sim::PortId i = 0; i < n; ++i) {
+    if (matching[static_cast<std::size_t>(i)] != sim::kNoPort) continue;
+    for (sim::PortId j = 0; j < n; ++j) {
+      if (!out_used[static_cast<std::size_t>(j)] &&
+          voqs.Head(i, j) != nullptr) {
+        return false;  // augmentable pair left unmatched
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace cioq

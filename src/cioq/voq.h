@@ -1,0 +1,70 @@
+// Virtual output queues: the input-side buffering of a combined
+// input-output-queued (CIOQ) crossbar switch.
+//
+// Related-work substrate: the paper contrasts the PPS with crossbar-based
+// designs — Chuang, Goel, McKeown & Prabhakar show a CIOQ switch needs
+// speedup 2 - 1/N to mimic an output-queued switch, and Tamir & Chi's
+// arbitrated crossbars are the prime example of u-RT demultiplexing.  A
+// cell arriving at input i for output j waits in VOQ(i, j); per-flow FIFO
+// order is automatic because each flow lives in exactly one VOQ.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/cell.h"
+#include "sim/types.h"
+
+namespace cioq {
+
+class VoqBank {
+ public:
+  VoqBank(sim::PortId num_ports);
+
+  void Push(const sim::Cell& cell);
+  // Head cell of VOQ(i, j); nullptr when empty.
+  const sim::Cell* Head(sim::PortId input, sim::PortId output) const;
+  sim::Cell Pop(sim::PortId input, sim::PortId output);
+
+  std::int64_t Backlog(sim::PortId input, sim::PortId output) const;
+  std::int64_t InputBacklog(sim::PortId input) const;
+  std::int64_t TotalBacklog() const;
+  bool Empty() const { return total_ == 0; }
+
+  sim::PortId num_ports() const { return num_ports_; }
+
+  void Reset();
+
+ private:
+  std::size_t Index(sim::PortId input, sim::PortId output) const {
+    return static_cast<std::size_t>(input) *
+               static_cast<std::size_t>(num_ports_) +
+           static_cast<std::size_t>(output);
+  }
+
+  sim::PortId num_ports_;
+  std::vector<std::deque<sim::Cell>> queues_;
+  std::int64_t total_ = 0;
+};
+
+// One crossbar matching: matched[i] = output for input i, or kNoPort.
+using Matching = std::vector<sim::PortId>;
+
+// Scheduler interface: compute a matching over the nonempty VOQs.  Called
+// once per scheduling phase (S phases per slot at speedup S).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual void Reset(sim::PortId num_ports) = 0;
+  virtual Matching Schedule(const VoqBank& voqs) = 0;
+  virtual std::string name() const = 0;
+};
+
+// Audits that a matching is feasible (each input and output used at most
+// once, every matched VOQ nonempty) and maximal (no unmatched input-output
+// pair with a nonempty VOQ remains).  Returns false on any violation.
+bool IsFeasibleMatching(const VoqBank& voqs, const Matching& matching);
+bool IsMaximalMatching(const VoqBank& voqs, const Matching& matching);
+
+}  // namespace cioq

@@ -1,0 +1,171 @@
+#include "core/adversary_alignment.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/error.h"
+
+namespace core {
+namespace {
+
+// Probe context: every input line free.  Alignment traffic reproduces this
+// in the real run by spacing a given input's cells at least r' slots
+// apart, so the clone's trajectory and the live demultiplexor's coincide.
+struct ProbeEnv {
+  explicit ProbeEnv(const pps::SwitchConfig& config)
+      : all_free(std::make_unique<bool[]>(
+            static_cast<std::size_t>(config.num_planes))) {
+    std::fill_n(all_free.get(), config.num_planes, true);
+    ctx.now = 0;
+    ctx.input_link_free = std::span<const bool>(
+        all_free.get(), static_cast<std::size_t>(config.num_planes));
+    ctx.global = nullptr;
+  }
+  std::unique_ptr<bool[]> all_free;
+  pps::DispatchContext ctx;
+};
+
+sim::Cell ProbeCell(sim::PortId input, sim::PortId output) {
+  sim::Cell cell;
+  cell.input = input;
+  cell.output = output;
+  cell.arrival = 0;
+  return cell;
+}
+
+// Plane the demultiplexor would choose next for (input -> output), without
+// mutating it.
+sim::PlaneId Peek(const pps::Demultiplexor& demux, sim::PortId input,
+                  sim::PortId output, ProbeEnv& env) {
+  auto clone = demux.Clone();
+  return clone->Dispatch(ProbeCell(input, output), env.ctx).plane;
+}
+
+struct CandidateAlignment {
+  std::vector<sim::PortId> aligned;
+  std::vector<int> probes;  // per aligned input
+  int total_probes = 0;
+};
+
+CandidateAlignment TryAlign(const pps::SwitchConfig& config,
+                            const pps::DemuxFactory& factory,
+                            sim::PortId output, sim::PlaneId target,
+                            int max_probes, ProbeEnv& env) {
+  CandidateAlignment result;
+  for (sim::PortId i = 0; i < config.num_ports; ++i) {
+    auto demux = factory(i);
+    demux->Reset(config, i);
+    SIM_CHECK(demux->info_model() == pps::InfoModel::kFullyDistributed,
+              "the alignment adversary targets fully-distributed "
+              "algorithms; got "
+                  << demux->name());
+    int m = 0;
+    bool ok = false;
+    while (m <= max_probes) {
+      if (Peek(*demux, i, output, env) == target) {
+        ok = true;
+        break;
+      }
+      demux->Dispatch(ProbeCell(i, output), env.ctx);
+      ++m;
+    }
+    if (ok) {
+      result.aligned.push_back(i);
+      result.probes.push_back(m);
+      result.total_probes += m;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+AlignmentPlan BuildAlignmentTraffic(const pps::SwitchConfig& config,
+                                    const pps::DemuxFactory& factory,
+                                    const AlignmentOptions& options) {
+  config.Validate();
+  SIM_CHECK(options.target_output >= 0 &&
+                options.target_output < config.num_ports,
+            "bad target output");
+  ProbeEnv env(config);
+  const sim::PortId j = options.target_output;
+  const sim::Slot rp = config.rate_ratio;
+
+  // Pick the plane that the most demultiplexors can be aligned to (the
+  // d-partition maximiser of Theorem 6 / the pigeonhole plane of
+  // Theorem 8).  Ties break toward fewer alignment cells.
+  sim::PlaneId best_plane = options.forced_plane;
+  CandidateAlignment best;
+  if (options.search_planes) {
+    for (sim::PlaneId k = 0; k < config.num_planes; ++k) {
+      CandidateAlignment cand = TryAlign(config, factory, j, k,
+                                         options.max_probes_per_input, env);
+      if (cand.aligned.size() > best.aligned.size() ||
+          (cand.aligned.size() == best.aligned.size() &&
+           cand.total_probes < best.total_probes)) {
+        best = std::move(cand);
+        best_plane = k;
+      }
+    }
+  } else {
+    best = TryAlign(config, factory, j, options.forced_plane,
+                    options.max_probes_per_input, env);
+  }
+  SIM_CHECK(!best.aligned.empty(),
+            "alignment failed for every input (max_probes too small?)");
+
+  if (options.burst_limit > 0 &&
+      static_cast<std::size_t>(options.burst_limit) < best.aligned.size()) {
+    best.aligned.resize(static_cast<std::size_t>(options.burst_limit));
+    best.probes.resize(static_cast<std::size_t>(options.burst_limit));
+    best.total_probes = 0;
+    for (int p : best.probes) best.total_probes += p;
+  }
+
+  AlignmentPlan plan;
+  plan.target_output = j;
+  plan.target_plane = best_plane;
+  plan.aligned_inputs = best.aligned;
+  plan.probes_used = best.total_probes;
+
+  // Phase 1: sequential alignment traffic (the A_i of Figure 2), one cell
+  // per r' slots so every arrival sees all input lines free and the rate
+  // toward output j never exceeds 1/r' <= R.
+  sim::Slot cursor = 0;
+  for (std::size_t a = 0; a < best.aligned.size(); ++a) {
+    const sim::PortId i = best.aligned[a];
+    for (int m = 0; m < best.probes[a]; ++m) {
+      plan.trace.Add(cursor, i, j);
+      cursor += rp;
+    }
+  }
+
+  // Phase 2: quiet period until all plane buffers drain.  Every alignment
+  // cell is gone after at most (cells so far) * r' slots of silence.
+  cursor += static_cast<sim::Slot>(best.total_probes) * rp + rp +
+            options.extra_gap;
+
+  // Phase 3: the concentration burst — d cells destined for j in d
+  // consecutive slots, one per aligned input (leaky-bucket with B = 0).
+  plan.burst_start = cursor;
+  for (const sim::PortId i : best.aligned) {
+    plan.trace.Add(cursor, i, j);
+    ++cursor;
+  }
+  plan.burst_end = cursor;
+
+  // Phase 4: jitter probe — after the burst drains, the flow that suffered
+  // the maximal delay sends one cell through an empty switch (delay 0), so
+  // its jitter equals the burst cell's delay (Lemma 4(2)).
+  if (options.jitter_probe) {
+    cursor += static_cast<sim::Slot>(best.aligned.size()) * rp + rp +
+              options.extra_gap;
+    plan.trace.Add(cursor, best.aligned.back(), j);
+  }
+
+  plan.trace.Normalize();
+  plan.trace.Validate(config.num_ports);
+  return plan;
+}
+
+}  // namespace core

@@ -1,0 +1,73 @@
+// The Theorem-6 adversary (Figure 2 of the paper): state-alignment traffic
+// for fully-distributed demultiplexing algorithms.
+//
+// Proof recipe, made constructive:
+//   1. For every input i, find traffic A_i that drives demultiplexor i
+//      into a state sigma_i from which its next cell destined for output j
+//      goes to the target plane k.  Because the algorithm is fully
+//      distributed and deterministic, this can be computed on a *clone* of
+//      the demultiplexor, feeding it probe cells one at a time with every
+//      input line free — exactly the situation the real run reproduces
+//      when alignment cells are spaced r' slots apart.
+//   2. Play the A_i sequentially (traffic "LB"), then send nothing until
+//      every plane buffer drains (fully-distributed demultiplexors do not
+//      change state without arrivals).
+//   3. Fire the concentration burst: the d aligned inputs send one cell
+//      each, destined for j, in d consecutive slots.  All d cells land in
+//      plane k, which can forward only one cell per r' slots to output j.
+//   4. (For jitter) after the burst drains, the worst-delayed flow sends
+//      one more cell through an empty switch: its delay is 0, so the
+//      flow's jitter equals the burst cell's delay.
+//
+// The resulting traffic is leaky-bucket with B = 0: cells destined for j
+// are sent at most one per slot, and each input sends at most one cell per
+// slot.  (Verified by traffic::BurstinessMeter in the tests.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "switch/config.h"
+#include "switch/demux_iface.h"
+#include "traffic/trace.h"
+
+namespace core {
+
+struct AlignmentPlan {
+  traffic::Trace trace;
+  sim::PortId target_output = 0;
+  sim::PlaneId target_plane = 0;
+  std::vector<sim::PortId> aligned_inputs;  // the d burst senders
+  sim::Slot burst_start = 0;                // first slot of the burst
+  sim::Slot burst_end = 0;                  // one past the last burst slot
+  int probes_used = 0;                      // alignment cells injected
+
+  int d() const { return static_cast<int>(aligned_inputs.size()); }
+};
+
+struct AlignmentOptions {
+  sim::PortId target_output = 0;
+  // Give up aligning an input after this many probe cells (covers
+  // partitioned algorithms whose state can never reach some planes).
+  int max_probes_per_input = 256;
+  // Try every plane and keep the one aligning the most inputs when true;
+  // otherwise use only plane `forced_plane`.
+  bool search_planes = true;
+  sim::PlaneId forced_plane = 0;
+  // Extra quiet slots appended after the drain gap (safety margin).
+  sim::Slot extra_gap = 8;
+  // Append the post-burst jitter probe cell.
+  bool jitter_probe = true;
+  // Fire only the first `burst_limit` aligned inputs in the concentration
+  // burst (0 = all of them).  Used to sweep the concentration size c of
+  // Lemma 4 independently of how many inputs could be aligned.
+  int burst_limit = 0;
+};
+
+// Builds the Theorem-6 traffic for the algorithm produced by `factory`.
+// The factory must produce fully-distributed demultiplexors (checked).
+AlignmentPlan BuildAlignmentTraffic(const pps::SwitchConfig& config,
+                                    const pps::DemuxFactory& factory,
+                                    const AlignmentOptions& options = {});
+
+}  // namespace core

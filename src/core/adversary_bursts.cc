@@ -1,0 +1,129 @@
+#include "core/adversary_bursts.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <unordered_map>
+
+#include "core/bounds.h"
+#include "sim/error.h"
+#include "switch/pps.h"
+#include "traffic/trace.h"
+
+namespace core {
+
+StaleBurstPlan BuildStaleBurstTraffic(const pps::SwitchConfig& config,
+                                      const StaleBurstOptions& options) {
+  config.Validate();
+  SIM_CHECK(options.u >= 1, "Theorem 10 needs u >= 1");
+  const sim::PortId j = options.target_output;
+  const int n = config.num_ports;
+
+  const double ue_raw = bounds::EffectiveU(options.u, config.rate_ratio);
+  const int ue = std::max(1, static_cast<int>(std::floor(ue_raw)));
+  // m = u'^2 N / K cells, at most one per input so every sender is fresh
+  // (its input lines are all free and it carries no burst history).
+  const int m = std::min(
+      n, std::max(ue, static_cast<int>(std::floor(
+                          static_cast<double>(ue) * ue * n /
+                          config.num_planes))));
+  const int per_slot = (m + ue - 1) / ue;  // ceil(m / u') senders per slot
+
+  StaleBurstPlan plan;
+  plan.target_output = j;
+  plan.burst_window = ue;
+  plan.burst_cells = m;
+
+  // Idle warm-up: long enough that the pre-burst snapshot (empty switch)
+  // is what every u-RT decision during the burst sees.
+  const sim::Slot start = std::max<sim::Slot>(options.warmup, options.u + 1);
+  plan.burst_start = start;
+
+  int fired = 0;
+  sim::Slot slot = start;
+  sim::PortId next_input = 0;
+  while (fired < m) {
+    for (int g = 0; g < per_slot && fired < m; ++g) {
+      plan.trace.Add(slot, next_input, j);
+      next_input = static_cast<sim::PortId>((next_input + 1) % n);
+      ++fired;
+    }
+    ++slot;
+  }
+  plan.burst_end = slot;
+
+  if (options.jitter_probe) {
+    // Wait for the concentrated burst to drain, then send one cell from
+    // the last burst flow through an empty switch.
+    const sim::Slot gap =
+        static_cast<sim::Slot>(m) * config.rate_ratio + config.rate_ratio + 8;
+    const sim::PortId probe_input =
+        static_cast<sim::PortId>((next_input + n - 1) % n);
+    plan.trace.Add(slot + gap, probe_input, j);
+  }
+
+  plan.trace.Normalize();
+  plan.trace.Validate(config.num_ports);
+  return plan;
+}
+
+CongestionPlan BuildCongestionTraffic(const pps::SwitchConfig& config,
+                                      const CongestionOptions& options) {
+  config.Validate();
+  const sim::PortId j = options.target_output;
+  const int n = config.num_ports;
+
+  CongestionPlan plan;
+  plan.target_output = j;
+
+  // Flood: all N inputs send to j every slot.  This violates any (R, B)
+  // envelope once flood_slots * (N - 1) > B — Proposition 15 in action.
+  sim::Slot slot = 0;
+  for (; slot < options.flood_slots; ++slot) {
+    for (sim::PortId i = 0; i < n; ++i) plan.trace.Add(slot, i, j);
+  }
+  plan.flood_end = slot;
+
+  // Sustain: one cell per slot toward j (exactly the output line rate), so
+  // the backlog accumulated by the flood never drains and every plane
+  // queue stays backlogged under a spreading (FTD) demultiplexor.
+  for (sim::Slot s = 0; s < options.sustain_slots; ++s, ++slot) {
+    plan.trace.Add(slot, static_cast<sim::PortId>(s % n), j);
+  }
+  plan.sustain_end = slot;
+
+  plan.trace.Normalize();
+  plan.trace.Validate(config.num_ports);
+  return plan;
+}
+
+double MeasureCongestedFraction(const pps::SwitchConfig& config,
+                                const pps::DemuxFactory& factory,
+                                const CongestionPlan& plan) {
+  pps::BufferlessPps sw(config, factory);
+  traffic::TraceTraffic source(plan.trace);
+  std::unordered_map<sim::FlowId, std::uint64_t> seq;
+  sim::CellId next_id = 0;
+  sim::Slot congested = 0;
+  const sim::Slot window = plan.sustain_end - plan.flood_end;
+  SIM_CHECK(window > 0, "empty sustained window");
+  for (sim::Slot t = 0; t < plan.sustain_end; ++t) {
+    for (const auto& a : source.ArrivalsAt(t)) {
+      sim::Cell cell;
+      cell.id = next_id++;
+      cell.input = a.input;
+      cell.output = a.output;
+      cell.seq = seq[sim::MakeFlowId(a.input, a.output,
+                                     config.num_ports)]++;
+      sw.Inject(cell, t);
+    }
+    bool hot_output_served = false;
+    for (const sim::Cell& cell : sw.Advance(t)) {
+      if (cell.output == plan.target_output) hot_output_served = true;
+    }
+    if (t >= plan.flood_end && hot_output_served) ++congested;
+  }
+  return static_cast<double>(congested) / static_cast<double>(window);
+}
+
+}  // namespace core

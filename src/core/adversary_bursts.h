@@ -1,0 +1,77 @@
+// Burst-based adversaries: the Theorem-10 construction against u-RT
+// algorithms and the Theorem-14 congestion traffic.
+#pragma once
+
+#include "switch/config.h"
+#include "switch/demux_iface.h"
+#include "traffic/trace.h"
+
+namespace core {
+
+// --- Theorem 10: stale-information burst ------------------------------------
+//
+// A u-RT demultiplexor decides on global information at least u slots old.
+// The adversary first leaves the switch idle (so the stale snapshots show
+// empty planes), then fires a burst of m = u'^2 N/K cells destined for one
+// output within u' slots (u' = min(u, r'/2)), from distinct inputs.  No
+// demultiplexor can see the burst in the global state before it ends, and
+// identical stale views drive them to concentrate cells in few planes.
+// The burstiness of this traffic is exactly the theorem's
+// B = u'^2 N/K - u' budget (capped at what N distinct inputs can emit).
+struct StaleBurstPlan {
+  traffic::Trace trace;
+  sim::PortId target_output = 0;
+  sim::Slot burst_start = 0;
+  sim::Slot burst_end = 0;
+  int burst_cells = 0;
+  int burst_window = 0;  // u' in slots
+};
+
+struct StaleBurstOptions {
+  sim::PortId target_output = 0;
+  int u = 1;                 // the algorithm's information delay
+  sim::Slot warmup = 0;      // idle slots before the burst (>= u + 1 forced)
+  bool jitter_probe = true;
+};
+
+StaleBurstPlan BuildStaleBurstTraffic(const pps::SwitchConfig& config,
+                                      const StaleBurstOptions& options);
+
+// --- Theorem 14 / Proposition 15: congestion traffic ------------------------
+//
+// A period is congested for output j if *all* plane queues toward j are
+// continuously backlogged.  The adversary floods j from all N inputs for
+// `flood_slots` (rate N >> R — deliberately NOT leaky-bucket,
+// Proposition 15), then sustains exactly one cell per slot toward j for
+// `sustain_slots`, keeping the backlog constant while the output line
+// drains at R.
+struct CongestionPlan {
+  traffic::Trace trace;
+  sim::PortId target_output = 0;
+  sim::Slot flood_end = 0;     // end of the warm-up flood
+  sim::Slot sustain_end = 0;   // end of the congested period
+};
+
+struct CongestionOptions {
+  sim::PortId target_output = 0;
+  sim::Slot flood_slots = 8;
+  sim::Slot sustain_slots = 256;
+};
+
+CongestionPlan BuildCongestionTraffic(const pps::SwitchConfig& config,
+                                      const CongestionOptions& options);
+
+// Certifies the operative content of Theorem 14's congested period:
+// replays the plan against a fresh PPS built from `factory` and returns,
+// over the sustained window [flood_end, sustain_end), the fraction of
+// slots in which the target output actually emitted a cell.  1.0 means
+// the hot output never idled — the PPS served it exactly like the
+// work-conserving reference, which is why no relative queuing delay
+// accrues.  (In this fabric the flood backlog migrates from the plane
+// queues into the output staging buffer as planes deliver eagerly; the
+// never-idle property is the invariant that survives that migration.)
+double MeasureCongestedFraction(const pps::SwitchConfig& config,
+                                const pps::DemuxFactory& factory,
+                                const CongestionPlan& plan);
+
+}  // namespace core

@@ -1,0 +1,69 @@
+#include "core/adversary_search.h"
+
+#include <vector>
+
+#include "core/harness.h"
+#include "sim/error.h"
+#include "switch/pps.h"
+
+namespace core {
+namespace {
+
+// Replays one choice sequence (choice[t] in [0, N]: N = silent, otherwise
+// the firing input) and returns the measured worst relative delay.
+sim::Slot Evaluate(const pps::SwitchConfig& config,
+                   const pps::DemuxFactory& factory,
+                   const std::vector<int>& choices,
+                   const SearchOptions& options, traffic::Trace* out_trace) {
+  traffic::Trace trace;
+  for (std::size_t t = 0; t < choices.size(); ++t) {
+    if (choices[t] < config.num_ports) {
+      trace.Add(static_cast<sim::Slot>(t),
+                static_cast<sim::PortId>(choices[t]), options.target_output);
+    }
+  }
+  if (trace.empty()) return 0;
+  trace.Normalize();
+  pps::BufferlessPps sw(config, factory);
+  traffic::TraceTraffic src(trace);
+  RunOptions ropt;
+  ropt.max_slots = static_cast<sim::Slot>(choices.size()) +
+                   options.drain_tail;
+  const RunResult result = RunRelative(sw, src, ropt);
+  if (out_trace != nullptr) *out_trace = trace;
+  return result.max_relative_delay;
+}
+
+}  // namespace
+
+SearchResult ExhaustiveWorstCase(const pps::SwitchConfig& config,
+                                 const pps::DemuxFactory& factory,
+                                 const SearchOptions& options) {
+  config.Validate();
+  SIM_CHECK(config.num_ports <= 5 && options.horizon <= 12,
+            "exhaustive search is exponential; keep N <= 5, horizon <= 12");
+  const int branching = config.num_ports + 1;
+
+  SearchResult best;
+  std::vector<int> choices(static_cast<std::size_t>(options.horizon), 0);
+  // Odometer enumeration of all (N+1)^horizon sequences.
+  while (true) {
+    const sim::Slot rqd = Evaluate(config, factory, choices, options,
+                                   /*out_trace=*/nullptr);
+    ++best.traces_tried;
+    if (rqd > best.worst_rqd) {
+      best.worst_rqd = rqd;
+      Evaluate(config, factory, choices, options, &best.witness);
+    }
+    int pos = 0;
+    while (pos < options.horizon &&
+           ++choices[static_cast<std::size_t>(pos)] == branching) {
+      choices[static_cast<std::size_t>(pos)] = 0;
+      ++pos;
+    }
+    if (pos == options.horizon) break;
+  }
+  return best;
+}
+
+}  // namespace core

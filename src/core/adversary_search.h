@@ -1,0 +1,40 @@
+// Exhaustive worst-case search for tiny switches: the ground truth the
+// constructed adversaries are checked against.
+//
+// For a bufferless PPS with a deterministic demultiplexing algorithm and
+// burst-free single-output traffic (at most one cell destined for the
+// target output per slot — the B = 0 regime of Theorems 6/8), this
+// enumerates EVERY arrival sequence of bounded length, replays each
+// against the PPS and the shadow switch, and returns the exact worst-case
+// relative queuing delay.  Exponential, so only for N <= 4 and short
+// horizons — but on those instances it certifies that the alignment
+// adversary (core/adversary_alignment.h) is optimal, not merely feasible.
+#pragma once
+
+#include "switch/config.h"
+#include "switch/demux_iface.h"
+#include "traffic/trace.h"
+
+namespace core {
+
+struct SearchResult {
+  sim::Slot worst_rqd = 0;
+  traffic::Trace witness;       // a trace attaining worst_rqd
+  std::uint64_t traces_tried = 0;
+};
+
+struct SearchOptions {
+  sim::PortId target_output = 0;
+  // Traffic length in decision slots; each slot chooses one of
+  // {no cell, input 0 fires, ..., input N-1 fires} toward the target
+  // output, so the search explores (N+1)^horizon sequences.
+  int horizon = 8;
+  // Idle slots appended before measuring, so the switch drains.
+  sim::Slot drain_tail = 64;
+};
+
+SearchResult ExhaustiveWorstCase(const pps::SwitchConfig& config,
+                                 const pps::DemuxFactory& factory,
+                                 const SearchOptions& options = {});
+
+}  // namespace core

@@ -1,0 +1,60 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+
+namespace core::bounds {
+
+double Lemma4(int c, int rate_ratio, int window, int burstiness) {
+  return static_cast<double>(c) * rate_ratio - (window + burstiness);
+}
+
+double Theorem6(int rate_ratio, int d) {
+  return static_cast<double>(rate_ratio - 1) * d;
+}
+
+double Corollary7(int rate_ratio, int num_ports) {
+  return Theorem6(rate_ratio, num_ports);
+}
+
+double Theorem8(int rate_ratio, int num_ports, double speedup) {
+  return static_cast<double>(rate_ratio - 1) * num_ports / speedup;
+}
+
+double EffectiveU(int u, int rate_ratio) {
+  return std::min(static_cast<double>(u), rate_ratio / 2.0);
+}
+
+double Theorem10(int u, int rate_ratio, int num_ports, double speedup) {
+  const double ue = EffectiveU(u, rate_ratio);
+  return (1.0 - ue / rate_ratio) * ue * num_ports / speedup;
+}
+
+double Theorem10Burstiness(int u, int rate_ratio, int num_ports,
+                           int num_planes) {
+  const double ue = EffectiveU(u, rate_ratio);
+  return ue * ue * num_ports / num_planes - ue;
+}
+
+double Corollary11(int rate_ratio, int num_ports, double speedup) {
+  return (1.0 - 1.0 / rate_ratio) * num_ports / speedup;
+}
+
+double Theorem12Upper(int u) { return static_cast<double>(u); }
+
+double Theorem13(int rate_ratio, int num_ports, double speedup) {
+  return (1.0 - 1.0 / rate_ratio) * num_ports / speedup;
+}
+
+double ConventionSlack(int rate_ratio) {
+  return static_cast<double>(rate_ratio - 1);
+}
+
+double IyerMcKeownUpper(int rate_ratio, int num_ports) {
+  return static_cast<double>(num_ports) * rate_ratio;
+}
+
+double FtdLower(int rate_ratio, int num_ports) {
+  return 2.0 * num_ports * rate_ratio;
+}
+
+}  // namespace core::bounds

@@ -1,0 +1,205 @@
+#include "core/harness.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "sim/error.h"
+
+namespace core {
+namespace {
+
+// Per-flow min/max tracker for jitter computation.
+struct MinMax {
+  sim::Slot min = 0;
+  sim::Slot max = 0;
+  bool seen = false;
+
+  void Add(sim::Slot v) {
+    if (!seen) {
+      min = max = v;
+      seen = true;
+    } else {
+      min = std::min(min, v);
+      max = std::max(max, v);
+    }
+  }
+};
+
+// A cell in flight in at least one of the two switches.  Entries are
+// erased as soon as both departures are known, so memory stays bounded by
+// the larger of the two backlogs rather than the run length.
+struct PendingCell {
+  sim::Slot arrival = sim::kNoSlot;
+  sim::PortId input = sim::kNoPort;
+  sim::PortId output = sim::kNoPort;
+  sim::Slot pps_delay = sim::kNoSlot;
+  sim::Slot shadow_delay = sim::kNoSlot;
+};
+
+// Shared implementation over the fabric types: they expose the same
+// Inject/Advance/Drained/config surface.
+template <typename PpsT>
+RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
+                  const RunOptions& options) {
+  const auto& config = pps.config();
+  const sim::PortId n = config.num_ports;
+
+  pps::OutputQueuedSwitch shadow(n);
+  traffic::BurstinessMeter meter(n);
+
+  sim::LatencyRecorder pps_rec;
+  sim::LatencyRecorder oq_rec;
+  pps_rec.set_num_ports(n);
+  oq_rec.set_num_ports(n);
+
+  std::unordered_map<sim::FlowId, std::uint64_t> seq;
+  std::unordered_map<sim::CellId, PendingCell> pending;
+  std::unordered_map<sim::FlowId, MinMax> jitter_pps, jitter_oq;
+  sim::CellId next_id = 0;
+
+  RunResult result;
+
+  auto finalize = [&](sim::CellId id, PendingCell& cell) {
+    const sim::Slot rel = cell.pps_delay - cell.shadow_delay;
+    result.relative_delay.Add(rel);
+    result.max_relative_delay = std::max(result.max_relative_delay, rel);
+    if (options.keep_timeline) {
+      result.timeline.push_back({cell.arrival, rel, cell.input, cell.output});
+    }
+    const sim::FlowId flow = sim::MakeFlowId(cell.input, cell.output, n);
+    jitter_pps[flow].Add(cell.pps_delay);
+    jitter_oq[flow].Add(cell.shadow_delay);
+    pending.erase(id);
+  };
+
+  sim::Slot exhausted_at = sim::kNoSlot;
+  sim::Slot t = 0;
+  for (; t < options.max_slots; ++t) {
+    const bool cut =
+        options.source_cutoff > 0 && t >= options.source_cutoff;
+    std::vector<sim::Arrival> arrivals =
+        cut ? std::vector<sim::Arrival>{} : source.ArrivalsAt(t);
+    std::sort(arrivals.begin(), arrivals.end());
+    for (std::size_t a = 0; a < arrivals.size(); ++a) {
+      if (a > 0) {
+        SIM_CHECK(arrivals[a].input != arrivals[a - 1].input,
+                  "source emitted two cells on input " << arrivals[a].input
+                                                       << " in slot " << t);
+      }
+      sim::Cell cell;
+      cell.id = next_id++;
+      cell.input = arrivals[a].input;
+      cell.output = arrivals[a].output;
+      cell.seq = seq[sim::MakeFlowId(cell.input, cell.output, n)]++;
+      cell.arrival = t;
+      meter.Record(t, cell.input, cell.output);
+      pending.emplace(cell.id,
+                      PendingCell{t, cell.input, cell.output,
+                                  sim::kNoSlot, sim::kNoSlot});
+      pps.Inject(cell, t);
+      shadow.Inject(cell, t);
+      ++result.cells;
+    }
+
+    for (const sim::Cell& cell : pps.Advance(t)) {
+      pps_rec.Record(cell);
+      auto it = pending.find(cell.id);
+      SIM_CHECK(it != pending.end(), "unknown departure " << cell);
+      it->second.pps_delay = cell.delay();
+      if (it->second.shadow_delay != sim::kNoSlot) {
+        finalize(cell.id, it->second);
+      }
+    }
+    for (const sim::Cell& cell : shadow.Advance(t)) {
+      oq_rec.Record(cell);
+      auto it = pending.find(cell.id);
+      SIM_CHECK(it != pending.end(), "unknown shadow departure " << cell);
+      it->second.shadow_delay = cell.delay();
+      if (it->second.pps_delay != sim::kNoSlot) {
+        finalize(cell.id, it->second);
+      }
+    }
+
+    if (exhausted_at == sim::kNoSlot &&
+        (cut || source.Exhausted(t + 1))) {
+      exhausted_at = t + 1;
+    }
+    if (exhausted_at != sim::kNoSlot) {
+      const bool drained = pps.Drained() && shadow.Drained();
+      if (drained) {
+        result.drained = true;
+        ++t;
+        break;
+      }
+      if (options.drain_grace > 0 && t - exhausted_at >= options.drain_grace) {
+        ++t;
+        break;
+      }
+    }
+  }
+  result.duration = t;
+  result.drained = pps.Drained() && shadow.Drained();
+  result.traffic_burstiness = meter.OutputBurstiness();
+  result.order_preserved = pps_rec.order_preserved();
+  result.resequencing_stalls = pps.resequencing_stalls();
+  result.pps_delay = pps_rec.delay_stats();
+  result.shadow_delay = oq_rec.delay_stats();
+
+  for (const auto& [flow, mm] : jitter_pps) {
+    if (!mm.seen) continue;
+    const auto& qq = jitter_oq.at(flow);
+    const sim::Slot jp = mm.max - mm.min;
+    const sim::Slot jq = qq.max - qq.min;
+    result.max_relative_jitter =
+        std::max(result.max_relative_jitter, jp - jq);
+  }
+  if (options.keep_timeline) {
+    std::sort(result.timeline.begin(), result.timeline.end(),
+              [](const CellRelative& a, const CellRelative& b) {
+                return a.arrival < b.arrival;
+              });
+  }
+  return result;
+}
+
+}  // namespace
+
+sim::Slot RunResult::MaxRelativeDelayIn(sim::Slot from, sim::Slot to) const {
+  sim::Slot best = 0;
+  for (const CellRelative& c : timeline) {
+    if (c.arrival >= from && c.arrival < to) {
+      best = std::max(best, c.relative_delay);
+    }
+  }
+  return best;
+}
+
+RunResult RunRelative(pps::BufferlessPps& pps, traffic::TrafficSource& source,
+                      const RunOptions& options) {
+  return RunImpl(pps, source, options);
+}
+
+RunResult RunRelative(pps::InputBufferedPps& pps,
+                      traffic::TrafficSource& source,
+                      const RunOptions& options) {
+  return RunImpl(pps, source, options);
+}
+
+RunResult RunRelative(cioq::CioqSwitch& sw, traffic::TrafficSource& source,
+                      const RunOptions& options) {
+  return RunImpl(sw, source, options);
+}
+
+std::string Summarize(const RunResult& result) {
+  std::ostringstream os;
+  os << "cells=" << result.cells << " slots=" << result.duration
+     << (result.drained ? "" : " UNDRAINED") << " B=" << result.traffic_burstiness
+     << " maxRQD=" << result.max_relative_delay
+     << " maxRDJ=" << result.max_relative_jitter
+     << " meanRQD=" << result.relative_delay.mean()
+     << (result.order_preserved ? "" : " ORDER-VIOLATION");
+  return os.str();
+}
+
+}  // namespace core

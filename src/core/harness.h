@@ -1,0 +1,99 @@
+// The relative-delay harness: the paper's measurement methodology made
+// executable.
+//
+// Section 1.1: "The switch used for the comparison is called a shadow
+// switch ... it receives exactly the same stream of flows as the PPS;
+// namely, at any given time, the two switches receive the same cells, with
+// the same destinations, on the same input-ports."
+//
+// The harness drives a PPS (bufferless or input-buffered) and an ideal
+// FCFS output-queued switch with identical cells — same ids, sequence
+// numbers and arrival slots — and reports:
+//   * relative queuing delay:  max over cells of delay_PPS - delay_OQ;
+//   * relative delay jitter:   max over flows of jitter_PPS - jitter_OQ
+//     (jitter = max - min delay among the flow's cells);
+// plus distributional statistics, traffic burstiness (measured exactly),
+// and model audits (order preservation, no constraint violations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cioq/cioq_switch.h"
+#include "sim/cell.h"
+#include "sim/latency_recorder.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+#include "switch/input_buffered_pps.h"
+#include "switch/output_queued.h"
+#include "switch/pps.h"
+#include "traffic/leaky_bucket.h"
+#include "traffic/source.h"
+
+namespace core {
+
+struct RunOptions {
+  // Hard cap on simulated slots (safety against non-draining runs).
+  sim::Slot max_slots = 1'000'000;
+  // Stop offering arrivals at this slot even if the source is infinite
+  // (0 = pull until the source reports Exhausted).  Lets stochastic
+  // sources terminate cleanly so the switches can drain.
+  sim::Slot source_cutoff = 0;
+  // Stop this many slots after the source is exhausted even if not
+  // drained (0 = run until drained or max_slots).
+  sim::Slot drain_grace = 0;
+  // Record (arrival, relative delay) per cell for windowed analyses
+  // (e.g. Theorem 14's congested-period measurement).
+  bool keep_timeline = false;
+};
+
+struct CellRelative {
+  sim::Slot arrival;
+  sim::Slot relative_delay;
+  sim::PortId input;
+  sim::PortId output;
+};
+
+struct RunResult {
+  std::uint64_t cells = 0;
+  sim::Slot duration = 0;      // slots simulated
+  bool drained = false;        // both switches empty at the end
+
+  sim::Slot max_relative_delay = 0;
+  sim::Slot max_relative_jitter = 0;
+  sim::OnlineStats relative_delay;  // distribution over cells
+  sim::OnlineStats pps_delay;
+  sim::OnlineStats shadow_delay;
+
+  // Exact minimal burstiness B of the offered traffic (Definition 3).
+  std::int64_t traffic_burstiness = 0;
+
+  // Audits.
+  bool order_preserved = true;
+  std::uint64_t resequencing_stalls = 0;
+
+  std::vector<CellRelative> timeline;  // only if keep_timeline
+
+  // Maximum relative delay among cells arriving in [from, to).
+  sim::Slot MaxRelativeDelayIn(sim::Slot from, sim::Slot to) const;
+};
+
+// Runs `source` through a bufferless PPS and its shadow OQ switch.
+RunResult RunRelative(pps::BufferlessPps& pps, traffic::TrafficSource& source,
+                      const RunOptions& options = {});
+
+// Same for the input-buffered variant.
+RunResult RunRelative(pps::InputBufferedPps& pps,
+                      traffic::TrafficSource& source,
+                      const RunOptions& options = {});
+
+// And for the related-work CIOQ crossbar switch (cioq/), which exposes the
+// same Inject/Advance/Drained surface.
+RunResult RunRelative(cioq::CioqSwitch& sw, traffic::TrafficSource& source,
+                      const RunOptions& options = {});
+
+// Human-readable one-line summary.
+std::string Summarize(const RunResult& result);
+
+}  // namespace core

@@ -1,0 +1,64 @@
+// Parallel sweep helper: runs independent simulations on worker threads.
+//
+// The simulation core is single-threaded by design (slot-synchronous
+// semantics), but experiment sweeps are embarrassingly parallel: each
+// (N, K, r', u, algorithm) grid point is its own fabric, its own traffic
+// and its own harness.  ParallelMap evaluates `fn` over an index range on
+// up to `workers` std::jthread workers and collects the results in input
+// order.  Exceptions propagate: the first worker exception is rethrown on
+// the caller thread.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace core {
+
+template <typename Result>
+std::vector<Result> ParallelMap(std::size_t count,
+                                const std::function<Result(std::size_t)>& fn,
+                                unsigned workers = 0) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  std::vector<Result> results(count);
+  if (count == 0) return results;
+  if (workers == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  {
+    std::vector<std::jthread> pool;
+    const unsigned spawn =
+        static_cast<unsigned>(std::min<std::size_t>(workers, count));
+    pool.reserve(spawn);
+    for (unsigned w = 0; w < spawn; ++w) {
+      pool.emplace_back([&] {
+        while (true) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= count) return;
+          try {
+            results[i] = fn(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!error) error = std::current_exception();
+            return;
+          }
+        }
+      });
+    }
+  }  // jthreads join here
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+}  // namespace core

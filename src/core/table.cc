@@ -1,0 +1,107 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/error.h"
+
+namespace core {
+namespace {
+
+// Filesystem-safe slug from a table title.
+std::string Slugify(const std::string& title) {
+  std::string slug;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug += '-';
+    }
+    if (slug.size() >= 64) break;
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return slug.empty() ? "table" : slug;
+}
+
+}  // namespace
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  SIM_CHECK(cells.size() == headers_.size(),
+            "row width " << cells.size() << " != header width "
+                         << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule += std::string(width[c], '-') + "  ";
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+
+  // Optional machine-readable sink: if PPS_CSV_DIR is set, every printed
+  // table is also written there as <slug>.csv.
+  if (const char* dir = std::getenv("PPS_CSV_DIR"); dir != nullptr) {
+    const std::string path = std::string(dir) + "/" + Slugify(title_) +
+                             ".csv";
+    std::ofstream csv(path);
+    if (csv.good()) csv << ToCsv();
+  }
+}
+
+std::string Table::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Fmt(std::int64_t v) { return std::to_string(v); }
+std::string Fmt(std::uint64_t v) { return std::to_string(v); }
+std::string Fmt(int v) { return std::to_string(v); }
+
+std::string Fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string FmtRatio(double measured, double bound) {
+  if (bound == 0.0) return measured == 0.0 ? "1.00" : "inf";
+  return Fmt(measured / bound, 2);
+}
+
+}  // namespace core

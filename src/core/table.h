@@ -1,0 +1,38 @@
+// Plain-text experiment tables: aligned columns on stdout plus optional
+// CSV, so every benchmark binary prints rows in the shape the paper's
+// evaluation section would have.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace core {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  // Convenience: mixed cells via Fmt helpers below.
+  void AddRow(std::vector<std::string> cells);
+
+  void Print(std::ostream& os) const;
+  std::string ToCsv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers.
+std::string Fmt(std::int64_t v);
+std::string Fmt(std::uint64_t v);
+std::string Fmt(int v);
+std::string Fmt(double v, int precision = 2);
+std::string FmtRatio(double measured, double bound);
+
+}  // namespace core

@@ -1,0 +1,207 @@
+#include "demux/buffered.h"
+
+#include <algorithm>
+
+#include "sim/error.h"
+
+namespace demux {
+namespace {
+
+// Local mutable copy of the free-line view, so one Decide call can launch
+// several cells without reusing a line.
+std::vector<bool> CopyFree(std::span<const bool> free) {
+  return std::vector<bool>(free.begin(), free.end());
+}
+
+}  // namespace
+
+void BufferedRoundRobinDemux::Reset(const pps::SwitchConfig& config,
+                                    sim::PortId input) {
+  (void)input;
+  num_planes_ = config.num_planes;
+  pointer_.assign(static_cast<std::size_t>(config.num_ports), 0);
+}
+
+pps::BufferedDecision BufferedRoundRobinDemux::Decide(
+    const pps::BufferedContext& ctx) {
+  pps::BufferedDecision decision;
+  decision.buffered.assign(ctx.buffer.size(), pps::DispatchDecision{});
+  std::vector<bool> avail = CopyFree(ctx.input_link_free);
+
+  auto try_launch = [&](sim::PortId output) -> sim::PlaneId {
+    int& p = pointer_[static_cast<std::size_t>(output)];
+    for (int step = 0; step < num_planes_; ++step) {
+      const int k = (p + step) % num_planes_;
+      if (!avail[static_cast<std::size_t>(k)]) continue;
+      avail[static_cast<std::size_t>(k)] = false;
+      p = (k + 1) % num_planes_;
+      return static_cast<sim::PlaneId>(k);
+    }
+    return sim::kNoPlane;
+  };
+
+  // Oldest first (buffer front), then the incoming cell.
+  for (std::size_t b = 0; b < ctx.buffer.size(); ++b) {
+    decision.buffered[b].plane = try_launch(ctx.buffer[b].output);
+  }
+  if (ctx.incoming != nullptr) {
+    decision.incoming.plane = try_launch(ctx.incoming->output);
+  }
+  return decision;
+}
+
+// --- CPA emulation ----------------------------------------------------------
+
+void CpaEmulationCore::Reset(const pps::SwitchConfig& config, int u) {
+  config_ = config;
+  u_ = u;
+  SIM_CHECK(u >= 0, "u must be >= 0");
+  SIM_CHECK(config.num_planes >= 2 * config.rate_ratio - 1,
+            "CPA emulation requires K >= 2r'-1 (speedup >= 2 - r/R)");
+  SIM_CHECK(config.plane_scheduling == pps::PlaneScheduling::kBooked,
+            "CPA emulation requires booked plane scheduling");
+  SIM_CHECK(config.input_buffer_size >= std::max(u, 1),
+            "Theorem 12 needs input buffers of at least u cells");
+  next_dep_.assign(static_cast<std::size_t>(config.num_ports), 0);
+  bookings_ = std::make_unique<pps::ReservationBank>(
+      config.num_planes, config.num_ports, config.rate_ratio);
+}
+
+CpaEmulationCore::Plan CpaEmulationCore::PlanFor(sim::PortId output,
+                                                 sim::Slot now) {
+  // The shadow FCFS departure, exactly as the bufferless CPA computes it.
+  sim::Slot& next = next_dep_[static_cast<std::size_t>(output)];
+  const sim::Slot dep = std::max(now, next);
+  next = dep + 1;
+  return {now + u_, dep + u_};
+}
+
+pps::DispatchDecision CpaEmulationCore::Assign(
+    sim::PortId output, const Plan& plan,
+    const std::vector<bool>& input_link_free) {
+  for (int k = 0; k < config_.num_planes; ++k) {
+    if (!input_link_free[static_cast<std::size_t>(k)]) continue;
+    if (bookings_->Conflicts(k, output, plan.booked)) continue;
+    bookings_->Reserve(k, output, plan.booked);
+    return {static_cast<sim::PlaneId>(k), plan.booked};
+  }
+  SIM_CHECK(false, "CPA emulation found no plane — speedup below 2 - r/R?");
+  return {};
+}
+
+void CpaEmulationCore::EndOfSlot(sim::Slot now) {
+  bookings_->ExpireBefore(now - config_.rate_ratio + 2);
+}
+
+void CpaEmulationDemux::Reset(const pps::SwitchConfig& config,
+                              sim::PortId input) {
+  input_ = input;
+  if (input == 0) core_->Reset(config, u_);
+  plans_.clear();
+}
+
+pps::BufferedDecision CpaEmulationDemux::Decide(
+    const pps::BufferedContext& ctx) {
+  pps::BufferedDecision decision;
+  decision.buffered.assign(ctx.buffer.size(), pps::DispatchDecision{});
+  std::vector<bool> avail = CopyFree(ctx.input_link_free);
+
+  // Launch buffered cells whose u-slot hold expired.  Launch order within
+  // the slot equals arrival order, so bookings per output are reserved in
+  // increasing order and the 2r'-1 counting argument applies unchanged.
+  for (std::size_t b = 0; b < ctx.buffer.size(); ++b) {
+    const sim::Cell& cell = ctx.buffer[b];
+    auto it = plans_.find(cell.id);
+    SIM_CHECK(it != plans_.end(), "buffered cell without a plan: " << cell);
+    if (it->second.launch > ctx.now) continue;
+    decision.buffered[b] = core_->Assign(cell.output, it->second, avail);
+    avail[static_cast<std::size_t>(decision.buffered[b].plane)] = false;
+    plans_.erase(it);
+  }
+
+  if (ctx.incoming != nullptr) {
+    const CpaEmulationCore::Plan plan =
+        core_->PlanFor(ctx.incoming->output, ctx.now);
+    if (plan.launch <= ctx.now) {
+      decision.incoming = core_->Assign(ctx.incoming->output, plan, avail);
+    } else {
+      plans_.emplace(ctx.incoming->id, plan);
+    }
+  }
+
+  // End-of-slot housekeeping, once per slot (done by the last input).
+  if (input_ == 0) core_->EndOfSlot(ctx.now);
+  return decision;
+}
+
+pps::BufferedDemuxFactory MakeCpaEmulationFactory(int u) {
+  auto core = std::make_shared<CpaEmulationCore>();
+  return [core, u](sim::PortId) -> std::unique_ptr<pps::BufferedDemultiplexor> {
+    return std::make_unique<CpaEmulationDemux>(core, u);
+  };
+}
+
+// --- Request-grant arbiter --------------------------------------------------
+
+void ArbiterCore::Reset(const pps::SwitchConfig& config, int u) {
+  u_ = u;
+  num_planes_ = config.num_planes;
+  rr_.assign(static_cast<std::size_t>(config.num_ports), 0);
+  grants_.clear();
+}
+
+void ArbiterCore::Request(sim::CellId cell, sim::PortId output,
+                          sim::Slot now) {
+  int& p = rr_[static_cast<std::size_t>(output)];
+  grants_[cell] = {now + u_, static_cast<sim::PlaneId>(p)};
+  p = (p + 1) % num_planes_;
+}
+
+sim::PlaneId ArbiterCore::GrantFor(sim::CellId cell, sim::Slot now) const {
+  auto it = grants_.find(cell);
+  if (it == grants_.end() || it->second.visible_at > now) return sim::kNoPlane;
+  return it->second.plane;
+}
+
+void ArbiterCore::Forget(sim::CellId cell) { grants_.erase(cell); }
+
+void RequestGrantDemux::Reset(const pps::SwitchConfig& config,
+                              sim::PortId input) {
+  input_ = input;
+  SIM_CHECK(u_ >= 0, "u must be >= 0");
+  if (input == 0) core_->Reset(config, u_);
+}
+
+pps::BufferedDecision RequestGrantDemux::Decide(
+    const pps::BufferedContext& ctx) {
+  pps::BufferedDecision decision;
+  decision.buffered.assign(ctx.buffer.size(), pps::DispatchDecision{});
+  std::vector<bool> avail = CopyFree(ctx.input_link_free);
+
+  auto try_launch = [&](const sim::Cell& cell) -> sim::PlaneId {
+    const sim::PlaneId k = core_->GrantFor(cell.id, ctx.now);
+    if (k == sim::kNoPlane) return sim::kNoPlane;  // grant still in flight
+    if (!avail[static_cast<std::size_t>(k)]) return sim::kNoPlane;
+    avail[static_cast<std::size_t>(k)] = false;
+    core_->Forget(cell.id);
+    return k;
+  };
+
+  for (std::size_t b = 0; b < ctx.buffer.size(); ++b) {
+    decision.buffered[b].plane = try_launch(ctx.buffer[b]);
+  }
+  if (ctx.incoming != nullptr) {
+    core_->Request(ctx.incoming->id, ctx.incoming->output, ctx.now);
+    decision.incoming.plane = try_launch(*ctx.incoming);
+  }
+  return decision;
+}
+
+pps::BufferedDemuxFactory MakeRequestGrantFactory(int u) {
+  auto core = std::make_shared<ArbiterCore>();
+  return [core, u](sim::PortId) -> std::unique_ptr<pps::BufferedDemultiplexor> {
+    return std::make_unique<RequestGrantDemux>(core, u);
+  };
+}
+
+}  // namespace demux

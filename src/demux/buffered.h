@@ -1,0 +1,166 @@
+// Demultiplexors for the input-buffered PPS (Section 4 of the paper).
+//
+//   * BufferedRoundRobinDemux — fully-distributed baseline: greedy,
+//     work-conserving at the input (launches the oldest buffered cells
+//     onto whatever lines are free, plane chosen per-output round-robin).
+//     Theorem 13's subject: no buffer size saves a fully-distributed
+//     algorithm from (1 - r/R) N/S relative queuing delay.
+//
+//   * CpaEmulationDemux — the Theorem-12 construction: a u-RT algorithm
+//     that holds every arriving cell for exactly u slots and then replays
+//     the centralized CPA decision, shifted u slots into the future.  The
+//     global information needed for the shifted decision (the FCFS
+//     departure order of cells that arrived at t) is u slots old by launch
+//     time, so the algorithm is u-RT; buffers of size u suffice (at most
+//     one cell arrives per slot), and every cell leaves exactly u slots
+//     after its shadow departure: relative queuing delay <= u.
+//
+//   * RequestGrantDemux — an arbitrated-crossbar-style u-RT algorithm
+//     (Tamir & Chi [22]): the input posts a request on arrival; a central
+//     arbiter answers after a round-trip of u slots with a plane grant
+//     (per-output round-robin over planes); the cell waits in the input
+//     buffer for its grant, then launches when its line frees up.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "switch/demux_iface.h"
+#include "switch/link.h"
+
+namespace demux {
+
+class BufferedRoundRobinDemux final : public pps::BufferedDemultiplexor {
+ public:
+  void Reset(const pps::SwitchConfig& config, sim::PortId input) override;
+  pps::BufferedDecision Decide(const pps::BufferedContext& ctx) override;
+  pps::InfoModel info_model() const override {
+    return pps::InfoModel::kFullyDistributed;
+  }
+  std::unique_ptr<pps::BufferedDemultiplexor> Clone() const override {
+    return std::make_unique<BufferedRoundRobinDemux>(*this);
+  }
+  std::string name() const override { return "buffered-rr"; }
+
+ private:
+  int num_planes_ = 0;
+  std::vector<int> pointer_;  // per output
+};
+
+// --- Theorem 12: CPA emulation with u-delayed information ------------------
+
+// Shared state of the emulated centralized scheduler.
+class CpaEmulationCore {
+ public:
+  void Reset(const pps::SwitchConfig& config, int u);
+
+  struct Plan {
+    sim::Slot launch;  // arrival + u
+    sim::Slot booked;  // shadow departure + u
+  };
+
+  // Called on arrival (order of calls = FCFS order of the shadow switch).
+  Plan PlanFor(sim::PortId output, sim::Slot now);
+
+  // Called at launch time: picks a plane for the planned booking.  The
+  // caller passes its current view of free input lines (already excluding
+  // lines it used earlier in the same slot).
+  pps::DispatchDecision Assign(sim::PortId output, const Plan& plan,
+                               const std::vector<bool>& input_link_free);
+
+  void EndOfSlot(sim::Slot now);
+  int u() const { return u_; }
+
+ private:
+  pps::SwitchConfig config_;
+  int u_ = 0;
+  std::vector<sim::Slot> next_dep_;
+  std::unique_ptr<pps::ReservationBank> bookings_;
+};
+
+class CpaEmulationDemux final : public pps::BufferedDemultiplexor {
+ public:
+  explicit CpaEmulationDemux(std::shared_ptr<CpaEmulationCore> core, int u)
+      : core_(std::move(core)), u_(u) {}
+
+  void Reset(const pps::SwitchConfig& config, sim::PortId input) override;
+  pps::BufferedDecision Decide(const pps::BufferedContext& ctx) override;
+  pps::InfoModel info_model() const override {
+    return u_ == 0 ? pps::InfoModel::kCentralized
+                   : pps::InfoModel::kRealTimeDistributed;
+  }
+  int info_delay() const override { return u_; }
+  std::unique_ptr<pps::BufferedDemultiplexor> Clone() const override {
+    return std::make_unique<CpaEmulationDemux>(*this);
+  }
+  std::string name() const override {
+    return "cpa-emulation-u" + std::to_string(u_);
+  }
+
+ private:
+  std::shared_ptr<CpaEmulationCore> core_;
+  int u_;
+  sim::PortId input_ = 0;
+  std::unordered_map<sim::CellId, CpaEmulationCore::Plan> plans_;
+};
+
+// Factory for a PPS-wide CPA emulation (one shared core).  Use with
+// SwitchConfig{input_buffer_size >= u, plane_scheduling = kBooked,
+// snapshot_history > u}.
+pps::BufferedDemuxFactory MakeCpaEmulationFactory(int u);
+
+// --- Arbitrated crossbar (request-grant) -----------------------------------
+
+class ArbiterCore {
+ public:
+  void Reset(const pps::SwitchConfig& config, int u);
+
+  // Input posts a request for `output` at slot `now`; the grant (a plane)
+  // becomes visible to the input at slot now + u.
+  void Request(sim::CellId cell, sim::PortId output, sim::Slot now);
+
+  // Plane granted to `cell`, or kNoPlane if the grant has not arrived yet.
+  sim::PlaneId GrantFor(sim::CellId cell, sim::Slot now) const;
+
+  void Forget(sim::CellId cell);
+
+ private:
+  struct Grant {
+    sim::Slot visible_at;
+    sim::PlaneId plane;
+  };
+  int u_ = 0;
+  int num_planes_ = 0;
+  std::vector<int> rr_;  // per output
+  std::unordered_map<sim::CellId, Grant> grants_;
+};
+
+class RequestGrantDemux final : public pps::BufferedDemultiplexor {
+ public:
+  RequestGrantDemux(std::shared_ptr<ArbiterCore> core, int u)
+      : core_(std::move(core)), u_(u) {}
+
+  void Reset(const pps::SwitchConfig& config, sim::PortId input) override;
+  pps::BufferedDecision Decide(const pps::BufferedContext& ctx) override;
+  pps::InfoModel info_model() const override {
+    return pps::InfoModel::kRealTimeDistributed;
+  }
+  int info_delay() const override { return u_; }
+  std::unique_ptr<pps::BufferedDemultiplexor> Clone() const override {
+    return std::make_unique<RequestGrantDemux>(*this);
+  }
+  std::string name() const override {
+    return "request-grant-u" + std::to_string(u_);
+  }
+
+ private:
+  std::shared_ptr<ArbiterCore> core_;
+  int u_;
+  sim::PortId input_ = 0;
+};
+
+pps::BufferedDemuxFactory MakeRequestGrantFactory(int u);
+
+}  // namespace demux

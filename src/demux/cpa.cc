@@ -1,0 +1,71 @@
+#include "demux/cpa.h"
+
+#include <algorithm>
+
+#include "sim/error.h"
+
+namespace demux {
+
+void CpaCore::Reset(const pps::SwitchConfig& config) {
+  config_ = config;
+  SIM_CHECK(config.num_planes >= 2 * config.rate_ratio - 1,
+            "CPA requires K >= 2r'-1 (speedup >= 2 - r/R); got K="
+                << config.num_planes << " r'=" << config.rate_ratio);
+  SIM_CHECK(config.plane_scheduling == pps::PlaneScheduling::kBooked,
+            "CPA requires booked plane scheduling");
+  next_dep_.assign(static_cast<std::size_t>(config.num_ports), 0);
+  bookings_ = std::make_unique<pps::ReservationBank>(
+      config.num_planes, config.num_ports, config.rate_ratio);
+  rotate_ = 0;
+}
+
+sim::Slot CpaCore::PeekDeparture(sim::PortId output, sim::Slot now) const {
+  return std::max(now, next_dep_[static_cast<std::size_t>(output)]);
+}
+
+pps::DispatchDecision CpaCore::Assign(
+    sim::PortId output, sim::Slot now,
+    std::span<const bool> input_link_free) {
+  const sim::Slot dep = PeekDeparture(output, now);
+  for (int step = 0; step < config_.num_planes; ++step) {
+    const int k = (rotate_ + step) % config_.num_planes;
+    if (!input_link_free[static_cast<std::size_t>(k)]) continue;
+    if (bookings_->Conflicts(k, output, dep)) continue;
+    bookings_->Reserve(k, output, dep);
+    next_dep_[static_cast<std::size_t>(output)] = dep + 1;
+    rotate_ = (k + 1) % config_.num_planes;
+    return {static_cast<sim::PlaneId>(k), dep};
+  }
+  SIM_CHECK(false, "CPA found no plane — speedup below 2 - r/R?");
+  return {};
+}
+
+void CpaCore::EndOfSlot(sim::Slot now) {
+  // A booking at slot s conflicts with future bookings only while
+  // s > dep - r'; future deps are >= now + 1... wait, deps can equal now+1
+  // onward, so bookings with s <= now - r' + 1 can never conflict again.
+  bookings_->ExpireBefore(now - config_.rate_ratio + 2);
+}
+
+void CpaDemux::Reset(const pps::SwitchConfig& config, sim::PortId input) {
+  input_ = input;
+  if (input == 0) core_->Reset(config);  // fabric resets port 0 first
+}
+
+pps::DispatchDecision CpaDemux::Dispatch(const sim::Cell& cell,
+                                         const pps::DispatchContext& ctx) {
+  return core_->Assign(cell.output, ctx.now, ctx.input_link_free);
+}
+
+void CpaDemux::OnSlotEnd(sim::Slot now) {
+  if (input_ == 0) core_->EndOfSlot(now);
+}
+
+pps::DemuxFactory MakeCpaFactory() {
+  auto core = std::make_shared<CpaCore>();
+  return [core](sim::PortId) -> std::unique_ptr<pps::Demultiplexor> {
+    return std::make_unique<CpaDemux>(core);
+  };
+}
+
+}  // namespace demux

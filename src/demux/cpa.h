@@ -1,0 +1,85 @@
+// The centralized demultiplexing algorithm (CPA) of Iyer, Awadallah &
+// McKeown [14]: with speedup S >= 2 a bufferless PPS exactly mimics a
+// global-FCFS output-queued switch — zero relative queuing delay.
+//
+// Mechanism: the (conceptually single) centralized scheduler tracks the
+// shadow FCFS OQ switch's departure time for every arriving cell —
+// dep = max(now, one slot after the previous departure for that output) —
+// and books, at dispatch time, the exact slot at which some plane will
+// deliver the cell to its output port.  A plane is usable if
+//   (a) the input line (i, k) is free now            [input constraint]
+//   (b) no earlier booking on line (k, j) lies within r'-1 slots of dep
+//                                                    [output constraint]
+// Since departures per output are assigned in increasing order, at most
+// r'-1 planes are excluded by (b) and at most r'-1 by (a); with
+// K >= 2r'-1 (S >= 2 - r/R) a plane always exists.  The planes run in
+// kBooked scheduling mode and deliver each cell exactly at its booked
+// slot, so every cell leaves the PPS in the same slot it would leave the
+// reference switch.
+//
+// The paper (and [14]) stress CPA is impractical — it "gathers information
+// from all the input-ports in every scheduling decision" — which is
+// precisely why the lower bounds for distributed algorithms matter.  Here
+// it serves as the zero-RQD upper-bound baseline (experiment E8).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "switch/demux_iface.h"
+#include "switch/link.h"
+
+namespace demux {
+
+// Shared centralized state; one instance serves all N per-input demux
+// facades.  Dispatch order (input order within a slot) equals the shadow
+// switch's FCFS tie-break, so the virtual departure times match exactly.
+class CpaCore {
+ public:
+  void Reset(const pps::SwitchConfig& config);
+
+  pps::DispatchDecision Assign(sim::PortId output, sim::Slot now,
+                               std::span<const bool> input_link_free);
+
+  // The shadow FCFS departure the core would assign next for `output` at
+  // `now` (exposed for tests).
+  sim::Slot PeekDeparture(sim::PortId output, sim::Slot now) const;
+
+  void EndOfSlot(sim::Slot now);
+
+ private:
+  pps::SwitchConfig config_;
+  std::vector<sim::Slot> next_dep_;                 // per output
+  std::unique_ptr<pps::ReservationBank> bookings_;  // K x N output lines
+  int rotate_ = 0;  // spreads choices over planes for load balance
+};
+
+class CpaDemux final : public pps::Demultiplexor {
+ public:
+  explicit CpaDemux(std::shared_ptr<CpaCore> core) : core_(std::move(core)) {}
+
+  void Reset(const pps::SwitchConfig& config, sim::PortId input) override;
+  pps::DispatchDecision Dispatch(const sim::Cell& cell,
+                                 const pps::DispatchContext& ctx) override;
+  void OnSlotEnd(sim::Slot now) override;
+  pps::InfoModel info_model() const override {
+    return pps::InfoModel::kCentralized;
+  }
+  // Clones share the centralized core: CPA is one algorithm, not N state
+  // machines, so white-box adversary probing (which targets distributed
+  // algorithms) does not apply.
+  std::unique_ptr<pps::Demultiplexor> Clone() const override {
+    return std::make_unique<CpaDemux>(core_);
+  }
+  std::string name() const override { return "cpa"; }
+
+ private:
+  std::shared_ptr<CpaCore> core_;
+  sim::PortId input_ = 0;
+};
+
+// Factory wiring one shared core into all N ports.  The returned factory
+// owns the core.
+pps::DemuxFactory MakeCpaFactory();
+
+}  // namespace demux

@@ -1,0 +1,58 @@
+#include "demux/ftd.h"
+
+#include <algorithm>
+
+#include "sim/error.h"
+
+namespace demux {
+
+void FtdDemux::Reset(const pps::SwitchConfig& config, sim::PortId input) {
+  (void)input;
+  SIM_CHECK(h_ >= 1, "FTD parameter h must be >= 1");
+  num_planes_ = config.num_planes;
+  block_size_ = std::min(h_ * config.rate_ratio, config.num_planes);
+  SIM_CHECK(block_size_ >= config.rate_ratio,
+            "FTD block smaller than r' cannot meet the input constraint");
+  flows_.clear();
+}
+
+pps::DispatchDecision FtdDemux::Dispatch(const sim::Cell& cell,
+                                         const pps::DispatchContext& ctx) {
+  FlowState& fs = flows_[cell.output];
+  if (fs.used.empty()) {
+    fs.used.assign(static_cast<std::size_t>(num_planes_), false);
+  }
+  // Pick the first plane, starting from the block's rotating pointer, that
+  // is unused in this block and whose input line is free.  When distinct
+  // flows of one input interleave, the only block-fresh plane can have a
+  // busy line; FTD's analysis [17] assumes per-flow spacing that the
+  // shared input line does not always provide, so fall back to any free
+  // line and count the block violation rather than wedge the switch.
+  int fallback = -1;
+  for (int step = 0; step < num_planes_; ++step) {
+    const int k = (fs.next + step) % num_planes_;
+    if (!ctx.input_link_free[static_cast<std::size_t>(k)]) continue;
+    if (fallback < 0) fallback = k;
+    if (fs.used[static_cast<std::size_t>(k)]) continue;
+    fs.used[static_cast<std::size_t>(k)] = true;
+    fs.next = (k + 1) % num_planes_;
+    if (++fs.cells_in_block == block_size_) {
+      // Block complete: start a new one (pointer keeps rotating so
+      // successive blocks cycle through all K planes).
+      std::fill(fs.used.begin(), fs.used.end(), false);
+      fs.cells_in_block = 0;
+    }
+    return {static_cast<sim::PlaneId>(k), sim::kNoSlot};
+  }
+  if (fallback < 0) return {sim::kNoPlane, sim::kNoSlot};
+  ++block_violations_;
+  fs.used[static_cast<std::size_t>(fallback)] = true;
+  fs.next = (fallback + 1) % num_planes_;
+  if (++fs.cells_in_block >= block_size_) {
+    std::fill(fs.used.begin(), fs.used.end(), false);
+    fs.cells_in_block = 0;
+  }
+  return {static_cast<sim::PlaneId>(fallback), sim::kNoSlot};
+}
+
+}  // namespace demux

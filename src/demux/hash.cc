@@ -1,0 +1,36 @@
+#include "demux/hash.h"
+
+#include "demux/round_robin.h"
+
+namespace demux {
+namespace {
+
+std::uint64_t Mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+void HashDemux::Reset(const pps::SwitchConfig& config, sim::PortId input) {
+  (void)input;
+  num_planes_ = config.num_planes;
+  counter_ = 0;
+}
+
+pps::DispatchDecision HashDemux::Dispatch(const sim::Cell& cell,
+                                          const pps::DispatchContext& ctx) {
+  const std::uint64_t h =
+      Mix(static_cast<std::uint64_t>(cell.output) * 0x9e3779b97f4a7c15ull +
+          salt_);
+  const int start = static_cast<int>(
+      (h + counter_) % static_cast<std::uint64_t>(num_planes_));
+  ++counter_;
+  return {FirstFreePlane(ctx, start), sim::kNoSlot};
+}
+
+}  // namespace demux

@@ -1,0 +1,36 @@
+// Hash-based fully-distributed demultiplexor: plane chosen by hashing the
+// destination, offset by a per-input cell counter to satisfy the input
+// constraint.  Stateless across flows (the hash is fixed), so flows to the
+// same output from different inputs collide on the same plane orbit — a
+// common commercial shortcut, and another concrete target for the
+// Theorem-6 adversary.
+#pragma once
+
+#include <cstdint>
+
+#include "switch/demux_iface.h"
+
+namespace demux {
+
+class HashDemux final : public pps::Demultiplexor {
+ public:
+  explicit HashDemux(std::uint64_t salt = 0) : salt_(salt) {}
+
+  void Reset(const pps::SwitchConfig& config, sim::PortId input) override;
+  pps::DispatchDecision Dispatch(const sim::Cell& cell,
+                                 const pps::DispatchContext& ctx) override;
+  pps::InfoModel info_model() const override {
+    return pps::InfoModel::kFullyDistributed;
+  }
+  std::unique_ptr<pps::Demultiplexor> Clone() const override {
+    return std::make_unique<HashDemux>(*this);
+  }
+  std::string name() const override { return "hash"; }
+
+ private:
+  std::uint64_t salt_;
+  int num_planes_ = 0;
+  std::uint64_t counter_ = 0;  // advances once per arriving cell
+};
+
+}  // namespace demux

@@ -1,0 +1,31 @@
+#include "demux/random.h"
+
+#include "sim/error.h"
+
+namespace demux {
+
+void RandomDemux::Reset(const pps::SwitchConfig& config, sim::PortId input) {
+  num_planes_ = config.num_planes;
+  // Independent stream per input, reproducible from the base seed.
+  rng_ = sim::Rng(seed_).Fork(static_cast<std::uint64_t>(input));
+}
+
+pps::DispatchDecision RandomDemux::Dispatch(const sim::Cell& cell,
+                                            const pps::DispatchContext& ctx) {
+  (void)cell;
+  int free_count = 0;
+  for (int k = 0; k < num_planes_; ++k) {
+    if (ctx.input_link_free[static_cast<std::size_t>(k)]) ++free_count;
+  }
+  if (free_count == 0) return {sim::kNoPlane, sim::kNoSlot};
+  auto pick = static_cast<int>(
+      rng_.UniformInt(static_cast<std::uint64_t>(free_count)));
+  for (int k = 0; k < num_planes_; ++k) {
+    if (!ctx.input_link_free[static_cast<std::size_t>(k)]) continue;
+    if (pick-- == 0) return {static_cast<sim::PlaneId>(k), sim::kNoSlot};
+  }
+  SIM_CHECK(false, "unreachable");
+  return {};
+}
+
+}  // namespace demux

@@ -1,0 +1,44 @@
+// Randomized fully-distributed demultiplexor: each cell goes to a plane
+// chosen uniformly at random among those with a free input line.
+//
+// The paper's discussion notes that "our lower bounds present worst-case
+// traffics also for randomized demultiplexing algorithms, but it would be
+// interesting to study the distribution of the relative queuing delay when
+// randomization is employed".  This class makes that study runnable
+// (bench_randomized):
+//   * against a *white-box* adversary that knows the seed, randomization
+//     buys nothing — the demultiplexor is still a deterministic state
+//     machine (Clone() copies the RNG state), so the Theorem-6 alignment
+//     machinery applies unchanged;
+//   * against an *oblivious* adversary (traffic fixed before seeds are
+//     drawn), the burst spreads Binomial(d, 1/K) per plane and the
+//     expected concentration drops from d to ~d/K + O(sqrt(d log K)).
+#pragma once
+
+#include "sim/rng.h"
+#include "switch/demux_iface.h"
+
+namespace demux {
+
+class RandomDemux final : public pps::Demultiplexor {
+ public:
+  explicit RandomDemux(std::uint64_t seed = 1) : seed_(seed), rng_(seed) {}
+
+  void Reset(const pps::SwitchConfig& config, sim::PortId input) override;
+  pps::DispatchDecision Dispatch(const sim::Cell& cell,
+                                 const pps::DispatchContext& ctx) override;
+  pps::InfoModel info_model() const override {
+    return pps::InfoModel::kFullyDistributed;
+  }
+  std::unique_ptr<pps::Demultiplexor> Clone() const override {
+    return std::make_unique<RandomDemux>(*this);
+  }
+  std::string name() const override { return "random"; }
+
+ private:
+  std::uint64_t seed_;
+  sim::Rng rng_;
+  int num_planes_ = 0;
+};
+
+}  // namespace demux

@@ -1,0 +1,117 @@
+#include "demux/registry.h"
+
+#include <charconv>
+
+#include "demux/buffered.h"
+#include "demux/cpa.h"
+#include "demux/ftd.h"
+#include "demux/hash.h"
+#include "demux/random.h"
+#include "demux/round_robin.h"
+#include "demux/stale_jsq.h"
+#include "demux/static_partition.h"
+#include "sim/error.h"
+
+namespace demux {
+namespace {
+
+// Parses "<prefix><int>" names like "stale-jsq-u4"; returns false if
+// `name` does not start with `prefix`.
+bool ParseSuffix(const std::string& name, const std::string& prefix,
+                 int* value) {
+  if (name.rfind(prefix, 0) != 0) return false;
+  const char* begin = name.data() + prefix.size();
+  const char* end = name.data() + name.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *value);
+  SIM_CHECK(ec == std::errc() && ptr == end,
+            "malformed parameter in algorithm name: " << name);
+  return true;
+}
+
+}  // namespace
+
+pps::DemuxFactory MakeFactory(const std::string& name) {
+  int param = 0;
+  if (name == "rr") {
+    return [](sim::PortId) { return std::make_unique<RoundRobinDemux>(); };
+  }
+  if (name == "rr-per-output") {
+    return [](sim::PortId) {
+      return std::make_unique<PerOutputRoundRobinDemux>();
+    };
+  }
+  if (name == "hash") {
+    return [](sim::PortId) { return std::make_unique<HashDemux>(); };
+  }
+  if (ParseSuffix(name, "static-partition-d", &param)) {
+    return [param](sim::PortId) {
+      return std::make_unique<StaticPartitionDemux>(param);
+    };
+  }
+  if (ParseSuffix(name, "ftd-h", &param)) {
+    return [param](sim::PortId) { return std::make_unique<FtdDemux>(param); };
+  }
+  if (name == "cpa") {
+    return MakeCpaFactory();
+  }
+  if (name == "random") {
+    return [](sim::PortId) { return std::make_unique<RandomDemux>(); };
+  }
+  if (ParseSuffix(name, "random-s", &param)) {
+    return [param](sim::PortId) {
+      return std::make_unique<RandomDemux>(
+          static_cast<std::uint64_t>(param));
+    };
+  }
+  if (ParseSuffix(name, "stale-jsq-u", &param)) {
+    return [param](sim::PortId) {
+      return std::make_unique<StaleJsqDemux>(param);
+    };
+  }
+  SIM_CHECK(false, "unknown bufferless demux algorithm: " << name);
+  return {};
+}
+
+pps::BufferedDemuxFactory MakeBufferedFactory(const std::string& name) {
+  int param = 0;
+  if (name == "buffered-rr") {
+    return [](sim::PortId) {
+      return std::make_unique<BufferedRoundRobinDemux>();
+    };
+  }
+  if (ParseSuffix(name, "cpa-emulation-u", &param)) {
+    return MakeCpaEmulationFactory(param);
+  }
+  if (ParseSuffix(name, "request-grant-u", &param)) {
+    return MakeRequestGrantFactory(param);
+  }
+  SIM_CHECK(false, "unknown buffered demux algorithm: " << name);
+  return {};
+}
+
+std::vector<std::string> BufferlessAlgorithms() {
+  return {"rr",     "rr-per-output", "hash",         "static-partition-d2",
+          "ftd-h1", "ftd-h2",        "cpa",          "stale-jsq-u0",
+          "stale-jsq-u8", "random"};
+}
+
+std::vector<std::string> BufferedAlgorithms() {
+  return {"buffered-rr", "cpa-emulation-u4", "request-grant-u2"};
+}
+
+AlgorithmNeeds NeedsOf(const std::string& name) {
+  int param = 0;
+  if (name == "cpa") return {true, 1};
+  if (ParseSuffix(name, "cpa-emulation-u", &param)) {
+    return {true, param + 1};
+  }
+  if (ParseSuffix(name, "stale-jsq-u", &param)) {
+    return {false, param + 1};
+  }
+  if (ParseSuffix(name, "request-grant-u", &param)) {
+    return {false, param + 1};
+  }
+  return {false, 0};
+}
+
+}  // namespace demux

@@ -1,0 +1,37 @@
+// Name-based construction of demultiplexing algorithms, for the examples
+// and benchmark binaries.
+//
+// Bufferless:  "rr", "rr-per-output", "hash", "static-partition-d<D>",
+//              "ftd-h<H>", "cpa", "stale-jsq-u<U>", "random",
+//              "random-s<SEED>"
+// Buffered:    "buffered-rr", "cpa-emulation-u<U>", "request-grant-u<U>"
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "switch/demux_iface.h"
+
+namespace demux {
+
+// Factory for a bufferless algorithm by name; throws sim::SimError on an
+// unknown name.
+pps::DemuxFactory MakeFactory(const std::string& name);
+
+// Factory for an input-buffered algorithm by name.
+pps::BufferedDemuxFactory MakeBufferedFactory(const std::string& name);
+
+// All registered bufferless algorithm names, with representative
+// parameters filled in for the parameterised families.
+std::vector<std::string> BufferlessAlgorithms();
+std::vector<std::string> BufferedAlgorithms();
+
+// The switch-level requirements of an algorithm: whether planes must run
+// booked scheduling and how much snapshot history the fabric must retain.
+struct AlgorithmNeeds {
+  bool booked_planes = false;
+  int snapshot_history = 0;  // 0 = none needed
+};
+AlgorithmNeeds NeedsOf(const std::string& name);
+
+}  // namespace demux

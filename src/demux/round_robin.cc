@@ -1,0 +1,52 @@
+#include "demux/round_robin.h"
+
+#include "sim/error.h"
+
+namespace demux {
+
+sim::PlaneId FirstFreePlane(const pps::DispatchContext& ctx, int start) {
+  const int k_count = static_cast<int>(ctx.input_link_free.size());
+  for (int step = 0; step < k_count; ++step) {
+    const int k = (start + step) % k_count;
+    if (ctx.input_link_free[static_cast<std::size_t>(k)]) {
+      return static_cast<sim::PlaneId>(k);
+    }
+  }
+  // No usable line: only possible with K < r' (misconfiguration, rejected
+  // elsewhere) or after plane failures — the cell is dropped at the input.
+  return sim::kNoPlane;
+}
+
+void RoundRobinDemux::Reset(const pps::SwitchConfig& config,
+                            sim::PortId input) {
+  (void)input;
+  num_planes_ = config.num_planes;
+  pointer_ = 0;
+}
+
+pps::DispatchDecision RoundRobinDemux::Dispatch(
+    const sim::Cell& cell, const pps::DispatchContext& ctx) {
+  (void)cell;
+  const sim::PlaneId k = FirstFreePlane(ctx, pointer_);
+  if (k == sim::kNoPlane) return {sim::kNoPlane, sim::kNoSlot};
+  pointer_ = (static_cast<int>(k) + 1) % num_planes_;
+  return {k, sim::kNoSlot};
+}
+
+void PerOutputRoundRobinDemux::Reset(const pps::SwitchConfig& config,
+                                     sim::PortId input) {
+  (void)input;
+  num_planes_ = config.num_planes;
+  pointer_.assign(static_cast<std::size_t>(config.num_ports), 0);
+}
+
+pps::DispatchDecision PerOutputRoundRobinDemux::Dispatch(
+    const sim::Cell& cell, const pps::DispatchContext& ctx) {
+  int& p = pointer_[static_cast<std::size_t>(cell.output)];
+  const sim::PlaneId k = FirstFreePlane(ctx, p);
+  if (k == sim::kNoPlane) return {sim::kNoPlane, sim::kNoSlot};
+  p = (static_cast<int>(k) + 1) % num_planes_;
+  return {k, sim::kNoSlot};
+}
+
+}  // namespace demux

@@ -1,0 +1,69 @@
+// Fully-distributed round-robin demultiplexors.
+//
+// These are the canonical "unpartitioned fully-distributed" algorithms of
+// Corollary 7: every demultiplexor may send a cell destined for any output
+// through any plane, using only its local state (Definition 5).  State
+// changes only when a cell arrives.
+//
+//   * RoundRobinDemux      — one pointer per input, advanced on every cell
+//                            regardless of destination.
+//   * PerOutputRoundRobin  — one pointer per (input, output) pair, the
+//                            shape of the fully-distributed algorithm of
+//                            Iyer & McKeown [15]; spreads each flow evenly
+//                            over the planes, achieving relative queuing
+//                            delay O(N * R/r) — and, being deterministic
+//                            and oblivious, exactly the alignment the
+//                            Theorem-6 adversary exploits.
+//
+// Both skip planes whose input line is busy (the input constraint), which
+// is the only way local information enters the decision.
+#pragma once
+
+#include <vector>
+
+#include "switch/demux_iface.h"
+
+namespace demux {
+
+class RoundRobinDemux final : public pps::Demultiplexor {
+ public:
+  void Reset(const pps::SwitchConfig& config, sim::PortId input) override;
+  pps::DispatchDecision Dispatch(const sim::Cell& cell,
+                                 const pps::DispatchContext& ctx) override;
+  pps::InfoModel info_model() const override {
+    return pps::InfoModel::kFullyDistributed;
+  }
+  std::unique_ptr<pps::Demultiplexor> Clone() const override {
+    return std::make_unique<RoundRobinDemux>(*this);
+  }
+  std::string name() const override { return "rr"; }
+
+ private:
+  int num_planes_ = 0;
+  int pointer_ = 0;
+};
+
+class PerOutputRoundRobinDemux final : public pps::Demultiplexor {
+ public:
+  void Reset(const pps::SwitchConfig& config, sim::PortId input) override;
+  pps::DispatchDecision Dispatch(const sim::Cell& cell,
+                                 const pps::DispatchContext& ctx) override;
+  pps::InfoModel info_model() const override {
+    return pps::InfoModel::kFullyDistributed;
+  }
+  std::unique_ptr<pps::Demultiplexor> Clone() const override {
+    return std::make_unique<PerOutputRoundRobinDemux>(*this);
+  }
+  std::string name() const override { return "rr-per-output"; }
+
+ private:
+  int num_planes_ = 0;
+  std::vector<int> pointer_;  // per output
+};
+
+// Shared helper: first free plane at or after `start` (cyclic), or
+// kNoPlane when every line is busy/failed (only possible after plane
+// failures on a healthy K >= r' switch).
+sim::PlaneId FirstFreePlane(const pps::DispatchContext& ctx, int start);
+
+}  // namespace demux

@@ -1,0 +1,57 @@
+#include "demux/stale_jsq.h"
+
+#include <algorithm>
+
+#include "sim/error.h"
+
+namespace demux {
+
+void StaleJsqDemux::Reset(const pps::SwitchConfig& config, sim::PortId input) {
+  (void)input;
+  SIM_CHECK(u_ >= 0, "information delay must be >= 0");
+  SIM_CHECK(config.snapshot_history > u_,
+            "snapshot_history must exceed the information delay u");
+  num_planes_ = config.num_planes;
+  num_ports_ = config.num_ports;
+  recent_.clear();
+}
+
+pps::DispatchDecision StaleJsqDemux::Dispatch(const sim::Cell& cell,
+                                              const pps::DispatchContext& ctx) {
+  sim::PlaneId best = sim::kNoPlane;
+  std::int64_t best_backlog = 0;
+  for (int k = 0; k < num_planes_; ++k) {
+    if (!ctx.input_link_free[static_cast<std::size_t>(k)]) continue;
+    std::int64_t backlog = 0;
+    if (ctx.global != nullptr) {
+      backlog = ctx.global->PlaneBacklog(k, cell.output, num_ports_);
+      // Local correction: count our own dispatches to (k, output) that are
+      // newer than the snapshot — local information is always current.
+      for (const Recent& r : recent_) {
+        if (r.plane == k && r.output == cell.output &&
+            r.slot > ctx.global->slot) {
+          ++backlog;
+        }
+      }
+    }
+    if (best == sim::kNoPlane || backlog < best_backlog) {
+      best = static_cast<sim::PlaneId>(k);
+      best_backlog = backlog;
+    }
+  }
+  if (best == sim::kNoPlane) return {sim::kNoPlane, sim::kNoSlot};
+  recent_.push_back({ctx.now, best, cell.output});
+  return {best, sim::kNoSlot};
+}
+
+void StaleJsqDemux::OnSlotEnd(sim::Slot now) {
+  // Drop records old enough to be covered by any snapshot we will see.
+  const sim::Slot horizon = now - u_ - 1;
+  recent_.erase(std::remove_if(recent_.begin(), recent_.end(),
+                               [horizon](const Recent& r) {
+                                 return r.slot <= horizon;
+                               }),
+                recent_.end());
+}
+
+}  // namespace demux

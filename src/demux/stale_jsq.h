@@ -1,0 +1,58 @@
+// u-RT demultiplexor: join-shortest-queue on u-slot-stale global state
+// (Definition 9).
+//
+// Every input sees the same global snapshot from slot t-u (plane backlogs
+// per output) and augments it with what it knows locally: its own
+// dispatches in the stale window (which the snapshot cannot include).  It
+// then sends the cell to the plane with the smallest estimated backlog for
+// the cell's output among planes whose input line is free, breaking ties
+// by lowest plane id.
+//
+// With u = 0 (fed the live end-of-previous-slot snapshot) this is a decent
+// centralized heuristic; as u grows every input chases the same stale
+// minimum and the Theorem-10 burst adversary concentrates them on one
+// plane: the information delay, not the heuristic, is what costs
+// (1 - u'r/R) * u'N/S slots of relative delay.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "switch/demux_iface.h"
+
+namespace demux {
+
+class StaleJsqDemux final : public pps::Demultiplexor {
+ public:
+  explicit StaleJsqDemux(int u) : u_(u) {}
+
+  void Reset(const pps::SwitchConfig& config, sim::PortId input) override;
+  pps::DispatchDecision Dispatch(const sim::Cell& cell,
+                                 const pps::DispatchContext& ctx) override;
+  void OnSlotEnd(sim::Slot now) override;
+  pps::InfoModel info_model() const override {
+    return u_ == 0 ? pps::InfoModel::kCentralized
+                   : pps::InfoModel::kRealTimeDistributed;
+  }
+  int info_delay() const override { return u_; }
+  std::unique_ptr<pps::Demultiplexor> Clone() const override {
+    return std::make_unique<StaleJsqDemux>(*this);
+  }
+  std::string name() const override {
+    return "stale-jsq-u" + std::to_string(u_);
+  }
+
+ private:
+  struct Recent {
+    sim::Slot slot;
+    sim::PlaneId plane;
+    sim::PortId output;
+  };
+
+  int u_;
+  int num_planes_ = 0;
+  sim::PortId num_ports_ = 0;
+  std::vector<Recent> recent_;  // own dispatches newer than the snapshot
+};
+
+}  // namespace demux

@@ -1,0 +1,47 @@
+#include "demux/static_partition.h"
+
+#include "sim/error.h"
+
+namespace demux {
+
+std::vector<sim::PlaneId> StaticPartitionDemux::PlanesFor(sim::PortId input,
+                                                          int d,
+                                                          int num_planes) {
+  std::vector<sim::PlaneId> planes;
+  planes.reserve(static_cast<std::size_t>(d));
+  // Staggered window: input i uses planes {i, i+1, ..., i+d-1} mod K, so
+  // plane k is shared by min(d, ...) ~ N*d/K inputs when N >= K.
+  for (int m = 0; m < d; ++m) {
+    planes.push_back(static_cast<sim::PlaneId>((input + m) % num_planes));
+  }
+  return planes;
+}
+
+void StaticPartitionDemux::Reset(const pps::SwitchConfig& config,
+                                 sim::PortId input) {
+  SIM_CHECK(d_ >= config.rate_ratio,
+            "static partition with d=" << d_ << " < r'=" << config.rate_ratio
+                                       << " cannot sustain the line rate");
+  SIM_CHECK(d_ <= config.num_planes, "d exceeds K");
+  planes_ = PlanesFor(input, d_, config.num_planes);
+  pointer_ = 0;
+}
+
+pps::DispatchDecision StaticPartitionDemux::Dispatch(
+    const sim::Cell& cell, const pps::DispatchContext& ctx) {
+  (void)cell;
+  for (std::size_t step = 0; step < planes_.size(); ++step) {
+    const std::size_t slot = (pointer_ + step) % planes_.size();
+    const sim::PlaneId k = planes_[slot];
+    if (ctx.input_link_free[static_cast<std::size_t>(k)]) {
+      pointer_ = (slot + 1) % planes_.size();
+      return {k, sim::kNoSlot};
+    }
+  }
+  // Every plane of the static subset is busy or failed: the partitioned
+  // design drops the cell — exactly the fragility the paper's
+  // fault-tolerance argument (Section 3) points at.
+  return {sim::kNoPlane, sim::kNoSlot};
+}
+
+}  // namespace demux

@@ -1,0 +1,55 @@
+// Static plane partitioning: the d-partitioned fully-distributed
+// demultiplexor of Theorem 6 / Theorem 8.
+//
+// Each input i is statically assigned a subset P_i of d planes (d >= r',
+// otherwise the input constraint cannot be met at full line rate: "each
+// demultiplexor must send incoming cells through at least r' planes") and
+// round-robins inside its subset.  The default assignment staggers subsets
+// so every plane is used by roughly N*d/K inputs — the pigeonhole count in
+// Theorem 8's proof ("there is a plane k that is used by at least r'N/K
+// demultiplexors").
+//
+// The paper also notes static partitioning is failure-prone: losing a
+// plane strands 1/d of each assigned input's capacity, versus 1/K when
+// unpartitioned (Corollary 7's fault-tolerance motivation).
+#pragma once
+
+#include <vector>
+
+#include "switch/demux_iface.h"
+
+namespace demux {
+
+class StaticPartitionDemux final : public pps::Demultiplexor {
+ public:
+  // d = planes per input.  d must satisfy r' <= d <= K.
+  explicit StaticPartitionDemux(int d) : d_(d) {}
+
+  void Reset(const pps::SwitchConfig& config, sim::PortId input) override;
+  pps::DispatchDecision Dispatch(const sim::Cell& cell,
+                                 const pps::DispatchContext& ctx) override;
+  pps::InfoModel info_model() const override {
+    return pps::InfoModel::kFullyDistributed;
+  }
+  std::unique_ptr<pps::Demultiplexor> Clone() const override {
+    return std::make_unique<StaticPartitionDemux>(*this);
+  }
+  std::string name() const override {
+    return "static-partition-d" + std::to_string(d_);
+  }
+
+  // The subset of planes input i uses under the default staggered
+  // assignment; exposed so adversaries and tests can compute the plane
+  // with maximal sharing without probing.
+  static std::vector<sim::PlaneId> PlanesFor(sim::PortId input, int d,
+                                             int num_planes);
+
+  const std::vector<sim::PlaneId>& planes() const { return planes_; }
+
+ private:
+  int d_;
+  std::vector<sim::PlaneId> planes_;
+  std::size_t pointer_ = 0;
+};
+
+}  // namespace demux

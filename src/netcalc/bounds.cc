@@ -1,0 +1,31 @@
+#include "netcalc/bounds.h"
+
+#include "sim/error.h"
+
+namespace netcalc {
+
+double DelayBound(const AffineCurve& alpha, const RateLatencyCurve& beta) {
+  SIM_CHECK(beta.rate > 0.0, "service rate must be positive");
+  SIM_CHECK(alpha.rate <= beta.rate, "unstable: rho > service rate");
+  return beta.latency + alpha.burst / beta.rate;
+}
+
+double BacklogBound(const AffineCurve& alpha, const RateLatencyCurve& beta) {
+  SIM_CHECK(alpha.rate <= beta.rate, "unstable: rho > service rate");
+  return alpha.burst + alpha.rate * beta.latency;
+}
+
+double ReferenceSwitchDelayBound(double burst) {
+  return DelayBound({burst, 1.0}, {1.0, 0.0});
+}
+
+double ReferenceSwitchBacklogBound(double burst) {
+  return BacklogBound({burst, 1.0}, {1.0, 0.0});
+}
+
+double ConcentrationDrainSlots(double cells, double rate_ratio) {
+  SIM_CHECK(cells >= 0.0 && rate_ratio >= 1.0, "bad concentration params");
+  return cells * rate_ratio;
+}
+
+}  // namespace netcalc

@@ -1,0 +1,31 @@
+// Closed-form delay/backlog bounds for (arrival, service) curve pairs.
+#pragma once
+
+#include "netcalc/curves.h"
+
+namespace netcalc {
+
+// Maximum horizontal deviation between alpha and beta: worst-case delay of
+// any FIFO server offering beta to traffic bounded by alpha.  Requires
+// alpha.rate <= beta.rate (stability).
+double DelayBound(const AffineCurve& alpha, const RateLatencyCurve& beta);
+
+// Maximum vertical deviation: worst-case backlog (buffer requirement).
+double BacklogBound(const AffineCurve& alpha, const RateLatencyCurve& beta);
+
+// The paper's reference switch: a work-conserving output port draining one
+// cell per slot with zero latency.  Under (R=1, B) leaky-bucket traffic its
+// worst-case queuing delay and buffer occupancy are both exactly B — the
+// fact Lemma 4 leans on ("the maximum buffer size needed for any
+// work-conserving switch to work under (R,B) leaky-bucket traffic is B").
+double ReferenceSwitchDelayBound(double burst);
+double ReferenceSwitchBacklogBound(double burst);
+
+// Worst-case drain time of c cells concentrated in one plane toward one
+// output when the plane->output link starts one cell every rate_ratio
+// slots: the c-th cell leaves no earlier than slot (c-1)*rate_ratio after
+// the first send, i.e. total occupancy c*rate_ratio slots.  This is the
+// "c * r'" term in Lemma 4's proof.
+double ConcentrationDrainSlots(double cells, double rate_ratio);
+
+}  // namespace netcalc

@@ -1,0 +1,23 @@
+#include "netcalc/curves.h"
+
+#include <algorithm>
+
+#include "sim/error.h"
+
+namespace netcalc {
+
+AffineCurve OutputEnvelope(const AffineCurve& alpha,
+                           const RateLatencyCurve& beta) {
+  SIM_CHECK(alpha.rate <= beta.rate,
+            "unstable system: arrival rate " << alpha.rate
+                                             << " exceeds service rate "
+                                             << beta.rate);
+  return {alpha.burst + alpha.rate * beta.latency, alpha.rate};
+}
+
+RateLatencyCurve Concatenate(const RateLatencyCurve& a,
+                             const RateLatencyCurve& b) {
+  return {std::min(a.rate, b.rate), a.latency + b.latency};
+}
+
+}  // namespace netcalc

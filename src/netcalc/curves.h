@@ -1,0 +1,56 @@
+// Minimal deterministic network calculus (Cruz, "A calculus for network
+// delay, part I") specialised to what the paper needs.
+//
+// The paper's traffic model (Definition 3) is the classic (R, B)
+// leaky-bucket envelope: over any interval of length tau, at most
+// tau*R + B cells share an input port or an output port.  In network
+// calculus terms that is the affine arrival curve alpha(t) = B + R*t.  A
+// work-conserving output port serving one cell per slot is the
+// rate-latency service curve beta(t) = max(0, t - T) with rate 1 and
+// latency T = 0.  Lemma 4's "(s + B)" slack and the claim that "the maximum
+// buffer size needed for any work-conserving switch ... is B" both follow
+// from these curves; the netcalc module computes them so the experiment
+// code never hard-codes a bound.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace netcalc {
+
+// Affine (leaky-bucket) arrival curve alpha(t) = burst + rate * t for t > 0,
+// alpha(0) = 0.  Rates are in cells/slot; bursts in cells.
+struct AffineCurve {
+  double burst = 0.0;  // sigma (the paper's B)
+  double rate = 0.0;   // rho   (the paper's R, normalised to 1 externally)
+
+  double Eval(double t) const { return t <= 0.0 ? 0.0 : burst + rate * t; }
+
+  // Aggregation of independent flows through the same port.
+  friend AffineCurve operator+(const AffineCurve& a, const AffineCurve& b) {
+    return {a.burst + b.burst, a.rate + b.rate};
+  }
+};
+
+// Rate-latency service curve beta(t) = rate * max(0, t - latency).
+struct RateLatencyCurve {
+  double rate = 0.0;
+  double latency = 0.0;
+
+  double Eval(double t) const {
+    return t <= latency ? 0.0 : rate * (t - latency);
+  }
+};
+
+// Output envelope of an AffineCurve after crossing a RateLatencyCurve
+// server (alpha ⊘ beta): burst grows by rate * latency.
+AffineCurve OutputEnvelope(const AffineCurve& alpha,
+                           const RateLatencyCurve& beta);
+
+// Concatenation of two rate-latency servers (min-plus convolution):
+// rate = min, latency = sum.
+RateLatencyCurve Concatenate(const RateLatencyCurve& a,
+                             const RateLatencyCurve& b);
+
+}  // namespace netcalc

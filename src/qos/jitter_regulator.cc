@@ -1,0 +1,61 @@
+#include "qos/jitter_regulator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/error.h"
+
+namespace qos {
+
+JitterRegulator::JitterRegulator(int capacity, sim::Slot period,
+                                 sim::Slot hold_back)
+    : capacity_(capacity), period_(period), hold_back_(hold_back) {
+  SIM_CHECK(capacity >= 1, "regulator needs at least one buffer slot");
+  SIM_CHECK(period >= 1, "period must be >= 1 slot");
+  SIM_CHECK(hold_back >= 0, "hold-back cannot be negative");
+}
+
+bool JitterRegulator::Push(sim::Slot arrival) {
+  if (static_cast<int>(pending_.size()) >= capacity_) {
+    ++drops_;
+    return false;
+  }
+  if (!next_release_.has_value()) {
+    // Anchor the release grid on the first cell.
+    next_release_ = arrival + hold_back_;
+  }
+  pending_.push_back(arrival);
+  return true;
+}
+
+std::vector<sim::Slot> JitterRegulator::ReleasesUpTo(sim::Slot t) {
+  std::vector<sim::Slot> out;
+  while (!pending_.empty() && next_release_.has_value()) {
+    const sim::Slot arrival = pending_.front();
+    // A cell cannot be released before it arrived; a late cell shifts its
+    // release past the grid slot — a measurable grid violation.
+    const sim::Slot due = std::max(*next_release_, arrival);
+    if (due > t) break;
+    pending_.pop_front();
+    out.push_back(due);
+    max_violation_ = std::max(max_violation_, due - *next_release_);
+    max_added_delay_ = std::max(max_added_delay_, due - arrival);
+    if (last_release_ != sim::kNoSlot) {
+      max_violation_ =
+          std::max(max_violation_, (due - last_release_) - period_);
+    }
+    last_release_ = due;
+    next_release_ = due + period_;
+    ++released_;
+  }
+  return out;
+}
+
+int JitterRegulator::RequiredCapacity(sim::Slot jitter, sim::Slot period) {
+  SIM_CHECK(jitter >= 0 && period >= 1, "bad jitter/period");
+  // ceil(J / p) + 1: up to ceil(J/p) cells can bunch inside one release
+  // window on top of the one being released.
+  return static_cast<int>((jitter + period - 1) / period) + 1;
+}
+
+}  // namespace qos

@@ -1,0 +1,79 @@
+// A bounded-buffer jitter regulator for a single periodic flow, after
+// Mansour & Patt-Shamir, "Jitter control in QoS networks" (cited in the
+// paper's discussion).
+//
+// The paper closes with: "Jitter regulators ... use an internal buffer to
+// shape the traffic ... It might be possible to translate our lower bounds
+// on the relative queuing delay to bounds on the size of this internal
+// buffer."  This module makes the translation executable: a flow that a
+// PPS has smeared with delay jitter J needs a downstream regulator buffer
+// of ceil(J / period) + 1 cells to restore perfectly periodic release —
+// so every RDJ lower bound in the paper is also a buffer-sizing lower
+// bound for jitter-sensitive traffic (see bench_jitter and
+// examples/jitter_study).
+//
+// Model: the flow nominally emits one cell every `period` slots.  The
+// regulator holds arriving cells in a FIFO buffer of `capacity` cells and
+// releases them on a fixed grid: release_i = max(arrival_i, release_{i-1}
+// + period, anchor + i*period), where the anchor is fixed by the first
+// cell plus a configurable hold-back.  A larger hold-back trades added
+// constant delay for tolerance to late cells; releases stay perfectly
+// periodic as long as no cell arrives later than its grid slot and the
+// buffer never overflows.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace qos {
+
+class JitterRegulator {
+ public:
+  // capacity >= 1 cells; period >= 1 slots; hold_back >= 0 slots of
+  // deliberate delay added to the first cell to absorb later jitter.
+  JitterRegulator(int capacity, sim::Slot period, sim::Slot hold_back);
+
+  // Offers a cell that arrived at slot `arrival` (non-decreasing).
+  // Returns false (and counts a drop) if the buffer is full.
+  bool Push(sim::Slot arrival);
+
+  // Advances to slot t and returns the release slots of all cells due by
+  // t, in order.  Call with non-decreasing t.
+  std::vector<sim::Slot> ReleasesUpTo(sim::Slot t);
+
+  std::int64_t buffered() const {
+    return static_cast<std::int64_t>(pending_.size());
+  }
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t released() const { return released_; }
+
+  // Worst release-grid violation seen: 0 means the output was perfectly
+  // periodic (every cell released exactly period slots after the previous
+  // one, once started).
+  sim::Slot max_grid_violation() const { return max_violation_; }
+
+  // Maximum queuing delay the regulator itself added (release - arrival).
+  sim::Slot max_added_delay() const { return max_added_delay_; }
+
+  // The buffer capacity sufficient to absorb input delay-jitter J at this
+  // period: every burst of early cells fits, so releases stay periodic.
+  static int RequiredCapacity(sim::Slot jitter, sim::Slot period);
+
+ private:
+  int capacity_;
+  sim::Slot period_;
+  sim::Slot hold_back_;
+  std::deque<sim::Slot> pending_;  // arrival slots, FIFO
+  std::optional<sim::Slot> next_release_;
+  sim::Slot last_release_ = sim::kNoSlot;
+  std::uint64_t drops_ = 0;
+  std::uint64_t released_ = 0;
+  sim::Slot max_violation_ = 0;
+  sim::Slot max_added_delay_ = 0;
+};
+
+}  // namespace qos

@@ -1,0 +1,57 @@
+// The unit of switching: a fixed-size cell.
+//
+// "Packets are stored and transmitted in the switch as fixed-size cells;
+// fragmentation and reassembly are done outside of the switch."  A cell
+// carries only the metadata the simulator needs: its flow endpoints, a
+// per-flow sequence number (the switch must preserve the order of cells
+// within a flow), and timestamps filled in as it traverses a switch.
+#pragma once
+
+#include <compare>
+#include <ostream>
+
+#include "sim/types.h"
+
+namespace sim {
+
+struct Cell {
+  CellId id = 0;           // unique, in injection order
+  PortId input = kNoPort;  // arrival input port
+  PortId output = kNoPort; // destination output port
+  std::uint64_t seq = 0;   // sequence number within the (input,output) flow
+  Slot arrival = kNoSlot;  // slot the cell arrived at the switch
+
+  // Trajectory through a PPS; kNoSlot / kNoPlane until the event happens.
+  PlaneId plane = kNoPlane;       // middle-stage switch the cell traversed
+  Slot dispatched = kNoSlot;      // slot the demultiplexor launched it
+  Slot reached_output = kNoSlot;  // slot it arrived at the output port
+  Slot departure = kNoSlot;       // slot it left the switch
+
+  // Scheduler scratch: switch-internal annotation (e.g. the CIOQ CCF
+  // scheduler stamps the cell's shadow FCFS departure slot here).  Never
+  // read by the measurement harness.
+  Slot tag = kNoSlot;
+
+  // Queuing delay inside the switch this cell traversed.  Zero-delay
+  // traversal is possible by the paper's convention (a cell may leave in
+  // its arrival slot).
+  Slot delay() const { return departure - arrival; }
+
+  friend bool operator==(const Cell& a, const Cell& b) { return a.id == b.id; }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Cell& c) {
+  return os << "cell#" << c.id << "(" << c.input << "->" << c.output
+            << " seq=" << c.seq << " t=" << c.arrival << ")";
+}
+
+// One arrival offered to a switch in a slot: at most one per input port per
+// slot (the external line runs at rate R = 1 cell/slot).
+struct Arrival {
+  PortId input = kNoPort;
+  PortId output = kNoPort;
+
+  friend auto operator<=>(const Arrival&, const Arrival&) = default;
+};
+
+}  // namespace sim

@@ -1,0 +1,54 @@
+// Error handling for the simulator: contract checks that throw SimError.
+//
+// Following the C++ Core Guidelines (I.6, E.12), preconditions on public
+// interfaces are checked and violations reported as exceptions at the API
+// boundary; hot inner loops use SIM_DCHECK which compiles away in release
+// builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sim {
+
+// Exception thrown on violated simulator invariants or misuse of the API
+// (e.g. a demultiplexor selecting a busy internal link, traffic injecting
+// two cells into one input in one slot).
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+[[noreturn]] inline void FailCheck(const char* expr, const char* file,
+                                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "SIM_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw SimError(os.str());
+}
+}  // namespace internal
+
+}  // namespace sim
+
+// Always-on contract check.  `msg` is any expression streamable into an
+// ostream chain, e.g. SIM_CHECK(x > 0, "x=" << x).
+#define SIM_CHECK(expr, ...)                                               \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream sim_check_os_;                                    \
+      sim_check_os_ __VA_OPT__(<< __VA_ARGS__);                            \
+      ::sim::internal::FailCheck(#expr, __FILE__, __LINE__,                \
+                                 sim_check_os_.str());                     \
+    }                                                                      \
+  } while (false)
+
+// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define SIM_DCHECK(expr, ...) SIM_CHECK(expr, __VA_ARGS__)
+#else
+#define SIM_DCHECK(expr, ...) \
+  do {                        \
+  } while (false)
+#endif

@@ -1,0 +1,56 @@
+#include "sim/event_log.h"
+
+#include <sstream>
+
+namespace sim {
+
+const char* ToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kArrival: return "arrival";
+    case EventKind::kDispatch: return "dispatch";
+    case EventKind::kBuffered: return "buffered";
+    case EventKind::kPlaneSend: return "plane-send";
+    case EventKind::kDeparture: return "departure";
+    case EventKind::kDrop: return "drop";
+    case EventKind::kNote: return "note";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Event& e) {
+  os << "t=" << e.slot << " " << ToString(e.kind);
+  if (e.kind == EventKind::kNote) return os << " " << e.note;
+  os << " cell#" << e.cell;
+  if (e.input != kNoPort) os << " in=" << e.input;
+  if (e.output != kNoPort) os << " out=" << e.output;
+  if (e.plane != kNoPlane) os << " plane=" << e.plane;
+  if (!e.note.empty()) os << " (" << e.note << ")";
+  return os;
+}
+
+void EventLog::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  while (events_.size() > capacity_) events_.pop_front();
+}
+
+void EventLog::Push(Event e) {
+  if (capacity_ == 0) return;
+  if (events_.size() == capacity_) events_.pop_front();
+  events_.push_back(std::move(e));
+}
+
+void EventLog::Note(Slot slot, std::string text) {
+  Event e;
+  e.slot = slot;
+  e.kind = EventKind::kNote;
+  e.note = std::move(text);
+  Push(std::move(e));
+}
+
+std::string EventLog::Dump() const {
+  std::ostringstream os;
+  for (const auto& e : events_) os << e << "\n";
+  return os.str();
+}
+
+}  // namespace sim

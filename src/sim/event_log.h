@@ -1,0 +1,62 @@
+// Bounded trace of simulator events, for debugging and for the examples
+// that print the proof scenarios (e.g. the Theorem-6 alignment phases of
+// Figure 2) in a human-readable form.
+#pragma once
+
+#include <deque>
+#include <ostream>
+#include <string>
+
+#include "sim/cell.h"
+#include "sim/types.h"
+
+namespace sim {
+
+enum class EventKind {
+  kArrival,     // cell entered the switch at an input port
+  kDispatch,    // demultiplexor launched the cell to a plane
+  kBuffered,    // cell held in an input buffer (input-buffered PPS)
+  kPlaneSend,   // plane started transmitting the cell to its output port
+  kDeparture,   // cell left the switch
+  kDrop,        // cell dropped (never expected; audited by tests)
+  kNote,        // free-form annotation from an adversary/experiment
+};
+
+const char* ToString(EventKind kind);
+
+struct Event {
+  Slot slot = kNoSlot;
+  EventKind kind = EventKind::kNote;
+  CellId cell = 0;
+  PortId input = kNoPort;
+  PortId output = kNoPort;
+  PlaneId plane = kNoPlane;
+  std::string note;
+};
+
+std::ostream& operator<<(std::ostream& os, const Event& e);
+
+// Ring buffer of the most recent `capacity` events.  Disabled (capacity 0)
+// by default so the hot path pays only a branch.
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+  void set_capacity(std::size_t capacity);
+
+  void Push(Event e);
+  void Note(Slot slot, std::string text);
+
+  const std::deque<Event>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  // Renders all retained events, one per line.
+  std::string Dump() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<Event> events_;
+};
+
+}  // namespace sim

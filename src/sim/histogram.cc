@@ -1,0 +1,74 @@
+#include "sim/histogram.h"
+
+#include <sstream>
+
+#include "sim/error.h"
+
+namespace sim {
+
+Histogram::Histogram(std::int64_t max_value) {
+  SIM_CHECK(max_value >= 0, "histogram max_value must be >= 0");
+  buckets_.assign(static_cast<std::size_t>(max_value) + 1, 0);
+}
+
+void Histogram::Add(std::int64_t value) {
+  SIM_CHECK(value >= 0, "histogram sample must be >= 0, got " << value);
+  ++total_;
+  if (static_cast<std::size_t>(value) < buckets_.size()) {
+    ++buckets_[static_cast<std::size_t>(value)];
+  } else {
+    ++overflow_;
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  SIM_CHECK(other.buckets_.size() == buckets_.size(),
+            "merging histograms with different ranges");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+  overflow_ += other.overflow_;
+}
+
+std::size_t Histogram::CountAt(std::int64_t value) const {
+  if (value < 0 || static_cast<std::size_t>(value) >= buckets_.size()) return 0;
+  return buckets_[static_cast<std::size_t>(value)];
+}
+
+double Histogram::Ccdf(std::int64_t value) const {
+  if (total_ == 0) return 0.0;
+  std::size_t le = 0;
+  const auto limit =
+      std::min<std::size_t>(buckets_.size(),
+                            value < 0 ? 0 : static_cast<std::size_t>(value) + 1);
+  for (std::size_t i = 0; i < limit; ++i) le += buckets_[i];
+  return static_cast<double>(total_ - le) / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::Quantile(double q) const {
+  SIM_CHECK(total_ > 0, "quantile of empty histogram");
+  SIM_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
+  const auto target = static_cast<std::size_t>(
+      q * static_cast<double>(total_));
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) return static_cast<std::int64_t>(i);
+  }
+  return static_cast<std::int64_t>(buckets_.size());  // overflow region
+}
+
+std::string Histogram::ToString(std::size_t max_rows) const {
+  std::ostringstream os;
+  std::size_t rows = 0;
+  for (std::size_t i = 0; i < buckets_.size() && rows < max_rows; ++i) {
+    if (buckets_[i] == 0) continue;
+    os << i << "\t" << buckets_[i] << "\n";
+    ++rows;
+  }
+  if (overflow_ > 0) os << ">" << buckets_.size() - 1 << "\t" << overflow_ << "\n";
+  return os.str();
+}
+
+}  // namespace sim

@@ -1,0 +1,42 @@
+// Fixed-width integer histogram for delay distributions.
+//
+// Delays are small non-negative integers (slots), so a dense bucket array
+// with an overflow bucket is both exact and fast.  Used by the experiment
+// reporters to print delay CCDFs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sim {
+
+class Histogram {
+ public:
+  // Buckets [0, max_value]; larger samples land in the overflow bucket.
+  explicit Histogram(std::int64_t max_value = 1 << 14);
+
+  void Add(std::int64_t value);
+  void Merge(const Histogram& other);
+
+  std::size_t total() const { return total_; }
+  std::size_t overflow() const { return overflow_; }
+  // Count of samples equal to value (0 if out of tracked range).
+  std::size_t CountAt(std::int64_t value) const;
+  // Fraction of samples strictly greater than value (CCDF point).
+  double Ccdf(std::int64_t value) const;
+  // Smallest tracked value v with CDF(v) >= q; overflow reported as
+  // max_value + 1.
+  std::int64_t Quantile(double q) const;
+
+  // Multi-line textual rendering: "value count" rows for nonzero buckets.
+  std::string ToString(std::size_t max_rows = 32) const;
+
+ private:
+  std::vector<std::size_t> buckets_;
+  std::size_t total_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace sim

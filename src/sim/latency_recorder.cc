@@ -1,0 +1,63 @@
+#include "sim/latency_recorder.h"
+
+#include <algorithm>
+
+#include "sim/error.h"
+
+namespace sim {
+
+void LatencyRecorder::Record(const Cell& cell) {
+  SIM_CHECK(cell.arrival != kNoSlot && cell.departure != kNoSlot,
+            "cell lacks timestamps: " << cell);
+  SIM_CHECK(cell.departure >= cell.arrival,
+            "departure precedes arrival: " << cell);
+  SIM_CHECK(num_ports_hint_ > 0, "set_num_ports before Record");
+  const Slot d = cell.delay();
+  delay_stats_.Add(d);
+
+  const FlowId flow = MakeFlowId(cell.input, cell.output, num_ports_hint_);
+  auto [it, inserted] = flows_.try_emplace(flow);
+  FlowRecord& fr = it->second;
+  if (inserted) {
+    fr.min_delay = fr.max_delay = d;
+  } else {
+    fr.min_delay = std::min(fr.min_delay, d);
+    fr.max_delay = std::max(fr.max_delay, d);
+    if (cell.seq < fr.last_seq || cell.departure < fr.last_departure) {
+      order_preserved_ = false;
+    }
+  }
+  fr.last_seq = cell.seq;
+  fr.last_departure = cell.departure;
+  ++fr.cells;
+
+  if (keep_per_cell_) per_cell_[cell.id] = d;
+}
+
+Slot LatencyRecorder::FlowJitter(FlowId flow) const {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) return 0;
+  return it->second.max_delay - it->second.min_delay;
+}
+
+Slot LatencyRecorder::MaxJitter() const {
+  Slot best = 0;
+  for (const auto& [flow, fr] : flows_) {
+    best = std::max(best, fr.max_delay - fr.min_delay);
+  }
+  return best;
+}
+
+Slot LatencyRecorder::DelayOf(CellId id) const {
+  auto it = per_cell_.find(id);
+  return it == per_cell_.end() ? kNoSlot : it->second;
+}
+
+void LatencyRecorder::Reset() {
+  delay_stats_.Reset();
+  flows_.clear();
+  per_cell_.clear();
+  order_preserved_ = true;
+}
+
+}  // namespace sim

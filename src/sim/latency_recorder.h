@@ -1,0 +1,72 @@
+// Per-switch delay accounting: per-cell queuing delay and per-flow jitter.
+//
+// The paper's figures of merit (Section 1.1):
+//   * queuing delay of a cell  = departure slot − arrival slot;
+//   * per-flow delay jitter    = max difference in queuing delay between two
+//     cells of the same flow   = max delay − min delay over the flow.
+// RelativeDelayHarness (core/) feeds two recorders — one for the PPS, one
+// for the shadow switch — and derives the *relative* quantities.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cell.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace sim {
+
+class LatencyRecorder {
+ public:
+  // Records a departed cell.  The cell must have valid arrival and
+  // departure slots with departure >= arrival.
+  void Record(const Cell& cell);
+
+  // Also remember each cell's delay by CellId so a harness can align the
+  // same cell across two switches.  Off by default to save memory.
+  void set_keep_per_cell(bool keep) { keep_per_cell_ = keep; }
+
+  std::size_t cells() const { return delay_stats_.count(); }
+  const OnlineStats& delay_stats() const { return delay_stats_; }
+
+  // Per-flow jitter: max − min delay among the flow's recorded cells.
+  // Flows with fewer than two cells have jitter 0 (and are included).
+  Slot FlowJitter(FlowId flow) const;
+  // Maximum jitter across all flows seen; 0 when nothing recorded.
+  Slot MaxJitter() const;
+  // Number of distinct flows observed.
+  std::size_t flow_count() const { return flows_.size(); }
+
+  // Delay of a specific cell (requires keep_per_cell); kNoSlot if unseen.
+  Slot DelayOf(CellId id) const;
+
+  // Order-preservation audit: true iff within every flow, departures
+  // happened in sequence-number order (the switch "should preserve the
+  // order of cells within a flow").
+  bool order_preserved() const { return order_preserved_; }
+
+  void Reset();
+
+ private:
+  struct FlowRecord {
+    Slot min_delay = 0;
+    Slot max_delay = 0;
+    std::uint64_t cells = 0;
+    std::uint64_t last_seq = 0;
+    Slot last_departure = kNoSlot;
+  };
+
+  OnlineStats delay_stats_;
+  std::unordered_map<FlowId, FlowRecord> flows_;
+  std::unordered_map<CellId, Slot> per_cell_;
+  bool keep_per_cell_ = false;
+  bool order_preserved_ = true;
+  PortId num_ports_hint_ = 0;  // for FlowId computation
+ public:
+  // The recorder needs N to form flow ids; set once before use.
+  void set_num_ports(PortId n) { num_ports_hint_ = n; }
+};
+
+}  // namespace sim

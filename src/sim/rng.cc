@@ -1,0 +1,85 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+#include "sim/error.h"
+
+namespace sim {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t bound) {
+  SIM_CHECK(bound > 0, "UniformInt bound must be positive");
+  // Lemire's method: multiply-shift with rejection of the biased window.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+std::uint64_t Rng::Geometric(double p) {
+  SIM_CHECK(p > 0.0 && p <= 1.0, "Geometric requires p in (0,1]");
+  if (p == 1.0) return 0;
+  const double u = UniformDouble();
+  return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
+}
+
+Rng Rng::Fork(std::uint64_t salt) {
+  std::uint64_t s = state_[0] ^ Rotl(state_[3], 13) ^ (salt * 0xd1342543de82ef95ull);
+  Rng child(0);
+  for (auto& word : child.state_) word = SplitMix64(s);
+  // Advance self so successive forks with equal salts still differ.
+  (void)Next();
+  return child;
+}
+
+}  // namespace sim

@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// All stochastic traffic sources draw from a seeded Rng so every experiment
+// is exactly reproducible from its (seed, parameters) pair.  The generator
+// is xoshiro256** (Blackman & Vigna), seeded through SplitMix64; it is much
+// faster than std::mt19937_64 and has no observable bias at simulator
+// scales.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sim {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // UniformRandomBitGenerator interface.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return Next(); }
+
+  // Next raw 64-bit value.
+  std::uint64_t Next();
+
+  // Uniform integer in [0, bound).  bound must be > 0.  Uses Lemire's
+  // nearly-divisionless method.
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Geometric number of failures before first success, success prob p>0.
+  std::uint64_t Geometric(double p);
+
+  // Forks an independent stream (jump-free: reseeds via SplitMix of the
+  // current state plus a salt).  Used to give each input port its own
+  // stream so adding ports does not perturb existing ones.
+  Rng Fork(std::uint64_t salt);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace sim

@@ -1,0 +1,72 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sim/error.h"
+
+namespace sim {
+
+void OnlineStats::Add(std::int64_t x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double dx = static_cast<double>(x) - mean_;
+  mean_ += dx / static_cast<double>(count_);
+  m2_ += dx * (static_cast<double>(x) - mean_);
+}
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void OnlineStats::Reset() { *this = OnlineStats{}; }
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+std::string OnlineStats::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " sd=" << stddev()
+     << " min=" << min_ << " max=" << max_;
+  return os.str();
+}
+
+std::int64_t QuantileSketch::Quantile(double q) const {
+  SIM_CHECK(!samples_.empty(), "Quantile of empty sketch");
+  SIM_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range: " << q);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const auto n = samples_.size();
+  auto rank = static_cast<std::size_t>(q * static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  return samples_[rank];
+}
+
+}  // namespace sim

@@ -1,0 +1,63 @@
+// Streaming summary statistics (Welford) and exact small-sample quantiles.
+//
+// Delay and jitter measurements are integers (slots); OnlineStats keeps a
+// numerically stable running mean/variance plus min/max, and QuantileSketch
+// stores samples exactly (experiments here are small enough that exact
+// quantiles are affordable and preferable to an approximate sketch).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sim {
+
+// Welford online mean/variance with min/max, for 64-bit integer samples.
+class OnlineStats {
+ public:
+  void Add(std::int64_t x);
+  void Merge(const OnlineStats& other);
+  void Reset();
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  // Population variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  std::int64_t min() const { return min_; }
+  std::int64_t max() const { return max_; }
+  std::int64_t sum() const { return sum_; }
+
+  std::string ToString() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  std::int64_t sum_ = 0;
+};
+
+// Exact quantiles over stored samples.  Samples are sorted lazily.
+class QuantileSketch {
+ public:
+  void Add(std::int64_t x) { samples_.push_back(x); sorted_ = false; }
+  void Reserve(std::size_t n) { samples_.reserve(n); }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Quantile q in [0,1] with nearest-rank semantics; requires nonempty.
+  std::int64_t Quantile(double q) const;
+
+  std::int64_t Median() const { return Quantile(0.5); }
+  std::int64_t P99() const { return Quantile(0.99); }
+
+ private:
+  mutable std::vector<std::int64_t> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace sim

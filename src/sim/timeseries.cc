@@ -1,0 +1,88 @@
+#include "sim/timeseries.h"
+
+#include <algorithm>
+
+#include "sim/error.h"
+
+namespace sim {
+
+void TimeSeries::Record(Slot t, std::int64_t value) {
+  SIM_CHECK(points_.empty() || t > points_.back().slot,
+            "time series slots must be strictly increasing");
+  points_.push_back({t, value});
+}
+
+Slot TimeSeries::first_slot() const {
+  SIM_CHECK(!points_.empty(), "empty time series");
+  return points_.front().slot;
+}
+
+Slot TimeSeries::last_slot() const {
+  SIM_CHECK(!points_.empty(), "empty time series");
+  return points_.back().slot;
+}
+
+std::int64_t TimeSeries::Max() const {
+  SIM_CHECK(!points_.empty(), "empty time series");
+  std::int64_t best = points_.front().value;
+  for (const Point& p : points_) best = std::max(best, p.value);
+  return best;
+}
+
+std::int64_t TimeSeries::Min() const {
+  SIM_CHECK(!points_.empty(), "empty time series");
+  std::int64_t best = points_.front().value;
+  for (const Point& p : points_) best = std::min(best, p.value);
+  return best;
+}
+
+double TimeSeries::Mean() const {
+  SIM_CHECK(!points_.empty(), "empty time series");
+  double sum = 0;
+  for (const Point& p : points_) sum += static_cast<double>(p.value);
+  return sum / static_cast<double>(points_.size());
+}
+
+std::int64_t TimeSeries::ValueAt(Slot t) const {
+  SIM_CHECK(!points_.empty() && points_.front().slot <= t,
+            "no sample at or before slot " << t);
+  auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                             [](Slot slot, const Point& p) {
+                               return slot < p.slot;
+                             });
+  return std::prev(it)->value;
+}
+
+std::vector<TimeSeries::Bucket> TimeSeries::Buckets(int count) const {
+  SIM_CHECK(count >= 1, "need at least one bucket");
+  std::vector<Bucket> buckets;
+  if (points_.empty()) return buckets;
+  const Slot lo = first_slot();
+  const Slot hi = last_slot() + 1;
+  const Slot width = std::max<Slot>(1, (hi - lo + count - 1) / count);
+  buckets.reserve(static_cast<std::size_t>(count));
+  std::size_t cursor = 0;
+  for (Slot from = lo; from < hi; from += width) {
+    Bucket b;
+    b.from = from;
+    b.to = std::min(hi, from + width);
+    double sum = 0;
+    while (cursor < points_.size() && points_[cursor].slot < b.to) {
+      const std::int64_t v = points_[cursor].value;
+      if (b.samples == 0) {
+        b.min = b.max = v;
+      } else {
+        b.min = std::min(b.min, v);
+        b.max = std::max(b.max, v);
+      }
+      sum += static_cast<double>(v);
+      ++b.samples;
+      ++cursor;
+    }
+    if (b.samples > 0) b.mean = sum / static_cast<double>(b.samples);
+    buckets.push_back(b);
+  }
+  return buckets;
+}
+
+}  // namespace sim

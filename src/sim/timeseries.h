@@ -1,0 +1,49 @@
+// Slot-indexed time series with windowed aggregation, for reporting how a
+// quantity (backlog, busy state, queue depth) evolves over a run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace sim {
+
+class TimeSeries {
+ public:
+  // Appends the value observed at slot t; slots must be strictly
+  // increasing.
+  void Record(Slot t, std::int64_t value);
+
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+  Slot first_slot() const;
+  Slot last_slot() const;
+
+  std::int64_t Max() const;
+  std::int64_t Min() const;
+  double Mean() const;
+
+  // Latest value recorded at or before t (requires a point at or before t).
+  std::int64_t ValueAt(Slot t) const;
+
+  // Aggregates the series into `count` equal-width windows.
+  struct Bucket {
+    Slot from = 0;
+    Slot to = 0;  // exclusive
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+    double mean = 0.0;
+    std::size_t samples = 0;
+  };
+  std::vector<Bucket> Buckets(int count) const;
+
+ private:
+  struct Point {
+    Slot slot;
+    std::int64_t value;
+  };
+  std::vector<Point> points_;
+};
+
+}  // namespace sim

@@ -1,0 +1,48 @@
+// Fundamental scalar types shared by every module of the PPS reproduction.
+//
+// The formal model of Attiya & Hay (SPAA 2004), Section 2, is slot
+// synchronous: "cells arrive to the switch and leave it in discrete
+// time-slots", where a time slot is the time to transmit one cell at the
+// external rate R.  Everything in this library is expressed in those units.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sim {
+
+// Discrete time, in units of one external-line cell time (a "time slot").
+// Signed so that "slot - delay" arithmetic and sentinel values are safe.
+using Slot = std::int64_t;
+
+// Sentinel for "no slot" / "never".
+inline constexpr Slot kNoSlot = std::numeric_limits<Slot>::min();
+
+// Port and plane indices.  An N x N PPS has inputs/outputs in [0, N) and
+// planes (middle-stage switches) in [0, K).
+using PortId = std::int32_t;
+using PlaneId = std::int32_t;
+
+// Sentinel plane id meaning "keep the cell in the input buffer" (the
+// bottom element in Definition 2 of the paper).
+inline constexpr PlaneId kNoPlane = -1;
+
+// Sentinel port id.
+inline constexpr PortId kNoPort = -1;
+
+// Globally unique cell identifier (assigned in injection order).
+using CellId = std::uint64_t;
+
+// A flow is the stream of cells from one input port to one output port
+// ("cells arrive to the switch as a collection of flows from one input port
+// to the same output-port").  Encoded as input * N + output by FlowKey.
+using FlowId = std::uint64_t;
+
+// Builds the canonical flow id for a (input, output) pair in an N-port
+// switch.
+constexpr FlowId MakeFlowId(PortId input, PortId output, PortId num_ports) {
+  return static_cast<FlowId>(input) * static_cast<FlowId>(num_ports) +
+         static_cast<FlowId>(output);
+}
+
+}  // namespace sim

@@ -1,0 +1,69 @@
+// Static configuration of a parallel packet switch.
+//
+// An N x N PPS has K planes (middle-stage N x N switches) whose internal
+// lines run at rate r < R.  We normalise R to one cell per slot and require
+// R/r to be an integer r' >= 1 (the paper: "for simplicity, we assume that
+// R/r = ceil(R/r)").  The speedup is S = K*r/R = K/r'.
+#pragma once
+
+#include <string>
+
+#include "sim/error.h"
+#include "sim/types.h"
+
+namespace pps {
+
+// How planes schedule deliveries to the output ports.
+enum class PlaneScheduling {
+  kEagerFifo,  // per-(plane,output) FIFO; send head whenever the link is free
+  kBooked,     // cells carry an exact delivery slot booked at dispatch (CPA)
+};
+
+// How the output multiplexer orders cells that reached the output port.
+enum class MuxPolicy {
+  kFcfsArrival,       // first-delivered, first-out (ties by plane id)
+  kOldestCellReseq,   // per-flow resequencing, then oldest switch-arrival first
+};
+
+struct SwitchConfig {
+  sim::PortId num_ports = 0;  // N
+  int num_planes = 0;         // K
+  int rate_ratio = 1;         // r' = R/r
+
+  PlaneScheduling plane_scheduling = PlaneScheduling::kEagerFifo;
+  MuxPolicy mux_policy = MuxPolicy::kOldestCellReseq;
+
+  // Input-buffered variant only: per-input buffer capacity in cells.
+  int input_buffer_size = 0;
+
+  // Keep a ring of global snapshots covering this many past slots, for
+  // u-RT demultiplexors.  0 disables snapshotting.
+  int snapshot_history = 0;
+
+  // Resequencing timeout (kOldestCellReseq only): after this many
+  // consecutive stalled slots at an output, the multiplexer gives up on
+  // the missing sequence number and releases the oldest staged cell of
+  // that flow — the reassembly-timer escape hatch needed once cells can
+  // be lost (plane failures).  0 = wait forever (lossless operation).
+  int reseq_timeout = 0;
+
+  double speedup() const {
+    return static_cast<double>(num_planes) / rate_ratio;
+  }
+
+  void Validate() const {
+    SIM_CHECK(num_ports > 0, "num_ports must be positive");
+    SIM_CHECK(num_planes > 0, "num_planes must be positive");
+    SIM_CHECK(rate_ratio >= 1, "rate_ratio must be >= 1");
+    SIM_CHECK(input_buffer_size >= 0, "negative input buffer");
+    SIM_CHECK(snapshot_history >= 0, "negative snapshot history");
+  }
+
+  std::string ToString() const {
+    return "N=" + std::to_string(num_ports) + " K=" +
+           std::to_string(num_planes) + " r'=" + std::to_string(rate_ratio) +
+           " S=" + std::to_string(speedup());
+  }
+};
+
+}  // namespace pps

@@ -1,0 +1,141 @@
+// Demultiplexing-algorithm interfaces (Definitions 1, 2, 5, 9 of the
+// paper).
+//
+// One Demultiplexor instance resides at each input port; it is a
+// *deterministic state machine*.  The classes differ only in what a
+// decision may depend on:
+//   * fully distributed  — local history only (Definition 5);
+//   * u-RT               — local history plus global state up to t - u
+//                          (Definition 9);
+//   * centralized        — u = 0, full immediate knowledge.
+// The fabric supplies exactly the information the declared class permits
+// and nothing more, so an algorithm cannot accidentally cheat.
+//
+// Clone() exposes the state machine to the lower-bound adversaries, which
+// need white-box access to drive a demultiplexor into a chosen applicable
+// state (the proofs assume the set of applicable configurations is
+// strongly connected; the adversaries realise the connecting traffic by
+// probing clones).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/cell.h"
+#include "sim/types.h"
+#include "switch/config.h"
+#include "switch/snapshot.h"
+
+namespace pps {
+
+enum class InfoModel {
+  kFullyDistributed,
+  kRealTimeDistributed,  // u-RT with u = info_delay()
+  kCentralized,
+};
+
+const char* ToString(InfoModel m);
+
+// A dispatch decision for one cell.  In booked (CPA-style) scheduling the
+// demultiplexor also fixes the exact slot at which the plane will deliver
+// the cell to its output port.
+struct DispatchDecision {
+  sim::PlaneId plane = sim::kNoPlane;
+  sim::Slot booked_delivery = sim::kNoSlot;  // kNoSlot => eager plane FIFO
+};
+
+// Read-only view handed to a bufferless demultiplexor when a cell arrives.
+struct DispatchContext {
+  sim::Slot now = 0;
+  // input_link_free[k]: may a transmission from this input to plane k start
+  // now?  (The input constraint.)
+  std::span<const bool> input_link_free;
+  // Global snapshot from slot now - u (u-RT), or the live end-of-previous-
+  // slot state (centralized), or nullptr (fully distributed).
+  const GlobalSnapshot* global = nullptr;
+};
+
+// Bufferless demultiplexor (Definition 1): an arriving cell must be sent to
+// some plane immediately.
+class Demultiplexor {
+ public:
+  virtual ~Demultiplexor() = default;
+
+  // Binds the instance to its port and switch geometry; called once before
+  // use and again on reuse.
+  virtual void Reset(const SwitchConfig& config, sim::PortId input) = 0;
+
+  // Chooses a plane for `cell` arriving now.  Must return a plane whose
+  // input link is free (ctx.input_link_free[plane]); the fabric enforces
+  // this.  Called exactly once per arriving cell, in input-port order
+  // within a slot.  Returning kNoPlane drops the cell at the input — only
+  // legitimate when every plane the algorithm may use is unavailable
+  // (e.g. after plane failures; see BufferlessPps::FailPlane), and the
+  // fabric counts it.
+  virtual DispatchDecision Dispatch(const sim::Cell& cell,
+                                    const DispatchContext& ctx) = 0;
+
+  // Slot boundary hook (after all arrivals of slot `now` were dispatched).
+  // Fully-distributed demultiplexors must not change state here unless a
+  // cell arrived ("if no cell arrives ... its demultiplexor does not
+  // change its state") — the fabric only invokes it for classes that are
+  // allowed time-driven transitions (u-RT, centralized).
+  virtual void OnSlotEnd(sim::Slot now) { (void)now; }
+
+  virtual InfoModel info_model() const = 0;
+  // Information delay u for u-RT algorithms (ignored otherwise).
+  virtual int info_delay() const { return 0; }
+
+  virtual std::unique_ptr<Demultiplexor> Clone() const = 0;
+  virtual std::string name() const = 0;
+};
+
+// Factory producing the demultiplexor for input port i.
+using DemuxFactory =
+    std::function<std::unique_ptr<Demultiplexor>(sim::PortId)>;
+
+// --- Input-buffered variant (Definition 2) ---------------------------------
+
+// View for a buffered decision: the port's buffer (front = oldest) and the
+// incoming cell if any.
+struct BufferedContext {
+  sim::Slot now = 0;
+  std::span<const sim::Cell> buffer;
+  const sim::Cell* incoming = nullptr;  // nullptr if no arrival this slot
+  std::span<const bool> input_link_free;
+  const GlobalSnapshot* global = nullptr;
+};
+
+// The decision mirrors the paper's vector of size |b_i| + 1: one entry per
+// buffered cell plus one for the incoming cell; kNoPlane keeps the cell in
+// the buffer.  Launched cells must use distinct planes with free input
+// links (each line fits one start per r' slots).
+struct BufferedDecision {
+  std::vector<DispatchDecision> buffered;  // size == ctx.buffer.size()
+  DispatchDecision incoming;               // ignored if no incoming cell
+};
+
+class BufferedDemultiplexor {
+ public:
+  virtual ~BufferedDemultiplexor() = default;
+
+  virtual void Reset(const SwitchConfig& config, sim::PortId input) = 0;
+
+  // Called once per slot (even with no arrival) so buffered cells can be
+  // launched as links free up.
+  virtual BufferedDecision Decide(const BufferedContext& ctx) = 0;
+
+  virtual InfoModel info_model() const = 0;
+  virtual int info_delay() const { return 0; }
+
+  virtual std::unique_ptr<BufferedDemultiplexor> Clone() const = 0;
+  virtual std::string name() const = 0;
+};
+
+using BufferedDemuxFactory =
+    std::function<std::unique_ptr<BufferedDemultiplexor>(sim::PortId)>;
+
+}  // namespace pps

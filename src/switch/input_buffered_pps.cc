@@ -1,0 +1,236 @@
+#include "switch/input_buffered_pps.h"
+
+#include <algorithm>
+
+#include "sim/error.h"
+
+namespace pps {
+
+InputBufferedPps::InputBufferedPps(SwitchConfig config,
+                                   const BufferedDemuxFactory& factory)
+    : config_(config),
+      in_links_(config.num_ports, config.num_planes, config.rate_ratio),
+      ring_(config.snapshot_history) {
+  config_.Validate();
+  SIM_CHECK(config_.input_buffer_size > 0,
+            "InputBufferedPps needs input_buffer_size > 0");
+  demux_.reserve(static_cast<std::size_t>(config_.num_ports));
+  for (sim::PortId i = 0; i < config_.num_ports; ++i) {
+    demux_.push_back(factory(i));
+    SIM_CHECK(demux_.back() != nullptr, "factory returned null demux");
+    demux_.back()->Reset(config_, i);
+    if (demux_.back()->info_model() != InfoModel::kFullyDistributed) {
+      needs_global_ = true;
+    }
+  }
+  SIM_CHECK(!needs_global_ || ring_.enabled(),
+            "u-RT/centralized demultiplexors need snapshot_history > 0");
+  planes_.reserve(static_cast<std::size_t>(config_.num_planes));
+  for (sim::PlaneId k = 0; k < config_.num_planes; ++k) {
+    planes_.emplace_back(k, config_.num_ports, config_.rate_ratio,
+                         config_.plane_scheduling);
+  }
+  muxes_.reserve(static_cast<std::size_t>(config_.num_ports));
+  for (sim::PortId j = 0; j < config_.num_ports; ++j) {
+    muxes_.emplace_back(j, config_.num_ports, config_.mux_policy,
+                        config_.reseq_timeout);
+  }
+  buffers_.resize(static_cast<std::size_t>(config_.num_ports));
+  incoming_.resize(static_cast<std::size_t>(config_.num_ports));
+  failed_.assign(static_cast<std::size_t>(config_.num_planes), false);
+}
+
+void InputBufferedPps::FailPlane(sim::PlaneId k) {
+  SIM_CHECK(k >= 0 && k < config_.num_planes, "bad plane id " << k);
+  if (failed_[static_cast<std::size_t>(k)]) return;
+  failed_[static_cast<std::size_t>(k)] = true;
+  failed_plane_losses_ += static_cast<std::uint64_t>(
+      planes_[static_cast<std::size_t>(k)].TotalBacklog());
+  planes_[static_cast<std::size_t>(k)].Reset();
+}
+
+void InputBufferedPps::Inject(sim::Cell cell, sim::Slot t) {
+  SIM_CHECK(cell.input >= 0 && cell.input < config_.num_ports &&
+                cell.output >= 0 && cell.output < config_.num_ports,
+            "bad ports on " << cell);
+  if (cell.arrival == sim::kNoSlot) cell.arrival = t;
+  SIM_CHECK(cell.arrival == t, "arrival stamp mismatch on " << cell);
+  auto& slot_cell = incoming_[static_cast<std::size_t>(cell.input)];
+  SIM_CHECK(!slot_cell.has_value(),
+            "two cells on input " << cell.input << " in slot " << t);
+  slot_cell = cell;
+}
+
+const GlobalSnapshot* InputBufferedPps::GlobalViewFor(
+    const BufferedDemultiplexor& d, sim::Slot t) const {
+  switch (d.info_model()) {
+    case InfoModel::kFullyDistributed:
+      return nullptr;
+    case InfoModel::kCentralized:
+      return ring_.Latest();
+    case InfoModel::kRealTimeDistributed:
+      return ring_.Lookup(t - d.info_delay());
+  }
+  return nullptr;
+}
+
+void InputBufferedPps::Launch(sim::PortId input, const sim::Cell& cell,
+                              const DispatchDecision& decision, sim::Slot t) {
+  SIM_CHECK(decision.plane >= 0 && decision.plane < config_.num_planes,
+            "invalid plane " << decision.plane);
+  SIM_CHECK(in_links_.CanStart(input, decision.plane, t),
+            demux_[static_cast<std::size_t>(input)]->name()
+                << " violated the input constraint: line (" << input << ","
+                << decision.plane << ") busy at slot " << t);
+  in_links_.Start(input, decision.plane, t);
+  planes_[static_cast<std::size_t>(decision.plane)].Accept(
+      cell, t, decision.booked_delivery);
+}
+
+std::vector<sim::Cell> InputBufferedPps::Advance(sim::Slot t) {
+  if (!free_buf_) {
+    free_buf_ = std::make_unique<bool[]>(
+        static_cast<std::size_t>(config_.num_planes));
+  }
+  for (sim::PortId i = 0; i < config_.num_ports; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    BufferedDemultiplexor& d = *demux_[idx];
+    std::vector<sim::Cell>& buffer = buffers_[idx];
+    const std::optional<sim::Cell>& incoming = incoming_[idx];
+
+    for (int k = 0; k < config_.num_planes; ++k) {
+      free_buf_[static_cast<std::size_t>(k)] =
+          !failed_[static_cast<std::size_t>(k)] &&
+          in_links_.CanStart(i, k, t);
+    }
+    BufferedContext ctx;
+    ctx.now = t;
+    ctx.buffer = std::span<const sim::Cell>(buffer.data(), buffer.size());
+    ctx.incoming = incoming.has_value() ? &*incoming : nullptr;
+    ctx.input_link_free = std::span<const bool>(
+        free_buf_.get(), static_cast<std::size_t>(config_.num_planes));
+    ctx.global = GlobalViewFor(d, t);
+
+    BufferedDecision decision = d.Decide(ctx);
+    SIM_CHECK(decision.buffered.size() == buffer.size(),
+              d.name() << " returned " << decision.buffered.size()
+                       << " buffered decisions for a buffer of "
+                       << buffer.size());
+
+    // Launch selected cells; each launch occupies one (i,k) line, so the
+    // per-slot validation is exactly "each chosen line can start now" —
+    // LinkBank::Start marks the line busy, making duplicate choices fail.
+    std::vector<sim::Cell> kept;
+    kept.reserve(buffer.size() + 1);
+    for (std::size_t b = 0; b < buffer.size(); ++b) {
+      if (decision.buffered[b].plane == sim::kNoPlane) {
+        kept.push_back(buffer[b]);
+      } else {
+        Launch(i, buffer[b], decision.buffered[b], t);
+      }
+    }
+    if (incoming.has_value()) {
+      if (decision.incoming.plane == sim::kNoPlane) {
+        if (static_cast<int>(kept.size()) >= config_.input_buffer_size) {
+          // The buffer is full and the algorithm kept the incoming cell:
+          // in the paper's model this cannot happen to a correct
+          // algorithm; we count (and drop) rather than abort so buggy
+          // algorithms are measurable.
+          ++buffer_overflows_;
+        } else {
+          kept.push_back(*incoming);
+        }
+      } else {
+        Launch(i, *incoming, decision.incoming, t);
+      }
+    }
+    buffer = std::move(kept);
+    incoming_[idx].reset();
+  }
+
+  std::vector<sim::Cell> delivered;
+  for (Plane& plane : planes_) {
+    if (failed_[static_cast<std::size_t>(plane.id())]) continue;
+    plane.Deliver(t, delivered);
+  }
+  for (sim::Cell& cell : delivered) {
+    muxes_[static_cast<std::size_t>(cell.output)].Stage(cell, t);
+  }
+  std::vector<sim::Cell> departed;
+  for (OutputMux& mux : muxes_) {
+    sim::Cell cell;
+    if (mux.Depart(t, &cell)) departed.push_back(cell);
+  }
+  if (ring_.enabled()) ring_.Push(TakeSnapshot(t));
+  return departed;
+}
+
+GlobalSnapshot InputBufferedPps::TakeSnapshot(sim::Slot t) const {
+  GlobalSnapshot snap;
+  snap.slot = t;
+  const auto n = static_cast<std::size_t>(config_.num_ports);
+  const auto kk = static_cast<std::size_t>(config_.num_planes);
+  snap.plane_backlog.resize(kk * n);
+  snap.output_link_next_free.resize(kk * n);
+  snap.input_link_next_free.resize(n * kk);
+  snap.output_backlog.resize(n);
+  for (std::size_t k = 0; k < kk; ++k) {
+    const Plane& plane = planes_[k];
+    for (std::size_t j = 0; j < n; ++j) {
+      snap.plane_backlog[k * n + j] = static_cast<std::int32_t>(
+          plane.Backlog(static_cast<sim::PortId>(j)));
+      snap.output_link_next_free[k * n + j] =
+          plane.OutputLinkNextFree(static_cast<sim::PortId>(j));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < kk; ++k) {
+      snap.input_link_next_free[i * kk + k] =
+          in_links_.NextFree(static_cast<int>(i), static_cast<int>(k));
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    snap.output_backlog[j] = static_cast<std::int32_t>(muxes_[j].Backlog());
+  }
+  return snap;
+}
+
+bool InputBufferedPps::Drained() const { return TotalBacklog() == 0; }
+
+std::int64_t InputBufferedPps::TotalBacklog() const {
+  std::int64_t total = 0;
+  for (const Plane& plane : planes_) total += plane.TotalBacklog();
+  for (const OutputMux& mux : muxes_) total += mux.Backlog();
+  for (const auto& buffer : buffers_) {
+    total += static_cast<std::int64_t>(buffer.size());
+  }
+  return total;
+}
+
+std::int64_t InputBufferedPps::BufferOccupancy(sim::PortId i) const {
+  return static_cast<std::int64_t>(
+      buffers_[static_cast<std::size_t>(i)].size());
+}
+
+std::uint64_t InputBufferedPps::resequencing_stalls() const {
+  std::uint64_t total = 0;
+  for (const OutputMux& mux : muxes_) total += mux.resequencing_stalls();
+  return total;
+}
+
+void InputBufferedPps::Reset() {
+  for (sim::PortId i = 0; i < config_.num_ports; ++i) {
+    demux_[static_cast<std::size_t>(i)]->Reset(config_, i);
+  }
+  for (Plane& plane : planes_) plane.Reset();
+  for (OutputMux& mux : muxes_) mux.Reset();
+  in_links_.Reset();
+  ring_.Clear();
+  for (auto& buffer : buffers_) buffer.clear();
+  for (auto& inc : incoming_) inc.reset();
+  std::fill(failed_.begin(), failed_.end(), false);
+  buffer_overflows_ = 0;
+  failed_plane_losses_ = 0;
+}
+
+}  // namespace pps

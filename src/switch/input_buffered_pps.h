@@ -1,0 +1,85 @@
+// The input-buffered PPS variant (Iyer & McKeown; Section 4 of the paper):
+// each input port has a finite buffer of `input_buffer_size` cells in
+// addition to the plane and output buffers.  An arriving cell is either
+// launched to a plane or kept in the buffer; "in every time-slot, the
+// demultiplexor sends any number of buffered cells to the planes, provided
+// that the rate constraints on the lines between the input-port and any
+// plane are preserved" (at most one start per line per r' slots, so at most
+// K launches per slot, one per plane).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/cell.h"
+#include "sim/types.h"
+#include "switch/config.h"
+#include "switch/demux_iface.h"
+#include "switch/link.h"
+#include "switch/output_mux.h"
+#include "switch/plane.h"
+#include "switch/snapshot.h"
+
+namespace pps {
+
+class InputBufferedPps {
+ public:
+  InputBufferedPps(SwitchConfig config, const BufferedDemuxFactory& factory);
+
+  // Offers the (at most one) cell arriving at its input in slot t.  The
+  // launch/keep decision happens in Advance, giving the demultiplexor one
+  // coherent view of the slot.
+  void Inject(sim::Cell cell, sim::Slot t);
+
+  // Runs slot t: per-input buffered decisions, plane deliveries, output
+  // departures, snapshot.  Returns departing cells.
+  std::vector<sim::Cell> Advance(sim::Slot t);
+
+  bool Drained() const;
+  std::int64_t TotalBacklog() const;
+  std::int64_t BufferOccupancy(sim::PortId i) const;
+
+  // Fault injection, mirroring BufferlessPps::FailPlane: the plane's lines
+  // appear permanently busy, buffered algorithms route around it, and its
+  // queued cells are lost (counted).
+  void FailPlane(sim::PlaneId k);
+  bool PlaneFailed(sim::PlaneId k) const {
+    return failed_[static_cast<std::size_t>(k)];
+  }
+  std::uint64_t failed_plane_losses() const { return failed_plane_losses_; }
+
+  const SwitchConfig& config() const { return config_; }
+  std::uint64_t buffer_overflows() const { return buffer_overflows_; }
+  std::uint64_t resequencing_stalls() const;
+  const BufferedDemultiplexor& demux(sim::PortId i) const {
+    return *demux_[static_cast<std::size_t>(i)];
+  }
+
+  void Reset();
+
+ private:
+  const GlobalSnapshot* GlobalViewFor(const BufferedDemultiplexor& d,
+                                      sim::Slot t) const;
+  GlobalSnapshot TakeSnapshot(sim::Slot t) const;
+  void Launch(sim::PortId input, const sim::Cell& cell,
+              const DispatchDecision& decision, sim::Slot t);
+
+  SwitchConfig config_;
+  std::vector<std::unique_ptr<BufferedDemultiplexor>> demux_;
+  std::vector<Plane> planes_;
+  std::vector<OutputMux> muxes_;
+  LinkBank in_links_;
+  SnapshotRing ring_;
+  std::vector<std::vector<sim::Cell>> buffers_;        // per input, oldest first
+  std::vector<std::optional<sim::Cell>> incoming_;     // per input, this slot
+  std::vector<bool> failed_;                           // per plane
+  std::uint64_t buffer_overflows_ = 0;
+  std::uint64_t failed_plane_losses_ = 0;
+  bool needs_global_ = false;
+  std::unique_ptr<bool[]> free_buf_;
+};
+
+}  // namespace pps

@@ -1,0 +1,71 @@
+#include "switch/link.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace pps {
+
+LinkBank::LinkBank(int rows, int cols, int rate_ratio)
+    : rows_(rows), cols_(cols), rate_ratio_(rate_ratio) {
+  SIM_CHECK(rows > 0 && cols > 0 && rate_ratio >= 1, "bad LinkBank shape");
+  next_free_.assign(
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+      std::numeric_limits<sim::Slot>::min() / 2);
+}
+
+void LinkBank::Start(int row, int col, sim::Slot t) {
+  const std::size_t idx = Index(row, col);
+  if (next_free_[idx] > t) ++violations_;
+  SIM_DCHECK(next_free_[idx] <= t,
+             "link (" << row << "," << col << ") busy until "
+                      << next_free_[idx] << ", start at " << t);
+  next_free_[idx] = t + rate_ratio_;
+}
+
+int LinkBank::FreeCount(int row, sim::Slot t) const {
+  int n = 0;
+  for (int col = 0; col < cols_; ++col) {
+    if (CanStart(row, col, t)) ++n;
+  }
+  return n;
+}
+
+void LinkBank::Reset() {
+  std::fill(next_free_.begin(), next_free_.end(),
+            std::numeric_limits<sim::Slot>::min() / 2);
+  violations_ = 0;
+}
+
+ReservationBank::ReservationBank(int rows, int cols, int rate_ratio)
+    : rows_(rows), cols_(cols), rate_ratio_(rate_ratio) {
+  SIM_CHECK(rows > 0 && cols > 0 && rate_ratio >= 1,
+            "bad ReservationBank shape");
+  reserved_.resize(static_cast<std::size_t>(rows) *
+                   static_cast<std::size_t>(cols));
+}
+
+bool ReservationBank::Conflicts(int row, int col, sim::Slot t) const {
+  const auto& slots = reserved_[Index(row, col)];
+  // Any reservation s with |s - t| < rate_ratio conflicts.
+  auto it = slots.lower_bound(t - rate_ratio_ + 1);
+  return it != slots.end() && it->first <= t + rate_ratio_ - 1;
+}
+
+void ReservationBank::Reserve(int row, int col, sim::Slot t) {
+  SIM_DCHECK(!Conflicts(row, col, t), "conflicting reservation");
+  reserved_[Index(row, col)].emplace(t, true);
+}
+
+void ReservationBank::ExpireBefore(sim::Slot t) {
+  for (auto& slots : reserved_) {
+    slots.erase(slots.begin(), slots.lower_bound(t));
+  }
+}
+
+std::size_t ReservationBank::pending() const {
+  std::size_t n = 0;
+  for (const auto& slots : reserved_) n += slots.size();
+  return n;
+}
+
+}  // namespace pps

@@ -1,0 +1,94 @@
+// Internal-line rate constraints.
+//
+// Section 2 of the paper: "A cell sent from an input-port i to a plane k is
+// transmitted over r' time-slots; transmission takes place in the first
+// time-slot of this period, and then the line between i and k is not
+// utilized in the next r'-1 time-slots" (the *input constraint*); the
+// *output constraint* is symmetric for plane->output lines.  LinkBank
+// tracks, for a full bipartite bank of links, the earliest slot at which
+// the next transmission may start.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/cell.h"
+#include "sim/error.h"
+#include "sim/types.h"
+
+namespace pps {
+
+class LinkBank {
+ public:
+  // rows x cols links, each admitting one start every rate_ratio slots.
+  LinkBank(int rows, int cols, int rate_ratio);
+
+  bool CanStart(int row, int col, sim::Slot t) const {
+    return NextFree(row, col) <= t;
+  }
+
+  // Registers a transmission start; the caller must have checked CanStart.
+  void Start(int row, int col, sim::Slot t);
+
+  sim::Slot NextFree(int row, int col) const {
+    return next_free_[Index(row, col)];
+  }
+
+  // Number of free links in `row` at slot t.
+  int FreeCount(int row, sim::Slot t) const;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int rate_ratio() const { return rate_ratio_; }
+
+  // Count of constraint violations tolerated in release mode (always 0 when
+  // all callers use CanStart; audited by tests).
+  std::uint64_t violations() const { return violations_; }
+
+  void Reset();
+
+ private:
+  std::size_t Index(int row, int col) const {
+    SIM_DCHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+               "link index out of range");
+    return static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(col);
+  }
+
+  int rows_, cols_, rate_ratio_;
+  std::vector<sim::Slot> next_free_;
+  std::uint64_t violations_ = 0;
+};
+
+// Slot-exact reservations on a bank of links, used by booked (CPA-style)
+// scheduling: a reservation at slot t occupies the link for [t, t + r'),
+// so two reservations on one link must differ by at least r'.
+class ReservationBank {
+ public:
+  ReservationBank(int rows, int cols, int rate_ratio);
+
+  // True iff a reservation at slot t on link (row, col) would conflict with
+  // an existing one (closer than rate_ratio in either direction).
+  bool Conflicts(int row, int col, sim::Slot t) const;
+
+  // Reserves; the caller must have checked Conflicts.
+  void Reserve(int row, int col, sim::Slot t);
+
+  // Drops reservations strictly before t (they have been consumed).
+  void ExpireBefore(sim::Slot t);
+
+  std::size_t pending() const;
+
+ private:
+  std::size_t Index(int row, int col) const {
+    return static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(col);
+  }
+
+  int rows_, cols_, rate_ratio_;
+  // Ordered set of reserved start slots per link; reservations are sparse.
+  std::vector<std::map<sim::Slot, bool>> reserved_;
+};
+
+}  // namespace pps

@@ -1,0 +1,105 @@
+#include "switch/output_mux.h"
+
+#include <algorithm>
+
+#include "sim/error.h"
+
+namespace pps {
+
+OutputMux::OutputMux(sim::PortId output, sim::PortId num_ports,
+                     MuxPolicy policy, int reseq_timeout)
+    : output_(output),
+      num_ports_(num_ports),
+      policy_(policy),
+      reseq_timeout_(reseq_timeout) {}
+
+void OutputMux::Stage(sim::Cell cell, sim::Slot t) {
+  SIM_CHECK(cell.output == output_,
+            "cell for output " << cell.output << " staged at " << output_);
+  cell.reached_output = t;
+  staged_.push_back(cell);
+  delivery_order_.push_back(arrival_counter_++);
+}
+
+bool OutputMux::Eligible(const sim::Cell& cell) const {
+  if (policy_ == MuxPolicy::kFcfsArrival) return true;
+  const sim::FlowId flow = sim::MakeFlowId(cell.input, cell.output,
+                                           num_ports_);
+  auto it = next_seq_.find(flow);
+  const std::uint64_t expected = it == next_seq_.end() ? 0 : it->second;
+  return cell.seq == expected;
+}
+
+bool OutputMux::Depart(sim::Slot t, sim::Cell* out) {
+  if (staged_.empty()) return false;
+
+  std::size_t best = staged_.size();
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    if (!Eligible(staged_[i])) continue;
+    if (best == staged_.size()) {
+      best = i;
+      continue;
+    }
+    const sim::Cell& a = staged_[i];
+    const sim::Cell& b = staged_[best];
+    bool better;
+    if (policy_ == MuxPolicy::kFcfsArrival) {
+      better = delivery_order_[i] < delivery_order_[best];
+    } else {
+      better = a.arrival < b.arrival ||
+               (a.arrival == b.arrival && a.id < b.id);
+    }
+    if (better) best = i;
+  }
+  if (best == staged_.size()) {
+    ++stalls_;  // nonempty buffer, nothing eligible (flow head missing)
+    if (reseq_timeout_ > 0 && ++stall_streak_ >= reseq_timeout_) {
+      // Reassembly timeout: the missing sequence numbers will never come
+      // (cells were lost).  Close every flow's gap up to its oldest
+      // staged cell, like an expiring reassembly timer.
+      ++timeouts_;
+      stall_streak_ = 0;
+      for (const sim::Cell& cell : staged_) {
+        const sim::FlowId flow =
+            sim::MakeFlowId(cell.input, cell.output, num_ports_);
+        auto [it, fresh] = next_seq_.try_emplace(flow, cell.seq);
+        if (!fresh && cell.seq > it->second) {
+          // Only raise up to the smallest staged seq of this flow.
+          std::uint64_t min_seq = cell.seq;
+          for (const sim::Cell& other : staged_) {
+            if (other.input == cell.input && other.seq < min_seq) {
+              min_seq = other.seq;
+            }
+          }
+          it->second = std::max(it->second, min_seq);
+        }
+      }
+    }
+    return false;
+  }
+  stall_streak_ = 0;
+
+  sim::Cell cell = staged_[best];
+  staged_.erase(staged_.begin() + static_cast<std::ptrdiff_t>(best));
+  delivery_order_.erase(delivery_order_.begin() +
+                        static_cast<std::ptrdiff_t>(best));
+  cell.departure = t;
+  if (policy_ == MuxPolicy::kOldestCellReseq) {
+    next_seq_[sim::MakeFlowId(cell.input, cell.output, num_ports_)] =
+        cell.seq + 1;
+  }
+  *out = cell;
+  return true;
+}
+
+void OutputMux::Reset() {
+  staged_.clear();
+  delivery_order_.clear();
+  next_seq_.clear();
+  arrival_counter_ = 0;
+  stalls_ = 0;
+  timeouts_ = 0;
+  stall_streak_ = 0;
+}
+
+}  // namespace pps

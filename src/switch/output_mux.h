@@ -1,0 +1,71 @@
+// The PPS output-port multiplexer.
+//
+// Up to K cells can reach an output port in one slot (one per plane line),
+// but the external line emits at most one cell per slot.  The multiplexer
+// stages delivered cells and picks the next departure.  Policies:
+//
+//   * kFcfsArrival — depart in order of delivery to the output port (ties
+//     by plane id).  Simple, but cells of one flow that crossed different
+//     planes can be reordered if a later cell overtakes inside a shorter
+//     plane queue.
+//   * kOldestCellReseq — per-flow resequencing: a cell is eligible only
+//     when all earlier cells of its flow have departed (or are ahead of it
+//     in the staging buffer); among eligible cells, the one that entered
+//     the switch earliest departs first.  This preserves flow order (a
+//     hard requirement: "the switch should preserve the order of cells
+//     within a flow") at the cost of occasionally idling while a flow's
+//     head is stuck in a plane; those slots are counted in
+//     resequencing_stalls().
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cell.h"
+#include "sim/types.h"
+#include "switch/config.h"
+
+namespace pps {
+
+class OutputMux {
+ public:
+  // reseq_timeout: see SwitchConfig::reseq_timeout (0 = wait forever).
+  OutputMux(sim::PortId output, sim::PortId num_ports, MuxPolicy policy,
+            int reseq_timeout = 0);
+
+  // Stages a cell delivered by a plane in slot t.
+  void Stage(sim::Cell cell, sim::Slot t);
+
+  // End of slot t: departs at most one cell; returns true and fills *out.
+  bool Depart(sim::Slot t, sim::Cell* out);
+
+  std::int64_t Backlog() const {
+    return static_cast<std::int64_t>(staged_.size());
+  }
+
+  // Slots in which the buffer was nonempty but no cell was eligible
+  // (resequencing hold).  Always 0 under kFcfsArrival.
+  std::uint64_t resequencing_stalls() const { return stalls_; }
+  // Times the timeout fired and a sequence gap was skipped.
+  std::uint64_t reseq_timeouts() const { return timeouts_; }
+
+  void Reset();
+
+ private:
+  bool Eligible(const sim::Cell& cell) const;
+
+  sim::PortId output_;
+  sim::PortId num_ports_;
+  MuxPolicy policy_;
+  int reseq_timeout_;
+  std::vector<sim::Cell> staged_;
+  std::uint64_t arrival_counter_ = 0;  // delivery order for FCFS ties
+  std::vector<std::uint64_t> delivery_order_;
+  std::unordered_map<sim::FlowId, std::uint64_t> next_seq_;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t timeouts_ = 0;
+  int stall_streak_ = 0;
+};
+
+}  // namespace pps

@@ -1,0 +1,49 @@
+#include "switch/output_queued.h"
+
+#include "sim/error.h"
+
+namespace pps {
+
+OutputQueuedSwitch::OutputQueuedSwitch(sim::PortId num_ports)
+    : num_ports_(num_ports) {
+  SIM_CHECK(num_ports > 0, "need ports");
+  queues_.resize(static_cast<std::size_t>(num_ports));
+}
+
+void OutputQueuedSwitch::Inject(sim::Cell cell, sim::Slot t) {
+  SIM_CHECK(cell.output >= 0 && cell.output < num_ports_,
+            "bad output port on " << cell);
+  cell.arrival = t;
+  queues_[static_cast<std::size_t>(cell.output)].push_back(cell);
+}
+
+std::vector<sim::Cell> OutputQueuedSwitch::Advance(sim::Slot t) {
+  std::vector<sim::Cell> departed;
+  for (auto& q : queues_) {
+    if (q.empty()) continue;
+    sim::Cell cell = q.front();
+    q.pop_front();
+    cell.departure = t;
+    cell.reached_output = t;
+    departed.push_back(cell);
+  }
+  return departed;
+}
+
+std::int64_t OutputQueuedSwitch::Backlog(sim::PortId j) const {
+  return static_cast<std::int64_t>(
+      queues_[static_cast<std::size_t>(j)].size());
+}
+
+std::int64_t OutputQueuedSwitch::TotalBacklog() const {
+  std::int64_t total = 0;
+  for (const auto& q : queues_) total += static_cast<std::int64_t>(q.size());
+  return total;
+}
+
+void OutputQueuedSwitch::Reset() {
+  for (auto& q : queues_) q.clear();
+  idle_violations_ = 0;
+}
+
+}  // namespace pps

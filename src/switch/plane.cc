@@ -1,0 +1,91 @@
+#include "switch/plane.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/error.h"
+
+namespace pps {
+
+Plane::Plane(sim::PlaneId id, sim::PortId num_ports, int rate_ratio,
+             PlaneScheduling scheduling)
+    : id_(id),
+      num_ports_(num_ports),
+      rate_ratio_(rate_ratio),
+      scheduling_(scheduling),
+      out_links_(1, num_ports, rate_ratio),
+      bookings_(1, num_ports, rate_ratio) {
+  queues_.resize(static_cast<std::size_t>(num_ports));
+  backlog_.assign(static_cast<std::size_t>(num_ports), 0);
+}
+
+void Plane::Accept(sim::Cell cell, sim::Slot t, sim::Slot booked_delivery) {
+  SIM_CHECK(cell.output >= 0 && cell.output < num_ports_,
+            "bad output on " << cell);
+  cell.plane = id_;
+  cell.dispatched = t;
+  ++backlog_[static_cast<std::size_t>(cell.output)];
+  if (scheduling_ == PlaneScheduling::kEagerFifo) {
+    SIM_CHECK(booked_delivery == sim::kNoSlot,
+              "booked delivery in eager mode for " << cell);
+    queues_[static_cast<std::size_t>(cell.output)].push_back(cell);
+  } else {
+    SIM_CHECK(booked_delivery != sim::kNoSlot && booked_delivery >= t,
+              "booked mode requires a delivery slot >= now for " << cell);
+    SIM_CHECK(!bookings_.Conflicts(0, cell.output, booked_delivery),
+              "booking at slot " << booked_delivery << " violates the output"
+                                 << " constraint on plane " << id_
+                                 << " line to output " << cell.output);
+    bookings_.Reserve(0, cell.output, booked_delivery);
+    calendar_[booked_delivery].push_back(cell);
+  }
+}
+
+void Plane::Deliver(sim::Slot t, std::vector<sim::Cell>& out) {
+  if (scheduling_ == PlaneScheduling::kEagerFifo) {
+    for (sim::PortId j = 0; j < num_ports_; ++j) {
+      auto& q = queues_[static_cast<std::size_t>(j)];
+      if (q.empty() || !out_links_.CanStart(0, j, t)) continue;
+      sim::Cell cell = q.front();
+      q.pop_front();
+      out_links_.Start(0, j, t);
+      cell.reached_output = t;
+      --backlog_[static_cast<std::size_t>(j)];
+      out.push_back(cell);
+    }
+  } else {
+    auto it = calendar_.find(t);
+    if (it == calendar_.end()) return;
+    for (sim::Cell cell : it->second) {
+      cell.reached_output = t;
+      --backlog_[static_cast<std::size_t>(cell.output)];
+      out.push_back(cell);
+    }
+    calendar_.erase(it);
+    bookings_.ExpireBefore(t + 1);
+  }
+}
+
+bool Plane::BookingConflicts(sim::PortId j, sim::Slot slot) const {
+  return bookings_.Conflicts(0, j, slot);
+}
+
+std::int64_t Plane::Backlog(sim::PortId j) const {
+  return backlog_[static_cast<std::size_t>(j)];
+}
+
+std::int64_t Plane::TotalBacklog() const {
+  std::int64_t total = 0;
+  for (std::int64_t b : backlog_) total += b;
+  return total;
+}
+
+void Plane::Reset() {
+  for (auto& q : queues_) q.clear();
+  calendar_.clear();
+  bookings_.ExpireBefore(std::numeric_limits<sim::Slot>::max());
+  std::fill(backlog_.begin(), backlog_.end(), 0);
+  out_links_.Reset();
+}
+
+}  // namespace pps

@@ -1,0 +1,76 @@
+// A middle-stage switch ("plane"): an N x N output-queued switch whose
+// lines to the PPS output ports run at rate r, i.e. one transmission start
+// per r' slots per (plane, output) line.
+//
+// Two scheduling modes:
+//   * kEagerFifo — per-output FIFO; whenever the line to output j is free
+//     and the queue is nonempty, the head cell is delivered.  This is the
+//     natural greedy plane; the concentration lower bound (Lemma 4) holds
+//     for *any* plane scheduling, so eager is fine for the adversarial
+//     experiments.
+//   * kBooked — every cell carries the exact slot at which it must be
+//     delivered (fixed by a CPA-style demultiplexor at dispatch time); the
+//     plane is a time-indexed calendar and validates that bookings on one
+//     output line are at least r' slots apart (the output constraint).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "sim/cell.h"
+#include "sim/types.h"
+#include "switch/config.h"
+#include "switch/link.h"
+
+namespace pps {
+
+class Plane {
+ public:
+  Plane(sim::PlaneId id, sim::PortId num_ports, int rate_ratio,
+        PlaneScheduling scheduling);
+
+  // Accepts a cell from an input port at slot t; the cell is available in
+  // the plane in the same slot (the input-line bookkeeping lives in the
+  // fabric).  In kBooked mode booked_delivery must be a valid slot >= t
+  // whose line spacing does not conflict with earlier bookings; in
+  // kEagerFifo mode it must be sim::kNoSlot.
+  void Accept(sim::Cell cell, sim::Slot t,
+              sim::Slot booked_delivery = sim::kNoSlot);
+
+  // End-of-slot: delivers cells to the output staging area, respecting the
+  // output constraint.  Appends delivered cells (with reached_output = t).
+  void Deliver(sim::Slot t, std::vector<sim::Cell>& out);
+
+  std::int64_t Backlog(sim::PortId j) const;
+  std::int64_t TotalBacklog() const;
+
+  // Earliest slot at which the line to output j may start a transmission
+  // (eager-mode bookkeeping).
+  sim::Slot OutputLinkNextFree(sim::PortId j) const {
+    return out_links_.NextFree(0, j);
+  }
+
+  // kBooked mode: would a delivery booked at `slot` for output j conflict
+  // with the line spacing of existing bookings?
+  bool BookingConflicts(sim::PortId j, sim::Slot slot) const;
+
+  sim::PlaneId id() const { return id_; }
+  PlaneScheduling scheduling() const { return scheduling_; }
+
+  void Reset();
+
+ private:
+  sim::PlaneId id_;
+  sim::PortId num_ports_;
+  int rate_ratio_;
+  PlaneScheduling scheduling_;
+  // The plane owns its 1 x N bank of output lines (row 0).
+  LinkBank out_links_;
+  std::vector<std::deque<sim::Cell>> queues_;             // eager mode
+  std::map<sim::Slot, std::vector<sim::Cell>> calendar_;  // booked mode
+  ReservationBank bookings_;                              // booked mode
+  std::vector<std::int64_t> backlog_;                     // per output
+};
+
+}  // namespace pps

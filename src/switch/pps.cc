@@ -1,0 +1,236 @@
+#include "switch/pps.h"
+
+#include <algorithm>
+
+#include "sim/error.h"
+
+namespace pps {
+
+const char* ToString(InfoModel m) {
+  switch (m) {
+    case InfoModel::kFullyDistributed: return "fully-distributed";
+    case InfoModel::kRealTimeDistributed: return "u-RT";
+    case InfoModel::kCentralized: return "centralized";
+  }
+  return "?";
+}
+
+BufferlessPps::BufferlessPps(SwitchConfig config, const DemuxFactory& factory)
+    : config_(config),
+      in_links_(config.num_ports, config.num_planes, config.rate_ratio),
+      ring_(config.snapshot_history),
+      dispatch_count_(static_cast<std::size_t>(config.num_planes), 0),
+      failed_(static_cast<std::size_t>(config.num_planes), false) {
+  config_.Validate();
+  SIM_CHECK(config_.input_buffer_size == 0,
+            "BufferlessPps cannot have input buffers; use InputBufferedPps");
+  demux_.reserve(static_cast<std::size_t>(config_.num_ports));
+  for (sim::PortId i = 0; i < config_.num_ports; ++i) {
+    demux_.push_back(factory(i));
+    SIM_CHECK(demux_.back() != nullptr, "factory returned null demux");
+    demux_.back()->Reset(config_, i);
+    if (demux_.back()->info_model() != InfoModel::kFullyDistributed) {
+      needs_global_ = true;
+    }
+  }
+  SIM_CHECK(!needs_global_ || ring_.enabled(),
+            "u-RT/centralized demultiplexors need snapshot_history > 0");
+  planes_.reserve(static_cast<std::size_t>(config_.num_planes));
+  for (sim::PlaneId k = 0; k < config_.num_planes; ++k) {
+    planes_.emplace_back(k, config_.num_ports, config_.rate_ratio,
+                         config_.plane_scheduling);
+  }
+  muxes_.reserve(static_cast<std::size_t>(config_.num_ports));
+  for (sim::PortId j = 0; j < config_.num_ports; ++j) {
+    muxes_.emplace_back(j, config_.num_ports, config_.mux_policy,
+                        config_.reseq_timeout);
+  }
+}
+
+const GlobalSnapshot* BufferlessPps::GlobalViewFor(const Demultiplexor& d,
+                                                   sim::Slot t) const {
+  switch (d.info_model()) {
+    case InfoModel::kFullyDistributed:
+      return nullptr;
+    case InfoModel::kCentralized:
+      return ring_.Latest();  // end of slot t-1: full, immediate knowledge
+    case InfoModel::kRealTimeDistributed:
+      return ring_.Lookup(t - d.info_delay());
+  }
+  return nullptr;
+}
+
+void BufferlessPps::Inject(sim::Cell cell, sim::Slot t) {
+  SIM_CHECK(cell.input >= 0 && cell.input < config_.num_ports &&
+                cell.output >= 0 && cell.output < config_.num_ports,
+            "bad ports on " << cell);
+  if (cell.arrival == sim::kNoSlot) cell.arrival = t;
+  SIM_CHECK(cell.arrival == t, "arrival stamp mismatch on " << cell);
+  // One cell per input per slot, injected in input order (the external
+  // line rate, and the FCFS tie-break shared with the shadow switch).
+  if (t == last_inject_slot_) {
+    SIM_CHECK(cell.input > last_inject_input_,
+              "two cells on input " << cell.input << " in slot " << t
+                                    << " or out-of-order injection");
+  }
+  last_inject_slot_ = t;
+  last_inject_input_ = cell.input;
+
+  Demultiplexor& d = *demux_[static_cast<std::size_t>(cell.input)];
+  if (!free_buf_) {
+    free_buf_ = std::make_unique<bool[]>(
+        static_cast<std::size_t>(config_.num_planes));
+  }
+  for (int k = 0; k < config_.num_planes; ++k) {
+    free_buf_[static_cast<std::size_t>(k)] =
+        !failed_[static_cast<std::size_t>(k)] &&
+        in_links_.CanStart(cell.input, k, t);
+  }
+  DispatchContext ctx;
+  ctx.now = t;
+  ctx.input_link_free = std::span<const bool>(
+      free_buf_.get(), static_cast<std::size_t>(config_.num_planes));
+  ctx.global = GlobalViewFor(d, t);
+
+  const DispatchDecision decision = d.Dispatch(cell, ctx);
+  if (decision.plane == sim::kNoPlane) {
+    // Legitimate only when nothing is free (plane failures / exhausted
+    // static partition) — a healthy K >= r' switch never gets here.
+    ++input_drops_;
+    if (log_.enabled()) {
+      log_.Push({t, sim::EventKind::kDrop, cell.id, cell.input, cell.output,
+                 sim::kNoPlane, "no usable plane"});
+    }
+    return;
+  }
+  SIM_CHECK(decision.plane >= 0 && decision.plane < config_.num_planes,
+            d.name() << " returned invalid plane " << decision.plane);
+  SIM_CHECK(!failed_[static_cast<std::size_t>(decision.plane)],
+            d.name() << " dispatched to failed plane " << decision.plane);
+  SIM_CHECK(in_links_.CanStart(cell.input, decision.plane, t),
+            d.name() << " violated the input constraint: line ("
+                     << cell.input << "," << decision.plane
+                     << ") busy at slot " << t);
+  in_links_.Start(cell.input, decision.plane, t);
+  ++dispatch_count_[static_cast<std::size_t>(decision.plane)];
+  if (log_.enabled()) {
+    log_.Push({t, sim::EventKind::kDispatch, cell.id, cell.input,
+               cell.output, decision.plane, {}});
+  }
+  planes_[static_cast<std::size_t>(decision.plane)].Accept(
+      cell, t, decision.booked_delivery);
+}
+
+void BufferlessPps::FailPlane(sim::PlaneId k) {
+  SIM_CHECK(k >= 0 && k < config_.num_planes, "bad plane id " << k);
+  if (failed_[static_cast<std::size_t>(k)]) return;
+  failed_[static_cast<std::size_t>(k)] = true;
+  failed_plane_losses_ += static_cast<std::uint64_t>(
+      planes_[static_cast<std::size_t>(k)].TotalBacklog());
+  planes_[static_cast<std::size_t>(k)].Reset();
+}
+
+std::vector<sim::Cell> BufferlessPps::Advance(sim::Slot t) {
+  std::vector<sim::Cell> delivered;
+  for (Plane& plane : planes_) {
+    if (failed_[static_cast<std::size_t>(plane.id())]) continue;
+    plane.Deliver(t, delivered);
+  }
+  for (sim::Cell& cell : delivered) {
+    muxes_[static_cast<std::size_t>(cell.output)].Stage(cell, t);
+  }
+  std::vector<sim::Cell> departed;
+  departed.reserve(static_cast<std::size_t>(config_.num_ports));
+  for (OutputMux& mux : muxes_) {
+    sim::Cell cell;
+    if (mux.Depart(t, &cell)) {
+      if (log_.enabled()) {
+        log_.Push({t, sim::EventKind::kDeparture, cell.id, cell.input,
+                   cell.output, cell.plane, {}});
+      }
+      departed.push_back(cell);
+    }
+  }
+  for (auto& d : demux_) {
+    if (d->info_model() != InfoModel::kFullyDistributed) d->OnSlotEnd(t);
+  }
+  for (const Plane& plane : planes_) {
+    max_plane_backlog_ = std::max(max_plane_backlog_, plane.TotalBacklog());
+  }
+  for (const OutputMux& mux : muxes_) {
+    max_output_backlog_ = std::max(max_output_backlog_, mux.Backlog());
+  }
+  if (ring_.enabled()) ring_.Push(TakeSnapshot(t));
+  return departed;
+}
+
+GlobalSnapshot BufferlessPps::TakeSnapshot(sim::Slot t) const {
+  GlobalSnapshot snap;
+  snap.slot = t;
+  const auto n = static_cast<std::size_t>(config_.num_ports);
+  const auto kk = static_cast<std::size_t>(config_.num_planes);
+  snap.plane_backlog.resize(kk * n);
+  snap.output_link_next_free.resize(kk * n);
+  snap.input_link_next_free.resize(n * kk);
+  snap.output_backlog.resize(n);
+  for (std::size_t k = 0; k < kk; ++k) {
+    const Plane& plane = planes_[k];
+    for (std::size_t j = 0; j < n; ++j) {
+      snap.plane_backlog[k * n + j] =
+          static_cast<std::int32_t>(plane.Backlog(static_cast<sim::PortId>(j)));
+      snap.output_link_next_free[k * n + j] =
+          plane.OutputLinkNextFree(static_cast<sim::PortId>(j));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < kk; ++k) {
+      snap.input_link_next_free[i * kk + k] =
+          in_links_.NextFree(static_cast<int>(i), static_cast<int>(k));
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    snap.output_backlog[j] =
+        static_cast<std::int32_t>(muxes_[j].Backlog());
+  }
+  return snap;
+}
+
+bool BufferlessPps::Drained() const { return TotalBacklog() == 0; }
+
+std::int64_t BufferlessPps::PlaneBacklog(sim::PlaneId k, sim::PortId j) const {
+  return planes_[static_cast<std::size_t>(k)].Backlog(j);
+}
+
+std::int64_t BufferlessPps::TotalBacklog() const {
+  std::int64_t total = 0;
+  for (const Plane& plane : planes_) total += plane.TotalBacklog();
+  for (const OutputMux& mux : muxes_) total += mux.Backlog();
+  return total;
+}
+
+std::uint64_t BufferlessPps::resequencing_stalls() const {
+  std::uint64_t total = 0;
+  for (const OutputMux& mux : muxes_) total += mux.resequencing_stalls();
+  return total;
+}
+
+void BufferlessPps::Reset() {
+  for (sim::PortId i = 0; i < config_.num_ports; ++i) {
+    demux_[static_cast<std::size_t>(i)]->Reset(config_, i);
+  }
+  for (Plane& plane : planes_) plane.Reset();
+  for (OutputMux& mux : muxes_) mux.Reset();
+  in_links_.Reset();
+  ring_.Clear();
+  std::fill(dispatch_count_.begin(), dispatch_count_.end(), 0);
+  std::fill(failed_.begin(), failed_.end(), false);
+  input_drops_ = 0;
+  failed_plane_losses_ = 0;
+  max_plane_backlog_ = 0;
+  max_output_backlog_ = 0;
+  last_inject_input_ = -1;
+  last_inject_slot_ = sim::kNoSlot;
+  log_.Clear();
+}
+
+}  // namespace pps

@@ -1,0 +1,116 @@
+// The bufferless parallel packet switch fabric (Figure 1 of the paper):
+// N demultiplexors -> K planes -> N output multiplexers, glued together by
+// the internal-line rate constraints of Section 2.
+//
+// Slot protocol (driven by core::RelativeDelayHarness or directly):
+//   for each slot t:
+//     Inject(cell, t)   for every arriving cell, in input-port order;
+//                       the demultiplexor picks a plane immediately
+//                       (Definition 1) and the cell enters that plane in
+//                       the same slot;
+//     Advance(t)        planes deliver to output ports (output
+//                       constraint), each output departs at most one cell,
+//                       the end-of-slot global snapshot is recorded.
+//
+// A cell can traverse the whole switch in its arrival slot (zero queuing
+// delay), matching the paper's propagation-free accounting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/cell.h"
+#include "sim/event_log.h"
+#include "sim/types.h"
+#include "switch/config.h"
+#include "switch/demux_iface.h"
+#include "switch/link.h"
+#include "switch/output_mux.h"
+#include "switch/plane.h"
+#include "switch/snapshot.h"
+
+namespace pps {
+
+class BufferlessPps {
+ public:
+  BufferlessPps(SwitchConfig config, const DemuxFactory& factory);
+
+  // Offers a cell arriving in slot t; call in increasing input order within
+  // a slot.  The cell's id/seq/arrival must be pre-assigned (the harness
+  // gives the PPS and the shadow switch identical cells); arrival may be
+  // kNoSlot for standalone use, in which case it is stamped here.  seq must
+  // increase by one per flow — the resequencing output multiplexer holds a
+  // cell until all earlier sequence numbers of its flow have departed.
+  void Inject(sim::Cell cell, sim::Slot t);
+
+  // Ends slot t; returns all cells departing in this slot.
+  std::vector<sim::Cell> Advance(sim::Slot t);
+
+  bool Drained() const;
+  std::int64_t PlaneBacklog(sim::PlaneId k, sim::PortId j) const;
+  std::int64_t TotalBacklog() const;
+
+  // Fault injection (the paper's fault-tolerance motivation for
+  // unpartitioned demultiplexing): takes plane k out of service.  Its
+  // input lines appear permanently busy, so demultiplexors route around
+  // it — or, if their static partition has no surviving plane free, drop
+  // the cell (counted in input_drops).  Cells already queued inside the
+  // failed plane are lost (counted in failed_plane_losses).
+  void FailPlane(sim::PlaneId k);
+  bool PlaneFailed(sim::PlaneId k) const {
+    return failed_[static_cast<std::size_t>(k)];
+  }
+  std::uint64_t input_drops() const { return input_drops_; }
+  std::uint64_t failed_plane_losses() const { return failed_plane_losses_; }
+
+  const SwitchConfig& config() const { return config_; }
+  const GlobalSnapshot* LatestSnapshot() const { return ring_.Latest(); }
+
+  // Per-plane dispatch counters (load-balance reporting).
+  const std::vector<std::uint64_t>& dispatches_per_plane() const {
+    return dispatch_count_;
+  }
+
+  // High-water marks, sampled every Advance: the buffer the middle-stage
+  // switches and the output ports would need.  The paper: "large relative
+  // queuing delays usually imply that the buffer sizes at the middle-stage
+  // switches or at the external ports should be large as well".
+  std::int64_t max_plane_backlog() const { return max_plane_backlog_; }
+  std::int64_t max_output_backlog() const { return max_output_backlog_; }
+  std::uint64_t resequencing_stalls() const;
+  std::uint64_t input_link_violations() const { return in_links_.violations(); }
+
+  // White-box access for adversaries (const) and the demux oracle.
+  const Demultiplexor& demux(sim::PortId i) const { return *demux_[i]; }
+  Demultiplexor& mutable_demux(sim::PortId i) { return *demux_[i]; }
+  const LinkBank& input_links() const { return in_links_; }
+
+  sim::EventLog& event_log() { return log_; }
+
+  void Reset();
+
+ private:
+  const GlobalSnapshot* GlobalViewFor(const Demultiplexor& d, sim::Slot t) const;
+  GlobalSnapshot TakeSnapshot(sim::Slot t) const;
+
+  SwitchConfig config_;
+  std::vector<std::unique_ptr<Demultiplexor>> demux_;
+  std::vector<Plane> planes_;
+  std::vector<OutputMux> muxes_;
+  LinkBank in_links_;  // N x K input lines
+  SnapshotRing ring_;
+  std::vector<std::uint64_t> dispatch_count_;
+  sim::PortId last_inject_input_ = -1;
+  sim::Slot last_inject_slot_ = sim::kNoSlot;
+  bool needs_global_ = false;
+  std::unique_ptr<bool[]> free_buf_;  // reusable DispatchContext buffer
+  std::vector<bool> failed_;          // per plane
+  std::uint64_t input_drops_ = 0;
+  std::uint64_t failed_plane_losses_ = 0;
+  std::int64_t max_plane_backlog_ = 0;
+  std::int64_t max_output_backlog_ = 0;
+  sim::EventLog log_;
+};
+
+}  // namespace pps

@@ -1,0 +1,48 @@
+#include "switch/rate_limited_oq.h"
+
+#include "sim/error.h"
+
+namespace pps {
+
+RateLimitedOqSwitch::RateLimitedOqSwitch(sim::PortId num_ports,
+                                         int service_interval)
+    : config_{num_ports}, service_interval_(service_interval) {
+  SIM_CHECK(num_ports > 0, "need ports");
+  SIM_CHECK(service_interval >= 1, "service interval must be >= 1");
+  queues_.resize(static_cast<std::size_t>(num_ports));
+  next_service_.assign(static_cast<std::size_t>(num_ports), 0);
+}
+
+void RateLimitedOqSwitch::Inject(sim::Cell cell, sim::Slot t) {
+  if (cell.arrival == sim::kNoSlot) cell.arrival = t;
+  SIM_CHECK(cell.arrival == t, "arrival stamp mismatch on " << cell);
+  SIM_CHECK(cell.output >= 0 && cell.output < config_.num_ports,
+            "bad output on " << cell);
+  queues_[static_cast<std::size_t>(cell.output)].push_back(cell);
+}
+
+std::vector<sim::Cell> RateLimitedOqSwitch::Advance(sim::Slot t) {
+  std::vector<sim::Cell> departed;
+  for (sim::PortId j = 0; j < config_.num_ports; ++j) {
+    auto& q = queues_[static_cast<std::size_t>(j)];
+    auto& next = next_service_[static_cast<std::size_t>(j)];
+    if (q.empty() || t < next) continue;
+    sim::Cell cell = q.front();
+    q.pop_front();
+    cell.reached_output = t;
+    cell.departure = t;
+    next = t + service_interval_;
+    departed.push_back(cell);
+  }
+  return departed;
+}
+
+bool RateLimitedOqSwitch::Drained() const { return TotalBacklog() == 0; }
+
+std::int64_t RateLimitedOqSwitch::TotalBacklog() const {
+  std::int64_t total = 0;
+  for (const auto& q : queues_) total += static_cast<std::int64_t>(q.size());
+  return total;
+}
+
+}  // namespace pps

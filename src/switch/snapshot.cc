@@ -1,0 +1,27 @@
+#include "switch/snapshot.h"
+
+#include "sim/error.h"
+
+namespace pps {
+
+void SnapshotRing::Push(GlobalSnapshot snap) {
+  if (capacity_ == 0) return;
+  SIM_CHECK(ring_.empty() || snap.slot == ring_.back().slot + 1,
+            "snapshots must be recorded every slot");
+  if (static_cast<int>(ring_.size()) == capacity_) ring_.pop_front();
+  ring_.push_back(std::move(snap));
+}
+
+const GlobalSnapshot* SnapshotRing::Lookup(sim::Slot t) const {
+  if (ring_.empty()) return nullptr;
+  if (t <= ring_.front().slot) return &ring_.front();
+  if (t >= ring_.back().slot) return &ring_.back();
+  const auto offset = static_cast<std::size_t>(t - ring_.front().slot);
+  return &ring_[offset];
+}
+
+const GlobalSnapshot* SnapshotRing::Latest() const {
+  return ring_.empty() ? nullptr : &ring_.back();
+}
+
+}  // namespace pps

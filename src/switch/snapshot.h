@@ -1,0 +1,65 @@
+// Global switch state snapshots, and the delayed-information ring that
+// implements the paper's u-RT information model.
+//
+// Definition 9: a u real-time distributed demultiplexing algorithm bases
+// its decision on local information in [0, t] and *global* information in
+// [0, t - u].  The fabric records a GlobalSnapshot at the end of every slot
+// and hands u-RT demultiplexors the snapshot from slot t - u; u = 0 models
+// a centralized algorithm with full immediate knowledge.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/types.h"
+#include "switch/config.h"
+
+namespace pps {
+
+struct GlobalSnapshot {
+  sim::Slot slot = sim::kNoSlot;
+
+  // Backlog of plane k toward output j, in cells (includes cells accepted
+  // this slot and not yet delivered).
+  std::vector<std::int32_t> plane_backlog;  // K * N, index k*N + j
+
+  // Earliest slot at which each internal line can next start a
+  // transmission.
+  std::vector<sim::Slot> input_link_next_free;   // N * K, index i*K + k
+  std::vector<sim::Slot> output_link_next_free;  // K * N, index k*N + j
+
+  // Backlog at the PPS output ports (cells staged, not yet departed).
+  std::vector<std::int32_t> output_backlog;  // N
+
+  std::int32_t PlaneBacklog(int k, int j, sim::PortId n) const {
+    return plane_backlog[static_cast<std::size_t>(k) *
+                             static_cast<std::size_t>(n) +
+                         static_cast<std::size_t>(j)];
+  }
+  sim::Slot OutputLinkNextFree(int k, int j, sim::PortId n) const {
+    return output_link_next_free[static_cast<std::size_t>(k) *
+                                     static_cast<std::size_t>(n) +
+                                 static_cast<std::size_t>(j)];
+  }
+};
+
+// Bounded ring of snapshots; Lookup(t) returns the snapshot taken at the
+// end of slot t, or the oldest retained one if t predates the ring, or
+// nullptr if nothing was recorded yet.
+class SnapshotRing {
+ public:
+  explicit SnapshotRing(int capacity) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+  void Push(GlobalSnapshot snap);
+  const GlobalSnapshot* Lookup(sim::Slot t) const;
+  const GlobalSnapshot* Latest() const;
+  void Clear() { ring_.clear(); }
+
+ private:
+  int capacity_;
+  std::deque<GlobalSnapshot> ring_;
+};
+
+}  // namespace pps

@@ -1,0 +1,44 @@
+#include "traffic/aqt.h"
+
+#include <algorithm>
+
+#include "sim/error.h"
+
+namespace traffic {
+
+AqtValidator::AqtValidator(sim::PortId num_ports, int window,
+                           std::int64_t rho_num, std::int64_t rho_den)
+    : window_(window),
+      in_(static_cast<std::size_t>(num_ports)),
+      out_(static_cast<std::size_t>(num_ports)) {
+  SIM_CHECK(num_ports > 0, "need ports");
+  SIM_CHECK(window >= 1, "window must be >= 1");
+  SIM_CHECK(rho_num > 0 && rho_den > 0 && rho_num <= rho_den,
+            "rho must be a rational in (0, 1]");
+  budget_ = (rho_num * window + rho_den - 1) / rho_den;  // ceil(rho * w)
+}
+
+void AqtValidator::RecordPort(PortWindow& pw, sim::Slot t) {
+  while (!pw.recent.empty() && pw.recent.front() <= t - window_) {
+    pw.recent.pop_front();
+  }
+  pw.recent.push_back(t);
+  const auto count = static_cast<std::int64_t>(pw.recent.size());
+  pw.worst = std::max(pw.worst, count);
+  if (count > budget_) ++violations_;
+}
+
+void AqtValidator::Record(sim::Slot t, sim::PortId input,
+                          sim::PortId output) {
+  RecordPort(in_.at(static_cast<std::size_t>(input)), t);
+  RecordPort(out_.at(static_cast<std::size_t>(output)), t);
+}
+
+double AqtValidator::peak_utilization() const {
+  std::int64_t worst = 0;
+  for (const auto& pw : in_) worst = std::max(worst, pw.worst);
+  for (const auto& pw : out_) worst = std::max(worst, pw.worst);
+  return static_cast<double>(worst) / static_cast<double>(budget_);
+}
+
+}  // namespace traffic

@@ -1,0 +1,55 @@
+// Adversarial Queueing Theory (AQT) injection model, after Borodin et al.
+// and Andrews et al. (the paper's discussion: "One can also use the
+// metaphor of an adversary controlling the injection of cells ... Two
+// models were suggested to restrict the injected flows from flooding the
+// network; our flows satisfy these stronger restrictions as well").
+//
+// A (rho, w)-adversary may inject, in any window of w consecutive slots,
+// at most rho * w cells requiring any single link (here: any single input
+// or output port).  This checker verifies an arrival sequence against that
+// window constraint exactly, so tests can certify that the lower-bound
+// traffics satisfy the stronger AQT restriction too (a (1, B) leaky-bucket
+// flow is (1, w)-AQT-admissible for every w >= B, and a B = 0 flow for
+// every w >= 1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace traffic {
+
+class AqtValidator {
+ public:
+  // rho in (0, 1] as a rational rho_num/rho_den; window w >= 1 slots.
+  AqtValidator(sim::PortId num_ports, int window, std::int64_t rho_num,
+               std::int64_t rho_den);
+
+  // Records one arrival; slots must be non-decreasing.
+  void Record(sim::Slot t, sim::PortId input, sim::PortId output);
+
+  // True iff every w-window so far satisfied count <= ceil(rho * w) on
+  // every port.
+  bool admissible() const { return violations_ == 0; }
+  std::uint64_t violations() const { return violations_; }
+
+  // Worst window load observed, as a fraction of the budget (<= 1 when
+  // admissible).
+  double peak_utilization() const;
+
+ private:
+  struct PortWindow {
+    std::deque<sim::Slot> recent;  // arrival slots within the last window
+    std::int64_t worst = 0;        // max cells ever seen in one window
+  };
+  void RecordPort(PortWindow& pw, sim::Slot t);
+
+  int window_;
+  std::int64_t budget_;  // ceil(rho * w)
+  std::vector<PortWindow> in_, out_;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace traffic

@@ -1,0 +1,59 @@
+#include "traffic/composite.h"
+
+#include <algorithm>
+
+#include "sim/error.h"
+
+namespace traffic {
+
+PhasedSource::PhasedSource(std::vector<Phase> phases)
+    : phases_(std::move(phases)) {
+  for (const Phase& p : phases_) {
+    SIM_CHECK(p.source != nullptr, "null phase source");
+    SIM_CHECK(p.duration > 0, "phase duration must be positive");
+    total_ += p.duration;
+  }
+}
+
+std::vector<sim::Arrival> PhasedSource::ArrivalsAt(sim::Slot t) {
+  while (current_ < phases_.size() &&
+         t >= phase_start_ + phases_[current_].duration) {
+    phase_start_ += phases_[current_].duration;
+    ++current_;
+  }
+  if (current_ >= phases_.size()) return {};
+  // Phases see local time starting at 0.
+  return phases_[current_].source->ArrivalsAt(t - phase_start_);
+}
+
+bool PhasedSource::Exhausted(sim::Slot t) const { return t >= total_; }
+
+MergedSource::MergedSource(std::vector<SourcePtr> sources)
+    : sources_(std::move(sources)) {
+  for (const SourcePtr& s : sources_) SIM_CHECK(s != nullptr, "null source");
+}
+
+std::vector<sim::Arrival> MergedSource::ArrivalsAt(sim::Slot t) {
+  std::vector<sim::Arrival> out;
+  for (const SourcePtr& s : sources_) {
+    auto part = s->ArrivalsAt(t);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  // Model check: at most one cell per input per slot.
+  std::sort(out.begin(), out.end());
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    SIM_CHECK(out[i].input != out[i - 1].input,
+              "merged sources collide on input " << out[i].input
+                                                 << " at slot " << t);
+  }
+  return out;
+}
+
+bool MergedSource::Exhausted(sim::Slot t) const {
+  for (const SourcePtr& s : sources_) {
+    if (!s->Exhausted(t)) return false;
+  }
+  return true;
+}
+
+}  // namespace traffic

@@ -1,0 +1,65 @@
+// Sequencing and merging of traffic sources.
+//
+// The lower-bound adversaries build traffic in phases ("drive demultiplexor
+// i into state sigma_i, wait for the planes to drain, then fire the
+// concentration burst").  PhasedSource plays a list of (source, duration)
+// stages back to back; MergedSource unions sources that address disjoint
+// input ports.
+#pragma once
+
+#include <vector>
+
+#include "sim/types.h"
+#include "traffic/source.h"
+
+namespace traffic {
+
+class PhasedSource final : public TrafficSource {
+ public:
+  struct Phase {
+    SourcePtr source;
+    sim::Slot duration;  // slots this phase covers; must be > 0
+  };
+
+  explicit PhasedSource(std::vector<Phase> phases);
+
+  std::vector<sim::Arrival> ArrivalsAt(sim::Slot t) override;
+  bool Exhausted(sim::Slot t) const override;
+
+  // Total duration of all phases.
+  sim::Slot total_duration() const { return total_; }
+
+ private:
+  std::vector<Phase> phases_;
+  std::size_t current_ = 0;
+  sim::Slot phase_start_ = 0;
+  sim::Slot total_ = 0;
+};
+
+// Union of sources; the caller guarantees they never emit on the same input
+// in the same slot (checked).
+class MergedSource final : public TrafficSource {
+ public:
+  explicit MergedSource(std::vector<SourcePtr> sources);
+
+  std::vector<sim::Arrival> ArrivalsAt(sim::Slot t) override;
+  bool Exhausted(sim::Slot t) const override;
+
+ private:
+  std::vector<SourcePtr> sources_;
+};
+
+// A source that emits nothing — used for quiet phases.
+class SilentSource final : public TrafficSource {
+ public:
+  std::vector<sim::Arrival> ArrivalsAt(sim::Slot t) override {
+    (void)t;
+    return {};
+  }
+  bool Exhausted(sim::Slot t) const override {
+    (void)t;
+    return true;
+  }
+};
+
+}  // namespace traffic

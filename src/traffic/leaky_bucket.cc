@@ -1,0 +1,101 @@
+#include "traffic/leaky_bucket.h"
+
+#include <algorithm>
+
+#include "sim/error.h"
+
+namespace traffic {
+
+TokenBucket::TokenBucket(std::int64_t burst, std::int64_t rate_num,
+                         std::int64_t rate_den)
+    : capacity_(burst + 1), rate_num_(rate_num), rate_den_(rate_den) {
+  SIM_CHECK(burst >= 0 && rate_num > 0 && rate_den > 0,
+            "bad token bucket parameters");
+  tokens_scaled_ = capacity_ * rate_den_;  // start full
+}
+
+void TokenBucket::AdvanceTo(sim::Slot t) {
+  SIM_CHECK(t >= now_, "token bucket time moved backwards");
+  tokens_scaled_ = std::min(capacity_ * rate_den_,
+                            tokens_scaled_ + (t - now_) * rate_num_);
+  now_ = t;
+}
+
+bool TokenBucket::TryConsume(sim::Slot t) {
+  AdvanceTo(t);
+  if (tokens_scaled_ < rate_den_) return false;
+  tokens_scaled_ -= rate_den_;
+  return true;
+}
+
+std::int64_t TokenBucket::Available(sim::Slot t) {
+  AdvanceTo(t);
+  return tokens_scaled_ / rate_den_;
+}
+
+BurstinessMeter::BurstinessMeter(sim::PortId num_ports)
+    : in_(static_cast<std::size_t>(num_ports)),
+      out_(static_cast<std::size_t>(num_ports)) {
+  SIM_CHECK(num_ports > 0, "need at least one port");
+}
+
+void BurstinessMeter::RecordPort(PortState& ps, sim::Slot t) {
+  SIM_CHECK(t >= ps.last, "BurstinessMeter slots must be non-decreasing");
+  // F(s) = count - s decreases while no cell arrives, so its minimum over
+  // (last, t] is attained at s = t.
+  ps.min_excess = std::min(ps.min_excess, ps.count - t);
+  ++ps.count;
+  ps.max_burst =
+      std::max(ps.max_burst, (ps.count - (t + 1)) - ps.min_excess);
+  ps.last = t;
+}
+
+void BurstinessMeter::Record(sim::Slot t, sim::PortId input,
+                             sim::PortId output) {
+  RecordPort(in_.at(static_cast<std::size_t>(input)), t);
+  RecordPort(out_.at(static_cast<std::size_t>(output)), t);
+  ++cells_;
+}
+
+std::int64_t BurstinessMeter::OutputBurstiness() const {
+  std::int64_t b = 0;
+  for (const PortState& ps : out_) b = std::max(b, ps.max_burst);
+  return b;
+}
+
+std::int64_t BurstinessMeter::InputBurstiness() const {
+  std::int64_t b = 0;
+  for (const PortState& ps : in_) b = std::max(b, ps.max_burst);
+  return b;
+}
+
+std::int64_t BurstinessMeter::OutputBurstiness(sim::PortId j) const {
+  return out_.at(static_cast<std::size_t>(j)).max_burst;
+}
+
+PolicedSource::PolicedSource(SourcePtr inner, sim::PortId num_ports,
+                             std::int64_t burst)
+    : inner_(std::move(inner)) {
+  SIM_CHECK(inner_ != nullptr, "PolicedSource needs an inner source");
+  per_output_.reserve(static_cast<std::size_t>(num_ports));
+  for (sim::PortId j = 0; j < num_ports; ++j) {
+    per_output_.emplace_back(burst, /*rate_num=*/1, /*rate_den=*/1);
+  }
+}
+
+std::vector<sim::Arrival> PolicedSource::ArrivalsAt(sim::Slot t) {
+  std::vector<sim::Arrival> offered = inner_->ArrivalsAt(t);
+  std::vector<sim::Arrival> passed;
+  passed.reserve(offered.size());
+  for (const sim::Arrival& a : offered) {
+    if (per_output_[static_cast<std::size_t>(a.output)].TryConsume(t)) {
+      passed.push_back(a);
+      ++passed_;
+    } else {
+      ++dropped_;
+    }
+  }
+  return passed;
+}
+
+}  // namespace traffic

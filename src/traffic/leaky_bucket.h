@@ -1,0 +1,103 @@
+// Leaky-bucket machinery: token buckets, an (R, B)-admissibility meter, and
+// a shaping decorator.
+//
+// Definition 3 of the paper: traffic is (R, B) leaky-bucket iff for every
+// interval [t, t+tau) and every port, the number of cells sharing an input
+// port or an output port is at most tau*R + B.  With the external rate
+// normalised to R = 1 cell/slot, the per-input constraint is automatic
+// (one arrival per slot) and the burstiness lives in the per-output
+// counts.  BurstinessMeter measures the smallest B for which an observed
+// sequence is (1, B) leaky-bucket, online and exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cell.h"
+#include "sim/types.h"
+#include "traffic/source.h"
+
+namespace traffic {
+
+// Classic token bucket with integer tokens: capacity `burst + 1`, refill
+// `rate_num / rate_den` tokens per slot (rationals keep it exact).  A cell
+// conforms if at least one token is available at its slot.
+class TokenBucket {
+ public:
+  TokenBucket(std::int64_t burst, std::int64_t rate_num, std::int64_t rate_den);
+
+  // Advances to slot t (monotone) and tries to consume one token.
+  bool TryConsume(sim::Slot t);
+  // Tokens currently available at slot t (after advancing).
+  std::int64_t Available(sim::Slot t);
+
+ private:
+  void AdvanceTo(sim::Slot t);
+
+  std::int64_t capacity_;        // burst + 1, in tokens
+  std::int64_t rate_num_, rate_den_;
+  std::int64_t tokens_scaled_;   // tokens * rate_den, to stay integral
+  sim::Slot now_ = 0;
+};
+
+// Measures, per output port (and per input port), the exact minimal
+// burstiness B such that the observed arrivals are (1, B) leaky-bucket.
+//
+// For a counting process C(t) (cells destined to j that arrived in [0,t)),
+// the minimal B is max over t1 <= t2 of C(t2) - C(t1) - (t2 - t1), i.e. the
+// maximum rise of X(t) = C(t) - t above its running minimum.  That is
+// computed online in O(1) per cell.
+class BurstinessMeter {
+ public:
+  explicit BurstinessMeter(sim::PortId num_ports);
+
+  // Records one arrival.  Slots must be non-decreasing.
+  void Record(sim::Slot t, sim::PortId input, sim::PortId output);
+
+  // Minimal B over output ports / input ports for the traffic seen so far.
+  std::int64_t OutputBurstiness() const;
+  std::int64_t InputBurstiness() const;
+  std::int64_t OutputBurstiness(sim::PortId j) const;
+
+  // True iff the observed traffic is (1, B) leaky-bucket.
+  bool IsAdmissible(std::int64_t burst) const {
+    return OutputBurstiness() <= burst && InputBurstiness() <= burst;
+  }
+
+  std::uint64_t cells() const { return cells_; }
+
+ private:
+  struct PortState {
+    std::int64_t count = 0;        // C so far
+    std::int64_t min_excess = 0;   // running min of C(t) - t (at slot starts)
+    std::int64_t max_burst = 0;    // result accumulator
+    sim::Slot last = 0;
+  };
+  void RecordPort(PortState& ps, sim::Slot t);
+
+  std::vector<PortState> in_, out_;
+  std::uint64_t cells_ = 0;
+};
+
+// Decorator that shapes an arbitrary source into strictly (1, B)
+// leaky-bucket traffic by *dropping* non-conforming cells (a policer).
+// Used to turn stochastic sources into provably admissible workloads for
+// experiments that require Definition 3 to hold exactly.
+class PolicedSource final : public TrafficSource {
+ public:
+  PolicedSource(SourcePtr inner, sim::PortId num_ports, std::int64_t burst);
+
+  std::vector<sim::Arrival> ArrivalsAt(sim::Slot t) override;
+  bool Exhausted(sim::Slot t) const override { return inner_->Exhausted(t); }
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t passed() const { return passed_; }
+
+ private:
+  SourcePtr inner_;
+  std::vector<TokenBucket> per_output_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t passed_ = 0;
+};
+
+}  // namespace traffic

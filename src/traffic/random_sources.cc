@@ -1,0 +1,94 @@
+#include "traffic/random_sources.h"
+
+#include "sim/error.h"
+
+namespace traffic {
+
+BernoulliSource::BernoulliSource(sim::PortId num_ports, double load,
+                                 Pattern pattern, sim::Rng rng,
+                                 double hotspot_fraction)
+    : num_ports_(num_ports),
+      load_(load),
+      pattern_(pattern),
+      hotspot_fraction_(hotspot_fraction) {
+  SIM_CHECK(num_ports > 0, "need ports");
+  SIM_CHECK(load >= 0.0 && load <= 1.0, "load must be in [0,1]");
+  per_input_rng_.reserve(static_cast<std::size_t>(num_ports));
+  for (sim::PortId i = 0; i < num_ports; ++i) {
+    per_input_rng_.push_back(rng.Fork(static_cast<std::uint64_t>(i)));
+  }
+}
+
+sim::PortId BernoulliSource::PickOutput(sim::PortId input, sim::Slot t,
+                                        sim::Rng& rng) {
+  switch (pattern_) {
+    case Pattern::kUniform:
+      return static_cast<sim::PortId>(
+          rng.UniformInt(static_cast<std::uint64_t>(num_ports_)));
+    case Pattern::kDiagonal:
+      return static_cast<sim::PortId>(
+          (input + t) % static_cast<sim::Slot>(num_ports_));
+    case Pattern::kHotspot:
+      if (rng.Bernoulli(hotspot_fraction_)) return 0;
+      return static_cast<sim::PortId>(
+          rng.UniformInt(static_cast<std::uint64_t>(num_ports_)));
+    case Pattern::kTranspose:
+      return static_cast<sim::PortId>((input + num_ports_ / 2) % num_ports_);
+  }
+  return 0;
+}
+
+std::vector<sim::Arrival> BernoulliSource::ArrivalsAt(sim::Slot t) {
+  std::vector<sim::Arrival> out;
+  for (sim::PortId i = 0; i < num_ports_; ++i) {
+    sim::Rng& rng = per_input_rng_[static_cast<std::size_t>(i)];
+    if (rng.Bernoulli(load_)) {
+      out.push_back({i, PickOutput(i, t, rng)});
+    }
+  }
+  return out;
+}
+
+OnOffSource::OnOffSource(sim::PortId num_ports, double load,
+                         double mean_burst_len, sim::Rng rng)
+    : num_ports_(num_ports) {
+  SIM_CHECK(num_ports > 0, "need ports");
+  SIM_CHECK(load > 0.0 && load < 1.0, "load must be in (0,1)");
+  SIM_CHECK(mean_burst_len >= 1.0, "mean burst length must be >= 1");
+  // ON dwell ~ Geometric(p_off) with mean 1/p_off = mean_burst_len.
+  p_off_ = 1.0 / mean_burst_len;
+  // Stationary P(on) = p_on / (p_on + p_off) = load.
+  p_on_ = load * p_off_ / (1.0 - load);
+  if (p_on_ > 1.0) p_on_ = 1.0;
+  ports_.resize(static_cast<std::size_t>(num_ports));
+  for (sim::PortId i = 0; i < num_ports; ++i) {
+    auto& ps = ports_[static_cast<std::size_t>(i)];
+    ps.rng = rng.Fork(static_cast<std::uint64_t>(i) + 0x5151u);
+    ps.on = ps.rng.Bernoulli(load);
+    ps.dest = static_cast<sim::PortId>(
+        ps.rng.UniformInt(static_cast<std::uint64_t>(num_ports)));
+  }
+}
+
+std::vector<sim::Arrival> OnOffSource::ArrivalsAt(sim::Slot t) {
+  (void)t;
+  std::vector<sim::Arrival> out;
+  for (sim::PortId i = 0; i < num_ports_; ++i) {
+    auto& ps = ports_[static_cast<std::size_t>(i)];
+    if (ps.on) {
+      out.push_back({i, ps.dest});
+      if (ps.rng.Bernoulli(p_off_)) ps.on = false;
+    } else {
+      if (ps.rng.Bernoulli(p_on_)) {
+        ps.on = true;
+        ps.dest = static_cast<sim::PortId>(
+            ps.rng.UniformInt(static_cast<std::uint64_t>(num_ports_)));
+        // The burst starts in the next slot; this slot stays silent,
+        // matching a geometric OFF dwell of at least one slot.
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace traffic

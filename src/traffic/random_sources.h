@@ -1,0 +1,70 @@
+// Stochastic workload generators for the engineering experiments
+// (delay-vs-load curves, scaling studies).  All draw from a seeded
+// sim::Rng, one independent stream per input port, so results are exactly
+// reproducible and insensitive to port count changes.
+#pragma once
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+#include "traffic/source.h"
+
+namespace traffic {
+
+// Destination-selection patterns shared by the generators.
+enum class Pattern {
+  kUniform,    // destination uniform over all outputs
+  kDiagonal,   // input i sends to output (i + t) mod N (conflict-free)
+  kHotspot,    // a fraction of cells aim at output 0, rest uniform
+  kTranspose,  // input i always sends to output (i + N/2) mod N
+};
+
+// Bernoulli i.i.d. traffic: in each slot each input emits a cell with
+// probability `load`, destination chosen by `pattern`.  Uniform Bernoulli
+// traffic at load < 1 is admissible in expectation; wrap in PolicedSource
+// when the experiment needs a hard (1, B) envelope.
+class BernoulliSource final : public TrafficSource {
+ public:
+  BernoulliSource(sim::PortId num_ports, double load, Pattern pattern,
+                  sim::Rng rng, double hotspot_fraction = 0.5);
+
+  std::vector<sim::Arrival> ArrivalsAt(sim::Slot t) override;
+
+ private:
+  sim::PortId PickOutput(sim::PortId input, sim::Slot t, sim::Rng& rng);
+
+  sim::PortId num_ports_;
+  double load_;
+  Pattern pattern_;
+  double hotspot_fraction_;
+  std::vector<sim::Rng> per_input_rng_;
+};
+
+// Two-state Markov-modulated on-off source per input: in the ON state the
+// input emits one cell per slot toward a destination held for the whole
+// burst; OFF emits nothing.  Mean burst length = burst_len, offered load =
+// load.  This is the classic bursty-arrivals model used to stress
+// load-balancers; it produces large per-output bursts while keeping the
+// long-run rate admissible.
+class OnOffSource final : public TrafficSource {
+ public:
+  OnOffSource(sim::PortId num_ports, double load, double mean_burst_len,
+              sim::Rng rng);
+
+  std::vector<sim::Arrival> ArrivalsAt(sim::Slot t) override;
+
+ private:
+  struct PortState {
+    bool on = false;
+    sim::PortId dest = 0;
+    sim::Rng rng{0};
+  };
+
+  sim::PortId num_ports_;
+  double p_on_;   // OFF -> ON transition probability
+  double p_off_;  // ON -> OFF transition probability
+  std::vector<PortState> ports_;
+};
+
+}  // namespace traffic

@@ -1,0 +1,37 @@
+// Traffic source interface.
+//
+// A TrafficSource produces the cells offered to a switch, slot by slot.
+// The external line rate R is one cell per slot per port, so a source may
+// emit at most one Arrival per input port per slot; switches and the
+// Validator enforce this.  Sources are pull-based and must be queried with
+// strictly increasing slots.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/cell.h"
+#include "sim/types.h"
+
+namespace traffic {
+
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+
+  // Arrivals in slot t.  Called once per slot with strictly increasing t.
+  // At most one arrival per input port.
+  virtual std::vector<sim::Arrival> ArrivalsAt(sim::Slot t) = 0;
+
+  // True once the source is known to produce no further arrivals at or
+  // after slot t; infinite sources always return false.  Harnesses use
+  // this plus switch-drained checks to terminate runs.
+  virtual bool Exhausted(sim::Slot t) const {
+    (void)t;
+    return false;
+  }
+};
+
+using SourcePtr = std::unique_ptr<TrafficSource>;
+
+}  // namespace traffic

@@ -1,0 +1,102 @@
+#include "traffic/trace.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "sim/error.h"
+
+namespace traffic {
+
+void Trace::Add(sim::Slot slot, sim::PortId input, sim::PortId output) {
+  if (!entries_.empty() && normalized_) {
+    const TraceEntry& back = entries_.back();
+    if (slot < back.slot || (slot == back.slot && input < back.input)) {
+      normalized_ = false;
+    }
+  }
+  entries_.push_back({slot, input, output});
+}
+
+void Trace::Append(const Trace& other, sim::Slot offset) {
+  for (const TraceEntry& e : other.entries_) {
+    Add(e.slot + offset, e.input, e.output);
+  }
+}
+
+void Trace::Normalize() {
+  std::sort(entries_.begin(), entries_.end());
+  normalized_ = true;
+}
+
+void Trace::Validate(sim::PortId num_ports) const {
+  SIM_CHECK(normalized_, "Validate requires a normalized trace");
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const TraceEntry& e = entries_[i];
+    SIM_CHECK(e.input >= 0 && e.input < num_ports,
+              "input out of range at entry " << i);
+    SIM_CHECK(e.output >= 0 && e.output < num_ports,
+              "output out of range at entry " << i);
+    if (i > 0) {
+      const TraceEntry& p = entries_[i - 1];
+      SIM_CHECK(!(p.slot == e.slot && p.input == e.input),
+                "two cells on input " << e.input << " in slot " << e.slot);
+    }
+  }
+}
+
+sim::Slot Trace::last_slot() const {
+  SIM_CHECK(!entries_.empty(), "last_slot of empty trace");
+  SIM_CHECK(normalized_, "last_slot requires a normalized trace");
+  return entries_.back().slot;
+}
+
+void Trace::Save(std::ostream& os) const {
+  os << "# pps trace v1: slot input output\n";
+  for (const TraceEntry& e : entries_) {
+    os << e.slot << " " << e.input << " " << e.output << "\n";
+  }
+}
+
+Trace Trace::Load(std::istream& is) {
+  Trace t;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    sim::Slot slot;
+    sim::PortId input, output;
+    SIM_CHECK(static_cast<bool>(ls >> slot >> input >> output),
+              "malformed trace line: " << line);
+    t.Add(slot, input, output);
+  }
+  t.Normalize();
+  return t;
+}
+
+TraceTraffic::TraceTraffic(Trace trace) : trace_(std::move(trace)) {
+  trace_.Normalize();
+}
+
+std::vector<sim::Arrival> TraceTraffic::ArrivalsAt(sim::Slot t) {
+  std::vector<sim::Arrival> out;
+  const auto& entries = trace_.entries();
+  while (cursor_ < entries.size() && entries[cursor_].slot < t) {
+    // Skipping is allowed (harness may fast-forward over idle slots).
+    ++cursor_;
+  }
+  while (cursor_ < entries.size() && entries[cursor_].slot == t) {
+    out.push_back({entries[cursor_].input, entries[cursor_].output});
+    ++cursor_;
+  }
+  return out;
+}
+
+bool TraceTraffic::Exhausted(sim::Slot t) const {
+  (void)t;
+  return cursor_ >= trace_.entries().size();
+}
+
+}  // namespace traffic

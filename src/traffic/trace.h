@@ -1,0 +1,77 @@
+// Deterministic traffic traces: the workhorse of the lower-bound
+// adversaries, which construct explicit cell-by-cell arrival sequences
+// (e.g. the traffic "LB" in the proof of Theorem 6).
+//
+// A trace is a time-sorted list of (slot, input, output) events.  It can be
+// built programmatically, recorded from another source, saved to and loaded
+// from a simple text format, and replayed as a TrafficSource.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+#include "traffic/source.h"
+
+namespace traffic {
+
+struct TraceEntry {
+  sim::Slot slot = 0;
+  sim::PortId input = sim::kNoPort;
+  sim::PortId output = sim::kNoPort;
+
+  friend auto operator<=>(const TraceEntry&, const TraceEntry&) = default;
+};
+
+// Mutable builder + replayable source.
+class Trace {
+ public:
+  Trace() = default;
+
+  // Appends an arrival.  Entries may be added out of order; Normalize()
+  // (or replay construction) sorts them.  Duplicate (slot, input) pairs
+  // are a model violation and rejected by Validate().
+  void Add(sim::Slot slot, sim::PortId input, sim::PortId output);
+
+  // Appends every entry of `other` shifted by `offset` slots.
+  void Append(const Trace& other, sim::Slot offset);
+
+  // Sorts entries by (slot, input).
+  void Normalize();
+
+  // Throws sim::SimError if two cells share (slot, input), or any port id
+  // is outside [0, num_ports).
+  void Validate(sim::PortId num_ports) const;
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  // Slot of the last entry (requires nonempty, normalized).
+  sim::Slot last_slot() const;
+
+  // Serialization: one "slot input output" line per entry, '#' comments.
+  void Save(std::ostream& os) const;
+  static Trace Load(std::istream& is);
+
+ private:
+  std::vector<TraceEntry> entries_;
+  bool normalized_ = true;
+};
+
+// TrafficSource replaying a trace.
+class TraceTraffic final : public TrafficSource {
+ public:
+  explicit TraceTraffic(Trace trace);
+
+  std::vector<sim::Arrival> ArrivalsAt(sim::Slot t) override;
+  bool Exhausted(sim::Slot t) const override;
+
+  const Trace& trace() const { return trace_; }
+
+ private:
+  Trace trace_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace traffic

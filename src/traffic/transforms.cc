@@ -1,0 +1,75 @@
+#include "traffic/transforms.h"
+
+#include "sim/error.h"
+
+namespace traffic {
+
+Trace Shift(const Trace& trace, sim::Slot offset) {
+  Trace out;
+  for (const TraceEntry& e : trace.entries()) {
+    SIM_CHECK(e.slot + offset >= 0, "shift would produce a negative slot");
+    out.Add(e.slot + offset, e.input, e.output);
+  }
+  out.Normalize();
+  return out;
+}
+
+Trace Dilate(const Trace& trace, int factor) {
+  SIM_CHECK(factor >= 1, "dilation factor must be >= 1");
+  Trace out;
+  for (const TraceEntry& e : trace.entries()) {
+    out.Add(e.slot * factor, e.input, e.output);
+  }
+  out.Normalize();
+  return out;
+}
+
+Trace PermutePorts(const Trace& trace,
+                   const std::vector<sim::PortId>& input_perm,
+                   const std::vector<sim::PortId>& output_perm) {
+  Trace out;
+  for (const TraceEntry& e : trace.entries()) {
+    SIM_CHECK(static_cast<std::size_t>(e.input) < input_perm.size() &&
+                  static_cast<std::size_t>(e.output) < output_perm.size(),
+              "port out of permutation range");
+    out.Add(e.slot, input_perm[static_cast<std::size_t>(e.input)],
+            output_perm[static_cast<std::size_t>(e.output)]);
+  }
+  out.Normalize();
+  return out;
+}
+
+Trace Truncate(const Trace& trace, sim::Slot horizon) {
+  Trace out;
+  for (const TraceEntry& e : trace.entries()) {
+    if (e.slot < horizon) out.Add(e.slot, e.input, e.output);
+  }
+  out.Normalize();
+  return out;
+}
+
+Trace Merge(const Trace& a, const Trace& b) {
+  Trace out;
+  for (const TraceEntry& e : a.entries()) out.Add(e.slot, e.input, e.output);
+  for (const TraceEntry& e : b.entries()) out.Add(e.slot, e.input, e.output);
+  out.Normalize();
+  const auto& entries = out.entries();
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    SIM_CHECK(!(entries[i].slot == entries[i - 1].slot &&
+                entries[i].input == entries[i - 1].input),
+              "merge collision on input " << entries[i].input << " at slot "
+                                          << entries[i].slot);
+  }
+  return out;
+}
+
+Trace Transpose(const Trace& trace) {
+  Trace out;
+  for (const TraceEntry& e : trace.entries()) {
+    out.Add(e.slot, e.output, e.input);
+  }
+  out.Normalize();
+  return out;
+}
+
+}  // namespace traffic

@@ -1,0 +1,43 @@
+// Trace transforms: pure functions from traces to traces, for composing
+// adversarial constructions and post-processing recorded workloads.
+//
+// All transforms preserve the model invariant "at most one cell per input
+// per slot" when their parameters allow it, and Validate() is re-run by
+// callers that need certainty.
+#pragma once
+
+#include <vector>
+
+#include "sim/types.h"
+#include "traffic/trace.h"
+
+namespace traffic {
+
+// Shifts every entry by `offset` slots (offset may be negative as long as
+// no slot becomes negative; checked).
+Trace Shift(const Trace& trace, sim::Slot offset);
+
+// Stretches time by an integer factor: slot s becomes s * factor.  Thins
+// the traffic to 1/factor of the rate while preserving order — useful to
+// turn a rate-R construction into a rate-R/factor one.
+Trace Dilate(const Trace& trace, int factor);
+
+// Applies a port permutation to inputs and outputs (both of size N).
+// Relabeling ports must not change any delay property of a symmetric
+// switch — the property tests use this as a metamorphic check.
+Trace PermutePorts(const Trace& trace,
+                   const std::vector<sim::PortId>& input_perm,
+                   const std::vector<sim::PortId>& output_perm);
+
+// Keeps only entries with slot < horizon.
+Trace Truncate(const Trace& trace, sim::Slot horizon);
+
+// Interleaves two traces; throws if they collide on (slot, input).
+Trace Merge(const Trace& a, const Trace& b);
+
+// Reverses the roles of inputs and outputs (entry (t, i, j) becomes
+// (t, j, i)): the time-reversal-flavoured dual used to stress output-side
+// bookkeeping with input-side patterns.
+Trace Transpose(const Trace& trace);
+
+}  // namespace traffic

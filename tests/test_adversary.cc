@@ -1,0 +1,252 @@
+// Tests for the lower-bound adversaries: each builds the proof's traffic
+// and checks that (a) the traffic satisfies the theorem's leaky-bucket
+// budget and (b) replaying it drives the measured relative queuing delay
+// and jitter to the predicted concentration cost.
+#include <gtest/gtest.h>
+
+#include "core/adversary_alignment.h"
+#include "core/adversary_bursts.h"
+#include "core/bounds.h"
+#include "core/harness.h"
+#include "demux/registry.h"
+#include "switch/pps.h"
+#include "traffic/leaky_bucket.h"
+#include "traffic/trace.h"
+
+namespace {
+
+pps::SwitchConfig Config(sim::PortId n, int k, int rp) {
+  pps::SwitchConfig cfg;
+  cfg.num_ports = n;
+  cfg.num_planes = k;
+  cfg.rate_ratio = rp;
+  return cfg;
+}
+
+std::int64_t MeasuredBurstiness(const traffic::Trace& trace, sim::PortId n) {
+  traffic::BurstinessMeter meter(n);
+  for (const auto& e : trace.entries()) meter.Record(e.slot, e.input, e.output);
+  return meter.OutputBurstiness();
+}
+
+core::RunResult Replay(const pps::SwitchConfig& cfg,
+                       const pps::DemuxFactory& factory,
+                       const traffic::Trace& trace) {
+  pps::BufferlessPps sw(cfg, factory);
+  traffic::TraceTraffic src(trace);
+  core::RunOptions opt;
+  opt.max_slots = 1'000'000;
+  return core::RunRelative(sw, src, opt);
+}
+
+// The exact worst case the burst scenario realises with eager planes: the
+// z-th of d rate-1 cells waits (z-1)(r'-1) slots, so max = (d-1)(r'-1).
+sim::Slot ExactBurstCost(int d, int rate_ratio) {
+  return static_cast<sim::Slot>(d - 1) * (rate_ratio - 1);
+}
+
+// --- Theorem 6 / Corollary 7 ---------------------------------------------------
+
+class AlignmentOverAlgorithms
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AlignmentOverAlgorithms, AlignsEveryInputAndHasZeroBurstiness) {
+  const auto cfg = Config(8, 4, 2);
+  auto factory = demux::MakeFactory(GetParam());
+  const auto plan = core::BuildAlignmentTraffic(cfg, factory);
+  EXPECT_EQ(plan.d(), cfg.num_ports) << "unpartitioned: all inputs align";
+  EXPECT_EQ(MeasuredBurstiness(plan.trace, cfg.num_ports), 0)
+      << "Theorem 6 traffic must be leaky-bucket without bursts";
+}
+
+TEST_P(AlignmentOverAlgorithms, ConcentrationCausesPredictedDelay) {
+  const auto cfg = Config(8, 4, 2);
+  auto factory = demux::MakeFactory(GetParam());
+  const auto plan = core::BuildAlignmentTraffic(cfg, factory);
+  const auto result = Replay(cfg, factory, plan.trace);
+  ASSERT_TRUE(result.drained);
+  const sim::Slot expected = ExactBurstCost(plan.d(), cfg.rate_ratio);
+  EXPECT_GE(result.max_relative_delay, expected) << GetParam();
+  EXPECT_GE(result.max_relative_jitter, expected) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(FullyDistributed, AlignmentOverAlgorithms,
+                         ::testing::Values("rr", "rr-per-output", "hash"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(AlignmentAdversary, RejectsNonDistributedAlgorithms) {
+  auto cfg = Config(4, 4, 2);
+  cfg.plane_scheduling = pps::PlaneScheduling::kBooked;
+  cfg.snapshot_history = 1;
+  EXPECT_THROW(
+      core::BuildAlignmentTraffic(cfg, demux::MakeFactory("cpa")),
+      sim::SimError);
+}
+
+TEST(AlignmentAdversary, BurstIsConsecutiveSlots) {
+  const auto cfg = Config(8, 4, 2);
+  const auto plan = core::BuildAlignmentTraffic(
+      cfg, demux::MakeFactory("rr-per-output"));
+  EXPECT_EQ(plan.burst_end - plan.burst_start, plan.d());
+}
+
+TEST(AlignmentAdversary, AllBurstCellsLandInTargetPlane) {
+  const auto cfg = Config(8, 4, 2);
+  auto factory = demux::MakeFactory("rr-per-output");
+  const auto plan = core::BuildAlignmentTraffic(cfg, factory);
+  pps::BufferlessPps sw(cfg, factory);
+  traffic::TraceTraffic src(plan.trace);
+  std::vector<sim::Cell> burst_cells;
+  for (sim::Slot t = 0; t <= plan.trace.last_slot() + 200; ++t) {
+    for (const auto& a : src.ArrivalsAt(t)) {
+      sim::Cell cell;
+      cell.input = a.input;
+      cell.output = a.output;
+      sw.Inject(cell, t);
+    }
+    for (const auto& c : sw.Advance(t)) {
+      if (c.arrival >= plan.burst_start && c.arrival < plan.burst_end) {
+        burst_cells.push_back(c);
+      }
+    }
+    if (t > plan.burst_end && sw.Drained() && src.Exhausted(t)) break;
+  }
+  ASSERT_EQ(static_cast<int>(burst_cells.size()), plan.d());
+  for (const auto& c : burst_cells) {
+    EXPECT_EQ(c.plane, plan.target_plane);
+  }
+}
+
+// --- Theorem 8 (static partition) ----------------------------------------------
+
+TEST(Theorem8, PartitionedAlignmentReachesSharingBound) {
+  const auto cfg = Config(8, 4, 2);
+  const int d_per_input = 2;
+  auto factory = demux::MakeFactory("static-partition-d2");
+  const auto plan = core::BuildAlignmentTraffic(cfg, factory);
+  // Staggered windows of size 2 over K = 4 planes: each plane is shared by
+  // N*d/K = 4 inputs.
+  EXPECT_EQ(plan.d(), cfg.num_ports * d_per_input / cfg.num_planes);
+  const auto result = Replay(cfg, factory, plan.trace);
+  EXPECT_GE(result.max_relative_delay,
+            ExactBurstCost(plan.d(), cfg.rate_ratio));
+  // Theorem 8 formula is a lower bound on the worst case over (j, k):
+  // measured must be at least (r'-1) * N/S (up to the -1 window effect).
+  const double thm8 = core::bounds::Theorem8(cfg.rate_ratio, cfg.num_ports,
+                                             cfg.speedup());
+  EXPECT_GE(result.max_relative_delay + cfg.rate_ratio - 1, thm8);
+}
+
+// --- Theorem 10 (u-RT burst) ----------------------------------------------------
+
+TEST(Theorem10, StaleJsqConcentratesBurst) {
+  const int u = 4;
+  auto cfg = Config(16, 16, 8);  // S = 2, u' = min(4, r'/2) = 4
+  cfg.snapshot_history = u + 2;
+  core::StaleBurstOptions opt;
+  opt.u = u;
+  const auto plan = BuildStaleBurstTraffic(cfg, opt);
+
+  // The burst respects the theorem's burstiness budget.
+  const double budget = core::bounds::Theorem10Burstiness(
+      u, cfg.rate_ratio, cfg.num_ports, cfg.num_planes);
+  EXPECT_LE(static_cast<double>(MeasuredBurstiness(plan.trace, cfg.num_ports)),
+            std::max(budget, 1.0) + 1.0);
+
+  auto factory = demux::MakeFactory("stale-jsq-u" + std::to_string(u));
+  const auto result = Replay(cfg, factory, plan.trace);
+  ASSERT_TRUE(result.drained);
+  const double bound = core::bounds::Theorem10(u, cfg.rate_ratio,
+                                               cfg.num_ports, cfg.speedup());
+  EXPECT_GE(static_cast<double>(result.max_relative_delay) +
+                core::bounds::ConventionSlack(cfg.rate_ratio),
+            bound)
+      << "measured RQD must meet the Theorem 10 bound";
+}
+
+TEST(Theorem10, SmallRatePrimeCapsTheBoundAtUPrime) {
+  // r' = 2 caps u' at 1 no matter how stale the information is: the
+  // adversary's budget shrinks and so does the measured penalty.
+  const int u = 4;
+  auto cfg = Config(16, 4, 2);
+  cfg.snapshot_history = u + 2;
+  core::StaleBurstOptions opt;
+  opt.u = u;
+  const auto plan = BuildStaleBurstTraffic(cfg, opt);
+  const auto result = Replay(
+      cfg, demux::MakeFactory("stale-jsq-u" + std::to_string(u)), plan.trace);
+  const double bound = core::bounds::Theorem10(u, cfg.rate_ratio,
+                                               cfg.num_ports, cfg.speedup());
+  EXPECT_GE(static_cast<double>(result.max_relative_delay) +
+                core::bounds::ConventionSlack(cfg.rate_ratio),
+            bound);
+}
+
+TEST(Theorem10, FreshInformationAvoidsThePenalty) {
+  // The same burst against u = 0 (centralized JSQ): concentration is far
+  // smaller because every decision sees the live backlog.
+  auto cfg = Config(16, 16, 8);
+  cfg.snapshot_history = 8;
+  core::StaleBurstOptions opt;
+  opt.u = 4;  // adversary built for a stale algorithm...
+  const auto plan = BuildStaleBurstTraffic(cfg, opt);
+  const auto stale = Replay(cfg, demux::MakeFactory("stale-jsq-u4"),
+                            plan.trace);
+  const auto fresh = Replay(cfg, demux::MakeFactory("stale-jsq-u0"),
+                            plan.trace);
+  EXPECT_LT(fresh.max_relative_delay, stale.max_relative_delay);
+}
+
+// --- Theorem 14 / Proposition 15 -------------------------------------------------
+
+TEST(Theorem14, ExtendedFtdHasNoIncrementalDelayDuringCongestion) {
+  auto cfg = Config(8, 8, 2);  // S = 4 >= h
+  core::CongestionOptions opt;
+  opt.flood_slots = 8;
+  opt.sustain_slots = 400;
+  const auto plan = BuildCongestionTraffic(cfg, opt);
+
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("ftd-h2"));
+  traffic::TraceTraffic src(plan.trace);
+  core::RunOptions ropt;
+  ropt.max_slots = 100'000;
+  ropt.keep_timeline = true;
+  const auto result = core::RunRelative(sw, src, ropt);
+  ASSERT_TRUE(result.drained);
+
+  // Warm-up cells pay for the flood; cells arriving in the congested
+  // period add (almost) nothing on top.
+  const sim::Slot rqd_flood =
+      result.MaxRelativeDelayIn(0, plan.flood_end);
+  const sim::Slot rqd_congested = result.MaxRelativeDelayIn(
+      plan.flood_end + 64, plan.sustain_end);
+  EXPECT_LE(rqd_congested, rqd_flood);
+  EXPECT_LE(rqd_congested, 2 * cfg.rate_ratio)
+      << "steady congested state must add no relative queuing delay";
+}
+
+TEST(Proposition15, CongestionTrafficBurstinessGrowsWithDuration) {
+  auto cfg = Config(8, 8, 2);
+  core::CongestionOptions short_opt{.target_output = 0,
+                                    .flood_slots = 4,
+                                    .sustain_slots = 16};
+  core::CongestionOptions long_opt{.target_output = 0,
+                                   .flood_slots = 32,
+                                   .sustain_slots = 16};
+  const auto short_plan = BuildCongestionTraffic(cfg, short_opt);
+  const auto long_plan = BuildCongestionTraffic(cfg, long_opt);
+  const auto b_short = MeasuredBurstiness(short_plan.trace, cfg.num_ports);
+  const auto b_long = MeasuredBurstiness(long_plan.trace, cfg.num_ports);
+  // Flooding for W slots forces B >= W*(N-1): no fixed B covers all W.
+  EXPECT_EQ(b_short, 4 * (cfg.num_ports - 1));
+  EXPECT_EQ(b_long, 32 * (cfg.num_ports - 1));
+  EXPECT_GT(b_long, b_short);
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Option-surface tests for the adversary builders: forced planes, probe
+// budgets, jitter probes, warm-up control — the knobs the benches rely on.
+#include <gtest/gtest.h>
+
+#include "core/adversary_alignment.h"
+#include "core/adversary_bursts.h"
+#include "core/harness.h"
+#include "demux/registry.h"
+#include "switch/pps.h"
+#include "traffic/trace.h"
+
+namespace {
+
+pps::SwitchConfig Config(sim::PortId n, int k, int rp) {
+  pps::SwitchConfig cfg;
+  cfg.num_ports = n;
+  cfg.num_planes = k;
+  cfg.rate_ratio = rp;
+  return cfg;
+}
+
+TEST(AlignmentOptions, ForcedPlaneIsHonoured) {
+  const auto cfg = Config(8, 4, 2);
+  core::AlignmentOptions opt;
+  opt.search_planes = false;
+  opt.forced_plane = 3;
+  const auto plan = core::BuildAlignmentTraffic(
+      cfg, demux::MakeFactory("rr-per-output"), opt);
+  EXPECT_EQ(plan.target_plane, 3);
+  EXPECT_EQ(plan.d(), 8);  // unpartitioned: alignable to any plane
+}
+
+TEST(AlignmentOptions, TargetOutputSelectsTheHotPort) {
+  const auto cfg = Config(8, 4, 2);
+  core::AlignmentOptions opt;
+  opt.target_output = 5;
+  const auto plan = core::BuildAlignmentTraffic(
+      cfg, demux::MakeFactory("rr"), opt);
+  EXPECT_EQ(plan.target_output, 5);
+  for (const auto& e : plan.trace.entries()) {
+    EXPECT_EQ(e.output, 5);
+  }
+}
+
+TEST(AlignmentOptions, NoJitterProbeShortensTheTrace) {
+  const auto cfg = Config(8, 4, 2);
+  core::AlignmentOptions with, without;
+  without.jitter_probe = false;
+  const auto a = core::BuildAlignmentTraffic(
+      cfg, demux::MakeFactory("rr-per-output"), with);
+  const auto b = core::BuildAlignmentTraffic(
+      cfg, demux::MakeFactory("rr-per-output"), without);
+  EXPECT_EQ(a.trace.size(), b.trace.size() + 1);
+}
+
+TEST(AlignmentOptions, TinyProbeBudgetStillAlignsFreshDemuxes) {
+  // Fresh per-output RR pointers sit at plane 0: zero probes needed.
+  const auto cfg = Config(8, 4, 2);
+  core::AlignmentOptions opt;
+  opt.max_probes_per_input = 0;
+  opt.search_planes = false;
+  opt.forced_plane = 0;
+  const auto plan = core::BuildAlignmentTraffic(
+      cfg, demux::MakeFactory("rr-per-output"), opt);
+  EXPECT_EQ(plan.d(), 8);
+  EXPECT_EQ(plan.probes_used, 0);
+}
+
+TEST(AlignmentOptions, BadTargetOutputRejected) {
+  const auto cfg = Config(4, 4, 2);
+  core::AlignmentOptions opt;
+  opt.target_output = 9;
+  EXPECT_THROW(
+      core::BuildAlignmentTraffic(cfg, demux::MakeFactory("rr"), opt),
+      sim::SimError);
+}
+
+TEST(StaleBurstOptions, WarmupExtendsTheIdlePrefix) {
+  auto cfg = Config(16, 16, 8);
+  core::StaleBurstOptions opt;
+  opt.u = 2;
+  opt.warmup = 50;
+  const auto plan = BuildStaleBurstTraffic(cfg, opt);
+  EXPECT_GE(plan.burst_start, 50);
+  EXPECT_EQ(plan.trace.entries().front().slot, plan.burst_start);
+}
+
+TEST(StaleBurstOptions, RequiresPositiveU) {
+  auto cfg = Config(16, 16, 8);
+  core::StaleBurstOptions opt;
+  opt.u = 0;
+  EXPECT_THROW(BuildStaleBurstTraffic(cfg, opt), sim::SimError);
+}
+
+TEST(StaleBurstOptions, BurstSizeFollowsTheTheorem) {
+  auto cfg = Config(16, 16, 8);  // u' = min(u, 4)
+  core::StaleBurstOptions opt;
+  opt.u = 4;
+  const auto plan = BuildStaleBurstTraffic(cfg, opt);
+  // m = u'^2 N / K = 16 cells over u' = 4 slots.
+  EXPECT_EQ(plan.burst_cells, 16);
+  EXPECT_EQ(plan.burst_window, 4);
+  EXPECT_EQ(plan.burst_end - plan.burst_start, 4);
+}
+
+TEST(CongestionOptions, TargetOutputAndPhasesExposed) {
+  auto cfg = Config(8, 8, 2);
+  core::CongestionOptions opt;
+  opt.target_output = 3;
+  opt.flood_slots = 5;
+  opt.sustain_slots = 20;
+  const auto plan = BuildCongestionTraffic(cfg, opt);
+  EXPECT_EQ(plan.target_output, 3);
+  EXPECT_EQ(plan.flood_end, 5);
+  EXPECT_EQ(plan.sustain_end, 25);
+  for (const auto& e : plan.trace.entries()) EXPECT_EQ(e.output, 3);
+  // Flood phase: N cells per slot; sustain: exactly one.
+  std::size_t flood_cells = 0, sustain_cells = 0;
+  for (const auto& e : plan.trace.entries()) {
+    (e.slot < plan.flood_end ? flood_cells : sustain_cells) += 1;
+  }
+  EXPECT_EQ(flood_cells, 5u * 8u);
+  EXPECT_EQ(sustain_cells, 20u);
+}
+
+}  // namespace

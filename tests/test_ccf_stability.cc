@@ -1,0 +1,109 @@
+// Property test: the CCF scheduler's matching is STABLE — no blocking
+// pair exists.  A blocking pair (i, j) would be a nonempty VOQ(i, j) whose
+// head is more urgent than both what input i transfers and what output j
+// receives; stability is the property the exact-mimicking proof of Chuang
+// et al. builds on, so we check it directly on randomized VOQ states.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "cioq/ccf.h"
+#include "cioq/voq.h"
+#include "sim/rng.h"
+
+namespace {
+
+struct Urgency {
+  sim::Slot tag;
+  sim::CellId id;
+
+  bool MoreUrgentThan(const Urgency& other) const {
+    return tag != other.tag ? tag < other.tag : id < other.id;
+  }
+};
+
+bool HasBlockingPair(const cioq::VoqBank& voqs,
+                     const cioq::Matching& matching, sim::PortId n) {
+  // Urgency of each side's current assignment (nullopt = unmatched).
+  std::vector<std::optional<Urgency>> input_got(static_cast<std::size_t>(n));
+  std::vector<std::optional<Urgency>> output_got(static_cast<std::size_t>(n));
+  for (sim::PortId i = 0; i < n; ++i) {
+    const sim::PortId j = matching[static_cast<std::size_t>(i)];
+    if (j == sim::kNoPort) continue;
+    const sim::Cell* head = voqs.Head(i, j);
+    input_got[static_cast<std::size_t>(i)] = Urgency{head->tag, head->id};
+    output_got[static_cast<std::size_t>(j)] = Urgency{head->tag, head->id};
+  }
+  for (sim::PortId i = 0; i < n; ++i) {
+    for (sim::PortId j = 0; j < n; ++j) {
+      const sim::Cell* head = voqs.Head(i, j);
+      if (head == nullptr) continue;
+      const Urgency u{head->tag, head->id};
+      const auto& gi = input_got[static_cast<std::size_t>(i)];
+      const auto& gj = output_got[static_cast<std::size_t>(j)];
+      const bool input_prefers = !gi.has_value() || u.MoreUrgentThan(*gi);
+      const bool output_prefers = !gj.has_value() || u.MoreUrgentThan(*gj);
+      if (input_prefers && output_prefers) return true;
+    }
+  }
+  return false;
+}
+
+TEST(CcfStability, NoBlockingPairOnRandomStates) {
+  sim::Rng rng(31415);
+  cioq::CcfScheduler sched;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n = static_cast<sim::PortId>(2 + rng.UniformInt(7));  // 2..8
+    sched.Reset(n);
+    cioq::VoqBank voqs(n);
+    sim::CellId id = 1;
+    for (sim::PortId i = 0; i < n; ++i) {
+      for (sim::PortId j = 0; j < n; ++j) {
+        const auto depth = rng.UniformInt(3);  // 0..2 cells per VOQ
+        for (std::uint64_t d = 0; d < depth; ++d) {
+          sim::Cell c;
+          c.id = id++;
+          c.input = i;
+          c.output = j;
+          c.arrival = 0;
+          c.tag = static_cast<sim::Slot>(rng.UniformInt(20));
+          voqs.Push(c);
+        }
+      }
+    }
+    const auto matching = sched.Schedule(voqs);
+    ASSERT_TRUE(cioq::IsFeasibleMatching(voqs, matching))
+        << "trial " << trial;
+    EXPECT_FALSE(HasBlockingPair(voqs, matching, n)) << "trial " << trial;
+  }
+}
+
+TEST(CcfStability, StableMatchingsAreAlsoMaximal) {
+  // Stability with complete preference lists implies maximality: an
+  // unmatched feasible pair would always block.
+  sim::Rng rng(999);
+  cioq::CcfScheduler sched;
+  for (int trial = 0; trial < 100; ++trial) {
+    const sim::PortId n = 6;
+    sched.Reset(n);
+    cioq::VoqBank voqs(n);
+    sim::CellId id = 1;
+    for (sim::PortId i = 0; i < n; ++i) {
+      for (sim::PortId j = 0; j < n; ++j) {
+        if (rng.Bernoulli(0.5)) {
+          sim::Cell c;
+          c.id = id++;
+          c.input = i;
+          c.output = j;
+          c.arrival = 0;
+          c.tag = static_cast<sim::Slot>(rng.UniformInt(10));
+          voqs.Push(c);
+        }
+      }
+    }
+    const auto matching = sched.Schedule(voqs);
+    EXPECT_TRUE(cioq::IsMaximalMatching(voqs, matching)) << "trial " << trial;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "demux/cpa.h"
+#include "demux/ftd.h"
+#include "demux/hash.h"
+#include "demux/round_robin.h"
+#include "demux/stale_jsq.h"
+#include "demux/static_partition.h"
+#include "sim/error.h"
+
+namespace {
+
+pps::SwitchConfig Config(sim::PortId n, int k, int rp) {
+  pps::SwitchConfig cfg;
+  cfg.num_ports = n;
+  cfg.num_planes = k;
+  cfg.rate_ratio = rp;
+  return cfg;
+}
+
+struct FreeLinks {
+  explicit FreeLinks(int k) : flags(std::make_unique<bool[]>(k)), count(k) {
+    std::fill_n(flags.get(), k, true);
+  }
+  void SetBusy(int k) { flags[static_cast<std::size_t>(k)] = false; }
+  pps::DispatchContext Ctx(sim::Slot now = 0) const {
+    pps::DispatchContext ctx;
+    ctx.now = now;
+    ctx.input_link_free = std::span<const bool>(
+        flags.get(), static_cast<std::size_t>(count));
+    return ctx;
+  }
+  std::unique_ptr<bool[]> flags;
+  int count;
+};
+
+sim::Cell CellTo(sim::PortId output, sim::PortId input = 0) {
+  sim::Cell c;
+  c.input = input;
+  c.output = output;
+  c.arrival = 0;
+  return c;
+}
+
+// --- RoundRobinDemux ---------------------------------------------------------
+
+TEST(RoundRobin, CyclesThroughAllPlanes) {
+  demux::RoundRobinDemux d;
+  d.Reset(Config(4, 4, 2), 0);
+  FreeLinks links(4);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(d.Dispatch(CellTo(1), links.Ctx()).plane, i % 4);
+  }
+}
+
+TEST(RoundRobin, SkipsBusyPlanes) {
+  demux::RoundRobinDemux d;
+  d.Reset(Config(4, 4, 2), 0);
+  FreeLinks links(4);
+  links.SetBusy(0);
+  EXPECT_EQ(d.Dispatch(CellTo(1), links.Ctx()).plane, 1);
+}
+
+TEST(RoundRobin, PointerAdvancesRegardlessOfDestination) {
+  demux::RoundRobinDemux d;
+  d.Reset(Config(4, 4, 2), 0);
+  FreeLinks links(4);
+  d.Dispatch(CellTo(1), links.Ctx());
+  EXPECT_EQ(d.Dispatch(CellTo(3), links.Ctx()).plane, 1);
+}
+
+TEST(RoundRobin, CloneIsIndependent) {
+  demux::RoundRobinDemux d;
+  d.Reset(Config(4, 4, 2), 0);
+  FreeLinks links(4);
+  d.Dispatch(CellTo(0), links.Ctx());
+  auto clone = d.Clone();
+  EXPECT_EQ(clone->Dispatch(CellTo(0), links.Ctx()).plane, 1);
+  EXPECT_EQ(clone->Dispatch(CellTo(0), links.Ctx()).plane, 2);
+  // Original unchanged by the clone's activity.
+  EXPECT_EQ(d.Dispatch(CellTo(0), links.Ctx()).plane, 1);
+}
+
+// --- PerOutputRoundRobinDemux --------------------------------------------------
+
+TEST(PerOutputRR, IndependentPointersPerOutput) {
+  demux::PerOutputRoundRobinDemux d;
+  d.Reset(Config(4, 4, 2), 0);
+  FreeLinks links(4);
+  EXPECT_EQ(d.Dispatch(CellTo(0), links.Ctx()).plane, 0);
+  EXPECT_EQ(d.Dispatch(CellTo(1), links.Ctx()).plane, 0);  // own pointer
+  EXPECT_EQ(d.Dispatch(CellTo(0), links.Ctx()).plane, 1);
+}
+
+TEST(PerOutputRR, SpreadsFlowEvenly) {
+  demux::PerOutputRoundRobinDemux d;
+  d.Reset(Config(4, 4, 2), 0);
+  FreeLinks links(4);
+  std::array<int, 4> count{};
+  for (int i = 0; i < 40; ++i) {
+    ++count[static_cast<std::size_t>(d.Dispatch(CellTo(2), links.Ctx()).plane)];
+  }
+  for (int c : count) EXPECT_EQ(c, 10);
+}
+
+// --- StaticPartitionDemux -------------------------------------------------------
+
+TEST(StaticPartition, UsesOnlyItsSubset) {
+  demux::StaticPartitionDemux d(2);
+  d.Reset(Config(8, 8, 2), /*input=*/3);
+  FreeLinks links(8);
+  std::set<sim::PlaneId> used;
+  for (int i = 0; i < 16; ++i) {
+    used.insert(d.Dispatch(CellTo(0), links.Ctx()).plane);
+  }
+  EXPECT_EQ(used, (std::set<sim::PlaneId>{3, 4}));  // staggered window
+}
+
+TEST(StaticPartition, SubsetWrapsAroundK) {
+  const auto planes = demux::StaticPartitionDemux::PlanesFor(7, 3, 8);
+  EXPECT_EQ(planes, (std::vector<sim::PlaneId>{7, 0, 1}));
+}
+
+TEST(StaticPartition, RejectsDSmallerThanRatePrime) {
+  demux::StaticPartitionDemux d(1);
+  EXPECT_THROW(d.Reset(Config(4, 4, 2), 0), sim::SimError);
+}
+
+TEST(StaticPartition, SharingMatchesPigeonhole) {
+  // With N = K and windows of size d, every plane is used by exactly d
+  // inputs — the Theorem-8 bound d >= r'N/K is met with equality at d = r'.
+  const int n = 8, k = 8, d = 3;
+  std::vector<int> sharing(k, 0);
+  for (sim::PortId i = 0; i < n; ++i) {
+    for (auto plane : demux::StaticPartitionDemux::PlanesFor(i, d, k)) {
+      ++sharing[static_cast<std::size_t>(plane)];
+    }
+  }
+  for (int s : sharing) EXPECT_EQ(s, d);
+}
+
+// --- HashDemux ----------------------------------------------------------------
+
+TEST(Hash, DeterministicPerDestination) {
+  demux::HashDemux a, b;
+  a.Reset(Config(8, 8, 2), 0);
+  b.Reset(Config(8, 8, 2), 5);  // different input, same algorithm state
+  FreeLinks links(8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.Dispatch(CellTo(3), links.Ctx()).plane,
+              b.Dispatch(CellTo(3), links.Ctx()).plane)
+        << "hash demux state is input-independent";
+  }
+}
+
+TEST(Hash, CounterRotatesPlanes) {
+  demux::HashDemux d;
+  d.Reset(Config(8, 8, 2), 0);
+  FreeLinks links(8);
+  const auto k0 = d.Dispatch(CellTo(3), links.Ctx()).plane;
+  const auto k1 = d.Dispatch(CellTo(3), links.Ctx()).plane;
+  EXPECT_EQ((k0 + 1) % 8, k1);
+}
+
+// --- FtdDemux -----------------------------------------------------------------
+
+TEST(Ftd, NoPlaneRepeatsWithinBlock) {
+  demux::FtdDemux d(/*h=*/2);
+  auto cfg = Config(8, 8, 2);
+  d.Reset(cfg, 0);
+  EXPECT_EQ(d.block_size(), 4);
+  FreeLinks links(8);
+  std::set<sim::PlaneId> block;
+  for (int i = 0; i < 4; ++i) {
+    auto [k, booked] = d.Dispatch(CellTo(1), links.Ctx());
+    EXPECT_TRUE(block.insert(k).second) << "plane repeated within block";
+  }
+  // Next block may reuse planes.
+  auto k = d.Dispatch(CellTo(1), links.Ctx()).plane;
+  EXPECT_GE(k, 0);
+}
+
+TEST(Ftd, BlocksAreTrackedPerFlow) {
+  demux::FtdDemux d(1);
+  d.Reset(Config(8, 8, 4), 0);
+  FreeLinks links(8);
+  auto a0 = d.Dispatch(CellTo(0), links.Ctx()).plane;
+  auto b0 = d.Dispatch(CellTo(1), links.Ctx()).plane;
+  // Flows are independent: output 1's block did not consume output 0's.
+  EXPECT_EQ(a0, b0);
+}
+
+TEST(Ftd, BlockSizeCappedAtK) {
+  demux::FtdDemux d(/*h=*/4);
+  d.Reset(Config(4, 4, 2), 0);
+  EXPECT_EQ(d.block_size(), 4);  // min(h*r', K) = min(8, 4)
+}
+
+// --- StaleJsqDemux --------------------------------------------------------------
+
+pps::GlobalSnapshot SnapshotWithBacklog(int k_count, sim::PortId n,
+                                        sim::Slot slot,
+                                        std::vector<std::int32_t> backlog) {
+  pps::GlobalSnapshot snap;
+  snap.slot = slot;
+  snap.plane_backlog = std::move(backlog);
+  snap.input_link_next_free.assign(static_cast<std::size_t>(n) * k_count, 0);
+  snap.output_link_next_free.assign(static_cast<std::size_t>(k_count) * n, 0);
+  snap.output_backlog.assign(static_cast<std::size_t>(n), 0);
+  return snap;
+}
+
+TEST(StaleJsq, PicksSmallestStaleBacklog) {
+  demux::StaleJsqDemux d(2);
+  auto cfg = Config(2, 3, 1);
+  cfg.snapshot_history = 4;
+  d.Reset(cfg, 0);
+  FreeLinks links(3);
+  auto snap = SnapshotWithBacklog(3, 2, 0, {5, 0, 1, 0, 9, 0});
+  auto ctx = links.Ctx(2);
+  ctx.global = &snap;
+  // Backlogs toward output 0: plane0=5, plane1=1, plane2=9 -> plane 1.
+  EXPECT_EQ(d.Dispatch(CellTo(0), ctx).plane, 1);
+}
+
+TEST(StaleJsq, LocalCorrectionCountsOwnRecentSends) {
+  demux::StaleJsqDemux d(2);
+  auto cfg = Config(2, 2, 1);
+  cfg.snapshot_history = 4;
+  d.Reset(cfg, 0);
+  FreeLinks links(2);
+  auto snap = SnapshotWithBacklog(2, 2, 0, {0, 0, 0, 0});
+  auto ctx = links.Ctx(1);
+  ctx.global = &snap;
+  EXPECT_EQ(d.Dispatch(CellTo(0), ctx).plane, 0);  // tie -> lowest id
+  ctx.now = 2;
+  // Own send to plane 0 is newer than the snapshot: corrected backlog makes
+  // plane 1 the minimum now.
+  EXPECT_EQ(d.Dispatch(CellTo(0), ctx).plane, 1);
+}
+
+TEST(StaleJsq, TieBreaksIdenticallyAcrossInputs) {
+  // The concentration mechanism of Theorem 10: with the same stale view,
+  // different inputs choose the same plane.
+  demux::StaleJsqDemux a(4), b(4);
+  auto cfg = Config(4, 4, 2);
+  cfg.snapshot_history = 8;
+  a.Reset(cfg, 0);
+  b.Reset(cfg, 3);
+  FreeLinks links(4);
+  auto snap = SnapshotWithBacklog(4, 4, 0,
+                                  std::vector<std::int32_t>(16, 0));
+  auto ctx = links.Ctx(3);
+  ctx.global = &snap;
+  EXPECT_EQ(a.Dispatch(CellTo(2), ctx).plane,
+            b.Dispatch(CellTo(2), ctx).plane);
+}
+
+// --- CpaCore -------------------------------------------------------------------
+
+TEST(CpaCore, DepartureTimesAreFcfs) {
+  demux::CpaCore core;
+  auto cfg = Config(4, 4, 2);
+  cfg.plane_scheduling = pps::PlaneScheduling::kBooked;
+  core.Reset(cfg);
+  FreeLinks links(4);
+  auto d0 = core.Assign(1, 0, links.Ctx().input_link_free);
+  auto d1 = core.Assign(1, 0, links.Ctx().input_link_free);
+  auto d2 = core.Assign(1, 5, links.Ctx().input_link_free);
+  EXPECT_EQ(d0.booked_delivery, 0);
+  EXPECT_EQ(d1.booked_delivery, 1);
+  EXPECT_EQ(d2.booked_delivery, 5);  // idle gap resets to arrival slot
+}
+
+TEST(CpaCore, AvoidsOutputLineConflicts) {
+  demux::CpaCore core;
+  auto cfg = Config(4, 4, 2);
+  cfg.plane_scheduling = pps::PlaneScheduling::kBooked;
+  core.Reset(cfg);
+  FreeLinks links(4);
+  // Two departures 1 slot apart on the same output must use different
+  // planes (a line fits one start per r' = 2 slots).
+  auto d0 = core.Assign(2, 0, links.Ctx().input_link_free);
+  auto d1 = core.Assign(2, 0, links.Ctx().input_link_free);
+  EXPECT_NE(d0.plane, d1.plane);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/bounds.h"
+#include "sim/error.h"
+#include "core/harness.h"
+#include "core/table.h"
+#include "demux/registry.h"
+#include "netcalc/bounds.h"
+#include "netcalc/curves.h"
+#include "switch/pps.h"
+#include "traffic/trace.h"
+
+namespace {
+
+// --- bounds formulas -----------------------------------------------------------
+
+TEST(Bounds, Lemma4) {
+  // c = 10 cells through one plane at r' = 4, window 10, B = 0:
+  // RQD >= 10*4 - 10 = 30.
+  EXPECT_DOUBLE_EQ(core::bounds::Lemma4(10, 4, 10, 0), 30.0);
+}
+
+TEST(Bounds, Theorem6AndCorollary7) {
+  EXPECT_DOUBLE_EQ(core::bounds::Theorem6(2, 8), 8.0);     // (2-1)*8
+  EXPECT_DOUBLE_EQ(core::bounds::Theorem6(4, 8), 24.0);    // (4-1)*8
+  EXPECT_DOUBLE_EQ(core::bounds::Corollary7(2, 64), 64.0);
+}
+
+TEST(Bounds, Theorem8ScalesWithSpeedup) {
+  EXPECT_DOUBLE_EQ(core::bounds::Theorem8(2, 64, 2.0), 32.0);
+  EXPECT_DOUBLE_EQ(core::bounds::Theorem8(2, 64, 4.0), 16.0);
+}
+
+TEST(Bounds, Theorem10CapsUAtHalfRatePrime) {
+  EXPECT_DOUBLE_EQ(core::bounds::EffectiveU(1, 8), 1.0);
+  EXPECT_DOUBLE_EQ(core::bounds::EffectiveU(100, 8), 4.0);
+  // u' = 4, r' = 8, N = 64, S = 2: (1 - 4/8) * 4 * 64 / 2 = 64.
+  EXPECT_DOUBLE_EQ(core::bounds::Theorem10(100, 8, 64, 2.0), 64.0);
+}
+
+TEST(Bounds, Theorem10BurstinessBudget) {
+  // u' = 2, N = 16, K = 4: 2^2*16/4 - 2 = 14.
+  EXPECT_DOUBLE_EQ(core::bounds::Theorem10Burstiness(2, 8, 16, 4), 14.0);
+}
+
+TEST(Bounds, Corollary11EqualsTheorem13) {
+  EXPECT_DOUBLE_EQ(core::bounds::Corollary11(2, 64, 2.0),
+                   core::bounds::Theorem13(2, 64, 2.0));
+  EXPECT_DOUBLE_EQ(core::bounds::Theorem13(2, 64, 2.0), 16.0);
+}
+
+TEST(Bounds, UpperBounds) {
+  EXPECT_DOUBLE_EQ(core::bounds::Theorem12Upper(7), 7.0);
+  EXPECT_DOUBLE_EQ(core::bounds::IyerMcKeownUpper(2, 16), 32.0);
+  EXPECT_DOUBLE_EQ(core::bounds::FtdLower(2, 16), 64.0);
+}
+
+// --- netcalc -------------------------------------------------------------------
+
+TEST(NetCalc, ReferenceSwitchDelayEqualsBurst) {
+  EXPECT_DOUBLE_EQ(netcalc::ReferenceSwitchDelayBound(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(netcalc::ReferenceSwitchDelayBound(17.0), 17.0);
+  EXPECT_DOUBLE_EQ(netcalc::ReferenceSwitchBacklogBound(17.0), 17.0);
+}
+
+TEST(NetCalc, DelayBoundAffineRateLatency) {
+  // alpha = 10 + 0.5t through beta = 1*(t-3): delay <= 3 + 10/1 = 13.
+  EXPECT_DOUBLE_EQ(netcalc::DelayBound({10.0, 0.5}, {1.0, 3.0}), 13.0);
+  EXPECT_DOUBLE_EQ(netcalc::BacklogBound({10.0, 0.5}, {1.0, 3.0}), 11.5);
+}
+
+TEST(NetCalc, UnstableSystemRejected) {
+  EXPECT_THROW(netcalc::DelayBound({0.0, 2.0}, {1.0, 0.0}), sim::SimError);
+}
+
+TEST(NetCalc, CurveAlgebra) {
+  netcalc::AffineCurve a{5.0, 0.25}, b{3.0, 0.5};
+  const auto sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.burst, 8.0);
+  EXPECT_DOUBLE_EQ(sum.rate, 0.75);
+  EXPECT_DOUBLE_EQ(a.Eval(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(a.Eval(4.0), 6.0);
+
+  const auto out = netcalc::OutputEnvelope(a, {1.0, 8.0});
+  EXPECT_DOUBLE_EQ(out.burst, 7.0);  // 5 + 0.25*8
+
+  const auto chain = netcalc::Concatenate({1.0, 2.0}, {0.5, 3.0});
+  EXPECT_DOUBLE_EQ(chain.rate, 0.5);
+  EXPECT_DOUBLE_EQ(chain.latency, 5.0);
+}
+
+TEST(NetCalc, ConcentrationDrain) {
+  EXPECT_DOUBLE_EQ(netcalc::ConcentrationDrainSlots(8, 2), 16.0);
+}
+
+// --- harness -------------------------------------------------------------------
+
+pps::SwitchConfig Config(sim::PortId n, int k, int rp) {
+  pps::SwitchConfig cfg;
+  cfg.num_ports = n;
+  cfg.num_planes = k;
+  cfg.rate_ratio = rp;
+  return cfg;
+}
+
+TEST(Harness, RelativeDelayIsZeroForIdenticalBehaviour) {
+  // r' = 1: the PPS internal lines run at the external rate, so a 1-plane
+  // PPS is an output-queued switch — relative delay must be identically 0.
+  auto cfg = Config(4, 1, 1);
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("rr"));
+  traffic::Trace trace;
+  for (sim::Slot t = 0; t < 40; ++t) trace.Add(t, t % 4, (t * 3) % 4);
+  trace.Add(41, 0, 2);
+  trace.Add(41, 1, 2);  // contention: both switches queue equally
+  traffic::TraceTraffic src(std::move(trace));
+  auto result = core::RunRelative(sw, src);
+  EXPECT_TRUE(result.drained);
+  EXPECT_EQ(result.max_relative_delay, 0);
+  EXPECT_EQ(result.max_relative_jitter, 0);
+  EXPECT_EQ(result.relative_delay.min(), 0);
+}
+
+TEST(Harness, TimelineRecordsPerCellRelativeDelay) {
+  auto cfg = Config(4, 2, 2);
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("rr-per-output"));
+  traffic::Trace trace;
+  // Two cells to output 0 in two consecutive slots from distinct inputs:
+  // with aligned fresh RR pointers both go to plane 0 -> second cell pays
+  // r' - 1 = 1 slot relative to the shadow.
+  trace.Add(0, 0, 0);
+  trace.Add(1, 1, 0);
+  traffic::TraceTraffic src(std::move(trace));
+  core::RunOptions opt;
+  opt.keep_timeline = true;
+  auto result = core::RunRelative(sw, src, opt);
+  ASSERT_EQ(result.timeline.size(), 2u);
+  EXPECT_EQ(result.timeline[0].relative_delay, 0);
+  EXPECT_EQ(result.timeline[1].relative_delay, 1);
+  EXPECT_EQ(result.MaxRelativeDelayIn(0, 1), 0);
+  EXPECT_EQ(result.MaxRelativeDelayIn(1, 2), 1);
+  EXPECT_EQ(result.max_relative_delay, 1);
+}
+
+TEST(Harness, BurstinessReportedFromTraffic) {
+  auto cfg = Config(4, 4, 2);
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("rr"));
+  traffic::Trace trace;
+  trace.Add(0, 0, 3);
+  trace.Add(0, 1, 3);
+  trace.Add(0, 2, 3);  // 3 cells for output 3 in one slot: B = 2
+  traffic::TraceTraffic src(std::move(trace));
+  auto result = core::RunRelative(sw, src);
+  EXPECT_EQ(result.traffic_burstiness, 2);
+}
+
+TEST(Harness, MaxSlotsStopsNonDrainingRun) {
+  auto cfg = Config(2, 2, 2);
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("rr"));
+  // Overload: both inputs target output 0 every slot forever.
+  class Flood : public traffic::TrafficSource {
+   public:
+    std::vector<sim::Arrival> ArrivalsAt(sim::Slot) override {
+      return {{0, 0}, {1, 0}};
+    }
+  } src;
+  core::RunOptions opt;
+  opt.max_slots = 200;
+  auto result = core::RunRelative(sw, src, opt);
+  EXPECT_EQ(result.duration, 200);
+  EXPECT_FALSE(result.drained);
+}
+
+// --- table ---------------------------------------------------------------------
+
+TEST(Table, PrintsAlignedColumnsAndCsv) {
+  core::Table table("demo", {"a", "bbbb"});
+  table.AddRow({core::Fmt(1), core::Fmt(2.5, 1)});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("bbbb"), std::string::npos);
+  EXPECT_EQ(table.ToCsv(), "a,bbbb\n1,2.5\n");
+}
+
+TEST(Table, RejectsWrongWidth) {
+  core::Table table("demo", {"a", "b"});
+  EXPECT_THROW(table.AddRow({"only-one"}), sim::SimError);
+}
+
+TEST(Table, RatioFormatting) {
+  EXPECT_EQ(core::FmtRatio(10.0, 5.0), "2.00");
+  EXPECT_EQ(core::FmtRatio(0.0, 0.0), "1.00");
+  EXPECT_EQ(core::FmtRatio(3.0, 0.0), "inf");
+}
+
+}  // namespace

@@ -1,0 +1,250 @@
+// Coverage for the smaller surfaces: event log, cell printing, random
+// demultiplexor, FTD violation accounting, harness options, alignment
+// burst_limit, input-buffer overflow accounting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/adversary_alignment.h"
+#include "core/harness.h"
+#include "demux/ftd.h"
+#include "demux/random.h"
+#include "demux/registry.h"
+#include "sim/event_log.h"
+#include "switch/input_buffered_pps.h"
+#include "switch/pps.h"
+#include "traffic/random_sources.h"
+#include "traffic/trace.h"
+
+namespace {
+
+pps::SwitchConfig Config(sim::PortId n, int k, int rp) {
+  pps::SwitchConfig cfg;
+  cfg.num_ports = n;
+  cfg.num_planes = k;
+  cfg.rate_ratio = rp;
+  return cfg;
+}
+
+// --- EventLog -------------------------------------------------------------------
+
+TEST(EventLog, DisabledByDefault) {
+  sim::EventLog log;
+  EXPECT_FALSE(log.enabled());
+  log.Note(0, "ignored");
+  EXPECT_TRUE(log.events().empty());
+}
+
+TEST(EventLog, RingKeepsMostRecent) {
+  sim::EventLog log(3);
+  for (int i = 0; i < 5; ++i) log.Note(i, "n" + std::to_string(i));
+  ASSERT_EQ(log.events().size(), 3u);
+  EXPECT_EQ(log.events().front().note, "n2");
+  EXPECT_EQ(log.events().back().note, "n4");
+}
+
+TEST(EventLog, ShrinkCapacityDropsOldest) {
+  sim::EventLog log(4);
+  for (int i = 0; i < 4; ++i) log.Note(i, std::to_string(i));
+  log.set_capacity(2);
+  ASSERT_EQ(log.events().size(), 2u);
+  EXPECT_EQ(log.events().front().note, "2");
+}
+
+TEST(EventLog, DumpRendersEvents) {
+  sim::EventLog log(4);
+  sim::Event e;
+  e.slot = 7;
+  e.kind = sim::EventKind::kDispatch;
+  e.cell = 42;
+  e.input = 1;
+  e.output = 2;
+  e.plane = 3;
+  log.Push(e);
+  const std::string dump = log.Dump();
+  EXPECT_NE(dump.find("t=7"), std::string::npos);
+  EXPECT_NE(dump.find("dispatch"), std::string::npos);
+  EXPECT_NE(dump.find("cell#42"), std::string::npos);
+  EXPECT_NE(dump.find("plane=3"), std::string::npos);
+}
+
+TEST(EventLog, FabricRecordsDispatchAndDeparture) {
+  pps::BufferlessPps sw(Config(4, 4, 2), demux::MakeFactory("rr"));
+  sw.event_log().set_capacity(16);
+  sim::Cell cell;
+  cell.input = 0;
+  cell.output = 1;
+  sw.Inject(cell, 0);
+  sw.Advance(0);
+  ASSERT_EQ(sw.event_log().events().size(), 2u);
+  EXPECT_EQ(sw.event_log().events()[0].kind, sim::EventKind::kDispatch);
+  EXPECT_EQ(sw.event_log().events()[1].kind, sim::EventKind::kDeparture);
+}
+
+// --- Cell printing ----------------------------------------------------------------
+
+TEST(Cell, StreamOperator) {
+  sim::Cell c;
+  c.id = 5;
+  c.input = 1;
+  c.output = 2;
+  c.seq = 3;
+  c.arrival = 9;
+  std::ostringstream os;
+  os << c;
+  EXPECT_EQ(os.str(), "cell#5(1->2 seq=3 t=9)");
+}
+
+// --- RandomDemux ------------------------------------------------------------------
+
+TEST(RandomDemux, SameSeedSameSequence) {
+  const auto cfg = Config(4, 4, 2);
+  auto run = [&](std::uint64_t seed) {
+    pps::BufferlessPps sw(cfg, [seed](sim::PortId) {
+      return std::make_unique<demux::RandomDemux>(seed);
+    });
+    std::vector<sim::PlaneId> planes;
+    for (sim::Slot t = 0; t < 20; ++t) {
+      sim::Cell cell;
+      cell.input = 0;
+      cell.output = 1;
+      cell.id = static_cast<sim::CellId>(t);
+      cell.seq = static_cast<std::uint64_t>(t);
+      sw.Inject(cell, t);
+      for (const auto& c : sw.Advance(t)) planes.push_back(c.plane);
+    }
+    return planes;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(RandomDemux, CloneReproducesFuture) {
+  demux::RandomDemux d(3);
+  d.Reset(Config(4, 4, 2), 0);
+  auto all_free = std::make_unique<bool[]>(4);
+  std::fill_n(all_free.get(), 4, true);
+  pps::DispatchContext ctx;
+  ctx.input_link_free = std::span<const bool>(all_free.get(), 4);
+  sim::Cell cell;
+  cell.output = 1;
+  auto clone = d.Clone();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(d.Dispatch(cell, ctx).plane, clone->Dispatch(cell, ctx).plane);
+  }
+}
+
+TEST(RandomDemux, RespectsBusyLinks) {
+  demux::RandomDemux d(3);
+  d.Reset(Config(4, 4, 2), 0);
+  auto free = std::make_unique<bool[]>(4);
+  std::fill_n(free.get(), 4, false);
+  free[2] = true;
+  pps::DispatchContext ctx;
+  ctx.input_link_free = std::span<const bool>(free.get(), 4);
+  sim::Cell cell;
+  cell.output = 0;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(d.Dispatch(cell, ctx).plane, 2);
+  }
+}
+
+// --- FTD violation accounting --------------------------------------------------------
+
+TEST(Ftd, CountsBlockViolationsWhenCornered) {
+  demux::FtdDemux d(/*h=*/1);
+  d.Reset(Config(4, 2, 2), 0);  // K = 2, block = 2
+  auto free = std::make_unique<bool[]>(2);
+  pps::DispatchContext ctx;
+  ctx.input_link_free = std::span<const bool>(free.get(), 2);
+  sim::Cell cell;
+  cell.output = 1;
+  // First cell of the block: both free -> plane 0.
+  free[0] = true;
+  free[1] = true;
+  EXPECT_EQ(d.Dispatch(cell, ctx).plane, 0);
+  // Second cell: only plane 0 free, but the block already used it.
+  free[1] = false;
+  EXPECT_EQ(d.Dispatch(cell, ctx).plane, 0);
+  EXPECT_EQ(d.block_violations(), 1u);
+}
+
+// --- Harness options --------------------------------------------------------------
+
+TEST(Harness, SourceCutoffDrainsInfiniteSource) {
+  pps::BufferlessPps sw(Config(4, 4, 2), demux::MakeFactory("rr"));
+  traffic::BernoulliSource src(4, 0.9, traffic::Pattern::kUniform,
+                               sim::Rng(1));
+  core::RunOptions opt;
+  opt.max_slots = 10'000;
+  opt.source_cutoff = 200;
+  const auto result = core::RunRelative(sw, src, opt);
+  EXPECT_TRUE(result.drained);
+  EXPECT_LT(result.duration, 1000);
+  EXPECT_GT(result.cells, 400u);
+}
+
+TEST(Harness, SummarizeMentionsKeyNumbers) {
+  pps::BufferlessPps sw(Config(4, 4, 2), demux::MakeFactory("rr"));
+  traffic::Trace trace;
+  trace.Add(0, 0, 1);
+  traffic::TraceTraffic src(std::move(trace));
+  const auto result = core::RunRelative(sw, src);
+  const std::string s = core::Summarize(result);
+  EXPECT_NE(s.find("cells=1"), std::string::npos);
+  EXPECT_NE(s.find("maxRQD=0"), std::string::npos);
+  EXPECT_EQ(s.find("UNDRAINED"), std::string::npos);
+}
+
+// --- Alignment burst_limit -----------------------------------------------------------
+
+TEST(AlignmentAdversary, BurstLimitCapsConcentration) {
+  const auto cfg = Config(8, 4, 2);
+  core::AlignmentOptions opt;
+  opt.burst_limit = 3;
+  const auto plan = core::BuildAlignmentTraffic(
+      cfg, demux::MakeFactory("rr-per-output"), opt);
+  EXPECT_EQ(plan.d(), 3);
+  EXPECT_EQ(plan.burst_end - plan.burst_start, 3);
+}
+
+// --- Input-buffer overflow accounting --------------------------------------------------
+
+TEST(InputBufferedPps, OverflowCountedNotFatal) {
+  // A pathological demux that never launches anything.
+  class Hoarder final : public pps::BufferedDemultiplexor {
+   public:
+    void Reset(const pps::SwitchConfig&, sim::PortId) override {}
+    pps::BufferedDecision Decide(const pps::BufferedContext& ctx) override {
+      pps::BufferedDecision d;
+      d.buffered.assign(ctx.buffer.size(), pps::DispatchDecision{});
+      return d;  // keep everything, including the incoming cell
+    }
+    pps::InfoModel info_model() const override {
+      return pps::InfoModel::kFullyDistributed;
+    }
+    std::unique_ptr<pps::BufferedDemultiplexor> Clone() const override {
+      return std::make_unique<Hoarder>(*this);
+    }
+    std::string name() const override { return "hoarder"; }
+  };
+
+  auto cfg = Config(2, 2, 2);
+  cfg.input_buffer_size = 2;
+  pps::InputBufferedPps sw(cfg, [](sim::PortId) {
+    return std::make_unique<Hoarder>();
+  });
+  for (sim::Slot t = 0; t < 5; ++t) {
+    sim::Cell cell;
+    cell.id = static_cast<sim::CellId>(t);
+    cell.input = 0;
+    cell.output = 1;
+    cell.seq = static_cast<std::uint64_t>(t);
+    sw.Inject(cell, t);
+    sw.Advance(t);
+  }
+  EXPECT_EQ(sw.BufferOccupancy(0), 2);
+  EXPECT_EQ(sw.buffer_overflows(), 3u);
+}
+
+}  // namespace

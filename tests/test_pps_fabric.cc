@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "core/harness.h"
+#include "demux/cpa.h"
+#include "demux/registry.h"
+#include "demux/round_robin.h"
+#include "sim/error.h"
+#include "switch/pps.h"
+#include "traffic/random_sources.h"
+#include "traffic/trace.h"
+
+namespace {
+
+pps::SwitchConfig BaseConfig(sim::PortId n, int k, int rp) {
+  pps::SwitchConfig cfg;
+  cfg.num_ports = n;
+  cfg.num_planes = k;
+  cfg.rate_ratio = rp;
+  return cfg;
+}
+
+pps::DemuxFactory RrFactory() {
+  return [](sim::PortId) {
+    return std::make_unique<demux::PerOutputRoundRobinDemux>();
+  };
+}
+
+TEST(BufferlessPps, SingleCellZeroDelay) {
+  pps::BufferlessPps sw(BaseConfig(4, 4, 2), RrFactory());
+  sim::Cell cell;
+  cell.input = 0;
+  cell.output = 3;
+  sw.Inject(cell, 0);
+  auto departed = sw.Advance(0);
+  ASSERT_EQ(departed.size(), 1u);
+  EXPECT_EQ(departed[0].delay(), 0);
+  EXPECT_NE(departed[0].plane, sim::kNoPlane);
+  EXPECT_TRUE(sw.Drained());
+}
+
+TEST(BufferlessPps, RejectsTwoCellsSameInputSameSlot) {
+  pps::BufferlessPps sw(BaseConfig(4, 4, 2), RrFactory());
+  sim::Cell cell;
+  cell.input = 1;
+  cell.output = 0;
+  sw.Inject(cell, 0);
+  sim::Cell cell2 = cell;
+  EXPECT_THROW(sw.Inject(cell2, 0), sim::SimError);
+}
+
+TEST(BufferlessPps, InputConstraintForcesPlaneRotation) {
+  // r' = 4: after sending on a line, that line is busy for 3 more slots,
+  // so 4 back-to-back cells must use 4 distinct planes.
+  pps::BufferlessPps sw(BaseConfig(2, 4, 4), RrFactory());
+  std::vector<sim::PlaneId> planes;
+  for (sim::Slot t = 0; t < 4; ++t) {
+    sim::Cell cell;
+    cell.input = 0;
+    cell.output = 1;
+    cell.seq = static_cast<std::uint64_t>(t);
+    cell.id = static_cast<sim::CellId>(t);
+    sw.Inject(cell, t);
+    for (const auto& c : sw.Advance(t)) planes.push_back(c.plane);
+  }
+  // Drain the rest.
+  for (sim::Slot t = 4; t < 32 && !sw.Drained(); ++t) {
+    for (const auto& c : sw.Advance(t)) planes.push_back(c.plane);
+  }
+  ASSERT_EQ(planes.size(), 4u);
+  std::sort(planes.begin(), planes.end());
+  EXPECT_TRUE(std::adjacent_find(planes.begin(), planes.end()) ==
+              planes.end())
+      << "planes must be distinct";
+  EXPECT_EQ(sw.input_link_violations(), 0u);
+}
+
+TEST(BufferlessPps, PreservesFlowOrderUnderRandomTraffic) {
+  auto cfg = BaseConfig(8, 8, 2);
+  pps::BufferlessPps sw(cfg, RrFactory());
+  traffic::BernoulliSource src(8, 0.7, traffic::Pattern::kUniform,
+                               sim::Rng(5));
+  core::RunOptions opt;
+  opt.max_slots = 4000;
+  opt.drain_grace = 500;
+  auto result = core::RunRelative(sw, src, opt);
+  EXPECT_TRUE(result.order_preserved);
+  EXPECT_GT(result.cells, 1000u);
+}
+
+TEST(BufferlessPps, WorkloadDrainsAfterSourceStops) {
+  auto cfg = BaseConfig(8, 8, 2);
+  pps::BufferlessPps sw(cfg, RrFactory());
+  traffic::Trace trace;
+  for (sim::Slot t = 0; t < 50; ++t) trace.Add(t, t % 8, (t * 3) % 8);
+  traffic::TraceTraffic src(std::move(trace));
+  auto result = core::RunRelative(sw, src);
+  EXPECT_TRUE(result.drained);
+  EXPECT_EQ(result.cells, 50u);
+}
+
+TEST(BufferlessPps, DispatchCountsBalancedUnderRR) {
+  auto cfg = BaseConfig(4, 4, 2);
+  pps::BufferlessPps sw(cfg, RrFactory());
+  traffic::BernoulliSource src(4, 0.9, traffic::Pattern::kUniform,
+                               sim::Rng(13));
+  core::RunOptions opt;
+  opt.max_slots = 2000;
+  opt.drain_grace = 200;
+  core::RunRelative(sw, src, opt);
+  const auto& per_plane = sw.dispatches_per_plane();
+  std::uint64_t total = 0;
+  for (auto c : per_plane) total += c;
+  for (auto c : per_plane) {
+    EXPECT_GT(c, total / 8) << "round-robin should spread load";
+  }
+}
+
+// --- CPA: the zero-RQD upper bound (mimicking an OQ switch) -----------------
+
+pps::SwitchConfig CpaConfig(sim::PortId n, int k, int rp) {
+  auto cfg = BaseConfig(n, k, rp);
+  cfg.plane_scheduling = pps::PlaneScheduling::kBooked;
+  cfg.snapshot_history = 1;
+  return cfg;
+}
+
+TEST(Cpa, ZeroRelativeDelayUnderRandomAdmissibleTraffic) {
+  auto cfg = CpaConfig(8, 4, 2);  // S = 2
+  pps::BufferlessPps sw(cfg, demux::MakeCpaFactory());
+  traffic::BernoulliSource src(8, 0.85, traffic::Pattern::kUniform,
+                               sim::Rng(21));
+  core::RunOptions opt;
+  opt.max_slots = 3000;
+  opt.drain_grace = 400;
+  auto result = core::RunRelative(sw, src, opt);
+  EXPECT_GT(result.cells, 1000u);
+  EXPECT_EQ(result.max_relative_delay, 0);
+  EXPECT_EQ(result.max_relative_jitter, 0);
+  EXPECT_TRUE(result.order_preserved);
+}
+
+TEST(Cpa, ZeroRelativeDelayUnderHotspot) {
+  auto cfg = CpaConfig(8, 4, 2);
+  pps::BufferlessPps sw(cfg, demux::MakeCpaFactory());
+  traffic::BernoulliSource src(8, 0.6, traffic::Pattern::kHotspot,
+                               sim::Rng(22), 0.5);
+  core::RunOptions opt;
+  opt.max_slots = 3000;
+  opt.drain_grace = 600;
+  auto result = core::RunRelative(sw, src, opt);
+  EXPECT_EQ(result.max_relative_delay, 0);
+}
+
+TEST(Cpa, RequiresSufficientSpeedup) {
+  auto cfg = CpaConfig(4, 2, 2);  // K = 2 < 2r'-1 = 3
+  EXPECT_THROW(pps::BufferlessPps(cfg, demux::MakeCpaFactory()),
+               sim::SimError);
+}
+
+TEST(Cpa, RequiresBookedPlanes) {
+  auto cfg = BaseConfig(4, 4, 2);
+  cfg.snapshot_history = 1;  // eager scheduling left as default
+  EXPECT_THROW(pps::BufferlessPps(cfg, demux::MakeCpaFactory()),
+               sim::SimError);
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(Registry, AllBufferlessNamesConstruct) {
+  for (const auto& name : demux::BufferlessAlgorithms()) {
+    auto factory = demux::MakeFactory(name);
+    auto needs = demux::NeedsOf(name);
+    auto cfg = BaseConfig(8, 8, 2);
+    if (needs.booked_planes) {
+      cfg.plane_scheduling = pps::PlaneScheduling::kBooked;
+    }
+    cfg.snapshot_history = std::max(needs.snapshot_history, 0);
+    pps::BufferlessPps sw(cfg, factory);
+    sim::Cell cell;
+    cell.input = 0;
+    cell.output = 1;
+    sw.Inject(cell, 0);
+    for (sim::Slot t = 0; t < 64 && !sw.Drained(); ++t) sw.Advance(t);
+    EXPECT_TRUE(sw.Drained()) << name;
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(demux::MakeFactory("no-such-algorithm"), sim::SimError);
+  EXPECT_THROW(demux::MakeBufferedFactory("no-such"), sim::SimError);
+}
+
+}  // namespace

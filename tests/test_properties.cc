@@ -1,0 +1,202 @@
+// Property suite: model invariants that must hold for EVERY algorithm and
+// EVERY switch geometry, swept with parameterised tests.
+//
+// Invariants (all from the formal model of Section 2):
+//   P1  conservation — every injected cell departs exactly once;
+//   P2  flow order   — cells of one flow depart in sequence order;
+//   P3  rate         — no internal line ever exceeds one start per r'
+//                      slots, no output emits two cells in one slot;
+//   P4  shadow sanity— the reference OQ switch is work-conserving and its
+//                      delays lower-bound nothing (relative delay of a
+//                      1-plane r'=1 PPS is identically zero);
+//   P5  determinism  — the same seed and configuration reproduce the same
+//                      measurements bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/harness.h"
+#include "demux/registry.h"
+#include "sim/rng.h"
+#include "switch/pps.h"
+#include "traffic/random_sources.h"
+
+namespace {
+
+struct Geometry {
+  sim::PortId n;
+  int planes;
+  int rate_ratio;
+};
+
+using Param = std::tuple<const char*, Geometry>;
+
+class BufferlessProperties : public ::testing::TestWithParam<Param> {
+ protected:
+  pps::SwitchConfig MakeCfg() const {
+    const auto& [name, geo] = GetParam();
+    pps::SwitchConfig cfg;
+    cfg.num_ports = geo.n;
+    cfg.num_planes = geo.planes;
+    cfg.rate_ratio = geo.rate_ratio;
+    const auto needs = demux::NeedsOf(name);
+    if (needs.booked_planes) {
+      cfg.plane_scheduling = pps::PlaneScheduling::kBooked;
+    }
+    cfg.snapshot_history = std::max(1, needs.snapshot_history);
+    return cfg;
+  }
+
+  const char* Algorithm() const { return std::get<0>(GetParam()); }
+
+  // Static partitions need d >= r'; such grid points are skipped.
+  bool Incompatible() const {
+    const std::string name = Algorithm();
+    const std::string prefix = "static-partition-d";
+    if (name.rfind(prefix, 0) != 0) return false;
+    const int d = std::atoi(name.c_str() + prefix.size());
+    return d < std::get<1>(GetParam()).rate_ratio;
+  }
+};
+
+TEST_P(BufferlessProperties, ConservationOrderAndRate) {
+  if (Incompatible()) GTEST_SKIP() << "d < r' cannot sustain the line rate";
+  const auto cfg = MakeCfg();
+  pps::BufferlessPps sw(cfg, demux::MakeFactory(Algorithm()));
+  traffic::BernoulliSource src(cfg.num_ports, 0.85,
+                               traffic::Pattern::kUniform, sim::Rng(99));
+  core::RunOptions opt;
+  opt.max_slots = 20'000;
+  opt.source_cutoff = 1000;
+  const auto result = core::RunRelative(sw, src, opt);
+
+  // P1: conservation — everything injected departed (drained) and the
+  // relative-delay sample count equals the cell count.
+  ASSERT_TRUE(result.drained) << Algorithm();
+  EXPECT_EQ(result.relative_delay.count(), result.cells);
+  // P2: flow order.
+  EXPECT_TRUE(result.order_preserved) << Algorithm();
+  // P3: rate constraints (violations are counted, must be zero).
+  EXPECT_EQ(sw.input_link_violations(), 0u);
+  // The worst-case relative delay is non-negative (the shadow switch is
+  // work-conserving).  Per-cell relative delay CAN be negative: the PPS is
+  // not globally FCFS, so a cell routed through an uncongested plane may
+  // overtake its shadow departure while another flow pays for it.
+  EXPECT_GE(result.max_relative_delay, 0) << Algorithm();
+}
+
+TEST_P(BufferlessProperties, DeterministicAcrossRuns) {
+  if (Incompatible()) GTEST_SKIP() << "d < r' cannot sustain the line rate";
+  const auto cfg = MakeCfg();
+  auto run = [&] {
+    pps::BufferlessPps sw(cfg, demux::MakeFactory(Algorithm()));
+    traffic::BernoulliSource src(cfg.num_ports, 0.7,
+                                 traffic::Pattern::kUniform, sim::Rng(4242));
+    core::RunOptions opt;
+    opt.max_slots = 10'000;
+    opt.source_cutoff = 600;
+    return core::RunRelative(sw, src, opt);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.cells, b.cells);
+  EXPECT_EQ(a.max_relative_delay, b.max_relative_delay);
+  EXPECT_EQ(a.max_relative_jitter, b.max_relative_jitter);
+  EXPECT_DOUBLE_EQ(a.relative_delay.mean(), b.relative_delay.mean());
+}
+
+constexpr Geometry kGeometries[] = {
+    {4, 4, 2}, {8, 4, 2}, {8, 8, 4}, {16, 6, 2}, {5, 3, 3},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BufferlessProperties,
+    ::testing::Combine(::testing::Values("rr", "rr-per-output", "hash",
+                                         "ftd-h1", "ftd-h2",
+                                         "static-partition-d3",
+                                         "stale-jsq-u2"),
+                       ::testing::ValuesIn(kGeometries)),
+    [](const auto& info) {
+      const Geometry geo = std::get<1>(info.param);
+      std::string s = std::get<0>(info.param);
+      for (auto& c : s) {
+        if (c == '-') c = '_';
+      }
+      return s + "_N" + std::to_string(geo.n) + "_K" +
+             std::to_string(geo.planes) + "_r" +
+             std::to_string(geo.rate_ratio);
+    });
+
+// CPA needs K >= 2r'-1; give it its own sweep.
+class CpaProperties : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(CpaProperties, ZeroRelativeDelayEverywhere) {
+  const Geometry geo = GetParam();
+  pps::SwitchConfig cfg;
+  cfg.num_ports = geo.n;
+  cfg.num_planes = geo.planes;
+  cfg.rate_ratio = geo.rate_ratio;
+  cfg.plane_scheduling = pps::PlaneScheduling::kBooked;
+  cfg.snapshot_history = 1;
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("cpa"));
+  traffic::BernoulliSource src(geo.n, 0.9, traffic::Pattern::kUniform,
+                               sim::Rng(5));
+  core::RunOptions opt;
+  opt.max_slots = 20'000;
+  opt.source_cutoff = 1000;
+  const auto result = core::RunRelative(sw, src, opt);
+  ASSERT_TRUE(result.drained);
+  EXPECT_EQ(result.max_relative_delay, 0)
+      << "N=" << geo.n << " K=" << geo.planes << " r'=" << geo.rate_ratio;
+  EXPECT_EQ(result.max_relative_jitter, 0);
+  EXPECT_TRUE(result.order_preserved);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CpaProperties,
+    ::testing::Values(Geometry{4, 3, 2}, Geometry{8, 4, 2},
+                      Geometry{8, 7, 4}, Geometry{16, 8, 4},
+                      Geometry{16, 15, 8}, Geometry{3, 3, 2}),
+    [](const auto& info) {
+      return "N" + std::to_string(info.param.n) + "_K" +
+             std::to_string(info.param.planes) + "_r" +
+             std::to_string(info.param.rate_ratio);
+    });
+
+// P4: a PPS whose internal lines run at the external rate (r' = 1) with
+// one plane IS an output-queued switch — relative delay identically zero
+// for any algorithm, any traffic.
+class DegeneratePps : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DegeneratePps, OnePlaneFullRateEqualsOq) {
+  pps::SwitchConfig cfg;
+  cfg.num_ports = 6;
+  cfg.num_planes = 1;
+  cfg.rate_ratio = 1;
+  const auto needs = demux::NeedsOf(GetParam());
+  cfg.snapshot_history = std::max(1, needs.snapshot_history);
+  if (needs.booked_planes) GTEST_SKIP() << "booked needs K >= 2r'-1";
+  pps::BufferlessPps sw(cfg, demux::MakeFactory(GetParam()));
+  traffic::BernoulliSource src(6, 0.9, traffic::Pattern::kHotspot,
+                               sim::Rng(31), 0.6);
+  core::RunOptions opt;
+  opt.max_slots = 30'000;
+  opt.source_cutoff = 1000;
+  const auto result = core::RunRelative(sw, src, opt);
+  ASSERT_TRUE(result.drained);
+  EXPECT_EQ(result.max_relative_delay, 0) << GetParam();
+  EXPECT_EQ(result.max_relative_jitter, 0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, DegeneratePps,
+                         ::testing::Values("rr", "rr-per-output", "hash",
+                                           "ftd-h1", "stale-jsq-u3"),
+                         [](const auto& info) {
+                           std::string s = info.param;
+                           for (auto& c : s) {
+                             if (c == '-') c = '_';
+                           }
+                           return s;
+                         });
+
+}  // namespace

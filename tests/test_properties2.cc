@@ -1,0 +1,179 @@
+// Second property suite: buffered-PPS and CIOQ invariants, the CPA
+// existence boundary, the buffer-size implication, and CSV export.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <tuple>
+
+#include "cioq/cioq_switch.h"
+#include "cioq/islip.h"
+#include "cioq/oldest_first.h"
+#include "core/adversary_alignment.h"
+#include "core/harness.h"
+#include "core/table.h"
+#include "demux/registry.h"
+#include "sim/rng.h"
+#include "switch/input_buffered_pps.h"
+#include "switch/pps.h"
+#include "traffic/random_sources.h"
+#include "traffic/trace.h"
+
+namespace {
+
+// --- buffered-PPS sweep ----------------------------------------------------------
+
+class BufferedProperties : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BufferedProperties, DrainsPreservesOrderNoOverflow) {
+  pps::SwitchConfig cfg;
+  cfg.num_ports = 8;
+  cfg.num_planes = 4;
+  cfg.rate_ratio = 2;
+  cfg.input_buffer_size = 256;
+  const auto needs = demux::NeedsOf(GetParam());
+  if (needs.booked_planes) {
+    cfg.plane_scheduling = pps::PlaneScheduling::kBooked;
+  }
+  cfg.snapshot_history = std::max(1, needs.snapshot_history);
+  pps::InputBufferedPps sw(cfg, demux::MakeBufferedFactory(GetParam()));
+  traffic::BernoulliSource src(8, 0.8, traffic::Pattern::kUniform,
+                               sim::Rng(808));
+  core::RunOptions opt;
+  opt.max_slots = 20'000;
+  opt.source_cutoff = 2'000;
+  const auto result = core::RunRelative(sw, src, opt);
+  ASSERT_TRUE(result.drained) << GetParam();
+  EXPECT_TRUE(result.order_preserved) << GetParam();
+  EXPECT_EQ(sw.buffer_overflows(), 0u) << GetParam();
+  EXPECT_EQ(result.relative_delay.count(), result.cells);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BufferedProperties,
+                         ::testing::Values("buffered-rr", "cpa-emulation-u0",
+                                           "cpa-emulation-u3",
+                                           "request-grant-u1",
+                                           "request-grant-u4"),
+                         [](const auto& info) {
+                           std::string s = info.param;
+                           for (auto& c : s) {
+                             if (c == '-') c = '_';
+                           }
+                           return s;
+                         });
+
+// --- CIOQ sweep -------------------------------------------------------------------
+
+struct CioqParam {
+  int speedup;
+  bool oldest_first;
+};
+
+class CioqProperties : public ::testing::TestWithParam<CioqParam> {};
+
+TEST_P(CioqProperties, ConservationAndOrder) {
+  const auto [speedup, oldest] = GetParam();
+  cioq::CioqSwitch sw(
+      8, speedup,
+      oldest ? std::unique_ptr<cioq::Scheduler>(
+                   std::make_unique<cioq::OldestFirstScheduler>())
+             : std::unique_ptr<cioq::Scheduler>(
+                   std::make_unique<cioq::IslipScheduler>(2)));
+  traffic::BernoulliSource src(8, 0.75, traffic::Pattern::kUniform,
+                               sim::Rng(909));
+  core::RunOptions opt;
+  opt.max_slots = 40'000;
+  opt.source_cutoff = 2'000;
+  const auto result = core::RunRelative(sw, src, opt);
+  ASSERT_TRUE(result.drained);
+  EXPECT_TRUE(result.order_preserved);
+  EXPECT_EQ(sw.infeasible_matchings(), 0u);
+  EXPECT_EQ(result.relative_delay.count(), result.cells);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CioqProperties,
+    ::testing::Values(CioqParam{1, false}, CioqParam{2, false},
+                      CioqParam{3, false}, CioqParam{1, true},
+                      CioqParam{2, true}),
+    [](const auto& info) {
+      return std::string(info.param.oldest_first ? "oldest" : "islip") +
+             "_S" + std::to_string(info.param.speedup);
+    });
+
+// --- CPA existence boundary ---------------------------------------------------------
+
+TEST(CpaBoundary, WorksAtExactlyKEquals2RPrimeMinus1) {
+  // The counting argument needs K >= 2r'-1; stress the exact boundary with
+  // the hardest traffic: one hot output at full aggregate rate.
+  for (const int rp : {2, 3, 4}) {
+    pps::SwitchConfig cfg;
+    cfg.num_ports = 8;
+    cfg.num_planes = 2 * rp - 1;
+    cfg.rate_ratio = rp;
+    cfg.plane_scheduling = pps::PlaneScheduling::kBooked;
+    cfg.snapshot_history = 1;
+    pps::BufferlessPps sw(cfg, demux::MakeFactory("cpa"));
+    traffic::Trace trace;
+    for (sim::Slot t = 0; t < 400; ++t) {
+      trace.Add(t, static_cast<sim::PortId>(t % 8), 0);      // hot output
+      trace.Add(t, static_cast<sim::PortId>((t + 3) % 8),    // background
+                static_cast<sim::PortId>(1 + (t % 7)));
+    }
+    trace.Normalize();
+    traffic::TraceTraffic src(std::move(trace));
+    core::RunOptions opt;
+    opt.max_slots = 4'000;
+    const auto result = core::RunRelative(sw, src, opt);
+    ASSERT_TRUE(result.drained) << "r'=" << rp;
+    EXPECT_EQ(result.max_relative_delay, 0) << "r'=" << rp;
+  }
+}
+
+// --- buffer-size implication ----------------------------------------------------------
+
+TEST(BufferImplication, PlaneBufferTracksConcentration) {
+  // The adversarial concentration of Corollary 7 materialises as plane
+  // buffer occupancy ~ N: "large relative queuing delays usually imply
+  // that the buffer sizes at the middle-stage switches ... should be
+  // large as well".
+  for (const sim::PortId n : {8, 16, 32}) {
+    pps::SwitchConfig cfg;
+    cfg.num_ports = n;
+    cfg.num_planes = 4;
+    cfg.rate_ratio = 2;
+    const auto plan = core::BuildAlignmentTraffic(
+        cfg, demux::MakeFactory("rr-per-output"));
+    pps::BufferlessPps sw(cfg, demux::MakeFactory("rr-per-output"));
+    traffic::TraceTraffic src(plan.trace);
+    const auto result = core::RunRelative(sw, src);
+    ASSERT_TRUE(result.drained);
+    // The burst piles ~N cells into the target plane minus those already
+    // forwarded while it was filling.
+    EXPECT_GE(sw.max_plane_backlog(), n / 2) << "N=" << n;
+    EXPECT_GE(result.max_relative_delay, sw.max_plane_backlog() - 1);
+  }
+}
+
+// --- CSV export -------------------------------------------------------------------------
+
+TEST(TableCsvExport, WritesFileWhenEnvSet) {
+  const std::string dir = ::testing::TempDir();
+  setenv("PPS_CSV_DIR", dir.c_str(), 1);
+  {
+    core::Table table("CSV Export Smoke: Test!", {"a", "b"});
+    table.AddRow({"1", "2"});
+    std::ostringstream os;
+    table.Print(os);
+  }
+  unsetenv("PPS_CSV_DIR");
+  std::ifstream in(dir + "/csv-export-smoke-test.csv");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+}
+
+}  // namespace

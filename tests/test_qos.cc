@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "qos/jitter_regulator.h"
+#include "sim/error.h"
+
+namespace {
+
+TEST(JitterRegulator, PeriodicInputPassesThroughOnGrid) {
+  qos::JitterRegulator reg(/*capacity=*/4, /*period=*/3, /*hold_back=*/0);
+  for (sim::Slot t = 0; t < 30; t += 3) {
+    ASSERT_TRUE(reg.Push(t));
+    const auto releases = reg.ReleasesUpTo(t);
+    ASSERT_EQ(releases.size(), 1u);
+    EXPECT_EQ(releases[0], t);
+  }
+  EXPECT_EQ(reg.max_grid_violation(), 0);
+  EXPECT_EQ(reg.max_added_delay(), 0);
+  EXPECT_EQ(reg.drops(), 0u);
+}
+
+TEST(JitterRegulator, SmoothsEarlyBurstWithEnoughBuffer) {
+  // Cells 0..3 all arrive at slot 0 (jitter ~ 3 periods compressed).
+  qos::JitterRegulator reg(4, /*period=*/4, /*hold_back=*/0);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(reg.Push(0));
+  const auto releases = reg.ReleasesUpTo(100);
+  ASSERT_EQ(releases.size(), 4u);
+  EXPECT_EQ(releases, (std::vector<sim::Slot>{0, 4, 8, 12}));
+  EXPECT_EQ(reg.max_grid_violation(), 0);
+  EXPECT_EQ(reg.max_added_delay(), 12);
+}
+
+TEST(JitterRegulator, SmallBufferDropsBurst) {
+  qos::JitterRegulator reg(2, 4, 0);
+  EXPECT_TRUE(reg.Push(0));
+  EXPECT_TRUE(reg.Push(0));
+  EXPECT_FALSE(reg.Push(0));  // buffer full
+  EXPECT_EQ(reg.drops(), 1u);
+}
+
+TEST(JitterRegulator, LateCellViolatesGridWithoutHoldBack) {
+  qos::JitterRegulator reg(4, 4, /*hold_back=*/0);
+  ASSERT_TRUE(reg.Push(0));
+  auto r0 = reg.ReleasesUpTo(0);
+  ASSERT_EQ(r0.size(), 1u);
+  // Second cell is 3 slots late relative to the grid slot 4.
+  ASSERT_TRUE(reg.Push(7));
+  const auto releases = reg.ReleasesUpTo(100);
+  ASSERT_EQ(releases.size(), 1u);
+  EXPECT_EQ(releases[0], 7);
+  EXPECT_EQ(reg.max_grid_violation(), 3);
+}
+
+TEST(JitterRegulator, HoldBackAbsorbsLateness) {
+  qos::JitterRegulator reg(4, 4, /*hold_back=*/3);
+  ASSERT_TRUE(reg.Push(0));   // released at 3
+  ASSERT_TRUE(reg.Push(7));   // grid slot 7: exactly on time
+  const auto releases = reg.ReleasesUpTo(100);
+  ASSERT_EQ(releases.size(), 2u);
+  EXPECT_EQ(releases, (std::vector<sim::Slot>{3, 7}));
+  EXPECT_EQ(reg.max_grid_violation(), 0);
+}
+
+TEST(JitterRegulator, ReleasesRespectTimeArgument) {
+  qos::JitterRegulator reg(8, 2, 0);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(reg.Push(0));
+  EXPECT_EQ(reg.ReleasesUpTo(0).size(), 1u);
+  EXPECT_EQ(reg.buffered(), 3);
+  EXPECT_EQ(reg.ReleasesUpTo(3).size(), 1u);  // slot 2 release
+  EXPECT_EQ(reg.ReleasesUpTo(10).size(), 2u);
+  EXPECT_EQ(reg.released(), 4u);
+}
+
+TEST(JitterRegulator, RequiredCapacityFormula) {
+  // ceil(J/p) + 1.
+  EXPECT_EQ(qos::JitterRegulator::RequiredCapacity(0, 4), 1);
+  EXPECT_EQ(qos::JitterRegulator::RequiredCapacity(3, 4), 2);
+  EXPECT_EQ(qos::JitterRegulator::RequiredCapacity(4, 4), 2);
+  EXPECT_EQ(qos::JitterRegulator::RequiredCapacity(15, 4), 5);
+  EXPECT_EQ(qos::JitterRegulator::RequiredCapacity(16, 4), 5);
+}
+
+TEST(JitterRegulator, RequiredCapacitySufficesForCompressedBurst) {
+  // Worst jitter-J input: cells meant for a period-p grid all arrive in
+  // one slot after J slots of accumulated earliness.
+  const sim::Slot period = 4;
+  for (const sim::Slot jitter : {4, 8, 16, 32}) {
+    const int cap = qos::JitterRegulator::RequiredCapacity(jitter, period);
+    qos::JitterRegulator reg(cap, period, 0);
+    const int burst = static_cast<int>(jitter / period) + 1;
+    for (int i = 0; i < burst; ++i) {
+      ASSERT_TRUE(reg.Push(0)) << "jitter=" << jitter << " cell " << i;
+    }
+    const auto releases = reg.ReleasesUpTo(1000);
+    ASSERT_EQ(static_cast<int>(releases.size()), burst);
+    EXPECT_EQ(reg.max_grid_violation(), 0) << "jitter=" << jitter;
+    EXPECT_EQ(reg.drops(), 0u);
+  }
+}
+
+TEST(JitterRegulator, RejectsBadParameters) {
+  EXPECT_THROW(qos::JitterRegulator(0, 4, 0), sim::SimError);
+  EXPECT_THROW(qos::JitterRegulator(4, 0, 0), sim::SimError);
+  EXPECT_THROW(qos::JitterRegulator(4, 4, -1), sim::SimError);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  sim::Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  sim::Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformIntInRange) {
+  sim::Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  sim::Rng rng(11);
+  std::array<int, 8> seen{};
+  for (int i = 0; i < 4000; ++i) ++seen[rng.UniformInt(8)];
+  for (int count : seen) EXPECT_GT(count, 300);  // ~500 expected
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  sim::Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.UniformDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRate) {
+  sim::Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  sim::Rng rng(5);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+}
+
+TEST(Rng, GeometricMean) {
+  sim::Rng rng(9);
+  double sum = 0;
+  const double p = 0.25;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(rng.Geometric(p));
+  // Mean failures before success = (1-p)/p = 3.
+  EXPECT_NEAR(sum / trials, 3.0, 0.15);
+}
+
+TEST(Rng, ForkedStreamsIndependent) {
+  sim::Rng parent(123);
+  sim::Rng a = parent.Fork(0);
+  sim::Rng b = parent.Fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkSameSaltAfterAdvanceDiffers) {
+  sim::Rng parent(123);
+  sim::Rng a = parent.Fork(7);
+  sim::Rng b = parent.Fork(7);  // parent advanced between forks
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Exhaustive-search certification of the alignment adversary, and AQT
+// admissibility of the lower-bound traffics.
+#include <gtest/gtest.h>
+
+#include "core/adversary_alignment.h"
+#include "core/adversary_search.h"
+#include "core/harness.h"
+#include "demux/registry.h"
+#include "sim/error.h"
+#include "switch/pps.h"
+#include "traffic/aqt.h"
+
+namespace {
+
+pps::SwitchConfig Config(sim::PortId n, int k, int rp) {
+  pps::SwitchConfig cfg;
+  cfg.num_ports = n;
+  cfg.num_planes = k;
+  cfg.rate_ratio = rp;
+  return cfg;
+}
+
+// --- Exhaustive search ---------------------------------------------------------
+
+TEST(ExhaustiveSearch, FindsTheKnownWorstCaseTinyRR) {
+  // N = 3, K = 2, r' = 2: worst case is (N-1)(r'-1) = 2 (three cells,
+  // consecutive slots, one plane).
+  const auto cfg = Config(3, 2, 2);
+  core::SearchOptions opt;
+  opt.horizon = 6;
+  const auto result = core::ExhaustiveWorstCase(
+      cfg, demux::MakeFactory("rr-per-output"), opt);
+  EXPECT_EQ(result.worst_rqd, 2);
+  EXPECT_GT(result.traces_tried, 1000u);
+  EXPECT_FALSE(result.witness.empty());
+}
+
+TEST(ExhaustiveSearch, AlignmentAdversaryIsOptimalOnSmallInstances) {
+  for (const char* algorithm : {"rr", "rr-per-output", "hash"}) {
+    const auto cfg = Config(3, 2, 2);
+    core::SearchOptions opt;
+    opt.horizon = 7;
+    const auto exhaustive =
+        core::ExhaustiveWorstCase(cfg, demux::MakeFactory(algorithm), opt);
+
+    const auto plan =
+        core::BuildAlignmentTraffic(cfg, demux::MakeFactory(algorithm));
+    pps::BufferlessPps sw(cfg, demux::MakeFactory(algorithm));
+    traffic::TraceTraffic src(plan.trace);
+    const auto constructed = core::RunRelative(sw, src);
+    // The constructed adversary attains the exhaustive optimum (over the
+    // same B = 0, single-output traffic class).
+    EXPECT_EQ(constructed.max_relative_delay, exhaustive.worst_rqd)
+        << algorithm;
+  }
+}
+
+TEST(ExhaustiveSearch, HigherRatePrimeRaisesTheOptimum) {
+  const auto cfg = Config(3, 3, 3);
+  core::SearchOptions opt;
+  opt.horizon = 6;
+  const auto result = core::ExhaustiveWorstCase(
+      cfg, demux::MakeFactory("rr-per-output"), opt);
+  // (N-1)(r'-1) = 4.
+  EXPECT_EQ(result.worst_rqd, 4);
+}
+
+TEST(ExhaustiveSearch, RejectsLargeInstances) {
+  const auto cfg = Config(16, 8, 2);
+  EXPECT_THROW(
+      core::ExhaustiveWorstCase(cfg, demux::MakeFactory("rr"), {}),
+      sim::SimError);
+}
+
+// --- AQT validator --------------------------------------------------------------
+
+TEST(AqtValidator, RateOneTrafficAdmissible) {
+  traffic::AqtValidator v(4, /*window=*/8, 1, 1);
+  for (sim::Slot t = 0; t < 64; ++t) v.Record(t, t % 4, 0);
+  EXPECT_TRUE(v.admissible());
+  EXPECT_DOUBLE_EQ(v.peak_utilization(), 1.0);
+}
+
+TEST(AqtValidator, BurstWithinWindowBudget) {
+  // rho = 1/2, w = 8 -> budget 4 cells per window per port.
+  traffic::AqtValidator v(4, 8, 1, 2);
+  for (sim::Slot t = 0; t < 4; ++t) v.Record(t, t % 4, 1);
+  EXPECT_TRUE(v.admissible());
+  v.Record(5, 0, 1);  // 5th cell for output 1 inside one window
+  EXPECT_FALSE(v.admissible());
+  EXPECT_EQ(v.violations(), 1u);
+}
+
+TEST(AqtValidator, WindowSlides) {
+  traffic::AqtValidator v(2, 4, 1, 2);  // budget 2 per 4-slot window
+  v.Record(0, 0, 0);
+  v.Record(1, 1, 0);
+  EXPECT_TRUE(v.admissible());
+  v.Record(4, 0, 0);  // slot 0 left the window
+  EXPECT_TRUE(v.admissible());
+  v.Record(5, 1, 0);  // window [2,5] holds cells at 4,5 only
+  EXPECT_TRUE(v.admissible());
+}
+
+TEST(AqtValidator, Theorem6TrafficSatisfiesAqtToo) {
+  // The discussion's claim: the leaky-bucket lower-bound flows satisfy the
+  // stronger adversarial-queueing restrictions as well (here rho = 1, any
+  // window).
+  const auto cfg = Config(8, 4, 2);
+  const auto plan = core::BuildAlignmentTraffic(
+      cfg, demux::MakeFactory("rr-per-output"));
+  for (const int window : {1, 4, 16, 64}) {
+    traffic::AqtValidator v(cfg.num_ports, window, 1, 1);
+    for (const auto& e : plan.trace.entries()) {
+      v.Record(e.slot, e.input, e.output);
+    }
+    EXPECT_TRUE(v.admissible()) << "window " << window;
+  }
+}
+
+TEST(AqtValidator, RejectsBadParameters) {
+  EXPECT_THROW(traffic::AqtValidator(0, 4, 1, 1), sim::SimError);
+  EXPECT_THROW(traffic::AqtValidator(4, 0, 1, 1), sim::SimError);
+  EXPECT_THROW(traffic::AqtValidator(4, 4, 2, 1), sim::SimError);  // rho > 1
+  EXPECT_THROW(traffic::AqtValidator(4, 4, 0, 1), sim::SimError);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "sim/cell.h"
+#include "sim/error.h"
+#include "sim/histogram.h"
+#include "sim/latency_recorder.h"
+#include "sim/stats.h"
+
+namespace {
+
+TEST(OnlineStats, Empty) {
+  sim::OnlineStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MeanMinMaxSum) {
+  sim::OnlineStats s;
+  for (std::int64_t x : {4, 8, 15, 16, 23, 42}) s.Add(x);
+  EXPECT_EQ(s.count(), 6u);
+  EXPECT_DOUBLE_EQ(s.mean(), 108.0 / 6.0);
+  EXPECT_EQ(s.min(), 4);
+  EXPECT_EQ(s.max(), 42);
+  EXPECT_EQ(s.sum(), 108);
+}
+
+TEST(OnlineStats, VarianceMatchesDefinition) {
+  sim::OnlineStats s;
+  for (std::int64_t x : {2, 4, 4, 4, 5, 5, 7, 9}) s.Add(x);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-9);  // classic example, sd = 2
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-9);
+}
+
+TEST(OnlineStats, MergeEqualsSingleStream) {
+  sim::OnlineStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t x = (i * 37) % 11 - 5;
+    all.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  sim::OnlineStats a, b;
+  a.Add(5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.max(), 5);
+}
+
+TEST(QuantileSketch, NearestRank) {
+  sim::QuantileSketch q;
+  for (int i = 1; i <= 100; ++i) q.Add(i);
+  EXPECT_EQ(q.Quantile(0.0), 1);
+  EXPECT_EQ(q.Median(), 51);
+  EXPECT_EQ(q.P99(), 100);
+  EXPECT_EQ(q.Quantile(1.0), 100);
+}
+
+TEST(QuantileSketch, EmptyThrows) {
+  sim::QuantileSketch q;
+  EXPECT_THROW(q.Quantile(0.5), sim::SimError);
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  sim::Histogram h(10);
+  for (int i = 0; i < 90; ++i) h.Add(0);
+  for (int i = 0; i < 10; ++i) h.Add(5);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.CountAt(0), 90u);
+  EXPECT_EQ(h.CountAt(5), 10u);
+  EXPECT_DOUBLE_EQ(h.Ccdf(0), 0.10);
+  EXPECT_DOUBLE_EQ(h.Ccdf(5), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+  EXPECT_EQ(h.Quantile(0.95), 5);
+}
+
+TEST(Histogram, Overflow) {
+  sim::Histogram h(4);
+  h.Add(100);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.Quantile(0.5), 5);  // overflow reported past the range
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  sim::Histogram a(8), b(8);
+  a.Add(1);
+  b.Add(1);
+  b.Add(2);
+  a.Merge(b);
+  EXPECT_EQ(a.CountAt(1), 2u);
+  EXPECT_EQ(a.CountAt(2), 1u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(Histogram, NegativeSampleRejected) {
+  sim::Histogram h(8);
+  EXPECT_THROW(h.Add(-1), sim::SimError);
+}
+
+sim::Cell MakeCell(sim::CellId id, sim::PortId in, sim::PortId out,
+                   std::uint64_t seq, sim::Slot arrival, sim::Slot departure) {
+  sim::Cell c;
+  c.id = id;
+  c.input = in;
+  c.output = out;
+  c.seq = seq;
+  c.arrival = arrival;
+  c.departure = departure;
+  return c;
+}
+
+TEST(LatencyRecorder, DelayStatsAndPerCell) {
+  sim::LatencyRecorder rec;
+  rec.set_num_ports(4);
+  rec.set_keep_per_cell(true);
+  rec.Record(MakeCell(1, 0, 1, 0, 10, 10));
+  rec.Record(MakeCell(2, 0, 1, 1, 11, 14));
+  EXPECT_EQ(rec.cells(), 2u);
+  EXPECT_EQ(rec.DelayOf(1), 0);
+  EXPECT_EQ(rec.DelayOf(2), 3);
+  EXPECT_EQ(rec.DelayOf(99), sim::kNoSlot);
+}
+
+TEST(LatencyRecorder, FlowJitterIsMaxMinusMin) {
+  sim::LatencyRecorder rec;
+  rec.set_num_ports(4);
+  rec.Record(MakeCell(1, 2, 3, 0, 0, 1));   // delay 1
+  rec.Record(MakeCell(2, 2, 3, 1, 5, 12));  // delay 7
+  rec.Record(MakeCell(3, 2, 3, 2, 20, 22)); // delay 2
+  EXPECT_EQ(rec.FlowJitter(sim::MakeFlowId(2, 3, 4)), 6);
+  EXPECT_EQ(rec.MaxJitter(), 6);
+  EXPECT_EQ(rec.flow_count(), 1u);
+}
+
+TEST(LatencyRecorder, OrderViolationDetected) {
+  sim::LatencyRecorder rec;
+  rec.set_num_ports(4);
+  rec.Record(MakeCell(1, 0, 0, 1, 0, 5));
+  EXPECT_TRUE(rec.order_preserved());
+  rec.Record(MakeCell(2, 0, 0, 0, 1, 6));  // seq went backwards
+  EXPECT_FALSE(rec.order_preserved());
+}
+
+TEST(LatencyRecorder, SingleCellFlowHasZeroJitter) {
+  sim::LatencyRecorder rec;
+  rec.set_num_ports(4);
+  rec.Record(MakeCell(1, 1, 2, 0, 0, 9));
+  EXPECT_EQ(rec.FlowJitter(sim::MakeFlowId(1, 2, 4)), 0);
+}
+
+TEST(LatencyRecorder, RejectsBadTimestamps) {
+  sim::LatencyRecorder rec;
+  rec.set_num_ports(4);
+  EXPECT_THROW(rec.Record(MakeCell(1, 0, 0, 0, 10, 9)), sim::SimError);
+}
+
+}  // namespace

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "sim/error.h"
+#include "sim/timeseries.h"
+
+namespace {
+
+TEST(TimeSeries, BasicAggregates) {
+  sim::TimeSeries ts;
+  ts.Record(0, 10);
+  ts.Record(1, 20);
+  ts.Record(2, 0);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.first_slot(), 0);
+  EXPECT_EQ(ts.last_slot(), 2);
+  EXPECT_EQ(ts.Max(), 20);
+  EXPECT_EQ(ts.Min(), 0);
+  EXPECT_DOUBLE_EQ(ts.Mean(), 10.0);
+}
+
+TEST(TimeSeries, RejectsNonIncreasingSlots) {
+  sim::TimeSeries ts;
+  ts.Record(5, 1);
+  EXPECT_THROW(ts.Record(5, 2), sim::SimError);
+  EXPECT_THROW(ts.Record(4, 2), sim::SimError);
+}
+
+TEST(TimeSeries, ValueAtFindsLatestSample) {
+  sim::TimeSeries ts;
+  ts.Record(0, 1);
+  ts.Record(10, 2);
+  ts.Record(20, 3);
+  EXPECT_EQ(ts.ValueAt(0), 1);
+  EXPECT_EQ(ts.ValueAt(9), 1);
+  EXPECT_EQ(ts.ValueAt(10), 2);
+  EXPECT_EQ(ts.ValueAt(25), 3);
+  EXPECT_THROW(ts.ValueAt(-1), sim::SimError);
+}
+
+TEST(TimeSeries, BucketsCoverTheRange) {
+  sim::TimeSeries ts;
+  for (sim::Slot t = 0; t < 100; ++t) ts.Record(t, t);
+  const auto buckets = ts.Buckets(4);
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0].from, 0);
+  EXPECT_EQ(buckets[0].to, 25);
+  EXPECT_EQ(buckets[0].min, 0);
+  EXPECT_EQ(buckets[0].max, 24);
+  EXPECT_DOUBLE_EQ(buckets[0].mean, 12.0);
+  EXPECT_EQ(buckets[3].max, 99);
+  std::size_t total = 0;
+  for (const auto& b : buckets) total += b.samples;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(TimeSeries, BucketsOnSparseSeries) {
+  sim::TimeSeries ts;
+  ts.Record(0, 5);
+  ts.Record(99, 7);
+  const auto buckets = ts.Buckets(2);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].samples, 1u);
+  EXPECT_EQ(buckets[1].samples, 1u);
+  EXPECT_EQ(buckets[1].max, 7);
+}
+
+TEST(TimeSeries, EmptyThrowsOnAggregates) {
+  sim::TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_THROW(ts.Max(), sim::SimError);
+  EXPECT_THROW(ts.Mean(), sim::SimError);
+  EXPECT_TRUE(ts.Buckets(3).empty());
+}
+
+}  // namespace

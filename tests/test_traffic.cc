@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/error.h"
+#include "sim/rng.h"
+#include "traffic/composite.h"
+#include "traffic/leaky_bucket.h"
+#include "traffic/random_sources.h"
+#include "traffic/trace.h"
+
+namespace {
+
+// --- Trace -------------------------------------------------------------------
+
+TEST(Trace, NormalizeSorts) {
+  traffic::Trace t;
+  t.Add(5, 1, 2);
+  t.Add(3, 0, 1);
+  t.Add(5, 0, 3);
+  t.Normalize();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.entries()[0].slot, 3);
+  EXPECT_EQ(t.entries()[1].slot, 5);
+  EXPECT_EQ(t.entries()[1].input, 0);
+  EXPECT_EQ(t.entries()[2].input, 1);
+  EXPECT_EQ(t.last_slot(), 5);
+}
+
+TEST(Trace, ValidateRejectsDuplicateInputSlot) {
+  traffic::Trace t;
+  t.Add(4, 2, 0);
+  t.Add(4, 2, 1);
+  t.Normalize();
+  EXPECT_THROW(t.Validate(8), sim::SimError);
+}
+
+TEST(Trace, ValidateRejectsOutOfRangePorts) {
+  traffic::Trace t;
+  t.Add(0, 9, 0);
+  t.Normalize();
+  EXPECT_THROW(t.Validate(8), sim::SimError);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  traffic::Trace t;
+  t.Add(0, 1, 2);
+  t.Add(7, 3, 4);
+  t.Normalize();
+  std::stringstream ss;
+  t.Save(ss);
+  traffic::Trace loaded = traffic::Trace::Load(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.entries()[1].slot, 7);
+  EXPECT_EQ(loaded.entries()[1].input, 3);
+  EXPECT_EQ(loaded.entries()[1].output, 4);
+}
+
+TEST(Trace, AppendWithOffset) {
+  traffic::Trace a, b;
+  a.Add(0, 0, 0);
+  b.Add(2, 1, 1);
+  a.Append(b, 10);
+  a.Normalize();
+  EXPECT_EQ(a.entries()[1].slot, 12);
+}
+
+TEST(TraceTraffic, ReplaysPerSlot) {
+  traffic::Trace t;
+  t.Add(1, 0, 3);
+  t.Add(1, 2, 3);
+  t.Add(4, 1, 0);
+  traffic::TraceTraffic src(std::move(t));
+  EXPECT_TRUE(src.ArrivalsAt(0).empty());
+  auto a1 = src.ArrivalsAt(1);
+  ASSERT_EQ(a1.size(), 2u);
+  EXPECT_TRUE(src.ArrivalsAt(2).empty());
+  EXPECT_FALSE(src.Exhausted(3));
+  auto a4 = src.ArrivalsAt(4);
+  ASSERT_EQ(a4.size(), 1u);
+  EXPECT_EQ(a4[0].input, 1);
+  EXPECT_TRUE(src.Exhausted(5));
+}
+
+// --- Token bucket / burstiness ----------------------------------------------
+
+TEST(TokenBucket, EnforcesRateOne) {
+  traffic::TokenBucket tb(/*burst=*/0, 1, 1);
+  EXPECT_TRUE(tb.TryConsume(0));
+  EXPECT_FALSE(tb.TryConsume(0));  // capacity 1, rate 1/slot
+  EXPECT_TRUE(tb.TryConsume(1));
+  EXPECT_TRUE(tb.TryConsume(2));
+}
+
+TEST(TokenBucket, BurstCapacity) {
+  traffic::TokenBucket tb(/*burst=*/3, 1, 1);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(tb.TryConsume(0)) << i;
+  EXPECT_FALSE(tb.TryConsume(0));
+  EXPECT_TRUE(tb.TryConsume(1));
+}
+
+TEST(TokenBucket, FractionalRate) {
+  traffic::TokenBucket tb(/*burst=*/0, 1, 4);  // one token per 4 slots
+  EXPECT_TRUE(tb.TryConsume(0));
+  EXPECT_FALSE(tb.TryConsume(1));
+  EXPECT_FALSE(tb.TryConsume(3));
+  EXPECT_TRUE(tb.TryConsume(4));
+}
+
+TEST(BurstinessMeter, RateOneTrafficHasZeroBurst) {
+  traffic::BurstinessMeter m(4);
+  for (sim::Slot t = 0; t < 50; ++t) m.Record(t, 0, 1);
+  EXPECT_EQ(m.OutputBurstiness(), 0);
+  EXPECT_EQ(m.InputBurstiness(), 0);
+}
+
+TEST(BurstinessMeter, SimultaneousArrivalsCount) {
+  traffic::BurstinessMeter m(4);
+  // 3 cells destined for output 0 in one slot: B = 2.
+  m.Record(0, 0, 0);
+  m.Record(0, 1, 0);
+  m.Record(0, 2, 0);
+  EXPECT_EQ(m.OutputBurstiness(), 2);
+  EXPECT_EQ(m.OutputBurstiness(0), 2);
+  EXPECT_EQ(m.OutputBurstiness(1), 0);
+  EXPECT_EQ(m.InputBurstiness(), 0);  // distinct inputs
+}
+
+TEST(BurstinessMeter, GapThenBurstMeasuredOverBestWindow) {
+  traffic::BurstinessMeter m(4);
+  m.Record(0, 0, 2);
+  // Long silence lets the envelope recover, then a 4-in-2-slots burst.
+  m.Record(100, 0, 2);
+  m.Record(100, 1, 2);
+  m.Record(101, 0, 2);
+  m.Record(101, 1, 2);
+  EXPECT_EQ(m.OutputBurstiness(), 2);  // 4 cells in 2 slots -> B = 2
+}
+
+TEST(BurstinessMeter, HalfRateTraffic) {
+  traffic::BurstinessMeter m(2);
+  for (sim::Slot t = 0; t < 100; t += 2) m.Record(t, 0, 0);
+  EXPECT_EQ(m.OutputBurstiness(), 0);
+}
+
+TEST(PolicedSource, DropsExcessBurst) {
+  // 3 inputs all target output 0 every slot; with B = 0 only one cell per
+  // slot may pass.
+  auto inner = std::make_unique<traffic::BernoulliSource>(
+      3, 1.0, traffic::Pattern::kHotspot, sim::Rng(1), 1.0);
+  traffic::PolicedSource policed(std::move(inner), 3, /*burst=*/0);
+  traffic::BurstinessMeter meter(3);
+  std::uint64_t passed = 0;
+  for (sim::Slot t = 0; t < 64; ++t) {
+    for (const auto& a : policed.ArrivalsAt(t)) {
+      meter.Record(t, a.input, a.output);
+      ++passed;
+    }
+  }
+  EXPECT_EQ(meter.OutputBurstiness(), 0);
+  EXPECT_GT(policed.dropped(), 0u);
+  EXPECT_EQ(passed, policed.passed());
+  EXPECT_LE(passed, 65u);
+}
+
+// --- Random sources -----------------------------------------------------------
+
+TEST(BernoulliSource, LoadIsRespected) {
+  traffic::BernoulliSource src(16, 0.4, traffic::Pattern::kUniform,
+                               sim::Rng(42));
+  std::uint64_t cells = 0;
+  const int slots = 4000;
+  for (sim::Slot t = 0; t < slots; ++t) cells += src.ArrivalsAt(t).size();
+  const double rate = static_cast<double>(cells) / (16.0 * slots);
+  EXPECT_NEAR(rate, 0.4, 0.02);
+}
+
+TEST(BernoulliSource, AtMostOnePerInputPerSlot) {
+  traffic::BernoulliSource src(8, 1.0, traffic::Pattern::kUniform,
+                               sim::Rng(7));
+  for (sim::Slot t = 0; t < 100; ++t) {
+    auto arrivals = src.ArrivalsAt(t);
+    EXPECT_EQ(arrivals.size(), 8u);  // load 1.0: every input fires
+    std::vector<bool> seen(8, false);
+    for (const auto& a : arrivals) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(a.input)]);
+      seen[static_cast<std::size_t>(a.input)] = true;
+    }
+  }
+}
+
+TEST(BernoulliSource, DiagonalPatternIsConflictFree) {
+  traffic::BernoulliSource src(8, 1.0, traffic::Pattern::kDiagonal,
+                               sim::Rng(7));
+  for (sim::Slot t = 0; t < 32; ++t) {
+    std::vector<bool> out_seen(8, false);
+    for (const auto& a : src.ArrivalsAt(t)) {
+      EXPECT_FALSE(out_seen[static_cast<std::size_t>(a.output)]);
+      out_seen[static_cast<std::size_t>(a.output)] = true;
+    }
+  }
+}
+
+TEST(BernoulliSource, HotspotBiasesOutputZero) {
+  traffic::BernoulliSource src(8, 1.0, traffic::Pattern::kHotspot,
+                               sim::Rng(7), 0.75);
+  std::uint64_t to_zero = 0, total = 0;
+  for (sim::Slot t = 0; t < 1000; ++t) {
+    for (const auto& a : src.ArrivalsAt(t)) {
+      ++total;
+      if (a.output == 0) ++to_zero;
+    }
+  }
+  const double frac = static_cast<double>(to_zero) / total;
+  EXPECT_GT(frac, 0.70);
+}
+
+TEST(OnOffSource, LongRunLoadMatches) {
+  traffic::OnOffSource src(8, 0.5, 16.0, sim::Rng(3));
+  std::uint64_t cells = 0;
+  const int slots = 20000;
+  for (sim::Slot t = 0; t < slots; ++t) cells += src.ArrivalsAt(t).size();
+  EXPECT_NEAR(static_cast<double>(cells) / (8.0 * slots), 0.5, 0.05);
+}
+
+TEST(OnOffSource, ProducesBursts) {
+  traffic::OnOffSource src(4, 0.3, 32.0, sim::Rng(3));
+  traffic::BurstinessMeter meter(4);
+  for (sim::Slot t = 0; t < 5000; ++t) {
+    for (const auto& a : src.ArrivalsAt(t)) meter.Record(t, a.input, a.output);
+  }
+  // Mean burst length 32 at fixed destination must show up as burstiness.
+  EXPECT_GT(meter.OutputBurstiness(), 4);
+}
+
+// --- Composite ---------------------------------------------------------------
+
+TEST(PhasedSource, SwitchesPhases) {
+  traffic::Trace t1, t2;
+  t1.Add(0, 0, 1);
+  t2.Add(0, 1, 2);  // local slot 0 of phase 2
+  std::vector<traffic::PhasedSource::Phase> phases;
+  phases.push_back({std::make_unique<traffic::TraceTraffic>(t1), 5});
+  phases.push_back({std::make_unique<traffic::TraceTraffic>(t2), 5});
+  traffic::PhasedSource src(std::move(phases));
+  EXPECT_EQ(src.total_duration(), 10);
+  auto a0 = src.ArrivalsAt(0);
+  ASSERT_EQ(a0.size(), 1u);
+  EXPECT_EQ(a0[0].input, 0);
+  EXPECT_TRUE(src.ArrivalsAt(3).empty());
+  auto a5 = src.ArrivalsAt(5);  // phase 2 local slot 0
+  ASSERT_EQ(a5.size(), 1u);
+  EXPECT_EQ(a5[0].input, 1);
+  EXPECT_TRUE(src.Exhausted(10));
+}
+
+TEST(MergedSource, UnionsDisjointInputs) {
+  traffic::Trace t1, t2;
+  t1.Add(0, 0, 1);
+  t2.Add(0, 1, 1);
+  std::vector<traffic::SourcePtr> sources;
+  sources.push_back(std::make_unique<traffic::TraceTraffic>(t1));
+  sources.push_back(std::make_unique<traffic::TraceTraffic>(t2));
+  traffic::MergedSource src(std::move(sources));
+  EXPECT_EQ(src.ArrivalsAt(0).size(), 2u);
+  EXPECT_TRUE(src.Exhausted(1));
+}
+
+TEST(MergedSource, DetectsInputCollision) {
+  traffic::Trace t1, t2;
+  t1.Add(0, 0, 1);
+  t2.Add(0, 0, 2);
+  std::vector<traffic::SourcePtr> sources;
+  sources.push_back(std::make_unique<traffic::TraceTraffic>(t1));
+  sources.push_back(std::make_unique<traffic::TraceTraffic>(t2));
+  traffic::MergedSource src(std::move(sources));
+  EXPECT_THROW(src.ArrivalsAt(0), sim::SimError);
+}
+
+TEST(SilentSource, EmitsNothing) {
+  traffic::SilentSource src;
+  EXPECT_TRUE(src.ArrivalsAt(0).empty());
+  EXPECT_TRUE(src.Exhausted(0));
+}
+
+}  // namespace
