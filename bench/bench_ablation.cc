@@ -39,90 +39,131 @@ core::RunResult RunWithMux(pps::MuxPolicy policy) {
 }
 
 void MuxAblation() {
-  core::Table table(
-      "Ablation (a): output multiplexer policy (rr demux, bursty on-off "
-      "traffic)",
-      {"policy", "cells", "flow order", "maxRQD", "maxRDJ", "stalls"});
   struct Case {
     pps::MuxPolicy policy;
     const char* name;
   };
-  for (const Case c : {Case{pps::MuxPolicy::kFcfsArrival, "fcfs-arrival"},
-                       Case{pps::MuxPolicy::kOldestCellReseq,
-                            "oldest-reseq"}}) {
-    const auto result = RunWithMux(c.policy);
-    table.AddRow({c.name, core::Fmt(result.cells),
-                  result.order_preserved ? "preserved" : "VIOLATED",
-                  core::Fmt(result.max_relative_delay),
-                  core::Fmt(result.max_relative_jitter),
-                  core::Fmt(result.resequencing_stalls)});
+  const std::vector<Case> cases = {
+      {pps::MuxPolicy::kFcfsArrival, "fcfs-arrival"},
+      {pps::MuxPolicy::kOldestCellReseq, "oldest-reseq"}};
+  core::Sweep sweep(
+      {.bench = "bench_ablation",
+       .title = "Ablation (a): output multiplexer policy (rr demux, bursty "
+                "on-off traffic)",
+       .columns = {"policy", "cells", "flow order", "maxRQD", "maxRDJ",
+                   "stalls"}});
+  for (const Case& c : cases) {
+    sweep.Add(core::json::Obj({{"policy", c.name}}));
   }
-  table.Print(std::cout);
-  std::cout << "(fcfs-arrival reorders flows — disallowed by the model; "
-               "resequencing preserves order for a measured stall cost)\n\n";
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const Case& c = cases[pt.index];
+        const auto result = RunWithMux(c.policy);
+        core::PointResult out;
+        out.cells = {c.name, core::Fmt(result.cells),
+                     result.order_preserved ? "preserved" : "VIOLATED",
+                     core::Fmt(result.max_relative_delay),
+                     core::Fmt(result.max_relative_jitter),
+                     core::Fmt(result.resequencing_stalls)};
+        out.metrics = bench::RelativeMetrics(0.0, result);
+        out.metrics.Set("order_preserved", result.order_preserved)
+            .Set("stalls", result.resequencing_stalls);
+        return out;
+      },
+      std::cout,
+      "(fcfs-arrival reorders flows — disallowed by the model; "
+      "resequencing preserves order for a measured stall cost)");
 }
 
 void BookingAblation() {
-  core::Table table(
-      "Ablation (b): booked planes (cpa) vs eager planes with fresh "
-      "information (stale-jsq-u0)",
-      {"scheduler", "plane mode", "maxRQD", "meanRQD", "maxRDJ"});
-  for (const std::string& algorithm :
-       {std::string("cpa"), std::string("stale-jsq-u0")}) {
-    const auto cfg = bench::MakeConfig(16, 2, 2.0, algorithm);
-    pps::BufferlessPps sw(cfg, demux::MakeFactory(algorithm));
-    traffic::BernoulliSource src(16, 0.95, traffic::Pattern::kUniform,
-                                 sim::Rng(3));
-    core::RunOptions opt;
-    opt.max_slots = 40'000;
-    opt.source_cutoff = 15'000;
-    const auto result = core::RunRelative(sw, src, opt);
-    table.AddRow({algorithm,
-                  algorithm == "cpa" ? "booked" : "eager",
-                  core::Fmt(result.max_relative_delay),
-                  core::Fmt(result.relative_delay.mean(), 3),
-                  core::Fmt(result.max_relative_jitter)});
+  const std::vector<std::string> algorithms = {"cpa", "stale-jsq-u0"};
+  core::Sweep sweep(
+      {.bench = "bench_ablation_booking",
+       .title = "Ablation (b): booked planes (cpa) vs eager planes with "
+                "fresh information (stale-jsq-u0)",
+       .columns = {"scheduler", "plane mode", "maxRQD", "meanRQD",
+                   "maxRDJ"}});
+  for (const std::string& algorithm : algorithms) {
+    sweep.Add(core::json::Obj({{"algorithm", algorithm}}));
   }
-  table.Print(std::cout);
-  std::cout << "(both see the full switch state; only exact booking of the "
-               "shadow departure slot achieves zero relative delay)\n\n";
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const std::string& algorithm = algorithms[pt.index];
+        const auto cfg = bench::MakeConfig(16, 2, 2.0, algorithm);
+        pps::BufferlessPps sw(cfg, demux::MakeFactory(algorithm));
+        traffic::BernoulliSource src(16, 0.95, traffic::Pattern::kUniform,
+                                     sim::Rng(3));
+        core::RunOptions opt;
+        opt.max_slots = 40'000;
+        opt.source_cutoff = 15'000;
+        const auto result = core::RunRelative(sw, src, opt);
+        core::PointResult out;
+        out.cells = {algorithm, algorithm == "cpa" ? "booked" : "eager",
+                     core::Fmt(result.max_relative_delay),
+                     core::Fmt(result.relative_delay.mean(), 3),
+                     core::Fmt(result.max_relative_jitter)};
+        out.metrics = bench::RelativeMetrics(0.0, result);
+        out.metrics.Set("mean_rqd", result.relative_delay.mean());
+        return out;
+      },
+      std::cout,
+      "(both see the full switch state; only exact booking of the "
+      "shadow departure slot achieves zero relative delay)");
 }
 
 void FtdSpeedupAblation() {
-  core::Table table(
-      "Ablation (c): extended-FTD block integrity vs speedup "
-      "(Theorem 14's premise: the h-parameterised algorithm requires "
-      "S >= h)",
-      {"h", "S", "cells", "block violations", "maxRQD"});
+  struct Case {
+    int h;
+    double speedup;
+  };
+  std::vector<Case> cases;
   for (const int h : {1, 2, 4}) {
     for (const double speedup : {1.0, 2.0, 4.0}) {
-      const std::string algorithm = "ftd-h" + std::to_string(h);
-      const auto cfg = bench::MakeConfig(16, 2, speedup, algorithm);
-      pps::BufferlessPps sw(cfg, demux::MakeFactory(algorithm));
-      // Full-rate inputs with interleaved destinations: the hardest case
-      // for keeping every block's cells on distinct planes.
-      traffic::BernoulliSource src(16, 1.0, traffic::Pattern::kUniform,
-                                   sim::Rng(6));
-      core::RunOptions opt;
-      opt.max_slots = 40'000;
-      opt.source_cutoff = 10'000;
-      const auto result = core::RunRelative(sw, src, opt);
-      std::uint64_t violations = 0;
-      for (sim::PortId i = 0; i < cfg.num_ports; ++i) {
-        violations +=
-            dynamic_cast<const demux::FtdDemux&>(sw.demux(i))
-                .block_violations();
-      }
-      table.AddRow({core::Fmt(h), core::Fmt(cfg.speedup(), 1),
-                    core::Fmt(result.cells), core::Fmt(violations),
-                    core::Fmt(result.max_relative_delay)});
+      cases.push_back({h, speedup});
     }
   }
-  table.Print(std::cout);
-  std::cout << "(block violations = cells that could not avoid a plane "
-               "already used in their flow's current block; they drop by "
-               "orders of magnitude as S reaches h and vanish with slack "
-               "above it — Theorem 14's S >= h premise, measured)\n\n";
+  core::Sweep sweep(
+      {.bench = "bench_ablation_ftd",
+       .title = "Ablation (c): extended-FTD block integrity vs speedup "
+                "(Theorem 14's premise: the h-parameterised algorithm "
+                "requires S >= h)",
+       .columns = {"h", "S", "cells", "block violations", "maxRQD"}});
+  for (const Case& c : cases) {
+    sweep.Add(core::json::Obj({{"h", c.h}, {"speedup", c.speedup}}));
+  }
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const Case& c = cases[pt.index];
+        const std::string algorithm = "ftd-h" + std::to_string(c.h);
+        const auto cfg = bench::MakeConfig(16, 2, c.speedup, algorithm);
+        pps::BufferlessPps sw(cfg, demux::MakeFactory(algorithm));
+        // Full-rate inputs with interleaved destinations: the hardest case
+        // for keeping every block's cells on distinct planes.
+        traffic::BernoulliSource src(16, 1.0, traffic::Pattern::kUniform,
+                                     sim::Rng(6));
+        core::RunOptions opt;
+        opt.max_slots = 40'000;
+        opt.source_cutoff = 10'000;
+        const auto result = core::RunRelative(sw, src, opt);
+        std::uint64_t violations = 0;
+        for (sim::PortId i = 0; i < cfg.num_ports; ++i) {
+          violations +=
+              dynamic_cast<const demux::FtdDemux&>(sw.demux(i))
+                  .block_violations();
+        }
+        core::PointResult out;
+        out.cells = {core::Fmt(c.h), core::Fmt(cfg.speedup(), 1),
+                     core::Fmt(result.cells), core::Fmt(violations),
+                     core::Fmt(result.max_relative_delay)};
+        out.metrics = bench::RelativeMetrics(0.0, result);
+        out.metrics.Set("block_violations", violations);
+        return out;
+      },
+      std::cout,
+      "(block violations = cells that could not avoid a plane "
+      "already used in their flow's current block; they drop by "
+      "orders of magnitude as S reaches h and vanish with slack "
+      "above it — Theorem 14's S >= h premise, measured)");
 }
 
 void RunExperiment() {

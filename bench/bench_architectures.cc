@@ -2,7 +2,7 @@
 // crossbar family the paper cites (Chuang et al. [7] on speedup for
 // OQ-mimicking, Tamir & Chi [22] on arbitrated crossbars).
 //
-// Same shadow-switch methodology, same workloads; the table shows where
+// Same shadow-switch methodology, same workloads; the sweep shows where
 // the inherent PPS penalty sits relative to crossbar alternatives with
 // comparable resources: the PPS buys slow memories (planes at rate r) at
 // the cost of the demultiplexing information problem, while the CIOQ buys
@@ -33,61 +33,78 @@ traffic::BernoulliSource Workload(sim::PortId n, double load) {
 
 void RunExperiment() {
   const sim::PortId n = 16;
-  core::Table table(
-      "Architecture comparison under identical traffic (N = 16, uniform "
-      "Bernoulli)",
-      {"architecture", "memories run at", "load", "maxRQD", "meanRQD",
-       "maxRDJ"});
-
-  struct PpsCase {
-    const char* algorithm;
-    const char* memo;
+  struct Case {
+    std::string name;         // table "architecture" cell
+    std::string memo;         // table "memories run at" cell
+    double load;
+    std::string algorithm;    // nonempty => PPS case
+    int speedup = 0;          // CIOQ cases
+    int scheduler = 0;        // 0 = islip, 1 = oldest-first, 2 = ccf
   };
+  std::vector<Case> cases;
   for (const double load : {0.8, 0.95}) {
-    for (const PpsCase c :
-         {PpsCase{"rr-per-output", "r = R/2 (PPS, distributed)"},
-          PpsCase{"stale-jsq-u4", "r = R/2 (PPS, 4-RT)"},
-          PpsCase{"cpa", "r = R/2 (PPS, centralized)"}}) {
-      const auto cfg = bench::MakeConfig(n, 2, 2.0, c.algorithm);
-      pps::BufferlessPps sw(cfg, demux::MakeFactory(c.algorithm));
-      auto src = Workload(n, load);
-      const auto result = core::RunRelative(sw, src, Opt());
-      table.AddRow({std::string("pps/") + c.algorithm, c.memo,
-                    core::Fmt(load, 2), core::Fmt(result.max_relative_delay),
-                    core::Fmt(result.relative_delay.mean(), 3),
-                    core::Fmt(result.max_relative_jitter)});
-    }
-    struct CioqCase {
-      int speedup;
-      int scheduler;  // 0 = islip, 1 = oldest-first, 2 = ccf
-      const char* name;
-    };
-    for (const CioqCase c : {CioqCase{1, 0, "cioq/islip-S1"},
-                             CioqCase{2, 0, "cioq/islip-S2"},
-                             CioqCase{2, 1, "cioq/oldest-S2"},
-                             CioqCase{2, 2, "cioq/ccf-S2"}}) {
-      std::unique_ptr<cioq::Scheduler> scheduler;
-      switch (c.scheduler) {
-        case 0: scheduler = std::make_unique<cioq::IslipScheduler>(2); break;
-        case 1: scheduler = std::make_unique<cioq::OldestFirstScheduler>(); break;
-        default: scheduler = std::make_unique<cioq::CcfScheduler>(); break;
-      }
-      cioq::CioqSwitch sw(n, c.speedup, std::move(scheduler));
-      auto src = Workload(n, load);
-      const auto result = core::RunRelative(sw, src, Opt());
-      table.AddRow({c.name,
-                    "R and " + std::to_string(c.speedup) + "R (crossbar)",
-                    core::Fmt(load, 2), core::Fmt(result.max_relative_delay),
-                    core::Fmt(result.relative_delay.mean(), 3),
-                    core::Fmt(result.max_relative_jitter)});
-    }
+    cases.push_back({"pps/rr-per-output", "r = R/2 (PPS, distributed)",
+                     load, "rr-per-output"});
+    cases.push_back({"pps/stale-jsq-u4", "r = R/2 (PPS, 4-RT)", load,
+                     "stale-jsq-u4"});
+    cases.push_back({"pps/cpa", "r = R/2 (PPS, centralized)", load, "cpa"});
+    cases.push_back({"cioq/islip-S1", "R and 1R (crossbar)", load, "", 1, 0});
+    cases.push_back({"cioq/islip-S2", "R and 2R (crossbar)", load, "", 2, 0});
+    cases.push_back({"cioq/oldest-S2", "R and 2R (crossbar)", load, "", 2, 1});
+    cases.push_back({"cioq/ccf-S2", "R and 2R (crossbar)", load, "", 2, 2});
   }
-  table.Print(std::cout);
-  std::cout << "(CCF stable matching at speedup 2 mimics the OQ switch "
-               "exactly [7], with memories at 2R; the PPS reaches the same "
-               "only with the impractical centralized CPA — with practical "
-               "distributed demultiplexing its slow-memory advantage costs "
-               "the information-theoretic delay this paper quantifies)\n\n";
+
+  core::Sweep sweep(
+      {.bench = "bench_architectures",
+       .title = "Architecture comparison under identical traffic (N = 16, "
+                "uniform Bernoulli)",
+       .columns = {"architecture", "memories run at", "load", "maxRQD",
+                   "meanRQD", "maxRDJ"}});
+  for (const Case& c : cases) {
+    sweep.Add(core::json::Obj(
+        {{"architecture", c.name}, {"load", c.load}, {"N", n}}));
+  }
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const Case& c = cases[pt.index];
+        core::RunResult result;
+        if (!c.algorithm.empty()) {
+          const auto cfg = bench::MakeConfig(n, 2, 2.0, c.algorithm);
+          pps::BufferlessPps sw(cfg, demux::MakeFactory(c.algorithm));
+          auto src = Workload(n, c.load);
+          result = core::RunRelative(sw, src, Opt());
+        } else {
+          std::unique_ptr<cioq::Scheduler> scheduler;
+          switch (c.scheduler) {
+            case 0:
+              scheduler = std::make_unique<cioq::IslipScheduler>(2);
+              break;
+            case 1:
+              scheduler = std::make_unique<cioq::OldestFirstScheduler>();
+              break;
+            default:
+              scheduler = std::make_unique<cioq::CcfScheduler>();
+              break;
+          }
+          cioq::CioqSwitch sw(n, c.speedup, std::move(scheduler));
+          auto src = Workload(n, c.load);
+          result = core::RunRelative(sw, src, Opt());
+        }
+        core::PointResult out;
+        out.cells = {c.name, c.memo, core::Fmt(c.load, 2),
+                     core::Fmt(result.max_relative_delay),
+                     core::Fmt(result.relative_delay.mean(), 3),
+                     core::Fmt(result.max_relative_jitter)};
+        out.metrics = bench::RelativeMetrics(0.0, result);
+        out.metrics.Set("mean_rqd", result.relative_delay.mean());
+        return out;
+      },
+      std::cout,
+      "(CCF stable matching at speedup 2 mimics the OQ switch "
+      "exactly [7], with memories at 2R; the PPS reaches the same "
+      "only with the impractical centralized CPA — with practical "
+      "distributed demultiplexing its slow-memory advantage costs "
+      "the information-theoretic delay this paper quantifies)");
 }
 
 void BM_CioqHarness(benchmark::State& state) {

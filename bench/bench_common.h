@@ -1,9 +1,11 @@
 // Shared helpers for the experiment benchmark binaries.
 //
 // Every bench binary follows the same pattern:
-//   1. main() runs a deterministic experiment sweep and prints a
+//   1. main() declares its experiment grid on a core::Sweep, which runs
+//      the points in parallel (one fabric per point), prints a
 //      core::Table whose rows are "configuration, paper bound, measured" —
-//      the table the paper's evaluation section would contain;
+//      the table the paper's evaluation section would contain — and
+//      writes the same sweep as bench_results/<bench>.json;
 //   2. google-benchmark then times representative instances so the
 //      simulator's own performance is tracked alongside.
 #pragma once
@@ -16,6 +18,8 @@
 
 #include "core/bounds.h"
 #include "core/harness.h"
+#include "core/metrics_json.h"
+#include "core/sweep.h"
 #include "core/table.h"
 #include "demux/registry.h"
 #include "switch/input_buffered_pps.h"
@@ -23,6 +27,19 @@
 #include "traffic/trace.h"
 
 namespace bench {
+
+// Standard structured metrics for a harness run: the paper bound, the
+// measured worst relative delay / jitter, and the run size.
+inline core::json::Value RelativeMetrics(double bound,
+                                         const core::RunResult& result) {
+  core::json::Value m = core::json::Value::MakeObject();
+  m.Set("bound", bound);
+  m.Set("measured", result.max_relative_delay);
+  m.Set("jitter", result.max_relative_jitter);
+  m.Set("cells", result.cells);
+  m.Set("slots", result.duration);
+  return m;
+}
 
 // Switch geometry with speedup S = K/r' for the requested rate ratio.
 inline pps::SwitchConfig MakeConfig(sim::PortId n, int rate_ratio,

@@ -6,7 +6,7 @@
 // every plane) is exactly what the adversary exploits to align all N
 // inputs on one plane.
 //
-// The table sweeps N and r' for the three unpartitioned fully-distributed
+// The sweep varies N and r' for the three unpartitioned fully-distributed
 // algorithms in the library.  Iyer & McKeown's N*R/r upper bound [15]
 // brackets the same quantity from above, making Theta(N * R/r) tight —
 // the "upper" column shows it.
@@ -18,43 +18,66 @@
 namespace {
 
 void RunExperiment() {
-  core::Table table(
-      "Corollary 7: RQD/RDJ >= (R/r - 1) * N   [bufferless, unpartitioned "
-      "fully-distributed; B = 0]",
-      {"algorithm", "N", "r'", "S", "bound", "upper[15]", "RQD", "RDJ",
-       "RQD/bound", "plane buf"});
-
+  struct Case {
+    std::string algorithm;
+    int rate_ratio;
+    sim::PortId n;
+  };
+  std::vector<Case> cases;
   for (const std::string& algorithm :
        {std::string("rr"), std::string("rr-per-output"),
         std::string("hash")}) {
     for (const int rate_ratio : {2, 4}) {
       for (const sim::PortId n : {4, 8, 16, 32, 64}) {
-        const auto cfg = bench::MakeConfig(n, rate_ratio, 2.0, algorithm);
-        const auto plan =
-            core::BuildAlignmentTraffic(cfg, demux::MakeFactory(algorithm));
-        const auto detailed =
-            bench::ReplayTraceDetailed(cfg, algorithm, plan.trace);
-        const auto& result = detailed.result;
-        const double bound = core::bounds::Corollary7(rate_ratio, n);
-        const double upper = core::bounds::IyerMcKeownUpper(rate_ratio, n);
-        table.AddRow(
-            {algorithm, core::Fmt(n), core::Fmt(rate_ratio),
-             core::Fmt(cfg.speedup(), 1), core::Fmt(bound, 0),
-             core::Fmt(upper, 0), core::Fmt(result.max_relative_delay),
-             core::Fmt(result.max_relative_jitter),
-             core::FmtRatio(static_cast<double>(result.max_relative_delay),
-                            bound),
-             core::Fmt(detailed.max_plane_backlog)});
+        cases.push_back({algorithm, rate_ratio, n});
       }
     }
   }
-  table.Print(std::cout);
-  std::cout << "(RQD grows linearly in N at fixed S — the PPS does not "
-               "scale with port count; ratio -> 1 as N grows since the "
-               "exact burst cost is (N-1)(r'-1).  'plane buf' is the "
-               "middle-stage buffer high-water mark: it tracks the "
-               "concentration c = N, confirming the paper's remark that "
-               "large relative delays force large plane buffers.)\n\n";
+
+  core::Sweep sweep(
+      {.bench = "bench_corollary7",
+       .title = "Corollary 7: RQD/RDJ >= (R/r - 1) * N   [bufferless, "
+                "unpartitioned fully-distributed; B = 0]",
+       .columns = {"algorithm", "N", "r'", "S", "bound", "upper[15]", "RQD",
+                   "RDJ", "RQD/bound", "plane buf"}});
+  for (const Case& c : cases) {
+    sweep.Add(core::json::Obj({{"algorithm", c.algorithm},
+                               {"rate_ratio", c.rate_ratio},
+                               {"N", c.n}}));
+  }
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const Case& c = cases[pt.index];
+        const auto cfg = bench::MakeConfig(c.n, c.rate_ratio, 2.0,
+                                           c.algorithm);
+        const auto plan =
+            core::BuildAlignmentTraffic(cfg, demux::MakeFactory(c.algorithm));
+        const auto detailed =
+            bench::ReplayTraceDetailed(cfg, c.algorithm, plan.trace);
+        const auto& result = detailed.result;
+        const double bound = core::bounds::Corollary7(c.rate_ratio, c.n);
+        const double upper = core::bounds::IyerMcKeownUpper(c.rate_ratio, c.n);
+        core::PointResult out;
+        out.cells = {c.algorithm, core::Fmt(c.n), core::Fmt(c.rate_ratio),
+                     core::Fmt(cfg.speedup(), 1), core::Fmt(bound, 0),
+                     core::Fmt(upper, 0), core::Fmt(result.max_relative_delay),
+                     core::Fmt(result.max_relative_jitter),
+                     core::FmtRatio(
+                         static_cast<double>(result.max_relative_delay),
+                         bound),
+                     core::Fmt(detailed.max_plane_backlog)};
+        out.metrics = bench::RelativeMetrics(bound, result);
+        out.metrics.Set("upper", upper)
+            .Set("plane_backlog", detailed.max_plane_backlog);
+        return out;
+      },
+      std::cout,
+      "(RQD grows linearly in N at fixed S — the PPS does not "
+      "scale with port count; ratio -> 1 as N grows since the "
+      "exact burst cost is (N-1)(r'-1).  'plane buf' is the "
+      "middle-stage buffer high-water mark: it tracks the "
+      "concentration c = N, confirming the paper's remark that "
+      "large relative delays force large plane buffers.)");
 }
 
 void BM_Corollary7(benchmark::State& state) {

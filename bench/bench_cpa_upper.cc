@@ -42,32 +42,55 @@ traffic::SourcePtr MakeWorkload(const std::string& name, sim::PortId n) {
 }
 
 void RunExperiment() {
-  core::Table table(
-      "CPA [14]: centralized demultiplexing, S >= 2 => zero RQD/RDJ "
-      "(exact FCFS-OQ mimicking)",
-      {"N", "r'", "S", "workload", "cells", "B", "maxRQD", "maxRDJ",
-       "PPS mean delay", "OQ mean delay"});
-
+  struct Case {
+    sim::PortId n;
+    int rate_ratio;
+    std::string workload;
+  };
+  std::vector<Case> cases;
   for (const sim::PortId n : {8, 16, 32}) {
     for (const int rate_ratio : {2, 4}) {
       for (const std::string& workload :
            {std::string("uniform-0.9"), std::string("hotspot-0.6"),
             std::string("onoff-0.7"), std::string("policed-onoff")}) {
-        auto result = RunCpa(n, rate_ratio, MakeWorkload(workload, n));
-        table.AddRow({core::Fmt(n), core::Fmt(rate_ratio), "2.0", workload,
-                      core::Fmt(result.cells),
-                      core::Fmt(result.traffic_burstiness),
-                      core::Fmt(result.max_relative_delay),
-                      core::Fmt(result.max_relative_jitter),
-                      core::Fmt(result.pps_delay.mean(), 3),
-                      core::Fmt(result.shadow_delay.mean(), 3)});
+        cases.push_back({n, rate_ratio, workload});
       }
     }
   }
-  table.Print(std::cout);
-  std::cout << "(every row must show maxRQD = maxRDJ = 0 and identical mean "
-               "delays: the PPS and the shadow switch emit every cell in "
-               "the same slot)\n\n";
+
+  core::Sweep sweep(
+      {.bench = "bench_cpa_upper",
+       .title = "CPA [14]: centralized demultiplexing, S >= 2 => zero "
+                "RQD/RDJ (exact FCFS-OQ mimicking)",
+       .columns = {"N", "r'", "S", "workload", "cells", "B", "maxRQD",
+                   "maxRDJ", "PPS mean delay", "OQ mean delay"}});
+  for (const Case& c : cases) {
+    sweep.Add(core::json::Obj({{"N", c.n},
+                               {"rate_ratio", c.rate_ratio},
+                               {"workload", c.workload}}));
+  }
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const Case& c = cases[pt.index];
+        auto result = RunCpa(c.n, c.rate_ratio, MakeWorkload(c.workload, c.n));
+        core::PointResult out;
+        out.cells = {core::Fmt(c.n), core::Fmt(c.rate_ratio), "2.0",
+                     c.workload, core::Fmt(result.cells),
+                     core::Fmt(result.traffic_burstiness),
+                     core::Fmt(result.max_relative_delay),
+                     core::Fmt(result.max_relative_jitter),
+                     core::Fmt(result.pps_delay.mean(), 3),
+                     core::Fmt(result.shadow_delay.mean(), 3)};
+        out.metrics = bench::RelativeMetrics(0.0, result);
+        out.metrics.Set("burstiness", result.traffic_burstiness)
+            .Set("pps_mean_delay", result.pps_delay.mean())
+            .Set("shadow_mean_delay", result.shadow_delay.mean());
+        return out;
+      },
+      std::cout,
+      "(every row must show maxRQD = maxRDJ = 0 and identical mean "
+      "delays: the PPS and the shadow switch emit every cell in "
+      "the same slot)");
 }
 
 void BM_CpaUpper(benchmark::State& state) {

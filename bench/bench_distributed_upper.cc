@@ -4,7 +4,7 @@
 // Corollary-7 adversary forces (R/r - 1) * N; together,
 // Theta(N * R/r) is tight for bufferless fully-distributed PPS.
 //
-// The table reports, per (N, r'): the lower-bound traffic's measured RQD,
+// The sweep reports, per (N, r'): the lower-bound traffic's measured RQD,
 // the worst RQD seen over a battery of stress workloads, and both
 // analytical brackets.
 
@@ -34,30 +34,50 @@ sim::Slot WorstOverStressWorkloads(const pps::SwitchConfig& cfg) {
 }
 
 void RunExperiment() {
-  core::Table table(
-      "Tightness of Theta(N * R/r): rr-per-output between Corollary 7 and "
-      "the [15] upper bound",
-      {"N", "r'", "S", "lower=(r'-1)N", "adversarial RQD", "stress RQD",
-       "upper=N*r'"});
-
+  struct Case {
+    int rate_ratio;
+    sim::PortId n;
+  };
+  std::vector<Case> cases;
   for (const int rate_ratio : {2, 4}) {
     for (const sim::PortId n : {8, 16, 32}) {
-      const auto cfg = bench::MakeConfig(n, rate_ratio, 2.0, "rr-per-output");
-      const auto plan = core::BuildAlignmentTraffic(
-          cfg, demux::MakeFactory("rr-per-output"));
-      const auto adv = bench::ReplayTrace(cfg, "rr-per-output", plan.trace);
-      const sim::Slot stress = WorstOverStressWorkloads(cfg);
-      table.AddRow(
-          {core::Fmt(n), core::Fmt(rate_ratio), core::Fmt(cfg.speedup(), 1),
-           core::Fmt(core::bounds::Corollary7(rate_ratio, n), 0),
-           core::Fmt(adv.max_relative_delay), core::Fmt(stress),
-           core::Fmt(core::bounds::IyerMcKeownUpper(rate_ratio, n), 0)});
+      cases.push_back({rate_ratio, n});
     }
   }
-  table.Print(std::cout);
-  std::cout << "(adversarial >= lower - slack and <= upper; random stress "
-               "traffic stays well below the adversarial worst case — the "
-               "lower bound needs construction, not luck)\n\n";
+
+  core::Sweep sweep(
+      {.bench = "bench_distributed_upper",
+       .title = "Tightness of Theta(N * R/r): rr-per-output between "
+                "Corollary 7 and the [15] upper bound",
+       .columns = {"N", "r'", "S", "lower=(r'-1)N", "adversarial RQD",
+                   "stress RQD", "upper=N*r'"}});
+  for (const Case& c : cases) {
+    sweep.Add(core::json::Obj({{"N", c.n}, {"rate_ratio", c.rate_ratio}}));
+  }
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const Case& c = cases[pt.index];
+        const auto cfg =
+            bench::MakeConfig(c.n, c.rate_ratio, 2.0, "rr-per-output");
+        const auto plan = core::BuildAlignmentTraffic(
+            cfg, demux::MakeFactory("rr-per-output"));
+        const auto adv = bench::ReplayTrace(cfg, "rr-per-output", plan.trace);
+        const sim::Slot stress = WorstOverStressWorkloads(cfg);
+        const double lower = core::bounds::Corollary7(c.rate_ratio, c.n);
+        const double upper = core::bounds::IyerMcKeownUpper(c.rate_ratio, c.n);
+        core::PointResult out;
+        out.cells = {core::Fmt(c.n), core::Fmt(c.rate_ratio),
+                     core::Fmt(cfg.speedup(), 1), core::Fmt(lower, 0),
+                     core::Fmt(adv.max_relative_delay), core::Fmt(stress),
+                     core::Fmt(upper, 0)};
+        out.metrics = bench::RelativeMetrics(lower, adv);
+        out.metrics.Set("stress_rqd", stress).Set("upper", upper);
+        return out;
+      },
+      std::cout,
+      "(adversarial >= lower - slack and <= upper; random stress "
+      "traffic stays well below the adversarial worst case — the "
+      "lower bound needs construction, not luck)");
 }
 
 void BM_DistributedUpper(benchmark::State& state) {

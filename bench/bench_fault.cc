@@ -9,6 +9,11 @@
 // cells lost at the inputs (partition exhausted), cells stranded inside
 // the failed plane, and delivery rate — against the worst-case relative
 // delay each design pays when healthy.
+//
+// The faulted runs use the harness's fault-injection options
+// (RunOptions::fail_plane_at) and its reconciled RunResult::dropped
+// accounting, so the loss numbers here and the harness's delay statistics
+// come from the same book-keeping.
 
 #include "bench_common.h"
 
@@ -19,8 +24,7 @@
 namespace {
 
 struct FaultOutcome {
-  std::uint64_t injected = 0;
-  std::uint64_t departed = 0;
+  core::RunResult result;
   std::uint64_t input_drops = 0;
   std::uint64_t plane_losses = 0;
 };
@@ -30,27 +34,14 @@ FaultOutcome RunWithFailure(const std::string& algorithm,
   pps::BufferlessPps sw(cfg, demux::MakeFactory(algorithm));
   traffic::BernoulliSource src(cfg.num_ports, 1.0,
                                traffic::Pattern::kUniform, sim::Rng(55));
+  core::RunOptions opt;
+  opt.fail_plane_at = 2'000;
+  opt.fail_plane = 0;
+  opt.source_cutoff = 10'000;
+  opt.drain_grace = 4'000;
+  opt.max_slots = 14'000;
   FaultOutcome out;
-  const sim::Slot fail_at = 2'000, stop_at = 10'000;
-  sim::CellId id = 0;
-  std::unordered_map<sim::FlowId, std::uint64_t> seq;
-  for (sim::Slot t = 0; t < stop_at + 4'000; ++t) {
-    if (t == fail_at) sw.FailPlane(0);
-    if (t < stop_at) {
-      for (const auto& a : src.ArrivalsAt(t)) {
-        sim::Cell cell;
-        cell.id = id++;
-        cell.input = a.input;
-        cell.output = a.output;
-        cell.seq = seq[sim::MakeFlowId(a.input, a.output,
-                                       cfg.num_ports)]++;
-        sw.Inject(cell, t);
-        ++out.injected;
-      }
-    }
-    out.departed += sw.Advance(t).size();
-    if (t > stop_at && sw.Drained()) break;
-  }
+  out.result = core::RunRelative(sw, src, opt);
   out.input_drops = sw.input_drops();
   out.plane_losses = sw.failed_plane_losses();
   return out;
@@ -64,37 +55,56 @@ sim::Slot HealthyWorstCase(const std::string& algorithm,
 }
 
 void RunExperiment() {
-  core::Table table(
-      "Fault tolerance vs inherent delay: one plane fails at full load "
-      "(N = 16, K = 8, r' = 2)",
-      {"algorithm", "healthy worst RQD", "input drops", "plane losses",
-       "delivered", "loss %"});
+  const std::vector<std::string> algorithms = {
+      "static-partition-d2", "static-partition-d4", "rr-per-output", "rr",
+      "ftd-h2"};
   pps::SwitchConfig cfg;
   cfg.num_ports = 16;
   cfg.num_planes = 8;
   cfg.rate_ratio = 2;
   cfg.reseq_timeout = 32;  // reassembly timer: skip gaps from lost cells
-  for (const std::string& algorithm :
-       {std::string("static-partition-d2"), std::string("static-partition-d4"),
-        std::string("rr-per-output"), std::string("rr"),
-        std::string("ftd-h2")}) {
-    const auto out = RunWithFailure(algorithm, cfg);
-    const auto lost = out.input_drops + out.plane_losses;
-    table.AddRow(
-        {algorithm, core::Fmt(HealthyWorstCase(algorithm, cfg)),
-         core::Fmt(out.input_drops), core::Fmt(out.plane_losses),
-         core::Fmt(out.departed),
-         core::Fmt(100.0 * static_cast<double>(lost) /
-                       static_cast<double>(out.injected),
-                   3)});
+
+  core::Sweep sweep(
+      {.bench = "bench_fault",
+       .title = "Fault tolerance vs inherent delay: one plane fails at full "
+                "load (N = 16, K = 8, r' = 2)",
+       .columns = {"algorithm", "healthy worst RQD", "input drops",
+                   "plane losses", "delivered", "loss %"}});
+  for (const std::string& algorithm : algorithms) {
+    sweep.Add(core::json::Obj({{"algorithm", algorithm},
+                               {"N", cfg.num_ports},
+                               {"K", cfg.num_planes}}));
   }
-  table.Print(std::cout);
-  std::cout << "(the d = r' partition minimises the Theorem-6 delay "
-               "exposure but drops cells steadily once a plane dies; "
-               "unpartitioned designs lose only the stranded cells and "
-               "keep the line rate — at the price of the Corollary-7 "
-               "worst case.  This is the delay/fault-tolerance trade the "
-               "paper's Section 3 describes.)\n\n";
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const std::string& algorithm = algorithms[pt.index];
+        const auto out = RunWithFailure(algorithm, cfg);
+        const auto healthy = HealthyWorstCase(algorithm, cfg);
+        const auto lost = out.input_drops + out.plane_losses;
+        const std::uint64_t delivered = out.result.cells - out.result.dropped;
+        const double loss_pct = 100.0 * static_cast<double>(lost) /
+                                static_cast<double>(out.result.cells);
+        core::PointResult res;
+        res.cells = {algorithm, core::Fmt(healthy),
+                     core::Fmt(out.input_drops), core::Fmt(out.plane_losses),
+                     core::Fmt(delivered), core::Fmt(loss_pct, 3)};
+        res.metrics = core::json::Obj(
+            {{"healthy_worst_rqd", healthy},
+             {"injected", out.result.cells},
+             {"dropped", out.result.dropped},
+             {"input_drops", out.input_drops},
+             {"plane_losses", out.plane_losses},
+             {"delivered", delivered},
+             {"loss_pct", loss_pct}});
+        return res;
+      },
+      std::cout,
+      "(the d = r' partition minimises the Theorem-6 delay "
+      "exposure but drops cells steadily once a plane dies; "
+      "unpartitioned designs lose only the stranded cells and "
+      "keep the line rate — at the price of the Corollary-7 "
+      "worst case.  This is the delay/fault-tolerance trade the "
+      "paper's Section 3 describes.)");
 }
 
 void BM_FaultRun(benchmark::State& state) {
@@ -103,7 +113,7 @@ void BM_FaultRun(benchmark::State& state) {
   cfg.num_planes = 8;
   cfg.rate_ratio = 2;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(RunWithFailure("rr-per-output", cfg).departed);
+    benchmark::DoNotOptimize(RunWithFailure("rr-per-output", cfg).result.cells);
   }
 }
 BENCHMARK(BM_FaultRun);

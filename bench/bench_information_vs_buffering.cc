@@ -42,30 +42,49 @@ core::RunResult RunBuffered(const std::string& name, int u) {
 }
 
 void RunExperiment() {
-  core::Table table(
-      "Information vs buffering (N = 16, S = 2, buffers = 256, uniform "
-      "load 0.9): max/mean RQD vs information delay u",
-      {"u", "cpa-emulation max", "cpa-emulation mean", "request-grant max",
-       "request-grant mean", "buffered-rr max", "buffered-rr mean"});
-  const auto flat = RunBuffered("buffered-rr", 0);
-  for (const int u : {0, 1, 2, 4, 8, 16}) {
-    const auto emu =
-        RunBuffered("cpa-emulation-u" + std::to_string(u), u);
-    const auto arb =
-        RunBuffered("request-grant-u" + std::to_string(u), u);
-    table.AddRow({core::Fmt(u), core::Fmt(emu.max_relative_delay),
-                  core::Fmt(emu.relative_delay.mean(), 2),
-                  core::Fmt(arb.max_relative_delay),
-                  core::Fmt(arb.relative_delay.mean(), 2),
-                  core::Fmt(flat.max_relative_delay),
-                  core::Fmt(flat.relative_delay.mean(), 2)});
+  const std::vector<int> staleness = {0, 1, 2, 4, 8, 16};
+  core::Sweep sweep(
+      {.bench = "bench_information_vs_buffering",
+       .title = "Information vs buffering (N = 16, S = 2, buffers = 256, "
+                "uniform load 0.9): max/mean RQD vs information delay u",
+       .columns = {"u", "cpa-emulation max", "cpa-emulation mean",
+                   "request-grant max", "request-grant mean",
+                   "buffered-rr max", "buffered-rr mean"}});
+  for (const int u : staleness) {
+    sweep.Add(core::json::Obj({{"u", u}}));
   }
-  table.Print(std::cout);
-  std::cout << "(the emulation column IS the identity line RQD = u — "
-               "Theorem 12; the arbitrated crossbar adds contention on "
-               "top; the fully-distributed column ignores u entirely: "
-               "buffers without information buy nothing, exactly the "
-               "Theorem-12/Theorem-13 dichotomy)\n\n";
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const int u = staleness[pt.index];
+        const auto emu =
+            RunBuffered("cpa-emulation-u" + std::to_string(u), u);
+        const auto arb =
+            RunBuffered("request-grant-u" + std::to_string(u), u);
+        // The fully-distributed baseline ignores u; recomputed per point so
+        // each point stays self-contained under parallel execution.
+        const auto flat = RunBuffered("buffered-rr", 0);
+        core::PointResult out;
+        out.cells = {core::Fmt(u), core::Fmt(emu.max_relative_delay),
+                     core::Fmt(emu.relative_delay.mean(), 2),
+                     core::Fmt(arb.max_relative_delay),
+                     core::Fmt(arb.relative_delay.mean(), 2),
+                     core::Fmt(flat.max_relative_delay),
+                     core::Fmt(flat.relative_delay.mean(), 2)};
+        out.metrics = core::json::Obj(
+            {{"cpa_emulation_max", emu.max_relative_delay},
+             {"cpa_emulation_mean", emu.relative_delay.mean()},
+             {"request_grant_max", arb.max_relative_delay},
+             {"request_grant_mean", arb.relative_delay.mean()},
+             {"buffered_rr_max", flat.max_relative_delay},
+             {"buffered_rr_mean", flat.relative_delay.mean()}});
+        return out;
+      },
+      std::cout,
+      "(the emulation column IS the identity line RQD = u — "
+      "Theorem 12; the arbitrated crossbar adds contention on "
+      "top; the fully-distributed column ignores u entirely: "
+      "buffers without information buy nothing, exactly the "
+      "Theorem-12/Theorem-13 dichotomy)");
 }
 
 void BM_InformationVsBuffering(benchmark::State& state) {

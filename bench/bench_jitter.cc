@@ -2,9 +2,9 @@
 //
 // Companion to the discussion section: the RDJ lower bounds of Theorems
 // 6-13 translate into buffer requirements for any downstream jitter
-// regulator.  Table (a) reports the measured RDJ of the Theorem-6 burst
+// regulator.  Sweep (a) reports the measured RDJ of the Theorem-6 burst
 // per (d, r') and the regulator capacity that provably restores periodic
-// release (ceil(J/period) + 1); table (b) validates the threshold by
+// release (ceil(J/period) + 1); sweep (b) validates the threshold by
 // sweeping regulator capacities against the worst-case compressed burst.
 
 #include "bench_common.h"
@@ -15,43 +15,84 @@
 namespace {
 
 void RunExperiment() {
-  core::Table table(
-      "RDJ lower bounds as regulator buffer bounds (victim period = r')",
-      {"algorithm", "N", "r'", "measured RDJ", "regulator capacity"});
+  struct Case {
+    int rate_ratio;
+    sim::PortId n;
+  };
+  std::vector<Case> cases;
   for (const int rate_ratio : {2, 4}) {
     for (const sim::PortId n : {8, 16, 32}) {
-      const auto cfg = bench::MakeConfig(n, rate_ratio, 2.0, "rr-per-output");
-      const auto plan = core::BuildAlignmentTraffic(
-          cfg, demux::MakeFactory("rr-per-output"));
-      const auto result = bench::ReplayTrace(cfg, "rr-per-output", plan.trace);
-      table.AddRow(
-          {"rr-per-output", core::Fmt(n), core::Fmt(rate_ratio),
-           core::Fmt(result.max_relative_jitter),
-           core::Fmt(qos::JitterRegulator::RequiredCapacity(
-               result.max_relative_jitter, rate_ratio))});
+      cases.push_back({rate_ratio, n});
     }
   }
-  table.Print(std::cout);
-  std::cout << "(a PPS front-end with fully-distributed demultiplexing "
-               "forces every jitter-sensitive consumer to provision "
-               "O(N) regulator buffer — buffers the output-queued "
-               "reference never needs)\n\n";
 
-  core::Table sweep("Regulator capacity threshold (period 4, jitter 32)",
-                    {"capacity", "drops", "grid violations"});
-  const sim::Slot period = 4, jitter = 32;
-  for (int capacity = 1;
-       capacity <= qos::JitterRegulator::RequiredCapacity(jitter, period) + 1;
-       ++capacity) {
-    qos::JitterRegulator reg(capacity, period, 0);
-    const int burst = static_cast<int>(jitter / period) + 1;
-    for (int i = 0; i < burst; ++i) (void)reg.Push(0);
-    (void)reg.ReleasesUpTo(10'000);
-    sweep.AddRow({core::Fmt(capacity), core::Fmt(reg.drops()),
-                  core::Fmt(reg.max_grid_violation())});
+  core::Sweep rdj(
+      {.bench = "bench_jitter",
+       .title = "RDJ lower bounds as regulator buffer bounds (victim period "
+                "= r')",
+       .columns = {"algorithm", "N", "r'", "measured RDJ",
+                   "regulator capacity"}});
+  for (const Case& c : cases) {
+    rdj.Add(core::json::Obj({{"algorithm", "rr-per-output"},
+                             {"N", c.n},
+                             {"rate_ratio", c.rate_ratio}}));
   }
-  sweep.Print(std::cout);
-  std::cout << "(drops hit zero at the ceil(J/period) + 1 threshold)\n\n";
+  rdj.Run(
+      [&](const core::SweepPoint& pt) {
+        const Case& c = cases[pt.index];
+        const auto cfg =
+            bench::MakeConfig(c.n, c.rate_ratio, 2.0, "rr-per-output");
+        const auto plan = core::BuildAlignmentTraffic(
+            cfg, demux::MakeFactory("rr-per-output"));
+        const auto result =
+            bench::ReplayTrace(cfg, "rr-per-output", plan.trace);
+        const int capacity = qos::JitterRegulator::RequiredCapacity(
+            result.max_relative_jitter, c.rate_ratio);
+        core::PointResult out;
+        out.cells = {"rr-per-output", core::Fmt(c.n),
+                     core::Fmt(c.rate_ratio),
+                     core::Fmt(result.max_relative_jitter),
+                     core::Fmt(capacity)};
+        out.metrics = core::json::Obj(
+            {{"jitter", result.max_relative_jitter},
+             {"regulator_capacity", capacity},
+             {"cells", result.cells},
+             {"slots", result.duration}});
+        return out;
+      },
+      std::cout,
+      "(a PPS front-end with fully-distributed demultiplexing "
+      "forces every jitter-sensitive consumer to provision "
+      "O(N) regulator buffer — buffers the output-queued "
+      "reference never needs)");
+
+  const sim::Slot period = 4, jitter = 32;
+  const int max_capacity =
+      qos::JitterRegulator::RequiredCapacity(jitter, period) + 1;
+  core::Sweep threshold(
+      {.bench = "bench_jitter_threshold",
+       .title = "Regulator capacity threshold (period 4, jitter 32)",
+       .columns = {"capacity", "drops", "grid violations"}});
+  for (int capacity = 1; capacity <= max_capacity; ++capacity) {
+    threshold.Add(core::json::Obj(
+        {{"capacity", capacity}, {"period", period}, {"jitter", jitter}}));
+  }
+  threshold.Run(
+      [&](const core::SweepPoint& pt) {
+        const int capacity = 1 + static_cast<int>(pt.index);
+        qos::JitterRegulator reg(capacity, period, 0);
+        const int burst = static_cast<int>(jitter / period) + 1;
+        for (int i = 0; i < burst; ++i) (void)reg.Push(0);
+        (void)reg.ReleasesUpTo(10'000);
+        core::PointResult out;
+        out.cells = {core::Fmt(capacity), core::Fmt(reg.drops()),
+                     core::Fmt(reg.max_grid_violation())};
+        out.metrics = core::json::Obj(
+            {{"drops", reg.drops()},
+             {"grid_violations", reg.max_grid_violation()}});
+        return out;
+      },
+      std::cout, "(drops hit zero at the ceil(J/period) + 1 threshold)");
 }
 
 void BM_JitterRegulator(benchmark::State& state) {

@@ -4,7 +4,7 @@
 // queuing delay and the relative delay jitter are at least
 // c * R/r - (s + B).
 //
-// The table sweeps the concentration size c (via the alignment adversary's
+// The sweep varies the concentration size c (via the alignment adversary's
 // burst_limit) and the rate ratio r', holding s = c and B = 0, and prints
 // the formula next to the measured worst case.  The residual gap is the
 // documented r' - 1 transmission-tail convention slack.
@@ -16,34 +16,54 @@
 namespace {
 
 void RunExperiment() {
-  core::Table table(
-      "Lemma 4: RQD/RDJ >= c * R/r - (s + B)   [s = c, B = 0]",
-      {"r'", "c", "bound", "RQD", "RDJ", "slack(r'-1)", "RQD+slack>=bound"});
-
+  struct Case {
+    int rate_ratio;
+    int c;
+  };
+  std::vector<Case> cases;
   for (const int rate_ratio : {2, 4, 8}) {
     for (const int c : {2, 4, 8, 16}) {
-      const auto cfg =
-          bench::MakeConfig(16, rate_ratio, 2.0, "rr-per-output");
-      core::AlignmentOptions opt;
-      opt.burst_limit = c;
-      const auto plan = core::BuildAlignmentTraffic(
-          cfg, demux::MakeFactory("rr-per-output"), opt);
-      const auto result =
-          bench::ReplayTrace(cfg, "rr-per-output", plan.trace);
-      const double bound = core::bounds::Lemma4(c, rate_ratio, c, 0);
-      const double slack = core::bounds::ConventionSlack(rate_ratio);
-      const bool holds =
-          static_cast<double>(result.max_relative_delay) + slack >= bound;
-      table.AddRow({core::Fmt(rate_ratio), core::Fmt(c), core::Fmt(bound, 0),
-                    core::Fmt(result.max_relative_delay),
-                    core::Fmt(result.max_relative_jitter),
-                    core::Fmt(slack, 0), holds ? "yes" : "NO"});
+      cases.push_back({rate_ratio, c});
     }
   }
-  table.Print(std::cout);
-  std::cout << "(measured = (c-1)(r'-1) exactly: the z-th concentrated cell "
-               "waits (z-1) r' slots at the plane minus the (z-1) slots the "
-               "shadow switch also queues it)\n\n";
+
+  core::Sweep sweep(
+      {.bench = "bench_lemma4",
+       .title = "Lemma 4: RQD/RDJ >= c * R/r - (s + B)   [s = c, B = 0]",
+       .columns = {"r'", "c", "bound", "RQD", "RDJ", "slack(r'-1)",
+                   "RQD+slack>=bound"}});
+  for (const Case& c : cases) {
+    sweep.Add(core::json::Obj({{"rate_ratio", c.rate_ratio}, {"c", c.c}}));
+  }
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const Case& c = cases[pt.index];
+        const auto cfg =
+            bench::MakeConfig(16, c.rate_ratio, 2.0, "rr-per-output");
+        core::AlignmentOptions opt;
+        opt.burst_limit = c.c;
+        const auto plan = core::BuildAlignmentTraffic(
+            cfg, demux::MakeFactory("rr-per-output"), opt);
+        const auto result =
+            bench::ReplayTrace(cfg, "rr-per-output", plan.trace);
+        const double bound = core::bounds::Lemma4(c.c, c.rate_ratio, c.c, 0);
+        const double slack = core::bounds::ConventionSlack(c.rate_ratio);
+        const bool holds =
+            static_cast<double>(result.max_relative_delay) + slack >= bound;
+        core::PointResult out;
+        out.cells = {core::Fmt(c.rate_ratio), core::Fmt(c.c),
+                     core::Fmt(bound, 0),
+                     core::Fmt(result.max_relative_delay),
+                     core::Fmt(result.max_relative_jitter),
+                     core::Fmt(slack, 0), holds ? "yes" : "NO"};
+        out.metrics = bench::RelativeMetrics(bound, result);
+        out.metrics.Set("slack", slack).Set("holds", holds);
+        return out;
+      },
+      std::cout,
+      "(measured = (c-1)(r'-1) exactly: the z-th concentrated cell "
+      "waits (z-1) r' slots at the plane minus the (z-1) slots the "
+      "shadow switch also queues it)");
 }
 
 void BM_Lemma4(benchmark::State& state) {

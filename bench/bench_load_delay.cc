@@ -39,58 +39,91 @@ LoadPoint Measure(const std::string& algorithm, sim::PortId n, double load) {
 
 void RunExperiment() {
   const sim::PortId n = 16;
-  core::Table table(
-      "Relative queuing delay vs offered load (N = 16, r' = 2, S = 2, "
-      "uniform Bernoulli)",
-      {"algorithm", "load", "mean RQD", "p99 RQD", "max RQD"});
+  struct Case {
+    std::string algorithm;
+    double load;
+  };
+  std::vector<Case> cases;
   for (const std::string& algorithm :
        {std::string("rr-per-output"), std::string("rr"), std::string("hash"),
         std::string("ftd-h2"), std::string("static-partition-d2"),
         std::string("stale-jsq-u8"), std::string("stale-jsq-u0"),
         std::string("cpa")}) {
     for (const double load : {0.5, 0.8, 0.95, 0.99}) {
-      const auto point = Measure(algorithm, n, load);
-      table.AddRow({algorithm, core::Fmt(load, 2), core::Fmt(point.mean, 3),
-                    core::Fmt(point.p99), core::Fmt(point.max)});
+      cases.push_back({algorithm, load});
     }
   }
-  table.Print(std::cout);
-  std::cout << "(stale-JSQ is worst even on friendly traffic — all inputs "
-               "herd onto the same stale minimum; oblivious round-robin "
-               "spreading is a strong average-case baseline; CPA stays at "
-               "0.  All average-case numbers sit far below the adversarial "
-               "worst cases of E1-E4.)\n\n";
+
+  core::Sweep sweep(
+      {.bench = "bench_load_delay",
+       .title = "Relative queuing delay vs offered load (N = 16, r' = 2, "
+                "S = 2, uniform Bernoulli)",
+       .columns = {"algorithm", "load", "mean RQD", "p99 RQD", "max RQD"}});
+  for (const Case& c : cases) {
+    sweep.Add(core::json::Obj(
+        {{"algorithm", c.algorithm}, {"load", c.load}, {"N", n}}));
+  }
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const Case& c = cases[pt.index];
+        const auto point = Measure(c.algorithm, n, c.load);
+        core::PointResult out;
+        out.cells = {c.algorithm, core::Fmt(c.load, 2),
+                     core::Fmt(point.mean, 3), core::Fmt(point.p99),
+                     core::Fmt(point.max)};
+        out.metrics = core::json::Obj({{"mean_rqd", point.mean},
+                                       {"p99_rqd", point.p99},
+                                       {"max_rqd", point.max}});
+        return out;
+      },
+      std::cout,
+      "(stale-JSQ is worst even on friendly traffic — all inputs "
+      "herd onto the same stale minimum; oblivious round-robin "
+      "spreading is a strong average-case baseline; CPA stays at "
+      "0.  All average-case numbers sit far below the adversarial "
+      "worst cases of E1-E4.)");
 
   // Distributional view at the heaviest load: the CCDF of the per-cell
   // relative delay (fraction of cells with relative delay > d).
-  core::Table ccdf(
-      "Relative-delay CCDF at load 0.99 (N = 16, r' = 2, S = 2)",
-      {"algorithm", "P(>0)", "P(>1)", "P(>2)", "P(>4)", "P(>8)"});
-  for (const std::string& algorithm :
-       {std::string("rr-per-output"), std::string("stale-jsq-u8"),
-        std::string("ftd-h2"), std::string("cpa")}) {
-    const auto cfg = bench::MakeConfig(n, 2, 2.0, algorithm);
-    pps::BufferlessPps sw(cfg, demux::MakeFactory(algorithm));
-    traffic::BernoulliSource src(n, 0.99, traffic::Pattern::kUniform,
-                                 sim::Rng(1234));
-    core::RunOptions opt;
-    opt.max_slots = 60'000;
-    opt.source_cutoff = 20'000;
-    opt.keep_timeline = true;
-    const auto result = core::RunRelative(sw, src, opt);
-    sim::Histogram hist(1 << 10);
-    for (const auto& c : result.timeline) {
-      hist.Add(std::max<sim::Slot>(0, c.relative_delay));
-    }
-    std::vector<std::string> row = {algorithm};
-    for (const int d : {0, 1, 2, 4, 8}) {
-      row.push_back(core::Fmt(hist.Ccdf(d), 4));
-    }
-    ccdf.AddRow(row);
+  const std::vector<std::string> ccdf_algorithms = {
+      "rr-per-output", "stale-jsq-u8", "ftd-h2", "cpa"};
+  core::Sweep ccdf(
+      {.bench = "bench_load_delay_ccdf",
+       .title = "Relative-delay CCDF at load 0.99 (N = 16, r' = 2, S = 2)",
+       .columns = {"algorithm", "P(>0)", "P(>1)", "P(>2)", "P(>4)",
+                   "P(>8)"}});
+  for (const std::string& algorithm : ccdf_algorithms) {
+    ccdf.Add(core::json::Obj(
+        {{"algorithm", algorithm}, {"load", 0.99}, {"N", n}}));
   }
-  ccdf.Print(std::cout);
-  std::cout << "(negative per-cell relative delays — cells overtaking their "
-               "shadow departure — are clamped to 0 for the CCDF)\n\n";
+  ccdf.Run(
+      [&](const core::SweepPoint& pt) {
+        const std::string& algorithm = ccdf_algorithms[pt.index];
+        const auto cfg = bench::MakeConfig(n, 2, 2.0, algorithm);
+        pps::BufferlessPps sw(cfg, demux::MakeFactory(algorithm));
+        traffic::BernoulliSource src(n, 0.99, traffic::Pattern::kUniform,
+                                     sim::Rng(1234));
+        core::RunOptions opt;
+        opt.max_slots = 60'000;
+        opt.source_cutoff = 20'000;
+        opt.keep_timeline = true;
+        const auto result = core::RunRelative(sw, src, opt);
+        sim::Histogram hist(1 << 10);
+        for (const auto& c : result.timeline) {
+          hist.Add(std::max<sim::Slot>(0, c.relative_delay));
+        }
+        core::PointResult out;
+        out.cells = {algorithm};
+        out.metrics = core::json::Value::MakeObject();
+        for (const int d : {0, 1, 2, 4, 8}) {
+          out.cells.push_back(core::Fmt(hist.Ccdf(d), 4));
+          out.metrics.Set("ccdf_gt" + std::to_string(d), hist.Ccdf(d));
+        }
+        return out;
+      },
+      std::cout,
+      "(negative per-cell relative delays — cells overtaking their "
+      "shadow departure — are clamped to 0 for the CCDF)");
 }
 
 void BM_LoadDelay(benchmark::State& state) {

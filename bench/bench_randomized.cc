@@ -37,64 +37,100 @@ void RunExperiment() {
   const int rate_ratio = 2;
 
   {
-    core::Table table(
-        "Randomized demux, white-box adversary (seed known): Theorem 6 "
-        "still bites",
-        {"seed", "aligned d", "bound", "RQD", "RDJ"});
-    for (const int seed : {1, 7, 1234}) {
-      const std::string algorithm = "random-s" + std::to_string(seed);
-      const auto cfg = bench::MakeConfig(n, rate_ratio, 2.0, algorithm);
-      // Probing a clone consumes the same RNG draws as the real run, so
-      // alignment works exactly as for deterministic algorithms.
-      const auto plan = core::BuildAlignmentTraffic(
-          cfg, demux::MakeFactory(algorithm));
-      const auto result = bench::ReplayTrace(cfg, algorithm, plan.trace);
-      table.AddRow({core::Fmt(seed), core::Fmt(plan.d()),
-                    core::Fmt(core::bounds::Theorem6(rate_ratio, plan.d()), 0),
-                    core::Fmt(result.max_relative_delay),
-                    core::Fmt(result.max_relative_jitter)});
+    const std::vector<int> seeds = {1, 7, 1234};
+    core::Sweep sweep(
+        {.bench = "bench_randomized",
+         .title = "Randomized demux, white-box adversary (seed known): "
+                  "Theorem 6 still bites",
+         .columns = {"seed", "aligned d", "bound", "RQD", "RDJ"}});
+    for (const int seed : seeds) {
+      sweep.Add(core::json::Obj({{"seed", seed}, {"N", n}}));
     }
-    table.Print(std::cout);
-    std::cout << "(adaptive adversaries defeat randomization: the seed is "
-                 "part of the demultiplexor state the proofs quantify "
-                 "over)\n\n";
+    sweep.Run(
+        [&](const core::SweepPoint& pt) {
+          const int seed = seeds[pt.index];
+          const std::string algorithm = "random-s" + std::to_string(seed);
+          const auto cfg = bench::MakeConfig(n, rate_ratio, 2.0, algorithm);
+          // Probing a clone consumes the same RNG draws as the real run, so
+          // alignment works exactly as for deterministic algorithms.
+          const auto plan = core::BuildAlignmentTraffic(
+              cfg, demux::MakeFactory(algorithm));
+          const auto result = bench::ReplayTrace(cfg, algorithm, plan.trace);
+          const double bound = core::bounds::Theorem6(rate_ratio, plan.d());
+          core::PointResult out;
+          out.cells = {core::Fmt(seed), core::Fmt(plan.d()),
+                       core::Fmt(bound, 0),
+                       core::Fmt(result.max_relative_delay),
+                       core::Fmt(result.max_relative_jitter)};
+          out.metrics = bench::RelativeMetrics(bound, result);
+          out.metrics.Set("aligned_d", plan.d());
+          return out;
+        },
+        std::cout,
+        "(adaptive adversaries defeat randomization: the seed is "
+        "part of the demultiplexor state the proofs quantify "
+        "over)");
   }
 
   {
     const auto trace = ObliviousBurst(n);
-    sim::OnlineStats rqd;
-    sim::QuantileSketch sketch;
-    for (int seed = 1; seed <= 100; ++seed) {
-      const std::string algorithm = "random-s" + std::to_string(seed);
-      const auto cfg = bench::MakeConfig(n, rate_ratio, 2.0, algorithm);
-      const auto result = bench::ReplayTrace(cfg, algorithm, trace);
-      rqd.Add(result.max_relative_delay);
-      sketch.Add(result.max_relative_delay);
-    }
-    // Deterministic baseline on the same oblivious burst.
-    const auto cfg = bench::MakeConfig(n, rate_ratio, 2.0, "rr-per-output");
-    const auto det = bench::ReplayTrace(cfg, "rr-per-output", trace);
-
-    core::Table table(
-        "Randomized demux, oblivious N-cell burst (100 seeds) vs "
-        "deterministic round-robin",
-        {"algorithm", "N", "K", "min RQD", "mean RQD", "p95 RQD", "max RQD",
-         "det-bound"});
-    table.AddRow({"random", core::Fmt(n), core::Fmt(cfg.num_planes),
-                  core::Fmt(rqd.min()), core::Fmt(rqd.mean(), 2),
-                  core::Fmt(sketch.Quantile(0.95)), core::Fmt(rqd.max()),
-                  "-"});
-    table.AddRow({"rr-per-output", core::Fmt(n), core::Fmt(cfg.num_planes),
-                  core::Fmt(det.max_relative_delay),
-                  core::Fmt(static_cast<double>(det.max_relative_delay), 0),
-                  core::Fmt(det.max_relative_delay),
-                  core::Fmt(det.max_relative_delay),
-                  core::Fmt(core::bounds::Corollary7(rate_ratio, n), 0)});
-    table.Print(std::cout);
-    std::cout << "(against oblivious traffic the randomized concentration "
-                 "is ~N/K + O(sqrt(N log K)) per plane, so the RQD "
-                 "distribution sits far below the deterministic worst case "
-                 "— quantifying the paper's open question)\n\n";
+    core::Sweep sweep(
+        {.bench = "bench_randomized_oblivious",
+         .title = "Randomized demux, oblivious N-cell burst (100 seeds) vs "
+                  "deterministic round-robin",
+         .columns = {"algorithm", "N", "K", "min RQD", "mean RQD", "p95 RQD",
+                     "max RQD", "det-bound"}});
+    sweep.Add(core::json::Obj({{"algorithm", "random"}, {"N", n}}));
+    sweep.Add(core::json::Obj({{"algorithm", "rr-per-output"}, {"N", n}}));
+    sweep.Run(
+        [&](const core::SweepPoint& pt) {
+          const auto cfg =
+              bench::MakeConfig(n, rate_ratio, 2.0, "rr-per-output");
+          core::PointResult out;
+          if (pt.index == 0) {
+            sim::OnlineStats rqd;
+            sim::QuantileSketch sketch;
+            for (int seed = 1; seed <= 100; ++seed) {
+              const std::string algorithm =
+                  "random-s" + std::to_string(seed);
+              const auto rcfg =
+                  bench::MakeConfig(n, rate_ratio, 2.0, algorithm);
+              const auto result = bench::ReplayTrace(rcfg, algorithm, trace);
+              rqd.Add(result.max_relative_delay);
+              sketch.Add(result.max_relative_delay);
+            }
+            out.cells = {"random", core::Fmt(n), core::Fmt(cfg.num_planes),
+                         core::Fmt(rqd.min()), core::Fmt(rqd.mean(), 2),
+                         core::Fmt(sketch.Quantile(0.95)),
+                         core::Fmt(rqd.max()), "-"};
+            out.metrics = core::json::Obj(
+                {{"min_rqd", rqd.min()},
+                 {"mean_rqd", rqd.mean()},
+                 {"p95_rqd", sketch.Quantile(0.95)},
+                 {"max_rqd", rqd.max()},
+                 {"seeds", 100}});
+          } else {
+            // Deterministic baseline on the same oblivious burst.
+            const auto det =
+                bench::ReplayTrace(cfg, "rr-per-output", trace);
+            const double bound = core::bounds::Corollary7(rate_ratio, n);
+            out.cells = {"rr-per-output", core::Fmt(n),
+                         core::Fmt(cfg.num_planes),
+                         core::Fmt(det.max_relative_delay),
+                         core::Fmt(
+                             static_cast<double>(det.max_relative_delay), 0),
+                         core::Fmt(det.max_relative_delay),
+                         core::Fmt(det.max_relative_delay),
+                         core::Fmt(bound, 0)};
+            out.metrics = bench::RelativeMetrics(bound, det);
+          }
+          return out;
+        },
+        std::cout,
+        "(against oblivious traffic the randomized concentration "
+        "is ~N/K + O(sqrt(N log K)) per plane, so the RQD "
+        "distribution sits far below the deterministic worst case "
+        "— quantifying the paper's open question)");
   }
 }
 

@@ -4,12 +4,15 @@
 //       linear in N for every distributed class, flat only for CPA;
 //   (b) worst-case RQD vs S at fixed N — speedup buys delay back only
 //       linearly (N/S), while its hardware cost is K = S * r' planes.
+//
+// Both series are long-format sweeps (one grid point per row), so the
+// sweep runner parallelizes the N = 1024 simulations and the JSON output
+// carries one {params, metrics} record per point.
 
 #include "bench_common.h"
 
 #include "core/adversary_alignment.h"
 #include "core/adversary_bursts.h"
-#include "core/parallel.h"
 #include "sim/rng.h"
 #include "traffic/random_sources.h"
 
@@ -42,9 +45,6 @@ sim::Slot AdversarialRqd(const std::string& algorithm, sim::PortId n,
 void RunExperiment() {
   const int rate_ratio = 2;
   {
-    core::Table table(
-        "Scaling in N (S = 2, r' = 2): worst-case relative queuing delay",
-        {"algorithm", "info model", "N=16", "N=64", "N=256", "N=1024"});
     struct Row {
       std::string algorithm;
       std::string model;
@@ -55,43 +55,68 @@ void RunExperiment() {
         Row{"stale-jsq-u4", "4-RT"},
         Row{"cpa", "centralized"}};
     const std::vector<sim::PortId> sizes = {16, 64, 256, 1024};
-    // Grid points are independent simulations: sweep them in parallel.
-    const auto grid = core::ParallelMap<sim::Slot>(
-        rows.size() * sizes.size(), [&](std::size_t idx) {
-          const Row& row = rows[idx / sizes.size()];
-          const sim::PortId n = sizes[idx % sizes.size()];
-          return AdversarialRqd(row.algorithm, n, rate_ratio, 2.0);
-        });
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-      std::vector<std::string> cells = {rows[r].algorithm, rows[r].model};
-      for (std::size_t s = 0; s < sizes.size(); ++s) {
-        cells.push_back(core::Fmt(grid[r * sizes.size() + s]));
+
+    core::Sweep sweep(
+        {.bench = "bench_scaling",
+         .title = "Scaling in N (S = 2, r' = 2): worst-case relative "
+                  "queuing delay",
+         .columns = {"algorithm", "info model", "N", "RQD"}});
+    for (const Row& row : rows) {
+      for (const sim::PortId n : sizes) {
+        sweep.Add(core::json::Obj({{"algorithm", row.algorithm},
+                                   {"info_model", row.model},
+                                   {"N", n}}));
       }
-      table.AddRow(cells);
     }
-    table.Print(std::cout);
-    std::cout << "(distributed classes grow linearly in N; only the "
-               "impractical centralized CPA stays at 0 — at N = 1024, r'=2 "
-               "the fully-distributed worst case exceeds a thousand cell "
-               "times)\n\n";
+    sweep.Run(
+        [&](const core::SweepPoint& pt) {
+          const Row& row = rows[pt.index / sizes.size()];
+          const sim::PortId n = sizes[pt.index % sizes.size()];
+          const sim::Slot rqd =
+              AdversarialRqd(row.algorithm, n, rate_ratio, 2.0);
+          core::PointResult out;
+          out.cells = {row.algorithm, row.model, core::Fmt(n),
+                       core::Fmt(rqd)};
+          out.metrics = core::json::Obj({{"rqd", rqd}});
+          return out;
+        },
+        std::cout,
+        "(distributed classes grow linearly in N; only the "
+        "impractical centralized CPA stays at 0 — at N = 1024, r'=2 "
+        "the fully-distributed worst case exceeds a thousand cell "
+        "times)");
   }
   {
-    core::Table table(
-        "Scaling in S (N = 64, r' = 2): worst-case relative queuing delay",
-        {"algorithm", "S=1", "S=2", "S=4", "S=8"});
-    for (const std::string& algorithm :
-         {std::string("rr-per-output"), std::string("static-partition-d2")}) {
-      std::vector<std::string> cells = {algorithm};
-      for (const double speedup : {1.0, 2.0, 4.0, 8.0}) {
-        cells.push_back(
-            core::Fmt(AdversarialRqd(algorithm, 64, rate_ratio, speedup)));
+    const std::vector<std::string> algorithms = {"rr-per-output",
+                                                 "static-partition-d2"};
+    const std::vector<double> speedups = {1.0, 2.0, 4.0, 8.0};
+    core::Sweep sweep(
+        {.bench = "bench_scaling_speedup",
+         .title = "Scaling in S (N = 64, r' = 2): worst-case relative "
+                  "queuing delay",
+         .columns = {"algorithm", "S", "RQD"}});
+    for (const std::string& algorithm : algorithms) {
+      for (const double speedup : speedups) {
+        sweep.Add(core::json::Obj(
+            {{"algorithm", algorithm}, {"speedup", speedup}, {"N", 64}}));
       }
-      table.AddRow(cells);
     }
-    table.Print(std::cout);
-    std::cout << "(unpartitioned round-robin cannot be saved by speedup — "
-               "the adversary aligns all N inputs regardless of K; the "
-               "partitioned bound follows N/S as Theorem 8 predicts)\n\n";
+    sweep.Run(
+        [&](const core::SweepPoint& pt) {
+          const std::string& algorithm =
+              algorithms[pt.index / speedups.size()];
+          const double speedup = speedups[pt.index % speedups.size()];
+          const sim::Slot rqd =
+              AdversarialRqd(algorithm, 64, rate_ratio, speedup);
+          core::PointResult out;
+          out.cells = {algorithm, core::Fmt(speedup, 1), core::Fmt(rqd)};
+          out.metrics = core::json::Obj({{"rqd", rqd}});
+          return out;
+        },
+        std::cout,
+        "(unpartitioned round-robin cannot be saved by speedup — "
+        "the adversary aligns all N inputs regardless of K; the "
+        "partitioned bound follows N/S as Theorem 8 predicts)");
   }
 }
 

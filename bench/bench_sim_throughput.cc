@@ -2,19 +2,21 @@
 // PPS + shadow harness, per algorithm and switch size.  This is the
 // engineering table that justifies the "fast execution" claim: every
 // lower-bound experiment in this repo runs in milliseconds.
+//
+// The sweep records the deterministic run shape (cells, slots, maxRQD) per
+// point — the per-point wall_ms in bench_results/bench_sim_throughput.json
+// is the throughput trajectory; google-benchmark then reports calibrated
+// cells/s rates.
 
-#include <benchmark/benchmark.h>
+#include "bench_common.h"
 
-#include "core/harness.h"
-#include "demux/registry.h"
 #include "sim/rng.h"
-#include "switch/pps.h"
 #include "traffic/random_sources.h"
 
 namespace {
 
-void RunThroughput(benchmark::State& state, const std::string& algorithm) {
-  const auto n = static_cast<sim::PortId>(state.range(0));
+pps::SwitchConfig ThroughputConfig(const std::string& algorithm,
+                                   sim::PortId n) {
   pps::SwitchConfig config;
   config.num_ports = n;
   config.num_planes = 2 * 2;  // r' = 2, S = 2
@@ -24,16 +26,65 @@ void RunThroughput(benchmark::State& state, const std::string& algorithm) {
     config.plane_scheduling = pps::PlaneScheduling::kBooked;
   }
   config.snapshot_history = std::max(1, needs.snapshot_history);
+  return config;
+}
 
+core::RunResult RunOnce(const std::string& algorithm, sim::PortId n) {
+  pps::BufferlessPps sw(ThroughputConfig(algorithm, n),
+                        demux::MakeFactory(algorithm));
+  traffic::BernoulliSource source(n, 0.8, traffic::Pattern::kUniform,
+                                  sim::Rng(7));
+  core::RunOptions options;
+  options.max_slots = 2'000;
+  options.drain_grace = 500;
+  return core::RunRelative(sw, source, options);
+}
+
+void RunExperiment() {
+  struct Case {
+    std::string algorithm;
+    sim::PortId n;
+  };
+  std::vector<Case> cases;
+  for (const std::string& algorithm :
+       {std::string("rr-per-output"), std::string("cpa"),
+        std::string("ftd-h2"), std::string("stale-jsq-u4")}) {
+    for (const sim::PortId n : {8, 32, 64}) {
+      cases.push_back({algorithm, n});
+    }
+  }
+
+  core::Sweep sweep(
+      {.bench = "bench_sim_throughput",
+       .title = "Harness run shape per algorithm and size (uniform load "
+                "0.8, 2000 slots; wall_ms in the JSON is the throughput "
+                "trajectory)",
+       .columns = {"algorithm", "N", "cells", "slots", "maxRQD"}});
+  for (const Case& c : cases) {
+    sweep.Add(core::json::Obj({{"algorithm", c.algorithm}, {"N", c.n}}));
+  }
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const Case& c = cases[pt.index];
+        const auto result = RunOnce(c.algorithm, c.n);
+        core::PointResult out;
+        out.cells = {c.algorithm, core::Fmt(c.n), core::Fmt(result.cells),
+                     core::Fmt(result.duration),
+                     core::Fmt(result.max_relative_delay)};
+        out.metrics = bench::RelativeMetrics(0.0, result);
+        return out;
+      },
+      std::cout,
+      "(per-point wall-clock time is recorded in "
+      "bench_results/bench_sim_throughput.json; the calibrated cells/s "
+      "rates follow from the google-benchmark section below)");
+}
+
+void RunThroughput(benchmark::State& state, const std::string& algorithm) {
+  const auto n = static_cast<sim::PortId>(state.range(0));
   std::uint64_t cells = 0;
   for (auto _ : state) {
-    pps::BufferlessPps sw(config, demux::MakeFactory(algorithm));
-    traffic::BernoulliSource source(n, 0.8, traffic::Pattern::kUniform,
-                                    sim::Rng(7));
-    core::RunOptions options;
-    options.max_slots = 2'000;
-    options.drain_grace = 500;
-    const auto result = core::RunRelative(sw, source, options);
+    const auto result = RunOnce(algorithm, n);
     cells += result.cells;
     benchmark::DoNotOptimize(result.max_relative_delay);
   }
@@ -52,11 +103,11 @@ void BM_Harness_StaleJsq(benchmark::State& state) {
   RunThroughput(state, "stale-jsq-u4");
 }
 
-}  // namespace
-
 BENCHMARK(BM_Harness_RR)->Arg(8)->Arg(32)->Arg(64);
 BENCHMARK(BM_Harness_Cpa)->Arg(8)->Arg(32)->Arg(64);
 BENCHMARK(BM_Harness_Ftd)->Arg(8)->Arg(32)->Arg(64);
 BENCHMARK(BM_Harness_StaleJsq)->Arg(8)->Arg(32);
 
-BENCHMARK_MAIN();
+}  // namespace
+
+PPS_BENCH_MAIN(RunExperiment)

@@ -18,46 +18,65 @@
 namespace {
 
 void RunExperiment() {
-  core::Table table(
-      "Theorem 10: RQD/RDJ >= (1 - u'r/R) * u'N/S, u' = min(u, R/2r)"
-      "   [bufferless u-RT; burstiness budget B = u'^2 N/K - u']",
-      {"algorithm", "N", "K", "r'", "S", "u", "u'", "B-budget", "B-used",
-       "bound", "RQD", "RDJ", "RQD/bound"});
-
   const sim::PortId n = 32;
   const int rate_ratio = 8;
   const double speedup = 2.0;
-  for (const int u : {0, 1, 2, 4, 8, 16}) {
-    const std::string algorithm = "stale-jsq-u" + std::to_string(u);
-    auto cfg = bench::MakeConfig(n, rate_ratio, speedup, algorithm);
+  const std::vector<int> staleness = {0, 1, 2, 4, 8, 16};
 
-    core::StaleBurstOptions opt;
-    opt.u = std::max(1, u);
-    const auto plan = BuildStaleBurstTraffic(cfg, opt);
-
-    traffic::BurstinessMeter meter(n);
-    for (const auto& e : plan.trace.entries()) {
-      meter.Record(e.slot, e.input, e.output);
-    }
-    const auto result = bench::ReplayTrace(cfg, algorithm, plan.trace);
-    const double bound =
-        core::bounds::Theorem10(std::max(1, u), rate_ratio, n, cfg.speedup());
-    const double budget = core::bounds::Theorem10Burstiness(
-        std::max(1, u), rate_ratio, n, cfg.num_planes);
-    table.AddRow(
-        {algorithm, core::Fmt(n), core::Fmt(cfg.num_planes),
-         core::Fmt(rate_ratio), core::Fmt(cfg.speedup(), 1), core::Fmt(u),
-         core::Fmt(core::bounds::EffectiveU(std::max(1, u), rate_ratio), 1),
-         core::Fmt(budget, 0), core::Fmt(meter.OutputBurstiness()),
-         core::Fmt(bound, 1), core::Fmt(result.max_relative_delay),
-         core::Fmt(result.max_relative_jitter),
-         core::FmtRatio(static_cast<double>(result.max_relative_delay),
-                        bound)});
+  core::Sweep sweep(
+      {.bench = "bench_theorem10",
+       .title = "Theorem 10: RQD/RDJ >= (1 - u'r/R) * u'N/S, u' = min(u, "
+                "R/2r)   [bufferless u-RT; burstiness budget B = u'^2 N/K "
+                "- u']",
+       .columns = {"algorithm", "N", "K", "r'", "S", "u", "u'", "B-budget",
+                   "B-used", "bound", "RQD", "RDJ", "RQD/bound"}});
+  for (const int u : staleness) {
+    sweep.Add(core::json::Obj(
+        {{"u", u}, {"N", n}, {"rate_ratio", rate_ratio}}));
   }
-  table.Print(std::cout);
-  std::cout << "(u = 0 is the centralized baseline: the same burst barely "
-               "hurts when information is fresh.  Corollary 11 is the u = 1 "
-               "row: bound (1 - r/R) * N/S with B = N/K - 1.)\n\n";
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const int u = staleness[pt.index];
+        const std::string algorithm = "stale-jsq-u" + std::to_string(u);
+        auto cfg = bench::MakeConfig(n, rate_ratio, speedup, algorithm);
+
+        core::StaleBurstOptions opt;
+        opt.u = std::max(1, u);
+        const auto plan = BuildStaleBurstTraffic(cfg, opt);
+
+        traffic::BurstinessMeter meter(n);
+        for (const auto& e : plan.trace.entries()) {
+          meter.Record(e.slot, e.input, e.output);
+        }
+        const auto result = bench::ReplayTrace(cfg, algorithm, plan.trace);
+        const double bound = core::bounds::Theorem10(std::max(1, u),
+                                                     rate_ratio, n,
+                                                     cfg.speedup());
+        const double budget = core::bounds::Theorem10Burstiness(
+            std::max(1, u), rate_ratio, n, cfg.num_planes);
+        core::PointResult out;
+        out.cells = {
+            algorithm, core::Fmt(n), core::Fmt(cfg.num_planes),
+            core::Fmt(rate_ratio), core::Fmt(cfg.speedup(), 1), core::Fmt(u),
+            core::Fmt(core::bounds::EffectiveU(std::max(1, u), rate_ratio),
+                      1),
+            core::Fmt(budget, 0), core::Fmt(meter.OutputBurstiness()),
+            core::Fmt(bound, 1), core::Fmt(result.max_relative_delay),
+            core::Fmt(result.max_relative_jitter),
+            core::FmtRatio(static_cast<double>(result.max_relative_delay),
+                           bound)};
+        out.metrics = bench::RelativeMetrics(bound, result);
+        out.metrics
+            .Set("effective_u",
+                 core::bounds::EffectiveU(std::max(1, u), rate_ratio))
+            .Set("burstiness_budget", budget)
+            .Set("burstiness_used", meter.OutputBurstiness());
+        return out;
+      },
+      std::cout,
+      "(u = 0 is the centralized baseline: the same burst barely "
+      "hurts when information is fresh.  Corollary 11 is the u = 1 "
+      "row: bound (1 - r/R) * N/S with B = N/K - 1.)");
 }
 
 void BM_Theorem10(benchmark::State& state) {

@@ -35,35 +35,59 @@ core::RunResult RunEmulation(sim::PortId n, int u, double load,
 }
 
 void RunExperiment() {
-  core::Table table(
-      "Theorem 12: input-buffered u-RT CPA emulation, buffers = u, S = 2 "
-      "=> RQD <= u   [upper bound — the Omega(N/S) lower bound breaks]",
-      {"N", "u", "load", "pattern", "bound(<=u)", "maxRQD", "minRQD",
-       "maxRDJ", "cells"});
-
+  struct Case {
+    sim::PortId n;
+    int u;
+    double load;
+    traffic::Pattern pattern;
+    const char* pattern_name;
+    const char* load_cell;
+  };
+  std::vector<Case> cases;
   for (const sim::PortId n : {8, 32}) {
     for (const int u : {0, 1, 4, 16, 64}) {
-      const auto result = RunEmulation(n, u, 0.85, traffic::Pattern::kUniform);
-      table.AddRow({core::Fmt(n), core::Fmt(u), "0.85", "uniform",
-                    core::Fmt(core::bounds::Theorem12Upper(u), 0),
-                    core::Fmt(result.max_relative_delay),
-                    core::Fmt(result.relative_delay.min()),
-                    core::Fmt(result.max_relative_jitter),
-                    core::Fmt(result.cells)});
+      cases.push_back({n, u, 0.85, traffic::Pattern::kUniform, "uniform",
+                       "0.85"});
     }
   }
   // Hotspot stress at one u.
-  const auto hotspot = RunEmulation(16, 8, 0.7, traffic::Pattern::kHotspot);
-  table.AddRow({core::Fmt(16), core::Fmt(8), "0.70", "hotspot",
-                core::Fmt(8.0, 0), core::Fmt(hotspot.max_relative_delay),
-                core::Fmt(hotspot.relative_delay.min()),
-                core::Fmt(hotspot.max_relative_jitter),
-                core::Fmt(hotspot.cells)});
-  table.Print(std::cout);
-  std::cout << "(maxRQD == minRQD == u: every cell leaves exactly u slots "
-               "after its shadow departure, so the relative jitter is 0 and "
-               "the bound is independent of N — contrast with Theorems "
-               "8/13)\n\n";
+  cases.push_back({16, 8, 0.7, traffic::Pattern::kHotspot, "hotspot",
+                   "0.70"});
+
+  core::Sweep sweep(
+      {.bench = "bench_theorem12",
+       .title = "Theorem 12: input-buffered u-RT CPA emulation, buffers = "
+                "u, S = 2 => RQD <= u   [upper bound — the Omega(N/S) lower "
+                "bound breaks]",
+       .columns = {"N", "u", "load", "pattern", "bound(<=u)", "maxRQD",
+                   "minRQD", "maxRDJ", "cells"}});
+  for (const Case& c : cases) {
+    sweep.Add(core::json::Obj({{"N", c.n},
+                               {"u", c.u},
+                               {"load", c.load},
+                               {"pattern", c.pattern_name}}));
+  }
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const Case& c = cases[pt.index];
+        const auto result = RunEmulation(c.n, c.u, c.load, c.pattern);
+        const double bound = core::bounds::Theorem12Upper(c.u);
+        core::PointResult out;
+        out.cells = {core::Fmt(c.n), core::Fmt(c.u), c.load_cell,
+                     c.pattern_name, core::Fmt(bound, 0),
+                     core::Fmt(result.max_relative_delay),
+                     core::Fmt(result.relative_delay.min()),
+                     core::Fmt(result.max_relative_jitter),
+                     core::Fmt(result.cells)};
+        out.metrics = bench::RelativeMetrics(bound, result);
+        out.metrics.Set("min_rqd", result.relative_delay.min());
+        return out;
+      },
+      std::cout,
+      "(maxRQD == minRQD == u: every cell leaves exactly u slots "
+      "after its shadow departure, so the relative jitter is 0 and "
+      "the bound is independent of N — contrast with Theorems "
+      "8/13)");
 }
 
 void BM_Theorem12(benchmark::State& state) {

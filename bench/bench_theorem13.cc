@@ -9,7 +9,7 @@
 // algorithm shares with its bufferless counterpart) concentrates one cell
 // per input on a single plane, and the buffered cells launch immediately
 // (all lines are free), reproducing the bufferless concentration exactly.
-// The table sweeps the buffer size to show the measured delay does not
+// The sweep varies the buffer size to show the measured delay does not
 // move — contrast with Theorem 12, where a u-RT algorithm converts the
 // same buffers into a delay of u.
 
@@ -22,15 +22,10 @@
 namespace {
 
 void RunExperiment() {
-  core::Table table(
-      "Theorem 13: RQD/RDJ >= (1 - r/R) * N/S for any buffer size   "
-      "[input-buffered, fully-distributed; B = 0]",
-      {"algorithm", "N", "r'", "S", "buffer", "bound", "RQD", "RDJ",
-       "RQD/bound"});
-
   const sim::PortId n = 32;
   const int rate_ratio = 2;
   const double speedup = 2.0;
+  const std::vector<int> buffers = {1, 8, 64, 512};
 
   // The buffered greedy RR shares its per-output pointer dynamics with the
   // bufferless rr-per-output, so the alignment plan transfers verbatim.
@@ -39,28 +34,46 @@ void RunExperiment() {
   const auto plan = core::BuildAlignmentTraffic(
       probe_cfg, demux::MakeFactory("rr-per-output"));
 
-  for (const int buffer : {1, 8, 64, 512}) {
-    auto cfg = probe_cfg;
-    cfg.input_buffer_size = buffer;
-    pps::InputBufferedPps sw(cfg, demux::MakeBufferedFactory("buffered-rr"));
-    traffic::TraceTraffic src(plan.trace);
-    core::RunOptions opt;
-    opt.max_slots = 4'000'000;
-    const auto result = core::RunRelative(sw, src, opt);
-    const double bound =
-        core::bounds::Theorem13(rate_ratio, n, cfg.speedup());
-    table.AddRow(
-        {"buffered-rr", core::Fmt(n), core::Fmt(rate_ratio),
-         core::Fmt(cfg.speedup(), 1), core::Fmt(buffer), core::Fmt(bound, 1),
-         core::Fmt(result.max_relative_delay),
-         core::Fmt(result.max_relative_jitter),
-         core::FmtRatio(static_cast<double>(result.max_relative_delay),
-                        bound)});
+  core::Sweep sweep(
+      {.bench = "bench_theorem13",
+       .title = "Theorem 13: RQD/RDJ >= (1 - r/R) * N/S for any buffer size "
+                "  [input-buffered, fully-distributed; B = 0]",
+       .columns = {"algorithm", "N", "r'", "S", "buffer", "bound", "RQD",
+                   "RDJ", "RQD/bound"}});
+  for (const int buffer : buffers) {
+    sweep.Add(core::json::Obj({{"algorithm", "buffered-rr"},
+                               {"N", n},
+                               {"buffer", buffer}}));
   }
-  table.Print(std::cout);
-  std::cout << "(the measured delay is identical for every buffer size: "
-               "local information cannot use the buffer; only the u-RT "
-               "algorithm of Theorem 12 can)\n\n";
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        auto cfg = probe_cfg;
+        cfg.input_buffer_size = buffers[pt.index];
+        pps::InputBufferedPps sw(cfg,
+                                 demux::MakeBufferedFactory("buffered-rr"));
+        traffic::TraceTraffic src(plan.trace);
+        core::RunOptions opt;
+        opt.max_slots = 4'000'000;
+        const auto result = core::RunRelative(sw, src, opt);
+        const double bound =
+            core::bounds::Theorem13(rate_ratio, n, cfg.speedup());
+        core::PointResult out;
+        out.cells = {"buffered-rr", core::Fmt(n), core::Fmt(rate_ratio),
+                     core::Fmt(cfg.speedup(), 1),
+                     core::Fmt(cfg.input_buffer_size), core::Fmt(bound, 1),
+                     core::Fmt(result.max_relative_delay),
+                     core::Fmt(result.max_relative_jitter),
+                     core::FmtRatio(
+                         static_cast<double>(result.max_relative_delay),
+                         bound)};
+        out.metrics = bench::RelativeMetrics(bound, result);
+        out.metrics.Set("buffer", cfg.input_buffer_size);
+        return out;
+      },
+      std::cout,
+      "(the measured delay is identical for every buffer size: "
+      "local information cannot use the buffer; only the u-RT "
+      "algorithm of Theorem 12 can)");
 }
 
 void BM_Theorem13(benchmark::State& state) {

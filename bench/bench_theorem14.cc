@@ -14,71 +14,101 @@
 namespace {
 
 void RunExperiment() {
-  core::Table table(
-      "Theorem 14: extended FTD, zero incremental RQD in congested periods",
-      {"algorithm", "N", "K", "r'", "S", "flood", "sustain",
-       "output busy %", "RQD(warmup)", "RQD(congested)", "stalls"});
-
   const sim::PortId n = 16;
   const int rate_ratio = 2;
-  for (const int h : {1, 2, 4}) {
-    const std::string algorithm = "ftd-h" + std::to_string(h);
-    // Extended FTD requires S >= h; give all rows the same fabric S = 4.
-    const auto cfg = bench::MakeConfig(n, rate_ratio, 4.0, algorithm);
-    core::CongestionOptions opt;
-    opt.flood_slots = 8;
-    opt.sustain_slots = 512;
-    const auto plan = BuildCongestionTraffic(cfg, opt);
-    const auto result =
-        bench::ReplayTrace(cfg, algorithm, plan.trace, /*keep_timeline=*/true);
-    // Incremental delay of cells arriving once congestion is established
-    // (skip 4 blocks of warm-up inside the congested window).
-    const sim::Slot warm = result.MaxRelativeDelayIn(0, plan.flood_end);
-    const sim::Slot congested = result.MaxRelativeDelayIn(
-        plan.flood_end + 4 * h * rate_ratio * cfg.num_planes,
-        plan.sustain_end);
-    // Certify the congestion invariant operationally: fraction of
-    // sustained slots in which the hot output emitted a cell (1.0 = it
-    // never idled, so no relative delay can accrue).
-    const double congested_frac = core::MeasureCongestedFraction(
-        cfg, demux::MakeFactory(algorithm), plan);
-    table.AddRow({algorithm, core::Fmt(n), core::Fmt(cfg.num_planes),
-                  core::Fmt(rate_ratio), core::Fmt(cfg.speedup(), 1),
-                  core::Fmt(opt.flood_slots), core::Fmt(opt.sustain_slots),
-                  core::Fmt(100.0 * congested_frac, 1), core::Fmt(warm),
-                  core::Fmt(congested),
-                  core::Fmt(result.resequencing_stalls)});
-  }
-  table.Print(std::cout);
-  std::cout << "(cells arriving during sustained congestion pay at most the "
-               "constant carried over from the flood — the per-cell "
-               "*incremental* relative delay is ~0 because every plane "
-               "queue stays backlogged and the output line never idles)\n\n";
+  const std::vector<int> blocks = {1, 2, 4};
 
-  core::Table prop15(
-      "Proposition 15: congestion traffic is not (R, B) leaky-bucket — "
-      "burstiness grows with the flood duration",
-      {"flood slots", "measured B", "W*(N-1)"});
-  for (const sim::Slot flood : {4, 8, 16, 32, 64}) {
-    pps::SwitchConfig cfg;
-    cfg.num_ports = n;
-    cfg.num_planes = 8;
-    cfg.rate_ratio = rate_ratio;
-    core::CongestionOptions opt;
-    opt.flood_slots = flood;
-    opt.sustain_slots = 32;
-    const auto plan = BuildCongestionTraffic(cfg, opt);
-    traffic::BurstinessMeter meter(n);
-    for (const auto& e : plan.trace.entries()) {
-      meter.Record(e.slot, e.input, e.output);
-    }
-    prop15.AddRow({core::Fmt(flood), core::Fmt(meter.OutputBurstiness()),
-                   core::Fmt(flood * (n - 1))});
+  core::Sweep sweep(
+      {.bench = "bench_theorem14",
+       .title = "Theorem 14: extended FTD, zero incremental RQD in "
+                "congested periods",
+       .columns = {"algorithm", "N", "K", "r'", "S", "flood", "sustain",
+                   "output busy %", "RQD(warmup)", "RQD(congested)",
+                   "stalls"}});
+  for (const int h : blocks) {
+    sweep.Add(core::json::Obj({{"h", h}, {"N", n}}));
   }
-  prop15.Print(std::cout);
-  std::cout << "(no fixed B covers all flood durations: the lower bounds of "
-               "Theorems 6-13 and the zero-delay congested regime do not "
-               "contradict each other)\n\n";
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const int h = blocks[pt.index];
+        const std::string algorithm = "ftd-h" + std::to_string(h);
+        // Extended FTD requires S >= h; give all rows the same fabric S = 4.
+        const auto cfg = bench::MakeConfig(n, rate_ratio, 4.0, algorithm);
+        core::CongestionOptions opt;
+        opt.flood_slots = 8;
+        opt.sustain_slots = 512;
+        const auto plan = BuildCongestionTraffic(cfg, opt);
+        const auto result = bench::ReplayTrace(cfg, algorithm, plan.trace,
+                                               /*keep_timeline=*/true);
+        // Incremental delay of cells arriving once congestion is established
+        // (skip 4 blocks of warm-up inside the congested window).
+        const sim::Slot warm = result.MaxRelativeDelayIn(0, plan.flood_end);
+        const sim::Slot congested = result.MaxRelativeDelayIn(
+            plan.flood_end + 4 * h * rate_ratio * cfg.num_planes,
+            plan.sustain_end);
+        // Certify the congestion invariant operationally: fraction of
+        // sustained slots in which the hot output emitted a cell (1.0 = it
+        // never idled, so no relative delay can accrue).
+        const double congested_frac = core::MeasureCongestedFraction(
+            cfg, demux::MakeFactory(algorithm), plan);
+        core::PointResult out;
+        out.cells = {algorithm, core::Fmt(n), core::Fmt(cfg.num_planes),
+                     core::Fmt(rate_ratio), core::Fmt(cfg.speedup(), 1),
+                     core::Fmt(opt.flood_slots), core::Fmt(opt.sustain_slots),
+                     core::Fmt(100.0 * congested_frac, 1), core::Fmt(warm),
+                     core::Fmt(congested),
+                     core::Fmt(result.resequencing_stalls)};
+        out.metrics = core::json::Obj(
+            {{"warmup_rqd", warm},
+             {"congested_rqd", congested},
+             {"congested_fraction", congested_frac},
+             {"stalls", result.resequencing_stalls},
+             {"cells", result.cells},
+             {"slots", result.duration}});
+        return out;
+      },
+      std::cout,
+      "(cells arriving during sustained congestion pay at most the "
+      "constant carried over from the flood — the per-cell "
+      "*incremental* relative delay is ~0 because every plane "
+      "queue stays backlogged and the output line never idles)");
+
+  const std::vector<sim::Slot> floods = {4, 8, 16, 32, 64};
+  core::Sweep prop15(
+      {.bench = "bench_theorem14_prop15",
+       .title = "Proposition 15: congestion traffic is not (R, B) "
+                "leaky-bucket — burstiness grows with the flood duration",
+       .columns = {"flood slots", "measured B", "W*(N-1)"}});
+  for (const sim::Slot flood : floods) {
+    prop15.Add(core::json::Obj({{"flood_slots", flood}, {"N", n}}));
+  }
+  prop15.Run(
+      [&](const core::SweepPoint& pt) {
+        const sim::Slot flood = floods[pt.index];
+        pps::SwitchConfig cfg;
+        cfg.num_ports = n;
+        cfg.num_planes = 8;
+        cfg.rate_ratio = rate_ratio;
+        core::CongestionOptions opt;
+        opt.flood_slots = flood;
+        opt.sustain_slots = 32;
+        const auto plan = BuildCongestionTraffic(cfg, opt);
+        traffic::BurstinessMeter meter(n);
+        for (const auto& e : plan.trace.entries()) {
+          meter.Record(e.slot, e.input, e.output);
+        }
+        core::PointResult out;
+        out.cells = {core::Fmt(flood), core::Fmt(meter.OutputBurstiness()),
+                     core::Fmt(flood * (n - 1))};
+        out.metrics = core::json::Obj(
+            {{"measured_burstiness", meter.OutputBurstiness()},
+             {"linear_reference", flood * (n - 1)}});
+        return out;
+      },
+      std::cout,
+      "(no fixed B covers all flood durations: the lower bounds of "
+      "Theorems 6-13 and the zero-delay congested regime do not "
+      "contradict each other)");
 }
 
 void BM_Theorem14(benchmark::State& state) {

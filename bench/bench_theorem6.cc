@@ -2,9 +2,9 @@
 // demultiplexing algorithm has relative queuing delay and relative delay
 // jitter of (R/r - 1) * d time slots under burst-free leaky-bucket traffic.
 //
-// The table sweeps the partition width d (static-partition algorithms) and
+// The sweep varies the partition width d (static-partition algorithms) and
 // includes the unpartitioned algorithms (d = N) for reference.  For each
-// row the Figure-2 alignment traffic is constructed, verified burst-free,
+// point the Figure-2 alignment traffic is constructed, verified burst-free,
 // and replayed; "measured" is the worst relative queuing delay / jitter
 // over all cells/flows.  Measured values sit within the r'-1 transmission-
 // tail convention slack of the formula (see core/bounds.h).
@@ -17,12 +17,6 @@
 namespace {
 
 void RunExperiment() {
-  core::Table table(
-      "Theorem 6: RQD/RDJ >= (R/r - 1) * d   [bufferless, fully-distributed,"
-      " d-partitioned; leaky-bucket traffic with B = 0]",
-      {"algorithm", "N", "K", "r'", "S", "d", "bound", "RQD", "RDJ", "B",
-       "RQD/bound"});
-
   const sim::PortId n = 16;
   struct Case {
     std::string algorithm;
@@ -34,30 +28,51 @@ void RunExperiment() {
       {"static-partition-d8", 4}, {"rr-per-output", 2},
       {"rr", 2},                  {"hash", 2},
   };
-  for (const Case& c : cases) {
-    const auto cfg = bench::MakeConfig(n, c.rate_ratio, 4.0, c.algorithm);
-    const auto plan =
-        core::BuildAlignmentTraffic(cfg, demux::MakeFactory(c.algorithm));
 
-    traffic::BurstinessMeter meter(n);
-    for (const auto& e : plan.trace.entries()) {
-      meter.Record(e.slot, e.input, e.output);
-    }
-    const auto result = bench::ReplayTrace(cfg, c.algorithm, plan.trace);
-    const double bound = core::bounds::Theorem6(c.rate_ratio, plan.d());
-    table.AddRow({c.algorithm, core::Fmt(n), core::Fmt(cfg.num_planes),
-                  core::Fmt(c.rate_ratio), core::Fmt(cfg.speedup(), 1),
-                  core::Fmt(plan.d()), core::Fmt(bound, 0),
-                  core::Fmt(result.max_relative_delay),
-                  core::Fmt(result.max_relative_jitter),
-                  core::Fmt(meter.OutputBurstiness()),
-                  core::FmtRatio(
-                      static_cast<double>(result.max_relative_delay), bound)});
+  core::Sweep sweep(
+      {.bench = "bench_theorem6",
+       .title =
+           "Theorem 6: RQD/RDJ >= (R/r - 1) * d   [bufferless, "
+           "fully-distributed, d-partitioned; leaky-bucket traffic with "
+           "B = 0]",
+       .columns = {"algorithm", "N", "K", "r'", "S", "d", "bound", "RQD",
+                   "RDJ", "B", "RQD/bound"}});
+  for (const Case& c : cases) {
+    sweep.Add(core::json::Obj(
+        {{"algorithm", c.algorithm}, {"N", n}, {"rate_ratio", c.rate_ratio}}));
   }
-  table.Print(std::cout);
-  std::cout << "(measured sits within the r'-1 transmission-tail slack of "
-               "the formula; the burst realises c = d, window s = d, B = 0 "
-               "of Lemma 4)\n\n";
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const Case& c = cases[pt.index];
+        const auto cfg = bench::MakeConfig(n, c.rate_ratio, 4.0, c.algorithm);
+        const auto plan =
+            core::BuildAlignmentTraffic(cfg, demux::MakeFactory(c.algorithm));
+
+        traffic::BurstinessMeter meter(n);
+        for (const auto& e : plan.trace.entries()) {
+          meter.Record(e.slot, e.input, e.output);
+        }
+        const auto result = bench::ReplayTrace(cfg, c.algorithm, plan.trace);
+        const double bound = core::bounds::Theorem6(c.rate_ratio, plan.d());
+        core::PointResult out;
+        out.cells = {c.algorithm, core::Fmt(n), core::Fmt(cfg.num_planes),
+                     core::Fmt(c.rate_ratio), core::Fmt(cfg.speedup(), 1),
+                     core::Fmt(plan.d()), core::Fmt(bound, 0),
+                     core::Fmt(result.max_relative_delay),
+                     core::Fmt(result.max_relative_jitter),
+                     core::Fmt(meter.OutputBurstiness()),
+                     core::FmtRatio(
+                         static_cast<double>(result.max_relative_delay),
+                         bound)};
+        out.metrics = bench::RelativeMetrics(bound, result);
+        out.metrics.Set("d", plan.d())
+            .Set("burstiness", meter.OutputBurstiness());
+        return out;
+      },
+      std::cout,
+      "(measured sits within the r'-1 transmission-tail slack of "
+      "the formula; the burst realises c = d, window s = d, B = 0 "
+      "of Lemma 4)");
 }
 
 void BM_Theorem6_BuildAndReplay(benchmark::State& state) {

@@ -5,7 +5,7 @@
 // Mechanism: the input constraint forces every demultiplexor to use at
 // least r' planes, so some plane is shared by at least r'N/K = N/S
 // demultiplexors (pigeonhole), and the alignment adversary concentrates
-// exactly those.  The table sweeps the speedup S at fixed N and the port
+// exactly those.  The sweep varies the speedup S at fixed N and the port
 // count N at fixed S, using the minimal partition d = r' (the
 // best case for the switch).
 
@@ -15,46 +15,64 @@
 
 namespace {
 
-void AddRows(core::Table& table, sim::PortId n, int rate_ratio,
-             double speedup) {
-  const std::string algorithm =
-      "static-partition-d" + std::to_string(rate_ratio);
-  const auto cfg = bench::MakeConfig(n, rate_ratio, speedup, algorithm);
-  const auto plan =
-      core::BuildAlignmentTraffic(cfg, demux::MakeFactory(algorithm));
-  const auto result = bench::ReplayTrace(cfg, algorithm, plan.trace);
-  const double bound =
-      core::bounds::Theorem8(rate_ratio, n, cfg.speedup());
-  table.AddRow({algorithm, core::Fmt(n), core::Fmt(cfg.num_planes),
-                core::Fmt(rate_ratio), core::Fmt(cfg.speedup(), 2),
-                core::Fmt(plan.d()), core::Fmt(bound, 1),
-                core::Fmt(result.max_relative_delay),
-                core::Fmt(result.max_relative_jitter),
-                core::FmtRatio(static_cast<double>(result.max_relative_delay),
-                               bound)});
-}
-
 void RunExperiment() {
-  core::Table table(
-      "Theorem 8: RQD/RDJ >= (R/r - 1) * N/S   [bufferless, any "
-      "fully-distributed algorithm; B = 0]",
-      {"algorithm", "N", "K", "r'", "S", "plane-share", "bound", "RQD",
-       "RDJ", "RQD/bound"});
-
+  struct Case {
+    sim::PortId n;
+    int rate_ratio;
+    double speedup;
+  };
+  std::vector<Case> cases;
   // Sweep S at fixed N = 32, r' = 2.
   for (const double speedup : {1.0, 2.0, 4.0, 8.0}) {
-    AddRows(table, 32, 2, speedup);
+    cases.push_back({32, 2, speedup});
   }
   // Sweep N at fixed S = 2.
   for (const sim::PortId n : {8, 16, 64, 128}) {
-    AddRows(table, n, 2, 2.0);
+    cases.push_back({n, 2, 2.0});
   }
   // Higher rate ratio.
-  AddRows(table, 32, 4, 2.0);
-  table.Print(std::cout);
-  std::cout << "(plane-share = inputs sharing the worst plane, >= N/S by "
-               "pigeonhole; increasing S buys delay back linearly but "
-               "costs K = S*r' planes)\n\n";
+  cases.push_back({32, 4, 2.0});
+
+  core::Sweep sweep(
+      {.bench = "bench_theorem8",
+       .title = "Theorem 8: RQD/RDJ >= (R/r - 1) * N/S   [bufferless, any "
+                "fully-distributed algorithm; B = 0]",
+       .columns = {"algorithm", "N", "K", "r'", "S", "plane-share", "bound",
+                   "RQD", "RDJ", "RQD/bound"}});
+  for (const Case& c : cases) {
+    sweep.Add(core::json::Obj({{"N", c.n},
+                               {"rate_ratio", c.rate_ratio},
+                               {"speedup", c.speedup}}));
+  }
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const Case& c = cases[pt.index];
+        const std::string algorithm =
+            "static-partition-d" + std::to_string(c.rate_ratio);
+        const auto cfg =
+            bench::MakeConfig(c.n, c.rate_ratio, c.speedup, algorithm);
+        const auto plan =
+            core::BuildAlignmentTraffic(cfg, demux::MakeFactory(algorithm));
+        const auto result = bench::ReplayTrace(cfg, algorithm, plan.trace);
+        const double bound =
+            core::bounds::Theorem8(c.rate_ratio, c.n, cfg.speedup());
+        core::PointResult out;
+        out.cells = {algorithm, core::Fmt(c.n), core::Fmt(cfg.num_planes),
+                     core::Fmt(c.rate_ratio), core::Fmt(cfg.speedup(), 2),
+                     core::Fmt(plan.d()), core::Fmt(bound, 1),
+                     core::Fmt(result.max_relative_delay),
+                     core::Fmt(result.max_relative_jitter),
+                     core::FmtRatio(
+                         static_cast<double>(result.max_relative_delay),
+                         bound)};
+        out.metrics = bench::RelativeMetrics(bound, result);
+        out.metrics.Set("plane_share", plan.d());
+        return out;
+      },
+      std::cout,
+      "(plane-share = inputs sharing the worst plane, >= N/S by "
+      "pigeonhole; increasing S buys delay back linearly but "
+      "costs K = S*r' planes)");
 }
 
 void BM_Theorem8(benchmark::State& state) {

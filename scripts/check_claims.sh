@@ -32,8 +32,8 @@ check "Theorem 13 buffer-independence (buffer=512)" \
       "buffered-rr +32 +2 +2\.0 +512 +8\.0 +31 +31"
 # Theorem 14: the hot output never idles during congestion.
 check "Theorem 14 output busy 100%" "ftd-h2 .* 100\.0 +15 +0"
-# Scaling headline: N = 1024 fully-distributed worst case.
-check "Scaling N=1024 worst case 1023" "rr-per-output +fully-distributed +15 +63 +255 +1023"
+# Scaling headline: N = 1024 fully-distributed worst case (long format).
+check "Scaling N=1024 worst case 1023" "rr-per-output +fully-distributed +1024 +1023"
 # CCF exact mimicking at speedup 2.
 check "CCF exact OQ mimicking" "cioq/ccf-S2 .* 0 +0\.000 +0"
 # Fault trade: the d=2 partition loses 10% of cells.

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Full reproduction run: build, test, and regenerate every experiment
 # table.  Outputs land in test_output.txt and bench_output.txt at the repo
-# root; set PPS_CSV_DIR to also collect machine-readable CSVs.
+# root; every bench also writes structured per-point results to
+# bench_results/<bench>.json (see EXPERIMENTS.md for the schema; override
+# the directory with PPS_BENCH_RESULTS_DIR).  Set PPS_CSV_DIR to also
+# collect machine-readable CSVs of the tables, PPS_SWEEP_WORKERS to pin
+# the sweep parallelism.
 #
 #   ./scripts/run_all.sh [build-dir]
 set -euo pipefail
@@ -14,6 +18,8 @@ cmake --build "$BUILD"
 
 ctest --test-dir "$BUILD" 2>&1 | tee "$ROOT/test_output.txt"
 
+export PPS_BENCH_RESULTS_DIR="${PPS_BENCH_RESULTS_DIR:-$ROOT/bench_results}"
+
 : > "$ROOT/bench_output.txt"
 for b in "$BUILD"/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
@@ -21,4 +27,4 @@ for b in "$BUILD"/bench/*; do
   "$b" --benchmark_min_time=0.01 2>&1 | tee -a "$ROOT/bench_output.txt"
 done
 
-echo "done: test_output.txt, bench_output.txt"
+echo "done: test_output.txt, bench_output.txt, $PPS_BENCH_RESULTS_DIR/*.json"

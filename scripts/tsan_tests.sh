@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run the concurrency-sensitive tests under ThreadSanitizer.
+#
+# The sweep runner executes experiment points on a thread pool
+# (core::ParallelMap), and several statistics types advertise guarded
+# const reads (sim::QuantileSketch's lazy sort).  This script builds a
+# dedicated -fsanitize=thread tree (build-tsan/, see the "tsan" CMake
+# preset) and runs exactly the tests that exercise those parallel paths:
+#
+#   test_sweep               ParallelMap races, sweep determinism
+#   test_stats               QuantileSketch concurrent const reads
+#   test_transforms_parallel pre-existing ParallelMap users
+#
+#   ./scripts/tsan_tests.sh [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-tsan}"
+
+cmake -B "$BUILD" -G Ninja -S "$ROOT" -DPPS_TSAN=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" --target test_sweep test_stats test_transforms_parallel
+
+# halt_on_error: a single race is a failure, not a warning stream.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+status=0
+for t in test_sweep test_stats test_transforms_parallel; do
+  echo "== tsan: $t =="
+  "$BUILD/tests/$t" || status=$?
+done
+exit "$status"

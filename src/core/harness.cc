@@ -35,7 +35,25 @@ struct PendingCell {
   sim::PortId output = sim::kNoPort;
   sim::Slot pps_delay = sim::kNoSlot;
   sim::Slot shadow_delay = sim::kNoSlot;
+  // The measured switch dropped this cell at Inject: it will never depart,
+  // so the entry is reclaimed as soon as the shadow delivers its copy.
+  bool pps_dropped = false;
 };
+
+// Total cells lost inside the measured switch, summed over whichever loss
+// counters the fabric type exposes.
+template <typename PpsT>
+std::uint64_t LostInSwitch(const PpsT& pps) {
+  std::uint64_t lost = 0;
+  if constexpr (requires { pps.input_drops(); }) lost += pps.input_drops();
+  if constexpr (requires { pps.failed_plane_losses(); }) {
+    lost += pps.failed_plane_losses();
+  }
+  if constexpr (requires { pps.buffer_overflows(); }) {
+    lost += pps.buffer_overflows();
+  }
+  return lost;
+}
 
 // Shared implementation over the fabric types: they expose the same
 // Inject/Advance/Drained/config surface.
@@ -74,8 +92,18 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
   };
 
   sim::Slot exhausted_at = sim::kNoSlot;
+  std::uint64_t known_lost = LostInSwitch(pps);
   sim::Slot t = 0;
   for (; t < options.max_slots; ++t) {
+    if constexpr (requires { pps.FailPlane(options.fail_plane); }) {
+      if (options.fail_plane_at != sim::kNoSlot &&
+          t == options.fail_plane_at) {
+        pps.FailPlane(options.fail_plane);
+        // Cells stranded inside the failed plane bump the loss counter
+        // without naming ids; their entries are reconciled at run end.
+        known_lost = LostInSwitch(pps);
+      }
+    }
     const bool cut =
         options.source_cutoff > 0 && t >= options.source_cutoff;
     std::vector<sim::Arrival> arrivals =
@@ -94,12 +122,23 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
       cell.seq = seq[sim::MakeFlowId(cell.input, cell.output, n)]++;
       cell.arrival = t;
       meter.Record(t, cell.input, cell.output);
-      pending.emplace(cell.id,
-                      PendingCell{t, cell.input, cell.output,
-                                  sim::kNoSlot, sim::kNoSlot});
+      auto [slot_it, inserted] = pending.emplace(
+          cell.id, PendingCell{t, cell.input, cell.output,
+                               sim::kNoSlot, sim::kNoSlot, false});
+      SIM_CHECK(inserted, "duplicate cell id " << cell.id);
       pps.Inject(cell, t);
       shadow.Inject(cell, t);
       ++result.cells;
+      // A synchronous Inject drop (plane failures / exhausted static
+      // partition) means this cell will never depart the measured switch:
+      // mark the entry so it is reclaimed once the shadow delivers it,
+      // instead of leaking for the rest of the run.
+      const std::uint64_t lost = LostInSwitch(pps);
+      if (lost != known_lost) {
+        known_lost = lost;
+        slot_it->second.pps_dropped = true;
+        ++result.dropped;
+      }
     }
 
     for (const sim::Cell& cell : pps.Advance(t)) {
@@ -115,11 +154,19 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
       oq_rec.Record(cell);
       auto it = pending.find(cell.id);
       SIM_CHECK(it != pending.end(), "unknown shadow departure " << cell);
+      if (it->second.pps_dropped) {
+        pending.erase(it);  // the measured switch lost it at Inject
+        continue;
+      }
       it->second.shadow_delay = cell.delay();
       if (it->second.pps_delay != sim::kNoSlot) {
         finalize(cell.id, it->second);
       }
     }
+    // Losses recorded during Advance (buffer overflows, stranded cells)
+    // carry no cell ids; fold them into the baseline so they are not
+    // misattributed to the next injected cell.
+    known_lost = LostInSwitch(pps);
 
     if (exhausted_at == sim::kNoSlot &&
         (cut || source.Exhausted(t + 1))) {
@@ -140,6 +187,21 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
   }
   result.duration = t;
   result.drained = pps.Drained() && shadow.Drained();
+  // Reconcile losses that carried no cell id (stranded in a failed plane,
+  // buffer overflows, inject drops whose shadow copy is still queued):
+  // once the measured switch is drained, an entry with no departure can
+  // never get one.  Erase such leaks so tracked state matches the
+  // finalized cells exactly.
+  if (pps.Drained()) {
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->second.pps_delay == sim::kNoSlot) {
+        if (!it->second.pps_dropped) ++result.dropped;
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   result.traffic_burstiness = meter.OutputBurstiness();
   result.order_preserved = pps_rec.order_preserved();
   result.resequencing_stalls = pps.resequencing_stalls();

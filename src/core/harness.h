@@ -46,6 +46,11 @@ struct RunOptions {
   // Record (arrival, relative delay) per cell for windowed analyses
   // (e.g. Theorem 14's congested-period measurement).
   bool keep_timeline = false;
+  // Fault injection: take fail_plane out of service at the start of slot
+  // fail_plane_at (kNoSlot = never).  Only meaningful for fabrics with a
+  // FailPlane surface; ignored otherwise.
+  sim::Slot fail_plane_at = sim::kNoSlot;
+  sim::PlaneId fail_plane = 0;
 };
 
 struct CellRelative {
@@ -56,9 +61,15 @@ struct CellRelative {
 };
 
 struct RunResult {
-  std::uint64_t cells = 0;
+  std::uint64_t cells = 0;     // cells offered to both switches
   sim::Slot duration = 0;      // slots simulated
   bool drained = false;        // both switches empty at the end
+  // Cells the measured switch lost (inject drops under plane failures or
+  // an exhausted static partition, cells stranded in a failed plane,
+  // buffer overflows).  These cells are excluded from the delay statistics
+  // and their tracking entries are reclaimed, so `cells - dropped` is the
+  // finalized-cell count and memory stays bounded in long fault runs.
+  std::uint64_t dropped = 0;
 
   sim::Slot max_relative_delay = 0;
   sim::Slot max_relative_jitter = 0;

@@ -1,0 +1,134 @@
+#include "core/metrics_json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace core::json {
+namespace {
+
+void AppendNumber(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void AppendNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN; serialise as null (consistent across runs).
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Value& Value::Set(std::string key, Value value) {
+  kind_ = Kind::kObject;
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::Append(Value value) {
+  kind_ = Kind::kArray;
+  array_.push_back(std::move(value));
+}
+
+void Value::DumpTo(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto newline_pad = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: AppendNumber(out, int_); break;
+    case Kind::kDouble: AppendNumber(out, double_); break;
+    case Kind::kString:
+      out += '"';
+      out += Escape(string_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_pad(depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!array_.empty()) newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_pad(depth + 1);
+        out += '"';
+        out += Escape(object_[i].first);
+        out += "\":";
+        if (pretty) out += ' ';
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!object_.empty()) newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+Value Obj(std::initializer_list<std::pair<const char*, Value>> entries) {
+  Value v = Value::MakeObject();
+  for (const auto& [key, value] : entries) v.Set(key, value);
+  return v;
+}
+
+}  // namespace core::json

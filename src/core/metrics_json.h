@@ -1,0 +1,88 @@
+// Minimal JSON document builder for machine-readable experiment metrics.
+//
+// The sweep runner (core/sweep.h) emits every experiment table twice: the
+// human-readable core::Table on stdout and a structured JSON document under
+// bench_results/, so the perf trajectory of the simulator is diffable and
+// plottable across commits.  This is a writer, not a parser: documents are
+// built in memory and serialised with Dump().
+//
+// Design constraints that matter for the sweep runner:
+//   * object keys keep insertion order, so two runs of the same grid
+//     serialise byte-identically regardless of worker count;
+//   * doubles round-trip via std::to_chars (shortest form), so repeated
+//     runs of a deterministic experiment produce identical bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace core::json {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Value() : kind_(Kind::kNull) {}
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Value(int v) : kind_(Kind::kInt), int_(v) {}
+  Value(long v) : kind_(Kind::kInt), int_(v) {}
+  Value(long long v) : kind_(Kind::kInt), int_(v) {}
+  Value(unsigned v) : kind_(Kind::kInt), int_(v) {}
+  Value(unsigned long v) : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Value(unsigned long long v)
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Value(double v) : kind_(Kind::kDouble), double_(v) {}
+  Value(const char* s) : kind_(Kind::kString), string_(s) {}
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+  static Value MakeArray() { Value v; v.kind_ = Kind::kArray; return v; }
+  static Value MakeObject() { Value v; v.kind_ = Kind::kObject; return v; }
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  // Object operations.  Set replaces an existing key in place (keeping its
+  // position) or appends a new entry.
+  Value& Set(std::string key, Value value);
+  const Value* Find(std::string_view key) const;
+  const std::vector<std::pair<std::string, Value>>& items() const {
+    return object_;
+  }
+
+  // Array operations.
+  void Append(Value value);
+  const std::vector<Value>& elements() const { return array_; }
+
+  // Scalar accessors (valid only for the matching kind).
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int() const { return int_; }
+  double as_double() const { return double_; }
+  const std::string& as_string() const { return string_; }
+
+  // Serialises the value.  indent < 0 yields the compact single-line form;
+  // indent >= 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = -1) const;
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+// Convenience builder: Obj({{"algorithm", "rr"}, {"N", 16}}).
+Value Obj(std::initializer_list<std::pair<const char*, Value>> entries);
+
+// Escapes a string for embedding in a JSON document (without quotes).
+std::string Escape(std::string_view s);
+
+}  // namespace core::json

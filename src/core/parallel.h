@@ -6,15 +6,19 @@
 // and its own harness.  ParallelMap evaluates `fn` over an index range on
 // up to `workers` std::jthread workers and collects the results in input
 // order.  Exceptions propagate: the first worker exception is rethrown on
-// the caller thread.
+// the caller thread, and the remaining workers stop pulling new indices as
+// soon as one is recorded.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <iterator>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace core {
@@ -23,16 +27,23 @@ template <typename Result>
 std::vector<Result> ParallelMap(std::size_t count,
                                 const std::function<Result(std::size_t)>& fn,
                                 unsigned workers = 0) {
+  static_assert(std::is_default_constructible_v<Result>,
+                "ParallelMap results are collected into pre-sized storage");
   if (workers == 0) {
     workers = std::max(1u, std::thread::hardware_concurrency());
   }
-  std::vector<Result> results(count);
-  if (count == 0) return results;
+  if (count == 0) return {};
   if (workers == 1 || count == 1) {
+    std::vector<Result> results(count);
     for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
     return results;
   }
 
+  // Workers write into a plain array rather than a std::vector directly:
+  // for Result = bool, vector<bool> packs eight elements per byte, so
+  // concurrent writes to adjacent indices would be a data race (UB).  A
+  // Result[] array gives every index its own object.
+  std::unique_ptr<Result[]> slots(new Result[count]());
   std::atomic<std::size_t> next{0};
   std::exception_ptr error;
   std::mutex error_mutex;
@@ -47,10 +58,15 @@ std::vector<Result> ParallelMap(std::size_t count,
           const std::size_t i = next.fetch_add(1);
           if (i >= count) return;
           try {
-            results[i] = fn(i);
+            slots[i] = fn(i);
           } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mutex);
-            if (!error) error = std::current_exception();
+            {
+              std::lock_guard<std::mutex> lock(error_mutex);
+              if (!error) error = std::current_exception();
+            }
+            // Drain the index range so peers stop pulling new work instead
+            // of burning through the rest of the grid.
+            next.store(count);
             return;
           }
         }
@@ -58,6 +74,9 @@ std::vector<Result> ParallelMap(std::size_t count,
     }
   }  // jthreads join here
   if (error) std::rethrow_exception(error);
+  std::vector<Result> results;
+  results.reserve(count);
+  std::move(slots.get(), slots.get() + count, std::back_inserter(results));
   return results;
 }
 

@@ -1,0 +1,211 @@
+#include "core/sweep.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/parallel.h"
+#include "core/table.h"
+#include "sim/error.h"
+
+namespace core {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t Fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string ResultsDir(const SweepOptions& options) {
+  if (!options.results_dir.empty()) return options.results_dir;
+  if (const char* env = std::getenv("PPS_BENCH_RESULTS_DIR")) return env;
+  return "bench_results";
+}
+
+bool ProgressEnabled(const SweepOptions& options) {
+  if (!options.progress) return false;
+  if (const char* env = std::getenv("PPS_SWEEP_PROGRESS")) {
+    return std::string_view(env) != "0";
+  }
+  return true;
+}
+
+// Compact "k=v k=v" rendering of a params object for progress lines.
+std::string ParamsLabel(const json::Value& params) {
+  std::string label;
+  for (const auto& [key, value] : params.items()) {
+    if (!label.empty()) label += ' ';
+    label += key;
+    label += '=';
+    switch (value.kind()) {
+      case json::Value::Kind::kString: label += value.as_string(); break;
+      default: label += value.Dump(); break;
+    }
+  }
+  return label;
+}
+
+}  // namespace
+
+std::uint64_t SweepSeed(std::uint64_t base_seed, const std::string& bench,
+                        std::size_t index) {
+  return SplitMix64(base_seed ^ Fnv1a(bench) ^
+                    (0x9e3779b97f4a7c15ull * (index + 1)));
+}
+
+const std::string& GitRevision() {
+  static const std::string rev = [] {
+    if (const char* env = std::getenv("PPS_GIT_REV")) return std::string(env);
+    std::string out = "unknown";
+    if (FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+      char buf[64] = {};
+      if (fgets(buf, sizeof(buf), pipe)) {
+        std::string line(buf);
+        while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+          line.pop_back();
+        }
+        if (!line.empty()) out = line;
+      }
+      if (pclose(pipe) != 0) out = "unknown";
+    }
+    return out;
+  }();
+  return rev;
+}
+
+std::string StablePointsDump(const json::Value& doc) {
+  const json::Value* points = doc.Find("points");
+  std::string out;
+  if (points == nullptr) return out;
+  for (const json::Value& point : points->elements()) {
+    json::Value stable = json::Value::MakeObject();
+    for (const auto& [key, value] : point.items()) {
+      if (key != "wall_ms") stable.Set(key, value);
+    }
+    out += stable.Dump();
+    out += '\n';
+  }
+  return out;
+}
+
+Sweep::Sweep(SweepOptions options) : options_(std::move(options)) {
+  SIM_CHECK(!options_.bench.empty(), "sweep needs a bench name");
+  SIM_CHECK(!options_.columns.empty(), "sweep needs table columns");
+}
+
+std::size_t Sweep::Add(json::Value params) {
+  SIM_CHECK(params.is_object(),
+            "sweep point params must be a JSON object (use json::Obj)");
+  params_.push_back(std::move(params));
+  return params_.size() - 1;
+}
+
+unsigned Sweep::effective_workers() const {
+  if (options_.workers != 0) return options_.workers;
+  if (const char* env = std::getenv("PPS_SWEEP_WORKERS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+json::Value Sweep::Run(const std::function<PointResult(const SweepPoint&)>& fn,
+                       std::ostream& os, const std::string& footnote) {
+  const unsigned workers = effective_workers();
+  const bool progress = ProgressEnabled(options_);
+  const std::size_t total = params_.size();
+
+  struct TimedResult {
+    PointResult result;
+    double wall_ms = 0.0;
+  };
+
+  std::mutex progress_mutex;
+  std::size_t done = 0;
+  const auto results = ParallelMap<TimedResult>(
+      total,
+      [&](std::size_t i) {
+        SweepPoint point;
+        point.index = i;
+        point.seed = SweepSeed(options_.base_seed, options_.bench, i);
+        point.params = &params_[i];
+        const auto start = std::chrono::steady_clock::now();
+        TimedResult timed;
+        timed.result = fn(point);
+        timed.wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        SIM_CHECK(timed.result.cells.size() == options_.columns.size(),
+                  "sweep point " << i << " of " << options_.bench
+                                 << " returned " << timed.result.cells.size()
+                                 << " cells for "
+                                 << options_.columns.size() << " columns");
+        if (progress) {
+          std::lock_guard<std::mutex> lock(progress_mutex);
+          ++done;
+          std::fprintf(stderr, "[sweep %s] %zu/%zu %s (%.1f ms)\n",
+                       options_.bench.c_str(), done, total,
+                       ParamsLabel(params_[i]).c_str(), timed.wall_ms);
+        }
+        return timed;
+      },
+      workers);
+
+  Table table(options_.title, options_.columns);
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("bench", options_.bench);
+  doc.Set("git_rev", GitRevision());
+  doc.Set("workers", static_cast<std::int64_t>(workers));
+  json::Value points = json::Value::MakeArray();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    table.AddRow(results[i].result.cells);
+    json::Value point = json::Value::MakeObject();
+    point.Set("params", params_[i]);
+    for (const auto& [key, value] : results[i].result.metrics.items()) {
+      point.Set(key, value);
+    }
+    point.Set("wall_ms", results[i].wall_ms);
+    points.Append(std::move(point));
+  }
+  doc.Set("points", std::move(points));
+
+  table.Print(os);
+  if (!footnote.empty()) os << footnote << "\n\n";
+
+  // PPS_BENCH_RESULTS_DIR="" means "table only, no JSON".
+  if (options_.write_json && !ResultsDir(options_).empty()) {
+    const std::filesystem::path dir = ResultsDir(options_);
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::filesystem::path file = dir / (options_.bench + ".json");
+    std::ofstream stream(file);
+    if (stream) {
+      stream << doc.Dump(2) << "\n";
+    } else {
+      std::fprintf(stderr, "[sweep %s] cannot write %s\n",
+                   options_.bench.c_str(), file.string().c_str());
+    }
+  }
+  return doc;
+}
+
+}  // namespace core

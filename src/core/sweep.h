@@ -1,0 +1,132 @@
+// Declarative experiment sweeps: a grid of points, executed in parallel,
+// reported as a core::Table on stdout AND as a structured JSON document
+// under bench_results/ — the machine-readable perf trajectory of the
+// simulator.
+//
+// Every bench binary follows the same shape:
+//
+//   core::Sweep sweep({.bench = "bench_theorem6",
+//                      .title = "Theorem 6: ...",
+//                      .columns = {"algorithm", "N", ..., "RQD"}});
+//   for (const Case& c : cases) {
+//     sweep.Add(json::Obj({{"algorithm", c.algorithm}, {"r'", c.rate}}));
+//   }
+//   sweep.Run([&](const core::SweepPoint& pt) {
+//     const Case& c = cases[pt.index];
+//     ...simulate...
+//     core::PointResult out;
+//     out.cells = {...table row...};
+//     out.metrics.Set("bound", bound).Set("measured", rqd)
+//               .Set("cells", result.cells).Set("slots", result.duration);
+//     return out;
+//   }, std::cout, "footnote printed under the table");
+//
+// Guarantees:
+//   * points execute over core::ParallelMap (one fabric per point, no
+//     shared mutable state), but the table rows and the JSON points are
+//     emitted in grid order, so output is byte-identical for any worker
+//     count — including workers = 1;
+//   * every point gets a deterministic seed derived from (base_seed,
+//     bench, index), available as SweepPoint::seed for stochastic
+//     workloads;
+//   * per-point wall-clock time is measured and recorded as wall_ms (the
+//     only JSON field allowed to differ between runs);
+//   * a progress line per completed point goes to stderr (suppress with
+//     PPS_SWEEP_PROGRESS=0).
+//
+// JSON document schema (bench_results/<bench>.json):
+//   {
+//     "bench":   "<bench>",
+//     "git_rev": "<short rev or 'unknown'>",
+//     "workers": <int>,
+//     "points": [
+//       {"params": {...declared grid point...},
+//        ...metrics (e.g. "bound", "measured", "cells", "slots")...,
+//        "wall_ms": <double>},
+//       ...
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/metrics_json.h"
+
+namespace core {
+
+struct SweepOptions {
+  // Output file stem: results land in <results_dir>/<bench>.json.
+  std::string bench;
+  // Table title and column headers (the existing core::Table contract).
+  std::string title;
+  std::vector<std::string> columns;
+  // 0 = PPS_SWEEP_WORKERS env var if set, else hardware concurrency.
+  unsigned workers = 0;
+  // Mixed into every per-point seed.
+  std::uint64_t base_seed = 0x9e3779b97f4a7c15ull;
+  // "" = PPS_BENCH_RESULTS_DIR env var if set, else "bench_results".
+  // Setting the env var to the empty string suppresses the JSON output.
+  std::string results_dir;
+  // Write the JSON document (tests disable this to keep runs hermetic).
+  bool write_json = true;
+  // Emit per-point progress lines on stderr.
+  bool progress = true;
+};
+
+// Handed to the point function; index addresses the caller's own grid
+// metadata, params echoes what was declared via Add, seed is stable across
+// worker counts and runs.
+struct SweepPoint {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  const json::Value* params = nullptr;  // always an object
+};
+
+struct PointResult {
+  // One table row, aligned with SweepOptions::columns.
+  std::vector<std::string> cells;
+  // Structured measurements, merged into the point's JSON object.  By
+  // convention benches report "bound" / "measured" / "cells" / "slots"
+  // where those quantities exist.
+  json::Value metrics = json::Value::MakeObject();
+};
+
+class Sweep {
+ public:
+  explicit Sweep(SweepOptions options);
+
+  // Declares one grid point; params must be a json object.  Returns its
+  // index (also the order of table rows and JSON points).
+  std::size_t Add(json::Value params);
+  std::size_t size() const { return params_.size(); }
+
+  // Executes every declared point, prints the table (plus an optional
+  // footnote) to os, writes the JSON document, and returns it.
+  json::Value Run(const std::function<PointResult(const SweepPoint&)>& fn,
+                  std::ostream& os, const std::string& footnote = "");
+
+  // The worker count Run will use after env overrides.
+  unsigned effective_workers() const;
+
+ private:
+  SweepOptions options_;
+  std::vector<json::Value> params_;
+};
+
+// Deterministic per-point seed: SplitMix64 over (base_seed, bench, index).
+std::uint64_t SweepSeed(std::uint64_t base_seed, const std::string& bench,
+                        std::size_t index);
+
+// Short git revision of the working tree ("unknown" outside a checkout;
+// override with PPS_GIT_REV).  Cached after the first call.
+const std::string& GitRevision();
+
+// Serialises a sweep document's points with the volatile "wall_ms" field
+// stripped — the byte-identity contract for determinism tests.
+std::string StablePointsDump(const json::Value& doc);
+
+}  // namespace core

@@ -49,14 +49,21 @@ double Histogram::Ccdf(std::int64_t value) const {
 std::int64_t Histogram::Quantile(double q) const {
   SIM_CHECK(total_ > 0, "quantile of empty histogram");
   SIM_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
-  const auto target = static_cast<std::size_t>(
-      q * static_cast<double>(total_));
+  auto target = static_cast<std::size_t>(q * static_cast<double>(total_));
+  // Nearest-rank clamp: without it q = 1.0 walks past every tracked
+  // bucket and reports the overflow sentinel even when no sample
+  // overflowed.
+  if (target >= total_) target = total_ - 1;
   std::size_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen > target) return static_cast<std::int64_t>(i);
   }
-  return static_cast<std::int64_t>(buckets_.size());  // overflow region
+  return overflow_value();  // rank genuinely lands among overflow samples
+}
+
+bool Histogram::QuantileOverflows(double q) const {
+  return Quantile(q) == overflow_value();
 }
 
 std::string Histogram::ToString(std::size_t max_rows) const {

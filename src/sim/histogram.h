@@ -26,9 +26,18 @@ class Histogram {
   std::size_t CountAt(std::int64_t value) const;
   // Fraction of samples strictly greater than value (CCDF point).
   double Ccdf(std::int64_t value) const;
-  // Smallest tracked value v with CDF(v) >= q; overflow reported as
-  // max_value + 1.
+  // Smallest tracked value v with CDF(v) >= q (nearest-rank, so q = 1.0
+  // returns the largest tracked sample).  When the target rank lands among
+  // overflow samples the result is overflow_value(); callers that need to
+  // distinguish that sentinel from a real sample use QuantileOverflows.
   std::int64_t Quantile(double q) const;
+  // Sentinel returned by Quantile for ranks in the overflow region:
+  // max_value + 1, one past every trackable sample.
+  std::int64_t overflow_value() const {
+    return static_cast<std::int64_t>(buckets_.size());
+  }
+  // True iff Quantile(q) would report the overflow sentinel.
+  bool QuantileOverflows(double q) const;
 
   // Multi-line textual rendering: "value count" rows for nonzero buckets.
   std::string ToString(std::size_t max_rows = 32) const;

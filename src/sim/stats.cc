@@ -56,12 +56,36 @@ std::string OnlineStats::ToString() const {
   return os.str();
 }
 
+QuantileSketch::QuantileSketch(const QuantileSketch& other) {
+  std::lock_guard<std::mutex> lock(other.sort_mutex_);
+  samples_ = other.samples_;
+  sorted_ = other.sorted_;
+}
+
+QuantileSketch& QuantileSketch::operator=(const QuantileSketch& other) {
+  if (this == &other) return *this;
+  std::vector<std::int64_t> samples;
+  bool sorted;
+  {
+    std::lock_guard<std::mutex> lock(other.sort_mutex_);
+    samples = other.samples_;
+    sorted = other.sorted_;
+  }
+  std::lock_guard<std::mutex> lock(sort_mutex_);
+  samples_ = std::move(samples);
+  sorted_ = sorted;
+  return *this;
+}
+
 std::int64_t QuantileSketch::Quantile(double q) const {
   SIM_CHECK(!samples_.empty(), "Quantile of empty sketch");
   SIM_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range: " << q);
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+  {
+    std::lock_guard<std::mutex> lock(sort_mutex_);
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
   }
   const auto n = samples_.size();
   auto rank = static_cast<std::size_t>(q * static_cast<double>(n));

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,9 +42,18 @@ class OnlineStats {
   std::int64_t sum_ = 0;
 };
 
-// Exact quantiles over stored samples.  Samples are sorted lazily.
+// Exact quantiles over stored samples.  Samples are sorted lazily on the
+// first Quantile call; that sort mutates state behind a const interface,
+// so it is guarded by a mutex — concurrent const reads (Quantile / Median
+// / P99) from sweep workers sharing a sketch are safe.  Add is NOT safe
+// against concurrent readers; finish ingesting before querying across
+// threads.
 class QuantileSketch {
  public:
+  QuantileSketch() = default;
+  QuantileSketch(const QuantileSketch& other);
+  QuantileSketch& operator=(const QuantileSketch& other);
+
   void Add(std::int64_t x) { samples_.push_back(x); sorted_ = false; }
   void Reserve(std::size_t n) { samples_.reserve(n); }
   std::size_t count() const { return samples_.size(); }
@@ -56,6 +66,7 @@ class QuantileSketch {
   std::int64_t P99() const { return Quantile(0.99); }
 
  private:
+  mutable std::mutex sort_mutex_;  // guards the lazy sort
   mutable std::vector<std::int64_t> samples_;
   mutable bool sorted_ = true;
 };

@@ -59,20 +59,20 @@ bool OutputMux::Depart(sim::Slot t, sim::Cell* out) {
       // staged cell, like an expiring reassembly timer.
       ++timeouts_;
       stall_streak_ = 0;
+      // Raise each flow's expected seq to its *minimum* staged seq.
+      // Seeding from the first-encountered staged cell instead would make
+      // any lower-seq cell of the same flow staged behind it permanently
+      // ineligible — the mux would deadlock that flow.
+      std::unordered_map<sim::FlowId, std::uint64_t> min_staged;
       for (const sim::Cell& cell : staged_) {
         const sim::FlowId flow =
             sim::MakeFlowId(cell.input, cell.output, num_ports_);
-        auto [it, fresh] = next_seq_.try_emplace(flow, cell.seq);
-        if (!fresh && cell.seq > it->second) {
-          // Only raise up to the smallest staged seq of this flow.
-          std::uint64_t min_seq = cell.seq;
-          for (const sim::Cell& other : staged_) {
-            if (other.input == cell.input && other.seq < min_seq) {
-              min_seq = other.seq;
-            }
-          }
-          it->second = std::max(it->second, min_seq);
-        }
+        auto [it, fresh] = min_staged.try_emplace(flow, cell.seq);
+        if (!fresh) it->second = std::min(it->second, cell.seq);
+      }
+      for (const auto& [flow, min_seq] : min_staged) {
+        auto [it, fresh] = next_seq_.try_emplace(flow, min_seq);
+        if (!fresh) it->second = std::max(it->second, min_seq);
       }
     }
     return false;

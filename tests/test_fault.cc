@@ -7,6 +7,7 @@
 
 #include <unordered_map>
 
+#include "core/harness.h"
 #include "demux/registry.h"
 #include "sim/rng.h"
 #include "switch/pps.h"
@@ -128,6 +129,45 @@ TEST(FaultTolerance, ResetHealsFailedPlanes) {
   sw.Reset();
   EXPECT_FALSE(sw.PlaneFailed(0));
   EXPECT_EQ(sw.input_drops(), 0u);
+}
+
+// Regression: dropped cells used to leak their harness tracking entries —
+// `dropped` reconciles them against the switch's loss counters so
+// cells - dropped is the finalized count and pending state is reclaimed.
+TEST(FaultTolerance, HarnessDroppedReconcilesWithSwitchCounters) {
+  const auto cfg = Config(8, 4, 2);
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("static-partition-d2"));
+  traffic::BernoulliSource src(8, 1.0, traffic::Pattern::kUniform,
+                               sim::Rng(77));
+  core::RunOptions opt;
+  opt.fail_plane_at = 200;
+  opt.fail_plane = 0;
+  opt.source_cutoff = 800;
+  // Every drop leaves a sequence gap, and gaps within a flow close one
+  // reseq_timeout (32 slots) at a time — give the muxes room to drain.
+  opt.drain_grace = 6'000;
+  opt.max_slots = 8'000;
+  const auto result = core::RunRelative(sw, src, opt);
+  EXPECT_TRUE(result.drained);
+  EXPECT_GT(result.dropped, 0u);
+  EXPECT_EQ(result.dropped, sw.input_drops() + sw.failed_plane_losses());
+  // Delay statistics cover exactly the delivered cells.
+  EXPECT_EQ(result.relative_delay.count(), result.cells - result.dropped);
+}
+
+TEST(FaultTolerance, HarnessCountsNoDropsWhenHealthy) {
+  const auto cfg = Config(8, 4, 2);
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("rr-per-output"));
+  traffic::BernoulliSource src(8, 0.9, traffic::Pattern::kUniform,
+                               sim::Rng(77));
+  core::RunOptions opt;
+  opt.source_cutoff = 1'000;
+  opt.drain_grace = 1'000;
+  opt.max_slots = 4'000;
+  const auto result = core::RunRelative(sw, src, opt);
+  EXPECT_TRUE(result.drained);
+  EXPECT_EQ(result.dropped, 0u);
+  EXPECT_EQ(result.relative_delay.count(), result.cells);
 }
 
 }  // namespace

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "sim/cell.h"
 #include "sim/error.h"
 #include "sim/histogram.h"
@@ -71,6 +75,40 @@ TEST(QuantileSketch, EmptyThrows) {
   EXPECT_THROW(q.Quantile(0.5), sim::SimError);
 }
 
+// The lazy sort behind the const Quantile interface is mutex-guarded, so
+// concurrent first readers (e.g. sweep workers sharing a sketch) are safe.
+// Run under -fsanitize=thread (scripts/tsan_tests.sh) to certify.
+TEST(QuantileSketch, ConcurrentConstReadsAreSafe) {
+  sim::QuantileSketch q;
+  for (int i = 999; i >= 0; --i) q.Add(i);
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&q, &failures] {
+      for (int i = 0; i < 100; ++i) {
+        if (q.Median() != 500 || q.Quantile(0.0) != 0) ++failures;
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(QuantileSketch, CopyIsIndependent) {
+  sim::QuantileSketch a;
+  a.Add(1);
+  a.Add(3);
+  sim::QuantileSketch b(a);
+  b.Add(100);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_EQ(a.Quantile(1.0), 3);
+  EXPECT_EQ(b.Quantile(1.0), 100);
+  a = b;
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.Quantile(1.0), 100);
+}
+
 TEST(Histogram, CountsAndQuantiles) {
   sim::Histogram h(10);
   for (int i = 0; i < 90; ++i) h.Add(0);
@@ -90,6 +128,29 @@ TEST(Histogram, Overflow) {
   EXPECT_EQ(h.overflow(), 1u);
   EXPECT_EQ(h.total(), 1u);
   EXPECT_EQ(h.Quantile(0.5), 5);  // overflow reported past the range
+}
+
+// Regression: Quantile(1.0) computed a rank equal to total() and walked
+// past every bucket, returning the overflow sentinel even when no sample
+// overflowed.  Nearest-rank clamps to the largest tracked sample.
+TEST(Histogram, QuantileOneReturnsLargestSample) {
+  sim::Histogram h(10);
+  h.Add(2);
+  h.Add(7);
+  EXPECT_EQ(h.Quantile(1.0), 7);
+  EXPECT_FALSE(h.QuantileOverflows(1.0));
+}
+
+TEST(Histogram, QuantileOverflowSentinelIsDistinguishable) {
+  sim::Histogram h(4);
+  h.Add(3);
+  h.Add(100);  // overflows
+  EXPECT_EQ(h.overflow_value(), 5);
+  // Median is the tracked sample; the top half sits in overflow.
+  EXPECT_EQ(h.Quantile(0.0), 3);
+  EXPECT_FALSE(h.QuantileOverflows(0.0));
+  EXPECT_EQ(h.Quantile(1.0), h.overflow_value());
+  EXPECT_TRUE(h.QuantileOverflows(1.0));
 }
 
 TEST(Histogram, MergeAddsCounts) {

@@ -1,0 +1,203 @@
+// Tests for the sweep runner subsystem (core/sweep.h, core/metrics_json.h)
+// and the ParallelMap substrate it executes on.
+//
+// The load-bearing contract: a sweep's table and JSON points are
+// byte-identical for every worker count, so parallelizing an experiment
+// can never change its results — only its wall-clock time.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/metrics_json.h"
+#include "core/parallel.h"
+#include "core/sweep.h"
+#include "sim/rng.h"
+
+namespace {
+
+// --- json::Value -------------------------------------------------------------
+
+TEST(MetricsJson, ScalarDump) {
+  EXPECT_EQ(core::json::Value(true).Dump(), "true");
+  EXPECT_EQ(core::json::Value(42).Dump(), "42");
+  EXPECT_EQ(core::json::Value(2.5).Dump(), "2.5");
+  EXPECT_EQ(core::json::Value("a\"b\n").Dump(), "\"a\\\"b\\n\"");
+  EXPECT_EQ(core::json::Value().Dump(), "null");
+}
+
+TEST(MetricsJson, ObjectPreservesInsertionOrder) {
+  auto obj = core::json::Obj({{"z", 1}, {"a", 2}});
+  obj.Set("m", 3);
+  EXPECT_EQ(obj.Dump(), "{\"z\":1,\"a\":2,\"m\":3}");
+  obj.Set("z", 9);  // replace in place, not append
+  EXPECT_EQ(obj.Dump(), "{\"z\":9,\"a\":2,\"m\":3}");
+}
+
+TEST(MetricsJson, NestedDump) {
+  auto arr = core::json::Value::MakeArray();
+  arr.Append(core::json::Obj({{"x", 1}}));
+  arr.Append(2);
+  auto doc = core::json::Obj({{"points", std::move(arr)}});
+  EXPECT_EQ(doc.Dump(), "{\"points\":[{\"x\":1},2]}");
+}
+
+TEST(MetricsJson, NonFiniteDoublesAreNull) {
+  EXPECT_EQ(core::json::Value(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+}
+
+// --- ParallelMap -------------------------------------------------------------
+
+TEST(ParallelMap, BoolResultsAreRaceFree) {
+  // Result = bool exercises the vector<bool> hazard the implementation
+  // avoids; run with several workers and many adjacent indices (TSan
+  // certifies the absence of the race under scripts/tsan_tests.sh).
+  const std::size_t count = 4096;
+  const auto results = core::ParallelMap<bool>(
+      count, [](std::size_t i) { return i % 3 == 0; }, 4);
+  ASSERT_EQ(results.size(), count);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(results[i], i % 3 == 0) << i;
+  }
+}
+
+TEST(ParallelMap, FirstExceptionPropagatesAndStopsDispatch) {
+  std::atomic<std::size_t> executed{0};
+  try {
+    core::ParallelMap<int>(
+        100'000,
+        [&](std::size_t i) -> int {
+          executed.fetch_add(1);
+          if (i == 3) throw std::runtime_error("boom");
+          return static_cast<int>(i);
+        },
+        4);
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // Workers stop pulling indices once the failure is recorded; the whole
+  // 100k grid must not have been burned through.
+  EXPECT_LT(executed.load(), 100'000u);
+}
+
+TEST(ParallelMap, MatchesSerialExecution) {
+  const auto serial = core::ParallelMap<std::uint64_t>(
+      257, [](std::size_t i) { return sim::Rng(i).Next(); }, 1);
+  const auto parallel = core::ParallelMap<std::uint64_t>(
+      257, [](std::size_t i) { return sim::Rng(i).Next(); }, 4);
+  EXPECT_EQ(serial, parallel);
+}
+
+// --- Sweep -------------------------------------------------------------------
+
+core::SweepOptions TestOptions(const std::string& bench, unsigned workers) {
+  core::SweepOptions opt;
+  opt.bench = bench;
+  opt.title = "test sweep";
+  opt.columns = {"i", "value"};
+  opt.workers = workers;
+  opt.write_json = false;  // hermetic: no bench_results/ in tests
+  opt.progress = false;
+  return opt;
+}
+
+core::json::Value RunGrid(unsigned workers, std::string* table_out) {
+  core::Sweep sweep(TestOptions("test_sweep", workers));
+  for (int i = 0; i < 12; ++i) {
+    sweep.Add(core::json::Obj({{"i", i}}));
+  }
+  std::ostringstream os;
+  const auto doc = sweep.Run(
+      [](const core::SweepPoint& pt) {
+        // A per-point deterministic stochastic computation: the result
+        // depends only on the point's stable seed, never on scheduling.
+        sim::Rng rng(pt.seed);
+        const auto value = rng.Next() % 1000;
+        core::PointResult out;
+        out.cells = {std::to_string(pt.index), std::to_string(value)};
+        out.metrics.Set("value", static_cast<std::int64_t>(value));
+        return out;
+      },
+      os, "footnote");
+  if (table_out) *table_out = os.str();
+  return doc;
+}
+
+TEST(Sweep, WorkerCountDoesNotChangeResults) {
+  std::string table1, table4;
+  const auto doc1 = RunGrid(1, &table1);
+  const auto doc4 = RunGrid(4, &table4);
+  EXPECT_EQ(table1, table4);
+  EXPECT_EQ(core::StablePointsDump(doc1), core::StablePointsDump(doc4));
+}
+
+TEST(Sweep, DocumentShape) {
+  const auto doc = RunGrid(2, nullptr);
+  EXPECT_EQ(doc.Find("bench")->as_string(), "test_sweep");
+  ASSERT_NE(doc.Find("git_rev"), nullptr);
+  const auto* points = doc.Find("points");
+  ASSERT_NE(points, nullptr);
+  ASSERT_EQ(points->elements().size(), 12u);
+  // Points are in grid order with params echoed and wall_ms attached.
+  for (std::size_t i = 0; i < points->elements().size(); ++i) {
+    const auto& pt = points->elements()[i];
+    ASSERT_NE(pt.Find("params"), nullptr);
+    EXPECT_EQ(pt.Find("params")->Find("i")->as_int(),
+              static_cast<std::int64_t>(i));
+    ASSERT_NE(pt.Find("wall_ms"), nullptr);
+    ASSERT_NE(pt.Find("value"), nullptr);
+  }
+}
+
+TEST(Sweep, SeedsAreStableAndDistinct) {
+  const auto s0 = core::SweepSeed(1, "bench_x", 0);
+  EXPECT_EQ(s0, core::SweepSeed(1, "bench_x", 0));
+  EXPECT_NE(s0, core::SweepSeed(1, "bench_x", 1));
+  EXPECT_NE(s0, core::SweepSeed(1, "bench_y", 0));
+  EXPECT_NE(s0, core::SweepSeed(2, "bench_x", 0));
+}
+
+TEST(Sweep, StablePointsDumpStripsOnlyWallMs) {
+  const auto doc = RunGrid(1, nullptr);
+  const auto dump = core::StablePointsDump(doc);
+  EXPECT_EQ(dump.find("wall_ms"), std::string::npos);
+  EXPECT_NE(dump.find("\"value\""), std::string::npos);
+}
+
+TEST(Sweep, RowWidthMismatchThrows) {
+  core::Sweep sweep(TestOptions("test_sweep_bad", 1));
+  sweep.Add(core::json::Obj({{"i", 0}}));
+  std::ostringstream os;
+  EXPECT_ANY_THROW(sweep.Run(
+      [](const core::SweepPoint&) {
+        core::PointResult out;
+        out.cells = {"only-one-cell-for-two-columns"};
+        return out;
+      },
+      os));
+}
+
+TEST(Sweep, PointExceptionPropagates) {
+  core::Sweep sweep(TestOptions("test_sweep_throw", 4));
+  for (int i = 0; i < 8; ++i) sweep.Add(core::json::Obj({{"i", i}}));
+  std::ostringstream os;
+  EXPECT_THROW(sweep.Run(
+                   [](const core::SweepPoint& pt) -> core::PointResult {
+                     if (pt.index == 5) throw std::runtime_error("point 5");
+                     core::PointResult out;
+                     out.cells = {std::to_string(pt.index), "0"};
+                     return out;
+                   },
+                   os),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -232,6 +232,30 @@ TEST(OutputMux, RejectsWrongOutput) {
   EXPECT_THROW(mux.Stage(MakeCell(1, 0, 2, 0, 0), 0), sim::SimError);
 }
 
+// Regression: when the reassembly timeout closes a sequence gap, the
+// expected seq must be seeded from the flow's *minimum* staged seq.
+// Seeding from the first-encountered staged cell (the old behaviour) made
+// a lower-seq cell staged behind a higher-seq one of the same flow
+// permanently ineligible: the flow deadlocked and the cell never departed.
+TEST(OutputMux, TimeoutGapCloseUsesMinStagedSeq) {
+  pps::OutputMux mux(1, 4, pps::MuxPolicy::kOldestCellReseq,
+                     /*reseq_timeout=*/2);
+  // seq 0 of the flow was lost; seq 2 reaches the output *before* seq 1.
+  mux.Stage(MakeCell(3, 0, 1, /*seq=*/2, /*arrival=*/2), 10);
+  mux.Stage(MakeCell(2, 0, 1, /*seq=*/1, /*arrival=*/1), 10);
+  sim::Cell out;
+  EXPECT_FALSE(mux.Depart(10, &out));  // expected seq 0 missing
+  EXPECT_FALSE(mux.Depart(11, &out));  // second stall fires the timeout
+  EXPECT_EQ(mux.reseq_timeouts(), 1u);
+  // The gap must close to seq 1 (the minimum staged), not seq 2 (the
+  // first staged): both cells drain, in order.
+  ASSERT_TRUE(mux.Depart(12, &out));
+  EXPECT_EQ(out.seq, 1u);
+  ASSERT_TRUE(mux.Depart(13, &out));
+  EXPECT_EQ(out.seq, 2u);
+  EXPECT_EQ(mux.Backlog(), 0);
+}
+
 // --- SnapshotRing --------------------------------------------------------------
 
 TEST(SnapshotRing, LookupReturnsRequestedSlot) {
