@@ -42,6 +42,31 @@ check "Fault: d=2 partition drops 10%" \
 # Information vs buffering: emulation row u=16 exactly 16, flat rr at 7.
 check "Info-vs-buffering identity line" "^16 +16 +16\.00 .* 7 +0\.27"
 
+# Throughput smoke run: the simulator-throughput sweep must produce a
+# cells_per_sec headline in its JSON results (the committed baseline in
+# bench_results/bench_sim_throughput.json tracks the mux/plane hot-path
+# perf).  The filter matches no google-benchmark, so only the sweep table
+# runs — a few seconds, not a full benchmark session.
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BENCH_BIN=""
+for d in "$ROOT/build" "$ROOT/build-release"; do
+  [ -x "$d/bench/bench_sim_throughput" ] && BENCH_BIN="$d/bench/bench_sim_throughput" && break
+done
+if [ -n "$BENCH_BIN" ]; then
+  SMOKE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SMOKE_DIR"' EXIT
+  if PPS_BENCH_RESULTS_DIR="$SMOKE_DIR" \
+      "$BENCH_BIN" --benchmark_filter='^$' >/dev/null \
+      && grep -q "cells_per_sec" "$SMOKE_DIR/bench_sim_throughput.json"; then
+    echo "ok   : bench_sim_throughput smoke run reports cells_per_sec"
+  else
+    echo "FAIL : bench_sim_throughput smoke run (no cells_per_sec in JSON)"
+    fail=1
+  fi
+else
+  echo "skip : bench_sim_throughput not built (build/ or build-release/)"
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "some claims failed — inspect $OUT"
   exit 1

@@ -168,6 +168,27 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
     // misattributed to the next injected cell.
     known_lost = LostInSwitch(pps);
 
+    // Periodic reconciliation against the loss counters: cells lost with
+    // no id (stranded in a failed plane, buffer overflows) leave pending
+    // entries that only drain at run end otherwise.  Whenever the measured
+    // switch is drained, an entry whose shadow copy has departed but whose
+    // measured copy never did can never be finalized — reclaim it now so
+    // pending memory stays bounded by the in-flight backlog in long fault
+    // runs, not by the run length.  (Entries whose shadow copy is still
+    // queued are reclaimed by the shadow-departure path or a later sweep.)
+    constexpr sim::Slot kReconcilePeriod = 1024;
+    if (known_lost > 0 && (t + 1) % kReconcilePeriod == 0 && pps.Drained()) {
+      for (auto it = pending.begin(); it != pending.end();) {
+        if (it->second.pps_delay == sim::kNoSlot &&
+            it->second.shadow_delay != sim::kNoSlot) {
+          ++result.dropped;
+          it = pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
     if (exhausted_at == sim::kNoSlot &&
         (cut || source.Exhausted(t + 1))) {
       exhausted_at = t + 1;

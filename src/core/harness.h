@@ -67,8 +67,11 @@ struct RunResult {
   // Cells the measured switch lost (inject drops under plane failures or
   // an exhausted static partition, cells stranded in a failed plane,
   // buffer overflows).  These cells are excluded from the delay statistics
-  // and their tracking entries are reclaimed, so `cells - dropped` is the
-  // finalized-cell count and memory stays bounded in long fault runs.
+  // and their tracking entries are reclaimed — synchronously for inject
+  // drops, and by a periodic reconciliation sweep against the switch's
+  // loss counters for id-less losses (stranded cells, overflows) — so
+  // `cells - dropped` is the finalized-cell count and memory stays bounded
+  // by the in-flight backlog in long fault runs, not by the run length.
   std::uint64_t dropped = 0;
 
   sim::Slot max_relative_delay = 0;

@@ -87,7 +87,7 @@ void InputBufferedPps::Launch(sim::PortId input, const sim::Cell& cell,
       cell, t, decision.booked_delivery);
 }
 
-std::vector<sim::Cell> InputBufferedPps::Advance(sim::Slot t) {
+const std::vector<sim::Cell>& InputBufferedPps::Advance(sim::Slot t) {
   if (!free_buf_) {
     free_buf_ = std::make_unique<bool[]>(
         static_cast<std::size_t>(config_.num_planes));
@@ -148,7 +148,8 @@ std::vector<sim::Cell> InputBufferedPps::Advance(sim::Slot t) {
     incoming_[idx].reset();
   }
 
-  std::vector<sim::Cell> delivered;
+  std::vector<sim::Cell>& delivered = delivered_scratch_;
+  delivered.clear();
   for (Plane& plane : planes_) {
     if (failed_[static_cast<std::size_t>(plane.id())]) continue;
     plane.Deliver(t, delivered);
@@ -156,17 +157,21 @@ std::vector<sim::Cell> InputBufferedPps::Advance(sim::Slot t) {
   for (sim::Cell& cell : delivered) {
     muxes_[static_cast<std::size_t>(cell.output)].Stage(cell, t);
   }
-  std::vector<sim::Cell> departed;
+  std::vector<sim::Cell>& departed = departed_scratch_;
+  departed.clear();
   for (OutputMux& mux : muxes_) {
     sim::Cell cell;
     if (mux.Depart(t, &cell)) departed.push_back(cell);
   }
-  if (ring_.enabled()) ring_.Push(TakeSnapshot(t));
+  if (ring_.enabled()) {
+    GlobalSnapshot snap = ring_.Recycle();
+    FillSnapshot(t, snap);
+    ring_.Push(std::move(snap));
+  }
   return departed;
 }
 
-GlobalSnapshot InputBufferedPps::TakeSnapshot(sim::Slot t) const {
-  GlobalSnapshot snap;
+void InputBufferedPps::FillSnapshot(sim::Slot t, GlobalSnapshot& snap) const {
   snap.slot = t;
   const auto n = static_cast<std::size_t>(config_.num_ports);
   const auto kk = static_cast<std::size_t>(config_.num_planes);
@@ -192,7 +197,6 @@ GlobalSnapshot InputBufferedPps::TakeSnapshot(sim::Slot t) const {
   for (std::size_t j = 0; j < n; ++j) {
     snap.output_backlog[j] = static_cast<std::int32_t>(muxes_[j].Backlog());
   }
-  return snap;
 }
 
 bool InputBufferedPps::Drained() const { return TotalBacklog() == 0; }

@@ -35,8 +35,10 @@ class InputBufferedPps {
   void Inject(sim::Cell cell, sim::Slot t);
 
   // Runs slot t: per-input buffered decisions, plane deliveries, output
-  // departures, snapshot.  Returns departing cells.
-  std::vector<sim::Cell> Advance(sim::Slot t);
+  // departures, snapshot.  Returns the departing cells; the reference
+  // points at per-slot scratch reused across calls (valid until the next
+  // Advance).
+  const std::vector<sim::Cell>& Advance(sim::Slot t);
 
   bool Drained() const;
   std::int64_t TotalBacklog() const;
@@ -63,7 +65,7 @@ class InputBufferedPps {
  private:
   const GlobalSnapshot* GlobalViewFor(const BufferedDemultiplexor& d,
                                       sim::Slot t) const;
-  GlobalSnapshot TakeSnapshot(sim::Slot t) const;
+  void FillSnapshot(sim::Slot t, GlobalSnapshot& snap) const;
   void Launch(sim::PortId input, const sim::Cell& cell,
               const DispatchDecision& decision, sim::Slot t);
 
@@ -80,6 +82,9 @@ class InputBufferedPps {
   std::uint64_t failed_plane_losses_ = 0;
   bool needs_global_ = false;
   std::unique_ptr<bool[]> free_buf_;
+  // Per-slot scratch reused across Advance calls (cleared, never freed).
+  std::vector<sim::Cell> delivered_scratch_;
+  std::vector<sim::Cell> departed_scratch_;
 };
 
 }  // namespace pps

@@ -46,9 +46,17 @@ ReservationBank::ReservationBank(int rows, int cols, int rate_ratio)
 
 bool ReservationBank::Conflicts(int row, int col, sim::Slot t) const {
   const auto& slots = reserved_[Index(row, col)];
-  // Any reservation s with |s - t| < rate_ratio conflicts.
-  auto it = slots.lower_bound(t - rate_ratio_ + 1);
-  return it != slots.end() && it->first <= t + rate_ratio_ - 1;
+  // Any reservation s with |s - t| < rate_ratio conflicts.  The window
+  // bounds saturate: a query or reservation near the numeric limits of
+  // Slot (e.g. a sentinel booking at the maximum slot) must not overflow
+  // into undefined behavior that silently disables the conflict check.
+  constexpr sim::Slot kMin = std::numeric_limits<sim::Slot>::min();
+  constexpr sim::Slot kMax = std::numeric_limits<sim::Slot>::max();
+  const sim::Slot r = rate_ratio_ - 1;
+  const sim::Slot lo = t < kMin + r ? kMin : t - r;
+  const sim::Slot hi = t > kMax - r ? kMax : t + r;
+  auto it = slots.lower_bound(lo);
+  return it != slots.end() && it->first <= hi;
 }
 
 void ReservationBank::Reserve(int row, int col, sim::Slot t) {
@@ -60,6 +68,10 @@ void ReservationBank::ExpireBefore(sim::Slot t) {
   for (auto& slots : reserved_) {
     slots.erase(slots.begin(), slots.lower_bound(t));
   }
+}
+
+void ReservationBank::Clear() {
+  for (auto& slots : reserved_) slots.clear();
 }
 
 std::size_t ReservationBank::pending() const {

@@ -78,6 +78,11 @@ class ReservationBank {
   // Drops reservations strictly before t (they have been consumed).
   void ExpireBefore(sim::Slot t);
 
+  // Drops every reservation, including one at the maximum representable
+  // slot, which ExpireBefore(t) can never reach (it only drops slots
+  // strictly before t).  O(links); use on reset / plane failure.
+  void Clear();
+
   std::size_t pending() const;
 
  private:

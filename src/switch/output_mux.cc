@@ -5,6 +5,15 @@
 #include "sim/error.h"
 
 namespace pps {
+namespace {
+
+// Min-heap order on (arrival, id): std::push_heap/pop_heap build a
+// max-heap w.r.t. the comparator, so "greater" yields the minimum on top.
+constexpr auto kLaterHead = [](const auto& a, const auto& b) {
+  return a.arrival > b.arrival || (a.arrival == b.arrival && a.id > b.id);
+};
+
+}  // namespace
 
 OutputMux::OutputMux(sim::PortId output, sim::PortId num_ports,
                      MuxPolicy policy, int reseq_timeout)
@@ -13,92 +22,117 @@ OutputMux::OutputMux(sim::PortId output, sim::PortId num_ports,
       policy_(policy),
       reseq_timeout_(reseq_timeout) {}
 
+void OutputMux::PushEligible(const sim::Cell& cell, sim::FlowId flow) {
+  eligible_.push_back({cell.arrival, cell.id, flow});
+  std::push_heap(eligible_.begin(), eligible_.end(), kLaterHead);
+}
+
+OutputMux::EligibleHead OutputMux::PopEligible() {
+  std::pop_heap(eligible_.begin(), eligible_.end(), kLaterHead);
+  EligibleHead head = eligible_.back();
+  eligible_.pop_back();
+  return head;
+}
+
 void OutputMux::Stage(sim::Cell cell, sim::Slot t) {
   SIM_CHECK(cell.output == output_,
             "cell for output " << cell.output << " staged at " << output_);
   cell.reached_output = t;
-  staged_.push_back(cell);
-  delivery_order_.push_back(arrival_counter_++);
+  ++total_staged_;
+  if (policy_ == MuxPolicy::kFcfsArrival) {
+    fifo_.push_back(cell);
+    return;
+  }
+  const sim::FlowId flow =
+      sim::MakeFlowId(cell.input, cell.output, num_ports_);
+  FlowState& fs = flows_[flow];
+  auto [it, inserted] = fs.staged.emplace(cell.seq, cell);
+  SIM_CHECK(inserted, "duplicate staged seq " << cell.seq << " on " << cell);
+  if (cell.seq == fs.next_seq) PushEligible(it->second, flow);
 }
 
-bool OutputMux::Eligible(const sim::Cell& cell) const {
-  if (policy_ == MuxPolicy::kFcfsArrival) return true;
-  const sim::FlowId flow = sim::MakeFlowId(cell.input, cell.output,
-                                           num_ports_);
-  auto it = next_seq_.find(flow);
-  const std::uint64_t expected = it == next_seq_.end() ? 0 : it->second;
-  return cell.seq == expected;
+void OutputMux::CloseSequenceGaps() {
+  // Reassembly timeout: the missing sequence numbers will never come
+  // (cells were lost).  Close every flow's gap up to its *minimum* staged
+  // seq, like an expiring reassembly timer; raising to anything above the
+  // minimum would make lower-seq staged cells permanently ineligible and
+  // deadlock the flow.  next_seq only ever moves forward (max with the
+  // minimum staged seq), and every skipped sequence number is counted in
+  // seq_gaps_closed_.
+  //
+  // The timeout fires only when no staged cell is eligible, so no flow has
+  // its expected seq staged here; exactly the flows whose minimum staged
+  // seq lies above their expected seq gain an eligible head.
+  for (auto& [flow, fs] : flows_) {
+    if (fs.staged.empty()) continue;
+    const auto head = fs.staged.begin();
+    if (head->first > fs.next_seq) {
+      seq_gaps_closed_ += head->first - fs.next_seq;
+      fs.next_seq = head->first;
+      PushEligible(head->second, flow);
+    }
+  }
 }
 
 bool OutputMux::Depart(sim::Slot t, sim::Cell* out) {
-  if (staged_.empty()) return false;
+  if (total_staged_ == 0) return false;
 
-  std::size_t best = staged_.size();
-  for (std::size_t i = 0; i < staged_.size(); ++i) {
-    if (!Eligible(staged_[i])) continue;
-    if (best == staged_.size()) {
-      best = i;
-      continue;
+  if (policy_ == MuxPolicy::kFcfsArrival) {
+    sim::Cell cell = fifo_[fifo_head_++];
+    if (fifo_head_ == fifo_.size()) {
+      fifo_.clear();  // keeps capacity: no steady-state allocation
+      fifo_head_ = 0;
+    } else if (fifo_head_ >= 1024 && fifo_head_ * 2 >= fifo_.size()) {
+      // Amortized O(1) compaction keeps memory proportional to the live
+      // backlog instead of the cells ever staged.
+      fifo_.erase(fifo_.begin(),
+                  fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_head_));
+      fifo_head_ = 0;
     }
-    const sim::Cell& a = staged_[i];
-    const sim::Cell& b = staged_[best];
-    bool better;
-    if (policy_ == MuxPolicy::kFcfsArrival) {
-      better = delivery_order_[i] < delivery_order_[best];
-    } else {
-      better = a.arrival < b.arrival ||
-               (a.arrival == b.arrival && a.id < b.id);
-    }
-    if (better) best = i;
+    --total_staged_;
+    cell.departure = t;
+    *out = cell;
+    return true;
   }
-  if (best == staged_.size()) {
+
+  if (eligible_.empty()) {
     ++stalls_;  // nonempty buffer, nothing eligible (flow head missing)
     if (reseq_timeout_ > 0 && ++stall_streak_ >= reseq_timeout_) {
-      // Reassembly timeout: the missing sequence numbers will never come
-      // (cells were lost).  Close every flow's gap up to its oldest
-      // staged cell, like an expiring reassembly timer.
       ++timeouts_;
       stall_streak_ = 0;
-      // Raise each flow's expected seq to its *minimum* staged seq.
-      // Seeding from the first-encountered staged cell instead would make
-      // any lower-seq cell of the same flow staged behind it permanently
-      // ineligible — the mux would deadlock that flow.
-      std::unordered_map<sim::FlowId, std::uint64_t> min_staged;
-      for (const sim::Cell& cell : staged_) {
-        const sim::FlowId flow =
-            sim::MakeFlowId(cell.input, cell.output, num_ports_);
-        auto [it, fresh] = min_staged.try_emplace(flow, cell.seq);
-        if (!fresh) it->second = std::min(it->second, cell.seq);
-      }
-      for (const auto& [flow, min_seq] : min_staged) {
-        auto [it, fresh] = next_seq_.try_emplace(flow, min_seq);
-        if (!fresh) it->second = std::max(it->second, min_seq);
-      }
+      CloseSequenceGaps();
     }
     return false;
   }
   stall_streak_ = 0;
 
-  sim::Cell cell = staged_[best];
-  staged_.erase(staged_.begin() + static_cast<std::ptrdiff_t>(best));
-  delivery_order_.erase(delivery_order_.begin() +
-                        static_cast<std::ptrdiff_t>(best));
+  const EligibleHead head = PopEligible();
+  auto flow_it = flows_.find(head.flow);
+  SIM_DCHECK(flow_it != flows_.end(), "eligible head for unknown flow");
+  FlowState& fs = flow_it->second;
+  auto cell_it = fs.staged.find(fs.next_seq);
+  SIM_DCHECK(cell_it != fs.staged.end() && cell_it->second.id == head.id,
+             "eligibility heap out of sync with flow " << head.flow);
+  sim::Cell cell = cell_it->second;
+  fs.staged.erase(cell_it);
+  --total_staged_;
+  fs.next_seq = cell.seq + 1;
+  auto next_it = fs.staged.find(fs.next_seq);
+  if (next_it != fs.staged.end()) PushEligible(next_it->second, head.flow);
   cell.departure = t;
-  if (policy_ == MuxPolicy::kOldestCellReseq) {
-    next_seq_[sim::MakeFlowId(cell.input, cell.output, num_ports_)] =
-        cell.seq + 1;
-  }
   *out = cell;
   return true;
 }
 
 void OutputMux::Reset() {
-  staged_.clear();
-  delivery_order_.clear();
-  next_seq_.clear();
-  arrival_counter_ = 0;
+  fifo_.clear();
+  fifo_head_ = 0;
+  flows_.clear();
+  eligible_.clear();
+  total_staged_ = 0;
   stalls_ = 0;
   timeouts_ = 0;
+  seq_gaps_closed_ = 0;
   stall_streak_ = 0;
 }
 

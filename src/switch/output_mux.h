@@ -9,16 +9,34 @@
 //     planes can be reordered if a later cell overtakes inside a shorter
 //     plane queue.
 //   * kOldestCellReseq — per-flow resequencing: a cell is eligible only
-//     when all earlier cells of its flow have departed (or are ahead of it
-//     in the staging buffer); among eligible cells, the one that entered
-//     the switch earliest departs first.  This preserves flow order (a
-//     hard requirement: "the switch should preserve the order of cells
-//     within a flow") at the cost of occasionally idling while a flow's
-//     head is stuck in a plane; those slots are counted in
-//     resequencing_stalls().
+//     when its sequence number is the flow's next expected one; among
+//     eligible cells, the one that entered the switch earliest departs
+//     first.  This preserves flow order (a hard requirement: "the switch
+//     should preserve the order of cells within a flow") at the cost of
+//     occasionally idling while a flow's head is stuck in a plane; those
+//     slots are counted in resequencing_stalls().
+//
+// Representation.  The staging buffer is indexed so that Depart is
+// O(log F) in the number of flows with an eligible head, never O(backlog):
+//
+//   * kFcfsArrival keeps one FIFO of staged cells — the departure order is
+//     exactly the delivery order, so the front of the FIFO is always the
+//     next departure;
+//   * kOldestCellReseq keeps a per-flow map seq -> cell plus a binary
+//     min-heap of eligible flow heads keyed by (switch arrival, cell id).
+//     A flow has at most one eligible cell at a time (sequence numbers are
+//     unique within a flow), and a heap entry can only be consumed by the
+//     departure that pops it, so no lazy invalidation is needed: entries
+//     are pushed exactly when a cell becomes eligible (staged at the
+//     expected seq, expected seq advanced by a departure, or a timeout
+//     gap-close) and popped when it departs.
+//
+// The reassembly-timeout gap-close walks the per-flow index (O(flows))
+// instead of rescanning every staged cell.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -40,31 +58,62 @@ class OutputMux {
   // End of slot t: departs at most one cell; returns true and fills *out.
   bool Depart(sim::Slot t, sim::Cell* out);
 
-  std::int64_t Backlog() const {
-    return static_cast<std::int64_t>(staged_.size());
-  }
+  std::int64_t Backlog() const { return total_staged_; }
 
   // Slots in which the buffer was nonempty but no cell was eligible
   // (resequencing hold).  Always 0 under kFcfsArrival.
   std::uint64_t resequencing_stalls() const { return stalls_; }
   // Times the timeout fired and a sequence gap was skipped.
   std::uint64_t reseq_timeouts() const { return timeouts_; }
+  // Total sequence numbers skipped by timeout gap-closes: the sum over
+  // fired timeouts and flows of (new expected seq - old expected seq).
+  // Gap-closes only ever raise a flow's expected seq (they take the max
+  // with the flow's minimum staged seq), so this is the exact count of
+  // presumed-lost cells the resequencer gave up waiting for.
+  std::uint64_t seq_gaps_closed() const { return seq_gaps_closed_; }
 
   void Reset();
 
  private:
-  bool Eligible(const sim::Cell& cell) const;
+  // Per-flow resequencing state (kOldestCellReseq).  `staged` holds the
+  // flow's staged cells keyed by sequence number; `next_seq` is the next
+  // expected sequence number.  The entry outlives its staged cells:
+  // next_seq must persist across empty periods of the flow.
+  struct FlowState {
+    std::map<std::uint64_t, sim::Cell> staged;
+    std::uint64_t next_seq = 0;
+  };
+
+  // Eligible flow head, ordered by (switch arrival, cell id).
+  struct EligibleHead {
+    sim::Slot arrival;
+    sim::CellId id;
+    sim::FlowId flow;
+  };
+
+  void PushEligible(const sim::Cell& cell, sim::FlowId flow);
+  EligibleHead PopEligible();
+  // Timeout gap-close over the per-flow index; returns having pushed the
+  // newly eligible heads.
+  void CloseSequenceGaps();
 
   sim::PortId output_;
   sim::PortId num_ports_;
   MuxPolicy policy_;
   int reseq_timeout_;
-  std::vector<sim::Cell> staged_;
-  std::uint64_t arrival_counter_ = 0;  // delivery order for FCFS ties
-  std::vector<std::uint64_t> delivery_order_;
-  std::unordered_map<sim::FlowId, std::uint64_t> next_seq_;
+
+  std::int64_t total_staged_ = 0;
+  // kFcfsArrival: cells in delivery order; head = next departure.  Backed
+  // by a vector + head index so steady-state operation reuses storage.
+  std::vector<sim::Cell> fifo_;
+  std::size_t fifo_head_ = 0;
+  // kOldestCellReseq: per-flow index + eligibility heap.
+  std::unordered_map<sim::FlowId, FlowState> flows_;
+  std::vector<EligibleHead> eligible_;  // binary min-heap
+
   std::uint64_t stalls_ = 0;
   std::uint64_t timeouts_ = 0;
+  std::uint64_t seq_gaps_closed_ = 0;
   int stall_streak_ = 0;
 };
 

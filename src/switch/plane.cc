@@ -1,11 +1,17 @@
 #include "switch/plane.h"
 
 #include <algorithm>
-#include <limits>
 
 #include "sim/error.h"
 
 namespace pps {
+
+namespace {
+// Initial calendar ring size; doubles on bucket collisions.  CPA-style
+// demultiplexors book at most ~r' * plane-backlog slots ahead, so 64
+// covers the common case without growth.
+constexpr std::size_t kInitialCalendarSize = 64;
+}  // namespace
 
 Plane::Plane(sim::PlaneId id, sim::PortId num_ports, int rate_ratio,
              PlaneScheduling scheduling)
@@ -17,6 +23,33 @@ Plane::Plane(sim::PlaneId id, sim::PortId num_ports, int rate_ratio,
       bookings_(1, num_ports, rate_ratio) {
   queues_.resize(static_cast<std::size_t>(num_ports));
   backlog_.assign(static_cast<std::size_t>(num_ports), 0);
+  if (scheduling_ == PlaneScheduling::kBooked) {
+    calendar_.resize(kInitialCalendarSize);
+    calendar_mask_ = kInitialCalendarSize - 1;
+  }
+}
+
+void Plane::GrowCalendar() {
+  std::vector<CalendarBucket> grown(calendar_.size() * 2);
+  const std::size_t mask = grown.size() - 1;
+  for (CalendarBucket& bucket : calendar_) {
+    if (bucket.slot == sim::kNoSlot) continue;
+    grown[static_cast<std::size_t>(bucket.slot) & mask] = std::move(bucket);
+  }
+  calendar_ = std::move(grown);
+  calendar_mask_ = mask;
+}
+
+Plane::CalendarBucket& Plane::BucketFor(sim::Slot slot) {
+  // Open addressing by slot & mask: distinct outstanding slots must land
+  // on distinct buckets, so double the ring until this slot's bucket is
+  // vacant or already tagged with it.
+  for (;;) {
+    CalendarBucket& bucket =
+        calendar_[static_cast<std::size_t>(slot) & calendar_mask_];
+    if (bucket.slot == slot || bucket.slot == sim::kNoSlot) return bucket;
+    GrowCalendar();
+  }
 }
 
 void Plane::Accept(sim::Cell cell, sim::Slot t, sim::Slot booked_delivery) {
@@ -37,7 +70,10 @@ void Plane::Accept(sim::Cell cell, sim::Slot t, sim::Slot booked_delivery) {
                                  << " constraint on plane " << id_
                                  << " line to output " << cell.output);
     bookings_.Reserve(0, cell.output, booked_delivery);
-    calendar_[booked_delivery].push_back(cell);
+    CalendarBucket& bucket = BucketFor(booked_delivery);
+    bucket.slot = booked_delivery;
+    bucket.cells.push_back(cell);
+    ++calendar_pending_;
   }
 }
 
@@ -54,14 +90,18 @@ void Plane::Deliver(sim::Slot t, std::vector<sim::Cell>& out) {
       out.push_back(cell);
     }
   } else {
-    auto it = calendar_.find(t);
-    if (it == calendar_.end()) return;
-    for (sim::Cell cell : it->second) {
+    if (calendar_pending_ == 0) return;
+    CalendarBucket& bucket =
+        calendar_[static_cast<std::size_t>(t) & calendar_mask_];
+    if (bucket.slot != t) return;
+    for (sim::Cell cell : bucket.cells) {
       cell.reached_output = t;
       --backlog_[static_cast<std::size_t>(cell.output)];
       out.push_back(cell);
     }
-    calendar_.erase(it);
+    calendar_pending_ -= static_cast<std::int64_t>(bucket.cells.size());
+    bucket.cells.clear();  // keeps capacity: the bucket storage recycles
+    bucket.slot = sim::kNoSlot;
     bookings_.ExpireBefore(t + 1);
   }
 }
@@ -82,8 +122,15 @@ std::int64_t Plane::TotalBacklog() const {
 
 void Plane::Reset() {
   for (auto& q : queues_) q.clear();
-  calendar_.clear();
-  bookings_.ExpireBefore(std::numeric_limits<sim::Slot>::max());
+  for (CalendarBucket& bucket : calendar_) {
+    bucket.slot = sim::kNoSlot;
+    bucket.cells.clear();
+  }
+  calendar_pending_ = 0;
+  // A true clear, not ExpireBefore(max): the sentinel-slot reservation
+  // (slot == numeric_limits<Slot>::max()) is not strictly before any slot
+  // and would leak, and Clear is O(links) instead of O(reservations).
+  bookings_.Clear();
   std::fill(backlog_.begin(), backlog_.end(), 0);
   out_links_.Reset();
 }

@@ -12,10 +12,16 @@
 //     delivered (fixed by a CPA-style demultiplexor at dispatch time); the
 //     plane is a time-indexed calendar and validates that bookings on one
 //     output line are at least r' slots apart (the output constraint).
+//
+// The booked calendar is a power-of-two ring of slot buckets addressed by
+// slot & mask (an open-addressed time wheel): Accept and Deliver are O(1)
+// amortized with no per-slot map nodes, and delivered buckets are recycled
+// (cleared, capacity kept) instead of freed.  The ring doubles whenever
+// two outstanding booked slots collide on a bucket, so any booking horizon
+// is supported.
 #pragma once
 
 #include <deque>
-#include <map>
 #include <vector>
 
 #include "sim/cell.h"
@@ -61,16 +67,28 @@ class Plane {
   void Reset();
 
  private:
+  // One calendar-ring bucket: the cells booked for delivery at `slot`
+  // (kNoSlot = vacant; the cell vector keeps its capacity across reuse).
+  struct CalendarBucket {
+    sim::Slot slot = sim::kNoSlot;
+    std::vector<sim::Cell> cells;
+  };
+
+  CalendarBucket& BucketFor(sim::Slot slot);
+  void GrowCalendar();
+
   sim::PlaneId id_;
   sim::PortId num_ports_;
   int rate_ratio_;
   PlaneScheduling scheduling_;
   // The plane owns its 1 x N bank of output lines (row 0).
   LinkBank out_links_;
-  std::vector<std::deque<sim::Cell>> queues_;             // eager mode
-  std::map<sim::Slot, std::vector<sim::Cell>> calendar_;  // booked mode
-  ReservationBank bookings_;                              // booked mode
-  std::vector<std::int64_t> backlog_;                     // per output
+  std::vector<std::deque<sim::Cell>> queues_;  // eager mode
+  std::vector<CalendarBucket> calendar_;       // booked mode (ring)
+  std::size_t calendar_mask_ = 0;              // calendar_.size() - 1
+  std::int64_t calendar_pending_ = 0;          // booked cells outstanding
+  ReservationBank bookings_;                   // booked mode
+  std::vector<std::int64_t> backlog_;          // per output
 };
 
 }  // namespace pps

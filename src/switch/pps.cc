@@ -127,11 +127,16 @@ void BufferlessPps::FailPlane(sim::PlaneId k) {
   failed_[static_cast<std::size_t>(k)] = true;
   failed_plane_losses_ += static_cast<std::uint64_t>(
       planes_[static_cast<std::size_t>(k)].TotalBacklog());
+  // Reset also clears the failed plane's calendar and booking
+  // reservations (ReservationBank::Clear), so if the plane id is ever
+  // returned to service after a fabric Reset its stale bookings cannot
+  // trip the output-constraint SIM_CHECKs.
   planes_[static_cast<std::size_t>(k)].Reset();
 }
 
-std::vector<sim::Cell> BufferlessPps::Advance(sim::Slot t) {
-  std::vector<sim::Cell> delivered;
+const std::vector<sim::Cell>& BufferlessPps::Advance(sim::Slot t) {
+  std::vector<sim::Cell>& delivered = delivered_scratch_;
+  delivered.clear();
   for (Plane& plane : planes_) {
     if (failed_[static_cast<std::size_t>(plane.id())]) continue;
     plane.Deliver(t, delivered);
@@ -139,8 +144,8 @@ std::vector<sim::Cell> BufferlessPps::Advance(sim::Slot t) {
   for (sim::Cell& cell : delivered) {
     muxes_[static_cast<std::size_t>(cell.output)].Stage(cell, t);
   }
-  std::vector<sim::Cell> departed;
-  departed.reserve(static_cast<std::size_t>(config_.num_ports));
+  std::vector<sim::Cell>& departed = departed_scratch_;
+  departed.clear();
   for (OutputMux& mux : muxes_) {
     sim::Cell cell;
     if (mux.Depart(t, &cell)) {
@@ -160,12 +165,15 @@ std::vector<sim::Cell> BufferlessPps::Advance(sim::Slot t) {
   for (const OutputMux& mux : muxes_) {
     max_output_backlog_ = std::max(max_output_backlog_, mux.Backlog());
   }
-  if (ring_.enabled()) ring_.Push(TakeSnapshot(t));
+  if (ring_.enabled()) {
+    GlobalSnapshot snap = ring_.Recycle();
+    FillSnapshot(t, snap);
+    ring_.Push(std::move(snap));
+  }
   return departed;
 }
 
-GlobalSnapshot BufferlessPps::TakeSnapshot(sim::Slot t) const {
-  GlobalSnapshot snap;
+void BufferlessPps::FillSnapshot(sim::Slot t, GlobalSnapshot& snap) const {
   snap.slot = t;
   const auto n = static_cast<std::size_t>(config_.num_ports);
   const auto kk = static_cast<std::size_t>(config_.num_planes);
@@ -192,7 +200,6 @@ GlobalSnapshot BufferlessPps::TakeSnapshot(sim::Slot t) const {
     snap.output_backlog[j] =
         static_cast<std::int32_t>(muxes_[j].Backlog());
   }
-  return snap;
 }
 
 bool BufferlessPps::Drained() const { return TotalBacklog() == 0; }

@@ -44,8 +44,11 @@ class BufferlessPps {
   // cell until all earlier sequence numbers of its flow have departed.
   void Inject(sim::Cell cell, sim::Slot t);
 
-  // Ends slot t; returns all cells departing in this slot.
-  std::vector<sim::Cell> Advance(sim::Slot t);
+  // Ends slot t; returns all cells departing in this slot.  The returned
+  // reference points at internal scratch that is reused (not reallocated)
+  // every slot — it stays valid until the next Advance call; copy it if
+  // you need the cells longer.
+  const std::vector<sim::Cell>& Advance(sim::Slot t);
 
   bool Drained() const;
   std::int64_t PlaneBacklog(sim::PlaneId k, sim::PortId j) const;
@@ -92,7 +95,9 @@ class BufferlessPps {
 
  private:
   const GlobalSnapshot* GlobalViewFor(const Demultiplexor& d, sim::Slot t) const;
-  GlobalSnapshot TakeSnapshot(sim::Slot t) const;
+  // Fills `snap` in place (resize keeps capacity, so recycled snapshots
+  // from SnapshotRing::Recycle are refilled without allocating).
+  void FillSnapshot(sim::Slot t, GlobalSnapshot& snap) const;
 
   SwitchConfig config_;
   std::vector<std::unique_ptr<Demultiplexor>> demux_;
@@ -106,6 +111,9 @@ class BufferlessPps {
   bool needs_global_ = false;
   std::unique_ptr<bool[]> free_buf_;  // reusable DispatchContext buffer
   std::vector<bool> failed_;          // per plane
+  // Per-slot scratch reused across Advance calls (cleared, never freed).
+  std::vector<sim::Cell> delivered_scratch_;
+  std::vector<sim::Cell> departed_scratch_;
   std::uint64_t input_drops_ = 0;
   std::uint64_t failed_plane_losses_ = 0;
   std::int64_t max_plane_backlog_ = 0;

@@ -1,5 +1,7 @@
 #include "switch/snapshot.h"
 
+#include <utility>
+
 #include "sim/error.h"
 
 namespace pps {
@@ -18,6 +20,15 @@ const GlobalSnapshot* SnapshotRing::Lookup(sim::Slot t) const {
   if (t >= ring_.back().slot) return &ring_.back();
   const auto offset = static_cast<std::size_t>(t - ring_.front().slot);
   return &ring_[offset];
+}
+
+GlobalSnapshot SnapshotRing::Recycle() {
+  if (capacity_ > 0 && static_cast<int>(ring_.size()) == capacity_) {
+    GlobalSnapshot snap = std::move(ring_.front());
+    ring_.pop_front();
+    return snap;
+  }
+  return {};
 }
 
 const GlobalSnapshot* SnapshotRing::Latest() const {

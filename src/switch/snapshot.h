@@ -57,6 +57,13 @@ class SnapshotRing {
   const GlobalSnapshot* Latest() const;
   void Clear() { ring_.clear(); }
 
+  // Storage recycling for the per-slot snapshot: returns the entry the
+  // next Push would evict (moved out, vectors keeping their capacity), or
+  // a fresh snapshot while the ring is still filling.  Fill the returned
+  // snapshot in place and Push it back — the steady state then performs
+  // zero allocations per slot.
+  GlobalSnapshot Recycle();
+
  private:
   int capacity_;
   std::deque<GlobalSnapshot> ring_;

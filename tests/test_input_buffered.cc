@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+
 #include "core/harness.h"
 #include "demux/buffered.h"
 #include "demux/registry.h"
@@ -148,12 +150,14 @@ TEST(CpaEmulation, BufferNeverExceedsU) {
   traffic::BernoulliSource src(4, 1.0, traffic::Pattern::kUniform,
                                sim::Rng(46));
   sim::CellId next_id = 0;
+  std::unordered_map<sim::FlowId, std::uint64_t> seq;
   for (sim::Slot t = 0; t < 200; ++t) {
     for (const auto& a : src.ArrivalsAt(t)) {
       sim::Cell cell;
       cell.id = next_id++;
       cell.input = a.input;
       cell.output = a.output;
+      cell.seq = seq[sim::MakeFlowId(a.input, a.output, 4)]++;
       sw.Inject(cell, t);
     }
     sw.Advance(t);

@@ -1,0 +1,344 @@
+// Differential test for the indexed OutputMux rewrite.
+//
+// The output multiplexer used to pick each departure with an O(backlog)
+// scan over every staged cell (and an O(backlog) rescan on timeout
+// gap-closes).  The rewrite keeps per-flow queues plus an eligibility heap
+// instead.  ReferenceMux below is a verbatim port of the pre-rewrite
+// implementation; the tests drive it and the production OutputMux with
+// byte-identical randomized traffic — both policies, with and without a
+// reassembly timeout, with and without lost cells — and require identical
+// departure sequences, backlogs and counters at every slot.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cell.h"
+#include "sim/error.h"
+#include "sim/rng.h"
+#include "sim/types.h"
+#include "switch/config.h"
+#include "switch/output_mux.h"
+
+namespace {
+
+// Verbatim port of the pre-rewrite scan-based OutputMux (plus the
+// seq_gaps_closed counter the rewrite added, computed the obvious way on
+// the old representation so the counters can be compared too).
+class ReferenceMux {
+ public:
+  ReferenceMux(sim::PortId output, sim::PortId num_ports, pps::MuxPolicy policy,
+               int reseq_timeout)
+      : output_(output),
+        num_ports_(num_ports),
+        policy_(policy),
+        reseq_timeout_(reseq_timeout) {}
+
+  void Stage(sim::Cell cell, sim::Slot t) {
+    SIM_CHECK(cell.output == output_,
+              "cell for output " << cell.output << " staged at " << output_);
+    cell.reached_output = t;
+    staged_.push_back(cell);
+    delivery_order_.push_back(arrival_counter_++);
+  }
+
+  bool Depart(sim::Slot t, sim::Cell* out) {
+    if (staged_.empty()) return false;
+
+    std::size_t best = staged_.size();
+    for (std::size_t i = 0; i < staged_.size(); ++i) {
+      if (!Eligible(staged_[i])) continue;
+      if (best == staged_.size()) {
+        best = i;
+        continue;
+      }
+      const sim::Cell& a = staged_[i];
+      const sim::Cell& b = staged_[best];
+      bool better;
+      if (policy_ == pps::MuxPolicy::kFcfsArrival) {
+        better = delivery_order_[i] < delivery_order_[best];
+      } else {
+        better =
+            a.arrival < b.arrival || (a.arrival == b.arrival && a.id < b.id);
+      }
+      if (better) best = i;
+    }
+    if (best == staged_.size()) {
+      ++stalls_;
+      if (reseq_timeout_ > 0 && ++stall_streak_ >= reseq_timeout_) {
+        ++timeouts_;
+        stall_streak_ = 0;
+        std::unordered_map<sim::FlowId, std::uint64_t> min_staged;
+        for (const sim::Cell& cell : staged_) {
+          const sim::FlowId flow =
+              sim::MakeFlowId(cell.input, cell.output, num_ports_);
+          auto [it, fresh] = min_staged.try_emplace(flow, cell.seq);
+          if (!fresh) it->second = std::min(it->second, cell.seq);
+        }
+        for (const auto& [flow, min_seq] : min_staged) {
+          auto [it, fresh] = next_seq_.try_emplace(flow, min_seq);
+          if (fresh) {
+            seq_gaps_closed_ += min_seq;
+          } else if (min_seq > it->second) {
+            seq_gaps_closed_ += min_seq - it->second;
+            it->second = min_seq;
+          }
+        }
+      }
+      return false;
+    }
+    stall_streak_ = 0;
+
+    sim::Cell cell = staged_[best];
+    staged_.erase(staged_.begin() + static_cast<std::ptrdiff_t>(best));
+    delivery_order_.erase(delivery_order_.begin() +
+                          static_cast<std::ptrdiff_t>(best));
+    cell.departure = t;
+    if (policy_ == pps::MuxPolicy::kOldestCellReseq) {
+      next_seq_[sim::MakeFlowId(cell.input, cell.output, num_ports_)] =
+          cell.seq + 1;
+    }
+    *out = cell;
+    return true;
+  }
+
+  std::int64_t Backlog() const {
+    return static_cast<std::int64_t>(staged_.size());
+  }
+  std::uint64_t resequencing_stalls() const { return stalls_; }
+  std::uint64_t reseq_timeouts() const { return timeouts_; }
+  std::uint64_t seq_gaps_closed() const { return seq_gaps_closed_; }
+
+ private:
+  bool Eligible(const sim::Cell& cell) const {
+    if (policy_ == pps::MuxPolicy::kFcfsArrival) return true;
+    const sim::FlowId flow =
+        sim::MakeFlowId(cell.input, cell.output, num_ports_);
+    auto it = next_seq_.find(flow);
+    const std::uint64_t expected = it == next_seq_.end() ? 0 : it->second;
+    return cell.seq == expected;
+  }
+
+  sim::PortId output_;
+  sim::PortId num_ports_;
+  pps::MuxPolicy policy_;
+  int reseq_timeout_;
+  std::vector<sim::Cell> staged_;
+  std::uint64_t arrival_counter_ = 0;
+  std::vector<std::uint64_t> delivery_order_;
+  std::unordered_map<sim::FlowId, std::uint64_t> next_seq_;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t seq_gaps_closed_ = 0;
+  int stall_streak_ = 0;
+};
+
+struct PlannedDelivery {
+  sim::Slot deliver_at;
+  sim::Cell cell;
+};
+
+// Randomized traffic into one output port: each input emits an in-order
+// flow; cells lose with probability loss_prob (creating permanent sequence
+// gaps, as a failed plane would); surviving cells reach the mux after a
+// random per-cell plane delay, so deliveries are reordered across and
+// within flows exactly as plane queues of different depths reorder them.
+std::vector<PlannedDelivery> MakeTraffic(std::uint64_t seed, sim::PortId n,
+                                         sim::PortId output,
+                                         int cells_per_flow,
+                                         double loss_prob) {
+  sim::Rng rng(seed);
+  std::vector<PlannedDelivery> plan;
+  std::vector<int> remaining(static_cast<std::size_t>(n), cells_per_flow);
+  std::vector<std::uint64_t> seq(static_cast<std::size_t>(n), 0);
+  sim::CellId id = 0;
+  int live = n * cells_per_flow;
+  for (sim::Slot t = 0; live > 0; ++t) {
+    for (sim::PortId i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (remaining[idx] == 0 || !rng.Bernoulli(0.7)) continue;
+      --remaining[idx];
+      --live;
+      sim::Cell cell;
+      cell.id = id++;
+      cell.input = i;
+      cell.output = output;
+      cell.seq = seq[idx]++;
+      cell.arrival = t;
+      if (rng.Bernoulli(loss_prob)) continue;  // lost inside the switch
+      plan.push_back({t + 1 + static_cast<sim::Slot>(rng.UniformInt(8)),
+                      cell});
+    }
+  }
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const PlannedDelivery& a, const PlannedDelivery& b) {
+                     return a.deliver_at < b.deliver_at;
+                   });
+  return plan;
+}
+
+// Drives both muxes with the identical delivery schedule and checks that
+// every observable agrees at every slot.  Fills *departures if non-null.
+// (void return: gtest ASSERT_* needs it.)
+void RunDifferential(pps::MuxPolicy policy, int reseq_timeout,
+                     double loss_prob, std::uint64_t seed,
+                     std::vector<sim::Cell>* departures = nullptr) {
+  constexpr sim::PortId kPorts = 8;
+  constexpr sim::PortId kOutput = 5;
+  const auto plan =
+      MakeTraffic(seed, kPorts, kOutput, /*cells_per_flow=*/60, loss_prob);
+
+  pps::OutputMux mux(kOutput, kPorts, policy, reseq_timeout);
+  ReferenceMux ref(kOutput, kPorts, policy, reseq_timeout);
+
+  std::size_t next = 0;
+  sim::Slot idle = 0;
+  for (sim::Slot t = 0; idle < 64; ++t) {
+    while (next < plan.size() && plan[next].deliver_at == t) {
+      mux.Stage(plan[next].cell, t);
+      ref.Stage(plan[next].cell, t);
+      ++next;
+    }
+    sim::Cell got_new, got_ref;
+    const bool new_departed = mux.Depart(t, &got_new);
+    const bool ref_departed = ref.Depart(t, &got_ref);
+    ASSERT_EQ(new_departed, ref_departed) << "slot " << t << " seed " << seed;
+    if (new_departed) {
+      ASSERT_EQ(got_new.id, got_ref.id) << "slot " << t << " seed " << seed;
+      EXPECT_EQ(got_new.seq, got_ref.seq);
+      EXPECT_EQ(got_new.input, got_ref.input);
+      EXPECT_EQ(got_new.arrival, got_ref.arrival);
+      EXPECT_EQ(got_new.reached_output, got_ref.reached_output);
+      EXPECT_EQ(got_new.departure, got_ref.departure);
+      if (departures != nullptr) departures->push_back(got_new);
+    }
+    ASSERT_EQ(mux.Backlog(), ref.Backlog()) << "slot " << t << " seed " << seed;
+    ASSERT_EQ(mux.resequencing_stalls(), ref.resequencing_stalls())
+        << "slot " << t << " seed " << seed;
+    ASSERT_EQ(mux.reseq_timeouts(), ref.reseq_timeouts())
+        << "slot " << t << " seed " << seed;
+    ASSERT_EQ(mux.seq_gaps_closed(), ref.seq_gaps_closed())
+        << "slot " << t << " seed " << seed;
+    const bool quiet = next == plan.size() && !new_departed;
+    idle = quiet ? idle + 1 : 0;
+  }
+  // With a timeout (or no losses) everything deliverable must drain; with
+  // losses and no timeout both muxes must strand the identical remainder.
+  EXPECT_EQ(mux.Backlog(), ref.Backlog());
+  if (reseq_timeout > 0 || loss_prob == 0.0 ||
+      policy == pps::MuxPolicy::kFcfsArrival) {
+    EXPECT_EQ(mux.Backlog(), 0) << "seed " << seed;
+  }
+}
+
+TEST(MuxDifferential, FcfsMatchesReference) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    RunDifferential(pps::MuxPolicy::kFcfsArrival, /*reseq_timeout=*/0,
+                    /*loss_prob=*/0.0, seed);
+  }
+}
+
+TEST(MuxDifferential, FcfsMatchesReferenceUnderLosses) {
+  // FCFS ignores sequence numbers, so losses only thin the traffic.
+  RunDifferential(pps::MuxPolicy::kFcfsArrival, /*reseq_timeout=*/0,
+                  /*loss_prob=*/0.15, 21u);
+}
+
+TEST(MuxDifferential, ReseqMatchesReferenceLossless) {
+  for (std::uint64_t seed : {31u, 32u, 33u}) {
+    std::vector<sim::Cell> departures;
+    RunDifferential(pps::MuxPolicy::kOldestCellReseq, /*reseq_timeout=*/0,
+                    /*loss_prob=*/0.0, seed, &departures);
+    // Flow order is a hard model requirement: per-flow seqs depart in
+    // strictly increasing order.
+    std::unordered_map<sim::PortId, std::uint64_t> next;
+    for (const sim::Cell& cell : departures) {
+      EXPECT_EQ(cell.seq, next[cell.input]++) << cell;
+    }
+  }
+}
+
+TEST(MuxDifferential, ReseqTimeoutMatchesReferenceUnderLosses) {
+  for (std::uint64_t seed : {41u, 42u, 43u}) {
+    std::vector<sim::Cell> departures;
+    RunDifferential(pps::MuxPolicy::kOldestCellReseq, /*reseq_timeout=*/3,
+                    /*loss_prob=*/0.15, seed, &departures);
+    // Timeout gap-closes skip forward, never backward: per-flow departed
+    // seqs stay strictly increasing even when gaps are jumped.
+    std::unordered_map<sim::PortId, std::uint64_t> last;
+    for (const sim::Cell& cell : departures) {
+      auto [it, fresh] = last.try_emplace(cell.input, cell.seq);
+      if (!fresh) {
+        EXPECT_GT(cell.seq, it->second) << cell;
+        it->second = cell.seq;
+      }
+    }
+  }
+}
+
+TEST(MuxDifferential, ReseqNoTimeoutStrandsIdenticallyUnderLosses) {
+  // Without a timeout a lost cell blocks its flow forever; the rewrite
+  // must strand exactly the same backlog the scan implementation did.
+  RunDifferential(pps::MuxPolicy::kOldestCellReseq, /*reseq_timeout=*/0,
+                  /*loss_prob=*/0.1, 51u);
+}
+
+// --- seq_gaps_closed / next_seq monotonicity unit tests ---------------------
+
+sim::Cell Make(sim::CellId id, sim::PortId input, sim::PortId output,
+               std::uint64_t seq, sim::Slot arrival) {
+  sim::Cell cell;
+  cell.id = id;
+  cell.input = input;
+  cell.output = output;
+  cell.seq = seq;
+  cell.arrival = arrival;
+  return cell;
+}
+
+TEST(MuxSeqGaps, CountsSkippedSequenceNumbers) {
+  pps::OutputMux mux(0, 4, pps::MuxPolicy::kOldestCellReseq,
+                     /*reseq_timeout=*/2);
+  sim::Cell out;
+  // seq 0 departs normally; then seq 5 arrives with 1..4 lost.
+  mux.Stage(Make(0, 1, 0, 0, 0), 0);
+  ASSERT_TRUE(mux.Depart(0, &out));
+  mux.Stage(Make(1, 1, 0, 5, 1), 1);
+  EXPECT_FALSE(mux.Depart(1, &out));  // stall 1
+  EXPECT_FALSE(mux.Depart(2, &out));  // stall 2 -> timeout fires
+  EXPECT_EQ(mux.reseq_timeouts(), 1u);
+  EXPECT_EQ(mux.seq_gaps_closed(), 4u);  // skipped seqs 1,2,3,4
+  ASSERT_TRUE(mux.Depart(3, &out));
+  EXPECT_EQ(out.seq, 5u);
+}
+
+TEST(MuxSeqGaps, TimeoutNeverRegressesNextSeq) {
+  pps::OutputMux mux(0, 4, pps::MuxPolicy::kOldestCellReseq,
+                     /*reseq_timeout=*/2);
+  sim::Cell out;
+  // Close the gap up to seq 5, then stage the late straggler seq 3: the
+  // expected seq must stay at 6 (after 5 departs), not regress to 3.
+  mux.Stage(Make(0, 1, 0, 5, 0), 0);
+  EXPECT_FALSE(mux.Depart(0, &out));
+  EXPECT_FALSE(mux.Depart(1, &out));  // timeout raises expected seq to 5
+  ASSERT_TRUE(mux.Depart(2, &out));
+  EXPECT_EQ(out.seq, 5u);
+  const auto gaps_after_close = mux.seq_gaps_closed();
+  EXPECT_EQ(gaps_after_close, 5u);
+
+  mux.Stage(Make(1, 1, 0, 3, 3), 3);   // straggler from the closed gap
+  mux.Stage(Make(2, 1, 0, 6, 3), 3);   // the real next cell
+  ASSERT_TRUE(mux.Depart(3, &out));
+  EXPECT_EQ(out.seq, 6u);              // 6, not the stale 3
+  // The straggler is permanently dead (seq < expected): it stalls the mux
+  // and even a timeout cannot lower the expected seq back to it.
+  EXPECT_FALSE(mux.Depart(4, &out));
+  EXPECT_FALSE(mux.Depart(5, &out));   // timeout fires on the straggler
+  EXPECT_FALSE(mux.Depart(6, &out));
+  EXPECT_EQ(mux.seq_gaps_closed(), gaps_after_close);  // no backward close
+  EXPECT_EQ(mux.Backlog(), 1);
+}
+
+}  // namespace

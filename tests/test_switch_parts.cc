@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "sim/error.h"
 #include "switch/config.h"
 #include "switch/link.h"
@@ -84,6 +86,25 @@ TEST(ReservationBank, ConflictWindow) {
   EXPECT_EQ(res.pending(), 2u);
   res.ExpireBefore(11);
   EXPECT_EQ(res.pending(), 1u);
+}
+
+// Regression: ExpireBefore(t) drops slots strictly before t, so a
+// reservation at the maximum representable slot can never expire —
+// resetting via ExpireBefore(max) leaked it into the next run, where it
+// poisoned Conflicts for the whole preceding r'-wide window.  Clear()
+// drops everything.
+TEST(ReservationBank, ClearRemovesSentinelSlotReservation) {
+  pps::ReservationBank res(1, 1, /*rate_ratio=*/2);
+  constexpr sim::Slot kMax = std::numeric_limits<sim::Slot>::max();
+  res.Reserve(0, 0, 5);
+  res.Reserve(0, 0, kMax);
+  res.ExpireBefore(kMax);
+  EXPECT_EQ(res.pending(), 1u);                // the sentinel-slot leak
+  EXPECT_TRUE(res.Conflicts(0, 0, kMax - 1));
+  res.Clear();
+  EXPECT_EQ(res.pending(), 0u);
+  EXPECT_FALSE(res.Conflicts(0, 0, kMax - 1));
+  EXPECT_FALSE(res.Conflicts(0, 0, 5));
 }
 
 // --- OutputQueuedSwitch -------------------------------------------------------
@@ -182,6 +203,51 @@ TEST(PlaneBooked, RejectsConflictingBookings) {
   EXPECT_THROW(plane.Accept(MakeCell(2, 1, 1, 0, 0), 0, 6), sim::SimError);
   // A different output's line is independent.
   plane.Accept(MakeCell(3, 1, 2, 0, 0), 0, 6);
+}
+
+// Regression: Plane::Reset must drop calendar entries *and* bookings —
+// including one at the maximum representable slot, which the old
+// ExpireBefore-based reset could never reach.  A reused plane (Reset after
+// FailPlane) must accept the exact same bookings again.
+TEST(PlaneBooked, ResetClearsCalendarAndBookings) {
+  pps::Plane plane(0, 4, /*rate_ratio=*/2, pps::PlaneScheduling::kBooked);
+  constexpr sim::Slot kMax = std::numeric_limits<sim::Slot>::max();
+  plane.Accept(MakeCell(1, 0, 1, 0, 0), 0, /*booked_delivery=*/4);
+  plane.Accept(MakeCell(2, 1, 2, 0, 0), 0, kMax);
+  EXPECT_TRUE(plane.BookingConflicts(1, 4));
+  EXPECT_TRUE(plane.BookingConflicts(2, kMax));
+  plane.Reset();
+  EXPECT_EQ(plane.TotalBacklog(), 0);
+  EXPECT_FALSE(plane.BookingConflicts(1, 4));
+  EXPECT_FALSE(plane.BookingConflicts(2, kMax));
+  // The reused plane accepts the identical bookings without conflicts.
+  plane.Accept(MakeCell(3, 0, 1, 0, 0), 0, 4);
+  plane.Accept(MakeCell(4, 1, 2, 0, 0), 0, kMax);
+  std::vector<sim::Cell> out;
+  plane.Deliver(4, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 3u);
+}
+
+TEST(PlaneBooked, CalendarGrowsAcrossLongHorizons) {
+  // Bookings far apart collide in the initial ring; the calendar must
+  // rehash and keep every booking deliverable at its exact slot.
+  pps::Plane plane(0, 4, /*rate_ratio=*/1, pps::PlaneScheduling::kBooked);
+  constexpr int kCells = 40;
+  for (int c = 0; c < kCells; ++c) {
+    const auto slot = static_cast<sim::Slot>(c * 97);  // spans many ring sizes
+    plane.Accept(MakeCell(static_cast<sim::CellId>(c), 0,
+                          static_cast<sim::PortId>(c % 4), 0, 0),
+                 0, slot);
+  }
+  std::vector<sim::Cell> out;
+  for (sim::Slot t = 0; t <= (kCells - 1) * 97; ++t) plane.Deliver(t, out);
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(kCells));
+  for (int c = 0; c < kCells; ++c) {
+    EXPECT_EQ(out[static_cast<std::size_t>(c)].reached_output,
+              static_cast<sim::Slot>(c * 97));
+  }
+  EXPECT_EQ(plane.TotalBacklog(), 0);
 }
 
 TEST(PlaneEager, RejectsBookedCellInEagerMode) {
