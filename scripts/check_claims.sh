@@ -67,6 +67,26 @@ else
   echo "skip : bench_sim_throughput not built (build/ or build-release/)"
 fi
 
+# Static-analysis gate: the committed .clang-tidy + -Werror extended
+# warnings must stay clean (scripts/lint.sh reuses build-lint/ so repeat
+# runs are incremental).
+if "$ROOT/scripts/lint.sh" >/dev/null 2>&1; then
+  echo "ok   : lint gate (scripts/lint.sh) clean"
+else
+  echo "FAIL : lint gate (run scripts/lint.sh for the findings)"
+  fail=1
+fi
+
+# Model-invariant audit: a congested-output sweep through the PPS_AUDIT=ON
+# tree must finish with zero invariant violations (the audited harness
+# throws on any detector hit).
+if "$ROOT/scripts/audit_sweep.sh" >/dev/null 2>&1; then
+  echo "ok   : audited congested-output sweep, zero invariant violations"
+else
+  echo "FAIL : audited sweep (run scripts/audit_sweep.sh for details)"
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "some claims failed — inspect $OUT"
   exit 1

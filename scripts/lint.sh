@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Static-analysis gate: clang-tidy over src/ bench/ tests/ (when a
+# clang-tidy binary is available) plus a -Werror build with the extended
+# warning set (PPS_EXTRA_WARNINGS; always runs, gcc or clang).
+#
+# The gate passes only if every stage that can run on this machine exits
+# clean.  clang-tidy reads the committed .clang-tidy and the
+# compile_commands.json exported by any CMake configure of this project;
+# containers without clang-tidy still get the full -Werror wall, and CI
+# runs both.
+#
+#   ./scripts/lint.sh [build-dir]        # default build-lint/
+set -uo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-lint}"
+fail=0
+
+echo "== lint: -Werror build with extended warnings =="
+if ! cmake -B "$BUILD" -S "$ROOT" -DPPS_WERROR=ON -DPPS_EXTRA_WARNINGS=ON \
+     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null; then
+  echo "lint: configure failed" >&2
+  exit 2
+fi
+if ! cmake --build "$BUILD" -j; then
+  echo "lint: FAIL (warnings-as-errors build)" >&2
+  fail=1
+else
+  echo "lint: -Werror build clean"
+fi
+
+# Prefer an unversioned clang-tidy, else the newest versioned one.
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "$TIDY" ]; then
+  for v in 21 20 19 18 17 16 15 14; do
+    if command -v "clang-tidy-$v" >/dev/null 2>&1; then
+      TIDY="clang-tidy-$v"
+      break
+    fi
+  done
+fi
+
+if [ -n "$TIDY" ]; then
+  echo "== lint: $TIDY over src/ bench/ tests/ =="
+  mapfile -t SOURCES < <(find "$ROOT/src" "$ROOT/bench" "$ROOT/tests" \
+                              -name '*.cc' | sort)
+  # WarningsAsErrors is set in .clang-tidy, so any finding is a failure.
+  if ! printf '%s\n' "${SOURCES[@]}" \
+       | xargs -P "$(nproc)" -n 4 "$TIDY" -p "$BUILD" --quiet; then
+    echo "lint: FAIL (clang-tidy findings above)" >&2
+    fail=1
+  else
+    echo "lint: clang-tidy clean (${#SOURCES[@]} files)"
+  fi
+else
+  echo "== lint: clang-tidy not installed; skipping tidy stage =="
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint gate FAILED"
+  exit 1
+fi
+echo "lint gate passed"

@@ -1,0 +1,15 @@
+// Compile-time switch for the model-invariant audit layer.
+//
+// Configuring with -DPPS_AUDIT=ON (the "audit" CMake preset) defines
+// PPS_AUDIT globally; PPS_AUDIT_ENABLED is then 1 and the measurement
+// harness constructs an InvariantAuditor for every run (see
+// core/harness.cc).  When OFF, the auto-audit code is compiled out
+// entirely — the only remaining hook is the explicitly attached
+// RunOptions::auditor pointer, whose cost when null is a branch.
+#pragma once
+
+#ifdef PPS_AUDIT
+#define PPS_AUDIT_ENABLED 1
+#else
+#define PPS_AUDIT_ENABLED 0
+#endif

@@ -1,0 +1,284 @@
+#include "audit/invariant_auditor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "sim/error.h"
+
+namespace audit {
+
+const char* InvariantName(Invariant inv) {
+  switch (inv) {
+    case Invariant::kConservation:
+      return "conservation";
+    case Invariant::kFlowOrder:
+      return "flow-order";
+    case Invariant::kLineRate:
+      return "line-rate";
+    case Invariant::kConformance:
+      return "conformance";
+    case Invariant::kOutputRate:
+      return "output-rate";
+    case Invariant::kWorkConservation:
+      return "work-conservation";
+    case Invariant::kBoundSanity:
+      return "bound-sanity";
+  }
+  return "unknown";
+}
+
+std::uint64_t Report::total() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : counts) sum += c;
+  return sum;
+}
+
+std::string Report::Summary() const {
+  std::ostringstream os;
+  os << "audit: " << total() << " violation(s)";
+  if (clean()) return os.str();
+  os << " (";
+  bool first = true;
+  for (int i = 0; i < kInvariantCount; ++i) {
+    if (counts[static_cast<std::size_t>(i)] == 0) continue;
+    if (!first) os << " ";
+    first = false;
+    os << InvariantName(static_cast<Invariant>(i)) << "="
+       << counts[static_cast<std::size_t>(i)];
+  }
+  os << ")";
+  if (!samples.empty()) {
+    os << "; first: [slot " << samples.front().slot << "] "
+       << samples.front().detail;
+  }
+  return os.str();
+}
+
+InvariantAuditor::InvariantAuditor(sim::PortId num_ports, Options options)
+    : num_ports_(num_ports),
+      options_(options),
+      last_arrival_(static_cast<std::size_t>(num_ports), sim::kNoSlot),
+      output_pending_(static_cast<std::size_t>(num_ports), 0),
+      output_departed_(static_cast<std::size_t>(num_ports), 0),
+      flows_(static_cast<std::size_t>(num_ports) *
+             static_cast<std::size_t>(num_ports)),
+      meter_(num_ports) {
+  SIM_CHECK(num_ports > 0, "auditor needs a positive port count");
+}
+
+void InvariantAuditor::Fail(Invariant inv, sim::Slot slot,
+                            std::string detail) {
+  ++report_.counts[static_cast<std::size_t>(inv)];
+  if (report_.samples.size() < Report::kMaxSamples) {
+    report_.samples.push_back({inv, slot, detail});
+  }
+  if (options_.fail_fast) {
+    std::ostringstream os;
+    os << "invariant '" << InvariantName(inv) << "' violated at slot "
+       << slot << ": " << detail;
+    throw sim::SimError(os.str());
+  }
+}
+
+void InvariantAuditor::OnInject(const sim::Cell& cell, sim::Slot t) {
+  ++injected_;
+
+  // Line rate (Section 2): the external line carries at most one cell per
+  // input per slot, and time only moves forward.
+  const auto in = static_cast<std::size_t>(cell.input);
+  if (cell.input < 0 || cell.input >= num_ports_ || cell.output < 0 ||
+      cell.output >= num_ports_) {
+    std::ostringstream os;
+    os << "cell with out-of-range ports: " << cell;
+    Fail(Invariant::kLineRate, t, os.str());
+    return;
+  }
+  if (last_arrival_[in] != sim::kNoSlot) {
+    if (last_arrival_[in] == t) {
+      std::ostringstream os;
+      os << "two arrivals on input " << cell.input << " in slot " << t;
+      Fail(Invariant::kLineRate, t, os.str());
+    } else if (last_arrival_[in] > t) {
+      std::ostringstream os;
+      os << "arrival slot moved backwards on input " << cell.input << " ("
+         << last_arrival_[in] << " -> " << t << ")";
+      Fail(Invariant::kLineRate, t, os.str());
+    }
+  }
+  last_arrival_[in] = t;
+
+  // (R, B) conformance (Definition 3): the exact minimal burstiness of the
+  // observed traffic must stay within the declared envelope.  Report each
+  // time the measured minimum B grows past the declaration, not every cell.
+  meter_.Record(t, cell.input, cell.output);
+  if (options_.declared_burst != Options::kUnchecked) {
+    const std::int64_t observed =
+        std::max(meter_.OutputBurstiness(), meter_.InputBurstiness());
+    if (observed > options_.declared_burst &&
+        observed > worst_reported_burst_) {
+      worst_reported_burst_ = observed;
+      std::ostringstream os;
+      os << "traffic burstiness " << observed << " exceeds declared B="
+         << options_.declared_burst << " (cell " << cell << ")";
+      Fail(Invariant::kConformance, t, os.str());
+    }
+  }
+
+  ++output_pending_[static_cast<std::size_t>(cell.output)];
+}
+
+void InvariantAuditor::OnDepart(const sim::Cell& cell, sim::Slot t) {
+  ++departed_;
+  if (cell.output < 0 || cell.output >= num_ports_) {
+    std::ostringstream os;
+    os << "departure with out-of-range output: " << cell;
+    Fail(Invariant::kOutputRate, t, os.str());
+    return;
+  }
+  const auto out = static_cast<std::size_t>(cell.output);
+
+  // External output line rate: one departure per output per slot.
+  if (current_slot_ != t) {
+    // First event of a new slot: clear the per-slot departure marks.
+    std::fill(output_departed_.begin(), output_departed_.end(),
+              static_cast<std::uint8_t>(0));
+    current_slot_ = t;
+  }
+  if (output_departed_[out] != 0) {
+    std::ostringstream os;
+    os << "two departures from output " << cell.output << " in slot " << t;
+    Fail(Invariant::kOutputRate, t, os.str());
+  }
+  output_departed_[out] = 1;
+
+  if (output_pending_[out] <= 0 && options_.check_conservation) {
+    std::ostringstream os;
+    os << "departure of unaccounted cell " << cell << " (output "
+       << cell.output << " had no pending cells)";
+    Fail(Invariant::kConservation, t, os.str());
+  } else {
+    --output_pending_[out];
+  }
+
+  // Per-flow order: sequence numbers strictly increase (gaps are legal —
+  // cells can be lost and timed out — but a step back is a reorder), and
+  // departure slots never move backwards within a flow.
+  if (options_.check_flow_order && cell.input >= 0 &&
+      cell.input < num_ports_) {
+    FlowState& fs = flows_[static_cast<std::size_t>(
+        sim::MakeFlowId(cell.input, cell.output, num_ports_))];
+    if (fs.seen) {
+      if (cell.seq <= fs.last_seq) {
+        std::ostringstream os;
+        os << "flow " << cell.input << "->" << cell.output
+           << " departed seq " << cell.seq << " after seq " << fs.last_seq;
+        Fail(Invariant::kFlowOrder, t, os.str());
+      }
+      if (fs.last_departure != sim::kNoSlot && t < fs.last_departure) {
+        std::ostringstream os;
+        os << "flow " << cell.input << "->" << cell.output
+           << " departure slot moved backwards (" << fs.last_departure
+           << " -> " << t << ")";
+        Fail(Invariant::kFlowOrder, t, os.str());
+      }
+    }
+    fs.seen = true;
+    fs.last_seq = cell.seq;
+    fs.last_departure = t;
+  }
+}
+
+void InvariantAuditor::CheckConservation(Invariant as, sim::Slot t,
+                                         std::int64_t backlog,
+                                         std::uint64_t lost) {
+  if (!options_.check_conservation) return;
+  if (backlog < 0) {
+    std::ostringstream os;
+    os << "switch reported negative backlog " << backlog;
+    Fail(as, t, os.str());
+    return;
+  }
+  const std::uint64_t accounted =
+      departed_ + static_cast<std::uint64_t>(backlog) + lost;
+  if (accounted != injected_) {
+    std::ostringstream os;
+    os << "injected " << injected_ << " != departed " << departed_
+       << " + in-flight " << backlog << " + lost " << lost << " (= "
+       << accounted << ")";
+    Fail(as, t, os.str());
+  }
+}
+
+void InvariantAuditor::OnSlotEnd(sim::Slot t, std::int64_t backlog,
+                                 std::uint64_t lost) {
+  // Cell conservation, reconciled against the switch's own loss counters:
+  // every injected cell is either in flight, departed, or accounted lost.
+  CheckConservation(Invariant::kConservation, t, backlog, lost);
+
+  // Work conservation (Section 1.1's reference discipline): an output with
+  // pending cells must emit one this slot.  `lost` cells may include cells
+  // that were silently removed from an output's pending count, so the
+  // check is only exact for lossless switches; skip once losses appear.
+  if (options_.check_work_conservation && lost == 0) {
+    const bool fresh_slot = (current_slot_ != t);
+    for (sim::PortId j = 0; j < num_ports_; ++j) {
+      const auto out = static_cast<std::size_t>(j);
+      const bool departed_now = !fresh_slot && output_departed_[out] != 0;
+      if (output_pending_[out] > 0 && !departed_now) {
+        std::ostringstream os;
+        os << "output " << j << " idled with " << output_pending_[out]
+           << " pending cell(s)";
+        Fail(Invariant::kWorkConservation, t, os.str());
+      }
+    }
+  }
+}
+
+void InvariantAuditor::OnRelativeDelay(sim::PortId input, sim::PortId output,
+                                       sim::Slot t,
+                                       sim::Slot relative_delay) {
+  saw_relative_delay_ = true;
+  if (relative_delay > max_relative_delay_) {
+    max_relative_delay_ = relative_delay;
+  }
+  if (options_.rqd_upper_bound != sim::kNoSlot &&
+      relative_delay > options_.rqd_upper_bound) {
+    std::ostringstream os;
+    os << "cell of flow " << input << "->" << output << " (arrived slot "
+       << t << ") has relative delay " << relative_delay
+       << " above the proven bound " << options_.rqd_upper_bound;
+    Fail(Invariant::kBoundSanity, t, os.str());
+  }
+}
+
+void InvariantAuditor::OnRunEnd(sim::Slot t, std::int64_t backlog,
+                                std::uint64_t lost) {
+  CheckConservation(Invariant::kConservation, t, backlog, lost);
+  if (options_.rqd_lower_bound != sim::kNoSlot && saw_relative_delay_ &&
+      max_relative_delay_ < options_.rqd_lower_bound) {
+    std::ostringstream os;
+    os << "run's max relative delay " << max_relative_delay_
+       << " never reached the claimed lower bound "
+       << options_.rqd_lower_bound;
+    Fail(Invariant::kBoundSanity, t, os.str());
+  }
+}
+
+void InvariantAuditor::Reset() {
+  report_ = Report{};
+  injected_ = 0;
+  departed_ = 0;
+  std::fill(last_arrival_.begin(), last_arrival_.end(), sim::kNoSlot);
+  std::fill(output_pending_.begin(), output_pending_.end(), 0);
+  std::fill(output_departed_.begin(), output_departed_.end(),
+            static_cast<std::uint8_t>(0));
+  current_slot_ = sim::kNoSlot;
+  flows_.assign(flows_.size(), FlowState{});
+  meter_ = traffic::BurstinessMeter(num_ports_);
+  worst_reported_burst_ = 0;
+  max_relative_delay_ = 0;
+  saw_relative_delay_ = false;
+}
+
+}  // namespace audit

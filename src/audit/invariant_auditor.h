@@ -1,0 +1,184 @@
+// Model-invariant audit layer: machine-checks that a running switch obeys
+// the formal model of Section 2 of the paper.
+//
+// The lower bounds (Thm 6-14) are statements about switches that implement
+// the slot-synchronous model exactly: arrivals respect the external line
+// rate (at most one cell per input per slot), offered traffic conforms to
+// its declared (R, B) leaky-bucket envelope (Definition 3), cells within a
+// flow depart in order ("the switch should preserve the order of cells
+// within a flow"), no cell is created or destroyed unaccounted, and the
+// shadow reference switch is work-conserving (Section 1.1).  The
+// InvariantAuditor observes the inject/depart/slot-end event stream of any
+// switch exposing the common Inject/Advance surface and verifies each of
+// these properties per slot, online and exactly.
+//
+// The auditor is a passive observer: it never mutates the switch.  It can
+// be attached two ways:
+//   * explicitly, by passing a pointer in core::RunOptions::auditor (works
+//     in every build; the only cost when unattached is a null check); or
+//   * globally, by configuring with -DPPS_AUDIT=ON (the "audit" preset),
+//     which makes core::RunRelative construct auditors for both the
+//     measured switch and the shadow OQ switch on every run and throw
+//     sim::SimError if any detector fired by run end — so the full test
+//     suite and any sweep run fully audited.
+//
+// Detectors (see DESIGN.md "Model-invariant audit layer" for the mapping
+// to the paper's definitions):
+//   kConservation      injected == departed + in-flight + lost, per slot
+//   kFlowOrder         per-flow departures strictly increase in seq and
+//                      never step back in time
+//   kLineRate          at most one arrival per input port per slot, slots
+//                      non-decreasing (Section 2's external rate R)
+//   kConformance       measured burstiness of offered traffic stays within
+//                      the declared (1, B) envelope (Definition 3)
+//   kOutputRate        at most one departure per output port per slot
+//   kWorkConservation  a backlogged output never idles (reference-switch
+//                      discipline; enable for shadow/OQ switches only)
+//   kBoundSanity       finalized relative delays respect a proven upper
+//                      bound, and the run's max reaches a claimed lower
+//                      bound (core/bounds values, wired by the caller)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cell.h"
+#include "sim/types.h"
+#include "traffic/leaky_bucket.h"
+
+namespace audit {
+
+enum class Invariant : int {
+  kConservation = 0,
+  kFlowOrder,
+  kLineRate,
+  kConformance,
+  kOutputRate,
+  kWorkConservation,
+  kBoundSanity,
+};
+inline constexpr int kInvariantCount = 7;
+
+// Human-readable detector name ("conservation", "flow-order", ...).
+const char* InvariantName(Invariant inv);
+
+// One detected violation.  Only the first few per run keep their detail
+// string (see Report::samples); all are counted.
+struct Violation {
+  Invariant invariant;
+  sim::Slot slot;
+  std::string detail;
+};
+
+struct Report {
+  std::array<std::uint64_t, kInvariantCount> counts{};
+  std::vector<Violation> samples;  // first kMaxSamples violations, in order
+
+  std::uint64_t total() const;
+  std::uint64_t count(Invariant inv) const {
+    return counts[static_cast<std::size_t>(inv)];
+  }
+  bool clean() const { return total() == 0; }
+  // One-line per-detector summary, e.g.
+  // "audit: 2 violations (conservation=1 flow-order=1); first: ...".
+  std::string Summary() const;
+
+  static constexpr std::size_t kMaxSamples = 16;
+};
+
+class InvariantAuditor {
+ public:
+  struct Options {
+    // Declared (1, B) leaky-bucket envelope of the offered traffic
+    // (Definition 3).  kUnchecked disables the conformance detector.
+    std::int64_t declared_burst = kUnchecked;
+    // Proven ceiling on per-cell relative queuing delay (e.g. Theorem 12's
+    // u, or Iyer-McKeown's N*r' for fully-distributed dispatch).
+    // sim::kNoSlot disables.
+    sim::Slot rqd_upper_bound = sim::kNoSlot;
+    // Claimed floor on the run's *maximum* relative queuing delay (an
+    // adversarial run that realises a theorem bound must reach it; checked
+    // in OnRunEnd).  sim::kNoSlot disables.
+    sim::Slot rqd_lower_bound = sim::kNoSlot;
+    bool check_conservation = true;
+    bool check_flow_order = true;
+    // Only meaningful for switches that promise per-output work
+    // conservation (the shadow OQ reference); a PPS legitimately idles
+    // during resequencing holds, so this defaults off.
+    bool check_work_conservation = false;
+    // Throw sim::SimError at the first violation instead of accumulating.
+    bool fail_fast = false;
+
+    static constexpr std::int64_t kUnchecked = -1;
+  };
+
+  InvariantAuditor(sim::PortId num_ports, Options options);
+  explicit InvariantAuditor(sim::PortId num_ports)
+      : InvariantAuditor(num_ports, Options{}) {}
+
+  // A cell offered to the audited switch in slot t (before Inject).
+  void OnInject(const sim::Cell& cell, sim::Slot t);
+
+  // A cell departing the audited switch in slot t (from Advance output).
+  void OnDepart(const sim::Cell& cell, sim::Slot t);
+
+  // End of slot t.  `backlog` is the switch's total in-flight cell count
+  // after Advance; `lost` is the cumulative sum of the switch's loss
+  // counters (inject drops, stranded cells, buffer overflows).
+  void OnSlotEnd(sim::Slot t, std::int64_t backlog, std::uint64_t lost = 0);
+
+  // A finalized relative queuing delay (measured minus shadow delay) for a
+  // cell of flow (input, output) that arrived in slot t.
+  void OnRelativeDelay(sim::PortId input, sim::PortId output, sim::Slot t,
+                       sim::Slot relative_delay);
+
+  // End of run: final conservation reconciliation and lower-bound check.
+  void OnRunEnd(sim::Slot t, std::int64_t backlog, std::uint64_t lost = 0);
+
+  const Report& report() const { return report_; }
+  bool clean() const { return report_.clean(); }
+  const Options& options() const { return options_; }
+
+  // Exact minimal burstiness of the traffic observed so far (per-output
+  // maximum), regardless of declared_burst.
+  std::int64_t ObservedBurstiness() const {
+    return meter_.OutputBurstiness();
+  }
+
+  void Reset();
+
+ private:
+  struct FlowState {
+    std::uint64_t last_seq = 0;
+    sim::Slot last_departure = sim::kNoSlot;
+    bool seen = false;
+  };
+
+  void Fail(Invariant inv, sim::Slot slot, std::string detail);
+  void CheckConservation(Invariant as, sim::Slot t, std::int64_t backlog,
+                         std::uint64_t lost);
+
+  sim::PortId num_ports_;
+  Options options_;
+  Report report_;
+
+  std::uint64_t injected_ = 0;
+  std::uint64_t departed_ = 0;
+
+  // Line-rate state: last arrival slot per input (kNoSlot = none yet).
+  std::vector<sim::Slot> last_arrival_;
+  // Work-conservation / output-rate state, per output.
+  std::vector<std::int64_t> output_pending_;
+  std::vector<std::uint8_t> output_departed_;  // this slot
+  sim::Slot current_slot_ = sim::kNoSlot;
+
+  std::vector<FlowState> flows_;  // indexed by FlowId (N*N dense)
+  traffic::BurstinessMeter meter_;
+  std::int64_t worst_reported_burst_ = 0;
+  sim::Slot max_relative_delay_ = 0;
+  bool saw_relative_delay_ = false;
+};
+
+}  // namespace audit

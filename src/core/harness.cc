@@ -1,10 +1,13 @@
 #include "core/harness.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <unordered_map>
 
+#include "audit/enabled.h"
 #include "sim/error.h"
+#include "switch/config.h"
 
 namespace core {
 namespace {
@@ -78,8 +81,45 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
 
   RunResult result;
 
+  // Model-invariant auditing.  An explicitly attached auditor always
+  // observes the measured switch; under -DPPS_AUDIT=ON a fresh pair of
+  // auditors (measured + shadow) is constructed for every run instead.
+  const std::uint64_t lost_base = LostInSwitch(pps);
+  audit::InvariantAuditor* aud = options.auditor;
+  audit::InvariantAuditor* shadow_aud = nullptr;
+#if PPS_AUDIT_ENABLED
+  std::optional<audit::InvariantAuditor> auto_aud;
+  std::optional<audit::InvariantAuditor> auto_shadow_aud;
+  // Auto-audit needs the cell-conservation ledger to start from zero, so
+  // it only engages when the switch is empty at run start (the normal
+  // case; reused undrained switches keep their explicit auditor if any).
+  if (aud == nullptr && pps.TotalBacklog() == 0) {
+    audit::InvariantAuditor::Options aopts;
+    aopts.rqd_upper_bound = options.audit_rqd_upper_bound;
+    aopts.rqd_lower_bound = options.audit_rqd_lower_bound;
+    // A first-delivered-first-out mux legitimately reorders flows that
+    // straddle planes; per-flow order is only promised under resequencing.
+    if constexpr (requires { pps.config().mux_policy; }) {
+      aopts.check_flow_order =
+          pps.config().mux_policy == pps::MuxPolicy::kOldestCellReseq;
+    }
+    auto_aud.emplace(n, aopts);
+    aud = &*auto_aud;
+    audit::InvariantAuditor::Options sopts;
+    sopts.check_work_conservation = true;  // the reference discipline
+    auto_shadow_aud.emplace(n, sopts);
+    shadow_aud = &*auto_shadow_aud;
+  }
+#endif
+
   auto finalize = [&](sim::CellId id, PendingCell& cell) {
-    const sim::Slot rel = cell.pps_delay - cell.shadow_delay;
+    // Both delays are known here (checked by the callers); SlotDifference
+    // asserts neither is still the kNoSlot sentinel.
+    const sim::Slot rel =
+        sim::SlotDifference(cell.pps_delay, cell.shadow_delay);
+    if (aud != nullptr) {
+      aud->OnRelativeDelay(cell.input, cell.output, cell.arrival, rel);
+    }
     result.relative_delay.Add(rel);
     result.max_relative_delay = std::max(result.max_relative_delay, rel);
     if (options.keep_timeline) {
@@ -115,6 +155,14 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
                   "source emitted two cells on input " << arrivals[a].input
                                                        << " in slot " << t);
       }
+      // Range-check before MakeFlowId: a source emitting kNoPort or an
+      // out-of-range port would otherwise wrap into a garbage flow id.
+      SIM_CHECK(arrivals[a].input >= 0 && arrivals[a].input < n &&
+                    arrivals[a].output >= 0 && arrivals[a].output < n,
+                "source emitted out-of-range ports (" << arrivals[a].input
+                                                      << " -> "
+                                                      << arrivals[a].output
+                                                      << ") in slot " << t);
       sim::Cell cell;
       cell.id = next_id++;
       cell.input = arrivals[a].input;
@@ -126,6 +174,8 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
           cell.id, PendingCell{t, cell.input, cell.output,
                                sim::kNoSlot, sim::kNoSlot, false});
       SIM_CHECK(inserted, "duplicate cell id " << cell.id);
+      if (aud != nullptr) aud->OnInject(cell, t);
+      if (shadow_aud != nullptr) shadow_aud->OnInject(cell, t);
       pps.Inject(cell, t);
       shadow.Inject(cell, t);
       ++result.cells;
@@ -142,6 +192,7 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
     }
 
     for (const sim::Cell& cell : pps.Advance(t)) {
+      if (aud != nullptr) aud->OnDepart(cell, t);
       pps_rec.Record(cell);
       auto it = pending.find(cell.id);
       SIM_CHECK(it != pending.end(), "unknown departure " << cell);
@@ -151,6 +202,7 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
       }
     }
     for (const sim::Cell& cell : shadow.Advance(t)) {
+      if (shadow_aud != nullptr) shadow_aud->OnDepart(cell, t);
       oq_rec.Record(cell);
       auto it = pending.find(cell.id);
       SIM_CHECK(it != pending.end(), "unknown shadow departure " << cell);
@@ -167,6 +219,12 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
     // carry no cell ids; fold them into the baseline so they are not
     // misattributed to the next injected cell.
     known_lost = LostInSwitch(pps);
+    if (aud != nullptr) {
+      aud->OnSlotEnd(t, pps.TotalBacklog(), known_lost - lost_base);
+    }
+    if (shadow_aud != nullptr) {
+      shadow_aud->OnSlotEnd(t, shadow.TotalBacklog());
+    }
 
     // Periodic reconciliation against the loss counters: cells lost with
     // no id (stranded in a failed plane, buffer overflows) leave pending
@@ -200,7 +258,8 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
         ++t;
         break;
       }
-      if (options.drain_grace > 0 && t - exhausted_at >= options.drain_grace) {
+      if (options.drain_grace > 0 &&
+          sim::SlotDifference(t, exhausted_at) >= options.drain_grace) {
         ++t;
         break;
       }
@@ -243,6 +302,24 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
                 return a.arrival < b.arrival;
               });
   }
+  if (aud != nullptr) {
+    aud->OnRunEnd(t, pps.TotalBacklog(), known_lost - lost_base);
+    result.audit_violations += aud->report().total();
+  }
+  if (shadow_aud != nullptr) {
+    shadow_aud->OnRunEnd(t, shadow.TotalBacklog());
+    result.audit_violations += shadow_aud->report().total();
+  }
+#if PPS_AUDIT_ENABLED
+  // The audited build promises that every harness run is model-clean:
+  // surface any detector hit as a hard error so ctest/sweeps fail loudly.
+  if (auto_aud.has_value()) {
+    SIM_CHECK(auto_aud->clean() && auto_shadow_aud->clean(),
+              "measured switch: " << auto_aud->report().Summary()
+                                  << "; shadow: "
+                                  << auto_shadow_aud->report().Summary());
+  }
+#endif
   return result;
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/invariant_auditor.h"
 #include "cioq/cioq_switch.h"
 #include "sim/cell.h"
 #include "sim/latency_recorder.h"
@@ -51,6 +52,18 @@ struct RunOptions {
   // FailPlane surface; ignored otherwise.
   sim::Slot fail_plane_at = sim::kNoSlot;
   sim::PlaneId fail_plane = 0;
+  // Model-invariant auditing (audit/invariant_auditor.h).  An explicitly
+  // attached auditor observes the measured switch's inject/depart/slot-end
+  // stream plus finalized relative delays, in every build; when null and
+  // the tree is configured with -DPPS_AUDIT=ON, the harness constructs its
+  // own auditors for both the measured switch and the shadow OQ switch and
+  // throws sim::SimError at run end if any detector fired.
+  audit::InvariantAuditor* auditor = nullptr;
+  // Claimed ceiling/floor on relative queuing delay for the auto-audit
+  // (core/bounds values; kNoSlot = unchecked).  Ignored when `auditor` is
+  // set — put the bounds in its Options instead.
+  sim::Slot audit_rqd_upper_bound = sim::kNoSlot;
+  sim::Slot audit_rqd_lower_bound = sim::kNoSlot;
 };
 
 struct CellRelative {
@@ -86,6 +99,10 @@ struct RunResult {
   // Audits.
   bool order_preserved = true;
   std::uint64_t resequencing_stalls = 0;
+  // Total invariant violations the attached/auto auditors detected (0 when
+  // no auditing was active; the auto-audit throws before returning, so a
+  // nonzero value can only come from an explicitly attached auditor).
+  std::uint64_t audit_violations = 0;
 
   std::vector<CellRelative> timeline;  // only if keep_timeline
 

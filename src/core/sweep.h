@@ -70,7 +70,9 @@ struct SweepOptions {
   std::uint64_t base_seed = 0x9e3779b97f4a7c15ull;
   // "" = PPS_BENCH_RESULTS_DIR env var if set, else "bench_results".
   // Setting the env var to the empty string suppresses the JSON output.
-  std::string results_dir;
+  // (The explicit default keeps designated initializers that stop at
+  // `columns` clean under -Wmissing-field-initializers.)
+  std::string results_dir = {};
   // Write the JSON document (tests disable this to keep runs hermetic).
   bool write_json = true;
   // Emit per-point progress lines on stderr.

@@ -40,9 +40,9 @@ std::vector<sim::Slot> JitterRegulator::ReleasesUpTo(sim::Slot t) {
     out.push_back(due);
     max_violation_ = std::max(max_violation_, due - *next_release_);
     max_added_delay_ = std::max(max_added_delay_, due - arrival);
-    if (last_release_ != sim::kNoSlot) {
-      max_violation_ =
-          std::max(max_violation_, (due - last_release_) - period_);
+    if (sim::IsSlot(last_release_)) {
+      max_violation_ = std::max(
+          max_violation_, sim::SlotDifference(due, last_release_) - period_);
     }
     last_release_ = due;
     next_release_ = due + period_;

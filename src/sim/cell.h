@@ -34,8 +34,9 @@ struct Cell {
 
   // Queuing delay inside the switch this cell traversed.  Zero-delay
   // traversal is possible by the paper's convention (a cell may leave in
-  // its arrival slot).
-  Slot delay() const { return departure - arrival; }
+  // its arrival slot).  Asserts (debug) that both timestamps are set:
+  // subtracting the kNoSlot sentinel is signed overflow.
+  Slot delay() const { return SlotDifference(departure, arrival); }
 
   friend bool operator==(const Cell& a, const Cell& b) { return a.id == b.id; }
 };

@@ -12,6 +12,9 @@ void LatencyRecorder::Record(const Cell& cell) {
   SIM_CHECK(cell.departure >= cell.arrival,
             "departure precedes arrival: " << cell);
   SIM_CHECK(num_ports_hint_ > 0, "set_num_ports before Record");
+  SIM_CHECK(cell.input >= 0 && cell.input < num_ports_hint_ &&
+                cell.output >= 0 && cell.output < num_ports_hint_,
+            "cell with out-of-range ports: " << cell);
   const Slot d = cell.delay();
   delay_stats_.Add(d);
 

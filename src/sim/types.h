@@ -6,6 +6,7 @@
 // external rate R.  Everything in this library is expressed in those units.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <limits>
 
@@ -39,10 +40,32 @@ using CellId = std::uint64_t;
 using FlowId = std::uint64_t;
 
 // Builds the canonical flow id for a (input, output) pair in an N-port
-// switch.
+// switch.  Sentinels (kNoPort) and out-of-range ports have no flow id:
+// casting a negative PortId to the unsigned FlowId would silently wrap to
+// a garbage id that collides with real flows, so debug builds assert.
 constexpr FlowId MakeFlowId(PortId input, PortId output, PortId num_ports) {
+  assert(num_ports > 0 && input >= 0 && input < num_ports && output >= 0 &&
+         output < num_ports);
   return static_cast<FlowId>(input) * static_cast<FlowId>(num_ports) +
          static_cast<FlowId>(output);
+}
+
+// True iff `s` is a real slot (not the kNoSlot sentinel).
+constexpr bool IsSlot(Slot s) { return s != kNoSlot; }
+
+// Checked slot arithmetic.  kNoSlot is int64 min, so expressions like
+// `slot - delay` or `kNoSlot - 1` on a sentinel are signed overflow —
+// undefined behaviour that UBSan traps and optimizers may exploit.  These
+// helpers assert (debug builds) that no operand is a sentinel before doing
+// plain arithmetic; use them anywhere an operand *could* be unset.
+constexpr Slot SlotDifference(Slot a, Slot b) {
+  assert(IsSlot(a) && IsSlot(b));
+  return a - b;
+}
+
+constexpr Slot SlotPlus(Slot s, std::int64_t delta) {
+  assert(IsSlot(s));
+  return s + delta;
 }
 
 }  // namespace sim

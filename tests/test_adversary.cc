@@ -72,8 +72,8 @@ TEST_P(AlignmentOverAlgorithms, ConcentrationCausesPredictedDelay) {
 
 INSTANTIATE_TEST_SUITE_P(FullyDistributed, AlignmentOverAlgorithms,
                          ::testing::Values("rr", "rr-per-output", "hash"),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
                            for (auto& c : name) {
                              if (c == '-') c = '_';
                            }

@@ -53,13 +53,13 @@ INSTANTIATE_TEST_SUITE_P(
                                          "random-s5"),
                        ::testing::Values(2, 3, 4),
                        ::testing::Values(4, 8, 12)),
-    [](const auto& info) {
-      std::string s = std::get<0>(info.param);
+    [](const auto& param_info) {
+      std::string s = std::get<0>(param_info.param);
       for (auto& c : s) {
         if (c == '-') c = '_';
       }
-      return s + "_r" + std::to_string(std::get<1>(info.param)) + "_N" +
-             std::to_string(std::get<2>(info.param));
+      return s + "_r" + std::to_string(std::get<1>(param_info.param)) + "_N" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 // The concentration is genuinely in ONE plane: replaying with the event

@@ -107,8 +107,8 @@ INSTANTIATE_TEST_SUITE_P(Registry, CloneIndependence,
                          ::testing::Values("rr", "rr-per-output", "hash",
                                            "random-s9", "ftd-h2",
                                            "static-partition-d3"),
-                         [](const auto& info) {
-                           std::string s = info.param;
+                         [](const auto& param_info) {
+                           std::string s = param_info.param;
                            for (auto& c : s) {
                              if (c == '-') c = '_';
                            }

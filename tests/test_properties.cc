@@ -116,9 +116,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          "static-partition-d3",
                                          "stale-jsq-u2"),
                        ::testing::ValuesIn(kGeometries)),
-    [](const auto& info) {
-      const Geometry geo = std::get<1>(info.param);
-      std::string s = std::get<0>(info.param);
+    [](const auto& param_info) {
+      const Geometry geo = std::get<1>(param_info.param);
+      std::string s = std::get<0>(param_info.param);
       for (auto& c : s) {
         if (c == '-') c = '_';
       }
@@ -157,10 +157,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Geometry{4, 3, 2}, Geometry{8, 4, 2},
                       Geometry{8, 7, 4}, Geometry{16, 8, 4},
                       Geometry{16, 15, 8}, Geometry{3, 3, 2}),
-    [](const auto& info) {
-      return "N" + std::to_string(info.param.n) + "_K" +
-             std::to_string(info.param.planes) + "_r" +
-             std::to_string(info.param.rate_ratio);
+    [](const auto& param_info) {
+      return "N" + std::to_string(param_info.param.n) + "_K" +
+             std::to_string(param_info.param.planes) + "_r" +
+             std::to_string(param_info.param.rate_ratio);
     });
 
 // P4: a PPS whose internal lines run at the external rate (r' = 1) with
@@ -191,8 +191,8 @@ TEST_P(DegeneratePps, OnePlaneFullRateEqualsOq) {
 INSTANTIATE_TEST_SUITE_P(Algorithms, DegeneratePps,
                          ::testing::Values("rr", "rr-per-output", "hash",
                                            "ftd-h1", "stale-jsq-u3"),
-                         [](const auto& info) {
-                           std::string s = info.param;
+                         [](const auto& param_info) {
+                           std::string s = param_info.param;
                            for (auto& c : s) {
                              if (c == '-') c = '_';
                            }

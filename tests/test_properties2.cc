@@ -54,8 +54,8 @@ INSTANTIATE_TEST_SUITE_P(Sweep, BufferedProperties,
                                            "cpa-emulation-u3",
                                            "request-grant-u1",
                                            "request-grant-u4"),
-                         [](const auto& info) {
-                           std::string s = info.param;
+                         [](const auto& param_info) {
+                           std::string s = param_info.param;
                            for (auto& c : s) {
                              if (c == '-') c = '_';
                            }
@@ -96,9 +96,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(CioqParam{1, false}, CioqParam{2, false},
                       CioqParam{3, false}, CioqParam{1, true},
                       CioqParam{2, true}),
-    [](const auto& info) {
-      return std::string(info.param.oldest_first ? "oldest" : "islip") +
-             "_S" + std::to_string(info.param.speedup);
+    [](const auto& param_info) {
+      return std::string(param_info.param.oldest_first ? "oldest" : "islip") +
+             "_S" + std::to_string(param_info.param.speedup);
     });
 
 // --- CPA existence boundary ---------------------------------------------------------
