@@ -36,9 +36,11 @@ check "Theorem 14 output busy 100%" "ftd-h2 .* 100\.0 +15 +0"
 check "Scaling N=1024 worst case 1023" "rr-per-output +fully-distributed +1024 +1023"
 # CCF exact mimicking at speedup 2.
 check "CCF exact OQ mimicking" "cioq/ccf-S2 .* 0 +0\.000 +0"
-# Fault trade: the d=2 partition loses 10% of cells.
-check "Fault: d=2 partition drops 10%" \
-      "static-partition-d2 .* 10\.000"
+# Chaos sweep: the zero-lag points lose no cells to stale dispatches,
+# while nonzero notification lag makes stale losses appear (bench_fault
+# table columns: K flap lag events dropped stranded stale link ...).
+check "Chaos: lag=0 point has zero stale dispatches" \
+      "^4 +400 +0 +[0-9]+ +[0-9]+ +[0-9]+ +0 +"
 # Information vs buffering: emulation row u=16 exactly 16, flat rr at 7.
 check "Info-vs-buffering identity line" "^16 +16 +16\.00 .* 7 +0\.27"
 
@@ -84,6 +86,16 @@ if "$ROOT/scripts/audit_sweep.sh" >/dev/null 2>&1; then
   echo "ok   : audited congested-output sweep, zero invariant violations"
 else
   echo "FAIL : audited sweep (run scripts/audit_sweep.sh for details)"
+  fail=1
+fi
+
+# Fault subsystem: the chaos grid (flap storms x notification lag) must
+# run under PPS_AUDIT with zero invariant violations and an exactly
+# reconciled loss taxonomy on every drained point.
+if "$ROOT/scripts/chaos_sweep.sh" >/dev/null 2>&1; then
+  echo "ok   : audited chaos sweep, loss taxonomy reconciled exactly"
+else
+  echo "FAIL : audited chaos sweep (run scripts/chaos_sweep.sh for details)"
   fail=1
 fi
 

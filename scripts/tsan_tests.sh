@@ -10,6 +10,8 @@
 #   test_sweep               ParallelMap races, sweep determinism
 #   test_stats               QuantileSketch concurrent const reads
 #   test_transforms_parallel pre-existing ParallelMap users
+#   test_fault               fault-schedule harness runs (the chaos bench
+#                            runs this machinery on the sweep thread pool)
 #
 #   ./scripts/tsan_tests.sh [build-dir]
 set -euo pipefail
@@ -17,15 +19,17 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build-tsan}"
 
+TESTS=(test_sweep test_stats test_transforms_parallel test_fault)
+
 cmake -B "$BUILD" -G Ninja -S "$ROOT" -DPPS_TSAN=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD" --target test_sweep test_stats test_transforms_parallel
+cmake --build "$BUILD" --target "${TESTS[@]}"
 
 # halt_on_error: a single race is a failure, not a warning stream.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
 status=0
-for t in test_sweep test_stats test_transforms_parallel; do
+for t in "${TESTS[@]}"; do
   echo "== tsan: $t =="
   "$BUILD/tests/$t" || status=$?
 done

@@ -250,6 +250,37 @@ void InvariantAuditor::OnRelativeDelay(sim::PortId input, sim::PortId output,
        << " above the proven bound " << options_.rqd_upper_bound;
     Fail(Invariant::kBoundSanity, t, os.str());
   }
+  // Degraded-mode bound: the epoch owning the cell's *arrival* slot is
+  // the last one starting at or before it (epochs are sorted by `from`).
+  if (!options_.rqd_epochs.empty()) {
+    const RqdEpoch* epoch = nullptr;
+    for (const RqdEpoch& e : options_.rqd_epochs) {
+      if (e.from > t) break;
+      epoch = &e;
+    }
+    if (epoch != nullptr && epoch->upper_bound != sim::kNoSlot &&
+        relative_delay > epoch->upper_bound) {
+      std::ostringstream os;
+      os << "cell of flow " << input << "->" << output << " (arrived slot "
+         << t << ") has relative delay " << relative_delay
+         << " above the degraded-mode epoch bound " << epoch->upper_bound
+         << " (epoch from slot " << epoch->from << ")";
+      Fail(Invariant::kBoundSanity, t, os.str());
+    }
+  }
+}
+
+void InvariantAuditor::OnLossTaxonomy(const fault::LossBreakdown& losses,
+                                      std::uint64_t reconciled_dropped,
+                                      sim::Slot t) {
+  if (losses.total() == reconciled_dropped) return;
+  std::ostringstream os;
+  os << "loss taxonomy (input-drops " << losses.input_drops << " + stranded "
+     << losses.stranded_cells << " + stale " << losses.stale_dispatches
+     << " + link " << losses.link_drops << " + late " << losses.late_arrivals
+     << " + overflows " << losses.buffer_overflows << " = " << losses.total()
+     << ") does not reconcile with dropped " << reconciled_dropped;
+  Fail(Invariant::kConservation, t, os.str());
 }
 
 void InvariantAuditor::OnRunEnd(sim::Slot t, std::int64_t backlog,

@@ -44,11 +44,22 @@
 #include <string>
 #include <vector>
 
+#include "fault/loss.h"
 #include "sim/cell.h"
 #include "sim/types.h"
 #include "traffic/leaky_bucket.h"
 
 namespace audit {
+
+// One failure epoch's claimed RQD ceiling for the degraded-mode bound
+// check: cells *arriving* in [from, next epoch's from) must finish within
+// `upper_bound` relative delay.  upper_bound == sim::kNoSlot leaves the
+// epoch unchecked (used when the surviving planes no longer sustain line
+// rate, so no finite bound is claimed).
+struct RqdEpoch {
+  sim::Slot from = 0;
+  sim::Slot upper_bound = sim::kNoSlot;
+};
 
 enum class Invariant : int {
   kConservation = 0,
@@ -102,6 +113,11 @@ class InvariantAuditor {
     // adversarial run that realises a theorem bound must reach it; checked
     // in OnRunEnd).  sim::kNoSlot disables.
     sim::Slot rqd_lower_bound = sim::kNoSlot;
+    // Per-failure-epoch RQD ceilings (degraded-mode bounds recomputed for
+    // the planes surviving each epoch).  Must be sorted by `from`; a cell's
+    // epoch is the last one starting at or before its arrival slot.  Empty
+    // disables; applies on top of rqd_upper_bound.
+    std::vector<RqdEpoch> rqd_epochs;
     bool check_conservation = true;
     bool check_flow_order = true;
     // Only meaningful for switches that promise per-output work
@@ -133,6 +149,15 @@ class InvariantAuditor {
   // cell of flow (input, output) that arrived in slot t.
   void OnRelativeDelay(sim::PortId input, sim::PortId output, sim::Slot t,
                        sim::Slot relative_delay);
+
+  // The harness's reconciled loss taxonomy for a fully drained run: the
+  // per-category fabric counters must sum exactly to the cells the harness
+  // counted as dropped — a mismatch means a loss path went uncounted (or
+  // was counted twice) and fires kConservation.  Call only when both
+  // switches drained; an undrained run legitimately has pending cells that
+  // are neither departed nor in any loss category.
+  void OnLossTaxonomy(const fault::LossBreakdown& losses,
+                      std::uint64_t reconciled_dropped, sim::Slot t);
 
   // End of run: final conservation reconciliation and lower-bound check.
   void OnRunEnd(sim::Slot t, std::int64_t backlog, std::uint64_t lost = 0);

@@ -1,6 +1,7 @@
 #include "core/bounds.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace core::bounds {
 
@@ -55,6 +56,32 @@ double IyerMcKeownUpper(int rate_ratio, int num_ports) {
 
 double FtdLower(int rate_ratio, int num_ports) {
   return 2.0 * num_ports * rate_ratio;
+}
+
+double DegradedSpeedup(int num_planes, int planes_down, int rate_ratio) {
+  return static_cast<double>(num_planes - planes_down) / rate_ratio;
+}
+
+bool DegradedSustainsLineRate(int num_planes, int planes_down,
+                              int rate_ratio) {
+  return num_planes - planes_down >= rate_ratio;
+}
+
+double DegradedTheorem8(int rate_ratio, int num_ports, int num_planes,
+                        int planes_down) {
+  if (!DegradedSustainsLineRate(num_planes, planes_down, rate_ratio)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return Theorem8(rate_ratio, num_ports,
+                  DegradedSpeedup(num_planes, planes_down, rate_ratio));
+}
+
+double DegradedIyerMcKeownUpper(int rate_ratio, int num_ports,
+                                int num_planes, int planes_down) {
+  if (!DegradedSustainsLineRate(num_planes, planes_down, rate_ratio)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return IyerMcKeownUpper(rate_ratio, num_ports);
 }
 
 }  // namespace core::bounds

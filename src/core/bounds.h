@@ -56,4 +56,30 @@ double IyerMcKeownUpper(int rate_ratio, int num_ports);
 // FTD [17]: at least 2N * R/r.
 double FtdLower(int rate_ratio, int num_ports);
 
+// --- Degraded mode (the fault model, src/fault/) ---
+//
+// With `planes_down` of the K planes failed, the fabric is effectively a
+// K' = K - planes_down plane PPS at the same r': every formula above
+// holds with K' substituted for K.  The functions below do exactly that
+// substitution, per failure epoch.
+
+// Effective speedup S' = (K - planes_down) / r'.
+double DegradedSpeedup(int num_planes, int planes_down, int rate_ratio);
+
+// True iff the surviving planes still sustain the external line rate
+// (S' >= 1, i.e. K' >= r').  Below this, input backlogs grow without
+// bound and no finite relative-delay bound is claimed.
+bool DegradedSustainsLineRate(int num_planes, int planes_down,
+                              int rate_ratio);
+
+// Theorem 8 with K' surviving planes: (r' - 1) * N / S'.  Returns +inf
+// when the epoch does not sustain line rate.
+double DegradedTheorem8(int rate_ratio, int num_ports, int num_planes,
+                        int planes_down);
+
+// Iyer-McKeown upper bound with K' surviving planes.  The N * r' bound is
+// independent of K, but it only holds while S' >= 1; +inf below that.
+double DegradedIyerMcKeownUpper(int rate_ratio, int num_ports,
+                                int num_planes, int planes_down);
+
 }  // namespace core::bounds

@@ -5,7 +5,10 @@
 #include <sstream>
 #include <unordered_map>
 
+#include <cmath>
+
 #include "audit/enabled.h"
+#include "core/bounds.h"
 #include "sim/error.h"
 #include "switch/config.h"
 
@@ -43,19 +46,21 @@ struct PendingCell {
   bool pps_dropped = false;
 };
 
-// Total cells lost inside the measured switch, summed over whichever loss
-// counters the fabric type exposes.
+// The measured switch's loss ledger, for fabrics that keep one (the CIOQ
+// crossbar is lossless and reports an empty breakdown).
+template <typename PpsT>
+fault::LossBreakdown LossesOf(const PpsT& pps) {
+  if constexpr (requires { pps.Losses(); }) {
+    return pps.Losses();
+  } else {
+    return {};
+  }
+}
+
+// Total cells lost inside the measured switch.
 template <typename PpsT>
 std::uint64_t LostInSwitch(const PpsT& pps) {
-  std::uint64_t lost = 0;
-  if constexpr (requires { pps.input_drops(); }) lost += pps.input_drops();
-  if constexpr (requires { pps.failed_plane_losses(); }) {
-    lost += pps.failed_plane_losses();
-  }
-  if constexpr (requires { pps.buffer_overflows(); }) {
-    lost += pps.buffer_overflows();
-  }
-  return lost;
+  return LossesOf(pps).total();
 }
 
 // Shared implementation over the fabric types: they expose the same
@@ -81,10 +86,32 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
 
   RunResult result;
 
+  // The effective fault timeline: the schedule from the options with the
+  // legacy single-failure knob folded in.  LinkDrop windows are armed on
+  // the fabric up front (they are stateless per-dispatch trials); plane
+  // fail/recover events are applied by the per-slot cursor below.
+  fault::FaultSchedule schedule = options.fault_schedule;
+  if (options.fail_plane_at != sim::kNoSlot) {
+    schedule.Fail(options.fail_plane, options.fail_plane_at);
+  }
+  if constexpr (requires { pps.link_faults(); }) {
+    if (!schedule.empty()) {
+      pps.link_faults().Seed(schedule.seed());
+      for (const fault::FaultEvent& ev : schedule.events()) {
+        if (ev.kind == fault::FaultKind::kLinkDrop) {
+          pps.link_faults().AddWindow(ev.input, ev.plane, ev.probability,
+                                      ev.at, ev.window);
+        }
+      }
+    }
+  }
+  std::size_t fault_cursor = 0;
+
   // Model-invariant auditing.  An explicitly attached auditor always
   // observes the measured switch; under -DPPS_AUDIT=ON a fresh pair of
   // auditors (measured + shadow) is constructed for every run instead.
-  const std::uint64_t lost_base = LostInSwitch(pps);
+  const fault::LossBreakdown losses_base = LossesOf(pps);
+  const std::uint64_t lost_base = losses_base.total();
   audit::InvariantAuditor* aud = options.auditor;
   audit::InvariantAuditor* shadow_aud = nullptr;
 #if PPS_AUDIT_ENABLED
@@ -97,6 +124,7 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
     audit::InvariantAuditor::Options aopts;
     aopts.rqd_upper_bound = options.audit_rqd_upper_bound;
     aopts.rqd_lower_bound = options.audit_rqd_lower_bound;
+    aopts.rqd_epochs = options.audit_rqd_epochs;
     // A first-delivered-first-out mux legitimately reorders flows that
     // straddle planes; per-flow order is only promised under resequencing.
     if constexpr (requires { pps.config().mux_policy; }) {
@@ -135,12 +163,24 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
   std::uint64_t known_lost = LostInSwitch(pps);
   sim::Slot t = 0;
   for (; t < options.max_slots; ++t) {
-    if constexpr (requires { pps.FailPlane(options.fail_plane); }) {
-      if (options.fail_plane_at != sim::kNoSlot &&
-          t == options.fail_plane_at) {
-        pps.FailPlane(options.fail_plane);
-        // Cells stranded inside the failed plane bump the loss counter
-        // without naming ids; their entries are reconciled at run end.
+    // Apply this slot's plane fail/recover events before arrivals, so the
+    // fabric's ground truth (and, modulo the visibility lag, the
+    // demultiplexors' beliefs) is up to date when dispatch decisions run.
+    if constexpr (requires {
+                    pps.FailPlane(sim::PlaneId{0}, t);
+                    pps.RecoverPlane(sim::PlaneId{0}, t);
+                  }) {
+      while (fault_cursor < schedule.events().size() &&
+             schedule.events()[fault_cursor].at <= t) {
+        const fault::FaultEvent& ev = schedule.events()[fault_cursor++];
+        if (ev.kind == fault::FaultKind::kPlaneFail) {
+          pps.FailPlane(ev.plane, t);
+        } else if (ev.kind == fault::FaultKind::kPlaneRecover) {
+          pps.RecoverPlane(ev.plane, t);
+        }
+        // kLinkDrop windows were armed before the run.
+        // Cells stranded inside a failed plane bump the loss counter
+        // without naming ids; their entries are reconciled by the sweeps.
         known_lost = LostInSwitch(pps);
       }
     }
@@ -282,6 +322,7 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
       }
     }
   }
+  result.losses = LossesOf(pps) - losses_base;
   result.traffic_burstiness = meter.OutputBurstiness();
   result.order_preserved = pps_rec.order_preserved();
   result.resequencing_stalls = pps.resequencing_stalls();
@@ -303,6 +344,11 @@ RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
               });
   }
   if (aud != nullptr) {
+    // The taxonomy reconciliation is only exact once every pending cell
+    // has been resolved, i.e. when both switches drained.
+    if (result.drained) {
+      aud->OnLossTaxonomy(result.losses, result.dropped, t);
+    }
     aud->OnRunEnd(t, pps.TotalBacklog(), known_lost - lost_base);
     result.audit_violations += aud->report().total();
   }
@@ -349,6 +395,23 @@ RunResult RunRelative(pps::InputBufferedPps& pps,
 RunResult RunRelative(cioq::CioqSwitch& sw, traffic::TrafficSource& source,
                       const RunOptions& options) {
   return RunImpl(sw, source, options);
+}
+
+std::vector<audit::RqdEpoch> DegradedRqdEpochs(
+    const fault::FaultSchedule& schedule, const pps::SwitchConfig& config,
+    sim::Slot slack) {
+  std::vector<audit::RqdEpoch> epochs;
+  for (const fault::FaultSchedule::Epoch& e : schedule.FailureEpochs()) {
+    const double bound = bounds::DegradedIyerMcKeownUpper(
+        config.rate_ratio, config.num_ports, config.num_planes,
+        e.planes_down);
+    audit::RqdEpoch out{e.from, sim::kNoSlot};
+    if (std::isfinite(bound)) {
+      out.upper_bound = sim::SlotPlus(static_cast<sim::Slot>(bound), slack);
+    }
+    epochs.push_back(out);
+  }
+  return epochs;
 }
 
 std::string Summarize(const RunResult& result) {

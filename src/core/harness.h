@@ -22,6 +22,8 @@
 
 #include "audit/invariant_auditor.h"
 #include "cioq/cioq_switch.h"
+#include "fault/fault_schedule.h"
+#include "fault/loss.h"
 #include "sim/cell.h"
 #include "sim/latency_recorder.h"
 #include "sim/stats.h"
@@ -47,11 +49,18 @@ struct RunOptions {
   // Record (arrival, relative delay) per cell for windowed analyses
   // (e.g. Theorem 14's congested-period measurement).
   bool keep_timeline = false;
-  // Fault injection: take fail_plane out of service at the start of slot
-  // fail_plane_at (kNoSlot = never).  Only meaningful for fabrics with a
-  // FailPlane surface; ignored otherwise.
+  // Fault injection, legacy single-failure form: take fail_plane out of
+  // service at the start of slot fail_plane_at (kNoSlot = never).  Folded
+  // into fault_schedule at run start; only meaningful for fabrics with a
+  // FailPlane surface, ignored otherwise.
   sim::Slot fail_plane_at = sim::kNoSlot;
   sim::PlaneId fail_plane = 0;
+  // Fault injection, general form (fault/fault_schedule.h): plane
+  // fail/recover events are applied at the start of their slot, LinkDrop
+  // windows are armed on the fabric's LinkFaultInjector (seeded from the
+  // schedule) before the first slot.  An empty schedule is exactly a
+  // no-fault run.  Ignored for fabrics without a fault surface (CIOQ).
+  fault::FaultSchedule fault_schedule;
   // Model-invariant auditing (audit/invariant_auditor.h).  An explicitly
   // attached auditor observes the measured switch's inject/depart/slot-end
   // stream plus finalized relative delays, in every build; when null and
@@ -64,6 +73,9 @@ struct RunOptions {
   // set — put the bounds in its Options instead.
   sim::Slot audit_rqd_upper_bound = sim::kNoSlot;
   sim::Slot audit_rqd_lower_bound = sim::kNoSlot;
+  // Per-failure-epoch RQD ceilings for the auto-audit (see
+  // DegradedRqdEpochs below).  Ignored when `auditor` is set.
+  std::vector<audit::RqdEpoch> audit_rqd_epochs;
 };
 
 struct CellRelative {
@@ -86,6 +98,11 @@ struct RunResult {
   // `cells - dropped` is the finalized-cell count and memory stays bounded
   // by the in-flight backlog in long fault runs, not by the run length.
   std::uint64_t dropped = 0;
+  // Loss taxonomy: the per-category fabric counters, as this run's delta.
+  // On a fully drained run losses.total() == dropped exactly (audited by
+  // InvariantAuditor::OnLossTaxonomy); undrained runs may have lost fewer
+  // cells than remain untracked.
+  fault::LossBreakdown losses;
 
   sim::Slot max_relative_delay = 0;
   sim::Slot max_relative_jitter = 0;
@@ -126,5 +143,15 @@ RunResult RunRelative(cioq::CioqSwitch& sw, traffic::TrafficSource& source,
 
 // Human-readable one-line summary.
 std::string Summarize(const RunResult& result);
+
+// Degraded-mode RQD ceilings for the auto-audit, one per failure epoch of
+// `schedule`: the Iyer-McKeown upper bound recomputed with that epoch's
+// surviving plane count (core::bounds::DegradedIyerMcKeownUpper), plus
+// `slack` slots of margin for cells straddling an epoch boundary and for
+// stale-visibility transients.  Epochs whose survivors cannot sustain
+// line rate get no bound (sim::kNoSlot).
+std::vector<audit::RqdEpoch> DegradedRqdEpochs(
+    const fault::FaultSchedule& schedule, const pps::SwitchConfig& config,
+    sim::Slot slack = 0);
 
 }  // namespace core

@@ -1,0 +1,339 @@
+#include "fault/fault_schedule.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+#include "sim/error.h"
+#include "sim/rng.h"
+
+namespace fault {
+
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPlaneFail: return "plane-fail";
+    case FaultKind::kPlaneRecover: return "plane-recover";
+    case FaultKind::kLinkDrop: return "link-drop";
+  }
+  return "?";
+}
+
+FaultSchedule& FaultSchedule::Add(FaultEvent event) {
+  SIM_CHECK(sim::IsSlot(event.at), "fault event needs a real slot");
+  SIM_CHECK(event.plane >= 0, "fault event needs a nonnegative plane id");
+  if (event.kind == FaultKind::kLinkDrop) {
+    SIM_CHECK(event.window >= 1, "link-drop window must be >= 1 slot");
+    SIM_CHECK(event.probability >= 0.0 && event.probability <= 1.0,
+              "link-drop probability must be in [0, 1]");
+  }
+  // Insert before the first later event: sorted by `at`, stable for ties.
+  auto it = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  events_.insert(it, event);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Fail(sim::PlaneId plane, sim::Slot at) {
+  return Add({.kind = FaultKind::kPlaneFail, .at = at, .plane = plane});
+}
+
+FaultSchedule& FaultSchedule::Recover(sim::PlaneId plane, sim::Slot at) {
+  return Add({.kind = FaultKind::kPlaneRecover, .at = at, .plane = plane});
+}
+
+FaultSchedule& FaultSchedule::DropLink(sim::PortId input, sim::PlaneId plane,
+                                       double probability, sim::Slot from,
+                                       sim::Slot window) {
+  return Add({.kind = FaultKind::kLinkDrop,
+              .at = from,
+              .plane = plane,
+              .input = input,
+              .probability = probability,
+              .window = window});
+}
+
+FaultSchedule FaultSchedule::RandomFlaps(int num_planes, sim::Slot horizon,
+                                         double mean_up, double mean_down,
+                                         std::uint64_t seed, int max_down) {
+  SIM_CHECK(num_planes > 0 && horizon > 0, "bad flap-storm shape");
+  SIM_CHECK(mean_up >= 1.0 && mean_down >= 1.0,
+            "mean up/down times must be >= 1 slot");
+  FaultSchedule schedule;
+  schedule.set_seed(seed);
+  sim::Rng rng(seed);
+  // Geometric dwell times (mean m => success probability 1/m), one stream
+  // shared in chronological order so the storm is deterministic in seed.
+  const auto dwell = [&rng](double mean) -> sim::Slot {
+    return 1 + static_cast<sim::Slot>(rng.Geometric(1.0 / mean));
+  };
+  struct PlaneState {
+    bool down = false;
+    sim::Slot next = 0;
+  };
+  std::vector<PlaneState> planes(static_cast<std::size_t>(num_planes));
+  for (auto& p : planes) p.next = dwell(mean_up);
+  int down_count = 0;
+  for (;;) {
+    // Chronologically next transition (ties: lowest plane id).
+    int best = -1;
+    for (int k = 0; k < num_planes; ++k) {
+      const auto idx = static_cast<std::size_t>(k);
+      if (planes[idx].next >= horizon) continue;
+      if (best < 0 ||
+          planes[idx].next < planes[static_cast<std::size_t>(best)].next) {
+        best = k;
+      }
+    }
+    if (best < 0) break;
+    auto& p = planes[static_cast<std::size_t>(best)];
+    if (p.down) {
+      schedule.Recover(best, p.next);
+      p.down = false;
+      --down_count;
+      p.next += dwell(mean_up);
+    } else if (max_down >= 0 && down_count >= max_down) {
+      // The cap is reached: this plane stays up and retries one mean
+      // down-time later (keeps the draw count deterministic).
+      p.next += dwell(mean_down);
+    } else {
+      schedule.Fail(best, p.next);
+      p.down = true;
+      ++down_count;
+      p.next += dwell(mean_down);
+    }
+  }
+  return schedule;
+}
+
+std::vector<FaultSchedule::Epoch> FaultSchedule::FailureEpochs() const {
+  std::vector<Epoch> epochs{{0, 0}};
+  std::vector<sim::PlaneId> down;
+  for (const FaultEvent& ev : events_) {
+    const auto it = std::find(down.begin(), down.end(), ev.plane);
+    bool changed = false;
+    if (ev.kind == FaultKind::kPlaneFail && it == down.end()) {
+      down.push_back(ev.plane);
+      changed = true;
+    } else if (ev.kind == FaultKind::kPlaneRecover && it != down.end()) {
+      down.erase(it);
+      changed = true;
+    }
+    if (!changed) continue;
+    const int count = static_cast<int>(down.size());
+    if (epochs.back().from == ev.at) {
+      epochs.back().planes_down = count;  // same-slot events merge
+    } else {
+      epochs.push_back({ev.at, count});
+    }
+  }
+  return epochs;
+}
+
+// --- JSON ------------------------------------------------------------------
+//
+// The schedule serializer is self-contained: core::json (metrics_json) is
+// a writer living above the switch layer, while this library sits below
+// it, so the few lines of emit/parse here keep the dependency graph
+// acyclic.  The format is the fixed shape documented on ToJson.
+
+namespace {
+
+void AppendNumber(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);  // shortest round-trip form, byte-stable
+}
+
+// Minimal recursive-descent JSON reader for the schedule shape.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  void ParseSchedule(FaultSchedule& schedule) {
+    ExpectObject([&](std::string_view key) {
+      if (key == "seed") {
+        schedule.set_seed(static_cast<std::uint64_t>(ParseInt()));
+      } else if (key == "events") {
+        Expect('[');
+        SkipSpace();
+        if (!Consume(']')) {
+          do {
+            schedule.Add(ParseEvent());
+          } while (Consume(','));
+          Expect(']');
+        }
+      } else {
+        Fail("unknown schedule key '" + std::string(key) + "'");
+      }
+    });
+    SkipSpace();
+    if (pos_ != text_.size()) Fail("trailing characters after document");
+  }
+
+ private:
+  FaultEvent ParseEvent() {
+    FaultEvent ev;
+    bool saw_kind = false;
+    ExpectObject([&](std::string_view key) {
+      if (key == "kind") {
+        const std::string kind(ParseString());
+        if (kind == "plane-fail") {
+          ev.kind = FaultKind::kPlaneFail;
+        } else if (kind == "plane-recover") {
+          ev.kind = FaultKind::kPlaneRecover;
+        } else if (kind == "link-drop") {
+          ev.kind = FaultKind::kLinkDrop;
+        } else {
+          Fail("unknown event kind '" + kind + "'");
+        }
+        saw_kind = true;
+      } else if (key == "at") {
+        ev.at = ParseInt();
+      } else if (key == "plane") {
+        ev.plane = static_cast<sim::PlaneId>(ParseInt());
+      } else if (key == "input") {
+        ev.input = static_cast<sim::PortId>(ParseInt());
+      } else if (key == "probability") {
+        ev.probability = ParseDouble();
+      } else if (key == "window") {
+        ev.window = ParseInt();
+      } else {
+        Fail("unknown event key '" + std::string(key) + "'");
+      }
+    });
+    if (!saw_kind) Fail("event without a 'kind'");
+    return ev;
+  }
+
+  template <typename KeyFn>
+  void ExpectObject(KeyFn&& on_key) {
+    Expect('{');
+    SkipSpace();
+    if (Consume('}')) return;
+    do {
+      const std::string_view key = ParseString();
+      Expect(':');
+      on_key(key);
+    } while (Consume(','));
+    Expect('}');
+  }
+
+  std::string_view ParseString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') Fail("expected string");
+    const std::size_t start = ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') Fail("escapes are not used in schedules");
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) Fail("unterminated string");
+    return text_.substr(start, pos_++ - start);
+  }
+
+  std::int64_t ParseInt() {
+    const std::string_view tok = NumberToken();
+    std::int64_t v = 0;
+    const auto res = std::from_chars(tok.begin(), tok.end(), v);
+    if (res.ec != std::errc{} || res.ptr != tok.end()) {
+      Fail("expected integer, got '" + std::string(tok) + "'");
+    }
+    return v;
+  }
+
+  double ParseDouble() {
+    const std::string_view tok = NumberToken();
+    double v = 0;
+    const auto res = std::from_chars(tok.begin(), tok.end(), v);
+    if (res.ec != std::errc{} || res.ptr != tok.end()) {
+      Fail("expected number, got '" + std::string(tok) + "'");
+    }
+    return v;
+  }
+
+  std::string_view NumberToken() {
+    SkipSpace();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected number");
+    return text_.substr(start, pos_ - start);
+  }
+
+  void Expect(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[noreturn]] void Fail(const std::string& what) const {
+    std::ostringstream os;
+    os << "FaultSchedule JSON: " << what << " at offset " << pos_;
+    throw sim::SimError(os.str());
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string FaultSchedule::ToJson(int indent) const {
+  const std::string nl = indent >= 0 ? "\n" : "";
+  const std::string pad1 = indent >= 0 ? std::string(indent, ' ') : "";
+  const std::string pad2 = pad1 + pad1;
+  std::string out = "{" + nl;
+  out += pad1 + "\"seed\": " + std::to_string(seed_) + "," + nl;
+  out += pad1 + "\"events\": [";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& ev = events_[i];
+    out += (i == 0 ? nl : "," + nl) + pad2;
+    out += "{\"kind\": \"";
+    out += ToString(ev.kind);
+    out += "\", \"at\": " + std::to_string(ev.at);
+    out += ", \"plane\": " + std::to_string(ev.plane);
+    if (ev.kind == FaultKind::kLinkDrop) {
+      out += ", \"input\": " + std::to_string(ev.input);
+      out += ", \"probability\": ";
+      AppendNumber(out, ev.probability);
+      out += ", \"window\": " + std::to_string(ev.window);
+    }
+    out += "}";
+  }
+  if (!events_.empty()) out += nl + pad1;
+  out += "]" + nl + "}" + nl;
+  return out;
+}
+
+FaultSchedule FaultSchedule::FromJson(std::string_view json) {
+  FaultSchedule schedule;
+  JsonReader reader(json);
+  reader.ParseSchedule(schedule);
+  return schedule;
+}
+
+}  // namespace fault

@@ -1,0 +1,115 @@
+// Deterministic fault-injection timelines, shared by both PPS fabrics.
+//
+// The paper motivates the PPS by fault tolerance: "statically partitioning
+// the planes among the different demultiplexors is failure-prone", so a
+// real evaluation needs more than a single permanent failure.  A
+// FaultSchedule is an ordered timeline of events the harness applies at
+// the start of each slot:
+//
+//   PlaneFail(k, t)            plane k leaves service at slot t; cells
+//                              queued inside it are lost (counted as
+//                              stranded_cells);
+//   PlaneRecover(k, t)         plane k rejoins at slot t with a cleared
+//                              calendar, links and booking reservations;
+//   LinkDrop(i, k, p, t, w)    during [t, t+w) each dispatch from input i
+//                              (kNoPort = every input) to plane k loses
+//                              the cell with probability p.
+//
+// Schedules are value types: seedable/randomizable (RandomFlaps builds a
+// flap storm), serializable to/from JSON for reproducible chaos runs, and
+// an empty schedule is exactly a no-fault run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace fault {
+
+enum class FaultKind {
+  kPlaneFail,
+  kPlaneRecover,
+  kLinkDrop,
+};
+
+const char* ToString(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kPlaneFail;
+  sim::Slot at = 0;             // slot the event takes effect
+  sim::PlaneId plane = 0;       // the plane failing/recovering/flaking
+  // kLinkDrop only:
+  sim::PortId input = sim::kNoPort;  // kNoPort = every input line to `plane`
+  double probability = 1.0;          // per-dispatch loss probability
+  sim::Slot window = 1;              // active for [at, at + window)
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  // Builder-style event insertion; events are kept sorted by `at` (stable
+  // for ties, so same-slot events apply in insertion order).
+  FaultSchedule& Fail(sim::PlaneId plane, sim::Slot at);
+  FaultSchedule& Recover(sim::PlaneId plane, sim::Slot at);
+  FaultSchedule& DropLink(sim::PortId input, sim::PlaneId plane,
+                          double probability, sim::Slot from,
+                          sim::Slot window);
+  FaultSchedule& Add(FaultEvent event);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  // Seed for the stochastic parts of the model (LinkDrop Bernoulli trials);
+  // two runs of the same schedule with the same seed lose the same cells.
+  std::uint64_t seed() const { return seed_; }
+  FaultSchedule& set_seed(std::uint64_t seed) {
+    seed_ = seed;
+    return *this;
+  }
+
+  // Flap storm: every plane independently alternates up/down over
+  // [0, horizon), with geometric up-times of mean `mean_up` slots and
+  // down-times of mean `mean_down` slots.  At most `max_down` planes are
+  // down at once (a plane whose failure would exceed the cap stays up and
+  // retries later), so chaos runs can keep K' >= r' if desired;
+  // max_down < 0 means no cap.  Deterministic in (parameters, seed).
+  static FaultSchedule RandomFlaps(int num_planes, sim::Slot horizon,
+                                   double mean_up, double mean_down,
+                                   std::uint64_t seed, int max_down = -1);
+
+  // JSON round-trip for reproducible chaos runs:
+  //   {"seed": 42, "events": [
+  //     {"kind": "plane-fail", "at": 100, "plane": 2}, ...]}
+  // ToJson output parses back to an equal schedule; FromJson throws
+  // sim::SimError on malformed input or unknown keys.
+  std::string ToJson(int indent = 2) const;
+  static FaultSchedule FromJson(std::string_view json);
+
+  // Failure epochs: the maximal intervals with a constant set of failed
+  // planes, derived from the plane fail/recover events.  Epoch 0 always
+  // starts at slot 0 with zero planes down; link-drop windows do not open
+  // epochs.  Used for degraded-mode bound recomputation (core/bounds) and
+  // the auditor's per-epoch RQD checks.
+  struct Epoch {
+    sim::Slot from = 0;   // first slot of the epoch
+    int planes_down = 0;  // failed planes throughout the epoch
+  };
+  std::vector<Epoch> FailureEpochs() const;
+
+  friend bool operator==(const FaultSchedule& a, const FaultSchedule& b) {
+    return a.seed_ == b.seed_ && a.events_ == b.events_;
+  }
+
+ private:
+  std::vector<FaultEvent> events_;  // sorted by `at`, stable
+  std::uint64_t seed_ = 0x9e3779b97f4a7c15ull;
+};
+
+}  // namespace fault

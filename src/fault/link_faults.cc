@@ -1,0 +1,41 @@
+#include "fault/link_faults.h"
+
+#include "sim/error.h"
+
+namespace fault {
+
+void LinkFaultInjector::AddWindow(sim::PortId input, sim::PlaneId plane,
+                                  double probability, sim::Slot from,
+                                  sim::Slot window) {
+  SIM_CHECK(plane >= 0, "link fault needs a real plane");
+  SIM_CHECK(window >= 1, "link fault window must be >= 1 slot");
+  SIM_CHECK(probability >= 0.0 && probability <= 1.0,
+            "link fault probability must be in [0, 1]");
+  windows_.push_back(
+      {input, plane, probability, from, sim::SlotPlus(from, window)});
+}
+
+bool LinkFaultInjector::Active(sim::Slot t) const {
+  for (const Window& w : windows_) {
+    if (t >= w.from && t < w.until) return true;
+  }
+  return false;
+}
+
+bool LinkFaultInjector::Dropped(sim::PortId input, sim::PlaneId plane,
+                                sim::Slot t) {
+  bool dropped = false;
+  for (const Window& w : windows_) {
+    if (t < w.from || t >= w.until) continue;
+    if (w.plane != plane) continue;
+    if (w.input != sim::kNoPort && w.input != input) continue;
+    if (w.probability >= 1.0) {
+      dropped = true;  // certain loss: no draw, stream stays aligned
+    } else if (w.probability > 0.0 && !dropped && rng_.Bernoulli(w.probability)) {
+      dropped = true;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace fault

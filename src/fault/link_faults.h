@@ -1,0 +1,57 @@
+// Flaky input->plane links: probabilistic cell loss inside LinkDrop
+// windows of a FaultSchedule.
+//
+// The injector is armed once per run (the harness copies the schedule's
+// LinkDrop events and seed in before the first slot) and then queried on
+// every dispatch.  Loss draws consume a dedicated Rng stream seeded from
+// the schedule, so link faults never perturb traffic randomness and two
+// runs of the same schedule lose the same cells.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace fault {
+
+class LinkFaultInjector {
+ public:
+  LinkFaultInjector() = default;
+
+  void Seed(std::uint64_t seed) { rng_ = sim::Rng(seed); }
+
+  // Arms loss probability `probability` on dispatches from `input`
+  // (kNoPort = every input) to `plane` during [from, from + window).
+  void AddWindow(sim::PortId input, sim::PlaneId plane, double probability,
+                 sim::Slot from, sim::Slot window);
+
+  // True iff the dispatch (input -> plane at slot t) loses its cell.
+  // Draws from the fault stream only when a window matches with a
+  // probability strictly inside (0, 1), so inert windows cost no
+  // randomness.  With several matching windows the cell survives only if
+  // it survives each independently.
+  bool Dropped(sim::PortId input, sim::PlaneId plane, sim::Slot t);
+
+  bool empty() const { return windows_.empty(); }
+
+  // True iff some window covers slot t (cheap pre-check for hot paths).
+  bool Active(sim::Slot t) const;
+
+  void Clear() { windows_.clear(); }
+
+ private:
+  struct Window {
+    sim::PortId input = sim::kNoPort;
+    sim::PlaneId plane = 0;
+    double probability = 1.0;
+    sim::Slot from = 0;
+    sim::Slot until = 0;  // exclusive
+  };
+
+  std::vector<Window> windows_;
+  sim::Rng rng_;
+};
+
+}  // namespace fault

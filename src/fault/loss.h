@@ -1,0 +1,57 @@
+// Loss taxonomy: every way a PPS can lose a cell under the fault model,
+// as one reconcilable ledger.
+//
+// The paper's opening pitch for the PPS is fault tolerance — many slow
+// planes so the switch survives component loss — which only means
+// something if losses under faults are *accounted*, not crashed on.  Each
+// category below is a distinct mechanism with its own counter in the
+// fabric; the harness reports the per-run delta in
+// core::RunResult::losses and the InvariantAuditor checks that the
+// categories sum exactly to the cells the harness reconciled as dropped.
+#pragma once
+
+#include <cstdint>
+
+namespace fault {
+
+struct LossBreakdown {
+  // Cell refused at the input: no usable plane (every plane the algorithm
+  // may use is failed or busy, e.g. an exhausted static partition).
+  std::uint64_t input_drops = 0;
+  // Cells queued inside a plane at the moment it failed.
+  std::uint64_t stranded_cells = 0;
+  // Cells dispatched to a plane that was down but not yet visibly down to
+  // the demultiplexor (the stale-visibility model): the transmission goes
+  // into the dead plane and the cell is lost.
+  std::uint64_t stale_dispatches = 0;
+  // Cells lost to a flaky input->plane link during a LinkDrop window.
+  std::uint64_t link_drops = 0;
+  // Cells that reached the output mux after the resequencer had already
+  // timed out their sequence number (the cell was merely delayed in a
+  // congested plane, not lost upstream): the reassembly window expired,
+  // the flow moved on, and a late cell cannot be delivered in order.
+  std::uint64_t late_arrivals = 0;
+  // Input-buffered variant only: arriving cell kept by the algorithm while
+  // its buffer was full.
+  std::uint64_t buffer_overflows = 0;
+
+  std::uint64_t total() const {
+    return input_drops + stranded_cells + stale_dispatches + link_drops +
+           late_arrivals + buffer_overflows;
+  }
+
+  friend LossBreakdown operator-(const LossBreakdown& a,
+                                 const LossBreakdown& b) {
+    return {a.input_drops - b.input_drops,
+            a.stranded_cells - b.stranded_cells,
+            a.stale_dispatches - b.stale_dispatches,
+            a.link_drops - b.link_drops,
+            a.late_arrivals - b.late_arrivals,
+            a.buffer_overflows - b.buffer_overflows};
+  }
+
+  friend bool operator==(const LossBreakdown&,
+                         const LossBreakdown&) = default;
+};
+
+}  // namespace fault

@@ -1,0 +1,86 @@
+#include "fault/visibility.h"
+
+#include "sim/error.h"
+
+namespace fault {
+
+PlaneVisibility::PlaneVisibility(int num_planes, sim::Slot lag)
+    : planes_(static_cast<std::size_t>(num_planes)) {
+  SetLag(lag);
+}
+
+void PlaneVisibility::SetLag(sim::Slot lag) {
+  SIM_CHECK(lag >= 0, "visibility lag must be >= 0 slots");
+  lag_ = lag;
+}
+
+PlaneVisibility::PlaneState& PlaneVisibility::StateOf(sim::PlaneId plane) {
+  SIM_CHECK(plane >= 0, "bad plane id");
+  if (static_cast<std::size_t>(plane) >= planes_.size()) {
+    planes_.resize(static_cast<std::size_t>(plane) + 1);
+  }
+  return planes_[static_cast<std::size_t>(plane)];
+}
+
+void PlaneVisibility::Record(sim::PlaneId plane, sim::Slot at, bool down) {
+  PlaneState& state = StateOf(plane);
+  if (!sim::IsSlot(at) || lag_ == 0) {
+    // Immediately visible: fold into the base state and drop history that
+    // can no longer change any answer.
+    state.base_down = down;
+    state.transitions.clear();
+    return;
+  }
+  if (!state.transitions.empty()) {
+    const Transition& last = state.transitions.back();
+    SIM_CHECK(at >= last.at, "visibility transitions must be in slot order");
+    if (last.at == at) {
+      state.transitions.back().down = down;  // same slot: last state wins
+      return;
+    }
+    if (last.down == down) return;  // no state change, nothing to record
+  } else if (state.base_down == down) {
+    return;
+  }
+  state.transitions.push_back({at, down});
+}
+
+void PlaneVisibility::SetDown(sim::PlaneId plane, sim::Slot at) {
+  Record(plane, at, true);
+}
+
+void PlaneVisibility::SetUp(sim::PlaneId plane, sim::Slot at) {
+  Record(plane, at, false);
+}
+
+bool PlaneVisibility::Down(sim::PlaneId plane) const {
+  if (plane < 0 || static_cast<std::size_t>(plane) >= planes_.size()) {
+    return false;
+  }
+  const PlaneState& state = planes_[static_cast<std::size_t>(plane)];
+  return state.transitions.empty() ? state.base_down
+                                   : state.transitions.back().down;
+}
+
+bool PlaneVisibility::VisiblyDown(sim::PlaneId plane, sim::Slot now) const {
+  if (plane < 0 || static_cast<std::size_t>(plane) >= planes_.size()) {
+    return false;
+  }
+  const PlaneState& state = planes_[static_cast<std::size_t>(plane)];
+  const sim::Slot horizon = sim::SlotDifference(now, lag_);
+  bool down = state.base_down;
+  for (const Transition& tr : state.transitions) {
+    if (tr.at > horizon) break;  // not yet visible at `now`
+    down = tr.down;
+  }
+  return down;
+}
+
+void PlaneVisibility::Reset() {
+  for (PlaneState& state : planes_) {
+    state.base_down = false;
+    state.transitions.clear();
+  }
+}
+
+}  // namespace fault

@@ -1,0 +1,66 @@
+// Stale failure visibility: what the demultiplexors believe about plane
+// health, as opposed to ground truth.
+//
+// The paper's u-RT information model has demultiplexors acting on queue
+// lengths that are u slots old; PlaneVisibility applies the same idea to
+// failure knowledge.  The fabric records ground-truth up/down transitions
+// as they happen; `VisiblyDown(k, now)` answers with the state as of
+// `now - lag`, so for `lag` slots after a failure the demultiplexors keep
+// dispatching into the dead plane (each such cell is a counted
+// stale-dispatch loss, not a crash).  Lag 0 — the default — reproduces
+// the legacy instant-knowledge model exactly.
+#pragma once
+
+#include <vector>
+
+#include "sim/types.h"
+
+namespace fault {
+
+class PlaneVisibility {
+ public:
+  PlaneVisibility() = default;
+  explicit PlaneVisibility(int num_planes, sim::Slot lag = 0);
+
+  // Notification lag in slots (>= 0).  Changing the lag does not rewrite
+  // history; it only moves the observation point of later queries.
+  sim::Slot lag() const { return lag_; }
+  void SetLag(sim::Slot lag);
+
+  // Ground-truth transitions.  `at == kNoSlot` means "since forever": the
+  // transition is folded into the base state and is immediately visible
+  // regardless of lag (used by the legacy FailPlane(k) entry point and by
+  // Reset-time healing).  Transitions must otherwise arrive in
+  // nondecreasing slot order per plane; same-slot re-transitions keep the
+  // last state.
+  void SetDown(sim::PlaneId plane, sim::Slot at = sim::kNoSlot);
+  void SetUp(sim::PlaneId plane, sim::Slot at = sim::kNoSlot);
+
+  // Ground truth right now (the most recent transition, no lag).
+  bool Down(sim::PlaneId plane) const;
+
+  // What a demultiplexor believes at slot `now`: the ground-truth state as
+  // of `now - lag`.  Transitions not yet `lag` slots old are invisible.
+  bool VisiblyDown(sim::PlaneId plane, sim::Slot now) const;
+
+  // Forget all transitions and mark every plane up (keeps the lag).
+  void Reset();
+
+ private:
+  struct Transition {
+    sim::Slot at = 0;
+    bool down = false;
+  };
+  struct PlaneState {
+    bool base_down = false;                // state before any transition
+    std::vector<Transition> transitions;   // nondecreasing `at`
+  };
+
+  void Record(sim::PlaneId plane, sim::Slot at, bool down);
+  PlaneState& StateOf(sim::PlaneId plane);
+
+  std::vector<PlaneState> planes_;
+  sim::Slot lag_ = 0;
+};
+
+}  // namespace fault

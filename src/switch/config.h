@@ -47,6 +47,13 @@ struct SwitchConfig {
   // be lost (plane failures).  0 = wait forever (lossless operation).
   int reseq_timeout = 0;
 
+  // Stale failure visibility (the u-RT idea applied to fault knowledge):
+  // demultiplexors learn of a plane failing or recovering only this many
+  // slots after the fact.  During the lag a dispatch can land on a
+  // down-but-not-yet-known plane; the cell is lost and counted as a
+  // stale_dispatch_loss.  0 = instant knowledge (the legacy model).
+  int fault_visibility_lag = 0;
+
   double speedup() const {
     return static_cast<double>(num_planes) / rate_ratio;
   }
@@ -57,6 +64,7 @@ struct SwitchConfig {
     SIM_CHECK(rate_ratio >= 1, "rate_ratio must be >= 1");
     SIM_CHECK(input_buffer_size >= 0, "negative input buffer");
     SIM_CHECK(snapshot_history >= 0, "negative snapshot history");
+    SIM_CHECK(fault_visibility_lag >= 0, "negative fault visibility lag");
   }
 
   std::string ToString() const {

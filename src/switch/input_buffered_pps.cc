@@ -38,15 +38,29 @@ InputBufferedPps::InputBufferedPps(SwitchConfig config,
   buffers_.resize(static_cast<std::size_t>(config_.num_ports));
   incoming_.resize(static_cast<std::size_t>(config_.num_ports));
   failed_.assign(static_cast<std::size_t>(config_.num_planes), false);
+  visibility_ =
+      fault::PlaneVisibility(config_.num_planes, config_.fault_visibility_lag);
 }
 
-void InputBufferedPps::FailPlane(sim::PlaneId k) {
+void InputBufferedPps::FailPlane(sim::PlaneId k, sim::Slot at) {
   SIM_CHECK(k >= 0 && k < config_.num_planes, "bad plane id " << k);
   if (failed_[static_cast<std::size_t>(k)]) return;
   failed_[static_cast<std::size_t>(k)] = true;
+  // Counted once at ground-truth failure time; after a RecoverPlane the
+  // plane restarts empty, so repeated fail->recover->fail cycles never
+  // double-count a stranded cell.
   failed_plane_losses_ += static_cast<std::uint64_t>(
       planes_[static_cast<std::size_t>(k)].TotalBacklog());
   planes_[static_cast<std::size_t>(k)].Reset();
+  visibility_.SetDown(k, at);
+}
+
+void InputBufferedPps::RecoverPlane(sim::PlaneId k, sim::Slot at) {
+  SIM_CHECK(k >= 0 && k < config_.num_planes, "bad plane id " << k);
+  if (!failed_[static_cast<std::size_t>(k)]) return;
+  failed_[static_cast<std::size_t>(k)] = false;
+  planes_[static_cast<std::size_t>(k)].Reset();
+  visibility_.SetUp(k, at);
 }
 
 void InputBufferedPps::Inject(sim::Cell cell, sim::Slot t) {
@@ -78,11 +92,23 @@ void InputBufferedPps::Launch(sim::PortId input, const sim::Cell& cell,
                               const DispatchDecision& decision, sim::Slot t) {
   SIM_CHECK(decision.plane >= 0 && decision.plane < config_.num_planes,
             "invalid plane " << decision.plane);
+  SIM_CHECK(!visibility_.VisiblyDown(decision.plane, t),
+            demux_[static_cast<std::size_t>(input)]->name()
+                << " launched to visibly failed plane " << decision.plane);
   SIM_CHECK(in_links_.CanStart(input, decision.plane, t),
             demux_[static_cast<std::size_t>(input)]->name()
                 << " violated the input constraint: line (" << input << ","
                 << decision.plane << ") busy at slot " << t);
   in_links_.Start(input, decision.plane, t);
+  if (failed_[static_cast<std::size_t>(decision.plane)]) {
+    // Stale-visibility loss: the line transmits into a dead plane.
+    ++stale_dispatch_losses_;
+    return;
+  }
+  if (!link_faults_.empty() && link_faults_.Dropped(input, decision.plane, t)) {
+    ++link_drop_losses_;
+    return;
+  }
   planes_[static_cast<std::size_t>(decision.plane)].Accept(
       cell, t, decision.booked_delivery);
 }
@@ -98,10 +124,11 @@ const std::vector<sim::Cell>& InputBufferedPps::Advance(sim::Slot t) {
     std::vector<sim::Cell>& buffer = buffers_[idx];
     const std::optional<sim::Cell>& incoming = incoming_[idx];
 
+    // Candidate planes are the ones this demultiplexor *believes* are up
+    // (stale failure knowledge included), same as the bufferless fabric.
     for (int k = 0; k < config_.num_planes; ++k) {
       free_buf_[static_cast<std::size_t>(k)] =
-          !failed_[static_cast<std::size_t>(k)] &&
-          in_links_.CanStart(i, k, t);
+          !visibility_.VisiblyDown(k, t) && in_links_.CanStart(i, k, t);
     }
     BufferedContext ctx;
     ctx.now = t;
@@ -222,6 +249,12 @@ std::uint64_t InputBufferedPps::resequencing_stalls() const {
   return total;
 }
 
+std::uint64_t InputBufferedPps::reseq_late_losses() const {
+  std::uint64_t total = 0;
+  for (const OutputMux& mux : muxes_) total += mux.late_drops();
+  return total;
+}
+
 void InputBufferedPps::Reset() {
   for (sim::PortId i = 0; i < config_.num_ports; ++i) {
     demux_[static_cast<std::size_t>(i)]->Reset(config_, i);
@@ -233,8 +266,12 @@ void InputBufferedPps::Reset() {
   for (auto& buffer : buffers_) buffer.clear();
   for (auto& inc : incoming_) inc.reset();
   std::fill(failed_.begin(), failed_.end(), false);
+  visibility_.Reset();
+  link_faults_.Clear();
   buffer_overflows_ = 0;
   failed_plane_losses_ = 0;
+  stale_dispatch_losses_ = 0;
+  link_drop_losses_ = 0;
 }
 
 }  // namespace pps

@@ -14,6 +14,9 @@
 #include <optional>
 #include <vector>
 
+#include "fault/link_faults.h"
+#include "fault/loss.h"
+#include "fault/visibility.h"
 #include "sim/cell.h"
 #include "sim/types.h"
 #include "switch/config.h"
@@ -44,14 +47,40 @@ class InputBufferedPps {
   std::int64_t TotalBacklog() const;
   std::int64_t BufferOccupancy(sim::PortId i) const;
 
-  // Fault injection, mirroring BufferlessPps::FailPlane: the plane's lines
-  // appear permanently busy, buffered algorithms route around it, and its
-  // queued cells are lost (counted).
-  void FailPlane(sim::PlaneId k);
+  // Fault injection, mirroring BufferlessPps: the one-argument forms are
+  // instantly visible; with a real slot `at` and fault_visibility_lag > 0
+  // the demultiplexors act on stale health knowledge and launches into a
+  // dead-but-not-yet-known plane become counted stale-dispatch losses.
+  void FailPlane(sim::PlaneId k) { FailPlane(k, sim::kNoSlot); }
+  void FailPlane(sim::PlaneId k, sim::Slot at);
+  void RecoverPlane(sim::PlaneId k) { RecoverPlane(k, sim::kNoSlot); }
+  void RecoverPlane(sim::PlaneId k, sim::Slot at);
   bool PlaneFailed(sim::PlaneId k) const {
     return failed_[static_cast<std::size_t>(k)];
   }
   std::uint64_t failed_plane_losses() const { return failed_plane_losses_; }
+  std::uint64_t stale_dispatch_losses() const {
+    return stale_dispatch_losses_;
+  }
+  std::uint64_t link_drop_losses() const { return link_drop_losses_; }
+  // Cells the output resequencers dropped for arriving after their
+  // reassembly window (OutputMux::late_drops, summed over outputs).
+  std::uint64_t reseq_late_losses() const;
+
+  // The full loss ledger (input_drops stays 0 here: with a buffer, "no
+  // usable plane" keeps the cell instead of dropping it; the overflow
+  // counter covers the buffer-full case).
+  fault::LossBreakdown Losses() const {
+    return {0,
+            failed_plane_losses_,
+            stale_dispatch_losses_,
+            link_drop_losses_,
+            reseq_late_losses(),
+            buffer_overflows_};
+  }
+
+  fault::LinkFaultInjector& link_faults() { return link_faults_; }
+  const fault::PlaneVisibility& visibility() const { return visibility_; }
 
   const SwitchConfig& config() const { return config_; }
   std::uint64_t buffer_overflows() const { return buffer_overflows_; }
@@ -77,9 +106,13 @@ class InputBufferedPps {
   SnapshotRing ring_;
   std::vector<std::vector<sim::Cell>> buffers_;        // per input, oldest first
   std::vector<std::optional<sim::Cell>> incoming_;     // per input, this slot
-  std::vector<bool> failed_;                           // per plane
+  std::vector<bool> failed_;                           // per plane, ground truth
+  fault::PlaneVisibility visibility_;  // what the demultiplexors believe
+  fault::LinkFaultInjector link_faults_;
   std::uint64_t buffer_overflows_ = 0;
   std::uint64_t failed_plane_losses_ = 0;
+  std::uint64_t stale_dispatch_losses_ = 0;
+  std::uint64_t link_drop_losses_ = 0;
   bool needs_global_ = false;
   std::unique_ptr<bool[]> free_buf_;
   // Per-slot scratch reused across Advance calls (cleared, never freed).

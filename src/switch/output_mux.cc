@@ -38,14 +38,24 @@ void OutputMux::Stage(sim::Cell cell, sim::Slot t) {
   SIM_CHECK(cell.output == output_,
             "cell for output " << cell.output << " staged at " << output_);
   cell.reached_output = t;
-  ++total_staged_;
   if (policy_ == MuxPolicy::kFcfsArrival) {
+    ++total_staged_;
     fifo_.push_back(cell);
     return;
   }
   const sim::FlowId flow =
       sim::MakeFlowId(cell.input, cell.output, num_ports_);
   FlowState& fs = flows_[flow];
+  if (cell.seq < fs.next_seq) {
+    // The reassembly timer already gave up on this sequence number (the
+    // cell was delayed in a congested plane past reseq_timeout, and the
+    // gap-close presumed it lost).  It cannot be delivered in order any
+    // more, and staging it below next_seq would park it forever — the
+    // mux drops it as a counted late arrival instead.
+    ++late_drops_;
+    return;
+  }
+  ++total_staged_;
   auto [it, inserted] = fs.staged.emplace(cell.seq, cell);
   SIM_CHECK(inserted, "duplicate staged seq " << cell.seq << " on " << cell);
   if (cell.seq == fs.next_seq) PushEligible(it->second, flow);
@@ -133,6 +143,7 @@ void OutputMux::Reset() {
   stalls_ = 0;
   timeouts_ = 0;
   seq_gaps_closed_ = 0;
+  late_drops_ = 0;
   stall_streak_ = 0;
 }
 

@@ -71,6 +71,11 @@ class OutputMux {
   // with the flow's minimum staged seq), so this is the exact count of
   // presumed-lost cells the resequencer gave up waiting for.
   std::uint64_t seq_gaps_closed() const { return seq_gaps_closed_; }
+  // Cells that arrived after a timeout gap-close had already passed their
+  // sequence number: delayed past the reassembly window in a congested
+  // plane, now undeliverable in order, dropped and counted here.  Always
+  // 0 under kFcfsArrival and with reseq_timeout = 0 (wait forever).
+  std::uint64_t late_drops() const { return late_drops_; }
 
   void Reset();
 
@@ -114,6 +119,7 @@ class OutputMux {
   std::uint64_t stalls_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t seq_gaps_closed_ = 0;
+  std::uint64_t late_drops_ = 0;
   int stall_streak_ = 0;
 };
 

@@ -20,7 +20,8 @@ BufferlessPps::BufferlessPps(SwitchConfig config, const DemuxFactory& factory)
       in_links_(config.num_ports, config.num_planes, config.rate_ratio),
       ring_(config.snapshot_history),
       dispatch_count_(static_cast<std::size_t>(config.num_planes), 0),
-      failed_(static_cast<std::size_t>(config.num_planes), false) {
+      failed_(static_cast<std::size_t>(config.num_planes), false),
+      visibility_(config.num_planes, config.fault_visibility_lag) {
   config_.Validate();
   SIM_CHECK(config_.input_buffer_size == 0,
             "BufferlessPps cannot have input buffers; use InputBufferedPps");
@@ -81,10 +82,12 @@ void BufferlessPps::Inject(sim::Cell cell, sim::Slot t) {
     free_buf_ = std::make_unique<bool[]>(
         static_cast<std::size_t>(config_.num_planes));
   }
+  // A plane is offered to the demultiplexor when it *believes* the plane
+  // is up; a ground-truth-failed plane inside the visibility lag stays in
+  // the candidate set and dispatches to it become stale-dispatch losses.
   for (int k = 0; k < config_.num_planes; ++k) {
     free_buf_[static_cast<std::size_t>(k)] =
-        !failed_[static_cast<std::size_t>(k)] &&
-        in_links_.CanStart(cell.input, k, t);
+        !visibility_.VisiblyDown(k, t) && in_links_.CanStart(cell.input, k, t);
   }
   DispatchContext ctx;
   ctx.now = t;
@@ -105,13 +108,36 @@ void BufferlessPps::Inject(sim::Cell cell, sim::Slot t) {
   }
   SIM_CHECK(decision.plane >= 0 && decision.plane < config_.num_planes,
             d.name() << " returned invalid plane " << decision.plane);
-  SIM_CHECK(!failed_[static_cast<std::size_t>(decision.plane)],
-            d.name() << " dispatched to failed plane " << decision.plane);
+  // Dispatching to a plane the demultiplexor *knows* is down is still an
+  // algorithm bug; dispatching to one it cannot yet know about is the
+  // modeled stale-visibility loss below.
+  SIM_CHECK(!visibility_.VisiblyDown(decision.plane, t),
+            d.name() << " dispatched to visibly failed plane "
+                     << decision.plane);
   SIM_CHECK(in_links_.CanStart(cell.input, decision.plane, t),
             d.name() << " violated the input constraint: line ("
                      << cell.input << "," << decision.plane
                      << ") busy at slot " << t);
   in_links_.Start(cell.input, decision.plane, t);
+  if (failed_[static_cast<std::size_t>(decision.plane)]) {
+    // The transmission goes out on the (consumed) line but lands in a
+    // dead plane: the cell is lost, not crashed on.
+    ++stale_dispatch_losses_;
+    if (log_.enabled()) {
+      log_.Push({t, sim::EventKind::kDrop, cell.id, cell.input, cell.output,
+                 decision.plane, "stale dispatch to failed plane"});
+    }
+    return;
+  }
+  if (!link_faults_.empty() &&
+      link_faults_.Dropped(cell.input, decision.plane, t)) {
+    ++link_drop_losses_;
+    if (log_.enabled()) {
+      log_.Push({t, sim::EventKind::kDrop, cell.id, cell.input, cell.output,
+                 decision.plane, "link fault"});
+    }
+    return;
+  }
   ++dispatch_count_[static_cast<std::size_t>(decision.plane)];
   if (log_.enabled()) {
     log_.Push({t, sim::EventKind::kDispatch, cell.id, cell.input,
@@ -121,17 +147,32 @@ void BufferlessPps::Inject(sim::Cell cell, sim::Slot t) {
       cell, t, decision.booked_delivery);
 }
 
-void BufferlessPps::FailPlane(sim::PlaneId k) {
+void BufferlessPps::FailPlane(sim::PlaneId k, sim::Slot at) {
   SIM_CHECK(k >= 0 && k < config_.num_planes, "bad plane id " << k);
   if (failed_[static_cast<std::size_t>(k)]) return;
   failed_[static_cast<std::size_t>(k)] = true;
+  // Stranded cells are counted once, at ground-truth failure time; a later
+  // RecoverPlane starts from an empty plane, so a fail->recover->fail
+  // cycle can only strand cells accepted after the recovery.
   failed_plane_losses_ += static_cast<std::uint64_t>(
       planes_[static_cast<std::size_t>(k)].TotalBacklog());
   // Reset also clears the failed plane's calendar and booking
-  // reservations (ReservationBank::Clear), so if the plane id is ever
-  // returned to service after a fabric Reset its stale bookings cannot
-  // trip the output-constraint SIM_CHECKs.
+  // reservations (ReservationBank::Clear), so when the plane rejoins via
+  // RecoverPlane (or a fabric Reset) its stale bookings cannot trip the
+  // output-constraint SIM_CHECKs.
   planes_[static_cast<std::size_t>(k)].Reset();
+  visibility_.SetDown(k, at);
+}
+
+void BufferlessPps::RecoverPlane(sim::PlaneId k, sim::Slot at) {
+  SIM_CHECK(k >= 0 && k < config_.num_planes, "bad plane id " << k);
+  if (!failed_[static_cast<std::size_t>(k)]) return;
+  failed_[static_cast<std::size_t>(k)] = false;
+  // The plane was already cleared when it failed, but stale dispatches may
+  // not touch plane state, so the rejoin clears again defensively: empty
+  // calendar, empty FIFOs, no reservations, idle output links.
+  planes_[static_cast<std::size_t>(k)].Reset();
+  visibility_.SetUp(k, at);
 }
 
 const std::vector<sim::Cell>& BufferlessPps::Advance(sim::Slot t) {
@@ -221,6 +262,12 @@ std::uint64_t BufferlessPps::resequencing_stalls() const {
   return total;
 }
 
+std::uint64_t BufferlessPps::reseq_late_losses() const {
+  std::uint64_t total = 0;
+  for (const OutputMux& mux : muxes_) total += mux.late_drops();
+  return total;
+}
+
 void BufferlessPps::Reset() {
   for (sim::PortId i = 0; i < config_.num_ports; ++i) {
     demux_[static_cast<std::size_t>(i)]->Reset(config_, i);
@@ -231,8 +278,12 @@ void BufferlessPps::Reset() {
   ring_.Clear();
   std::fill(dispatch_count_.begin(), dispatch_count_.end(), 0);
   std::fill(failed_.begin(), failed_.end(), false);
+  visibility_.Reset();
+  link_faults_.Clear();
   input_drops_ = 0;
   failed_plane_losses_ = 0;
+  stale_dispatch_losses_ = 0;
+  link_drop_losses_ = 0;
   max_plane_backlog_ = 0;
   max_output_backlog_ = 0;
   last_inject_input_ = -1;

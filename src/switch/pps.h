@@ -20,6 +20,9 @@
 #include <memory>
 #include <vector>
 
+#include "fault/link_faults.h"
+#include "fault/loss.h"
+#include "fault/visibility.h"
 #include "sim/cell.h"
 #include "sim/event_log.h"
 #include "sim/types.h"
@@ -60,12 +63,43 @@ class BufferlessPps {
   // it — or, if their static partition has no surviving plane free, drop
   // the cell (counted in input_drops).  Cells already queued inside the
   // failed plane are lost (counted in failed_plane_losses).
-  void FailPlane(sim::PlaneId k);
+  //
+  // The one-argument form is the legacy instant-knowledge entry point:
+  // the failure/recovery is immediately visible to every demultiplexor.
+  // With a real slot `at` and config.fault_visibility_lag > 0, the
+  // demultiplexors keep believing the old state for `lag` slots; cells
+  // dispatched into a dead-but-not-yet-known plane are lost and counted
+  // in stale_dispatch_losses.
+  void FailPlane(sim::PlaneId k) { FailPlane(k, sim::kNoSlot); }
+  void FailPlane(sim::PlaneId k, sim::Slot at);
+  // Returns plane k to service with a cleared calendar, FIFOs, links and
+  // booking reservations; a no-op if the plane is not failed.
+  void RecoverPlane(sim::PlaneId k) { RecoverPlane(k, sim::kNoSlot); }
+  void RecoverPlane(sim::PlaneId k, sim::Slot at);
   bool PlaneFailed(sim::PlaneId k) const {
     return failed_[static_cast<std::size_t>(k)];
   }
   std::uint64_t input_drops() const { return input_drops_; }
   std::uint64_t failed_plane_losses() const { return failed_plane_losses_; }
+  std::uint64_t stale_dispatch_losses() const {
+    return stale_dispatch_losses_;
+  }
+  std::uint64_t link_drop_losses() const { return link_drop_losses_; }
+  // Cells the output resequencers dropped for arriving after their
+  // reassembly window (OutputMux::late_drops, summed over outputs).
+  std::uint64_t reseq_late_losses() const;
+
+  // The full loss ledger; always equals the sum of the per-category
+  // counters above (buffer_overflows stays 0 on the bufferless fabric).
+  fault::LossBreakdown Losses() const {
+    return {input_drops_,      failed_plane_losses_, stale_dispatch_losses_,
+            link_drop_losses_, reseq_late_losses(),  0};
+  }
+
+  // Flaky-link injector; the harness arms LinkDrop windows here before
+  // the first slot.
+  fault::LinkFaultInjector& link_faults() { return link_faults_; }
+  const fault::PlaneVisibility& visibility() const { return visibility_; }
 
   const SwitchConfig& config() const { return config_; }
   const GlobalSnapshot* LatestSnapshot() const { return ring_.Latest(); }
@@ -110,12 +144,16 @@ class BufferlessPps {
   sim::Slot last_inject_slot_ = sim::kNoSlot;
   bool needs_global_ = false;
   std::unique_ptr<bool[]> free_buf_;  // reusable DispatchContext buffer
-  std::vector<bool> failed_;          // per plane
+  std::vector<bool> failed_;          // per plane, ground truth
+  fault::PlaneVisibility visibility_;  // what the demultiplexors believe
+  fault::LinkFaultInjector link_faults_;
   // Per-slot scratch reused across Advance calls (cleared, never freed).
   std::vector<sim::Cell> delivered_scratch_;
   std::vector<sim::Cell> departed_scratch_;
   std::uint64_t input_drops_ = 0;
   std::uint64_t failed_plane_losses_ = 0;
+  std::uint64_t stale_dispatch_losses_ = 0;
+  std::uint64_t link_drop_losses_ = 0;
   std::int64_t max_plane_backlog_ = 0;
   std::int64_t max_output_backlog_ = 0;
   sim::EventLog log_;

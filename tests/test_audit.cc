@@ -274,6 +274,47 @@ TEST(InvariantAuditor, CpaMeetsZeroRelativeDelayUpperBound) {
   EXPECT_TRUE(auditor.clean()) << auditor.report().Summary();
 }
 
+// Degraded-mode per-epoch bounds: a relative delay legal under the
+// healthy-epoch ceiling but above the ceiling of the failure epoch its
+// arrival falls in must fire — and only once, for the epoch actually
+// selected by the arrival slot.
+TEST(InvariantAuditor, DetectsPerEpochDegradedBoundViolation) {
+  InvariantAuditor::Options opts;
+  opts.rqd_epochs = {{.from = 0, .upper_bound = 100},
+                     {.from = 50, .upper_bound = 5}};
+  InvariantAuditor aud(4, opts);
+  aud.OnRelativeDelay(0, 1, /*arrival=*/10, /*rel=*/9);  // epoch 0: fine
+  EXPECT_TRUE(aud.clean()) << aud.report().Summary();
+  aud.OnRelativeDelay(0, 1, /*arrival=*/60, /*rel=*/9);  // epoch 1: 9 > 5
+  EXPECT_EQ(aud.report().count(Invariant::kBoundSanity), 1u)
+      << aud.report().Summary();
+  // An unchecked epoch (kNoSlot = survivors below line rate, no finite
+  // bound) admits anything.
+  InvariantAuditor::Options open;
+  open.rqd_epochs = {{.from = 0, .upper_bound = sim::kNoSlot}};
+  InvariantAuditor free_run(4, open);
+  free_run.OnRelativeDelay(0, 1, 10, 1'000'000);
+  EXPECT_TRUE(free_run.clean()) << free_run.report().Summary();
+}
+
+// Loss-taxonomy reconciliation: per-category counters that do not sum to
+// the harness's reconciled drop count are a conservation violation; an
+// exact match is clean.
+TEST(InvariantAuditor, DetectsLossTaxonomyMismatch) {
+  fault::LossBreakdown losses;
+  losses.stranded_cells = 3;
+  losses.stale_dispatches = 2;
+
+  InvariantAuditor bad(4);
+  bad.OnLossTaxonomy(losses, /*reconciled_dropped=*/4, /*t=*/100);
+  EXPECT_EQ(bad.report().count(Invariant::kConservation), 1u)
+      << bad.report().Summary();
+
+  InvariantAuditor good(4);
+  good.OnLossTaxonomy(losses, /*reconciled_dropped=*/5, /*t=*/100);
+  EXPECT_TRUE(good.clean()) << good.report().Summary();
+}
+
 // The same harness integration flags a genuinely broken claim: a lower
 // bound the run cannot reach is reported through RunResult.
 TEST(InvariantAuditor, HarnessReportsUnreachedLowerBound) {

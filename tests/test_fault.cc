@@ -9,7 +9,10 @@
 
 #include "core/harness.h"
 #include "demux/registry.h"
+#include "fault/fault_schedule.h"
+#include "sim/error.h"
 #include "sim/rng.h"
+#include "switch/input_buffered_pps.h"
 #include "switch/pps.h"
 #include "traffic/random_sources.h"
 
@@ -215,6 +218,391 @@ TEST(FaultTolerance, HarnessCountsNoDropsWhenHealthy) {
   EXPECT_TRUE(result.drained);
   EXPECT_EQ(result.dropped, 0u);
   EXPECT_EQ(result.relative_delay.count(), result.cells);
+}
+
+// --- FaultSchedule the value type -----------------------------------------
+
+TEST(FaultSchedule, EventsStaySortedAndStable) {
+  fault::FaultSchedule s;
+  s.Fail(3, 500).Recover(3, 900).Fail(1, 500).DropLink(0, 2, 0.5, 100, 64);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.events()[0].kind, fault::FaultKind::kLinkDrop);
+  EXPECT_EQ(s.events()[1].plane, 3);  // slot-500 tie keeps insertion order
+  EXPECT_EQ(s.events()[2].plane, 1);
+  EXPECT_EQ(s.events()[3].kind, fault::FaultKind::kPlaneRecover);
+}
+
+TEST(FaultSchedule, JsonRoundTripIsExact) {
+  fault::FaultSchedule s;
+  s.set_seed(42);
+  s.Fail(2, 100).Recover(2, 400).DropLink(sim::kNoPort, 1, 0.25, 300, 64);
+  const auto parsed = fault::FaultSchedule::FromJson(s.ToJson());
+  EXPECT_EQ(parsed, s);
+  // Compact form round-trips too.
+  EXPECT_EQ(fault::FaultSchedule::FromJson(s.ToJson(-1)), s);
+}
+
+TEST(FaultSchedule, MalformedJsonThrows) {
+  EXPECT_THROW(fault::FaultSchedule::FromJson("{"), sim::SimError);
+  EXPECT_THROW(fault::FaultSchedule::FromJson("[]"), sim::SimError);
+  EXPECT_THROW(fault::FaultSchedule::FromJson(
+                   R"({"seed": 1, "events": [{"kind": "meteor-strike"}]})"),
+               sim::SimError);
+  EXPECT_THROW(fault::FaultSchedule::FromJson(
+                   R"({"seed": 1, "bogus": 2, "events": []})"),
+               sim::SimError);
+  EXPECT_THROW(fault::FaultSchedule::FromJson(
+                   R"({"seed": 1, "events": [{"at": 5}]})"),
+               sim::SimError);
+}
+
+TEST(FaultSchedule, RandomFlapsIsDeterministicAndCapped) {
+  const auto a = fault::FaultSchedule::RandomFlaps(6, 4'000, 300, 100,
+                                                   /*seed=*/9, /*max_down=*/2);
+  const auto b = fault::FaultSchedule::RandomFlaps(6, 4'000, 300, 100, 9, 2);
+  EXPECT_EQ(a, b);
+  const auto c = fault::FaultSchedule::RandomFlaps(6, 4'000, 300, 100, 10, 2);
+  EXPECT_FALSE(a == c);
+  EXPECT_GT(a.size(), 0u);
+  for (const auto& epoch : a.FailureEpochs()) {
+    EXPECT_LE(epoch.planes_down, 2);
+  }
+}
+
+TEST(FaultSchedule, FailureEpochsTrackTheDownSet) {
+  fault::FaultSchedule s;
+  s.Fail(0, 100).Fail(1, 200).Recover(0, 300).Recover(1, 500).Fail(0, 500);
+  const auto epochs = s.FailureEpochs();
+  ASSERT_EQ(epochs.size(), 5u);
+  EXPECT_EQ(epochs[0].from, 0);
+  EXPECT_EQ(epochs[0].planes_down, 0);
+  EXPECT_EQ(epochs[1].from, 100);
+  EXPECT_EQ(epochs[1].planes_down, 1);
+  EXPECT_EQ(epochs[2].from, 200);
+  EXPECT_EQ(epochs[2].planes_down, 2);
+  EXPECT_EQ(epochs[3].from, 300);
+  EXPECT_EQ(epochs[3].planes_down, 1);
+  // Slot 500: recover 1 and fail 0 merge into one epoch with one plane down.
+  EXPECT_EQ(epochs[4].from, 500);
+  EXPECT_EQ(epochs[4].planes_down, 1);
+}
+
+// --- Recovery -------------------------------------------------------------
+
+TEST(PlaneRecovery, FailRecoverFailCountsStrandedOnce) {
+  const auto cfg = Config(4, 4, 2);
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("rr-per-output"));
+  // Pile cells for output 0 into the planes, then fail plane 0.
+  std::uint64_t id = 0;
+  for (sim::PortId i = 0; i < 4; ++i) {
+    sim::Cell cell;
+    cell.id = id++;
+    cell.input = i;
+    cell.output = 0;
+    sw.Inject(cell, 0);
+  }
+  sw.Advance(0);
+  sw.FailPlane(0);
+  const auto first = sw.failed_plane_losses();
+  // Recover: the plane must rejoin empty, so an immediate re-failure has
+  // nothing new to strand.
+  sw.RecoverPlane(0);
+  EXPECT_FALSE(sw.PlaneFailed(0));
+  sw.FailPlane(0);
+  EXPECT_EQ(sw.failed_plane_losses(), first);
+  // And a recover/fail cycle with fresh traffic in between counts only the
+  // newly accepted cells.
+  sw.RecoverPlane(0);
+  for (sim::Slot t = 1; t < 64 && !sw.Drained(); ++t) sw.Advance(t);
+  EXPECT_TRUE(sw.Drained());
+  EXPECT_EQ(sw.Losses().total(),
+            sw.failed_plane_losses());  // no other loss category touched
+}
+
+TEST(PlaneRecovery, RecoverPlaneIsNoOpOnHealthyPlane) {
+  const auto cfg = Config(4, 4, 2);
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("rr"));
+  sw.RecoverPlane(1);
+  EXPECT_FALSE(sw.PlaneFailed(1));
+  EXPECT_EQ(sw.Losses().total(), 0u);
+}
+
+// A full fail -> recover -> fail cycle through the harness: the pending
+// reconciliation must stay exact (each stranded cell counted once) and the
+// loss taxonomy must sum to the reconciled drop count.
+TEST(PlaneRecovery, HarnessStaysExactAcrossRecoveryEpochs) {
+  const auto cfg = Config(8, 4, 2);
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("rr-per-output"));
+  traffic::BernoulliSource src(8, 1.0, traffic::Pattern::kUniform,
+                               sim::Rng(123));
+  core::RunOptions opt;
+  opt.fault_schedule.Fail(2, 200).Recover(2, 1'200).Fail(2, 2'200).Recover(
+      2, 3'200);
+  opt.source_cutoff = 4'000;
+  opt.drain_grace = 6'000;
+  opt.max_slots = 12'000;
+  const auto result = core::RunRelative(sw, src, opt);
+  EXPECT_TRUE(result.drained);
+  EXPECT_GT(result.losses.stranded_cells, 0u);
+  EXPECT_EQ(result.losses.total(), result.dropped);
+  EXPECT_EQ(result.losses.stranded_cells, sw.failed_plane_losses());
+  EXPECT_EQ(result.relative_delay.count(), result.cells - result.dropped);
+}
+
+// Booked planes (calendar ring + ReservationBank): fail -> recover -> fail
+// cycles must leave no stale bookings behind — a stale reservation would
+// trip the output-constraint SIM_CHECKs when the plane rejoins.
+TEST(PlaneRecovery, BookedPlaneStateConsistentAcrossCycles) {
+  pps::SwitchConfig cfg;
+  cfg.num_ports = 8;
+  cfg.num_planes = 6;  // CPA needs K >= 2r' - 1 even with one plane down
+  cfg.rate_ratio = 2;
+  cfg.plane_scheduling = pps::PlaneScheduling::kBooked;
+  cfg.snapshot_history = 1;  // CPA is a centralized demux
+  cfg.reseq_timeout = 32;
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("cpa"));
+  traffic::BernoulliSource src(8, 0.5, traffic::Pattern::kUniform,
+                               sim::Rng(321));
+  core::RunOptions opt;
+  opt.fault_schedule.Fail(0, 300).Recover(0, 900).Fail(0, 1'500).Recover(
+      0, 2'100);
+  opt.source_cutoff = 3'000;
+  opt.drain_grace = 6'000;
+  opt.max_slots = 12'000;
+  const auto result = core::RunRelative(sw, src, opt);
+  EXPECT_TRUE(result.drained);
+  EXPECT_EQ(result.losses.total(), result.dropped);
+  EXPECT_EQ(result.relative_delay.count(), result.cells - result.dropped);
+}
+
+// --- Flap storms ----------------------------------------------------------
+
+class FlapStormMuxTest : public ::testing::TestWithParam<pps::MuxPolicy> {};
+
+TEST_P(FlapStormMuxTest, StormReconcilesUnderEitherMuxPolicy) {
+  auto cfg = Config(8, 6, 2);
+  cfg.mux_policy = GetParam();
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("rr-per-output"));
+  traffic::BernoulliSource src(8, 0.8, traffic::Pattern::kUniform,
+                               sim::Rng(777));
+  core::RunOptions opt;
+  // Never dip below K' = r' survivors, so the inputs themselves never drop.
+  opt.fault_schedule = fault::FaultSchedule::RandomFlaps(
+      6, 2'500, 300, 100, /*seed=*/5, /*max_down=*/4);
+  opt.source_cutoff = 2'500;
+  opt.drain_grace = 6'000;
+  opt.max_slots = 12'000;
+  const auto result = core::RunRelative(sw, src, opt);
+  EXPECT_TRUE(result.drained);
+  EXPECT_GT(result.dropped, 0u);
+  EXPECT_EQ(result.losses.total(), result.dropped);
+  EXPECT_EQ(result.relative_delay.count(), result.cells - result.dropped);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothMuxPolicies, FlapStormMuxTest,
+                         ::testing::Values(pps::MuxPolicy::kOldestCellReseq,
+                                           pps::MuxPolicy::kFcfsArrival));
+
+TEST(FlapStorm, InputBufferedFabricReconciles) {
+  auto cfg = Config(8, 6, 2);
+  cfg.input_buffer_size = 4;
+  pps::InputBufferedPps sw(cfg, demux::MakeBufferedFactory("buffered-rr"));
+  traffic::BernoulliSource src(8, 0.8, traffic::Pattern::kUniform,
+                               sim::Rng(999));
+  core::RunOptions opt;
+  opt.fault_schedule = fault::FaultSchedule::RandomFlaps(
+      6, 2'500, 300, 100, /*seed=*/6, /*max_down=*/4);
+  opt.source_cutoff = 2'500;
+  opt.drain_grace = 6'000;
+  opt.max_slots = 12'000;
+  const auto result = core::RunRelative(sw, src, opt);
+  EXPECT_TRUE(result.drained);
+  EXPECT_GT(result.dropped, 0u);
+  EXPECT_EQ(result.losses.total(), result.dropped);
+  EXPECT_EQ(result.losses.stranded_cells, sw.failed_plane_losses());
+  EXPECT_EQ(result.relative_delay.count(), result.cells - result.dropped);
+}
+
+// --- Stale visibility -----------------------------------------------------
+
+// Satellite: a dispatch into a plane that is down but not yet visibly down
+// is a counted loss, not a SIM_CHECK crash.
+TEST(StaleVisibility, DispatchToFailedPlaneIsCountedNotFatal) {
+  auto cfg = Config(4, 4, 2);
+  cfg.fault_visibility_lag = 8;
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("rr-per-output"));
+  sw.FailPlane(0, /*at=*/0);  // down now, but invisible for 8 slots
+  std::uint64_t id = 0;
+  for (sim::Slot t = 0; t < 4; ++t) {
+    for (sim::PortId i = 0; i < 4; ++i) {
+      sim::Cell cell;
+      cell.id = id++;
+      cell.input = i;
+      cell.output = static_cast<sim::PortId>((i + t) % 4);
+      cell.seq = static_cast<std::uint64_t>(t);
+      EXPECT_NO_THROW(sw.Inject(cell, t));
+    }
+    sw.Advance(t);
+  }
+  EXPECT_GT(sw.stale_dispatch_losses(), 0u);
+  EXPECT_EQ(sw.Losses().stale_dispatches, sw.stale_dispatch_losses());
+}
+
+TEST(StaleVisibility, LagSweepGrowsThenClearsStaleLosses) {
+  std::uint64_t previous = 0;
+  for (const int lag : {0, 4, 16}) {
+    auto cfg = Config(8, 4, 2);
+    cfg.fault_visibility_lag = lag;
+    pps::BufferlessPps sw(cfg, demux::MakeFactory("rr-per-output"));
+    traffic::BernoulliSource src(8, 1.0, traffic::Pattern::kUniform,
+                                 sim::Rng(42));
+    core::RunOptions opt;
+    opt.fault_schedule.Fail(1, 500);
+    opt.source_cutoff = 1'500;
+    opt.drain_grace = 6'000;
+    opt.max_slots = 10'000;
+    const auto result = core::RunRelative(sw, src, opt);
+    EXPECT_TRUE(result.drained);
+    EXPECT_EQ(result.losses.total(), result.dropped);
+    if (lag == 0) {
+      // Instant knowledge: the legacy model, no stale window at all.
+      EXPECT_EQ(result.losses.stale_dispatches, 0u);
+    } else {
+      EXPECT_GT(result.losses.stale_dispatches, 0u);
+      EXPECT_GE(result.losses.stale_dispatches, previous);
+    }
+    previous = result.losses.stale_dispatches;
+  }
+}
+
+TEST(StaleVisibility, RecoveryIsAlsoSeenLate) {
+  // After RecoverPlane(k, t) with lag L, demultiplexors keep routing
+  // around the plane until t + L: no stale losses, just avoidance.
+  auto cfg = Config(4, 4, 2);
+  cfg.fault_visibility_lag = 8;
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("rr-per-output"));
+  sw.FailPlane(2);            // instantly visible (legacy entry point)
+  sw.RecoverPlane(2, /*at=*/100);
+  EXPECT_FALSE(sw.PlaneFailed(2));
+  EXPECT_TRUE(sw.visibility().VisiblyDown(2, 104));   // not yet known up
+  EXPECT_FALSE(sw.visibility().VisiblyDown(2, 108));  // lag elapsed
+}
+
+// --- Link faults ----------------------------------------------------------
+
+TEST(LinkFaults, CertainDropWindowLosesEveryDispatch) {
+  const auto cfg = Config(4, 4, 2);
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("rr-per-output"));
+  traffic::BernoulliSource src(4, 1.0, traffic::Pattern::kUniform,
+                               sim::Rng(31));
+  core::RunOptions opt;
+  for (sim::PlaneId k = 0; k < 4; ++k) {
+    opt.fault_schedule.DropLink(sim::kNoPort, k, 1.0, 0, 200);
+  }
+  opt.source_cutoff = 100;  // all arrivals inside the certain-loss window
+  opt.drain_grace = 1'000;
+  opt.max_slots = 4'000;
+  const auto result = core::RunRelative(sw, src, opt);
+  EXPECT_TRUE(result.drained);
+  EXPECT_GT(result.cells, 0u);
+  EXPECT_EQ(result.dropped, result.cells);
+  EXPECT_EQ(result.losses.link_drops, result.cells);
+  EXPECT_EQ(result.relative_delay.count(), 0u);
+}
+
+TEST(LinkFaults, ProbabilisticWindowIsSeedDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    const auto cfg = Config(8, 4, 2);
+    pps::BufferlessPps sw(cfg, demux::MakeFactory("rr-per-output"));
+    traffic::BernoulliSource src(8, 0.9, traffic::Pattern::kUniform,
+                                 sim::Rng(17));
+    core::RunOptions opt;
+    opt.fault_schedule.set_seed(seed);
+    opt.fault_schedule.DropLink(sim::kNoPort, 1, 0.3, 100, 400);
+    opt.source_cutoff = 600;
+    opt.drain_grace = 4'000;
+    opt.max_slots = 8'000;
+    return core::RunRelative(sw, src, opt);
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  const auto c = run(8);
+  EXPECT_GT(a.losses.link_drops, 0u);
+  EXPECT_EQ(a.losses.link_drops, b.losses.link_drops);
+  EXPECT_EQ(core::Summarize(a), core::Summarize(b));
+  EXPECT_NE(a.losses.link_drops, c.losses.link_drops);
+}
+
+// --- Differential: no faults at all ---------------------------------------
+
+// A zero-event FaultSchedule must be indistinguishable from a run with no
+// schedule: same summary line, same counters, same per-plane dispatches.
+TEST(Differential, ZeroEventScheduleMatchesNoFaultRunExactly) {
+  const auto run = [](bool with_empty_schedule) {
+    const auto cfg = Config(8, 4, 2);
+    pps::BufferlessPps sw(cfg, demux::MakeFactory("rr-per-output"));
+    traffic::BernoulliSource src(8, 0.9, traffic::Pattern::kUniform,
+                                 sim::Rng(64));
+    core::RunOptions opt;
+    if (with_empty_schedule) {
+      opt.fault_schedule.set_seed(1234);  // seed alone must change nothing
+    }
+    opt.source_cutoff = 1'000;
+    opt.drain_grace = 2'000;
+    opt.max_slots = 6'000;
+    auto result = core::RunRelative(sw, src, opt);
+    return std::pair(core::Summarize(result), sw.dispatches_per_plane());
+  };
+  const auto without = run(false);
+  const auto with = run(true);
+  EXPECT_EQ(without.first, with.first);
+  EXPECT_EQ(without.second, with.second);
+}
+
+// --- Degraded-mode epochs -------------------------------------------------
+
+TEST(DegradedBounds, EpochsFollowTheSchedule) {
+  pps::SwitchConfig cfg;
+  cfg.num_ports = 8;
+  cfg.num_planes = 4;
+  cfg.rate_ratio = 2;
+  fault::FaultSchedule s;
+  s.Fail(0, 100).Fail(1, 200).Fail(2, 300).Recover(0, 400);
+  const auto epochs = core::DegradedRqdEpochs(s, cfg, /*slack=*/10);
+  ASSERT_EQ(epochs.size(), 5u);
+  // Healthy and one-down epochs: Iyer-McKeown N * r' = 16, plus slack.
+  EXPECT_EQ(epochs[0].upper_bound, 26);
+  EXPECT_EQ(epochs[1].upper_bound, 26);
+  EXPECT_EQ(epochs[2].upper_bound, 26);
+  // Three planes down: K' = 1 < r' = 2, no line rate, no finite bound.
+  EXPECT_EQ(epochs[3].upper_bound, sim::kNoSlot);
+  // Back to two down: K' = 2 sustains line rate again.
+  EXPECT_EQ(epochs[4].upper_bound, 26);
+}
+
+TEST(DegradedBounds, AuditedFaultRunPassesPerEpochBounds) {
+  const auto cfg = Config(8, 4, 2);
+  pps::BufferlessPps sw(cfg, demux::MakeFactory("rr-per-output"));
+  traffic::BernoulliSource src(8, 0.7, traffic::Pattern::kUniform,
+                               sim::Rng(2718));
+  core::RunOptions opt;
+  opt.fault_schedule.Fail(3, 400).Recover(3, 1'400);
+  opt.source_cutoff = 2'000;
+  opt.drain_grace = 6'000;
+  opt.max_slots = 12'000;
+  // Epoch bounds with slack covering boundary-straddling cells; an
+  // explicit auditor so the check runs in every build configuration.
+  audit::InvariantAuditor::Options aopts;
+  aopts.rqd_epochs =
+      core::DegradedRqdEpochs(opt.fault_schedule, cfg, /*slack=*/64);
+  aopts.check_conservation = false;  // the harness sweeps ids, not the aud
+  audit::InvariantAuditor auditor(cfg.num_ports, aopts);
+  opt.auditor = &auditor;
+  const auto result = core::RunRelative(sw, src, opt);
+  EXPECT_TRUE(result.drained);
+  EXPECT_EQ(auditor.report().count(audit::Invariant::kBoundSanity), 0u)
+      << auditor.report().Summary();
+  EXPECT_EQ(result.losses.total(), result.dropped);
 }
 
 }  // namespace
