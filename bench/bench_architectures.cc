@@ -7,13 +7,13 @@
 // comparable resources: the PPS buys slow memories (planes at rate r) at
 // the cost of the demultiplexing information problem, while the CIOQ buys
 // line-rate mimicking at the cost of memories running at speedup * R.
+//
+// Every case is a fabric-registry name (fabric/registry.h): the sweep
+// body is one RunFabric call, and adding an architecture to the table
+// means adding its name here, not another construction branch.
 
 #include "bench_common.h"
 
-#include "cioq/ccf.h"
-#include "cioq/cioq_switch.h"
-#include "cioq/islip.h"
-#include "cioq/oldest_first.h"
 #include "sim/rng.h"
 #include "traffic/random_sources.h"
 
@@ -34,25 +34,29 @@ traffic::BernoulliSource Workload(sim::PortId n, double load) {
 void RunExperiment() {
   const sim::PortId n = 16;
   struct Case {
-    std::string name;         // table "architecture" cell
+    std::string fabric;       // registry name; table "architecture" cell
     std::string memo;         // table "memories run at" cell
     double load;
-    std::string algorithm;    // nonempty => PPS case
-    int speedup = 0;          // CIOQ cases
-    int scheduler = 0;        // 0 = islip, 1 = oldest-first, 2 = ccf
   };
   std::vector<Case> cases;
   for (const double load : {0.8, 0.95}) {
     cases.push_back({"pps/rr-per-output", "r = R/2 (PPS, distributed)",
-                     load, "rr-per-output"});
-    cases.push_back({"pps/stale-jsq-u4", "r = R/2 (PPS, 4-RT)", load,
-                     "stale-jsq-u4"});
-    cases.push_back({"pps/cpa", "r = R/2 (PPS, centralized)", load, "cpa"});
-    cases.push_back({"cioq/islip-S1", "R and 1R (crossbar)", load, "", 1, 0});
-    cases.push_back({"cioq/islip-S2", "R and 2R (crossbar)", load, "", 2, 0});
-    cases.push_back({"cioq/oldest-S2", "R and 2R (crossbar)", load, "", 2, 1});
-    cases.push_back({"cioq/ccf-S2", "R and 2R (crossbar)", load, "", 2, 2});
+                     load});
+    cases.push_back({"pps/stale-jsq-u4", "r = R/2 (PPS, 4-RT)", load});
+    cases.push_back({"pps/cpa", "r = R/2 (PPS, centralized)", load});
+    cases.push_back({"cioq/islip-s1", "R and 1R (crossbar)", load});
+    cases.push_back({"cioq/islip-s2", "R and 2R (crossbar)", load});
+    cases.push_back({"cioq/oldest-s2", "R and 2R (crossbar)", load});
+    cases.push_back({"cioq/ccf-s2", "R and 2R (crossbar)", load});
   }
+
+  // One geometry for every PPS case: r' = 2 at speedup 2 (K = 4).  The
+  // registry folds each demux algorithm's booked/snapshot needs in; the
+  // CIOQ cases read only num_ports and parse their speedup from the name.
+  pps::SwitchConfig geometry;
+  geometry.num_ports = n;
+  geometry.rate_ratio = 2;
+  geometry.num_planes = 4;
 
   core::Sweep sweep(
       {.bench = "bench_architectures",
@@ -62,36 +66,16 @@ void RunExperiment() {
                    "meanRQD", "maxRDJ"}});
   for (const Case& c : cases) {
     sweep.Add(core::json::Obj(
-        {{"architecture", c.name}, {"load", c.load}, {"N", n}}));
+        {{"architecture", c.fabric}, {"load", c.load}, {"N", n}}));
   }
   sweep.Run(
       [&](const core::SweepPoint& pt) {
         const Case& c = cases[pt.index];
-        core::RunResult result;
-        if (!c.algorithm.empty()) {
-          const auto cfg = bench::MakeConfig(n, 2, 2.0, c.algorithm);
-          pps::BufferlessPps sw(cfg, demux::MakeFactory(c.algorithm));
-          auto src = Workload(n, c.load);
-          result = core::RunRelative(sw, src, Opt());
-        } else {
-          std::unique_ptr<cioq::Scheduler> scheduler;
-          switch (c.scheduler) {
-            case 0:
-              scheduler = std::make_unique<cioq::IslipScheduler>(2);
-              break;
-            case 1:
-              scheduler = std::make_unique<cioq::OldestFirstScheduler>();
-              break;
-            default:
-              scheduler = std::make_unique<cioq::CcfScheduler>();
-              break;
-          }
-          cioq::CioqSwitch sw(n, c.speedup, std::move(scheduler));
-          auto src = Workload(n, c.load);
-          result = core::RunRelative(sw, src, Opt());
-        }
+        auto src = Workload(n, c.load);
+        const core::RunResult result =
+            bench::RunFabric(c.fabric, geometry, src, Opt());
         core::PointResult out;
-        out.cells = {c.name, c.memo, core::Fmt(c.load, 2),
+        out.cells = {c.fabric, c.memo, core::Fmt(c.load, 2),
                      core::Fmt(result.max_relative_delay),
                      core::Fmt(result.relative_delay.mean(), 3),
                      core::Fmt(result.max_relative_jitter)};
@@ -108,13 +92,14 @@ void RunExperiment() {
 }
 
 void BM_CioqHarness(benchmark::State& state) {
+  pps::SwitchConfig geometry;
+  geometry.num_ports = 16;
   for (auto _ : state) {
-    cioq::CioqSwitch sw(16, 2, std::make_unique<cioq::IslipScheduler>(2));
     auto src = Workload(16, 0.9);
     core::RunOptions opt;
     opt.max_slots = 5'000;
     opt.source_cutoff = 2'000;
-    const auto result = core::RunRelative(sw, src, opt);
+    const auto result = bench::RunFabric("cioq/islip-s2", geometry, src, opt);
     benchmark::DoNotOptimize(result.max_relative_delay);
   }
 }

@@ -22,6 +22,7 @@
 #include "core/sweep.h"
 #include "core/table.h"
 #include "demux/registry.h"
+#include "fabric/registry.h"
 #include "switch/input_buffered_pps.h"
 #include "switch/pps.h"
 #include "traffic/trace.h"
@@ -39,6 +40,18 @@ inline core::json::Value RelativeMetrics(double bound,
   m.Set("cells", result.cells);
   m.Set("slots", result.duration);
   return m;
+}
+
+// Constructs the named fabric from the registry and runs it through the
+// relative-delay engine: the one-liner every architecture sweep uses
+// (fabric/registry.h lists the names; the registry folds the demux
+// algorithm's switch-level needs into `cfg` exactly as MakeConfig does).
+inline core::RunResult RunFabric(const std::string& name,
+                                 const pps::SwitchConfig& cfg,
+                                 traffic::TrafficSource& source,
+                                 const core::RunOptions& options = {}) {
+  auto fabric = fabric::Make(name, cfg);
+  return core::RunRelative(*fabric, source, options);
 }
 
 // Switch geometry with speedup S = K/r' for the requested rate ratio.

@@ -28,29 +28,20 @@
 
 namespace {
 
-pps::SwitchConfig ThroughputConfig(const std::string& algorithm,
-                                   sim::PortId n) {
+core::RunResult RunUniform(const std::string& algorithm, sim::PortId n) {
+  // r' = 2 at speedup 2 (K = 4); the registry folds the algorithm's
+  // booked/snapshot needs on top of the floor of one snapshot slot.
   pps::SwitchConfig config;
   config.num_ports = n;
-  config.num_planes = 2 * 2;  // r' = 2, S = 2
+  config.num_planes = 2 * 2;
   config.rate_ratio = 2;
-  const auto needs = demux::NeedsOf(algorithm);
-  if (needs.booked_planes) {
-    config.plane_scheduling = pps::PlaneScheduling::kBooked;
-  }
-  config.snapshot_history = std::max(1, needs.snapshot_history);
-  return config;
-}
-
-core::RunResult RunUniform(const std::string& algorithm, sim::PortId n) {
-  pps::BufferlessPps sw(ThroughputConfig(algorithm, n),
-                        demux::MakeFactory(algorithm));
+  config.snapshot_history = 1;
   traffic::BernoulliSource source(n, 0.8, traffic::Pattern::kUniform,
                                   sim::Rng(7));
   core::RunOptions options;
   options.max_slots = 2'000;
   options.drain_grace = 500;
-  return core::RunRelative(sw, source, options);
+  return bench::RunFabric("pps/" + algorithm, config, source, options);
 }
 
 // Sustained overload of output 0: hotspot Bernoulli at load 0.5 with 30%
@@ -66,16 +57,14 @@ core::RunResult RunCongested(const std::string& algorithm, sim::PortId n) {
   config.num_ports = n;
   config.num_planes = 8;
   config.rate_ratio = 1;
-  config.snapshot_history =
-      std::max(1, demux::NeedsOf(algorithm).snapshot_history);
-  pps::BufferlessPps sw(config, demux::MakeFactory(algorithm));
+  config.snapshot_history = 1;
   traffic::BernoulliSource source(n, 0.5, traffic::Pattern::kHotspot,
                                   sim::Rng(11), /*hotspot_fraction=*/0.3);
   core::RunOptions options;
   options.max_slots = 8'000;
   options.source_cutoff = 8'000;
   options.drain_grace = 200;
-  return core::RunRelative(sw, source, options);
+  return bench::RunFabric("pps/" + algorithm, config, source, options);
 }
 
 void RunExperiment() {

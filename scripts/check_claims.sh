@@ -34,8 +34,9 @@ check "Theorem 13 buffer-independence (buffer=512)" \
 check "Theorem 14 output busy 100%" "ftd-h2 .* 100\.0 +15 +0"
 # Scaling headline: N = 1024 fully-distributed worst case (long format).
 check "Scaling N=1024 worst case 1023" "rr-per-output +fully-distributed +1024 +1023"
-# CCF exact mimicking at speedup 2.
-check "CCF exact OQ mimicking" "cioq/ccf-S2 .* 0 +0\.000 +0"
+# CCF exact mimicking at speedup 2 (the bench names rows by their
+# fabric-registry name, fabric/registry.h).
+check "CCF exact OQ mimicking" "cioq/ccf-s2 .* 0 +0\.000 +0"
 # Chaos sweep: the zero-lag points lose no cells to stale dispatches,
 # while nonzero notification lag makes stale losses appear (bench_fault
 # table columns: K flap lag events dropped stranded stale link ...).
@@ -76,6 +77,27 @@ if "$ROOT/scripts/lint.sh" >/dev/null 2>&1; then
   echo "ok   : lint gate (scripts/lint.sh) clean"
 else
   echo "FAIL : lint gate (run scripts/lint.sh for the findings)"
+  fail=1
+fi
+
+# Throughput regression gate: the bench_sim_throughput sweep's geomean
+# cells_per_sec must stay within 5% of the committed baseline in
+# bench_results/bench_sim_throughput.json (best of three runs; non-timing
+# fields must match the baseline exactly on every run).
+if "$ROOT/scripts/perf_gate.sh" >/dev/null 2>&1; then
+  echo "ok   : throughput gate, cells_per_sec within 5% of baseline"
+else
+  echo "FAIL : throughput gate (run scripts/perf_gate.sh for the numbers)"
+  fail=1
+fi
+
+# Fabric matrix: every registered fabric (fabric/registry.h) must survive
+# a short audited harness run, and the slot engine must stay byte-identical
+# to the frozen pre-refactor harness loop (the golden differential).
+if "$ROOT/scripts/fabric_matrix.sh" >/dev/null 2>&1; then
+  echo "ok   : audited fabric matrix + golden differential"
+else
+  echo "FAIL : fabric matrix (run scripts/fabric_matrix.sh for details)"
   fail=1
 fi
 

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Fabric-matrix smoke: drive every registered fabric (fabric/registry.h —
+# all PPS demux algorithms, the CIOQ scheduler family, the OQ reference,
+# the rate-limited OQ) through a short harness run in the PPS_AUDIT=ON
+# tree, where every core::RunRelative call arms the InvariantAuditor pair
+# and throws on any detector hit.
+#
+# The matrix itself lives in tests/test_fabric.cc: the registry round-trip
+# enumerates RegisteredFabrics() so a newly registered fabric is covered
+# automatically, and the golden differential pins the SlotEngine against
+# the frozen pre-refactor harness loop byte-for-byte.
+#
+#   ./scripts/fabric_matrix.sh [build-dir]     # default build-audit/
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-audit}"
+
+cmake -B "$BUILD" -S "$ROOT" -DPPS_AUDIT=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$BUILD" -j --target test_fabric >/dev/null
+
+echo "== fabric matrix (every registered fabric, PPS_AUDIT=ON) =="
+"$BUILD/tests/test_fabric" \
+  --gtest_filter='FabricRegistry.*:FabricCapabilities.*:SlotEngine.*' \
+  --gtest_brief=1
+echo "ok   : every registered fabric ran audited, zero invariant violations"
+
+echo "== golden differential (SlotEngine vs frozen legacy loop) =="
+"$BUILD/tests/test_fabric" --gtest_filter='GoldenDifferential.*' \
+  --gtest_brief=1
+echo "ok   : RunResults byte-identical to the pre-refactor harness"

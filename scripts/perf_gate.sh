@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Throughput regression gate: run the bench_sim_throughput sweep (table
+# only — the google-benchmark filter matches nothing) and compare the
+# geometric-mean cells_per_sec against the committed baseline in
+# bench_results/bench_sim_throughput.json.  Fails when the geomean drops
+# more than the threshold below baseline.
+#
+# Timing on shared runners is noisy, so the gate takes the best of
+# ATTEMPTS runs before declaring a regression; non-timing fields must
+# match the baseline byte-for-byte on every attempt (the sweep
+# determinism contract — a behavior change is never retried away).
+#
+#   ./scripts/perf_gate.sh [build-dir]     # default build/
+#   PERF_GATE_THRESHOLD=0.95 PERF_GATE_ATTEMPTS=3 ./scripts/perf_gate.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+BASELINE="$ROOT/bench_results/bench_sim_throughput.json"
+THRESHOLD="${PERF_GATE_THRESHOLD:-0.95}"
+ATTEMPTS="${PERF_GATE_ATTEMPTS:-3}"
+
+BIN="$BUILD/bench/bench_sim_throughput"
+if [ ! -x "$BIN" ]; then
+  cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$BUILD" -j --target bench_sim_throughput >/dev/null
+fi
+[ -f "$BASELINE" ] || { echo "no baseline at $BASELINE"; exit 2; }
+
+best_ratio="0"
+for attempt in $(seq 1 "$ATTEMPTS"); do
+  RUN_DIR="$(mktemp -d)"
+  trap 'rm -rf "$RUN_DIR"' EXIT
+  PPS_BENCH_RESULTS_DIR="$RUN_DIR" "$BIN" --benchmark_filter='^$' >/dev/null
+
+  ratio="$(python3 - "$BASELINE" "$RUN_DIR/bench_sim_throughput.json" <<'EOF'
+import json
+import math
+import sys
+
+base = json.load(open(sys.argv[1]))["points"]
+run = json.load(open(sys.argv[2]))["points"]
+if len(base) != len(run):
+    sys.exit(f"point count changed: baseline {len(base)} vs run {len(run)}"
+             " — refresh the committed baseline")
+for b, r in zip(base, run):
+    for key in ("params", "bound", "measured", "jitter", "cells", "slots"):
+        if b[key] != r[key]:
+            sys.exit(f"non-timing field {key!r} diverged at {b['params']}: "
+                     f"baseline {b[key]} vs run {r[key]} — the sweep is no "
+                     "longer behavior-identical; refresh the baseline "
+                     "deliberately")
+
+
+def geomean(points):
+    rates = [p["cells_per_sec"] for p in points]
+    return math.exp(sum(math.log(r) for r in rates) / len(rates))
+
+
+print(f"{geomean(run) / geomean(base):.4f}")
+EOF
+)" || { echo "FAIL : $ratio"; exit 1; }
+
+  echo "attempt $attempt/$ATTEMPTS: cells_per_sec geomean ratio $ratio (vs baseline)"
+  best_ratio="$(python3 -c "print(max($best_ratio, $ratio))")"
+  if python3 -c "import sys; sys.exit(0 if $best_ratio >= $THRESHOLD else 1)"; then
+    echo "ok   : throughput within gate (best ratio $best_ratio >= $THRESHOLD)"
+    exit 0
+  fi
+done
+
+echo "FAIL : cells_per_sec geomean regressed (best ratio $best_ratio < $THRESHOLD)"
+exit 1

@@ -29,7 +29,7 @@ void CioqSwitch::Inject(sim::Cell cell, sim::Slot t) {
   voqs_.Push(cell);
 }
 
-std::vector<sim::Cell> CioqSwitch::Advance(sim::Slot t) {
+const std::vector<sim::Cell>& CioqSwitch::Advance(sim::Slot t) {
   for (int phase = 0; phase < speedup_; ++phase) {
     if (voqs_.Empty()) break;
     const Matching matching = scheduler_->Schedule(voqs_);
@@ -59,15 +59,15 @@ std::vector<sim::Cell> CioqSwitch::Advance(sim::Slot t) {
       q.insert(it, cell);
     }
   }
-  std::vector<sim::Cell> departed;
+  departed_scratch_.clear();
   for (auto& q : output_queues_) {
     if (q.empty()) continue;
     sim::Cell cell = q.front();
     q.pop_front();
     cell.departure = t;
-    departed.push_back(cell);
+    departed_scratch_.push_back(cell);
   }
-  return departed;
+  return departed_scratch_;
 }
 
 bool CioqSwitch::Drained() const { return TotalBacklog() == 0; }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cioq/voq.h"
+#include "fault/loss.h"
 #include "sim/cell.h"
 #include "sim/types.h"
 
@@ -32,7 +33,10 @@ class CioqSwitch {
              std::unique_ptr<Scheduler> scheduler);
 
   void Inject(sim::Cell cell, sim::Slot t);
-  std::vector<sim::Cell> Advance(sim::Slot t);
+  // Returns this slot's departures; the reference points at internal
+  // scratch reused every slot (the PPS fabrics' contract — valid until
+  // the next Advance call, copy if needed longer).
+  const std::vector<sim::Cell>& Advance(sim::Slot t);
 
   bool Drained() const;
   std::int64_t TotalBacklog() const;
@@ -43,6 +47,14 @@ class CioqSwitch {
 
   // Harness compatibility (the PPS fabrics expose the same counter).
   std::uint64_t resequencing_stalls() const { return 0; }
+
+  // Explicit no-op fault surface: a crossbar has no planes to fail, so a
+  // fault::FaultSchedule driven through a CIOQ run applies cleanly with no
+  // effect instead of needing harness special-casing.  The loss ledger is
+  // identically empty — the crossbar is lossless.
+  void FailPlane(sim::PlaneId /*k*/, sim::Slot /*at*/) {}
+  void RecoverPlane(sim::PlaneId /*k*/, sim::Slot /*at*/) {}
+  fault::LossBreakdown Losses() const { return {}; }
 
   struct Config {
     sim::PortId num_ports;
@@ -60,6 +72,8 @@ class CioqSwitch {
   // Shadow FCFS-OQ departure per output; every arriving cell is stamped
   // with its value (Cell::tag), which urgency-based schedulers (CCF) use.
   std::vector<sim::Slot> next_dep_;
+  // Per-slot scratch reused across Advance calls (cleared, never freed).
+  std::vector<sim::Cell> departed_scratch_;
   std::uint64_t infeasible_ = 0;
   std::uint64_t nonmaximal_ = 0;
 };

@@ -1,375 +1,15 @@
 #include "core/harness.h"
 
 #include <algorithm>
-#include <optional>
 #include <sstream>
-#include <unordered_map>
 
 #include <cmath>
 
-#include "audit/enabled.h"
 #include "core/bounds.h"
-#include "sim/error.h"
-#include "switch/config.h"
+#include "core/slot_engine.h"
+#include "fabric/adapters.h"
 
 namespace core {
-namespace {
-
-// Per-flow min/max tracker for jitter computation.
-struct MinMax {
-  sim::Slot min = 0;
-  sim::Slot max = 0;
-  bool seen = false;
-
-  void Add(sim::Slot v) {
-    if (!seen) {
-      min = max = v;
-      seen = true;
-    } else {
-      min = std::min(min, v);
-      max = std::max(max, v);
-    }
-  }
-};
-
-// A cell in flight in at least one of the two switches.  Entries are
-// erased as soon as both departures are known, so memory stays bounded by
-// the larger of the two backlogs rather than the run length.
-struct PendingCell {
-  sim::Slot arrival = sim::kNoSlot;
-  sim::PortId input = sim::kNoPort;
-  sim::PortId output = sim::kNoPort;
-  sim::Slot pps_delay = sim::kNoSlot;
-  sim::Slot shadow_delay = sim::kNoSlot;
-  // The measured switch dropped this cell at Inject: it will never depart,
-  // so the entry is reclaimed as soon as the shadow delivers its copy.
-  bool pps_dropped = false;
-};
-
-// The measured switch's loss ledger, for fabrics that keep one (the CIOQ
-// crossbar is lossless and reports an empty breakdown).
-template <typename PpsT>
-fault::LossBreakdown LossesOf(const PpsT& pps) {
-  if constexpr (requires { pps.Losses(); }) {
-    return pps.Losses();
-  } else {
-    return {};
-  }
-}
-
-// Total cells lost inside the measured switch.
-template <typename PpsT>
-std::uint64_t LostInSwitch(const PpsT& pps) {
-  return LossesOf(pps).total();
-}
-
-// Shared implementation over the fabric types: they expose the same
-// Inject/Advance/Drained/config surface.
-template <typename PpsT>
-RunResult RunImpl(PpsT& pps, traffic::TrafficSource& source,
-                  const RunOptions& options) {
-  const auto& config = pps.config();
-  const sim::PortId n = config.num_ports;
-
-  pps::OutputQueuedSwitch shadow(n);
-  traffic::BurstinessMeter meter(n);
-
-  sim::LatencyRecorder pps_rec;
-  sim::LatencyRecorder oq_rec;
-  pps_rec.set_num_ports(n);
-  oq_rec.set_num_ports(n);
-
-  std::unordered_map<sim::FlowId, std::uint64_t> seq;
-  std::unordered_map<sim::CellId, PendingCell> pending;
-  std::unordered_map<sim::FlowId, MinMax> jitter_pps, jitter_oq;
-  sim::CellId next_id = 0;
-
-  RunResult result;
-
-  // The effective fault timeline: the schedule from the options with the
-  // legacy single-failure knob folded in.  LinkDrop windows are armed on
-  // the fabric up front (they are stateless per-dispatch trials); plane
-  // fail/recover events are applied by the per-slot cursor below.
-  fault::FaultSchedule schedule = options.fault_schedule;
-  if (options.fail_plane_at != sim::kNoSlot) {
-    schedule.Fail(options.fail_plane, options.fail_plane_at);
-  }
-  if constexpr (requires { pps.link_faults(); }) {
-    if (!schedule.empty()) {
-      pps.link_faults().Seed(schedule.seed());
-      for (const fault::FaultEvent& ev : schedule.events()) {
-        if (ev.kind == fault::FaultKind::kLinkDrop) {
-          pps.link_faults().AddWindow(ev.input, ev.plane, ev.probability,
-                                      ev.at, ev.window);
-        }
-      }
-    }
-  }
-  std::size_t fault_cursor = 0;
-
-  // Model-invariant auditing.  An explicitly attached auditor always
-  // observes the measured switch; under -DPPS_AUDIT=ON a fresh pair of
-  // auditors (measured + shadow) is constructed for every run instead.
-  const fault::LossBreakdown losses_base = LossesOf(pps);
-  const std::uint64_t lost_base = losses_base.total();
-  audit::InvariantAuditor* aud = options.auditor;
-  audit::InvariantAuditor* shadow_aud = nullptr;
-#if PPS_AUDIT_ENABLED
-  std::optional<audit::InvariantAuditor> auto_aud;
-  std::optional<audit::InvariantAuditor> auto_shadow_aud;
-  // Auto-audit needs the cell-conservation ledger to start from zero, so
-  // it only engages when the switch is empty at run start (the normal
-  // case; reused undrained switches keep their explicit auditor if any).
-  if (aud == nullptr && pps.TotalBacklog() == 0) {
-    audit::InvariantAuditor::Options aopts;
-    aopts.rqd_upper_bound = options.audit_rqd_upper_bound;
-    aopts.rqd_lower_bound = options.audit_rqd_lower_bound;
-    aopts.rqd_epochs = options.audit_rqd_epochs;
-    // A first-delivered-first-out mux legitimately reorders flows that
-    // straddle planes; per-flow order is only promised under resequencing.
-    if constexpr (requires { pps.config().mux_policy; }) {
-      aopts.check_flow_order =
-          pps.config().mux_policy == pps::MuxPolicy::kOldestCellReseq;
-    }
-    auto_aud.emplace(n, aopts);
-    aud = &*auto_aud;
-    audit::InvariantAuditor::Options sopts;
-    sopts.check_work_conservation = true;  // the reference discipline
-    auto_shadow_aud.emplace(n, sopts);
-    shadow_aud = &*auto_shadow_aud;
-  }
-#endif
-
-  auto finalize = [&](sim::CellId id, PendingCell& cell) {
-    // Both delays are known here (checked by the callers); SlotDifference
-    // asserts neither is still the kNoSlot sentinel.
-    const sim::Slot rel =
-        sim::SlotDifference(cell.pps_delay, cell.shadow_delay);
-    if (aud != nullptr) {
-      aud->OnRelativeDelay(cell.input, cell.output, cell.arrival, rel);
-    }
-    result.relative_delay.Add(rel);
-    result.max_relative_delay = std::max(result.max_relative_delay, rel);
-    if (options.keep_timeline) {
-      result.timeline.push_back({cell.arrival, rel, cell.input, cell.output});
-    }
-    const sim::FlowId flow = sim::MakeFlowId(cell.input, cell.output, n);
-    jitter_pps[flow].Add(cell.pps_delay);
-    jitter_oq[flow].Add(cell.shadow_delay);
-    pending.erase(id);
-  };
-
-  sim::Slot exhausted_at = sim::kNoSlot;
-  std::uint64_t known_lost = LostInSwitch(pps);
-  sim::Slot t = 0;
-  for (; t < options.max_slots; ++t) {
-    // Apply this slot's plane fail/recover events before arrivals, so the
-    // fabric's ground truth (and, modulo the visibility lag, the
-    // demultiplexors' beliefs) is up to date when dispatch decisions run.
-    if constexpr (requires {
-                    pps.FailPlane(sim::PlaneId{0}, t);
-                    pps.RecoverPlane(sim::PlaneId{0}, t);
-                  }) {
-      while (fault_cursor < schedule.events().size() &&
-             schedule.events()[fault_cursor].at <= t) {
-        const fault::FaultEvent& ev = schedule.events()[fault_cursor++];
-        if (ev.kind == fault::FaultKind::kPlaneFail) {
-          pps.FailPlane(ev.plane, t);
-        } else if (ev.kind == fault::FaultKind::kPlaneRecover) {
-          pps.RecoverPlane(ev.plane, t);
-        }
-        // kLinkDrop windows were armed before the run.
-        // Cells stranded inside a failed plane bump the loss counter
-        // without naming ids; their entries are reconciled by the sweeps.
-        known_lost = LostInSwitch(pps);
-      }
-    }
-    const bool cut =
-        options.source_cutoff > 0 && t >= options.source_cutoff;
-    std::vector<sim::Arrival> arrivals =
-        cut ? std::vector<sim::Arrival>{} : source.ArrivalsAt(t);
-    std::sort(arrivals.begin(), arrivals.end());
-    for (std::size_t a = 0; a < arrivals.size(); ++a) {
-      if (a > 0) {
-        SIM_CHECK(arrivals[a].input != arrivals[a - 1].input,
-                  "source emitted two cells on input " << arrivals[a].input
-                                                       << " in slot " << t);
-      }
-      // Range-check before MakeFlowId: a source emitting kNoPort or an
-      // out-of-range port would otherwise wrap into a garbage flow id.
-      SIM_CHECK(arrivals[a].input >= 0 && arrivals[a].input < n &&
-                    arrivals[a].output >= 0 && arrivals[a].output < n,
-                "source emitted out-of-range ports (" << arrivals[a].input
-                                                      << " -> "
-                                                      << arrivals[a].output
-                                                      << ") in slot " << t);
-      sim::Cell cell;
-      cell.id = next_id++;
-      cell.input = arrivals[a].input;
-      cell.output = arrivals[a].output;
-      cell.seq = seq[sim::MakeFlowId(cell.input, cell.output, n)]++;
-      cell.arrival = t;
-      meter.Record(t, cell.input, cell.output);
-      auto [slot_it, inserted] = pending.emplace(
-          cell.id, PendingCell{t, cell.input, cell.output,
-                               sim::kNoSlot, sim::kNoSlot, false});
-      SIM_CHECK(inserted, "duplicate cell id " << cell.id);
-      if (aud != nullptr) aud->OnInject(cell, t);
-      if (shadow_aud != nullptr) shadow_aud->OnInject(cell, t);
-      pps.Inject(cell, t);
-      shadow.Inject(cell, t);
-      ++result.cells;
-      // A synchronous Inject drop (plane failures / exhausted static
-      // partition) means this cell will never depart the measured switch:
-      // mark the entry so it is reclaimed once the shadow delivers it,
-      // instead of leaking for the rest of the run.
-      const std::uint64_t lost = LostInSwitch(pps);
-      if (lost != known_lost) {
-        known_lost = lost;
-        slot_it->second.pps_dropped = true;
-        ++result.dropped;
-      }
-    }
-
-    for (const sim::Cell& cell : pps.Advance(t)) {
-      if (aud != nullptr) aud->OnDepart(cell, t);
-      pps_rec.Record(cell);
-      auto it = pending.find(cell.id);
-      SIM_CHECK(it != pending.end(), "unknown departure " << cell);
-      it->second.pps_delay = cell.delay();
-      if (it->second.shadow_delay != sim::kNoSlot) {
-        finalize(cell.id, it->second);
-      }
-    }
-    for (const sim::Cell& cell : shadow.Advance(t)) {
-      if (shadow_aud != nullptr) shadow_aud->OnDepart(cell, t);
-      oq_rec.Record(cell);
-      auto it = pending.find(cell.id);
-      SIM_CHECK(it != pending.end(), "unknown shadow departure " << cell);
-      if (it->second.pps_dropped) {
-        pending.erase(it);  // the measured switch lost it at Inject
-        continue;
-      }
-      it->second.shadow_delay = cell.delay();
-      if (it->second.pps_delay != sim::kNoSlot) {
-        finalize(cell.id, it->second);
-      }
-    }
-    // Losses recorded during Advance (buffer overflows, stranded cells)
-    // carry no cell ids; fold them into the baseline so they are not
-    // misattributed to the next injected cell.
-    known_lost = LostInSwitch(pps);
-    if (aud != nullptr) {
-      aud->OnSlotEnd(t, pps.TotalBacklog(), known_lost - lost_base);
-    }
-    if (shadow_aud != nullptr) {
-      shadow_aud->OnSlotEnd(t, shadow.TotalBacklog());
-    }
-
-    // Periodic reconciliation against the loss counters: cells lost with
-    // no id (stranded in a failed plane, buffer overflows) leave pending
-    // entries that only drain at run end otherwise.  Whenever the measured
-    // switch is drained, an entry whose shadow copy has departed but whose
-    // measured copy never did can never be finalized — reclaim it now so
-    // pending memory stays bounded by the in-flight backlog in long fault
-    // runs, not by the run length.  (Entries whose shadow copy is still
-    // queued are reclaimed by the shadow-departure path or a later sweep.)
-    constexpr sim::Slot kReconcilePeriod = 1024;
-    if (known_lost > 0 && (t + 1) % kReconcilePeriod == 0 && pps.Drained()) {
-      for (auto it = pending.begin(); it != pending.end();) {
-        if (it->second.pps_delay == sim::kNoSlot &&
-            it->second.shadow_delay != sim::kNoSlot) {
-          ++result.dropped;
-          it = pending.erase(it);
-        } else {
-          ++it;
-        }
-      }
-    }
-
-    if (exhausted_at == sim::kNoSlot &&
-        (cut || source.Exhausted(t + 1))) {
-      exhausted_at = t + 1;
-    }
-    if (exhausted_at != sim::kNoSlot) {
-      const bool drained = pps.Drained() && shadow.Drained();
-      if (drained) {
-        result.drained = true;
-        ++t;
-        break;
-      }
-      if (options.drain_grace > 0 &&
-          sim::SlotDifference(t, exhausted_at) >= options.drain_grace) {
-        ++t;
-        break;
-      }
-    }
-  }
-  result.duration = t;
-  result.drained = pps.Drained() && shadow.Drained();
-  // Reconcile losses that carried no cell id (stranded in a failed plane,
-  // buffer overflows, inject drops whose shadow copy is still queued):
-  // once the measured switch is drained, an entry with no departure can
-  // never get one.  Erase such leaks so tracked state matches the
-  // finalized cells exactly.
-  if (pps.Drained()) {
-    for (auto it = pending.begin(); it != pending.end();) {
-      if (it->second.pps_delay == sim::kNoSlot) {
-        if (!it->second.pps_dropped) ++result.dropped;
-        it = pending.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-  result.losses = LossesOf(pps) - losses_base;
-  result.traffic_burstiness = meter.OutputBurstiness();
-  result.order_preserved = pps_rec.order_preserved();
-  result.resequencing_stalls = pps.resequencing_stalls();
-  result.pps_delay = pps_rec.delay_stats();
-  result.shadow_delay = oq_rec.delay_stats();
-
-  for (const auto& [flow, mm] : jitter_pps) {
-    if (!mm.seen) continue;
-    const auto& qq = jitter_oq.at(flow);
-    const sim::Slot jp = mm.max - mm.min;
-    const sim::Slot jq = qq.max - qq.min;
-    result.max_relative_jitter =
-        std::max(result.max_relative_jitter, jp - jq);
-  }
-  if (options.keep_timeline) {
-    std::sort(result.timeline.begin(), result.timeline.end(),
-              [](const CellRelative& a, const CellRelative& b) {
-                return a.arrival < b.arrival;
-              });
-  }
-  if (aud != nullptr) {
-    // The taxonomy reconciliation is only exact once every pending cell
-    // has been resolved, i.e. when both switches drained.
-    if (result.drained) {
-      aud->OnLossTaxonomy(result.losses, result.dropped, t);
-    }
-    aud->OnRunEnd(t, pps.TotalBacklog(), known_lost - lost_base);
-    result.audit_violations += aud->report().total();
-  }
-  if (shadow_aud != nullptr) {
-    shadow_aud->OnRunEnd(t, shadow.TotalBacklog());
-    result.audit_violations += shadow_aud->report().total();
-  }
-#if PPS_AUDIT_ENABLED
-  // The audited build promises that every harness run is model-clean:
-  // surface any detector hit as a hard error so ctest/sweeps fail loudly.
-  if (auto_aud.has_value()) {
-    SIM_CHECK(auto_aud->clean() && auto_shadow_aud->clean(),
-              "measured switch: " << auto_aud->report().Summary()
-                                  << "; shadow: "
-                                  << auto_shadow_aud->report().Summary());
-  }
-#endif
-  return result;
-}
-
-}  // namespace
 
 sim::Slot RunResult::MaxRelativeDelayIn(sim::Slot from, sim::Slot to) const {
   sim::Slot best = 0;
@@ -381,20 +21,42 @@ sim::Slot RunResult::MaxRelativeDelayIn(sim::Slot from, sim::Slot to) const {
   return best;
 }
 
+RunResult RunRelative(fabric::Fabric& fabric, traffic::TrafficSource& source,
+                      const RunOptions& options) {
+  return SlotEngine().Run(fabric, source, options);
+}
+
 RunResult RunRelative(pps::BufferlessPps& pps, traffic::TrafficSource& source,
                       const RunOptions& options) {
-  return RunImpl(pps, source, options);
+  fabric::BufferlessPpsFabric fabric(pps);
+  return SlotEngine().Run(fabric, source, options);
 }
 
 RunResult RunRelative(pps::InputBufferedPps& pps,
                       traffic::TrafficSource& source,
                       const RunOptions& options) {
-  return RunImpl(pps, source, options);
+  fabric::InputBufferedPpsFabric fabric(pps);
+  return SlotEngine().Run(fabric, source, options);
 }
 
 RunResult RunRelative(cioq::CioqSwitch& sw, traffic::TrafficSource& source,
                       const RunOptions& options) {
-  return RunImpl(sw, source, options);
+  fabric::CioqFabric fabric(sw);
+  return SlotEngine().Run(fabric, source, options);
+}
+
+RunResult RunRelative(pps::OutputQueuedSwitch& sw,
+                      traffic::TrafficSource& source,
+                      const RunOptions& options) {
+  fabric::OutputQueuedFabric fabric(sw);
+  return SlotEngine().Run(fabric, source, options);
+}
+
+RunResult RunRelative(pps::RateLimitedOqSwitch& sw,
+                      traffic::TrafficSource& source,
+                      const RunOptions& options) {
+  fabric::RateLimitedOqFabric fabric(sw);
+  return SlotEngine().Run(fabric, source, options);
 }
 
 std::vector<audit::RqdEpoch> DegradedRqdEpochs(

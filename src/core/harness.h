@@ -31,8 +31,13 @@
 #include "switch/input_buffered_pps.h"
 #include "switch/output_queued.h"
 #include "switch/pps.h"
+#include "switch/rate_limited_oq.h"
 #include "traffic/leaky_bucket.h"
 #include "traffic/source.h"
+
+namespace fabric {
+class Fabric;
+}  // namespace fabric
 
 namespace core {
 
@@ -127,6 +132,15 @@ struct RunResult {
   sim::Slot MaxRelativeDelayIn(sim::Slot from, sim::Slot to) const;
 };
 
+// Runs `source` through any fabric and its shadow OQ switch: the general
+// form every overload below reduces to (core/slot_engine.h has the
+// engine; fabric/registry.h constructs fabrics by name).
+RunResult RunRelative(fabric::Fabric& fabric, traffic::TrafficSource& source,
+                      const RunOptions& options = {});
+
+// Architecture-specific compatibility overloads: each wraps the switch in
+// its non-owning fabric adapter and runs the slot engine.
+
 // Runs `source` through a bufferless PPS and its shadow OQ switch.
 RunResult RunRelative(pps::BufferlessPps& pps, traffic::TrafficSource& source,
                       const RunOptions& options = {});
@@ -139,6 +153,17 @@ RunResult RunRelative(pps::InputBufferedPps& pps,
 // And for the related-work CIOQ crossbar switch (cioq/), which exposes the
 // same Inject/Advance/Drained surface.
 RunResult RunRelative(cioq::CioqSwitch& sw, traffic::TrafficSource& source,
+                      const RunOptions& options = {});
+
+// The ideal OQ switch measured against a second OQ shadow (relative delay
+// is identically zero — a useful engine/registry smoke invariant).
+RunResult RunRelative(pps::OutputQueuedSwitch& sw,
+                      traffic::TrafficSource& source,
+                      const RunOptions& options = {});
+
+// The non-work-conserving rate-limited OQ switch (Discussion section).
+RunResult RunRelative(pps::RateLimitedOqSwitch& sw,
+                      traffic::TrafficSource& source,
                       const RunOptions& options = {});
 
 // Human-readable one-line summary.

@@ -1,0 +1,417 @@
+#include "core/slot_engine.h"
+
+#include <algorithm>
+
+#include "sim/error.h"
+#include "switch/output_queued.h"
+
+namespace core {
+
+// ---------------------------------------------------------------------------
+// FaultScheduleApplier
+
+FaultScheduleApplier::FaultScheduleApplier(fabric::Fabric& fabric,
+                                           const RunOptions& options)
+    : fabric_(fabric), schedule_(options.fault_schedule) {
+  if (options.fail_plane_at != sim::kNoSlot) {
+    schedule_.Fail(options.fail_plane, options.fail_plane_at);
+  }
+  fault::LinkFaultInjector* injector = fabric_.link_faults();
+  if (injector != nullptr && !schedule_.empty()) {
+    injector->Seed(schedule_.seed());
+    for (const fault::FaultEvent& ev : schedule_.events()) {
+      if (ev.kind == fault::FaultKind::kLinkDrop) {
+        injector->AddWindow(ev.input, ev.plane, ev.probability, ev.at,
+                            ev.window);
+      }
+    }
+  }
+}
+
+bool FaultScheduleApplier::ApplyDue(sim::Slot t) {
+  bool fired = false;
+  while (cursor_ < schedule_.events().size() &&
+         schedule_.events()[cursor_].at <= t) {
+    const fault::FaultEvent& ev = schedule_.events()[cursor_++];
+    if (ev.kind == fault::FaultKind::kPlaneFail) {
+      fabric_.FailPlane(ev.plane, t);
+    } else if (ev.kind == fault::FaultKind::kPlaneRecover) {
+      fabric_.RecoverPlane(ev.plane, t);
+    }
+    // kLinkDrop windows were armed at construction.
+    fired = true;
+  }
+  return fired;
+}
+
+// ---------------------------------------------------------------------------
+// ArrivalFeeder
+
+ArrivalFeeder::ArrivalFeeder(traffic::TrafficSource& source,
+                             sim::PortId num_ports, sim::Slot source_cutoff)
+    : source_(source),
+      num_ports_(num_ports),
+      cutoff_(source_cutoff),
+      meter_(num_ports) {}
+
+const std::vector<sim::Cell>& ArrivalFeeder::CellsAt(sim::Slot t) {
+  cells_scratch_.clear();
+  const bool cut = cutoff_ > 0 && t >= cutoff_;
+  if (cut) return cells_scratch_;
+  std::vector<sim::Arrival> arrivals = source_.ArrivalsAt(t);
+  std::sort(arrivals.begin(), arrivals.end());
+  for (std::size_t a = 0; a < arrivals.size(); ++a) {
+    if (a > 0) {
+      SIM_CHECK(arrivals[a].input != arrivals[a - 1].input,
+                "source emitted two cells on input " << arrivals[a].input
+                                                     << " in slot " << t);
+    }
+    // Range-check before MakeFlowId: a source emitting kNoPort or an
+    // out-of-range port would otherwise wrap into a garbage flow id.
+    SIM_CHECK(arrivals[a].input >= 0 && arrivals[a].input < num_ports_ &&
+                  arrivals[a].output >= 0 && arrivals[a].output < num_ports_,
+              "source emitted out-of-range ports (" << arrivals[a].input
+                                                    << " -> "
+                                                    << arrivals[a].output
+                                                    << ") in slot " << t);
+    sim::Cell cell;
+    cell.id = next_id_++;
+    cell.input = arrivals[a].input;
+    cell.output = arrivals[a].output;
+    cell.seq = seq_[sim::MakeFlowId(cell.input, cell.output, num_ports_)]++;
+    cell.arrival = t;
+    meter_.Record(t, cell.input, cell.output);
+    cells_scratch_.push_back(cell);
+  }
+  return cells_scratch_;
+}
+
+bool ArrivalFeeder::ExhaustedAfter(sim::Slot t) const {
+  const bool cut = cutoff_ > 0 && t >= cutoff_;
+  return cut || source_.Exhausted(t + 1);
+}
+
+std::int64_t ArrivalFeeder::OfferedBurstiness() const {
+  return meter_.OutputBurstiness();
+}
+
+// ---------------------------------------------------------------------------
+// AuditTaps
+
+AuditTaps::AuditTaps(fabric::Fabric& fabric, const RunOptions& options) {
+  aud_ = options.auditor;
+#if PPS_AUDIT_ENABLED
+  // Auto-audit needs the cell-conservation ledger to start from zero, so
+  // it only engages when the switch is empty at run start (the normal
+  // case; reused undrained switches keep their explicit auditor if any).
+  if (aud_ == nullptr && fabric.TotalBacklog() == 0) {
+    audit::InvariantAuditor::Options aopts;
+    aopts.rqd_upper_bound = options.audit_rqd_upper_bound;
+    aopts.rqd_lower_bound = options.audit_rqd_lower_bound;
+    aopts.rqd_epochs = options.audit_rqd_epochs;
+    // A first-delivered-first-out mux legitimately reorders flows that
+    // straddle planes; per-flow order is only promised under resequencing.
+    aopts.check_flow_order = fabric.flow_order_promised();
+    auto_aud_.emplace(fabric.num_ports(), aopts);
+    aud_ = &*auto_aud_;
+    audit::InvariantAuditor::Options sopts;
+    sopts.check_work_conservation = true;  // the reference discipline
+    auto_shadow_aud_.emplace(fabric.num_ports(), sopts);
+    shadow_aud_ = &*auto_shadow_aud_;
+  }
+#else
+  (void)fabric;
+#endif
+}
+
+void AuditTaps::OnInject(const sim::Cell& cell, sim::Slot t) {
+  if (aud_ != nullptr) aud_->OnInject(cell, t);
+  if (shadow_aud_ != nullptr) shadow_aud_->OnInject(cell, t);
+}
+
+void AuditTaps::OnMeasuredDepart(const sim::Cell& cell, sim::Slot t) {
+  if (aud_ != nullptr) aud_->OnDepart(cell, t);
+}
+
+void AuditTaps::OnShadowDepart(const sim::Cell& cell, sim::Slot t) {
+  if (shadow_aud_ != nullptr) shadow_aud_->OnDepart(cell, t);
+}
+
+void AuditTaps::OnRelativeDelay(sim::PortId input, sim::PortId output,
+                                sim::Slot arrival,
+                                sim::Slot relative_delay) {
+  if (aud_ != nullptr) {
+    aud_->OnRelativeDelay(input, output, arrival, relative_delay);
+  }
+}
+
+void AuditTaps::OnSlotEnd(sim::Slot t, std::int64_t backlog,
+                          std::uint64_t lost, std::int64_t shadow_backlog) {
+  if (aud_ != nullptr) aud_->OnSlotEnd(t, backlog, lost);
+  if (shadow_aud_ != nullptr) shadow_aud_->OnSlotEnd(t, shadow_backlog);
+}
+
+void AuditTaps::Finish(RunResult& result, sim::Slot t, std::int64_t backlog,
+                       std::uint64_t lost, std::int64_t shadow_backlog) {
+  if (aud_ != nullptr) {
+    // The taxonomy reconciliation is only exact once every pending cell
+    // has been resolved, i.e. when both switches drained.
+    if (result.drained) {
+      aud_->OnLossTaxonomy(result.losses, result.dropped, t);
+    }
+    aud_->OnRunEnd(t, backlog, lost);
+    result.audit_violations += aud_->report().total();
+  }
+  if (shadow_aud_ != nullptr) {
+    shadow_aud_->OnRunEnd(t, shadow_backlog);
+    result.audit_violations += shadow_aud_->report().total();
+  }
+#if PPS_AUDIT_ENABLED
+  // The audited build promises that every engine run is model-clean:
+  // surface any detector hit as a hard error so ctest/sweeps fail loudly.
+  if (auto_aud_.has_value()) {
+    SIM_CHECK(auto_aud_->clean() && auto_shadow_aud_->clean(),
+              "measured switch: " << auto_aud_->report().Summary()
+                                  << "; shadow: "
+                                  << auto_shadow_aud_->report().Summary());
+  }
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// RelativeDelayLedger
+
+void RelativeDelayLedger::MinMax::Add(sim::Slot v) {
+  if (!seen) {
+    min = max = v;
+    seen = true;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+}
+
+RelativeDelayLedger::RelativeDelayLedger(sim::PortId num_ports,
+                                         bool keep_timeline, AuditTaps& taps)
+    : num_ports_(num_ports), keep_timeline_(keep_timeline), taps_(taps) {
+  measured_rec_.set_num_ports(num_ports);
+  shadow_rec_.set_num_ports(num_ports);
+}
+
+void RelativeDelayLedger::Track(const sim::Cell& cell) {
+  auto [it, inserted] = pending_.emplace(
+      cell.id, PendingCell{cell.arrival, cell.input, cell.output,
+                           sim::kNoSlot, sim::kNoSlot, false});
+  SIM_CHECK(inserted, "duplicate cell id " << cell.id);
+}
+
+void RelativeDelayLedger::MarkInjectDropped(sim::CellId id,
+                                            RunResult& result) {
+  auto it = pending_.find(id);
+  SIM_CHECK(it != pending_.end(), "inject-drop on untracked cell " << id);
+  it->second.inject_dropped = true;
+  ++result.dropped;
+}
+
+void RelativeDelayLedger::Finalize(sim::CellId id, PendingCell& cell,
+                                   RunResult& result) {
+  // Both delays are known here (checked by the callers); SlotDifference
+  // asserts neither is still the kNoSlot sentinel.
+  const sim::Slot rel =
+      sim::SlotDifference(cell.measured_delay, cell.shadow_delay);
+  taps_.OnRelativeDelay(cell.input, cell.output, cell.arrival, rel);
+  result.relative_delay.Add(rel);
+  result.max_relative_delay = std::max(result.max_relative_delay, rel);
+  if (keep_timeline_) {
+    result.timeline.push_back({cell.arrival, rel, cell.input, cell.output});
+  }
+  const sim::FlowId flow =
+      sim::MakeFlowId(cell.input, cell.output, num_ports_);
+  jitter_measured_[flow].Add(cell.measured_delay);
+  jitter_shadow_[flow].Add(cell.shadow_delay);
+  pending_.erase(id);
+}
+
+void RelativeDelayLedger::OnMeasuredDepart(const sim::Cell& cell,
+                                           RunResult& result) {
+  measured_rec_.Record(cell);
+  auto it = pending_.find(cell.id);
+  SIM_CHECK(it != pending_.end(), "unknown departure " << cell);
+  it->second.measured_delay = cell.delay();
+  if (it->second.shadow_delay != sim::kNoSlot) {
+    Finalize(cell.id, it->second, result);
+  }
+}
+
+void RelativeDelayLedger::OnShadowDepart(const sim::Cell& cell,
+                                         RunResult& result) {
+  shadow_rec_.Record(cell);
+  auto it = pending_.find(cell.id);
+  SIM_CHECK(it != pending_.end(), "unknown shadow departure " << cell);
+  if (it->second.inject_dropped) {
+    pending_.erase(it);  // the measured switch lost it at Inject
+    return;
+  }
+  it->second.shadow_delay = cell.delay();
+  if (it->second.measured_delay != sim::kNoSlot) {
+    Finalize(cell.id, it->second, result);
+  }
+}
+
+void RelativeDelayLedger::SweepLossLeaks(RunResult& result) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.measured_delay == sim::kNoSlot &&
+        it->second.shadow_delay != sim::kNoSlot) {
+      ++result.dropped;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void RelativeDelayLedger::ReconcileUndeparted(RunResult& result) {
+  // Reconcile losses that carried no cell id (stranded in a failed plane,
+  // buffer overflows, inject drops whose shadow copy is still queued):
+  // once the measured switch is drained, an entry with no departure can
+  // never get one.  Erase such leaks so tracked state matches the
+  // finalized cells exactly.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.measured_delay == sim::kNoSlot) {
+      if (!it->second.inject_dropped) ++result.dropped;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void RelativeDelayLedger::Finish(RunResult& result) {
+  result.order_preserved = measured_rec_.order_preserved();
+  result.pps_delay = measured_rec_.delay_stats();
+  result.shadow_delay = shadow_rec_.delay_stats();
+
+  for (const auto& [flow, mm] : jitter_measured_) {
+    if (!mm.seen) continue;
+    const auto& qq = jitter_shadow_.at(flow);
+    const sim::Slot jp = mm.max - mm.min;
+    const sim::Slot jq = qq.max - qq.min;
+    result.max_relative_jitter =
+        std::max(result.max_relative_jitter, jp - jq);
+  }
+  if (keep_timeline_) {
+    std::sort(result.timeline.begin(), result.timeline.end(),
+              [](const CellRelative& a, const CellRelative& b) {
+                return a.arrival < b.arrival;
+              });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DrainController
+
+bool DrainController::ShouldStop(sim::Slot t, bool all_drained) const {
+  if (!exhausted()) return false;
+  if (all_drained) return true;
+  return drain_grace_ > 0 &&
+         sim::SlotDifference(t, exhausted_at_) >= drain_grace_;
+}
+
+// ---------------------------------------------------------------------------
+// SlotEngine
+
+RunResult SlotEngine::Run(fabric::Fabric& fabric,
+                          traffic::TrafficSource& source,
+                          const RunOptions& options) {
+  const sim::PortId n = fabric.num_ports();
+
+  pps::OutputQueuedSwitch shadow(n);
+
+  RunResult result;
+
+  FaultScheduleApplier faults(fabric, options);
+  ArrivalFeeder feeder(source, n, options.source_cutoff);
+  AuditTaps taps(fabric, options);
+  RelativeDelayLedger ledger(n, options.keep_timeline, taps);
+  DrainController drain(options.drain_grace);
+
+  const fault::LossBreakdown losses_base = fabric.losses();
+  const std::uint64_t lost_base = losses_base.total();
+  std::uint64_t known_lost = lost_base;
+
+  sim::Slot t = 0;
+  for (; t < options.max_slots; ++t) {
+    // Apply this slot's plane fail/recover events before arrivals, so the
+    // fabric's ground truth (and, modulo the visibility lag, the
+    // demultiplexors' beliefs) is up to date when dispatch decisions run.
+    // Cells stranded inside a failed plane bump the loss counter without
+    // naming ids; their entries are reconciled by the sweeps.
+    if (faults.ApplyDue(t)) known_lost = fabric.losses().total();
+
+    for (const sim::Cell& cell : feeder.CellsAt(t)) {
+      ledger.Track(cell);
+      taps.OnInject(cell, t);
+      fabric.Inject(cell, t);
+      shadow.Inject(cell, t);
+      ++result.cells;
+      // A synchronous Inject drop (plane failures / exhausted static
+      // partition) means this cell will never depart the measured switch:
+      // mark the entry so it is reclaimed once the shadow delivers it,
+      // instead of leaking for the rest of the run.
+      const std::uint64_t lost = fabric.losses().total();
+      if (lost != known_lost) {
+        known_lost = lost;
+        ledger.MarkInjectDropped(cell.id, result);
+      }
+    }
+
+    for (const sim::Cell& cell : fabric.Advance(t)) {
+      taps.OnMeasuredDepart(cell, t);
+      ledger.OnMeasuredDepart(cell, result);
+    }
+    for (const sim::Cell& cell : shadow.Advance(t)) {
+      taps.OnShadowDepart(cell, t);
+      ledger.OnShadowDepart(cell, result);
+    }
+    // Losses recorded during Advance (buffer overflows, stranded cells)
+    // carry no cell ids; fold them into the baseline so they are not
+    // misattributed to the next injected cell.
+    known_lost = fabric.losses().total();
+    taps.OnSlotEnd(t, fabric.TotalBacklog(), known_lost - lost_base,
+                   shadow.TotalBacklog());
+
+    // Periodic reconciliation against the loss counters: cells lost with
+    // no id leave pending entries that only drain at run end otherwise.
+    // Whenever the measured switch is drained, an entry whose shadow copy
+    // has departed but whose measured copy never did can never be
+    // finalized — reclaim it now so pending memory stays bounded by the
+    // in-flight backlog in long fault runs, not by the run length.
+    constexpr sim::Slot kReconcilePeriod = 1024;
+    if (known_lost > 0 && (t + 1) % kReconcilePeriod == 0 &&
+        fabric.Drained()) {
+      ledger.SweepLossLeaks(result);
+    }
+
+    if (!drain.exhausted() && feeder.ExhaustedAfter(t)) {
+      drain.NoteExhausted(t + 1);
+    }
+    if (drain.ShouldStop(t, fabric.Drained() && shadow.Drained())) {
+      ++t;
+      break;
+    }
+  }
+  result.duration = t;
+  result.drained = fabric.Drained() && shadow.Drained();
+  if (fabric.Drained()) {
+    ledger.ReconcileUndeparted(result);
+  }
+  result.losses = fabric.losses() - losses_base;
+  result.traffic_burstiness = feeder.OfferedBurstiness();
+  result.resequencing_stalls = fabric.resequencing_stalls();
+  ledger.Finish(result);
+  taps.Finish(result, t, fabric.TotalBacklog(), known_lost - lost_base,
+              shadow.TotalBacklog());
+  return result;
+}
+
+}  // namespace core

@@ -1,0 +1,229 @@
+// The composable slot engine: the relative-delay harness decomposed into
+// reusable stages, driven by one non-templated run loop over the
+// fabric::Fabric interface.
+//
+// The old core::RunRelative was a duck-typed template instantiated once
+// per architecture, with fault/audit/loss surfaces special-cased by
+// `if constexpr (requires ...)`.  SlotEngine::Run replaces it: every
+// architecture is a Fabric, and the cross-cutting concerns live in
+// explicit stages composed per run —
+//
+//   FaultScheduleApplier   plane fail/recover events at slot start,
+//                          link-drop windows armed before the first slot
+//   ArrivalFeeder          pulls/validates/stamps arrivals (ids, per-flow
+//                          seqs), measures offered burstiness exactly
+//   AuditTaps              the explicit auditor and/or the PPS_AUDIT auto
+//                          pair (measured switch + shadow OQ)
+//   RelativeDelayLedger    pending-cell tracking, relative-delay
+//                          finalization, per-flow jitter, loss
+//                          reconciliation sweeps
+//   DrainController        source-exhaustion detection, drain/grace stop
+//
+// The stages are plain classes: tests compose them individually, and the
+// engine wires them in the exact order the monolithic loop used, so the
+// refactor is pinned by a differential golden test (byte-identical
+// RunResults against the pre-refactor harness; tests/test_fabric.cc).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "audit/enabled.h"
+#include "audit/invariant_auditor.h"
+#include "core/harness.h"
+#include "fabric/fabric.h"
+#include "fault/fault_schedule.h"
+#include "sim/cell.h"
+#include "sim/latency_recorder.h"
+#include "sim/types.h"
+#include "traffic/leaky_bucket.h"
+#include "traffic/source.h"
+
+#if PPS_AUDIT_ENABLED
+#include <optional>
+#endif
+
+namespace core {
+
+// Applies the run's effective fault timeline to the fabric: the legacy
+// single-failure knob is folded in, LinkDrop windows are armed on the
+// fabric's injector at construction (they are stateless per-dispatch
+// trials), and plane fail/recover events fire at the start of their slot.
+// Fabrics without a fault surface accept the events as no-ops, so an
+// empty or irrelevant schedule is exactly a no-fault run.
+class FaultScheduleApplier {
+ public:
+  FaultScheduleApplier(fabric::Fabric& fabric, const RunOptions& options);
+
+  // Applies every plane event due at or before slot t; returns true if
+  // any fired (the caller re-reads the loss ledger: failing a plane
+  // strands its queued cells).
+  bool ApplyDue(sim::Slot t);
+
+ private:
+  fabric::Fabric& fabric_;
+  fault::FaultSchedule schedule_;
+  std::size_t cursor_ = 0;
+};
+
+// Pulls arrivals from the traffic source, enforces the external-line
+// contract (one cell per input per slot, in-range ports), stamps globally
+// unique ids and per-flow sequence numbers, and meters the offered
+// traffic's exact burstiness (Definition 3).
+class ArrivalFeeder {
+ public:
+  ArrivalFeeder(traffic::TrafficSource& source, sim::PortId num_ports,
+                sim::Slot source_cutoff);
+
+  // The validated cells arriving in slot t, sorted by input port.  The
+  // reference points at per-slot scratch reused across calls.
+  const std::vector<sim::Cell>& CellsAt(sim::Slot t);
+
+  // True once no further arrivals can come at or after slot t + 1 (the
+  // cutoff passed, or the source reports exhaustion).
+  bool ExhaustedAfter(sim::Slot t) const;
+
+  // Exact minimal burstiness B of the traffic offered so far.
+  std::int64_t OfferedBurstiness() const;
+
+ private:
+  traffic::TrafficSource& source_;
+  sim::PortId num_ports_;
+  sim::Slot cutoff_;  // 0 = pull until the source reports Exhausted
+  traffic::BurstinessMeter meter_;
+  std::unordered_map<sim::FlowId, std::uint64_t> seq_;
+  sim::CellId next_id_ = 0;
+  std::vector<sim::Cell> cells_scratch_;
+};
+
+// The audit tap points of a run: an explicitly attached auditor always
+// observes the measured switch; under -DPPS_AUDIT=ON a fresh auditor pair
+// (measured + shadow) is constructed per run and a dirty report is a hard
+// error at run end.
+class AuditTaps {
+ public:
+  AuditTaps(fabric::Fabric& fabric, const RunOptions& options);
+
+  void OnInject(const sim::Cell& cell, sim::Slot t);
+  void OnMeasuredDepart(const sim::Cell& cell, sim::Slot t);
+  void OnShadowDepart(const sim::Cell& cell, sim::Slot t);
+  void OnRelativeDelay(sim::PortId input, sim::PortId output,
+                       sim::Slot arrival, sim::Slot relative_delay);
+  void OnSlotEnd(sim::Slot t, std::int64_t backlog, std::uint64_t lost,
+                 std::int64_t shadow_backlog);
+
+  // Run-end reconciliation: loss taxonomy (only exact on drained runs),
+  // final conservation check, violation count accumulation into the
+  // result — and, for the auto-armed pair, a SIM_CHECK that both reports
+  // are clean.
+  void Finish(RunResult& result, sim::Slot t, std::int64_t backlog,
+              std::uint64_t lost, std::int64_t shadow_backlog);
+
+ private:
+  audit::InvariantAuditor* aud_ = nullptr;
+  audit::InvariantAuditor* shadow_aud_ = nullptr;
+#if PPS_AUDIT_ENABLED
+  std::optional<audit::InvariantAuditor> auto_aud_;
+  std::optional<audit::InvariantAuditor> auto_shadow_aud_;
+#endif
+};
+
+// Tracks every cell in flight in at least one of the two switches and
+// finalizes its relative delay once both departures are known.  Entries
+// are erased as soon as possible — synchronously for inject drops, and by
+// reconciliation sweeps against the fabric's loss counters for id-less
+// losses — so memory stays bounded by the in-flight backlog, not the run
+// length.
+class RelativeDelayLedger {
+ public:
+  RelativeDelayLedger(sim::PortId num_ports, bool keep_timeline,
+                      AuditTaps& taps);
+
+  // A cell offered to both switches this slot.
+  void Track(const sim::Cell& cell);
+
+  // The measured switch dropped the cell synchronously at Inject: it will
+  // never depart, so the entry is reclaimed once the shadow delivers it.
+  void MarkInjectDropped(sim::CellId id, RunResult& result);
+
+  void OnMeasuredDepart(const sim::Cell& cell, RunResult& result);
+  void OnShadowDepart(const sim::Cell& cell, RunResult& result);
+
+  // Reclaims entries whose shadow copy departed but whose measured copy
+  // never will (cells lost with no id: stranded in a failed plane, buffer
+  // overflows).  Call only when the measured switch is drained.
+  void SweepLossLeaks(RunResult& result);
+
+  // Run-end variant of the sweep: also reclaims entries whose shadow copy
+  // is still queued (an undrained shadow), counting every non-inject-drop
+  // leak as dropped.  Call only when the measured switch is drained.
+  void ReconcileUndeparted(RunResult& result);
+
+  // Folds the remaining statistics into the result: per-switch delay
+  // stats, order preservation, max relative jitter, timeline sort.
+  void Finish(RunResult& result);
+
+ private:
+  // Per-flow min/max tracker for jitter computation.
+  struct MinMax {
+    sim::Slot min = 0;
+    sim::Slot max = 0;
+    bool seen = false;
+
+    void Add(sim::Slot v);
+  };
+
+  struct PendingCell {
+    sim::Slot arrival = sim::kNoSlot;
+    sim::PortId input = sim::kNoPort;
+    sim::PortId output = sim::kNoPort;
+    sim::Slot measured_delay = sim::kNoSlot;
+    sim::Slot shadow_delay = sim::kNoSlot;
+    bool inject_dropped = false;
+  };
+
+  void Finalize(sim::CellId id, PendingCell& cell, RunResult& result);
+
+  sim::PortId num_ports_;
+  bool keep_timeline_;
+  AuditTaps& taps_;
+  sim::LatencyRecorder measured_rec_;
+  sim::LatencyRecorder shadow_rec_;
+  std::unordered_map<sim::CellId, PendingCell> pending_;
+  std::unordered_map<sim::FlowId, MinMax> jitter_measured_;
+  std::unordered_map<sim::FlowId, MinMax> jitter_shadow_;
+};
+
+// Decides when the run loop stops: once arrivals are exhausted, stop at
+// the first slot where both switches drained, or `drain_grace` slots
+// after exhaustion even if not drained (0 = wait for drain or max_slots).
+class DrainController {
+ public:
+  explicit DrainController(sim::Slot drain_grace)
+      : drain_grace_(drain_grace) {}
+
+  bool exhausted() const { return exhausted_at_ != sim::kNoSlot; }
+  void NoteExhausted(sim::Slot at) {
+    if (!exhausted()) exhausted_at_ = at;
+  }
+
+  // True when the loop should stop after slot t.
+  bool ShouldStop(sim::Slot t, bool all_drained) const;
+
+ private:
+  sim::Slot drain_grace_;
+  sim::Slot exhausted_at_ = sim::kNoSlot;
+};
+
+// The one run loop for every switch architecture: drives `fabric` and its
+// shadow OQ switch with identical cells and reports the paper's relative
+// measurements.  Equivalent to the historical per-architecture
+// core::RunRelative overloads, which are now thin wrappers over this.
+class SlotEngine {
+ public:
+  RunResult Run(fabric::Fabric& fabric, traffic::TrafficSource& source,
+                const RunOptions& options = {});
+};
+
+}  // namespace core

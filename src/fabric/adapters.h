@@ -1,0 +1,229 @@
+// Fabric adapters: wrap each concrete switch architecture behind the
+// fabric::Fabric interface so the slot engine, registries, benches and
+// sweeps drive them uniformly.
+//
+// Every adapter comes in two flavours sharing one class: non-owning
+// (wraps a switch the caller keeps alive — the thin core::RunRelative
+// compatibility overloads use this) and owning (holds the switch by
+// unique_ptr — what fabric::Make returns).
+#pragma once
+
+#include <memory>
+
+#include "cioq/cioq_switch.h"
+#include "fabric/fabric.h"
+#include "switch/input_buffered_pps.h"
+#include "switch/output_queued.h"
+#include "switch/pps.h"
+#include "switch/rate_limited_oq.h"
+
+namespace fabric {
+
+// The bufferless PPS (Figure 1 of the paper): planes, faults, snapshots,
+// the full loss taxonomy.
+class BufferlessPpsFabric final : public Fabric {
+ public:
+  explicit BufferlessPpsFabric(pps::BufferlessPps& sw)
+      : Fabric("pps"), sw_(&sw) {}
+  explicit BufferlessPpsFabric(std::unique_ptr<pps::BufferlessPps> sw)
+      : Fabric("pps"), owned_(std::move(sw)), sw_(owned_.get()) {}
+
+  void Inject(const sim::Cell& cell, sim::Slot t) override {
+    sw_->Inject(cell, t);
+  }
+  const std::vector<sim::Cell>& Advance(sim::Slot t) override {
+    return sw_->Advance(t);
+  }
+  bool Drained() const override { return sw_->Drained(); }
+  std::int64_t TotalBacklog() const override { return sw_->TotalBacklog(); }
+  sim::PortId num_ports() const override { return sw_->config().num_ports; }
+  Capabilities capabilities() const override {
+    return {.has_planes = true,
+            .has_fault_surface = true,
+            .has_global_snapshot = sw_->config().snapshot_history > 0,
+            .lossless = false,
+            .work_conserving = false};
+  }
+  fault::LossBreakdown losses() const override { return sw_->Losses(); }
+  void FailPlane(sim::PlaneId k, sim::Slot at) override {
+    sw_->FailPlane(k, at);
+  }
+  void RecoverPlane(sim::PlaneId k, sim::Slot at) override {
+    sw_->RecoverPlane(k, at);
+  }
+  fault::LinkFaultInjector* link_faults() override {
+    return &sw_->link_faults();
+  }
+  bool flow_order_promised() const override {
+    return sw_->config().mux_policy == pps::MuxPolicy::kOldestCellReseq;
+  }
+  std::uint64_t resequencing_stalls() const override {
+    return sw_->resequencing_stalls();
+  }
+
+  pps::BufferlessPps& underlying() { return *sw_; }
+  const pps::BufferlessPps& underlying() const { return *sw_; }
+
+ private:
+  std::unique_ptr<pps::BufferlessPps> owned_;
+  pps::BufferlessPps* sw_;
+};
+
+// The input-buffered PPS variant (Iyer & McKeown; Section 4).
+class InputBufferedPpsFabric final : public Fabric {
+ public:
+  explicit InputBufferedPpsFabric(pps::InputBufferedPps& sw)
+      : Fabric("buffered-pps"), sw_(&sw) {}
+  explicit InputBufferedPpsFabric(std::unique_ptr<pps::InputBufferedPps> sw)
+      : Fabric("buffered-pps"), owned_(std::move(sw)), sw_(owned_.get()) {}
+
+  void Inject(const sim::Cell& cell, sim::Slot t) override {
+    sw_->Inject(cell, t);
+  }
+  const std::vector<sim::Cell>& Advance(sim::Slot t) override {
+    return sw_->Advance(t);
+  }
+  bool Drained() const override { return sw_->Drained(); }
+  std::int64_t TotalBacklog() const override { return sw_->TotalBacklog(); }
+  sim::PortId num_ports() const override { return sw_->config().num_ports; }
+  Capabilities capabilities() const override {
+    return {.has_planes = true,
+            .has_fault_surface = true,
+            .has_global_snapshot = sw_->config().snapshot_history > 0,
+            .lossless = false,
+            .work_conserving = false};
+  }
+  fault::LossBreakdown losses() const override { return sw_->Losses(); }
+  void FailPlane(sim::PlaneId k, sim::Slot at) override {
+    sw_->FailPlane(k, at);
+  }
+  void RecoverPlane(sim::PlaneId k, sim::Slot at) override {
+    sw_->RecoverPlane(k, at);
+  }
+  fault::LinkFaultInjector* link_faults() override {
+    return &sw_->link_faults();
+  }
+  bool flow_order_promised() const override {
+    return sw_->config().mux_policy == pps::MuxPolicy::kOldestCellReseq;
+  }
+  std::uint64_t resequencing_stalls() const override {
+    return sw_->resequencing_stalls();
+  }
+
+  pps::InputBufferedPps& underlying() { return *sw_; }
+  const pps::InputBufferedPps& underlying() const { return *sw_; }
+
+ private:
+  std::unique_ptr<pps::InputBufferedPps> owned_;
+  pps::InputBufferedPps* sw_;
+};
+
+// The CIOQ crossbar with integer speedup (related work: Chuang et al.).
+// Lossless, no planes; the fault surface is the switch's explicit no-op.
+class CioqFabric final : public Fabric {
+ public:
+  explicit CioqFabric(cioq::CioqSwitch& sw) : Fabric("cioq"), sw_(&sw) {}
+  explicit CioqFabric(std::unique_ptr<cioq::CioqSwitch> sw)
+      : Fabric("cioq"), owned_(std::move(sw)), sw_(owned_.get()) {}
+
+  void Inject(const sim::Cell& cell, sim::Slot t) override {
+    sw_->Inject(cell, t);
+  }
+  const std::vector<sim::Cell>& Advance(sim::Slot t) override {
+    return sw_->Advance(t);
+  }
+  bool Drained() const override { return sw_->Drained(); }
+  std::int64_t TotalBacklog() const override { return sw_->TotalBacklog(); }
+  sim::PortId num_ports() const override { return sw_->config().num_ports; }
+  Capabilities capabilities() const override {
+    return {.has_planes = false,
+            .has_fault_surface = false,
+            .has_global_snapshot = false,
+            .lossless = true,
+            .work_conserving = false};
+  }
+  void FailPlane(sim::PlaneId k, sim::Slot at) override {
+    sw_->FailPlane(k, at);
+  }
+  void RecoverPlane(sim::PlaneId k, sim::Slot at) override {
+    sw_->RecoverPlane(k, at);
+  }
+
+  cioq::CioqSwitch& underlying() { return *sw_; }
+  const cioq::CioqSwitch& underlying() const { return *sw_; }
+
+ private:
+  std::unique_ptr<cioq::CioqSwitch> owned_;
+  cioq::CioqSwitch* sw_;
+};
+
+// The ideal work-conserving OQ switch — the shadow reference itself, now
+// harness-runnable (measured against a second shadow it matches exactly,
+// so its relative delay is identically zero: a registry smoke invariant).
+class OutputQueuedFabric final : public Fabric {
+ public:
+  explicit OutputQueuedFabric(pps::OutputQueuedSwitch& sw)
+      : Fabric("oq"), sw_(&sw) {}
+  explicit OutputQueuedFabric(std::unique_ptr<pps::OutputQueuedSwitch> sw)
+      : Fabric("oq"), owned_(std::move(sw)), sw_(owned_.get()) {}
+
+  void Inject(const sim::Cell& cell, sim::Slot t) override {
+    sw_->Inject(cell, t);
+  }
+  const std::vector<sim::Cell>& Advance(sim::Slot t) override {
+    return sw_->Advance(t);
+  }
+  bool Drained() const override { return sw_->Drained(); }
+  std::int64_t TotalBacklog() const override { return sw_->TotalBacklog(); }
+  sim::PortId num_ports() const override { return sw_->num_ports(); }
+  Capabilities capabilities() const override {
+    return {.has_planes = false,
+            .has_fault_surface = false,
+            .has_global_snapshot = false,
+            .lossless = true,
+            .work_conserving = true};
+  }
+
+  pps::OutputQueuedSwitch& underlying() { return *sw_; }
+  const pps::OutputQueuedSwitch& underlying() const { return *sw_; }
+
+ private:
+  std::unique_ptr<pps::OutputQueuedSwitch> owned_;
+  pps::OutputQueuedSwitch* sw_;
+};
+
+// The non-work-conserving rate-limited OQ switch (Discussion section):
+// serves each output once every r' slots regardless of backlog.
+class RateLimitedOqFabric final : public Fabric {
+ public:
+  explicit RateLimitedOqFabric(pps::RateLimitedOqSwitch& sw)
+      : Fabric("rate-limited-oq"), sw_(&sw) {}
+  explicit RateLimitedOqFabric(std::unique_ptr<pps::RateLimitedOqSwitch> sw)
+      : Fabric("rate-limited-oq"), owned_(std::move(sw)), sw_(owned_.get()) {}
+
+  void Inject(const sim::Cell& cell, sim::Slot t) override {
+    sw_->Inject(cell, t);
+  }
+  const std::vector<sim::Cell>& Advance(sim::Slot t) override {
+    return sw_->Advance(t);
+  }
+  bool Drained() const override { return sw_->Drained(); }
+  std::int64_t TotalBacklog() const override { return sw_->TotalBacklog(); }
+  sim::PortId num_ports() const override { return sw_->config().num_ports; }
+  Capabilities capabilities() const override {
+    return {.has_planes = false,
+            .has_fault_surface = false,
+            .has_global_snapshot = false,
+            .lossless = true,
+            .work_conserving = false};
+  }
+
+  pps::RateLimitedOqSwitch& underlying() { return *sw_; }
+  const pps::RateLimitedOqSwitch& underlying() const { return *sw_; }
+
+ private:
+  std::unique_ptr<pps::RateLimitedOqSwitch> owned_;
+  pps::RateLimitedOqSwitch* sw_;
+};
+
+}  // namespace fabric

@@ -1,0 +1,131 @@
+// First-class switch-fabric abstraction: the one surface every
+// architecture in this repo exposes to the measurement engine.
+//
+// The paper's methodology (Section 1.1) is architecture comparison under
+// identical traffic — a measured switch against a shadow OQ reference.
+// Historically each architecture was a duck-typed template parameter of
+// the harness loop; the Fabric interface makes the slot protocol explicit
+// so one non-templated core::SlotEngine::Run drives every architecture:
+//
+//   for each slot t:
+//     FailPlane/RecoverPlane(..., t)   fault-schedule events due at t
+//     Inject(cell, t)                  per arriving cell, in input order
+//     Advance(t)                       deliveries + at most one departure
+//                                      per output; returns the departures
+//
+// Advance follows the PPS fabrics' reusable-scratch contract: the
+// returned reference points at internal per-slot scratch, valid until the
+// next Advance call, so a steady-state run allocates nothing per slot.
+//
+// Capability queries let cross-cutting surfaces (fault schedules, audit
+// taps, snapshot-driven demultiplexors) degrade gracefully instead of
+// being template-special-cased: a fabric without planes accepts fault
+// events as no-ops and reports an identically empty loss ledger.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/link_faults.h"
+#include "fault/loss.h"
+#include "sim/cell.h"
+#include "sim/types.h"
+
+namespace fabric {
+
+// What a fabric offers beyond the core slot protocol.  Purely
+// informational: the engine never branches on these (the virtual surface
+// already degrades to no-ops); registries, docs, and the fabric-matrix
+// tests use them to know what a given architecture can exercise.
+struct Capabilities {
+  // The architecture has middle-stage planes: FailPlane/RecoverPlane
+  // change real state and PlaneBacklog-style queries are meaningful.
+  bool has_planes = false;
+  // fault::FaultSchedule events (plane fail/recover, link-drop windows)
+  // have observable effect; false means the fault surface is a no-op.
+  bool has_fault_surface = false;
+  // The fabric records an end-of-slot global snapshot ring (u-RT
+  // demultiplexors' stale global knowledge).
+  bool has_global_snapshot = false;
+  // Losses() is identically zero: every injected cell eventually departs.
+  bool lossless = true;
+  // The discipline promises per-output work conservation (the shadow OQ
+  // reference does; a PPS legitimately idles during resequencing holds).
+  bool work_conserving = false;
+
+  friend bool operator==(const Capabilities&,
+                         const Capabilities&) = default;
+};
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // --- the slot protocol ---
+
+  // Offers a cell arriving in slot t; call in increasing input-port order
+  // within a slot (the external line runs at one cell per slot per port).
+  virtual void Inject(const sim::Cell& cell, sim::Slot t) = 0;
+
+  // Ends slot t; returns all cells departing in this slot.  The reference
+  // points at internal scratch reused (not reallocated) every slot — it
+  // stays valid until the next Advance call; copy it if you need the
+  // cells longer.
+  virtual const std::vector<sim::Cell>& Advance(sim::Slot t) = 0;
+
+  virtual bool Drained() const = 0;
+  virtual std::int64_t TotalBacklog() const = 0;
+  virtual sim::PortId num_ports() const = 0;
+
+  // --- capability queries ---
+
+  virtual Capabilities capabilities() const = 0;
+
+  // --- loss ledger ---
+
+  // The cumulative per-category loss counters; identically empty for
+  // lossless fabrics.  The engine reads this to attribute inject drops
+  // and to reconcile id-less losses (stranded cells, overflows).
+  virtual fault::LossBreakdown losses() const { return {}; }
+
+  // --- fault surface ---
+
+  // Plane fail/recover events, applied by the engine at the start of
+  // their scheduled slot.  No-ops unless capabilities().has_fault_surface.
+  virtual void FailPlane(sim::PlaneId /*k*/, sim::Slot /*at*/) {}
+  virtual void RecoverPlane(sim::PlaneId /*k*/, sim::Slot /*at*/) {}
+
+  // Flaky-link injector to arm LinkDrop windows on before the first slot;
+  // nullptr for fabrics without input->plane links.
+  virtual fault::LinkFaultInjector* link_faults() { return nullptr; }
+
+  // --- audit hints ---
+
+  // True iff the discipline promises per-flow departure order, so the
+  // auditor's flow-order detector may be armed.  (A first-delivered-
+  // first-out PPS mux legitimately reorders flows that straddle planes.)
+  virtual bool flow_order_promised() const { return true; }
+
+  // Cells currently held back by an output resequencer waiting for an
+  // earlier sequence number; 0 for fabrics that never resequence.
+  virtual std::uint64_t resequencing_stalls() const { return 0; }
+
+  // --- identification ---
+
+  // The registry name this fabric was constructed under (or the adapter's
+  // architecture family when constructed directly).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ protected:
+  explicit Fabric(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+};
+
+}  // namespace fabric

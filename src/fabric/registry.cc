@@ -1,0 +1,121 @@
+#include "fabric/registry.h"
+
+#include <algorithm>
+#include <charconv>
+#include <utility>
+
+#include "cioq/ccf.h"
+#include "cioq/islip.h"
+#include "cioq/oldest_first.h"
+#include "demux/registry.h"
+#include "fabric/adapters.h"
+#include "sim/error.h"
+
+namespace fabric {
+namespace {
+
+// Default per-input buffer for "buffered-pps/..." when the caller's
+// config leaves input_buffer_size at 0 (a zero-cell buffer would overflow
+// on every kept cell, which is never what a by-name selection means).
+constexpr int kDefaultInputBuffer = 64;
+
+// Parses "<prefix><int>" tails like "ccf-s2"; returns false if `name`
+// does not start with `prefix`.
+bool ParseSuffix(const std::string& name, const std::string& prefix,
+                 int* value) {
+  if (name.rfind(prefix, 0) != 0) return false;
+  const char* begin = name.data() + prefix.size();
+  const char* end = name.data() + name.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *value);
+  SIM_CHECK(ec == std::errc() && ptr == end,
+            "malformed parameter in fabric name: " << name);
+  return true;
+}
+
+// Folds a demux algorithm's switch-level needs (booked planes, snapshot
+// history) into the shared geometry, exactly as the benches' MakeConfig
+// has always done.
+pps::SwitchConfig ConfigFor(const std::string& algorithm,
+                            const pps::SwitchConfig& base) {
+  pps::SwitchConfig config = base;
+  const demux::AlgorithmNeeds needs = demux::NeedsOf(algorithm);
+  if (needs.booked_planes) {
+    config.plane_scheduling = pps::PlaneScheduling::kBooked;
+  }
+  config.snapshot_history =
+      std::max(config.snapshot_history, needs.snapshot_history);
+  return config;
+}
+
+std::unique_ptr<Fabric> MakeCioq(const std::string& name,
+                                 const pps::SwitchConfig& config) {
+  const std::string tail = name.substr(std::string("cioq/").size());
+  int speedup = 0;
+  std::unique_ptr<cioq::Scheduler> scheduler;
+  if (ParseSuffix(tail, "islip-s", &speedup)) {
+    scheduler = std::make_unique<cioq::IslipScheduler>(2);
+  } else if (ParseSuffix(tail, "oldest-s", &speedup)) {
+    scheduler = std::make_unique<cioq::OldestFirstScheduler>();
+  } else if (ParseSuffix(tail, "ccf-s", &speedup)) {
+    scheduler = std::make_unique<cioq::CcfScheduler>();
+  } else {
+    SIM_CHECK(false, "unknown cioq scheduler in fabric name: " << name);
+  }
+  return std::make_unique<CioqFabric>(std::make_unique<cioq::CioqSwitch>(
+      config.num_ports, speedup, std::move(scheduler)));
+}
+
+}  // namespace
+
+std::unique_ptr<Fabric> Make(const std::string& name,
+                             const pps::SwitchConfig& config) {
+  std::unique_ptr<Fabric> made;
+  int param = 0;
+  if (name.rfind("pps/", 0) == 0) {
+    const std::string algorithm = name.substr(4);
+    made = std::make_unique<BufferlessPpsFabric>(
+        std::make_unique<pps::BufferlessPps>(ConfigFor(algorithm, config),
+                                             demux::MakeFactory(algorithm)));
+  } else if (name.rfind("buffered-pps/", 0) == 0) {
+    const std::string algorithm = name.substr(13);
+    pps::SwitchConfig buffered = ConfigFor(algorithm, config);
+    if (buffered.input_buffer_size == 0) {
+      buffered.input_buffer_size = kDefaultInputBuffer;
+    }
+    made = std::make_unique<InputBufferedPpsFabric>(
+        std::make_unique<pps::InputBufferedPps>(
+            buffered, demux::MakeBufferedFactory(algorithm)));
+  } else if (name.rfind("cioq/", 0) == 0) {
+    made = MakeCioq(name, config);
+  } else if (name == "oq") {
+    made = std::make_unique<OutputQueuedFabric>(
+        std::make_unique<pps::OutputQueuedSwitch>(config.num_ports));
+  } else if (name == "rate-limited-oq") {
+    made = std::make_unique<RateLimitedOqFabric>(
+        std::make_unique<pps::RateLimitedOqSwitch>(config.num_ports,
+                                                   config.rate_ratio));
+  } else if (ParseSuffix(name, "rate-limited-oq-r", &param)) {
+    made = std::make_unique<RateLimitedOqFabric>(
+        std::make_unique<pps::RateLimitedOqSwitch>(config.num_ports, param));
+  } else {
+    SIM_CHECK(false, "unknown fabric: " << name);
+  }
+  made->set_name(name);
+  return made;
+}
+
+std::vector<std::string> RegisteredFabrics() {
+  std::vector<std::string> names;
+  for (const std::string& algorithm : demux::BufferlessAlgorithms()) {
+    names.push_back("pps/" + algorithm);
+  }
+  for (const std::string& algorithm : demux::BufferedAlgorithms()) {
+    names.push_back("buffered-pps/" + algorithm);
+  }
+  names.insert(names.end(), {"cioq/islip-s1", "cioq/islip-s2",
+                             "cioq/oldest-s2", "cioq/ccf-s2", "oq",
+                             "rate-limited-oq"});
+  return names;
+}
+
+}  // namespace fabric

@@ -1,0 +1,44 @@
+// Name-based construction of whole switch architectures (mirroring
+// demux/registry.cc one layer up): sweeps, benches and scripts select the
+// measured fabric declaratively instead of hard-coding a type.
+//
+//   "pps/<demux>"           bufferless PPS running demux algorithm
+//                           <demux> (any demux/registry.cc name); the
+//                           algorithm's plane-scheduling and snapshot
+//                           needs are folded into the config
+//   "buffered-pps/<demux>"  input-buffered PPS with a buffered demux
+//                           algorithm; config.input_buffer_size of 0
+//                           defaults to 64 cells
+//   "cioq/islip-s<S>"       CIOQ crossbar at integer speedup S with
+//   "cioq/oldest-s<S>"      iSLIP (2 iterations), oldest-cell-first or
+//   "cioq/ccf-s<S>"         CCF stable-matching scheduling
+//   "oq"                    the ideal work-conserving OQ switch itself
+//   "rate-limited-oq"       non-work-conserving OQ serving each output
+//                           once every config.rate_ratio slots
+//   "rate-limited-oq-r<I>"  same with an explicit service interval I
+//
+// The SwitchConfig provides the shared geometry (N, K, r', buffers,
+// timeouts); parameters specific to an architecture ride in the name.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "switch/config.h"
+
+namespace fabric {
+
+// Constructs the named fabric from the shared geometry; the returned
+// fabric owns its switch and reports `name` from Fabric::name().  Throws
+// sim::SimError on an unknown name.
+std::unique_ptr<Fabric> Make(const std::string& name,
+                             const pps::SwitchConfig& config);
+
+// All registered fabric names, with representative parameters filled in
+// for the parameterised families — the fabric matrix the smoke stages and
+// capability tests iterate.
+std::vector<std::string> RegisteredFabrics();
+
+}  // namespace fabric

@@ -17,17 +17,17 @@ void OutputQueuedSwitch::Inject(sim::Cell cell, sim::Slot t) {
   queues_[static_cast<std::size_t>(cell.output)].push_back(cell);
 }
 
-std::vector<sim::Cell> OutputQueuedSwitch::Advance(sim::Slot t) {
-  std::vector<sim::Cell> departed;
+const std::vector<sim::Cell>& OutputQueuedSwitch::Advance(sim::Slot t) {
+  departed_scratch_.clear();
   for (auto& q : queues_) {
     if (q.empty()) continue;
     sim::Cell cell = q.front();
     q.pop_front();
     cell.departure = t;
     cell.reached_output = t;
-    departed.push_back(cell);
+    departed_scratch_.push_back(cell);
   }
-  return departed;
+  return departed_scratch_;
 }
 
 std::int64_t OutputQueuedSwitch::Backlog(sim::PortId j) const {

@@ -31,8 +31,10 @@ class OutputQueuedSwitch {
   void Inject(sim::Cell cell, sim::Slot t);
 
   // Phase 2: end of slot t — each output departs at most one cell.
-  // Returns the departed cells with departure timestamps set.
-  std::vector<sim::Cell> Advance(sim::Slot t);
+  // Returns the departed cells with departure timestamps set.  The
+  // reference points at internal scratch reused (not reallocated) every
+  // slot — valid until the next Advance; copy if needed longer.
+  const std::vector<sim::Cell>& Advance(sim::Slot t);
 
   // Current queue length of output j (cells pending, including any that
   // arrived this slot and have not departed).
@@ -51,6 +53,8 @@ class OutputQueuedSwitch {
  private:
   sim::PortId num_ports_;
   std::vector<std::deque<sim::Cell>> queues_;
+  // Per-slot scratch reused across Advance calls (cleared, never freed).
+  std::vector<sim::Cell> departed_scratch_;
   std::uint64_t idle_violations_ = 0;
 };
 

@@ -21,8 +21,8 @@ void RateLimitedOqSwitch::Inject(sim::Cell cell, sim::Slot t) {
   queues_[static_cast<std::size_t>(cell.output)].push_back(cell);
 }
 
-std::vector<sim::Cell> RateLimitedOqSwitch::Advance(sim::Slot t) {
-  std::vector<sim::Cell> departed;
+const std::vector<sim::Cell>& RateLimitedOqSwitch::Advance(sim::Slot t) {
+  departed_scratch_.clear();
   for (sim::PortId j = 0; j < config_.num_ports; ++j) {
     auto& q = queues_[static_cast<std::size_t>(j)];
     auto& next = next_service_[static_cast<std::size_t>(j)];
@@ -32,9 +32,9 @@ std::vector<sim::Cell> RateLimitedOqSwitch::Advance(sim::Slot t) {
     cell.reached_output = t;
     cell.departure = t;
     next = t + service_interval_;
-    departed.push_back(cell);
+    departed_scratch_.push_back(cell);
   }
-  return departed;
+  return departed_scratch_;
 }
 
 bool RateLimitedOqSwitch::Drained() const { return TotalBacklog() == 0; }

@@ -26,11 +26,15 @@ class RateLimitedOqSwitch {
   RateLimitedOqSwitch(sim::PortId num_ports, int service_interval);
 
   void Inject(sim::Cell cell, sim::Slot t);
-  std::vector<sim::Cell> Advance(sim::Slot t);
+  // Returns this slot's departures; the reference points at internal
+  // scratch reused every slot (valid until the next Advance call).
+  const std::vector<sim::Cell>& Advance(sim::Slot t);
 
   bool Drained() const;
   std::int64_t TotalBacklog() const;
   std::uint64_t resequencing_stalls() const { return 0; }
+
+  int service_interval() const { return service_interval_; }
 
   struct Config {
     sim::PortId num_ports;
@@ -42,6 +46,8 @@ class RateLimitedOqSwitch {
   int service_interval_;
   std::vector<std::deque<sim::Cell>> queues_;
   std::vector<sim::Slot> next_service_;
+  // Per-slot scratch reused across Advance calls (cleared, never freed).
+  std::vector<sim::Cell> departed_scratch_;
 };
 
 }  // namespace pps
