@@ -1,0 +1,156 @@
+// E19 — engine shard scaling: cells/second for ONE run of the
+// congested-output scenario as RunOptions::threads grows.  Unlike
+// bench_sim_throughput (which measures the serial hot path) and the
+// sweep benches (which parallelize ACROSS runs), this bench measures the
+// intra-run sharding added by core::ShardPool: demux decisions fan out
+// per input, plane advancement per plane, departures per output, with
+// deterministic barriers between stages.
+//
+// Scenario: the same one-overloaded-output workload as
+// bench_sim_throughput's congested point (N = 64, K = 8, r' = 1, hotspot
+// Bernoulli) — the regime with enough per-slot work per shard for the
+// barriers to amortize.  Every thread count runs the identical workload,
+// so all non-timing JSON fields (cells, slots, measured, jitter) must be
+// byte-identical across rows; cells_per_sec and speedup-vs-serial are the
+// timing payload.  scripts/perf_gate.sh checks both: field equality
+// everywhere, and >= 4x speedup at 8 threads on boxes with >= 8 cores.
+//
+// Before the timed sweep the bench force-shards a smaller run (thread
+// budget raised above the machine's core count) and hard-fails unless
+// threads in {2, 7} reproduce the serial RunResult exactly — the same
+// contract tests/test_shard_engine.cc proves, re-checked here so a perf
+// run on any machine doubles as a determinism probe.
+
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "core/shard_pool.h"
+#include "sim/rng.h"
+#include "traffic/random_sources.h"
+
+namespace {
+
+core::RunResult RunCongested(unsigned threads, sim::Slot slots) {
+  pps::SwitchConfig config;
+  config.num_ports = 64;
+  config.num_planes = 8;
+  config.rate_ratio = 1;
+  config.snapshot_history = 1;
+  traffic::BernoulliSource source(64, 0.5, traffic::Pattern::kHotspot,
+                                  sim::Rng(11), /*hotspot_fraction=*/0.3);
+  core::RunOptions options;
+  options.max_slots = slots + 1'000;
+  options.source_cutoff = slots;
+  options.drain_grace = 200;
+  options.threads = threads;
+  return bench::RunFabric("pps/rr-per-output", config, source, options);
+}
+
+bool SameResult(const core::RunResult& a, const core::RunResult& b) {
+  return a.cells == b.cells && a.dropped == b.dropped &&
+         a.duration == b.duration &&
+         a.max_relative_delay == b.max_relative_delay &&
+         a.max_relative_jitter == b.max_relative_jitter &&
+         a.relative_delay.count() == b.relative_delay.count() &&
+         a.relative_delay.mean() == b.relative_delay.mean() &&
+         a.relative_delay.variance() == b.relative_delay.variance() &&
+         a.pps_delay.mean() == b.pps_delay.mean() &&
+         a.shadow_delay.mean() == b.shadow_delay.mean();
+}
+
+// Forced-shard determinism probe: raise the thread budget past the core
+// count so ShardPool always gets real lanes, then demand bit-equality
+// with the serial run.  Small scenario (short cutoff) — this is a
+// correctness gate, not a timing.
+void CheckDeterminismOrDie() {
+  core::ScopedThreadBudget budget(16);
+  const core::RunResult serial = RunCongested(1, 400);
+  for (const unsigned threads : {2u, 7u}) {
+    const core::RunResult sharded = RunCongested(threads, 400);
+    if (!SameResult(serial, sharded)) {
+      std::cerr << "FATAL: threads=" << threads
+                << " diverged from the serial run; the shard pipeline is "
+                   "not deterministic on this machine\n";
+      std::exit(1);
+    }
+  }
+  std::cout << "determinism probe: threads {2, 7} == serial (forced-shard)"
+            << std::endl;
+}
+
+void RunExperiment() {
+  CheckDeterminismOrDie();
+
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+
+  core::Sweep sweep(
+      {.bench = "bench_scaling_cores",
+       .title = "Engine shard scaling on the congested-output scenario "
+                "(N=64, K=8, one overloaded output; speedup is vs the "
+                "threads=1 row of this run)",
+       .columns = {"threads", "cells", "slots", "maxRQD", "cells/s",
+                   "speedup"},
+       // One point at a time: rows must not compete for the same cores
+       // they are measuring.
+       .workers = 1});
+  for (const unsigned t : thread_counts) {
+    sweep.Add(core::json::Obj({{"threads", static_cast<int>(t)}}));
+  }
+
+  // workers = 1 runs points in grid order, so the serial row's wall time
+  // is available to every later row.
+  double serial_secs = 0.0;
+  sweep.Run(
+      [&](const core::SweepPoint& pt) {
+        const unsigned threads = thread_counts[pt.index];
+        const auto start = std::chrono::steady_clock::now();
+        const auto result = RunCongested(threads, 4'000);
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        if (threads == 1) serial_secs = secs;
+        const double cells_per_sec =
+            secs > 0.0 ? static_cast<double>(result.cells) / secs : 0.0;
+        const double speedup = secs > 0.0 ? serial_secs / secs : 0.0;
+        core::PointResult out;
+        out.cells = {core::Fmt(static_cast<int>(threads)),
+                     core::Fmt(result.cells),
+                     core::Fmt(result.duration),
+                     core::Fmt(result.max_relative_delay),
+                     core::Fmt(static_cast<std::uint64_t>(cells_per_sec)),
+                     core::Fmt(speedup)};
+        out.metrics = bench::RelativeMetrics(0.0, result);
+        out.metrics.Set("cells_per_sec", cells_per_sec);
+        out.metrics.Set("speedup", speedup);
+        return out;
+      },
+      std::cout,
+      "(speedup and cells_per_sec are timing and machine-dependent; on a "
+      "box with fewer cores than `threads` the thread budget clamps the "
+      "pool, so small machines legitimately report ~1x.  hardware cores "
+      "here: " +
+          core::Fmt(static_cast<int>(cores)) + ")");
+}
+
+void BM_ShardedCongested(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    const auto result = RunCongested(threads, 2'000);
+    cells += result.cells;
+    benchmark::DoNotOptimize(result.max_relative_delay);
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(cells), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_ShardedCongested)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+PPS_BENCH_MAIN(RunExperiment)

@@ -1,32 +1,52 @@
 #!/usr/bin/env bash
-# Throughput regression gate: run the bench_sim_throughput sweep (table
-# only — the google-benchmark filter matches nothing) and compare the
-# geometric-mean cells_per_sec against the committed baseline in
-# bench_results/bench_sim_throughput.json.  Fails when the geomean drops
-# more than the threshold below baseline.
+# Throughput regression gate, two rows:
 #
-# Timing on shared runners is noisy, so the gate takes the best of
+#   1. bench_sim_throughput — run the sweep (table only — the
+#      google-benchmark filter matches nothing) and compare the
+#      geometric-mean cells_per_sec against the committed baseline in
+#      bench_results/bench_sim_throughput.json.  Fails when the geomean
+#      drops more than the threshold below baseline.
+#   2. bench_scaling_cores — run the engine-shard scaling sweep.  The
+#      binary itself hard-fails unless forced-shard runs reproduce the
+#      serial RunResult bit-for-bit; the gate then checks that every
+#      non-timing field matches the committed baseline AND is identical
+#      across thread counts, and — on machines with >= 8 cores — that
+#      threads=8 reaches the scaling floor (default 4x) over threads=1.
+#      Small machines skip the speedup check (the thread budget clamps
+#      the pool there, so ~1x is the correct answer, not a regression).
+#
+# Timing on shared runners is noisy, so both gates take the best of
 # ATTEMPTS runs before declaring a regression; non-timing fields must
 # match the baseline byte-for-byte on every attempt (the sweep
 # determinism contract — a behavior change is never retried away).
 #
 #   ./scripts/perf_gate.sh [build-dir]     # default build/
 #   PERF_GATE_THRESHOLD=0.95 PERF_GATE_ATTEMPTS=3 ./scripts/perf_gate.sh
+#   PERF_GATE_SCALING=4.0                  # threads=8 speedup floor
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
 BASELINE="$ROOT/bench_results/bench_sim_throughput.json"
+SCALING_BASELINE="$ROOT/bench_results/bench_scaling_cores.json"
 THRESHOLD="${PERF_GATE_THRESHOLD:-0.95}"
 ATTEMPTS="${PERF_GATE_ATTEMPTS:-3}"
+SCALING_MIN="${PERF_GATE_SCALING:-4.0}"
 
 BIN="$BUILD/bench/bench_sim_throughput"
-if [ ! -x "$BIN" ]; then
+SCALING_BIN="$BUILD/bench/bench_scaling_cores"
+if [ ! -x "$BIN" ] || [ ! -x "$SCALING_BIN" ]; then
   cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-  cmake --build "$BUILD" -j --target bench_sim_throughput >/dev/null
+  cmake --build "$BUILD" -j --target bench_sim_throughput \
+    bench_scaling_cores >/dev/null
 fi
 [ -f "$BASELINE" ] || { echo "no baseline at $BASELINE"; exit 2; }
+[ -f "$SCALING_BASELINE" ] || {
+  echo "no baseline at $SCALING_BASELINE"; exit 2; }
 
+# ---- row 1: serial hot-path throughput vs committed baseline ----------
+
+throughput_ok=0
 best_ratio="0"
 for attempt in $(seq 1 "$ATTEMPTS"); do
   RUN_DIR="$(mktemp -d)"
@@ -65,9 +85,77 @@ EOF
   best_ratio="$(python3 -c "print(max($best_ratio, $ratio))")"
   if python3 -c "import sys; sys.exit(0 if $best_ratio >= $THRESHOLD else 1)"; then
     echo "ok   : throughput within gate (best ratio $best_ratio >= $THRESHOLD)"
-    exit 0
+    throughput_ok=1
+    break
   fi
 done
 
-echo "FAIL : cells_per_sec geomean regressed (best ratio $best_ratio < $THRESHOLD)"
-exit 1
+if [ "$throughput_ok" != 1 ]; then
+  echo "FAIL : cells_per_sec geomean regressed (best ratio $best_ratio < $THRESHOLD)"
+  exit 1
+fi
+
+# ---- row 2: engine shard scaling -------------------------------------
+
+CORES="$(nproc 2>/dev/null || echo 1)"
+scaling_ok=0
+best_speedup="0"
+for attempt in $(seq 1 "$ATTEMPTS"); do
+  RUN_DIR="$(mktemp -d)"
+  trap 'rm -rf "$RUN_DIR"' EXIT
+  # The binary exits nonzero if the forced-shard determinism probe fails.
+  PPS_BENCH_RESULTS_DIR="$RUN_DIR" "$SCALING_BIN" \
+    --benchmark_filter='^$' >/dev/null
+
+  speedup="$(python3 - "$SCALING_BASELINE" \
+    "$RUN_DIR/bench_scaling_cores.json" <<'EOF'
+import json
+import sys
+
+base = json.load(open(sys.argv[1]))["points"]
+run = json.load(open(sys.argv[2]))["points"]
+if len(base) != len(run):
+    sys.exit(f"point count changed: baseline {len(base)} vs run {len(run)}"
+             " — refresh the committed baseline")
+first = run[0]
+for b, r in zip(base, run):
+    for key in ("params", "bound", "measured", "jitter", "cells", "slots"):
+        if b[key] != r[key]:
+            sys.exit(f"non-timing field {key!r} diverged at {b['params']}: "
+                     f"baseline {b[key]} vs run {r[key]} — refresh the "
+                     "baseline deliberately")
+    # Every thread count must simulate the identical run.
+    for key in ("bound", "measured", "jitter", "cells", "slots"):
+        if first[key] != r[key]:
+            sys.exit(f"thread counts disagree on {key!r}: "
+                     f"threads={first['params']['threads']} -> {first[key]} "
+                     f"vs threads={r['params']['threads']} -> {r[key]} — "
+                     "the shard pipeline is not deterministic")
+eight = [p for p in run if p["params"]["threads"] == 8]
+if not eight:
+    sys.exit("no threads=8 point in the scaling sweep")
+print(f"{eight[0]['speedup']:.4f}")
+EOF
+)" || { echo "FAIL : $speedup"; exit 1; }
+
+  if [ "$CORES" -lt 8 ]; then
+    echo "ok   : shard determinism + baseline fields verified; skipping the"
+    echo "       ${SCALING_MIN}x speedup floor ($CORES cores < 8 — the thread"
+    echo "       budget clamps the pool, so speedup is not meaningful here)"
+    scaling_ok=1
+    break
+  fi
+
+  echo "attempt $attempt/$ATTEMPTS: threads=8 speedup ${speedup}x (floor ${SCALING_MIN}x)"
+  best_speedup="$(python3 -c "print(max($best_speedup, $speedup))")"
+  if python3 -c "import sys; sys.exit(0 if $best_speedup >= $SCALING_MIN else 1)"; then
+    echo "ok   : shard scaling within gate (best ${best_speedup}x >= ${SCALING_MIN}x)"
+    scaling_ok=1
+    break
+  fi
+done
+
+if [ "$scaling_ok" != 1 ]; then
+  echo "FAIL : threads=8 shard speedup below floor (best ${best_speedup}x < ${SCALING_MIN}x on $CORES cores)"
+  exit 1
+fi

@@ -2,8 +2,9 @@
 # Run the concurrency-sensitive tests under ThreadSanitizer.
 #
 # The sweep runner executes experiment points on a thread pool
-# (core::ParallelMap), and several statistics types advertise guarded
-# const reads (sim::QuantileSketch's lazy sort).  This script builds a
+# (core::ParallelMap), the SlotEngine shards single runs over
+# core::ShardPool, and several statistics types advertise guarded const
+# reads (sim::QuantileSketch's lazy sort).  This script builds a
 # dedicated -fsanitize=thread tree (build-tsan/, see the "tsan" CMake
 # preset) and runs exactly the tests that exercise those parallel paths:
 #
@@ -12,6 +13,13 @@
 #   test_transforms_parallel pre-existing ParallelMap users
 #   test_fault               fault-schedule harness runs (the chaos bench
 #                            runs this machinery on the sweep thread pool)
+#   test_shard_engine        ShardPool barriers, ThreadBudget nesting,
+#                            threaded-engine bitwise determinism
+#   test_fabric (ShardedDifferential.*)
+#                            threads=T vs threads=1 differential across
+#                            shardable fabrics, incl. a lossy fault
+#                            schedule (filtered: the serial golden
+#                            differential has no threads to race)
 #
 #   ./scripts/tsan_tests.sh [build-dir]
 set -euo pipefail
@@ -19,7 +27,8 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build-tsan}"
 
-TESTS=(test_sweep test_stats test_transforms_parallel test_fault)
+TESTS=(test_sweep test_stats test_transforms_parallel test_fault
+       test_shard_engine test_fabric)
 
 cmake -B "$BUILD" -G Ninja -S "$ROOT" -DPPS_TSAN=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -31,6 +40,10 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 status=0
 for t in "${TESTS[@]}"; do
   echo "== tsan: $t =="
-  "$BUILD/tests/$t" || status=$?
+  if [ "$t" = test_fabric ]; then
+    "$BUILD/tests/$t" --gtest_filter='ShardedDifferential.*' || status=$?
+  else
+    "$BUILD/tests/$t" || status=$?
+  fi
 done
 exit "$status"

@@ -44,6 +44,16 @@ namespace core {
 struct RunOptions {
   // Hard cap on simulated slots (safety against non-draining runs).
   sim::Slot max_slots = 1'000'000;
+  // Worker lanes for the sharded slot pipeline (core/shard_pool.h): demux
+  // decisions fan out per input, plane advancement per plane, departures
+  // per output, with deterministic barriers at each stage boundary.  The
+  // result is byte-identical to threads = 1 for every RunResult field.
+  // 0 or 1 runs the classic serial loop; values above 1 engage sharding
+  // only when the fabric reports shardable() (otherwise serial), and the
+  // actual lane count is clamped by the process-wide core::ThreadBudget
+  // so nested parallelism (sweep workers x engine shards) cannot
+  // oversubscribe the machine.
+  unsigned threads = 1;
   // Stop offering arrivals at this slot even if the source is infinite
   // (0 = pull until the source reports Exhausted).  Lets stochastic
   // sources terminate cleanly so the switches can drain.

@@ -21,6 +21,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/shard_pool.h"
+
 namespace core {
 
 template <typename Result>
@@ -33,7 +35,19 @@ std::vector<Result> ParallelMap(std::size_t count,
     workers = std::max(1u, std::thread::hardware_concurrency());
   }
   if (count == 0) return {};
-  if (workers == 1 || count == 1) {
+  // The extra threads draw on the process-wide ThreadBudget, so sweep
+  // workers compose with per-run engine shards (core/shard_pool.h)
+  // without oversubscribing: whichever layer allocates first wins the
+  // lanes, the other degrades — results are unaffected either way (each
+  // grid point is independent, and the sharded engine is byte-identical
+  // at any lane count).  The caller participates, so `workers` threads
+  // of concurrency need workers - 1 leased ones.
+  ThreadLease lease(
+      count <= 1 ? 0
+                 : static_cast<unsigned>(
+                       std::min<std::size_t>(workers, count) - 1));
+  const unsigned spawn = lease.granted();
+  if (spawn == 0) {
     std::vector<Result> results(count);
     for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
     return results;
@@ -47,31 +61,29 @@ std::vector<Result> ParallelMap(std::size_t count,
   std::atomic<std::size_t> next{0};
   std::exception_ptr error;
   std::mutex error_mutex;
+  const auto work = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      try {
+        slots[i] = fn(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        // Drain the index range so peers stop pulling new work instead
+        // of burning through the rest of the grid.
+        next.store(count);
+        return;
+      }
+    }
+  };
   {
     std::vector<std::jthread> pool;
-    const unsigned spawn =
-        static_cast<unsigned>(std::min<std::size_t>(workers, count));
     pool.reserve(spawn);
-    for (unsigned w = 0; w < spawn; ++w) {
-      pool.emplace_back([&] {
-        while (true) {
-          const std::size_t i = next.fetch_add(1);
-          if (i >= count) return;
-          try {
-            slots[i] = fn(i);
-          } catch (...) {
-            {
-              std::lock_guard<std::mutex> lock(error_mutex);
-              if (!error) error = std::current_exception();
-            }
-            // Drain the index range so peers stop pulling new work instead
-            // of burning through the rest of the grid.
-            next.store(count);
-            return;
-          }
-        }
-      });
-    }
+    for (unsigned w = 0; w < spawn; ++w) pool.emplace_back(work);
+    work();  // the caller is a worker too
   }  // jthreads join here
   if (error) std::rethrow_exception(error);
   std::vector<Result> results;

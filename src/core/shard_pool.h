@@ -1,0 +1,266 @@
+// Intra-run worker pool + process-wide thread budget.
+//
+// ParallelMap (core/parallel.h) parallelizes *across* runs: every sweep
+// point is an independent fabric.  ShardPool parallelizes *inside* one
+// run: a PPS slot decomposes into per-input demux decisions, per-plane
+// calendar advancement and per-output mux departures, with the slot
+// barrier as the only true synchronization point (the same decomposition
+// QPS-r exploits for iterative crossbar scheduling).  The pool provides
+// the fork-join primitive the sharded fabrics and the slot engine build
+// those stages from:
+//
+//   ShardPool pool(options.threads);          // lanes = workers + caller
+//   pool.Run(num_tasks, [&](std::size_t task, unsigned lane) { ... });
+//
+// Contract:
+//   * Run(n, fn) invokes fn exactly once per task in [0, n) and returns
+//     only after every invocation finished (a barrier).  Tasks may run in
+//     any order and on any lane; determinism therefore requires tasks to
+//     write disjoint state, with any cross-task reduction performed by
+//     the caller afterwards in a fixed task-index order.
+//   * `lane` in [0, lanes()) identifies the executing lane (the caller
+//     participates as a lane), for per-lane scratch.  Two tasks on the
+//     same lane never overlap.
+//   * Exceptions: the pending tasks of the generation still run, then
+//     Run rethrows the exception of the *lowest-indexed* failing task on
+//     the caller thread — deterministic even when several tasks fail.
+//
+// Worker threads are spawned once at construction and parked on a
+// condition variable between generations, so a per-slot Run costs one
+// wake/sleep cycle, not thread creation.
+//
+// --- Thread budget -------------------------------------------------------
+//
+// Nested parallelism would oversubscribe: a sweep already fans out one
+// thread per point (ParallelMap), and a threaded engine inside each point
+// would multiply that by its shard count.  ThreadBudget is the process-
+// wide ledger both spawners draw from: a spawner may create at most as
+// many *extra* threads as it can lease, and leases are returned when the
+// pool (or map call) retires.  Sweep workers therefore degrade inner
+// shard pools toward serial instead of stacking hardware_concurrency^2
+// threads — and since threaded runs are byte-identical to serial runs,
+// a degraded grant never changes any result.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace core {
+
+class ThreadBudget {
+ public:
+  static ThreadBudget& Instance() {
+    static ThreadBudget budget;
+    return budget;
+  }
+
+  static unsigned DefaultLimit() {
+    return std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  // Leases up to `requested` worker threads; returns the grant (possibly
+  // 0, meaning "run serial").  Pair with Release(grant).
+  unsigned Acquire(unsigned requested) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const unsigned available = limit_ > outstanding_ ? limit_ - outstanding_ : 0;
+    const unsigned grant = std::min(requested, available);
+    outstanding_ += grant;
+    peak_ = std::max(peak_, outstanding_);
+    return grant;
+  }
+
+  void Release(unsigned granted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    outstanding_ -= std::min(granted, outstanding_);
+  }
+
+  // Test/tool hook; 0 restores the hardware default.
+  void SetLimit(unsigned limit) {
+    std::lock_guard<std::mutex> lock(mu_);
+    limit_ = limit == 0 ? DefaultLimit() : limit;
+  }
+
+  unsigned limit() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return limit_;
+  }
+  unsigned outstanding() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return outstanding_;
+  }
+  // High-water mark of simultaneously leased threads since ResetPeak —
+  // what the oversubscription regression test asserts on.
+  unsigned peak() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+  }
+  void ResetPeak() {
+    std::lock_guard<std::mutex> lock(mu_);
+    peak_ = outstanding_;
+  }
+
+ private:
+  ThreadBudget() = default;
+
+  mutable std::mutex mu_;
+  unsigned limit_ = DefaultLimit();
+  unsigned outstanding_ = 0;
+  unsigned peak_ = 0;
+};
+
+// RAII lease on the process thread budget.
+class ThreadLease {
+ public:
+  explicit ThreadLease(unsigned requested)
+      : granted_(ThreadBudget::Instance().Acquire(requested)) {}
+  ~ThreadLease() { ThreadBudget::Instance().Release(granted_); }
+
+  ThreadLease(const ThreadLease&) = delete;
+  ThreadLease& operator=(const ThreadLease&) = delete;
+
+  unsigned granted() const { return granted_; }
+
+ private:
+  unsigned granted_;
+};
+
+// Scoped budget override for tests (restores the previous limit).
+class ScopedThreadBudget {
+ public:
+  explicit ScopedThreadBudget(unsigned limit)
+      : previous_(ThreadBudget::Instance().limit()) {
+    ThreadBudget::Instance().SetLimit(limit);
+  }
+  ~ScopedThreadBudget() { ThreadBudget::Instance().SetLimit(previous_); }
+
+  ScopedThreadBudget(const ScopedThreadBudget&) = delete;
+  ScopedThreadBudget& operator=(const ScopedThreadBudget&) = delete;
+
+ private:
+  unsigned previous_;
+};
+
+class ShardPool {
+ public:
+  using Task = std::function<void(std::size_t task, unsigned lane)>;
+
+  // `lanes` counts the caller: lanes <= 1 (or an exhausted budget) gives
+  // a serial pool that runs everything inline on the caller.
+  explicit ShardPool(unsigned lanes)
+      : lease_(lanes > 1 ? lanes - 1 : 0) {
+    const unsigned spawn = lease_.granted();
+    workers_.reserve(spawn);
+    for (unsigned w = 0; w < spawn; ++w) {
+      workers_.emplace_back([this, lane = w + 1] { WorkerLoop(lane); });
+    }
+  }
+
+  ~ShardPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    // jthreads join on destruction of workers_.
+  }
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  // Lanes executing tasks, caller included.
+  unsigned lanes() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+  bool parallel() const { return !workers_.empty(); }
+
+  void Run(std::size_t tasks, const Task& fn) {
+    if (tasks == 0) return;
+    if (!parallel() || tasks == 1) {
+      for (std::size_t i = 0; i < tasks; ++i) fn(i, 0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fn_ = &fn;
+      tasks_ = tasks;
+      next_.store(0, std::memory_order_relaxed);
+      pending_workers_ = static_cast<unsigned>(workers_.size());
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+    DrainTasks(/*lane=*/0);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_workers_ == 0; });
+    fn_ = nullptr;
+    if (error_) {
+      std::exception_ptr error = error_;
+      error_ = nullptr;
+      error_task_ = std::numeric_limits<std::size_t>::max();
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  void WorkerLoop(unsigned lane) {
+    std::uint64_t seen = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+      }
+      DrainTasks(lane);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_workers_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  void DrainTasks(unsigned lane) {
+    // fn_/tasks_ are set under mu_ before workers observe the generation
+    // bump (and before the caller enters), so the unlocked reads here are
+    // release/acquire-ordered by the mutex.
+    const Task* fn = fn_;
+    while (true) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks_) return;
+      try {
+        (*fn)(i, lane);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (i < error_task_) {
+          error_task_ = i;
+          error_ = std::current_exception();
+        }
+      }
+    }
+  }
+
+  ThreadLease lease_;
+  std::vector<std::jthread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  const Task* fn_ = nullptr;
+  std::size_t tasks_ = 0;
+  std::atomic<std::size_t> next_{0};
+  unsigned pending_workers_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::size_t error_task_ = std::numeric_limits<std::size_t>::max();
+};
+
+}  // namespace core

@@ -1,7 +1,9 @@
 #include "core/slot_engine.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "core/shard_pool.h"
 #include "sim/error.h"
 #include "switch/output_queued.h"
 
@@ -339,6 +341,16 @@ RunResult SlotEngine::Run(fabric::Fabric& fabric,
   const std::uint64_t lost_base = losses_base.total();
   std::uint64_t known_lost = lost_base;
 
+  // Sharded hot path: one worker pool for the whole run, engaged only
+  // when the caller asked for lanes and the fabric guarantees that its
+  // sharded protocol is byte-identical to the serial one.  The pool's
+  // actual lane count is clamped by the process-wide ThreadBudget; a
+  // degraded (even fully serial) grant changes wall-clock only, never
+  // results.
+  std::optional<ShardPool> pool;
+  if (options.threads > 1 && fabric.shardable()) pool.emplace(options.threads);
+  const bool sharded = pool.has_value() && pool->parallel();
+
   sim::Slot t = 0;
   for (; t < options.max_slots; ++t) {
     // Apply this slot's plane fail/recover events before arrivals, so the
@@ -348,24 +360,44 @@ RunResult SlotEngine::Run(fabric::Fabric& fabric,
     // naming ids; their entries are reconciled by the sweeps.
     if (faults.ApplyDue(t)) known_lost = fabric.losses().total();
 
-    for (const sim::Cell& cell : feeder.CellsAt(t)) {
-      ledger.Track(cell);
-      taps.OnInject(cell, t);
-      fabric.Inject(cell, t);
-      shadow.Inject(cell, t);
-      ++result.cells;
-      // A synchronous Inject drop (plane failures / exhausted static
-      // partition) means this cell will never depart the measured switch:
-      // mark the entry so it is reclaimed once the shadow delivers it,
-      // instead of leaking for the rest of the run.
-      const std::uint64_t lost = fabric.losses().total();
-      if (lost != known_lost) {
-        known_lost = lost;
-        ledger.MarkInjectDropped(cell.id, result);
+    if (sharded) {
+      const std::vector<sim::Cell>& cells = feeder.CellsAt(t);
+      for (const sim::Cell& cell : cells) {
+        ledger.Track(cell);
+        taps.OnInject(cell, t);
+        shadow.Inject(cell, t);
+        ++result.cells;
+      }
+      // Batch inject with explicit per-cell drop flags: the same
+      // attribution the serial loop derives from per-cell losses()
+      // deltas, marked in input order after the barrier.
+      const std::vector<std::uint8_t>& dropped =
+          fabric.InjectBatch(cells, t, *pool);
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (dropped[i] != 0) ledger.MarkInjectDropped(cells[i].id, result);
+      }
+      known_lost = fabric.losses().total();
+    } else {
+      for (const sim::Cell& cell : feeder.CellsAt(t)) {
+        ledger.Track(cell);
+        taps.OnInject(cell, t);
+        fabric.Inject(cell, t);
+        shadow.Inject(cell, t);
+        ++result.cells;
+        // A synchronous Inject drop (plane failures / exhausted static
+        // partition) means this cell will never depart the measured
+        // switch: mark the entry so it is reclaimed once the shadow
+        // delivers it, instead of leaking for the rest of the run.
+        const std::uint64_t lost = fabric.losses().total();
+        if (lost != known_lost) {
+          known_lost = lost;
+          ledger.MarkInjectDropped(cell.id, result);
+        }
       }
     }
 
-    for (const sim::Cell& cell : fabric.Advance(t)) {
+    for (const sim::Cell& cell :
+         sharded ? fabric.AdvanceSharded(t, *pool) : fabric.Advance(t)) {
       taps.OnMeasuredDepart(cell, t);
       ledger.OnMeasuredDepart(cell, result);
     }

@@ -92,6 +92,9 @@ class CpaEmulationDemux final : public pps::BufferedDemultiplexor {
                    : pps::InfoModel::kRealTimeDistributed;
   }
   int info_delay() const override { return u_; }
+  // Shares the emulated centralized scheduler across inputs; decisions
+  // are order-dependent within a slot (FCFS plan assignment).
+  bool shard_independent() const override { return false; }
   std::unique_ptr<pps::BufferedDemultiplexor> Clone() const override {
     return std::make_unique<CpaEmulationDemux>(*this);
   }
@@ -148,6 +151,9 @@ class RequestGrantDemux final : public pps::BufferedDemultiplexor {
     return pps::InfoModel::kRealTimeDistributed;
   }
   int info_delay() const override { return u_; }
+  // Shares the central arbiter across inputs (request order feeds the
+  // per-output round-robin grants).
+  bool shard_independent() const override { return false; }
   std::unique_ptr<pps::BufferedDemultiplexor> Clone() const override {
     return std::make_unique<RequestGrantDemux>(*this);
   }

@@ -65,6 +65,9 @@ class CpaDemux final : public pps::Demultiplexor {
   pps::InfoModel info_model() const override {
     return pps::InfoModel::kCentralized;
   }
+  // All N facades mutate one CpaCore, and its within-slot decisions are
+  // order-dependent (FCFS departure assignment): never shard CPA inputs.
+  bool shard_independent() const override { return false; }
   // Clones share the centralized core: CPA is one algorithm, not N state
   // machines, so white-box adversary probing (which targets distributed
   // algorithms) does not apply.

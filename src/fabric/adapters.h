@@ -34,6 +34,16 @@ class BufferlessPpsFabric final : public Fabric {
   const std::vector<sim::Cell>& Advance(sim::Slot t) override {
     return sw_->Advance(t);
   }
+  bool shardable() const override { return sw_->Shardable(); }
+  const std::vector<std::uint8_t>& InjectBatch(
+      std::span<const sim::Cell> cells, sim::Slot t,
+      core::ShardPool& pool) override {
+    return sw_->InjectBatch(cells, t, pool);
+  }
+  const std::vector<sim::Cell>& AdvanceSharded(
+      sim::Slot t, core::ShardPool& pool) override {
+    return sw_->AdvanceSharded(t, pool);
+  }
   bool Drained() const override { return sw_->Drained(); }
   std::int64_t TotalBacklog() const override { return sw_->TotalBacklog(); }
   sim::PortId num_ports() const override { return sw_->config().num_ports; }
@@ -82,6 +92,22 @@ class InputBufferedPpsFabric final : public Fabric {
   }
   const std::vector<sim::Cell>& Advance(sim::Slot t) override {
     return sw_->Advance(t);
+  }
+  bool shardable() const override { return sw_->Shardable(); }
+  // Inject only parks the cell in its input's incoming slot and can never
+  // lose it (losses happen at Advance), so the batch form is the serial
+  // loop minus the per-cell loss query.
+  const std::vector<std::uint8_t>& InjectBatch(
+      std::span<const sim::Cell> cells, sim::Slot t,
+      core::ShardPool& /*pool*/) override {
+    std::vector<std::uint8_t>& flags = inject_dropped_scratch();
+    flags.assign(cells.size(), 0);
+    for (const sim::Cell& cell : cells) sw_->Inject(cell, t);
+    return flags;
+  }
+  const std::vector<sim::Cell>& AdvanceSharded(
+      sim::Slot t, core::ShardPool& pool) override {
+    return sw_->AdvanceSharded(t, pool);
   }
   bool Drained() const override { return sw_->Drained(); }
   std::int64_t TotalBacklog() const override { return sw_->TotalBacklog(); }

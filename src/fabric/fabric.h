@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,10 @@
 #include "fault/loss.h"
 #include "sim/cell.h"
 #include "sim/types.h"
+
+namespace core {
+class ShardPool;
+}  // namespace core
 
 namespace fabric {
 
@@ -81,6 +86,37 @@ class Fabric {
   virtual std::int64_t TotalBacklog() const = 0;
   virtual sim::PortId num_ports() const = 0;
 
+  // --- the sharded slot protocol ---
+
+  // True iff this fabric (in its current configuration) supports the
+  // sharded entry points below with results byte-identical to the serial
+  // protocol.  Dynamic, not a static capability: a PPS is shardable only
+  // while its per-input demultiplexors are independent state machines
+  // (CPA's shared centralized core is not) and its event log is off.
+  // CIOQ (global iterative matching per slot) and the OQ references
+  // (already O(N) per slot and used as the engine's serial shadow) always
+  // report false and run the serial path.
+  virtual bool shardable() const { return false; }
+
+  // Batch form of Inject for one slot: `cells` must be sorted by input
+  // port, one cell per input, exactly as the serial protocol requires.
+  // Returns per-cell synchronous-drop flags (flag[i] != 0 iff cells[i]
+  // was lost at inject time and will never depart), pointing at internal
+  // scratch valid until the next call.  Must be byte-identical in effect
+  // to injecting serially and attributing each losses() delta to the
+  // in-flight cell.  The default runs exactly that serial loop.
+  virtual const std::vector<std::uint8_t>& InjectBatch(
+      std::span<const sim::Cell> cells, sim::Slot t, core::ShardPool& pool);
+
+  // Sharded form of Advance: same contract and identical returned cells
+  // (values and order), with the per-plane / per-output stages fanned out
+  // over `pool`.  The default falls back to the serial Advance.
+  virtual const std::vector<sim::Cell>& AdvanceSharded(
+      sim::Slot t, core::ShardPool& pool) {
+    (void)pool;
+    return Advance(t);
+  }
+
   // --- capability queries ---
 
   virtual Capabilities capabilities() const = 0;
@@ -124,8 +160,31 @@ class Fabric {
  protected:
   explicit Fabric(std::string name) : name_(std::move(name)) {}
 
+  // Scratch for the default InjectBatch and shardable overriders that
+  // produce their flags serially.
+  std::vector<std::uint8_t>& inject_dropped_scratch() {
+    return inject_dropped_scratch_;
+  }
+
  private:
   std::string name_;
+  std::vector<std::uint8_t> inject_dropped_scratch_;
 };
+
+inline const std::vector<std::uint8_t>& Fabric::InjectBatch(
+    std::span<const sim::Cell> cells, sim::Slot t, core::ShardPool& pool) {
+  (void)pool;
+  inject_dropped_scratch_.assign(cells.size(), 0);
+  std::uint64_t known_lost = losses().total();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    Inject(cells[i], t);
+    const std::uint64_t lost = losses().total();
+    if (lost != known_lost) {
+      known_lost = lost;
+      inject_dropped_scratch_[i] = 1;
+    }
+  }
+  return inject_dropped_scratch_;
+}
 
 }  // namespace fabric

@@ -18,6 +18,9 @@ class Histogram {
   explicit Histogram(std::int64_t max_value = 1 << 14);
 
   void Add(std::int64_t value);
+  // Integer bucket addition — order-insensitive, but per-shard partials
+  // are still merged serially in fixed shard-index order, matching the
+  // repo-wide reduction discipline (sim/stats.h).
   void Merge(const Histogram& other);
 
   std::size_t total() const { return total_; }

@@ -77,6 +77,20 @@ QuantileSketch& QuantileSketch::operator=(const QuantileSketch& other) {
   return *this;
 }
 
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  if (&other == this) {
+    // Self-merge doubles the sample set; copy first so the append cannot
+    // invalidate its own source range.
+    std::vector<std::int64_t> copy = samples_;
+    samples_.insert(samples_.end(), copy.begin(), copy.end());
+  } else {
+    std::lock_guard<std::mutex> lock(other.sort_mutex_);
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+  sorted_ = samples_.size() < 2;
+}
+
 std::int64_t QuantileSketch::Quantile(double q) const {
   SIM_CHECK(!samples_.empty(), "Quantile of empty sketch");
   SIM_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range: " << q);

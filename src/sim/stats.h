@@ -18,6 +18,11 @@ namespace sim {
 class OnlineStats {
  public:
   void Add(std::int64_t x);
+  // Chan's parallel Welford combine.  The result depends on operand order
+  // in the last floating-point bit: callers merging per-shard partials
+  // MUST do so serially in a fixed shard-index order (shard 0 first) —
+  // the repo-wide reduction-order rule that makes threaded runs bitwise
+  // equal to serial ones.
   void Merge(const OnlineStats& other);
   void Reset();
 
@@ -55,6 +60,11 @@ class QuantileSketch {
   QuantileSketch& operator=(const QuantileSketch& other);
 
   void Add(std::int64_t x) { samples_.push_back(x); sorted_ = false; }
+  // Appends the other sketch's samples in their ingestion order.  Exact
+  // quantiles are permutation-invariant, but the stored sample sequence
+  // is not: merge per-shard sketches serially in fixed shard-index order
+  // so serialized state compares byte-equal across thread counts.
+  void Merge(const QuantileSketch& other);
   void Reserve(std::size_t n) { samples_.reserve(n); }
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }

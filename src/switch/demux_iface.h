@@ -89,6 +89,14 @@ class Demultiplexor {
   // Information delay u for u-RT algorithms (ignored otherwise).
   virtual int info_delay() const { return 0; }
 
+  // True iff this instance's Dispatch touches only its own state (plus
+  // the read-only context), so the fabric may evaluate different inputs'
+  // dispatches of one slot concurrently.  Algorithms that share mutable
+  // state across inputs — CPA's centralized core, whose decisions are
+  // order-dependent within a slot — must return false; the fabric then
+  // reports itself non-shardable and runs the serial path.
+  virtual bool shard_independent() const { return true; }
+
   virtual std::unique_ptr<Demultiplexor> Clone() const = 0;
   virtual std::string name() const = 0;
 };
@@ -130,6 +138,9 @@ class BufferedDemultiplexor {
 
   virtual InfoModel info_model() const = 0;
   virtual int info_delay() const { return 0; }
+
+  // Same contract as Demultiplexor::shard_independent, for Decide.
+  virtual bool shard_independent() const { return true; }
 
   virtual std::unique_ptr<BufferedDemultiplexor> Clone() const = 0;
   virtual std::string name() const = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/shard_pool.h"
 #include "sim/error.h"
 
 namespace pps {
@@ -196,6 +197,173 @@ const std::vector<sim::Cell>& InputBufferedPps::Advance(sim::Slot t) {
     ring_.Push(std::move(snap));
   }
   return departed;
+}
+
+bool InputBufferedPps::Shardable() const {
+  for (const auto& d : demux_) {
+    if (!d->shard_independent()) return false;
+  }
+  return true;
+}
+
+const std::vector<sim::Cell>& InputBufferedPps::AdvanceSharded(
+    sim::Slot t, core::ShardPool& pool) {
+  const auto n = static_cast<std::size_t>(config_.num_ports);
+  const auto kk = static_cast<std::size_t>(config_.num_planes);
+  shard_.EnsureShape(kk, n);
+  shard_.EnsureLanes(pool.lanes(), kk);
+  if (launches_scratch_.size() < n) {
+    launches_scratch_.resize(n);
+    kept_scratch_.resize(n);
+    overflow_scratch_.assign(n, 0);
+  }
+
+  // Phase A (parallel over inputs): each task reads and writes only its
+  // own input's demultiplexor, buffer, incoming slot and LinkBank row.
+  // Launch validation and line starts happen here; the loss counters and
+  // plane accepts are deferred so their order can be fixed serially.
+  pool.Run(n, [&](std::size_t idx, unsigned lane) {
+    const sim::PortId i = static_cast<sim::PortId>(idx);
+    BufferedDemultiplexor& d = *demux_[idx];
+    std::vector<sim::Cell>& buffer = buffers_[idx];
+    const std::optional<sim::Cell>& incoming = incoming_[idx];
+    std::vector<LaunchRec>& launches = launches_scratch_[idx];
+    std::vector<sim::Cell>& kept = kept_scratch_[idx];
+    launches.clear();
+    kept.clear();
+
+    bool* free_buf = shard_.FreeBufFor(lane);
+    for (int k = 0; k < config_.num_planes; ++k) {
+      free_buf[static_cast<std::size_t>(k)] =
+          !visibility_.VisiblyDown(k, t) && in_links_.CanStart(i, k, t);
+    }
+    BufferedContext ctx;
+    ctx.now = t;
+    ctx.buffer = std::span<const sim::Cell>(buffer.data(), buffer.size());
+    ctx.incoming = incoming.has_value() ? &*incoming : nullptr;
+    ctx.input_link_free = std::span<const bool>(free_buf, kk);
+    ctx.global = GlobalViewFor(d, t);
+
+    BufferedDecision decision = d.Decide(ctx);
+    SIM_CHECK(decision.buffered.size() == buffer.size(),
+              d.name() << " returned " << decision.buffered.size()
+                       << " buffered decisions for a buffer of "
+                       << buffer.size());
+
+    auto validate_and_start = [&](const DispatchDecision& dd) {
+      SIM_CHECK(dd.plane >= 0 && dd.plane < config_.num_planes,
+                "invalid plane " << dd.plane);
+      SIM_CHECK(!visibility_.VisiblyDown(dd.plane, t),
+                d.name() << " launched to visibly failed plane " << dd.plane);
+      SIM_CHECK(in_links_.CanStart(i, dd.plane, t),
+                d.name() << " violated the input constraint: line (" << i
+                         << "," << dd.plane << ") busy at slot " << t);
+      in_links_.Start(i, dd.plane, t);
+    };
+    for (std::size_t b = 0; b < buffer.size(); ++b) {
+      if (decision.buffered[b].plane == sim::kNoPlane) {
+        kept.push_back(buffer[b]);
+      } else {
+        validate_and_start(decision.buffered[b]);
+        launches.push_back({buffer[b], decision.buffered[b]});
+      }
+    }
+    if (incoming.has_value()) {
+      if (decision.incoming.plane == sim::kNoPlane) {
+        if (static_cast<int>(kept.size()) >= config_.input_buffer_size) {
+          overflow_scratch_[idx] = 1;
+        } else {
+          kept.push_back(*incoming);
+        }
+      } else {
+        validate_and_start(decision.incoming);
+        launches.push_back({*incoming, decision.incoming});
+      }
+    }
+    buffer.swap(kept);
+    incoming_[idx].reset();
+  });
+
+  // Phase B (serial, input order): counter bumps and the link-fault
+  // injector's sequential RNG draws happen exactly in the serial path's
+  // launch order — input-major, buffered-then-incoming within an input.
+  if (accept_buckets_.size() < kk) accept_buckets_.resize(kk);
+  for (std::size_t k = 0; k < kk; ++k) accept_buckets_[k].clear();
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const std::vector<LaunchRec>& launches = launches_scratch_[idx];
+    for (std::size_t l = 0; l < launches.size(); ++l) {
+      const sim::PlaneId plane = launches[l].decision.plane;
+      if (failed_[static_cast<std::size_t>(plane)]) {
+        ++stale_dispatch_losses_;
+      } else if (!link_faults_.empty() &&
+                 link_faults_.Dropped(static_cast<sim::PortId>(idx), plane,
+                                      t)) {
+        ++link_drop_losses_;
+      } else {
+        accept_buckets_[static_cast<std::size_t>(plane)].push_back(
+            {static_cast<std::uint32_t>(idx), static_cast<std::uint32_t>(l)});
+      }
+    }
+    if (overflow_scratch_[idx] != 0) {
+      ++buffer_overflows_;
+      overflow_scratch_[idx] = 0;
+    }
+  }
+
+  // Phase C (parallel over planes): accepts in the serial path's order.
+  pool.Run(kk, [&](std::size_t k, unsigned /*lane*/) {
+    for (const LaunchRef& ref : accept_buckets_[k]) {
+      const LaunchRec& rec = launches_scratch_[ref.input][ref.idx];
+      planes_[k].Accept(rec.cell, t, rec.decision.booked_delivery);
+    }
+  });
+
+  // Common tail: per-plane delivery, per-output staging/departure,
+  // snapshot — all reductions serial in fixed index order.
+  shard_.DeliverPlanes(pool, planes_, failed_, t);
+  shard_.BucketByOutput(kk);
+  shard_.StageAndDepart(pool, muxes_, t);
+  std::vector<sim::Cell>& departed = departed_scratch_;
+  departed.clear();
+  shard_.CollectDepartures(n, departed);
+  if (ring_.enabled()) {
+    GlobalSnapshot snap = ring_.Recycle();
+    FillSnapshotSharded(t, snap, pool);
+    ring_.Push(std::move(snap));
+  }
+  return departed;
+}
+
+void InputBufferedPps::FillSnapshotSharded(sim::Slot t, GlobalSnapshot& snap,
+                                           core::ShardPool& pool) const {
+  snap.slot = t;
+  const auto n = static_cast<std::size_t>(config_.num_ports);
+  const auto kk = static_cast<std::size_t>(config_.num_planes);
+  snap.plane_backlog.resize(kk * n);
+  snap.output_link_next_free.resize(kk * n);
+  snap.input_link_next_free.resize(n * kk);
+  snap.output_backlog.resize(n);
+  pool.Run(kk + n, [&](std::size_t task, unsigned /*lane*/) {
+    if (task < kk) {
+      const std::size_t k = task;
+      const Plane& plane = planes_[k];
+      for (std::size_t j = 0; j < n; ++j) {
+        snap.plane_backlog[k * n + j] = static_cast<std::int32_t>(
+            plane.Backlog(static_cast<sim::PortId>(j)));
+        snap.output_link_next_free[k * n + j] =
+            plane.OutputLinkNextFree(static_cast<sim::PortId>(j));
+      }
+    } else {
+      const std::size_t i = task - kk;
+      for (std::size_t k = 0; k < kk; ++k) {
+        snap.input_link_next_free[i * kk + k] =
+            in_links_.NextFree(static_cast<int>(i), static_cast<int>(k));
+      }
+    }
+  });
+  for (std::size_t j = 0; j < n; ++j) {
+    snap.output_backlog[j] = static_cast<std::int32_t>(muxes_[j].Backlog());
+  }
 }
 
 void InputBufferedPps::FillSnapshot(sim::Slot t, GlobalSnapshot& snap) const {

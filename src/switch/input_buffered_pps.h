@@ -24,7 +24,12 @@
 #include "switch/link.h"
 #include "switch/output_mux.h"
 #include "switch/plane.h"
+#include "switch/shard_stages.h"
 #include "switch/snapshot.h"
+
+namespace core {
+class ShardPool;
+}  // namespace core
 
 namespace pps {
 
@@ -42,6 +47,20 @@ class InputBufferedPps {
   // points at per-slot scratch reused across calls (valid until the next
   // Advance).
   const std::vector<sim::Cell>& Advance(sim::Slot t);
+
+  // --- sharded slot protocol (see switch/shard_stages.h) ---
+
+  // True iff AdvanceSharded is byte-identical to Advance: every buffered
+  // demultiplexor decides from its own state only (CPA-emulation and
+  // request-grant share a central core and must run serially).
+  bool Shardable() const;
+
+  // Sharded Advance: per-input Decide/launch fans out (phase A), loss
+  // counters and the sequential link-fault RNG draws run serially in the
+  // serial path's launch order (phase B), plane accepts fan out per plane
+  // (phase C), then the common per-plane/per-output tail.
+  const std::vector<sim::Cell>& AdvanceSharded(sim::Slot t,
+                                               core::ShardPool& pool);
 
   bool Drained() const;
   std::int64_t TotalBacklog() const;
@@ -95,6 +114,8 @@ class InputBufferedPps {
   const GlobalSnapshot* GlobalViewFor(const BufferedDemultiplexor& d,
                                       sim::Slot t) const;
   void FillSnapshot(sim::Slot t, GlobalSnapshot& snap) const;
+  void FillSnapshotSharded(sim::Slot t, GlobalSnapshot& snap,
+                           core::ShardPool& pool) const;
   void Launch(sim::PortId input, const sim::Cell& cell,
               const DispatchDecision& decision, sim::Slot t);
 
@@ -118,6 +139,20 @@ class InputBufferedPps {
   // Per-slot scratch reused across Advance calls (cleared, never freed).
   std::vector<sim::Cell> delivered_scratch_;
   std::vector<sim::Cell> departed_scratch_;
+  // Sharded-path scratch.
+  struct LaunchRec {
+    sim::Cell cell;
+    DispatchDecision decision;
+  };
+  ShardSlotScratch shard_;
+  std::vector<std::vector<LaunchRec>> launches_scratch_;  // per input
+  std::vector<std::vector<sim::Cell>> kept_scratch_;      // per input
+  std::vector<std::uint8_t> overflow_scratch_;            // per input
+  struct LaunchRef {
+    std::uint32_t input;
+    std::uint32_t idx;
+  };
+  std::vector<std::vector<LaunchRef>> accept_buckets_;  // per plane
 };
 
 }  // namespace pps

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/shard_pool.h"
 #include "sim/error.h"
 
 namespace pps {
@@ -145,6 +146,201 @@ void BufferlessPps::Inject(sim::Cell cell, sim::Slot t) {
   }
   planes_[static_cast<std::size_t>(decision.plane)].Accept(
       cell, t, decision.booked_delivery);
+}
+
+bool BufferlessPps::Shardable() const {
+  if (log_.enabled()) return false;
+  for (const auto& d : demux_) {
+    if (!d->shard_independent()) return false;
+  }
+  return true;
+}
+
+namespace {
+// Phase-A per-cell outcomes; phase B turns them into the serial path's
+// counter and loss-ledger updates, in input order.
+constexpr std::uint8_t kOutcomeNoPlane = 0;
+constexpr std::uint8_t kOutcomeStale = 1;
+constexpr std::uint8_t kOutcomeAccept = 2;
+}  // namespace
+
+const std::vector<std::uint8_t>& BufferlessPps::InjectBatch(
+    std::span<const sim::Cell> cells, sim::Slot t, core::ShardPool& pool) {
+  std::vector<std::uint8_t>& dropped = inject_dropped_scratch_;
+  dropped.assign(cells.size(), 0);
+  if (cells.empty()) return dropped;
+  SIM_CHECK(!log_.enabled(),
+            "InjectBatch with the event log armed: one ordered stream "
+            "cannot be split across shards — use the serial protocol");
+  // The external-line contract (one cell per input, increasing input
+  // order) checked batch-wide up front; the serial path checks it
+  // pairwise per call.
+  for (std::size_t a = 0; a + 1 < cells.size(); ++a) {
+    SIM_CHECK(cells[a].input < cells[a + 1].input,
+              "batch not sorted by input: " << cells[a] << " before "
+                                            << cells[a + 1]);
+  }
+  if (t == last_inject_slot_) {
+    SIM_CHECK(cells.front().input > last_inject_input_,
+              "two cells on input " << cells.front().input << " in slot " << t
+                                    << " or out-of-order injection");
+  }
+  const auto kk = static_cast<std::size_t>(config_.num_planes);
+  decisions_scratch_.resize(cells.size());
+  outcome_scratch_.resize(cells.size());
+  shard_.EnsureLanes(pool.lanes(), kk);
+
+  // Phase A (parallel over arriving cells): each cell sits on a distinct
+  // input port, so each task touches only its own demultiplexor and its
+  // own LinkBank row; visibility, snapshots and ground-truth plane state
+  // are read-only during the fan-out.
+  pool.Run(cells.size(), [&](std::size_t i, unsigned lane) {
+    const sim::Cell& cell = cells[i];
+    SIM_CHECK(cell.input >= 0 && cell.input < config_.num_ports &&
+                  cell.output >= 0 && cell.output < config_.num_ports,
+              "bad ports on " << cell);
+    SIM_CHECK(cell.arrival == t, "arrival stamp mismatch on " << cell);
+    Demultiplexor& d = *demux_[static_cast<std::size_t>(cell.input)];
+    bool* free_buf = shard_.FreeBufFor(lane);
+    for (int k = 0; k < config_.num_planes; ++k) {
+      free_buf[static_cast<std::size_t>(k)] =
+          !visibility_.VisiblyDown(k, t) &&
+          in_links_.CanStart(cell.input, k, t);
+    }
+    DispatchContext ctx;
+    ctx.now = t;
+    ctx.input_link_free = std::span<const bool>(free_buf, kk);
+    ctx.global = GlobalViewFor(d, t);
+    const DispatchDecision decision = d.Dispatch(cell, ctx);
+    decisions_scratch_[i] = decision;
+    if (decision.plane == sim::kNoPlane) {
+      outcome_scratch_[i] = kOutcomeNoPlane;
+      return;
+    }
+    SIM_CHECK(decision.plane >= 0 && decision.plane < config_.num_planes,
+              d.name() << " returned invalid plane " << decision.plane);
+    SIM_CHECK(!visibility_.VisiblyDown(decision.plane, t),
+              d.name() << " dispatched to visibly failed plane "
+                       << decision.plane);
+    SIM_CHECK(in_links_.CanStart(cell.input, decision.plane, t),
+              d.name() << " violated the input constraint: line ("
+                       << cell.input << "," << decision.plane
+                       << ") busy at slot " << t);
+    in_links_.Start(cell.input, decision.plane, t);
+    outcome_scratch_[i] = failed_[static_cast<std::size_t>(decision.plane)]
+                              ? kOutcomeStale
+                              : kOutcomeAccept;
+  });
+
+  // Phase B (serial, input order): the loss counters and — crucially —
+  // the link-fault injector's sequential RNG draws must happen in exactly
+  // the serial path's order.
+  if (accept_buckets_.size() < kk) accept_buckets_.resize(kk);
+  for (std::size_t k = 0; k < kk; ++k) accept_buckets_[k].clear();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    switch (outcome_scratch_[i]) {
+      case kOutcomeNoPlane:
+        ++input_drops_;
+        dropped[i] = 1;
+        break;
+      case kOutcomeStale:
+        ++stale_dispatch_losses_;
+        dropped[i] = 1;
+        break;
+      default: {
+        const sim::PlaneId plane = decisions_scratch_[i].plane;
+        if (!link_faults_.empty() &&
+            link_faults_.Dropped(cells[i].input, plane, t)) {
+          ++link_drop_losses_;
+          dropped[i] = 1;
+        } else {
+          ++dispatch_count_[static_cast<std::size_t>(plane)];
+          accept_buckets_[static_cast<std::size_t>(plane)].push_back(
+              static_cast<std::uint32_t>(i));
+        }
+        break;
+      }
+    }
+  }
+  last_inject_slot_ = t;
+  last_inject_input_ = cells.back().input;
+
+  // Phase C (parallel over planes): each plane accepts its bucket in
+  // input order — the order the serial path's Accept calls observe.
+  pool.Run(kk, [&](std::size_t k, unsigned /*lane*/) {
+    for (const std::uint32_t i : accept_buckets_[k]) {
+      planes_[k].Accept(cells[i], t, decisions_scratch_[i].booked_delivery);
+    }
+  });
+  return dropped;
+}
+
+const std::vector<sim::Cell>& BufferlessPps::AdvanceSharded(
+    sim::Slot t, core::ShardPool& pool) {
+  const auto kk = planes_.size();
+  const auto n = muxes_.size();
+  shard_.EnsureShape(kk, n);
+  shard_.DeliverPlanes(pool, planes_, failed_, t);
+  shard_.BucketByOutput(kk);
+  shard_.StageAndDepart(pool, muxes_, t);
+  std::vector<sim::Cell>& departed = departed_scratch_;
+  departed.clear();
+  shard_.CollectDepartures(n, departed);
+  if (needs_global_) {
+    pool.Run(demux_.size(), [&](std::size_t i, unsigned /*lane*/) {
+      if (demux_[i]->info_model() != InfoModel::kFullyDistributed) {
+        demux_[i]->OnSlotEnd(t);
+      }
+    });
+  }
+  // Serial reductions in fixed index order (max is order-insensitive, but
+  // the discipline keeps every cross-shard reduction deterministic).
+  for (const Plane& plane : planes_) {
+    max_plane_backlog_ = std::max(max_plane_backlog_, plane.TotalBacklog());
+  }
+  for (const OutputMux& mux : muxes_) {
+    max_output_backlog_ = std::max(max_output_backlog_, mux.Backlog());
+  }
+  if (ring_.enabled()) {
+    GlobalSnapshot snap = ring_.Recycle();
+    FillSnapshotSharded(t, snap, pool);
+    ring_.Push(std::move(snap));
+  }
+  return departed;
+}
+
+void BufferlessPps::FillSnapshotSharded(sim::Slot t, GlobalSnapshot& snap,
+                                        core::ShardPool& pool) const {
+  snap.slot = t;
+  const auto n = static_cast<std::size_t>(config_.num_ports);
+  const auto kk = static_cast<std::size_t>(config_.num_planes);
+  snap.plane_backlog.resize(kk * n);
+  snap.output_link_next_free.resize(kk * n);
+  snap.input_link_next_free.resize(n * kk);
+  snap.output_backlog.resize(n);
+  // Row-disjoint writes: tasks [0, kk) fill plane rows, [kk, kk + n) fill
+  // input rows.  The O(n) output-backlog row stays on the caller.
+  pool.Run(kk + n, [&](std::size_t task, unsigned /*lane*/) {
+    if (task < kk) {
+      const std::size_t k = task;
+      const Plane& plane = planes_[k];
+      for (std::size_t j = 0; j < n; ++j) {
+        snap.plane_backlog[k * n + j] = static_cast<std::int32_t>(
+            plane.Backlog(static_cast<sim::PortId>(j)));
+        snap.output_link_next_free[k * n + j] =
+            plane.OutputLinkNextFree(static_cast<sim::PortId>(j));
+      }
+    } else {
+      const std::size_t i = task - kk;
+      for (std::size_t k = 0; k < kk; ++k) {
+        snap.input_link_next_free[i * kk + k] =
+            in_links_.NextFree(static_cast<int>(i), static_cast<int>(k));
+      }
+    }
+  });
+  for (std::size_t j = 0; j < n; ++j) {
+    snap.output_backlog[j] = static_cast<std::int32_t>(muxes_[j].Backlog());
+  }
 }
 
 void BufferlessPps::FailPlane(sim::PlaneId k, sim::Slot at) {

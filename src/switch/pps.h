@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "fault/link_faults.h"
@@ -31,7 +32,12 @@
 #include "switch/link.h"
 #include "switch/output_mux.h"
 #include "switch/plane.h"
+#include "switch/shard_stages.h"
 #include "switch/snapshot.h"
+
+namespace core {
+class ShardPool;
+}  // namespace core
 
 namespace pps {
 
@@ -52,6 +58,31 @@ class BufferlessPps {
   // every slot — it stays valid until the next Advance call; copy it if
   // you need the cells longer.
   const std::vector<sim::Cell>& Advance(sim::Slot t);
+
+  // --- sharded slot protocol (see switch/shard_stages.h) ---
+
+  // True iff the sharded entry points below produce results byte-identical
+  // to the serial protocol: every demultiplexor is an independent state
+  // machine (Dispatch touches only its own input's state) and the event
+  // log is off (its single ordered stream cannot be split across lanes).
+  bool Shardable() const;
+
+  // Batch of one slot's arrivals, sorted by input port with arrival
+  // pre-stamped.  Demux decisions fan out per input (phase A); counters,
+  // sequential link-fault RNG draws and per-plane bucketing run serially
+  // in input order (phase B); plane accepts fan out per plane (phase C).
+  // Returns per-cell synchronous-drop flags, scratch valid until the next
+  // call.
+  const std::vector<std::uint8_t>& InjectBatch(std::span<const sim::Cell> cells,
+                                               sim::Slot t,
+                                               core::ShardPool& pool);
+
+  // Sharded Advance: per-plane delivery and per-output staging/departure
+  // fan out over `pool`; every reduction (departure order, backlog
+  // high-water marks, snapshot) happens serially in fixed index order, so
+  // the returned cells and all counters match Advance exactly.
+  const std::vector<sim::Cell>& AdvanceSharded(sim::Slot t,
+                                               core::ShardPool& pool);
 
   bool Drained() const;
   std::int64_t PlaneBacklog(sim::PlaneId k, sim::PortId j) const;
@@ -132,6 +163,9 @@ class BufferlessPps {
   // Fills `snap` in place (resize keeps capacity, so recycled snapshots
   // from SnapshotRing::Recycle are refilled without allocating).
   void FillSnapshot(sim::Slot t, GlobalSnapshot& snap) const;
+  // Same result, with the per-plane and per-input rows fanned out.
+  void FillSnapshotSharded(sim::Slot t, GlobalSnapshot& snap,
+                           core::ShardPool& pool) const;
 
   SwitchConfig config_;
   std::vector<std::unique_ptr<Demultiplexor>> demux_;
@@ -157,6 +191,12 @@ class BufferlessPps {
   std::int64_t max_plane_backlog_ = 0;
   std::int64_t max_output_backlog_ = 0;
   sim::EventLog log_;
+  // Sharded-path scratch (all reused, never freed between slots).
+  ShardSlotScratch shard_;
+  std::vector<DispatchDecision> decisions_scratch_;  // per arriving cell
+  std::vector<std::uint8_t> outcome_scratch_;        // per arriving cell
+  std::vector<std::uint8_t> inject_dropped_scratch_;
+  std::vector<std::vector<std::uint32_t>> accept_buckets_;  // per plane
 };
 
 }  // namespace pps

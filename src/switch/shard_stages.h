@@ -1,0 +1,142 @@
+// Shared stage drivers for the sharded PPS slot pipeline.
+//
+// One PPS slot decomposes into independent shards at each stage — demux
+// decisions are per-input, calendar/FIFO advancement is per-plane, mux
+// departures are per-output — with the stage boundary as the only
+// synchronization point.  BufferlessPps and InputBufferedPps both end
+// their slot with the same tail:
+//
+//   Deliver (per plane)  ->  Stage+Depart (per output)  ->  Snapshot
+//
+// ShardSlotScratch owns the per-slot scratch for that tail and runs it on
+// a core::ShardPool so that the result is byte-identical to the serial
+// Advance loop:
+//
+//   * each plane delivers into its own scratch vector; the serial loop's
+//     staging order (plane-major, within-plane delivery order) is
+//     reproduced by bucketing indices in that exact order;
+//   * buckets hold (plane, cell) u32 index pairs, not cell copies — the
+//     batching moves 8 bytes per delivered cell and the staging reads the
+//     cells straight out of the per-plane scratch (structure-of-arrays
+//     over the slot's delivered set);
+//   * each output stages its bucket in order and departs at most one
+//     cell into its own slot of the departure array; the caller collects
+//     the departures serially in output order, matching the serial loop.
+//
+// All counters derived here (backlog high-water marks) are reduced by the
+// caller after the barrier, in fixed index order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/shard_pool.h"
+#include "sim/cell.h"
+#include "sim/types.h"
+#include "switch/output_mux.h"
+#include "switch/plane.h"
+
+namespace pps {
+
+class ShardSlotScratch {
+ public:
+  // Grows (never shrinks) the scratch to the fabric's geometry; cheap to
+  // call per slot.
+  void EnsureShape(std::size_t num_planes, std::size_t num_outputs) {
+    if (per_plane_.size() < num_planes) per_plane_.resize(num_planes);
+    if (buckets_.size() < num_outputs) buckets_.resize(num_outputs);
+    if (depart_flag_.size() < num_outputs) {
+      depart_flag_.assign(num_outputs, 0);
+      depart_cell_.resize(num_outputs);
+    }
+  }
+
+  // Pre-provisions the lane-private candidate-set buffers.  Must run
+  // serially before a parallel stage uses FreeBufFor: the buffers hand
+  // out raw pointers, so no resizing may happen concurrently.
+  void EnsureLanes(unsigned lanes, std::size_t num_planes) {
+    if (free_bufs_.size() < lanes) free_bufs_.resize(lanes);
+    for (auto& buf : free_bufs_) {
+      if (buf.size < num_planes) {
+        buf.data = std::make_unique<bool[]>(num_planes);
+        buf.size = num_planes;
+      }
+    }
+  }
+
+  // Lane-private bool array for DispatchContext::input_link_free; valid
+  // after EnsureLanes(lane count, num_planes).
+  bool* FreeBufFor(unsigned lane) { return free_bufs_[lane].data.get(); }
+
+  // Stage 1: every live plane delivers into its own scratch (parallel
+  // over planes).
+  void DeliverPlanes(core::ShardPool& pool, std::vector<Plane>& planes,
+                     const std::vector<bool>& failed, sim::Slot t) {
+    EnsureShape(planes.size(), buckets_.size());
+    pool.Run(planes.size(), [&](std::size_t k, unsigned /*lane*/) {
+      per_plane_[k].clear();
+      if (!failed[k]) planes[k].Deliver(t, per_plane_[k]);
+    });
+  }
+
+  // Stage boundary: bucket delivered cells by output in the serial
+  // staging order (plane-major).  Serial by design — it fixes the order
+  // the parallel staging stage must observe.
+  void BucketByOutput(std::size_t num_planes) {
+    for (auto& bucket : buckets_) bucket.clear();
+    for (std::size_t k = 0; k < num_planes; ++k) {
+      const auto& cells = per_plane_[k];
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        buckets_[static_cast<std::size_t>(cells[c].output)].push_back(
+            {static_cast<std::uint32_t>(k), static_cast<std::uint32_t>(c)});
+      }
+    }
+  }
+
+  // Stage 2: per-output staging + departure (parallel over outputs); the
+  // departures land in output-indexed slots.  The caller must have run
+  // DeliverPlanes and BucketByOutput for this slot first.
+  void StageAndDepart(core::ShardPool& pool, std::vector<OutputMux>& muxes,
+                      sim::Slot t) {
+    pool.Run(muxes.size(), [&](std::size_t j, unsigned /*lane*/) {
+      for (const CellRef& ref : buckets_[j]) {
+        muxes[j].Stage(per_plane_[ref.plane][ref.cell], t);
+      }
+      depart_flag_[j] =
+          muxes[j].Depart(t, &depart_cell_[j]) ? std::uint8_t{1}
+                                               : std::uint8_t{0};
+    });
+  }
+
+  // Serial collection in output order — identical to the serial loop's
+  // departure order.
+  void CollectDepartures(std::size_t num_outputs,
+                         std::vector<sim::Cell>& departed) const {
+    for (std::size_t j = 0; j < num_outputs; ++j) {
+      if (depart_flag_[j] != 0) departed.push_back(depart_cell_[j]);
+    }
+  }
+
+  const std::vector<sim::Cell>& delivered_by_plane(std::size_t k) const {
+    return per_plane_[k];
+  }
+
+ private:
+  struct CellRef {
+    std::uint32_t plane;
+    std::uint32_t cell;
+  };
+  struct LaneBools {
+    std::unique_ptr<bool[]> data;
+    std::size_t size = 0;
+  };
+
+  std::vector<std::vector<sim::Cell>> per_plane_;
+  std::vector<std::vector<CellRef>> buckets_;
+  std::vector<std::uint8_t> depart_flag_;
+  std::vector<sim::Cell> depart_cell_;
+  std::vector<LaneBools> free_bufs_;
+};
+
+}  // namespace pps

@@ -22,6 +22,7 @@
 #include "cioq/cioq_switch.h"
 #include "cioq/islip.h"
 #include "core/harness.h"
+#include "core/shard_pool.h"
 #include "core/slot_engine.h"
 #include "demux/registry.h"
 #include "fabric/adapters.h"
@@ -650,6 +651,102 @@ TEST(SlotEngine, NonOwningAdapterMatchesOwnedRegistryFabric) {
   auto owned = fabric::Make("pps/rr", config);
   const core::RunResult b = core::RunRelative(*owned, src_b, options);
   ExpectResultsIdentical(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded differential: threads = T must be byte-identical to threads = 1
+// for every shardable fabric — same doubles, same timelines, same loss
+// taxonomy.  The serial path is itself pinned to the frozen legacy loop
+// above, so transitively threads = T is pinned to the pre-refactor
+// harness.
+
+core::RunResult RunWithThreads(const std::string& name,
+                               const pps::SwitchConfig& config,
+                               std::uint64_t seed, unsigned threads,
+                               const fault::FaultSchedule& schedule = {}) {
+  // The machine running the tests may have a single core; lanes must be
+  // granted from the budget explicitly or every pool degrades to serial
+  // and the differential is vacuous.
+  core::ScopedThreadBudget budget(16);
+  auto fab = fabric::Make(name, config);
+  if (threads > 1) {
+    EXPECT_TRUE(fab->shardable()) << name << " must be shardable";
+  }
+  traffic::BernoulliSource source =
+      UniformSource(config.num_ports, 0.85, seed);
+  core::RunOptions options;
+  options.source_cutoff = 600;
+  // Lossy schedules can leave a resequencer waiting forever on a dropped
+  // sequence number; cap the drain so the differential compares the same
+  // bounded run instead of racing to max_slots.
+  options.drain_grace = 500;
+  options.keep_timeline = true;
+  options.threads = threads;
+  options.fault_schedule = schedule;
+  return core::RunRelative(*fab, source, options);
+}
+
+TEST(ShardedDifferential, ThreadsMatchSerialAcrossShardableFabrics) {
+  const std::vector<std::string> kShardable = {
+      "pps/rr",          "pps/rr-per-output", "pps/hash",
+      "pps/random",      "pps/stale-jsq-u2",  "pps/ftd-h2",
+      "buffered-pps/buffered-rr",
+  };
+  for (const std::string& name : kShardable) {
+    for (const std::uint64_t seed : {3u, 77u}) {
+      const core::RunResult serial =
+          RunWithThreads(name, BaseConfig(), seed, 1);
+      for (const unsigned threads : {2u, 7u}) {
+        SCOPED_TRACE(name + " seed=" + std::to_string(seed) +
+                     " threads=" + std::to_string(threads));
+        const core::RunResult sharded =
+            RunWithThreads(name, BaseConfig(), seed, threads);
+        ASSERT_GT(sharded.cells, 0u);
+        ExpectResultsIdentical(sharded, serial);
+      }
+    }
+  }
+}
+
+TEST(ShardedDifferential, LossyFaultScheduleMatchesSerial) {
+  // Plane fail/recover plus a flaky link: stale-dispatch losses, stranded
+  // cells and the injector's sequential RNG stream all cross the shard
+  // boundaries; the differential must agree on every counter and double.
+  fault::FaultSchedule schedule;
+  schedule.Fail(1, 100).Recover(1, 350).DropLink(2, 0, 0.5, 150, 200);
+  for (const std::string name : {"pps/rr", "buffered-pps/buffered-rr"}) {
+    const core::RunResult serial =
+        RunWithThreads(name, BaseConfig(), 99, 1, schedule);
+    for (const unsigned threads : {2u, 7u}) {
+      SCOPED_TRACE(name + " threads=" + std::to_string(threads));
+      const core::RunResult sharded =
+          RunWithThreads(name, BaseConfig(), 99, threads, schedule);
+      ExpectResultsIdentical(sharded, serial);
+    }
+  }
+  // The same lossy schedule on the bufferless fabric must actually lose
+  // cells, or the loss-path comparison above is vacuous.
+  EXPECT_GT(RunWithThreads("pps/rr", BaseConfig(), 99, 2, schedule).dropped,
+            0u);
+}
+
+TEST(ShardedDifferential, NonShardableFabricFallsBackToSerial) {
+  // CPA shares one centralized core across inputs: the fabric must report
+  // non-shardable and a threads > 1 run must silently take the serial
+  // path — identical results, no crash, no reordered decisions.
+  pps::SwitchConfig config = BaseConfig(8, 4, 2);
+  auto cpa = fabric::Make("pps/cpa", config);
+  EXPECT_FALSE(cpa->shardable());
+  const core::RunResult serial = RunWithThreads("pps/cpa", config, 11, 1);
+  core::ScopedThreadBudget budget(16);
+  auto fab = fabric::Make("pps/cpa", config);
+  traffic::BernoulliSource source = UniformSource(8, 0.85, 11);
+  core::RunOptions options;
+  options.source_cutoff = 600;
+  options.keep_timeline = true;
+  options.threads = 4;
+  const core::RunResult threaded = core::RunRelative(*fab, source, options);
+  ExpectResultsIdentical(threaded, serial);
 }
 
 }  // namespace
