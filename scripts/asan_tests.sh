@@ -15,6 +15,8 @@
 #   test_pps_fabric        fabric Advance/snapshot scratch reuse
 #   test_fault             plane failure + Reset reuse, harness sweeps
 #   test_input_buffered    buffered fabric scratch reuse
+#   test_ckpt              checkpoint restore differential: serialize and
+#                          rebuild every container mid-flight, then run on
 #
 #   ./scripts/asan_tests.sh [build-dir]
 set -euo pipefail
@@ -23,7 +25,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build-asan}"
 
 TESTS=(test_mux_differential test_switch_parts test_pps_fabric test_fault
-       test_input_buffered)
+       test_input_buffered test_ckpt)
 
 cmake -B "$BUILD" -G Ninja -S "$ROOT" -DPPS_ASAN=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo

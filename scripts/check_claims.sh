@@ -111,6 +111,17 @@ else
   fail=1
 fi
 
+# Checkpoint round-trip: a pps_serve run snapshotted mid-stream and
+# resumed must be byte-identical to the uninterrupted run's post-snapshot
+# output, two identical runs must write identical checkpoint bytes, and
+# the binary trace framing must serve identically to the text format.
+if "$ROOT/scripts/ckpt_roundtrip.sh" >/dev/null 2>&1; then
+  echo "ok   : checkpoint round-trip, resume byte-identical"
+else
+  echo "FAIL : checkpoint round-trip (run scripts/ckpt_roundtrip.sh)"
+  fail=1
+fi
+
 # Fault subsystem: the chaos grid (flap storms x notification lag) must
 # run under PPS_AUDIT with zero invariant violations and an exactly
 # reconciled loss taxonomy on every drained point.

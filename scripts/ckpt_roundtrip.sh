@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Checkpoint round-trip gate: the engine's hard guarantee, end to end
+# through the tools.
+#
+# A windowed pps_serve run snapshotted at slot S and then resumed must
+# reproduce the uninterrupted run's post-snapshot window rows and summary
+# byte-for-byte, and two identical saving runs must write byte-identical
+# checkpoint files (the canonical-bytes rule from ckpt/serializer.h).
+# Also exercises the binary trace framing: serving the --pack-trace'd
+# trace must produce output identical to serving the text trace.
+#
+#   ./scripts/ckpt_roundtrip.sh [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+BUILD="${1:-}"
+if [ -z "$BUILD" ]; then
+  for d in "$ROOT/build" "$ROOT/build-release"; do
+    [ -x "$d/tools/pps_serve" ] && BUILD="$d" && break
+  done
+fi
+SERVE="$BUILD/tools/pps_serve"
+TRACE_TOOLS="$BUILD/examples/trace_tools"
+[ -x "$SERVE" ] || { echo "pps_serve not built at $SERVE"; exit 2; }
+[ -x "$TRACE_TOOLS" ] || { echo "trace_tools not built at $TRACE_TOOLS"; exit 2; }
+
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+# A lightly loaded random trace long enough to straddle the snapshot.
+"$TRACE_TOOLS" gen-random 8 0.7 400 11 "$DIR/cells.trace" >/dev/null
+
+# Window = 32 divides the snapshot slot S = 128, so the interrupted run
+# ends exactly on a window boundary (no partial row to reconcile).
+COMMON=(--fabric=pps/rr-per-output --trace="$DIR/cells.trace" \
+        --ports=8 --planes=4 --rate-ratio=2 --window=32 --drain-grace=200)
+
+# Golden: uninterrupted.
+"$SERVE" "${COMMON[@]}" >"$DIR/golden.jsonl"
+
+# Interrupted at S = 128 (twice: checkpoint bytes must be canonical).
+"$SERVE" "${COMMON[@]}" --max-slots=128 --checkpoint-every=128 \
+         --checkpoint="$DIR/run_a.ckpt" >"$DIR/save.jsonl"
+"$SERVE" "${COMMON[@]}" --max-slots=128 --checkpoint-every=128 \
+         --checkpoint="$DIR/run_b.ckpt" >/dev/null
+cmp -s "$DIR/run_a.ckpt" "$DIR/run_b.ckpt" || {
+  echo "FAIL: two identical runs wrote different checkpoint bytes"
+  exit 1
+}
+
+# Resumed: must emit exactly the golden rows after the snapshot, then the
+# golden summary — byte-identical lines.
+"$SERVE" "${COMMON[@]}" --resume="$DIR/run_a.ckpt" >"$DIR/resumed.jsonl"
+ROWS_BEFORE="$(grep -c '"kind":"window"' "$DIR/save.jsonl")"
+tail -n +"$((ROWS_BEFORE + 1))" "$DIR/golden.jsonl" >"$DIR/golden_tail.jsonl"
+cmp -s "$DIR/golden_tail.jsonl" "$DIR/resumed.jsonl" || {
+  echo "FAIL: resumed run diverged from the uninterrupted run"
+  diff "$DIR/golden_tail.jsonl" "$DIR/resumed.jsonl" | head -20
+  exit 1
+}
+
+# Binary framing: a packed trace serves identically to the text trace.
+"$SERVE" --pack-trace="$DIR/cells.trace" --out="$DIR/cells.btrace" \
+         2>/dev/null
+"$SERVE" --fabric=pps/rr-per-output --trace="$DIR/cells.btrace" \
+         --ports=8 --planes=4 --rate-ratio=2 --window=32 \
+         --drain-grace=200 >"$DIR/binary.jsonl"
+cmp -s "$DIR/golden.jsonl" "$DIR/binary.jsonl" || {
+  echo "FAIL: binary-framed trace produced different service output"
+  exit 1
+}
+
+echo "checkpoint round-trip gate: resume byte-identical, bytes canonical"

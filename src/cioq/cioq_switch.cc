@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/serializer.h"
 #include "sim/error.h"
 
 namespace cioq {
@@ -78,6 +79,38 @@ std::int64_t CioqSwitch::TotalBacklog() const {
     total += static_cast<std::int64_t>(q.size());
   }
   return total;
+}
+
+void CioqSwitch::SaveState(ckpt::Writer& w) const {
+  w.Marker("CIOQ");
+  w.I32(config_.num_ports);
+  w.I32(speedup_);
+  scheduler_->SaveState(w);
+  voqs_.SaveState(w);
+  for (const auto& q : output_queues_) {
+    w.Size(q.size());
+    for (const sim::Cell& cell : q) ckpt::SaveCell(w, cell);
+  }
+  for (sim::Slot s : next_dep_) w.I64(s);
+  w.U64(infeasible_);
+  w.U64(nonmaximal_);
+}
+
+void CioqSwitch::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("CIOQ");
+  SIM_CHECK(r.I32() == config_.num_ports,
+            "CIOQ checkpoint has a different port count");
+  SIM_CHECK(r.I32() == speedup_, "CIOQ checkpoint has a different speedup");
+  scheduler_->LoadState(r);
+  voqs_.LoadState(r);
+  for (auto& q : output_queues_) {
+    q.clear();
+    const std::size_t n = r.Size();
+    for (std::size_t c = 0; c < n; ++c) q.push_back(ckpt::LoadCell(r));
+  }
+  for (sim::Slot& s : next_dep_) s = r.I64();
+  infeasible_ = r.U64();
+  nonmaximal_ = r.U64();
 }
 
 void CioqSwitch::Reset() {

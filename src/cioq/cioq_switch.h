@@ -24,6 +24,11 @@
 #include "sim/cell.h"
 #include "sim/types.h"
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 namespace cioq {
 
 class CioqSwitch {
@@ -62,6 +67,9 @@ class CioqSwitch {
   const Config& config() const { return config_; }
 
   void Reset();
+
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   Config config_;

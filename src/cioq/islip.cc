@@ -1,5 +1,6 @@
 #include "cioq/islip.h"
 
+#include "ckpt/serializer.h"
 #include "sim/error.h"
 
 namespace cioq {
@@ -59,6 +60,30 @@ Matching IslipScheduler::Schedule(const VoqBank& voqs) {
     if (!any) break;
   }
   return matching;
+}
+
+void IslipScheduler::SaveState(ckpt::Writer& w) const {
+  w.Marker("ISLP");
+  w.I32(iterations_);
+  w.I32(num_ports_);
+  for (int p : grant_ptr_) w.I32(p);
+  for (int p : accept_ptr_) w.I32(p);
+}
+
+void IslipScheduler::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("ISLP");
+  SIM_CHECK(r.I32() == iterations_,
+            "iSLIP checkpoint has a different iteration count");
+  SIM_CHECK(r.I32() == num_ports_,
+            "iSLIP checkpoint has a different port count");
+  for (int& p : grant_ptr_) {
+    p = r.I32();
+    SIM_CHECK(p >= 0 && p < num_ports_, "iSLIP grant pointer out of range");
+  }
+  for (int& p : accept_ptr_) {
+    p = r.I32();
+    SIM_CHECK(p >= 0 && p < num_ports_, "iSLIP accept pointer out of range");
+  }
 }
 
 }  // namespace cioq

@@ -30,6 +30,9 @@ class IslipScheduler final : public Scheduler {
     return "islip-i" + std::to_string(iterations_);
   }
 
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
+
  private:
   int iterations_;
   sim::PortId num_ports_ = 0;

@@ -1,5 +1,6 @@
 #include "cioq/voq.h"
 
+#include "ckpt/serializer.h"
 #include "sim/error.h"
 
 namespace cioq {
@@ -49,6 +50,34 @@ void VoqBank::Reset() {
   for (auto& q : queues_) q.clear();
   total_ = 0;
 }
+
+void VoqBank::SaveState(ckpt::Writer& w) const {
+  w.Marker("VOQB");
+  w.I32(num_ports_);
+  for (const auto& q : queues_) {
+    w.Size(q.size());
+    for (const sim::Cell& cell : q) ckpt::SaveCell(w, cell);
+  }
+}
+
+void VoqBank::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("VOQB");
+  SIM_CHECK(r.I32() == num_ports_,
+            "VOQ bank checkpoint has a different port count");
+  total_ = 0;
+  for (auto& q : queues_) {
+    q.clear();
+    const std::size_t n = r.Size();
+    for (std::size_t c = 0; c < n; ++c) q.push_back(ckpt::LoadCell(r));
+    total_ += static_cast<std::int64_t>(n);
+  }
+}
+
+// Stateless schedulers (oldest-first, CCF) inherit these defaults; the
+// marker still lands in the stream so a mismatched scheduler is caught.
+void Scheduler::SaveState(ckpt::Writer& w) const { w.Marker("SCH0"); }
+
+void Scheduler::LoadState(ckpt::Reader& r) { r.ExpectMarker("SCH0"); }
 
 bool IsFeasibleMatching(const VoqBank& voqs, const Matching& matching) {
   const sim::PortId n = voqs.num_ports();

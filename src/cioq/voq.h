@@ -16,6 +16,11 @@
 #include "sim/cell.h"
 #include "sim/types.h"
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 namespace cioq {
 
 class VoqBank {
@@ -35,6 +40,9 @@ class VoqBank {
   sim::PortId num_ports() const { return num_ports_; }
 
   void Reset();
+
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   std::size_t Index(sim::PortId input, sim::PortId output) const {
@@ -59,6 +67,11 @@ class Scheduler {
   virtual void Reset(sim::PortId num_ports) = 0;
   virtual Matching Schedule(const VoqBank& voqs) = 0;
   virtual std::string name() const = 0;
+
+  // Exact-state checkpointing: the default writes/expects a bare marker —
+  // right for stateless schedulers; pointer-carrying ones override both.
+  virtual void SaveState(ckpt::Writer& w) const;
+  virtual void LoadState(ckpt::Reader& r);
 };
 
 // Audits that a matching is feasible (each input and output used at most

@@ -1,0 +1,93 @@
+#include "ckpt/serializer.h"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+
+#include "sim/error.h"
+
+namespace ckpt {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'P', 'S', 'C', 'K', 'P', 'T', '1'};
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  std::uint32_t crc = 0xffffffffu;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(ch)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+void WriteFile(const std::string& path, const Writer& writer) {
+  const std::string& payload = writer.bytes();
+
+  Writer header;
+  header.U32(kFormatVersion);
+  header.U64(payload.size());
+  header.U32(Crc32(payload));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    SIM_CHECK(os.good(), "checkpoint: cannot open " << tmp << " for writing");
+    os.write(kMagic, sizeof(kMagic));
+    os.write(header.bytes().data(),
+             static_cast<std::streamsize>(header.bytes().size()));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    os.flush();
+    SIM_CHECK(os.good(), "checkpoint: short write to " << tmp);
+  }
+  SIM_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+            "checkpoint: cannot rename " << tmp << " to " << path);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SIM_CHECK(is.good(), "checkpoint: cannot open " << path);
+  std::string contents((std::istreambuf_iterator<char>(is)),
+                       std::istreambuf_iterator<char>());
+
+  SIM_CHECK(contents.size() >= sizeof(kMagic) + 4 + 8 + 4,
+            "checkpoint: " << path << " is truncated ("
+                           << contents.size() << " bytes)");
+  SIM_CHECK(std::string_view(contents.data(), sizeof(kMagic)) ==
+                std::string_view(kMagic, sizeof(kMagic)),
+            "checkpoint: " << path << " has wrong magic");
+
+  Reader header(std::string_view(contents).substr(sizeof(kMagic), 16));
+  const std::uint32_t version = header.U32();
+  SIM_CHECK(version == kFormatVersion,
+            "checkpoint: " << path << " has format version " << version
+                           << ", this build reads " << kFormatVersion);
+  const std::uint64_t payload_size = header.U64();
+  const std::uint32_t crc = header.U32();
+
+  const std::size_t header_bytes = sizeof(kMagic) + 16;
+  SIM_CHECK(contents.size() - header_bytes == payload_size,
+            "checkpoint: " << path << " payload is "
+                           << contents.size() - header_bytes
+                           << " bytes, header claims " << payload_size);
+  std::string payload = contents.substr(header_bytes);
+  SIM_CHECK(Crc32(payload) == crc,
+            "checkpoint: " << path << " fails its checksum (corrupted)");
+  return payload;
+}
+
+}  // namespace ckpt

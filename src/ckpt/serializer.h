@@ -1,0 +1,205 @@
+// Exact-state checkpoint serialization: the binary Writer/Reader every
+// checkpointable class in the tree speaks, plus the versioned, checksummed
+// file container the engine stores whole-run snapshots in.
+//
+// The format is deliberately dumb: fixed-width little-endian primitives,
+// doubles as raw IEEE-754 bit patterns (bit_cast, never decimal text), and
+// four-byte section markers in front of every class payload so a corrupted
+// or misaligned stream fails loudly at the first wrong marker instead of
+// silently misinterpreting bytes.  Dumbness is the point — the engine's
+// hard guarantee is that checkpoint-at-S plus restore-and-continue is
+// *byte-identical* to the uninterrupted run for every RunResult field,
+// including Welford accumulator doubles, so serialization must be an exact
+// bijection on state, not a pretty-printed approximation.
+//
+// Canonical bytes: classes holding unordered containers serialize them in
+// sorted key order, so two equal states always produce equal files (the
+// CI round-trip gate diffs checkpoint bytes, not just results).
+//
+// File container (WriteFile / ReadFile):
+//   magic "PPSCKPT1" | u32 version | u64 payload size | u32 CRC-32 | payload
+// ReadFile validates all four and throws sim::SimError on any mismatch —
+// truncation, bit flips, or a version this build does not understand.
+// WriteFile writes to "<path>.tmp" and renames, so a crash mid-write never
+// leaves a plausible-looking half checkpoint behind.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "sim/cell.h"
+#include "sim/error.h"
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace ckpt {
+
+// Bumped whenever the payload layout changes; ReadFile rejects files with
+// any other version (no silent cross-version reinterpretation).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+class Writer {
+ public:
+  void U8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void U32(std::uint32_t v) { AppendLe(v); }
+  void U64(std::uint64_t v) { AppendLe(v); }
+  void I32(std::int32_t v) { AppendLe(static_cast<std::uint32_t>(v)); }
+  void I64(std::int64_t v) { AppendLe(static_cast<std::uint64_t>(v)); }
+  void Size(std::size_t v) { U64(static_cast<std::uint64_t>(v)); }
+  // Doubles travel as raw bit patterns: shortest-round-trip decimal would
+  // survive a round trip too, but raw bits make equality auditable.
+  void Double(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(std::string_view s) {
+    Size(s.size());
+    bytes_.append(s.data(), s.size());
+  }
+  // Four-character section marker; Reader::ExpectMarker checks it.
+  void Marker(const char (&tag)[5]) { bytes_.append(tag, 4); }
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  template <typename T>
+  void AppendLe(T v) {
+    char buf[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+    bytes_.append(buf, sizeof(T));
+  }
+
+  std::string bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t U8() {
+    Need(1);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+  bool Bool() {
+    const std::uint8_t v = U8();
+    SIM_CHECK(v <= 1, "checkpoint: bad bool byte " << int{v});
+    return v != 0;
+  }
+  std::uint32_t U32() { return TakeLe<std::uint32_t>(); }
+  std::uint64_t U64() { return TakeLe<std::uint64_t>(); }
+  std::int32_t I32() { return static_cast<std::int32_t>(U32()); }
+  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+  std::size_t Size() {
+    const std::uint64_t v = U64();
+    SIM_CHECK(v <= bytes_.size() || v <= (std::uint64_t{1} << 48),
+              "checkpoint: implausible size " << v);
+    return static_cast<std::size_t>(v);
+  }
+  double Double() {
+    const std::uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    const std::size_t n = Size();
+    Need(n);
+    std::string s(bytes_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  void ExpectMarker(const char (&tag)[5]) {
+    Need(4);
+    const std::string_view got = bytes_.substr(pos_, 4);
+    SIM_CHECK(got == std::string_view(tag, 4),
+              "checkpoint: expected section '" << tag << "', found '" << got
+                                               << "' at offset " << pos_);
+    pos_ += 4;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  void Need(std::size_t n) {
+    SIM_CHECK(bytes_.size() - pos_ >= n,
+              "checkpoint: truncated stream (need " << n << " bytes at offset "
+                                                    << pos_ << ")");
+  }
+  template <typename T>
+  T TakeLe() {
+    Need(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<std::uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+// CRC-32 (IEEE 802.3 polynomial, reflected) over `data`.
+std::uint32_t Crc32(std::string_view data);
+
+// Wraps the writer's payload in the validated container and writes it
+// atomically (tmp + rename).  Throws sim::SimError on I/O failure.
+void WriteFile(const std::string& path, const Writer& writer);
+
+// Reads and validates a checkpoint container; returns the payload.
+// Throws sim::SimError on missing file, bad magic, unsupported version,
+// truncation, or checksum mismatch.
+std::string ReadFile(const std::string& path);
+
+// --- shared small-object helpers -------------------------------------------
+
+// An Rng stream is its four xoshiro words, exactly.
+inline void SaveRng(Writer& w, const sim::Rng& rng) {
+  for (std::uint64_t word : rng.state()) w.U64(word);
+}
+inline void LoadRng(Reader& r, sim::Rng& rng) {
+  std::array<std::uint64_t, 4> state;
+  for (std::uint64_t& word : state) word = r.U64();
+  rng.set_state(state);
+}
+
+// Full cell metadata, every timestamp included: a checkpointed cell must
+// resume its trajectory mid-switch with nothing re-derived.
+inline void SaveCell(Writer& w, const sim::Cell& c) {
+  w.U64(c.id);
+  w.I32(c.input);
+  w.I32(c.output);
+  w.U64(c.seq);
+  w.I64(c.arrival);
+  w.I32(c.plane);
+  w.I64(c.dispatched);
+  w.I64(c.reached_output);
+  w.I64(c.departure);
+  w.I64(c.tag);
+}
+inline sim::Cell LoadCell(Reader& r) {
+  sim::Cell c;
+  c.id = r.U64();
+  c.input = r.I32();
+  c.output = r.I32();
+  c.seq = r.U64();
+  c.arrival = r.I64();
+  c.plane = r.I32();
+  c.dispatched = r.I64();
+  c.reached_output = r.I64();
+  c.departure = r.I64();
+  c.tag = r.I64();
+  return c;
+}
+
+}  // namespace ckpt

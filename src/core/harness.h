@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,31 @@ class Fabric;
 }  // namespace fabric
 
 namespace core {
+
+// One row of the windowed service mode (RunOptions::window_slots): the
+// run's measurements restricted to the slot interval [from, to), emitted
+// through RunOptions::on_window as soon as the window's last slot
+// completes.  Delay statistics cover the cells *finalized* (both
+// departures known) during the window, so a streaming consumer sees every
+// cell exactly once and the engine's window state stays bounded by the
+// in-flight backlog, never the run length.
+struct WindowRow {
+  std::uint64_t index = 0;  // 0-based window number
+  sim::Slot from = 0;       // first slot of the window
+  sim::Slot to = 0;         // one past the last slot (to - from <= window)
+  std::uint64_t offered = 0;    // cells offered to both switches
+  std::uint64_t finalized = 0;  // relative delays resolved in the window
+  std::uint64_t dropped = 0;    // loss charges reconciled in the window
+  fault::LossBreakdown losses;  // loss-taxonomy delta over the window
+  // Max/ distribution of relative queuing delay among finalized cells.
+  sim::Slot max_relative_delay = 0;
+  sim::OnlineStats relative_delay;
+  // Max over flows of (measured jitter - shadow jitter) among the flow's
+  // cells finalized in this window (the paper's jitter, window-local).
+  sim::Slot max_relative_jitter = 0;
+  std::int64_t backlog = 0;  // measured-switch backlog at window end
+  std::int64_t shadow_backlog = 0;
+};
 
 struct RunOptions {
   // Hard cap on simulated slots (safety against non-draining runs).
@@ -91,6 +117,38 @@ struct RunOptions {
   // Per-failure-epoch RQD ceilings for the auto-audit (see
   // DegradedRqdEpochs below).  Ignored when `auditor` is set.
   std::vector<audit::RqdEpoch> audit_rqd_epochs;
+
+  // --- exact-state checkpoint/restore (ckpt/serializer.h) ---
+  //
+  // With checkpoint_every = E > 0 the engine writes a full-state snapshot
+  // to checkpoint_path (atomically: tmp + rename, each write replacing
+  // the last) after slots E-1, 2E-1, ...  A later run with resume_from
+  // set to that file continues where the snapshot was taken and is
+  // byte-identical to the uninterrupted run for every RunResult field —
+  // Welford accumulator doubles, timelines, loss taxonomy — in both the
+  // serial and the sharded (threads = T) engine.  Both options require a
+  // checkpointable fabric (every fabric/adapters.h adapter) and a
+  // checkpointable traffic source (TrafficSource::checkpointable());
+  // externally attached auditors are not captured and are rejected.
+  sim::Slot checkpoint_every = 0;
+  std::string checkpoint_path;
+  // Resume from this checkpoint before the first slot ("" = fresh run).
+  // The fabric/source/options must match the saving run's configuration;
+  // mismatches fail loudly at load (wrong fabric name, port count,
+  // keep_timeline, window_slots, drain_grace, source identity, ...).
+  std::string resume_from;
+
+  // --- windowed service mode ---
+  //
+  // With window_slots = W > 0 the engine emits a WindowRow through
+  // on_window after slots W-1, 2W-1, ... and a final partial row at run
+  // end, giving per-interval RQD / jitter / loss-taxonomy readings with
+  // memory bounded by the in-flight state (tools/pps_serve streams these
+  // as JSON lines).  The accumulator is part of the checkpointed state,
+  // so a resumed windowed run emits exactly the rows the uninterrupted
+  // run would have emitted after the snapshot.
+  sim::Slot window_slots = 0;
+  std::function<void(const WindowRow&)> on_window;
 };
 
 struct CellRelative {

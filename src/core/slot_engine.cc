@@ -1,13 +1,42 @@
 #include "core/slot_engine.h"
 
 #include <algorithm>
+#include <map>
 #include <optional>
+#include <utility>
 
+#include "ckpt/serializer.h"
 #include "core/shard_pool.h"
 #include "sim/error.h"
 #include "switch/output_queued.h"
 
 namespace core {
+
+namespace {
+
+// The loss taxonomy travels field by field so a future breakdown category
+// forces a conscious format bump instead of a silent reinterpretation.
+void SaveLoss(ckpt::Writer& w, const fault::LossBreakdown& l) {
+  w.U64(l.input_drops);
+  w.U64(l.stranded_cells);
+  w.U64(l.stale_dispatches);
+  w.U64(l.link_drops);
+  w.U64(l.late_arrivals);
+  w.U64(l.buffer_overflows);
+}
+
+fault::LossBreakdown LoadLoss(ckpt::Reader& r) {
+  fault::LossBreakdown l;
+  l.input_drops = r.U64();
+  l.stranded_cells = r.U64();
+  l.stale_dispatches = r.U64();
+  l.link_drops = r.U64();
+  l.late_arrivals = r.U64();
+  l.buffer_overflows = r.U64();
+  return l;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // FaultScheduleApplier
@@ -44,6 +73,21 @@ bool FaultScheduleApplier::ApplyDue(sim::Slot t) {
     fired = true;
   }
   return fired;
+}
+
+void FaultScheduleApplier::SaveState(ckpt::Writer& w) const {
+  w.Marker("FLT0");
+  w.Size(schedule_.events().size());
+  w.Size(cursor_);
+}
+
+void FaultScheduleApplier::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("FLT0");
+  SIM_CHECK(r.Size() == schedule_.events().size(),
+            "checkpoint was taken under a different fault schedule");
+  cursor_ = r.Size();
+  SIM_CHECK(cursor_ <= schedule_.events().size(),
+            "checkpoint fault cursor out of range");
 }
 
 // ---------------------------------------------------------------------------
@@ -97,6 +141,37 @@ std::int64_t ArrivalFeeder::OfferedBurstiness() const {
   return meter_.OutputBurstiness();
 }
 
+void ArrivalFeeder::SaveState(ckpt::Writer& w) const {
+  w.Marker("FDR0");
+  w.I32(num_ports_);
+  w.I64(cutoff_);
+  meter_.SaveState(w);
+  w.U64(next_id_);
+  // Canonical bytes: the per-flow sequence map in sorted key order.
+  std::map<sim::FlowId, std::uint64_t> sorted(seq_.begin(), seq_.end());
+  w.Size(sorted.size());
+  for (const auto& [flow, next] : sorted) {
+    w.U64(flow);
+    w.U64(next);
+  }
+}
+
+void ArrivalFeeder::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("FDR0");
+  SIM_CHECK(r.I32() == num_ports_,
+            "feeder checkpoint has a different port count");
+  SIM_CHECK(r.I64() == cutoff_,
+            "feeder checkpoint has a different source cutoff");
+  meter_.LoadState(r);
+  next_id_ = r.U64();
+  seq_.clear();
+  const std::size_t n = r.Size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const sim::FlowId flow = r.U64();
+    seq_[flow] = r.U64();
+  }
+}
+
 // ---------------------------------------------------------------------------
 // AuditTaps
 
@@ -106,7 +181,12 @@ AuditTaps::AuditTaps(fabric::Fabric& fabric, const RunOptions& options) {
   // Auto-audit needs the cell-conservation ledger to start from zero, so
   // it only engages when the switch is empty at run start (the normal
   // case; reused undrained switches keep their explicit auditor if any).
-  if (aud_ == nullptr && fabric.TotalBacklog() == 0) {
+  // A resumed run is mid-flight by definition — the fabric still looks
+  // empty here because its state loads after stage construction — so the
+  // auto pair stays off (matching the uninterrupted run's contribution of
+  // zero violations; a dirty uninterrupted run would have thrown).
+  if (aud_ == nullptr && fabric.TotalBacklog() == 0 &&
+      options.resume_from.empty()) {
     audit::InvariantAuditor::Options aopts;
     aopts.rqd_upper_bound = options.audit_rqd_upper_bound;
     aopts.rqd_lower_bound = options.audit_rqd_lower_bound;
@@ -194,8 +274,12 @@ void RelativeDelayLedger::MinMax::Add(sim::Slot v) {
 }
 
 RelativeDelayLedger::RelativeDelayLedger(sim::PortId num_ports,
-                                         bool keep_timeline, AuditTaps& taps)
-    : num_ports_(num_ports), keep_timeline_(keep_timeline), taps_(taps) {
+                                         bool keep_timeline, AuditTaps& taps,
+                                         WindowAccumulator* window)
+    : num_ports_(num_ports),
+      keep_timeline_(keep_timeline),
+      taps_(taps),
+      window_(window) {
   measured_rec_.set_num_ports(num_ports);
   shadow_rec_.set_num_ports(num_ports);
 }
@@ -231,6 +315,9 @@ void RelativeDelayLedger::Finalize(sim::CellId id, PendingCell& cell,
       sim::MakeFlowId(cell.input, cell.output, num_ports_);
   jitter_measured_[flow].Add(cell.measured_delay);
   jitter_shadow_[flow].Add(cell.shadow_delay);
+  if (window_ != nullptr && window_->enabled()) {
+    window_->OnFinalized(flow, cell.measured_delay, cell.shadow_delay, rel);
+  }
   pending_.erase(id);
 }
 
@@ -309,6 +396,215 @@ void RelativeDelayLedger::Finish(RunResult& result) {
   }
 }
 
+namespace {
+
+template <typename Map>
+void SaveMinMaxMap(ckpt::Writer& w, const Map& map) {
+  std::map<typename Map::key_type, typename Map::mapped_type> sorted(
+      map.begin(), map.end());
+  w.Size(sorted.size());
+  for (const auto& [flow, mm] : sorted) {
+    w.U64(flow);
+    w.I64(mm.min);
+    w.I64(mm.max);
+    w.Bool(mm.seen);
+  }
+}
+
+template <typename Map>
+void LoadMinMaxMap(ckpt::Reader& r, Map& map) {
+  map.clear();
+  const std::size_t n = r.Size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const sim::FlowId flow = r.U64();
+    auto& mm = map[flow];
+    mm.min = r.I64();
+    mm.max = r.I64();
+    mm.seen = r.Bool();
+  }
+}
+
+}  // namespace
+
+void RelativeDelayLedger::SaveState(ckpt::Writer& w) const {
+  w.Marker("LGR0");
+  w.I32(num_ports_);
+  w.Bool(keep_timeline_);
+  measured_rec_.SaveState(w);
+  shadow_rec_.SaveState(w);
+  // Canonical bytes: unordered maps in sorted key order.
+  std::map<sim::CellId, PendingCell> sorted(pending_.begin(), pending_.end());
+  w.Size(sorted.size());
+  for (const auto& [id, cell] : sorted) {
+    w.U64(id);
+    w.I64(cell.arrival);
+    w.I32(cell.input);
+    w.I32(cell.output);
+    w.I64(cell.measured_delay);
+    w.I64(cell.shadow_delay);
+    w.Bool(cell.inject_dropped);
+  }
+  SaveMinMaxMap(w, jitter_measured_);
+  SaveMinMaxMap(w, jitter_shadow_);
+}
+
+void RelativeDelayLedger::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("LGR0");
+  SIM_CHECK(r.I32() == num_ports_,
+            "ledger checkpoint has a different port count");
+  SIM_CHECK(r.Bool() == keep_timeline_,
+            "ledger checkpoint was taken with a different keep_timeline");
+  measured_rec_.LoadState(r);
+  shadow_rec_.LoadState(r);
+  pending_.clear();
+  const std::size_t n = r.Size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const sim::CellId id = r.U64();
+    PendingCell cell;
+    cell.arrival = r.I64();
+    cell.input = r.I32();
+    cell.output = r.I32();
+    cell.measured_delay = r.I64();
+    cell.shadow_delay = r.I64();
+    cell.inject_dropped = r.Bool();
+    pending_.emplace(id, cell);
+  }
+  LoadMinMaxMap(r, jitter_measured_);
+  LoadMinMaxMap(r, jitter_shadow_);
+}
+
+// ---------------------------------------------------------------------------
+// WindowAccumulator
+
+WindowAccumulator::WindowAccumulator(
+    sim::Slot window_slots, std::function<void(const WindowRow&)> emit)
+    : window_slots_(window_slots), emit_(std::move(emit)) {
+  SIM_CHECK(window_slots_ >= 0, "window_slots must be >= 0");
+}
+
+void WindowAccumulator::OnFinalized(sim::FlowId flow,
+                                    sim::Slot measured_delay,
+                                    sim::Slot shadow_delay,
+                                    sim::Slot relative_delay) {
+  ++finalized_;
+  relative_delay_.Add(relative_delay);
+  max_relative_delay_ = std::max(max_relative_delay_, relative_delay);
+  auto [it, inserted] = flow_extremes_.try_emplace(
+      flow, FlowExtremes{measured_delay, measured_delay, shadow_delay,
+                         shadow_delay});
+  if (!inserted) {
+    FlowExtremes& fe = it->second;
+    fe.measured_min = std::min(fe.measured_min, measured_delay);
+    fe.measured_max = std::max(fe.measured_max, measured_delay);
+    fe.shadow_min = std::min(fe.shadow_min, shadow_delay);
+    fe.shadow_max = std::max(fe.shadow_max, shadow_delay);
+  }
+}
+
+void WindowAccumulator::EmitRow(sim::Slot end, const RunResult& result,
+                                const fault::LossBreakdown& cum_losses,
+                                std::int64_t backlog,
+                                std::int64_t shadow_backlog) {
+  WindowRow row;
+  row.index = index_;
+  row.from = window_start_;
+  row.to = end;
+  row.offered = result.cells - prev_cells_;
+  row.finalized = finalized_;
+  row.dropped = result.dropped - prev_dropped_;
+  row.losses = cum_losses - prev_losses_;
+  row.max_relative_delay = max_relative_delay_;
+  row.relative_delay = relative_delay_;
+  for (const auto& [flow, fe] : flow_extremes_) {
+    const sim::Slot measured_jitter = fe.measured_max - fe.measured_min;
+    const sim::Slot shadow_jitter = fe.shadow_max - fe.shadow_min;
+    row.max_relative_jitter =
+        std::max(row.max_relative_jitter, measured_jitter - shadow_jitter);
+  }
+  row.backlog = backlog;
+  row.shadow_backlog = shadow_backlog;
+  if (emit_) emit_(row);
+  ++index_;
+  window_start_ = end;
+  prev_cells_ = result.cells;
+  prev_dropped_ = result.dropped;
+  prev_losses_ = cum_losses;
+  finalized_ = 0;
+  max_relative_delay_ = 0;
+  relative_delay_ = {};
+  flow_extremes_.clear();
+}
+
+void WindowAccumulator::OnSlotEnd(sim::Slot t, const RunResult& result,
+                                  const fault::LossBreakdown& cum_losses,
+                                  std::int64_t backlog,
+                                  std::int64_t shadow_backlog) {
+  if (!enabled()) return;
+  if ((t + 1) % window_slots_ != 0) return;
+  EmitRow(t + 1, result, cum_losses, backlog, shadow_backlog);
+}
+
+void WindowAccumulator::Finish(sim::Slot end, const RunResult& result,
+                               const fault::LossBreakdown& cum_losses,
+                               std::int64_t backlog,
+                               std::int64_t shadow_backlog) {
+  if (!enabled()) return;
+  // A final partial window, plus any end-of-run reconciliation (sweeps
+  // after the last full window charge drops with no slot of their own).
+  if (end > window_start_ || finalized_ > 0 ||
+      result.cells != prev_cells_ || result.dropped != prev_dropped_) {
+    EmitRow(end, result, cum_losses, backlog, shadow_backlog);
+  }
+}
+
+void WindowAccumulator::SaveState(ckpt::Writer& w) const {
+  w.Marker("WIN0");
+  w.I64(window_slots_);
+  w.U64(index_);
+  w.I64(window_start_);
+  w.U64(prev_cells_);
+  w.U64(prev_dropped_);
+  SaveLoss(w, prev_losses_);
+  w.U64(finalized_);
+  w.I64(max_relative_delay_);
+  relative_delay_.SaveState(w);
+  std::map<sim::FlowId, FlowExtremes> sorted(flow_extremes_.begin(),
+                                             flow_extremes_.end());
+  w.Size(sorted.size());
+  for (const auto& [flow, fe] : sorted) {
+    w.U64(flow);
+    w.I64(fe.measured_min);
+    w.I64(fe.measured_max);
+    w.I64(fe.shadow_min);
+    w.I64(fe.shadow_max);
+  }
+}
+
+void WindowAccumulator::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("WIN0");
+  SIM_CHECK(r.I64() == window_slots_,
+            "checkpoint was taken with a different window_slots");
+  index_ = r.U64();
+  window_start_ = r.I64();
+  prev_cells_ = r.U64();
+  prev_dropped_ = r.U64();
+  prev_losses_ = LoadLoss(r);
+  finalized_ = r.U64();
+  max_relative_delay_ = r.I64();
+  relative_delay_.LoadState(r);
+  flow_extremes_.clear();
+  const std::size_t n = r.Size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const sim::FlowId flow = r.U64();
+    FlowExtremes fe;
+    fe.measured_min = r.I64();
+    fe.measured_max = r.I64();
+    fe.shadow_min = r.I64();
+    fe.shadow_max = r.I64();
+    flow_extremes_.emplace(flow, fe);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // DrainController
 
@@ -319,8 +615,138 @@ bool DrainController::ShouldStop(sim::Slot t, bool all_drained) const {
          sim::SlotDifference(t, exhausted_at_) >= drain_grace_;
 }
 
+void DrainController::SaveState(ckpt::Writer& w) const {
+  w.Marker("DRN0");
+  w.I64(drain_grace_);
+  w.I64(exhausted_at_);
+}
+
+void DrainController::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("DRN0");
+  SIM_CHECK(r.I64() == drain_grace_,
+            "drain checkpoint has a different drain_grace");
+  exhausted_at_ = r.I64();
+}
+
 // ---------------------------------------------------------------------------
 // SlotEngine
+
+namespace {
+
+// Everything the run loop cannot re-derive at a slot boundary, in one
+// fixed section order.  The engine header pins the run's identity (fabric
+// name, geometry, the options that shape the loop); each stage then saves
+// its own marker-prefixed payload, so any drift between the saving and
+// the resuming configuration fails at the first wrong marker or check.
+void WriteCheckpoint(const RunOptions& options, fabric::Fabric& fabric,
+                     const pps::OutputQueuedSwitch& shadow,
+                     const traffic::TrafficSource& source,
+                     const FaultScheduleApplier& faults,
+                     const ArrivalFeeder& feeder,
+                     const RelativeDelayLedger& ledger,
+                     const DrainController& drain,
+                     const WindowAccumulator& window, const RunResult& result,
+                     const fault::LossBreakdown& losses_base,
+                     sim::Slot next_slot, bool stopping) {
+  ckpt::Writer w;
+  w.Marker("ENG0");
+  w.Str(fabric.name());
+  w.I32(fabric.num_ports());
+  w.I64(next_slot);
+  w.Bool(stopping);
+  SaveLoss(w, losses_base);
+  // The partial RunResult: the fields the loop accumulates in place
+  // (everything else is recomputed at Finish from restored stage state).
+  w.Marker("RES0");
+  w.U64(result.cells);
+  w.U64(result.dropped);
+  w.I64(result.max_relative_delay);
+  result.relative_delay.SaveState(w);
+  w.Bool(options.keep_timeline);
+  w.Size(result.timeline.size());
+  for (const CellRelative& c : result.timeline) {
+    w.I64(c.arrival);
+    w.I64(c.relative_delay);
+    w.I32(c.input);
+    w.I32(c.output);
+  }
+  w.Marker("FAB0");
+  fabric.SaveState(w);
+  w.Marker("SHD0");
+  shadow.SaveState(w);
+  w.Marker("SRC0");
+  source.SaveState(w);
+  feeder.SaveState(w);
+  ledger.SaveState(w);
+  drain.SaveState(w);
+  faults.SaveState(w);
+  w.Bool(window.enabled());
+  if (window.enabled()) window.SaveState(w);
+  ckpt::WriteFile(options.checkpoint_path, w);
+}
+
+// Returns next_slot; sets `stopping` when the saving run stopped in the
+// checkpointed slot (the resumed run then skips the loop entirely).
+sim::Slot LoadCheckpoint(const RunOptions& options, fabric::Fabric& fabric,
+                         pps::OutputQueuedSwitch& shadow,
+                         traffic::TrafficSource& source,
+                         FaultScheduleApplier& faults, ArrivalFeeder& feeder,
+                         RelativeDelayLedger& ledger, DrainController& drain,
+                         WindowAccumulator& window, RunResult& result,
+                         fault::LossBreakdown& losses_base, bool& stopping) {
+  const std::string payload = ckpt::ReadFile(options.resume_from);
+  ckpt::Reader r(payload);
+  r.ExpectMarker("ENG0");
+  const std::string saved_name = r.Str();
+  SIM_CHECK(saved_name == fabric.name(),
+            "checkpoint was taken on fabric '"
+                << saved_name << "', resuming on '" << fabric.name() << "'");
+  SIM_CHECK(r.I32() == fabric.num_ports(),
+            "checkpoint has a different port count");
+  // max_slots is deliberately NOT pinned: resuming an interrupted run
+  // with a larger slot budget is the normal use (the saving run's budget
+  // was what got it interrupted).
+  const sim::Slot next_slot = r.I64();
+  stopping = r.Bool();
+  losses_base = LoadLoss(r);
+  r.ExpectMarker("RES0");
+  result.cells = r.U64();
+  result.dropped = r.U64();
+  result.max_relative_delay = r.I64();
+  result.relative_delay.LoadState(r);
+  SIM_CHECK(r.Bool() == options.keep_timeline,
+            "checkpoint was taken with a different keep_timeline");
+  result.timeline.clear();
+  const std::size_t timeline_size = r.Size();
+  result.timeline.reserve(timeline_size);
+  for (std::size_t i = 0; i < timeline_size; ++i) {
+    CellRelative c;
+    c.arrival = r.I64();
+    c.relative_delay = r.I64();
+    c.input = r.I32();
+    c.output = r.I32();
+    result.timeline.push_back(c);
+  }
+  r.ExpectMarker("FAB0");
+  fabric.LoadState(r);
+  r.ExpectMarker("SHD0");
+  shadow.LoadState(r);
+  r.ExpectMarker("SRC0");
+  source.LoadState(r);
+  feeder.LoadState(r);
+  ledger.LoadState(r);
+  drain.LoadState(r);
+  faults.LoadState(r);
+  const bool saved_window = r.Bool();
+  SIM_CHECK(saved_window == window.enabled(),
+            "checkpoint was taken with a different window_slots");
+  if (saved_window) window.LoadState(r);
+  SIM_CHECK(r.AtEnd(),
+            "checkpoint has " << r.remaining() << " trailing bytes");
+  return next_slot;
+}
+
+}  // namespace
 
 RunResult SlotEngine::Run(fabric::Fabric& fabric,
                           traffic::TrafficSource& source,
@@ -331,15 +757,50 @@ RunResult SlotEngine::Run(fabric::Fabric& fabric,
 
   RunResult result;
 
+  const bool checkpointing = options.checkpoint_every > 0;
+  const bool resuming = !options.resume_from.empty();
+  if (checkpointing) {
+    SIM_CHECK(!options.checkpoint_path.empty(),
+              "checkpoint_every needs a checkpoint_path");
+  }
+  if (checkpointing || resuming) {
+    SIM_CHECK(fabric.checkpointable(),
+              "fabric '" << fabric.name()
+                         << "' does not support exact-state checkpointing");
+    SIM_CHECK(source.checkpointable(),
+              "this traffic source does not support exact-state "
+              "checkpointing (TrafficSource::checkpointable)");
+    // An externally attached auditor has observation state the checkpoint
+    // does not capture; restoring around it would silently desynchronize
+    // its ledgers.  The PPS_AUDIT auto pair is handled (suppressed on
+    // resume), so audited builds still checkpoint fine.
+    SIM_CHECK(options.auditor == nullptr,
+              "an externally attached auditor cannot be checkpointed");
+  }
+
   FaultScheduleApplier faults(fabric, options);
   ArrivalFeeder feeder(source, n, options.source_cutoff);
   AuditTaps taps(fabric, options);
-  RelativeDelayLedger ledger(n, options.keep_timeline, taps);
+  WindowAccumulator window(options.window_slots, options.on_window);
+  RelativeDelayLedger ledger(n, options.keep_timeline, taps, &window);
   DrainController drain(options.drain_grace);
 
-  const fault::LossBreakdown losses_base = fabric.losses();
+  fault::LossBreakdown losses_base = fabric.losses();
+  sim::Slot start_slot = 0;
+  bool resumed_stopping = false;
+  if (resuming) {
+    // Stage construction above armed link-fault windows and (in audited
+    // builds) would have armed the auto-audit pair; LoadCheckpoint runs
+    // after it so the fabric's restored injector replaces the re-armed
+    // windows wholesale and the restored state is the checkpoint's, bit
+    // for bit.
+    start_slot =
+        LoadCheckpoint(options, fabric, shadow, source, faults, feeder,
+                       ledger, drain, window, result, losses_base,
+                       resumed_stopping);
+  }
   const std::uint64_t lost_base = losses_base.total();
-  std::uint64_t known_lost = lost_base;
+  std::uint64_t known_lost = fabric.losses().total();
 
   // Sharded hot path: one worker pool for the whole run, engaged only
   // when the caller asked for lanes and the fabric guarantees that its
@@ -351,8 +812,8 @@ RunResult SlotEngine::Run(fabric::Fabric& fabric,
   if (options.threads > 1 && fabric.shardable()) pool.emplace(options.threads);
   const bool sharded = pool.has_value() && pool->parallel();
 
-  sim::Slot t = 0;
-  for (; t < options.max_slots; ++t) {
+  sim::Slot t = start_slot;
+  for (; !resumed_stopping && t < options.max_slots; ++t) {
     // Apply this slot's plane fail/recover events before arrivals, so the
     // fabric's ground truth (and, modulo the visibility lag, the
     // demultiplexors' beliefs) is up to date when dispatch decisions run.
@@ -424,10 +885,22 @@ RunResult SlotEngine::Run(fabric::Fabric& fabric,
       ledger.SweepLossLeaks(result);
     }
 
+    if (window.enabled()) {
+      window.OnSlotEnd(t, result, fabric.losses() - losses_base,
+                       fabric.TotalBacklog(), shadow.TotalBacklog());
+    }
+
     if (!drain.exhausted() && feeder.ExhaustedAfter(t)) {
       drain.NoteExhausted(t + 1);
     }
-    if (drain.ShouldStop(t, fabric.Drained() && shadow.Drained())) {
+    const bool stop =
+        drain.ShouldStop(t, fabric.Drained() && shadow.Drained());
+    if (checkpointing && (t + 1) % options.checkpoint_every == 0) {
+      WriteCheckpoint(options, fabric, shadow, source, faults, feeder,
+                      ledger, drain, window, result, losses_base, t + 1,
+                      stop);
+    }
+    if (stop) {
       ++t;
       break;
     }
@@ -440,9 +913,11 @@ RunResult SlotEngine::Run(fabric::Fabric& fabric,
   result.losses = fabric.losses() - losses_base;
   result.traffic_burstiness = feeder.OfferedBurstiness();
   result.resequencing_stalls = fabric.resequencing_stalls();
+  window.Finish(t, result, result.losses, fabric.TotalBacklog(),
+                shadow.TotalBacklog());
   ledger.Finish(result);
-  taps.Finish(result, t, fabric.TotalBacklog(), known_lost - lost_base,
-              shadow.TotalBacklog());
+  taps.Finish(result, t, fabric.TotalBacklog(),
+              fabric.losses().total() - lost_base, shadow.TotalBacklog());
   return result;
 }
 

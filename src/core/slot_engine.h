@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -44,6 +45,11 @@
 #include <optional>
 #endif
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 namespace core {
 
 // Applies the run's effective fault timeline to the fabric: the legacy
@@ -60,6 +66,13 @@ class FaultScheduleApplier {
   // any fired (the caller re-reads the loss ledger: failing a plane
   // strands its queued cells).
   bool ApplyDue(sim::Slot t);
+
+  // Exact-state checkpointing: the event cursor.  The LinkDrop windows
+  // this applier armed at construction live inside the fabric's injector
+  // and are replaced wholesale by the fabric's own LoadState, so a
+  // resumed run never ends up with doubled windows.
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   fabric::Fabric& fabric_;
@@ -86,6 +99,9 @@ class ArrivalFeeder {
 
   // Exact minimal burstiness B of the traffic offered so far.
   std::int64_t OfferedBurstiness() const;
+
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   traffic::TrafficSource& source_;
@@ -129,6 +145,66 @@ class AuditTaps {
 #endif
 };
 
+// Accumulates the windowed service mode's per-interval rows
+// (RunOptions::window_slots / on_window; see WindowRow in harness.h).
+// Counter-style fields come from deltas of the run-level accumulators at
+// window boundaries; delay statistics come from the per-finalization hook
+// the ledger calls.  Disabled (window_slots = 0) it is a no-op.
+class WindowAccumulator {
+ public:
+  WindowAccumulator(sim::Slot window_slots,
+                    std::function<void(const WindowRow&)> emit);
+
+  bool enabled() const { return window_slots_ > 0; }
+
+  // A cell's relative delay was finalized (ledger hook).
+  void OnFinalized(sim::FlowId flow, sim::Slot measured_delay,
+                   sim::Slot shadow_delay, sim::Slot relative_delay);
+
+  // End of slot t: emits the current window's row when t is its last
+  // slot.  `cum_losses` is the run's loss delta so far (fabric minus
+  // base).
+  void OnSlotEnd(sim::Slot t, const RunResult& result,
+                 const fault::LossBreakdown& cum_losses,
+                 std::int64_t backlog, std::int64_t shadow_backlog);
+
+  // Run end: emits the final partial window if it saw any slots or any
+  // late reconciliation activity.
+  void Finish(sim::Slot end, const RunResult& result,
+              const fault::LossBreakdown& cum_losses, std::int64_t backlog,
+              std::int64_t shadow_backlog);
+
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
+
+ private:
+  // Window-local per-flow delay extremes for the jitter column.
+  struct FlowExtremes {
+    sim::Slot measured_min = 0;
+    sim::Slot measured_max = 0;
+    sim::Slot shadow_min = 0;
+    sim::Slot shadow_max = 0;
+  };
+
+  void EmitRow(sim::Slot end, const RunResult& result,
+               const fault::LossBreakdown& cum_losses, std::int64_t backlog,
+               std::int64_t shadow_backlog);
+
+  sim::Slot window_slots_;
+  std::function<void(const WindowRow&)> emit_;
+  std::uint64_t index_ = 0;
+  sim::Slot window_start_ = 0;
+  // Run-level accumulator values at the last emitted boundary.
+  std::uint64_t prev_cells_ = 0;
+  std::uint64_t prev_dropped_ = 0;
+  fault::LossBreakdown prev_losses_;
+  // Window-local delay accumulators.
+  std::uint64_t finalized_ = 0;
+  sim::Slot max_relative_delay_ = 0;
+  sim::OnlineStats relative_delay_;
+  std::unordered_map<sim::FlowId, FlowExtremes> flow_extremes_;
+};
+
 // Tracks every cell in flight in at least one of the two switches and
 // finalizes its relative delay once both departures are known.  Entries
 // are erased as soon as possible — synchronously for inject drops, and by
@@ -138,7 +214,7 @@ class AuditTaps {
 class RelativeDelayLedger {
  public:
   RelativeDelayLedger(sim::PortId num_ports, bool keep_timeline,
-                      AuditTaps& taps);
+                      AuditTaps& taps, WindowAccumulator* window = nullptr);
 
   // A cell offered to both switches this slot.
   void Track(const sim::Cell& cell);
@@ -164,6 +240,9 @@ class RelativeDelayLedger {
   // stats, order preservation, max relative jitter, timeline sort.
   void Finish(RunResult& result);
 
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
+
  private:
   // Per-flow min/max tracker for jitter computation.
   struct MinMax {
@@ -188,6 +267,7 @@ class RelativeDelayLedger {
   sim::PortId num_ports_;
   bool keep_timeline_;
   AuditTaps& taps_;
+  WindowAccumulator* window_;
   sim::LatencyRecorder measured_rec_;
   sim::LatencyRecorder shadow_rec_;
   std::unordered_map<sim::CellId, PendingCell> pending_;
@@ -210,6 +290,9 @@ class DrainController {
 
   // True when the loop should stop after slot t.
   bool ShouldStop(sim::Slot t, bool all_drained) const;
+
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   sim::Slot drain_grace_;

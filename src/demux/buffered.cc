@@ -1,5 +1,7 @@
 #include "demux/buffered.h"
 
+#include "ckpt/serializer.h"
+
 #include <algorithm>
 
 #include "sim/error.h"
@@ -202,6 +204,109 @@ pps::BufferedDemuxFactory MakeRequestGrantFactory(int u) {
   return [core, u](sim::PortId) -> std::unique_ptr<pps::BufferedDemultiplexor> {
     return std::make_unique<RequestGrantDemux>(core, u);
   };
+}
+
+void BufferedRoundRobinDemux::SaveState(ckpt::Writer& w) const {
+  w.Marker("DXBR");
+  w.Size(pointer_.size());
+  for (int p : pointer_) w.I32(p);
+}
+
+void BufferedRoundRobinDemux::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("DXBR");
+  SIM_CHECK(r.Size() == pointer_.size(),
+            "buffered-rr checkpoint has a different port count");
+  for (int& p : pointer_) p = r.I32();
+}
+
+void CpaEmulationCore::SaveState(ckpt::Writer& w) const {
+  w.Marker("CPEC");
+  w.Size(next_dep_.size());
+  for (sim::Slot d : next_dep_) w.I64(d);
+  bookings_->SaveState(w);
+}
+
+void CpaEmulationCore::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("CPEC");
+  SIM_CHECK(r.Size() == next_dep_.size(),
+            "CPA-emulation checkpoint has a different port count");
+  for (sim::Slot& d : next_dep_) d = r.I64();
+  bookings_->LoadState(r);
+}
+
+void CpaEmulationDemux::SaveState(ckpt::Writer& w) const {
+  w.Marker("DXCE");
+  if (input_ == 0) core_->SaveState(w);
+  std::vector<sim::CellId> keys;
+  keys.reserve(plans_.size());
+  for (const auto& [id, plan] : plans_) keys.push_back(id);
+  std::sort(keys.begin(), keys.end());
+  w.Size(keys.size());
+  for (sim::CellId id : keys) {
+    const CpaEmulationCore::Plan& plan = plans_.at(id);
+    w.U64(id);
+    w.I64(plan.launch);
+    w.I64(plan.booked);
+  }
+}
+
+void CpaEmulationDemux::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("DXCE");
+  if (input_ == 0) core_->LoadState(r);
+  plans_.clear();
+  const std::size_t n = r.Size();
+  plans_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const sim::CellId id = r.U64();
+    CpaEmulationCore::Plan plan;
+    plan.launch = r.I64();
+    plan.booked = r.I64();
+    plans_.emplace(id, plan);
+  }
+}
+
+void ArbiterCore::SaveState(ckpt::Writer& w) const {
+  w.Marker("ARBC");
+  w.Size(rr_.size());
+  for (int p : rr_) w.I32(p);
+  std::vector<sim::CellId> keys;
+  keys.reserve(grants_.size());
+  for (const auto& [id, g] : grants_) keys.push_back(id);
+  std::sort(keys.begin(), keys.end());
+  w.Size(keys.size());
+  for (sim::CellId id : keys) {
+    const Grant& g = grants_.at(id);
+    w.U64(id);
+    w.I64(g.visible_at);
+    w.I32(g.plane);
+  }
+}
+
+void ArbiterCore::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("ARBC");
+  SIM_CHECK(r.Size() == rr_.size(),
+            "arbiter checkpoint has a different port count");
+  for (int& p : rr_) p = r.I32();
+  grants_.clear();
+  const std::size_t n = r.Size();
+  grants_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const sim::CellId id = r.U64();
+    Grant g;
+    g.visible_at = r.I64();
+    g.plane = r.I32();
+    grants_.emplace(id, g);
+  }
+}
+
+void RequestGrantDemux::SaveState(ckpt::Writer& w) const {
+  w.Marker("DXRG");
+  if (input_ == 0) core_->SaveState(w);
+}
+
+void RequestGrantDemux::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("DXRG");
+  if (input_ == 0) core_->LoadState(r);
 }
 
 }  // namespace demux

@@ -43,6 +43,8 @@ class BufferedRoundRobinDemux final : public pps::BufferedDemultiplexor {
     return std::make_unique<BufferedRoundRobinDemux>(*this);
   }
   std::string name() const override { return "buffered-rr"; }
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
 
  private:
   int num_planes_ = 0;
@@ -73,6 +75,9 @@ class CpaEmulationCore {
   void EndOfSlot(sim::Slot now);
   int u() const { return u_; }
 
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
+
  private:
   pps::SwitchConfig config_;
   int u_ = 0;
@@ -102,6 +107,11 @@ class CpaEmulationDemux final : public pps::BufferedDemultiplexor {
     return "cpa-emulation-u" + std::to_string(u_);
   }
 
+  // Shared core serializes once, through the input-0 facade; every facade
+  // serializes its own pending-plan map.
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
+
  private:
   std::shared_ptr<CpaEmulationCore> core_;
   int u_;
@@ -128,6 +138,9 @@ class ArbiterCore {
   sim::PlaneId GrantFor(sim::CellId cell, sim::Slot now) const;
 
   void Forget(sim::CellId cell);
+
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   struct Grant {
@@ -160,6 +173,10 @@ class RequestGrantDemux final : public pps::BufferedDemultiplexor {
   std::string name() const override {
     return "request-grant-u" + std::to_string(u_);
   }
+
+  // Shared arbiter serializes once, through the input-0 facade.
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
 
  private:
   std::shared_ptr<ArbiterCore> core_;

@@ -1,5 +1,7 @@
 #include "demux/cpa.h"
 
+#include "ckpt/serializer.h"
+
 #include <algorithm>
 
 #include "sim/error.h"
@@ -66,6 +68,33 @@ pps::DemuxFactory MakeCpaFactory() {
   return [core](sim::PortId) -> std::unique_ptr<pps::Demultiplexor> {
     return std::make_unique<CpaDemux>(core);
   };
+}
+
+void CpaCore::SaveState(ckpt::Writer& w) const {
+  w.Marker("CPAC");
+  w.Size(next_dep_.size());
+  for (sim::Slot d : next_dep_) w.I64(d);
+  bookings_->SaveState(w);
+  w.I32(rotate_);
+}
+
+void CpaCore::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("CPAC");
+  SIM_CHECK(r.Size() == next_dep_.size(),
+            "CPA checkpoint has a different port count");
+  for (sim::Slot& d : next_dep_) d = r.I64();
+  bookings_->LoadState(r);
+  rotate_ = r.I32();
+}
+
+void CpaDemux::SaveState(ckpt::Writer& w) const {
+  w.Marker("DXCP");
+  if (input_ == 0) core_->SaveState(w);
+}
+
+void CpaDemux::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("DXCP");
+  if (input_ == 0) core_->LoadState(r);
 }
 
 }  // namespace demux

@@ -47,6 +47,9 @@ class CpaCore {
 
   void EndOfSlot(sim::Slot now);
 
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
+
  private:
   pps::SwitchConfig config_;
   std::vector<sim::Slot> next_dep_;                 // per output
@@ -75,6 +78,11 @@ class CpaDemux final : public pps::Demultiplexor {
     return std::make_unique<CpaDemux>(core_);
   }
   std::string name() const override { return "cpa"; }
+
+  // The shared core serializes once, through the input-0 facade; the
+  // other facades contribute only a marker.
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
 
  private:
   std::shared_ptr<CpaCore> core_;

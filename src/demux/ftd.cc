@@ -1,5 +1,7 @@
 #include "demux/ftd.h"
 
+#include "ckpt/serializer.h"
+
 #include <algorithm>
 
 #include "sim/error.h"
@@ -53,6 +55,41 @@ pps::DispatchDecision FtdDemux::Dispatch(const sim::Cell& cell,
     fs.cells_in_block = 0;
   }
   return {static_cast<sim::PlaneId>(fallback), sim::kNoSlot};
+}
+
+
+void FtdDemux::SaveState(ckpt::Writer& w) const {
+  w.Marker("DXFT");
+  w.U64(block_violations_);
+  std::vector<sim::PortId> keys;
+  keys.reserve(flows_.size());
+  for (const auto& [output, fs] : flows_) keys.push_back(output);
+  std::sort(keys.begin(), keys.end());
+  w.Size(keys.size());
+  for (sim::PortId output : keys) {
+    const FlowState& fs = flows_.at(output);
+    w.I32(output);
+    w.Size(fs.used.size());
+    for (bool u : fs.used) w.Bool(u);
+    w.I32(fs.cells_in_block);
+    w.I32(fs.next);
+  }
+}
+
+void FtdDemux::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("DXFT");
+  block_violations_ = r.U64();
+  flows_.clear();
+  const std::size_t n = r.Size();
+  flows_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const sim::PortId output = r.I32();
+    FlowState& fs = flows_[output];
+    fs.used.assign(r.Size(), false);
+    for (std::size_t k = 0; k < fs.used.size(); ++k) fs.used[k] = r.Bool();
+    fs.cells_in_block = r.I32();
+    fs.next = r.I32();
+  }
 }
 
 }  // namespace demux

@@ -46,6 +46,9 @@ class FtdDemux final : public pps::Demultiplexor {
   // for the offered traffic.
   std::uint64_t block_violations() const { return block_violations_; }
 
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
+
  private:
   struct FlowState {
     std::vector<bool> used;  // planes used in the current block

@@ -1,5 +1,7 @@
 #include "demux/hash.h"
 
+#include "ckpt/serializer.h"
+
 #include "demux/round_robin.h"
 
 namespace demux {
@@ -31,6 +33,17 @@ pps::DispatchDecision HashDemux::Dispatch(const sim::Cell& cell,
       (h + counter_) % static_cast<std::uint64_t>(num_planes_));
   ++counter_;
   return {FirstFreePlane(ctx, start), sim::kNoSlot};
+}
+
+
+void HashDemux::SaveState(ckpt::Writer& w) const {
+  w.Marker("DXHA");
+  w.U64(counter_);
+}
+
+void HashDemux::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("DXHA");
+  counter_ = r.U64();
 }
 
 }  // namespace demux

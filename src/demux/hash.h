@@ -26,6 +26,8 @@ class HashDemux final : public pps::Demultiplexor {
     return std::make_unique<HashDemux>(*this);
   }
   std::string name() const override { return "hash"; }
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
 
  private:
   std::uint64_t salt_;

@@ -1,5 +1,7 @@
 #include "demux/random.h"
 
+#include "ckpt/serializer.h"
+
 #include "sim/error.h"
 
 namespace demux {
@@ -26,6 +28,17 @@ pps::DispatchDecision RandomDemux::Dispatch(const sim::Cell& cell,
   }
   SIM_CHECK(false, "unreachable");
   return {};
+}
+
+
+void RandomDemux::SaveState(ckpt::Writer& w) const {
+  w.Marker("DXRD");
+  ckpt::SaveRng(w, rng_);
+}
+
+void RandomDemux::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("DXRD");
+  ckpt::LoadRng(r, rng_);
 }
 
 }  // namespace demux

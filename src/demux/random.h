@@ -34,6 +34,8 @@ class RandomDemux final : public pps::Demultiplexor {
     return std::make_unique<RandomDemux>(*this);
   }
   std::string name() const override { return "random"; }
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
 
  private:
   std::uint64_t seed_;

@@ -1,5 +1,7 @@
 #include "demux/round_robin.h"
 
+#include "ckpt/serializer.h"
+
 #include "sim/error.h"
 
 namespace demux {
@@ -47,6 +49,30 @@ pps::DispatchDecision PerOutputRoundRobinDemux::Dispatch(
   if (k == sim::kNoPlane) return {sim::kNoPlane, sim::kNoSlot};
   p = (static_cast<int>(k) + 1) % num_planes_;
   return {k, sim::kNoSlot};
+}
+
+
+void RoundRobinDemux::SaveState(ckpt::Writer& w) const {
+  w.Marker("DXRR");
+  w.I32(pointer_);
+}
+
+void RoundRobinDemux::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("DXRR");
+  pointer_ = r.I32();
+}
+
+void PerOutputRoundRobinDemux::SaveState(ckpt::Writer& w) const {
+  w.Marker("DXRO");
+  w.Size(pointer_.size());
+  for (int p : pointer_) w.I32(p);
+}
+
+void PerOutputRoundRobinDemux::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("DXRO");
+  SIM_CHECK(r.Size() == pointer_.size(),
+            "round-robin checkpoint has a different port count");
+  for (int& p : pointer_) p = r.I32();
 }
 
 }  // namespace demux

@@ -37,6 +37,8 @@ class RoundRobinDemux final : public pps::Demultiplexor {
     return std::make_unique<RoundRobinDemux>(*this);
   }
   std::string name() const override { return "rr"; }
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
 
  private:
   int num_planes_ = 0;
@@ -55,6 +57,8 @@ class PerOutputRoundRobinDemux final : public pps::Demultiplexor {
     return std::make_unique<PerOutputRoundRobinDemux>(*this);
   }
   std::string name() const override { return "rr-per-output"; }
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
 
  private:
   int num_planes_ = 0;

@@ -1,5 +1,7 @@
 #include "demux/stale_jsq.h"
 
+#include "ckpt/serializer.h"
+
 #include <algorithm>
 
 #include "sim/error.h"
@@ -52,6 +54,31 @@ void StaleJsqDemux::OnSlotEnd(sim::Slot now) {
                                  return r.slot <= horizon;
                                }),
                 recent_.end());
+}
+
+
+void StaleJsqDemux::SaveState(ckpt::Writer& w) const {
+  w.Marker("DXSJ");
+  w.Size(recent_.size());
+  for (const Recent& rec : recent_) {
+    w.I64(rec.slot);
+    w.I32(rec.plane);
+    w.I32(rec.output);
+  }
+}
+
+void StaleJsqDemux::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("DXSJ");
+  recent_.clear();
+  const std::size_t n = r.Size();
+  recent_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Recent rec;
+    rec.slot = r.I64();
+    rec.plane = r.I32();
+    rec.output = r.I32();
+    recent_.push_back(rec);
+  }
 }
 
 }  // namespace demux

@@ -42,6 +42,9 @@ class StaleJsqDemux final : public pps::Demultiplexor {
     return "stale-jsq-u" + std::to_string(u_);
   }
 
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
+
  private:
   struct Recent {
     sim::Slot slot;

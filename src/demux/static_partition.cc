@@ -1,5 +1,7 @@
 #include "demux/static_partition.h"
 
+#include "ckpt/serializer.h"
+
 #include "sim/error.h"
 
 namespace demux {
@@ -42,6 +44,19 @@ pps::DispatchDecision StaticPartitionDemux::Dispatch(
   // design drops the cell — exactly the fragility the paper's
   // fault-tolerance argument (Section 3) points at.
   return {sim::kNoPlane, sim::kNoSlot};
+}
+
+
+void StaticPartitionDemux::SaveState(ckpt::Writer& w) const {
+  w.Marker("DXSP");
+  w.Size(pointer_);
+}
+
+void StaticPartitionDemux::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("DXSP");
+  pointer_ = r.Size();
+  SIM_CHECK(planes_.empty() || pointer_ < planes_.size(),
+            "static-partition checkpoint pointer out of range");
 }
 
 }  // namespace demux

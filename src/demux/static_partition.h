@@ -46,6 +46,9 @@ class StaticPartitionDemux final : public pps::Demultiplexor {
 
   const std::vector<sim::PlaneId>& planes() const { return planes_; }
 
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
+
  private:
   int d_;
   std::vector<sim::PlaneId> planes_;

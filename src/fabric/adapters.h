@@ -71,6 +71,10 @@ class BufferlessPpsFabric final : public Fabric {
     return sw_->resequencing_stalls();
   }
 
+  bool checkpointable() const override { return true; }
+  void SaveState(ckpt::Writer& w) const override { sw_->SaveState(w); }
+  void LoadState(ckpt::Reader& r) override { sw_->LoadState(r); }
+
   pps::BufferlessPps& underlying() { return *sw_; }
   const pps::BufferlessPps& underlying() const { return *sw_; }
 
@@ -136,6 +140,10 @@ class InputBufferedPpsFabric final : public Fabric {
     return sw_->resequencing_stalls();
   }
 
+  bool checkpointable() const override { return true; }
+  void SaveState(ckpt::Writer& w) const override { sw_->SaveState(w); }
+  void LoadState(ckpt::Reader& r) override { sw_->LoadState(r); }
+
   pps::InputBufferedPps& underlying() { return *sw_; }
   const pps::InputBufferedPps& underlying() const { return *sw_; }
 
@@ -175,6 +183,10 @@ class CioqFabric final : public Fabric {
     sw_->RecoverPlane(k, at);
   }
 
+  bool checkpointable() const override { return true; }
+  void SaveState(ckpt::Writer& w) const override { sw_->SaveState(w); }
+  void LoadState(ckpt::Reader& r) override { sw_->LoadState(r); }
+
   cioq::CioqSwitch& underlying() { return *sw_; }
   const cioq::CioqSwitch& underlying() const { return *sw_; }
 
@@ -210,6 +222,10 @@ class OutputQueuedFabric final : public Fabric {
             .work_conserving = true};
   }
 
+  bool checkpointable() const override { return true; }
+  void SaveState(ckpt::Writer& w) const override { sw_->SaveState(w); }
+  void LoadState(ckpt::Reader& r) override { sw_->LoadState(r); }
+
   pps::OutputQueuedSwitch& underlying() { return *sw_; }
   const pps::OutputQueuedSwitch& underlying() const { return *sw_; }
 
@@ -243,6 +259,10 @@ class RateLimitedOqFabric final : public Fabric {
             .lossless = true,
             .work_conserving = false};
   }
+
+  bool checkpointable() const override { return true; }
+  void SaveState(ckpt::Writer& w) const override { sw_->SaveState(w); }
+  void LoadState(ckpt::Reader& r) override { sw_->LoadState(r); }
 
   pps::RateLimitedOqSwitch& underlying() { return *sw_; }
   const pps::RateLimitedOqSwitch& underlying() const { return *sw_; }

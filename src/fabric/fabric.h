@@ -33,6 +33,11 @@
 #include "sim/cell.h"
 #include "sim/types.h"
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 namespace core {
 class ShardPool;
 }  // namespace core
@@ -149,6 +154,16 @@ class Fabric {
   // Cells currently held back by an output resequencer waiting for an
   // earlier sequence number; 0 for fabrics that never resequence.
   virtual std::uint64_t resequencing_stalls() const { return 0; }
+
+  // --- exact-state checkpointing (ckpt/) ---
+
+  // True iff this fabric implements SaveState/LoadState.  Every adapter in
+  // adapters.h does; the default is the conservative answer for
+  // out-of-tree fabrics, and the defaults below throw sim::SimError so a
+  // stale override set is caught loudly, not by silent state loss.
+  virtual bool checkpointable() const { return false; }
+  virtual void SaveState(ckpt::Writer& w) const;
+  virtual void LoadState(ckpt::Reader& r);
 
   // --- identification ---
 

@@ -12,6 +12,17 @@
 #include "sim/error.h"
 
 namespace fabric {
+
+void Fabric::SaveState(ckpt::Writer&) const {
+  SIM_CHECK(false, "fabric '" << name()
+                              << "' does not implement checkpointing");
+}
+
+void Fabric::LoadState(ckpt::Reader&) {
+  SIM_CHECK(false, "fabric '" << name()
+                              << "' does not implement checkpointing");
+}
+
 namespace {
 
 // Default per-input buffer for "buffered-pps/..." when the caller's

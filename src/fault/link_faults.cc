@@ -1,5 +1,6 @@
 #include "fault/link_faults.h"
 
+#include "ckpt/serializer.h"
 #include "sim/error.h"
 
 namespace fault {
@@ -36,6 +37,36 @@ bool LinkFaultInjector::Dropped(sim::PortId input, sim::PlaneId plane,
     }
   }
   return dropped;
+}
+
+void LinkFaultInjector::SaveState(ckpt::Writer& w) const {
+  w.Marker("LFLT");
+  w.Size(windows_.size());
+  for (const Window& win : windows_) {
+    w.I32(win.input);
+    w.I32(win.plane);
+    w.Double(win.probability);
+    w.I64(win.from);
+    w.I64(win.until);
+  }
+  ckpt::SaveRng(w, rng_);
+}
+
+void LinkFaultInjector::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("LFLT");
+  windows_.clear();
+  const std::size_t n = r.Size();
+  windows_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Window win;
+    win.input = r.I32();
+    win.plane = r.I32();
+    win.probability = r.Double();
+    win.from = r.I64();
+    win.until = r.I64();
+    windows_.push_back(win);
+  }
+  ckpt::LoadRng(r, rng_);
 }
 
 }  // namespace fault

@@ -14,6 +14,11 @@
 #include "sim/rng.h"
 #include "sim/types.h"
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 namespace fault {
 
 class LinkFaultInjector {
@@ -40,6 +45,13 @@ class LinkFaultInjector {
   bool Active(sim::Slot t) const;
 
   void Clear() { windows_.clear(); }
+
+  // Exact-state checkpointing.  LoadState REPLACES the armed windows and
+  // the fault RNG wholesale, so a resume harness that re-armed windows
+  // from the schedule before restoring ends up with exactly the
+  // checkpointed state (no duplicates).
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   struct Window {

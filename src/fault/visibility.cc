@@ -1,5 +1,6 @@
 #include "fault/visibility.h"
 
+#include "ckpt/serializer.h"
 #include "sim/error.h"
 
 namespace fault {
@@ -81,6 +82,37 @@ void PlaneVisibility::Reset() {
     state.base_down = false;
     state.transitions.clear();
   }
+}
+
+void PlaneVisibility::SaveState(ckpt::Writer& w) const {
+  w.Marker("PVIS");
+  w.Size(planes_.size());
+  for (const PlaneState& state : planes_) {
+    w.Bool(state.base_down);
+    w.Size(state.transitions.size());
+    for (const Transition& tr : state.transitions) {
+      w.I64(tr.at);
+      w.Bool(tr.down);
+    }
+  }
+  w.I64(lag_);
+}
+
+void PlaneVisibility::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("PVIS");
+  planes_.assign(r.Size(), PlaneState{});
+  for (PlaneState& state : planes_) {
+    state.base_down = r.Bool();
+    const std::size_t n = r.Size();
+    state.transitions.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Transition tr;
+      tr.at = r.I64();
+      tr.down = r.Bool();
+      state.transitions.push_back(tr);
+    }
+  }
+  lag_ = r.I64();
 }
 
 }  // namespace fault

@@ -15,6 +15,11 @@
 
 #include "sim/types.h"
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 namespace fault {
 
 class PlaneVisibility {
@@ -45,6 +50,10 @@ class PlaneVisibility {
 
   // Forget all transitions and mark every plane up (keeps the lag).
   void Reset();
+
+  // Exact-state checkpointing: replaces the transition history and lag.
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   struct Transition {

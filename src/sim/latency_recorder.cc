@@ -1,7 +1,9 @@
 #include "sim/latency_recorder.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "ckpt/serializer.h"
 #include "sim/error.h"
 
 namespace sim {
@@ -61,6 +63,65 @@ void LatencyRecorder::Reset() {
   flows_.clear();
   per_cell_.clear();
   order_preserved_ = true;
+}
+
+void LatencyRecorder::SaveState(ckpt::Writer& w) const {
+  w.Marker("LREC");
+  delay_stats_.SaveState(w);
+  std::vector<FlowId> flow_keys;
+  flow_keys.reserve(flows_.size());
+  for (const auto& [flow, fr] : flows_) flow_keys.push_back(flow);
+  std::sort(flow_keys.begin(), flow_keys.end());
+  w.Size(flow_keys.size());
+  for (FlowId flow : flow_keys) {
+    const FlowRecord& fr = flows_.at(flow);
+    w.U64(flow);
+    w.I64(fr.min_delay);
+    w.I64(fr.max_delay);
+    w.U64(fr.cells);
+    w.U64(fr.last_seq);
+    w.I64(fr.last_departure);
+  }
+  std::vector<CellId> cell_keys;
+  cell_keys.reserve(per_cell_.size());
+  for (const auto& [id, d] : per_cell_) cell_keys.push_back(id);
+  std::sort(cell_keys.begin(), cell_keys.end());
+  w.Size(cell_keys.size());
+  for (CellId id : cell_keys) {
+    w.U64(id);
+    w.I64(per_cell_.at(id));
+  }
+  w.Bool(keep_per_cell_);
+  w.Bool(order_preserved_);
+  w.I32(num_ports_hint_);
+}
+
+void LatencyRecorder::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("LREC");
+  delay_stats_.LoadState(r);
+  flows_.clear();
+  const std::size_t num_flows = r.Size();
+  flows_.reserve(num_flows);
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    const FlowId flow = r.U64();
+    FlowRecord fr;
+    fr.min_delay = r.I64();
+    fr.max_delay = r.I64();
+    fr.cells = r.U64();
+    fr.last_seq = r.U64();
+    fr.last_departure = r.I64();
+    flows_.emplace(flow, fr);
+  }
+  per_cell_.clear();
+  const std::size_t num_cells = r.Size();
+  per_cell_.reserve(num_cells);
+  for (std::size_t i = 0; i < num_cells; ++i) {
+    const CellId id = r.U64();
+    per_cell_.emplace(id, r.I64());
+  }
+  keep_per_cell_ = r.Bool();
+  order_preserved_ = r.Bool();
+  num_ports_hint_ = r.I32();
 }
 
 }  // namespace sim

@@ -16,6 +16,11 @@
 #include "sim/stats.h"
 #include "sim/types.h"
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 namespace sim {
 
 class LatencyRecorder {
@@ -48,6 +53,11 @@ class LatencyRecorder {
   bool order_preserved() const { return order_preserved_; }
 
   void Reset();
+
+  // Exact-state checkpointing (ckpt/): flow and per-cell maps serialize
+  // in sorted key order so equal states produce identical bytes.
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   struct FlowRecord {

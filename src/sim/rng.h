@@ -44,6 +44,13 @@ class Rng {
   // stream so adding ports does not perturb existing ones.
   Rng Fork(std::uint64_t salt);
 
+  // Raw generator state, for exact-state checkpointing (ckpt/): restoring
+  // the four words resumes the stream at precisely the next draw.
+  const std::array<std::uint64_t, 4>& state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    state_ = state;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

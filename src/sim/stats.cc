@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "ckpt/serializer.h"
 #include "sim/error.h"
 
 namespace sim {
@@ -41,6 +42,26 @@ void OnlineStats::Merge(const OnlineStats& other) {
 }
 
 void OnlineStats::Reset() { *this = OnlineStats{}; }
+
+void OnlineStats::SaveState(ckpt::Writer& w) const {
+  w.Marker("STAT");
+  w.Size(count_);
+  w.Double(mean_);
+  w.Double(m2_);
+  w.I64(min_);
+  w.I64(max_);
+  w.I64(sum_);
+}
+
+void OnlineStats::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("STAT");
+  count_ = r.Size();
+  mean_ = r.Double();
+  m2_ = r.Double();
+  min_ = r.I64();
+  max_ = r.I64();
+  sum_ = r.I64();
+}
 
 double OnlineStats::variance() const {
   if (count_ < 2) return 0.0;

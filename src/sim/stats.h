@@ -12,6 +12,11 @@
 #include <string>
 #include <vector>
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 namespace sim {
 
 // Welford online mean/variance with min/max, for 64-bit integer samples.
@@ -37,6 +42,11 @@ class OnlineStats {
   std::int64_t sum() const { return sum_; }
 
   std::string ToString() const;
+
+  // Exact-state checkpointing: the accumulator doubles travel as raw bit
+  // patterns, so a restored stream continues bit-identically.
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   std::size_t count_ = 0;

@@ -68,4 +68,18 @@ constexpr Slot SlotPlus(Slot s, std::int64_t delta) {
   return s + delta;
 }
 
+// Overflow-checked variant of SlotPlus for untrusted or long-horizon
+// inputs (e.g. traffic::Trace::Append shifting a trace by a caller-chosen
+// offset): returns false — instead of wrapping, which is UB — when the sum
+// overflows Slot or lands on the kNoSlot sentinel.  On success stores the
+// sum in *out.
+constexpr bool CheckedSlotPlus(Slot s, std::int64_t delta, Slot* out) {
+  if (!IsSlot(s)) return false;
+  Slot sum = 0;
+  if (__builtin_add_overflow(s, delta, &sum)) return false;
+  if (!IsSlot(sum)) return false;
+  *out = sum;
+  return true;
+}
+
 }  // namespace sim

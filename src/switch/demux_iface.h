@@ -29,6 +29,11 @@
 #include "switch/config.h"
 #include "switch/snapshot.h"
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 namespace pps {
 
 enum class InfoModel {
@@ -99,6 +104,12 @@ class Demultiplexor {
 
   virtual std::unique_ptr<Demultiplexor> Clone() const = 0;
   virtual std::string name() const = 0;
+
+  // Exact-state checkpointing (ckpt/).  The default writes/expects a bare
+  // marker — correct only for algorithms whose whole state is config-
+  // derived; every stateful demultiplexor must override both.
+  virtual void SaveState(ckpt::Writer& w) const;
+  virtual void LoadState(ckpt::Reader& r);
 };
 
 // Factory producing the demultiplexor for input port i.
@@ -144,6 +155,10 @@ class BufferedDemultiplexor {
 
   virtual std::unique_ptr<BufferedDemultiplexor> Clone() const = 0;
   virtual std::string name() const = 0;
+
+  // Same contract as Demultiplexor::SaveState/LoadState.
+  virtual void SaveState(ckpt::Writer& w) const;
+  virtual void LoadState(ckpt::Reader& r);
 };
 
 using BufferedDemuxFactory =

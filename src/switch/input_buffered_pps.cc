@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/serializer.h"
 #include "core/shard_pool.h"
 #include "sim/error.h"
 
@@ -421,6 +422,56 @@ std::uint64_t InputBufferedPps::reseq_late_losses() const {
   std::uint64_t total = 0;
   for (const OutputMux& mux : muxes_) total += mux.late_drops();
   return total;
+}
+
+void InputBufferedPps::SaveState(ckpt::Writer& w) const {
+  w.Marker("IBPP");
+  for (const auto& inc : incoming_) {
+    SIM_CHECK(!inc.has_value(),
+              "checkpoint mid-slot: an injected cell is still undecided");
+  }
+  for (const auto& d : demux_) d->SaveState(w);
+  for (const Plane& plane : planes_) plane.SaveState(w);
+  for (const OutputMux& mux : muxes_) mux.SaveState(w);
+  in_links_.SaveState(w);
+  ring_.SaveState(w);
+  for (const auto& buffer : buffers_) {
+    w.Size(buffer.size());
+    for (const sim::Cell& cell : buffer) ckpt::SaveCell(w, cell);
+  }
+  w.Size(failed_.size());
+  for (bool f : failed_) w.Bool(f);
+  visibility_.SaveState(w);
+  link_faults_.SaveState(w);
+  w.U64(buffer_overflows_);
+  w.U64(failed_plane_losses_);
+  w.U64(stale_dispatch_losses_);
+  w.U64(link_drop_losses_);
+}
+
+void InputBufferedPps::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("IBPP");
+  for (auto& d : demux_) d->LoadState(r);
+  for (Plane& plane : planes_) plane.LoadState(r);
+  for (OutputMux& mux : muxes_) mux.LoadState(r);
+  in_links_.LoadState(r);
+  ring_.LoadState(r);
+  for (auto& buffer : buffers_) {
+    buffer.clear();
+    const std::size_t n = r.Size();
+    buffer.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) buffer.push_back(ckpt::LoadCell(r));
+  }
+  for (auto& inc : incoming_) inc.reset();
+  SIM_CHECK(r.Size() == failed_.size(),
+            "fabric checkpoint has a different plane count");
+  for (std::size_t k = 0; k < failed_.size(); ++k) failed_[k] = r.Bool();
+  visibility_.LoadState(r);
+  link_faults_.LoadState(r);
+  buffer_overflows_ = r.U64();
+  failed_plane_losses_ = r.U64();
+  stale_dispatch_losses_ = r.U64();
+  link_drop_losses_ = r.U64();
 }
 
 void InputBufferedPps::Reset() {

@@ -110,6 +110,11 @@ class InputBufferedPps {
 
   void Reset();
 
+  // Exact-state checkpointing (ckpt/).  Must be called at a slot boundary:
+  // SaveState refuses to run with an undecided incoming cell pending.
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
+
  private:
   const GlobalSnapshot* GlobalViewFor(const BufferedDemultiplexor& d,
                                       sim::Slot t) const;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "ckpt/serializer.h"
+
 namespace pps {
 
 LinkBank::LinkBank(int rows, int cols, int rate_ratio)
@@ -34,6 +36,23 @@ void LinkBank::Reset() {
   std::fill(next_free_.begin(), next_free_.end(),
             std::numeric_limits<sim::Slot>::min() / 2);
   violations_ = 0;
+}
+
+void LinkBank::SaveState(ckpt::Writer& w) const {
+  w.Marker("LBNK");
+  w.I32(rows_);
+  w.I32(cols_);
+  w.I32(rate_ratio_);
+  for (sim::Slot s : next_free_) w.I64(s);
+  w.U64(violations_);
+}
+
+void LinkBank::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("LBNK");
+  SIM_CHECK(r.I32() == rows_ && r.I32() == cols_ && r.I32() == rate_ratio_,
+            "link bank checkpoint has a different shape");
+  for (sim::Slot& s : next_free_) s = r.I64();
+  violations_ = r.U64();
 }
 
 ReservationBank::ReservationBank(int rows, int cols, int rate_ratio)
@@ -78,6 +97,34 @@ std::size_t ReservationBank::pending() const {
   std::size_t n = 0;
   for (const auto& slots : reserved_) n += slots.size();
   return n;
+}
+
+void ReservationBank::SaveState(ckpt::Writer& w) const {
+  w.Marker("RBNK");
+  w.I32(rows_);
+  w.I32(cols_);
+  w.I32(rate_ratio_);
+  for (const auto& slots : reserved_) {
+    w.Size(slots.size());
+    for (const auto& [slot, flag] : slots) {
+      w.I64(slot);
+      w.Bool(flag);
+    }
+  }
+}
+
+void ReservationBank::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("RBNK");
+  SIM_CHECK(r.I32() == rows_ && r.I32() == cols_ && r.I32() == rate_ratio_,
+            "reservation bank checkpoint has a different shape");
+  for (auto& slots : reserved_) {
+    slots.clear();
+    const std::size_t n = r.Size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const sim::Slot slot = r.I64();
+      slots.emplace(slot, r.Bool());
+    }
+  }
 }
 
 }  // namespace pps

@@ -17,6 +17,11 @@
 #include "sim/error.h"
 #include "sim/types.h"
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 namespace pps {
 
 class LinkBank {
@@ -47,6 +52,9 @@ class LinkBank {
   std::uint64_t violations() const { return violations_; }
 
   void Reset();
+
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   std::size_t Index(int row, int col) const {
@@ -84,6 +92,9 @@ class ReservationBank {
   void Clear();
 
   std::size_t pending() const;
+
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   std::size_t Index(int row, int col) const {

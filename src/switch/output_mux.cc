@@ -1,7 +1,9 @@
 #include "switch/output_mux.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "ckpt/serializer.h"
 #include "sim/error.h"
 
 namespace pps {
@@ -145,6 +147,98 @@ void OutputMux::Reset() {
   seq_gaps_closed_ = 0;
   late_drops_ = 0;
   stall_streak_ = 0;
+}
+
+void OutputMux::SaveState(ckpt::Writer& w) const {
+  w.Marker("OMUX");
+  w.I32(output_);
+  w.I32(num_ports_);
+  w.U8(static_cast<std::uint8_t>(policy_));
+  w.I32(reseq_timeout_);
+  w.I64(total_staged_);
+  // FIFO live region only; the head index re-zeroes on load.
+  w.Size(fifo_.size() - fifo_head_);
+  for (std::size_t i = fifo_head_; i < fifo_.size(); ++i) {
+    ckpt::SaveCell(w, fifo_[i]);
+  }
+  std::vector<sim::FlowId> flow_keys;
+  flow_keys.reserve(flows_.size());
+  for (const auto& [flow, fs] : flows_) flow_keys.push_back(flow);
+  std::sort(flow_keys.begin(), flow_keys.end());
+  w.Size(flow_keys.size());
+  for (sim::FlowId flow : flow_keys) {
+    const FlowState& fs = flows_.at(flow);
+    w.U64(flow);
+    w.U64(fs.next_seq);
+    w.Size(fs.staged.size());
+    for (const auto& [seq, cell] : fs.staged) {
+      w.U64(seq);
+      ckpt::SaveCell(w, cell);
+    }
+  }
+  // The heap's array layout depends on insertion history, so serialize the
+  // entries sorted and rebuild; the heap order itself is total on
+  // (arrival, id), so departure order is unaffected.
+  std::vector<EligibleHead> heads = eligible_;
+  std::sort(heads.begin(), heads.end(),
+            [](const EligibleHead& a, const EligibleHead& b) {
+              return a.id < b.id;
+            });
+  w.Size(heads.size());
+  for (const EligibleHead& h : heads) {
+    w.I64(h.arrival);
+    w.U64(h.id);
+    w.U64(h.flow);
+  }
+  w.U64(stalls_);
+  w.U64(timeouts_);
+  w.U64(seq_gaps_closed_);
+  w.U64(late_drops_);
+  w.I32(stall_streak_);
+}
+
+void OutputMux::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("OMUX");
+  SIM_CHECK(r.I32() == output_ && r.I32() == num_ports_,
+            "output mux checkpoint has a different shape");
+  SIM_CHECK(r.U8() == static_cast<std::uint8_t>(policy_) &&
+                r.I32() == reseq_timeout_,
+            "output mux checkpoint has a different policy");
+  total_staged_ = r.I64();
+  fifo_.clear();
+  fifo_head_ = 0;
+  const std::size_t staged = r.Size();
+  fifo_.reserve(staged);
+  for (std::size_t i = 0; i < staged; ++i) fifo_.push_back(ckpt::LoadCell(r));
+  flows_.clear();
+  const std::size_t num_flows = r.Size();
+  flows_.reserve(num_flows);
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    const sim::FlowId flow = r.U64();
+    FlowState& fs = flows_[flow];
+    fs.next_seq = r.U64();
+    const std::size_t cells = r.Size();
+    for (std::size_t c = 0; c < cells; ++c) {
+      const std::uint64_t seq = r.U64();
+      fs.staged.emplace(seq, ckpt::LoadCell(r));
+    }
+  }
+  eligible_.clear();
+  const std::size_t heads = r.Size();
+  eligible_.reserve(heads);
+  for (std::size_t i = 0; i < heads; ++i) {
+    EligibleHead h;
+    h.arrival = r.I64();
+    h.id = r.U64();
+    h.flow = r.U64();
+    eligible_.push_back(h);
+    std::push_heap(eligible_.begin(), eligible_.end(), kLaterHead);
+  }
+  stalls_ = r.U64();
+  timeouts_ = r.U64();
+  seq_gaps_closed_ = r.U64();
+  late_drops_ = r.U64();
+  stall_streak_ = r.I32();
 }
 
 }  // namespace pps

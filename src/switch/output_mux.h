@@ -44,6 +44,11 @@
 #include "sim/types.h"
 #include "switch/config.h"
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 namespace pps {
 
 class OutputMux {
@@ -78,6 +83,12 @@ class OutputMux {
   std::uint64_t late_drops() const { return late_drops_; }
 
   void Reset();
+
+  // Exact-state checkpointing.  The FIFO serializes its live region only
+  // (head index re-zeroed on load); the per-flow map serializes sorted by
+  // FlowId so equal states produce identical bytes.
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   // Per-flow resequencing state (kOldestCellReseq).  `staged` holds the

@@ -1,5 +1,6 @@
 #include "switch/output_queued.h"
 
+#include "ckpt/serializer.h"
 #include "sim/error.h"
 
 namespace pps {
@@ -39,6 +40,28 @@ std::int64_t OutputQueuedSwitch::TotalBacklog() const {
   std::int64_t total = 0;
   for (const auto& q : queues_) total += static_cast<std::int64_t>(q.size());
   return total;
+}
+
+void OutputQueuedSwitch::SaveState(ckpt::Writer& w) const {
+  w.Marker("OQSW");
+  w.I32(num_ports_);
+  for (const auto& q : queues_) {
+    w.Size(q.size());
+    for (const sim::Cell& cell : q) ckpt::SaveCell(w, cell);
+  }
+  w.U64(idle_violations_);
+}
+
+void OutputQueuedSwitch::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("OQSW");
+  SIM_CHECK(r.I32() == num_ports_,
+            "shadow switch checkpoint has a different port count");
+  for (auto& q : queues_) {
+    q.clear();
+    const std::size_t n = r.Size();
+    for (std::size_t i = 0; i < n; ++i) q.push_back(ckpt::LoadCell(r));
+  }
+  idle_violations_ = r.U64();
 }
 
 void OutputQueuedSwitch::Reset() {

@@ -20,6 +20,11 @@
 #include "sim/cell.h"
 #include "sim/types.h"
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 namespace pps {
 
 class OutputQueuedSwitch {
@@ -49,6 +54,9 @@ class OutputQueuedSwitch {
   sim::PortId num_ports() const { return num_ports_; }
 
   void Reset();
+
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   sim::PortId num_ports_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/serializer.h"
 #include "sim/error.h"
 
 namespace pps {
@@ -133,6 +134,74 @@ void Plane::Reset() {
   bookings_.Clear();
   std::fill(backlog_.begin(), backlog_.end(), 0);
   out_links_.Reset();
+}
+
+void Plane::SaveState(ckpt::Writer& w) const {
+  w.Marker("PLN0");
+  w.I32(id_);
+  w.I32(num_ports_);
+  w.I32(rate_ratio_);
+  w.U8(static_cast<std::uint8_t>(scheduling_));
+  out_links_.SaveState(w);
+  for (const auto& q : queues_) {
+    w.Size(q.size());
+    for (const sim::Cell& cell : q) ckpt::SaveCell(w, cell);
+  }
+  // Booked calendar: ring size + the non-vacant buckets sorted by slot.
+  w.Size(calendar_.size());
+  std::vector<const CalendarBucket*> booked;
+  for (const CalendarBucket& bucket : calendar_) {
+    if (bucket.slot != sim::kNoSlot) booked.push_back(&bucket);
+  }
+  std::sort(booked.begin(), booked.end(),
+            [](const CalendarBucket* a, const CalendarBucket* b) {
+              return a->slot < b->slot;
+            });
+  w.Size(booked.size());
+  for (const CalendarBucket* bucket : booked) {
+    w.I64(bucket->slot);
+    w.Size(bucket->cells.size());
+    for (const sim::Cell& cell : bucket->cells) ckpt::SaveCell(w, cell);
+  }
+  bookings_.SaveState(w);
+  for (std::int64_t b : backlog_) w.I64(b);
+}
+
+void Plane::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("PLN0");
+  SIM_CHECK(r.I32() == id_ && r.I32() == num_ports_ && r.I32() == rate_ratio_,
+            "plane checkpoint has a different shape");
+  SIM_CHECK(r.U8() == static_cast<std::uint8_t>(scheduling_),
+            "plane checkpoint has a different scheduling mode");
+  out_links_.LoadState(r);
+  for (auto& q : queues_) {
+    q.clear();
+    const std::size_t n = r.Size();
+    for (std::size_t i = 0; i < n; ++i) q.push_back(ckpt::LoadCell(r));
+  }
+  const std::size_t ring = r.Size();
+  SIM_CHECK(ring == 0 || (ring & (ring - 1)) == 0,
+            "plane checkpoint calendar size is not a power of two");
+  calendar_.assign(ring, CalendarBucket{});
+  calendar_mask_ = ring == 0 ? 0 : ring - 1;
+  calendar_pending_ = 0;
+  const std::size_t buckets = r.Size();
+  for (std::size_t i = 0; i < buckets; ++i) {
+    const sim::Slot slot = r.I64();
+    CalendarBucket& bucket =
+        calendar_[static_cast<std::size_t>(slot) & calendar_mask_];
+    SIM_CHECK(bucket.slot == sim::kNoSlot,
+              "plane checkpoint calendar buckets collide");
+    bucket.slot = slot;
+    const std::size_t cells = r.Size();
+    bucket.cells.reserve(cells);
+    for (std::size_t c = 0; c < cells; ++c) {
+      bucket.cells.push_back(ckpt::LoadCell(r));
+    }
+    calendar_pending_ += static_cast<std::int64_t>(cells);
+  }
+  bookings_.LoadState(r);
+  for (std::int64_t& b : backlog_) b = r.I64();
 }
 
 }  // namespace pps

@@ -29,6 +29,11 @@
 #include "switch/config.h"
 #include "switch/link.h"
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 namespace pps {
 
 class Plane {
@@ -65,6 +70,12 @@ class Plane {
   PlaneScheduling scheduling() const { return scheduling_; }
 
   void Reset();
+
+  // Exact-state checkpointing.  The booked calendar serializes only its
+  // non-vacant buckets (sorted by booked slot) plus the ring size, so the
+  // restored ring is bucket-for-bucket identical.
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   // One calendar-ring bucket: the cells booked for delivery at `slot`

@@ -2,10 +2,23 @@
 
 #include <algorithm>
 
+#include "ckpt/serializer.h"
 #include "core/shard_pool.h"
 #include "sim/error.h"
 
 namespace pps {
+
+void Demultiplexor::SaveState(ckpt::Writer& w) const { w.Marker("DMXD"); }
+
+void Demultiplexor::LoadState(ckpt::Reader& r) { r.ExpectMarker("DMXD"); }
+
+void BufferedDemultiplexor::SaveState(ckpt::Writer& w) const {
+  w.Marker("DMXB");
+}
+
+void BufferedDemultiplexor::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("DMXB");
+}
 
 const char* ToString(InfoModel m) {
   switch (m) {
@@ -462,6 +475,57 @@ std::uint64_t BufferlessPps::reseq_late_losses() const {
   std::uint64_t total = 0;
   for (const OutputMux& mux : muxes_) total += mux.late_drops();
   return total;
+}
+
+void BufferlessPps::SaveState(ckpt::Writer& w) const {
+  w.Marker("BPPS");
+  SIM_CHECK(!log_.enabled() || log_.events().empty(),
+            "checkpointing with a non-empty event log is not supported "
+            "(the log is diagnostic state and is not serialized)");
+  for (const auto& d : demux_) d->SaveState(w);
+  for (const Plane& plane : planes_) plane.SaveState(w);
+  for (const OutputMux& mux : muxes_) mux.SaveState(w);
+  in_links_.SaveState(w);
+  ring_.SaveState(w);
+  w.Size(dispatch_count_.size());
+  for (std::uint64_t c : dispatch_count_) w.U64(c);
+  w.I32(last_inject_input_);
+  w.I64(last_inject_slot_);
+  w.Size(failed_.size());
+  for (bool f : failed_) w.Bool(f);
+  visibility_.SaveState(w);
+  link_faults_.SaveState(w);
+  w.U64(input_drops_);
+  w.U64(failed_plane_losses_);
+  w.U64(stale_dispatch_losses_);
+  w.U64(link_drop_losses_);
+  w.I64(max_plane_backlog_);
+  w.I64(max_output_backlog_);
+}
+
+void BufferlessPps::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("BPPS");
+  for (auto& d : demux_) d->LoadState(r);
+  for (Plane& plane : planes_) plane.LoadState(r);
+  for (OutputMux& mux : muxes_) mux.LoadState(r);
+  in_links_.LoadState(r);
+  ring_.LoadState(r);
+  SIM_CHECK(r.Size() == dispatch_count_.size(),
+            "fabric checkpoint has a different plane count");
+  for (std::uint64_t& c : dispatch_count_) c = r.U64();
+  last_inject_input_ = r.I32();
+  last_inject_slot_ = r.I64();
+  SIM_CHECK(r.Size() == failed_.size(),
+            "fabric checkpoint has a different plane count");
+  for (std::size_t k = 0; k < failed_.size(); ++k) failed_[k] = r.Bool();
+  visibility_.LoadState(r);
+  link_faults_.LoadState(r);
+  input_drops_ = r.U64();
+  failed_plane_losses_ = r.U64();
+  stale_dispatch_losses_ = r.U64();
+  link_drop_losses_ = r.U64();
+  max_plane_backlog_ = r.I64();
+  max_output_backlog_ = r.I64();
 }
 
 void BufferlessPps::Reset() {

@@ -158,6 +158,13 @@ class BufferlessPps {
 
   void Reset();
 
+  // Exact-state checkpointing (ckpt/): serializes every demultiplexor,
+  // plane, output mux, link bank, the snapshot ring, fault state and all
+  // loss counters.  The event log is diagnostic and not serialized;
+  // SaveState refuses to run with a non-empty log armed.
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
+
  private:
   const GlobalSnapshot* GlobalViewFor(const Demultiplexor& d, sim::Slot t) const;
   // Fills `snap` in place (resize keeps capacity, so recycled snapshots

@@ -1,5 +1,6 @@
 #include "switch/rate_limited_oq.h"
 
+#include "ckpt/serializer.h"
 #include "sim/error.h"
 
 namespace pps {
@@ -43,6 +44,29 @@ std::int64_t RateLimitedOqSwitch::TotalBacklog() const {
   std::int64_t total = 0;
   for (const auto& q : queues_) total += static_cast<std::int64_t>(q.size());
   return total;
+}
+
+void RateLimitedOqSwitch::SaveState(ckpt::Writer& w) const {
+  w.Marker("RLOQ");
+  w.I32(config_.num_ports);
+  w.I32(service_interval_);
+  for (const auto& q : queues_) {
+    w.Size(q.size());
+    for (const sim::Cell& cell : q) ckpt::SaveCell(w, cell);
+  }
+  for (sim::Slot s : next_service_) w.I64(s);
+}
+
+void RateLimitedOqSwitch::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("RLOQ");
+  SIM_CHECK(r.I32() == config_.num_ports && r.I32() == service_interval_,
+            "rate-limited OQ checkpoint has a different shape");
+  for (auto& q : queues_) {
+    q.clear();
+    const std::size_t n = r.Size();
+    for (std::size_t i = 0; i < n; ++i) q.push_back(ckpt::LoadCell(r));
+  }
+  for (sim::Slot& s : next_service_) s = r.I64();
 }
 
 }  // namespace pps

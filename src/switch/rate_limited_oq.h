@@ -18,6 +18,11 @@
 #include "sim/cell.h"
 #include "sim/types.h"
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 namespace pps {
 
 class RateLimitedOqSwitch {
@@ -40,6 +45,9 @@ class RateLimitedOqSwitch {
     sim::PortId num_ports;
   };
   const Config& config() const { return config_; }
+
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   Config config_;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "ckpt/serializer.h"
 #include "sim/error.h"
 
 namespace pps {
@@ -33,6 +34,52 @@ GlobalSnapshot SnapshotRing::Recycle() {
 
 const GlobalSnapshot* SnapshotRing::Latest() const {
   return ring_.empty() ? nullptr : &ring_.back();
+}
+
+void GlobalSnapshot::SaveState(ckpt::Writer& w) const {
+  w.Marker("SNAP");
+  w.I64(slot);
+  w.Size(plane_backlog.size());
+  for (std::int32_t b : plane_backlog) w.I32(b);
+  w.Size(input_link_next_free.size());
+  for (sim::Slot s : input_link_next_free) w.I64(s);
+  w.Size(output_link_next_free.size());
+  for (sim::Slot s : output_link_next_free) w.I64(s);
+  w.Size(output_backlog.size());
+  for (std::int32_t b : output_backlog) w.I32(b);
+}
+
+void GlobalSnapshot::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("SNAP");
+  slot = r.I64();
+  plane_backlog.assign(r.Size(), 0);
+  for (std::int32_t& b : plane_backlog) b = r.I32();
+  input_link_next_free.assign(r.Size(), 0);
+  for (sim::Slot& s : input_link_next_free) s = r.I64();
+  output_link_next_free.assign(r.Size(), 0);
+  for (sim::Slot& s : output_link_next_free) s = r.I64();
+  output_backlog.assign(r.Size(), 0);
+  for (std::int32_t& b : output_backlog) b = r.I32();
+}
+
+void SnapshotRing::SaveState(ckpt::Writer& w) const {
+  w.Marker("SRNG");
+  w.I32(capacity_);
+  w.Size(ring_.size());
+  for (const GlobalSnapshot& snap : ring_) snap.SaveState(w);
+}
+
+void SnapshotRing::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("SRNG");
+  SIM_CHECK(r.I32() == capacity_,
+            "snapshot ring checkpoint has a different capacity");
+  ring_.clear();
+  const std::size_t n = r.Size();
+  for (std::size_t i = 0; i < n; ++i) {
+    GlobalSnapshot snap;
+    snap.LoadState(r);
+    ring_.push_back(std::move(snap));
+  }
 }
 
 }  // namespace pps

@@ -15,6 +15,11 @@
 #include "sim/types.h"
 #include "switch/config.h"
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 namespace pps {
 
 struct GlobalSnapshot {
@@ -42,6 +47,9 @@ struct GlobalSnapshot {
                                      static_cast<std::size_t>(n) +
                                  static_cast<std::size_t>(j)];
   }
+
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 };
 
 // Bounded ring of snapshots; Lookup(t) returns the snapshot taken at the
@@ -63,6 +71,9 @@ class SnapshotRing {
   // snapshot in place and Push it back — the steady state then performs
   // zero allocations per slot.
   GlobalSnapshot Recycle();
+
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   int capacity_;

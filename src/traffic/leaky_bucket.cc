@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/serializer.h"
 #include "sim/error.h"
 
 namespace traffic {
@@ -31,6 +32,24 @@ bool TokenBucket::TryConsume(sim::Slot t) {
 std::int64_t TokenBucket::Available(sim::Slot t) {
   AdvanceTo(t);
   return tokens_scaled_ / rate_den_;
+}
+
+void TokenBucket::SaveState(ckpt::Writer& w) const {
+  w.Marker("TBKT");
+  w.I64(capacity_);
+  w.I64(rate_num_);
+  w.I64(rate_den_);
+  w.I64(tokens_scaled_);
+  w.I64(now_);
+}
+
+void TokenBucket::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("TBKT");
+  SIM_CHECK(r.I64() == capacity_ && r.I64() == rate_num_ &&
+                r.I64() == rate_den_,
+            "token bucket checkpoint has different parameters");
+  tokens_scaled_ = r.I64();
+  now_ = r.I64();
 }
 
 BurstinessMeter::BurstinessMeter(sim::PortId num_ports)
@@ -73,6 +92,35 @@ std::int64_t BurstinessMeter::OutputBurstiness(sim::PortId j) const {
   return out_.at(static_cast<std::size_t>(j)).max_burst;
 }
 
+void BurstinessMeter::SaveState(ckpt::Writer& w) const {
+  w.Marker("BMTR");
+  w.Size(in_.size());
+  for (const std::vector<PortState>* v : {&in_, &out_}) {
+    for (const PortState& ps : *v) {
+      w.I64(ps.count);
+      w.I64(ps.min_excess);
+      w.I64(ps.max_burst);
+      w.I64(ps.last);
+    }
+  }
+  w.U64(cells_);
+}
+
+void BurstinessMeter::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("BMTR");
+  SIM_CHECK(r.Size() == in_.size(),
+            "burstiness meter checkpoint has a different port count");
+  for (std::vector<PortState>* v : {&in_, &out_}) {
+    for (PortState& ps : *v) {
+      ps.count = r.I64();
+      ps.min_excess = r.I64();
+      ps.max_burst = r.I64();
+      ps.last = r.I64();
+    }
+  }
+  cells_ = r.U64();
+}
+
 PolicedSource::PolicedSource(SourcePtr inner, sim::PortId num_ports,
                              std::int64_t burst)
     : inner_(std::move(inner)) {
@@ -81,6 +129,25 @@ PolicedSource::PolicedSource(SourcePtr inner, sim::PortId num_ports,
   for (sim::PortId j = 0; j < num_ports; ++j) {
     per_output_.emplace_back(burst, /*rate_num=*/1, /*rate_den=*/1);
   }
+}
+
+void PolicedSource::SaveState(ckpt::Writer& w) const {
+  w.Marker("POLS");
+  inner_->SaveState(w);
+  w.Size(per_output_.size());
+  for (const TokenBucket& b : per_output_) b.SaveState(w);
+  w.U64(dropped_);
+  w.U64(passed_);
+}
+
+void PolicedSource::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("POLS");
+  inner_->LoadState(r);
+  SIM_CHECK(r.Size() == per_output_.size(),
+            "policed source checkpoint has a different port count");
+  for (TokenBucket& b : per_output_) b.LoadState(r);
+  dropped_ = r.U64();
+  passed_ = r.U64();
 }
 
 std::vector<sim::Arrival> PolicedSource::ArrivalsAt(sim::Slot t) {

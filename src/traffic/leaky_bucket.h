@@ -17,6 +17,11 @@
 #include "sim/types.h"
 #include "traffic/source.h"
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 namespace traffic {
 
 // Classic token bucket with integer tokens: capacity `burst + 1`, refill
@@ -30,6 +35,9 @@ class TokenBucket {
   bool TryConsume(sim::Slot t);
   // Tokens currently available at slot t (after advancing).
   std::int64_t Available(sim::Slot t);
+
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
 
  private:
   void AdvanceTo(sim::Slot t);
@@ -66,6 +74,9 @@ class BurstinessMeter {
 
   std::uint64_t cells() const { return cells_; }
 
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
+
  private:
   struct PortState {
     std::int64_t count = 0;        // C so far
@@ -92,6 +103,11 @@ class PolicedSource final : public TrafficSource {
 
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t passed() const { return passed_; }
+
+  // Checkpointable iff the wrapped source is.
+  bool checkpointable() const override { return inner_->checkpointable(); }
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
 
  private:
   SourcePtr inner_;

@@ -1,5 +1,6 @@
 #include "traffic/random_sources.h"
 
+#include "ckpt/serializer.h"
 #include "sim/error.h"
 
 namespace traffic {
@@ -49,6 +50,19 @@ std::vector<sim::Arrival> BernoulliSource::ArrivalsAt(sim::Slot t) {
   return out;
 }
 
+void BernoulliSource::SaveState(ckpt::Writer& w) const {
+  w.Marker("BERN");
+  w.Size(per_input_rng_.size());
+  for (const sim::Rng& rng : per_input_rng_) ckpt::SaveRng(w, rng);
+}
+
+void BernoulliSource::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("BERN");
+  SIM_CHECK(r.Size() == per_input_rng_.size(),
+            "bernoulli checkpoint has a different port count");
+  for (sim::Rng& rng : per_input_rng_) ckpt::LoadRng(r, rng);
+}
+
 OnOffSource::OnOffSource(sim::PortId num_ports, double load,
                          double mean_burst_len, sim::Rng rng)
     : num_ports_(num_ports) {
@@ -67,6 +81,27 @@ OnOffSource::OnOffSource(sim::PortId num_ports, double load,
     ps.on = ps.rng.Bernoulli(load);
     ps.dest = static_cast<sim::PortId>(
         ps.rng.UniformInt(static_cast<std::uint64_t>(num_ports)));
+  }
+}
+
+void OnOffSource::SaveState(ckpt::Writer& w) const {
+  w.Marker("ONOF");
+  w.Size(ports_.size());
+  for (const PortState& ps : ports_) {
+    w.Bool(ps.on);
+    w.I32(ps.dest);
+    ckpt::SaveRng(w, ps.rng);
+  }
+}
+
+void OnOffSource::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("ONOF");
+  SIM_CHECK(r.Size() == ports_.size(),
+            "on-off checkpoint has a different port count");
+  for (PortState& ps : ports_) {
+    ps.on = r.Bool();
+    ps.dest = r.I32();
+    ckpt::LoadRng(r, ps.rng);
   }
 }
 

@@ -31,6 +31,10 @@ class BernoulliSource final : public TrafficSource {
 
   std::vector<sim::Arrival> ArrivalsAt(sim::Slot t) override;
 
+  bool checkpointable() const override { return true; }
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
+
  private:
   sim::PortId PickOutput(sim::PortId input, sim::Slot t, sim::Rng& rng);
 
@@ -53,6 +57,10 @@ class OnOffSource final : public TrafficSource {
               sim::Rng rng);
 
   std::vector<sim::Arrival> ArrivalsAt(sim::Slot t) override;
+
+  bool checkpointable() const override { return true; }
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
 
  private:
   struct PortState {

@@ -11,7 +11,13 @@
 #include <vector>
 
 #include "sim/cell.h"
+#include "sim/error.h"
 #include "sim/types.h"
+
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
 
 namespace traffic {
 
@@ -29,6 +35,23 @@ class TrafficSource {
   virtual bool Exhausted(sim::Slot t) const {
     (void)t;
     return false;
+  }
+
+  // --- exact-state checkpointing (ckpt/) ---
+  //
+  // A checkpointable source can serialize its complete mutable state
+  // (cursors, RNG streams, per-port modulation state) so a restored run
+  // replays the identical arrival sequence from the checkpoint slot on.
+  // The engine refuses to checkpoint a run whose source says false —
+  // a silently default-constructed source on resume would diverge.
+  virtual bool checkpointable() const { return false; }
+  virtual void SaveState(ckpt::Writer& w) const {
+    (void)w;
+    throw sim::SimError("traffic source is not checkpointable");
+  }
+  virtual void LoadState(ckpt::Reader& r) {
+    (void)r;
+    throw sim::SimError("traffic source is not checkpointable");
   }
 };
 

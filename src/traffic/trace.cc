@@ -1,14 +1,71 @@
 #include "traffic/trace.h"
 
 #include <algorithm>
+#include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <string>
 
+#include "ckpt/serializer.h"
 #include "sim/error.h"
 
 namespace traffic {
+
+namespace {
+
+constexpr char kBinaryMagic[8] = {'P', 'P', 'S', 'T', 'R', 'C', 'B', '1'};
+
+// LEB128-style unsigned varint.
+void PutVarint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    os.put(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+}
+
+bool GetVarint(std::istream& is, std::uint64_t* out) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int ch = is.get();
+    if (ch == std::istream::traits_type::eof()) return false;
+    SIM_CHECK(shift < 64, "binary trace: varint too long");
+    v |= static_cast<std::uint64_t>(ch & 0x7f) << shift;
+    if ((ch & 0x80) == 0) break;
+    shift += 7;
+  }
+  *out = v;
+  return true;
+}
+
+// Decodes one binary-framed entry; false on clean EOF.
+bool GetBinaryEntry(std::istream& is, sim::Slot prev_slot, TraceEntry* e) {
+  std::uint64_t delta = 0;
+  if (!GetVarint(is, &delta)) return false;
+  std::uint64_t input = 0, output = 0;
+  SIM_CHECK(GetVarint(is, &input) && GetVarint(is, &output),
+            "binary trace: truncated entry");
+  sim::Slot slot = 0;
+  SIM_CHECK(delta <= static_cast<std::uint64_t>(
+                         std::numeric_limits<sim::Slot>::max()) &&
+                sim::CheckedSlotPlus(prev_slot,
+                                     static_cast<std::int64_t>(delta), &slot),
+            "binary trace: slot delta overflows");
+  e->slot = slot;
+  SIM_CHECK(input <= static_cast<std::uint64_t>(
+                         std::numeric_limits<sim::PortId>::max()) &&
+                output <= static_cast<std::uint64_t>(
+                              std::numeric_limits<sim::PortId>::max()),
+            "binary trace: port id out of range");
+  e->input = static_cast<sim::PortId>(input);
+  e->output = static_cast<sim::PortId>(output);
+  return true;
+}
+
+}  // namespace
 
 void Trace::Add(sim::Slot slot, sim::PortId input, sim::PortId output) {
   if (!entries_.empty() && normalized_) {
@@ -22,7 +79,11 @@ void Trace::Add(sim::Slot slot, sim::PortId input, sim::PortId output) {
 
 void Trace::Append(const Trace& other, sim::Slot offset) {
   for (const TraceEntry& e : other.entries_) {
-    Add(e.slot + offset, e.input, e.output);
+    sim::Slot shifted = 0;
+    SIM_CHECK(sim::CheckedSlotPlus(e.slot, offset, &shifted),
+              "Trace::Append overflows the slot domain: " << e.slot << " + "
+                                                          << offset);
+    Add(shifted, e.input, e.output);
   }
 }
 
@@ -60,7 +121,59 @@ void Trace::Save(std::ostream& os) const {
   }
 }
 
+void Trace::SaveBinary(std::ostream& os) const {
+  SIM_CHECK(normalized_, "SaveBinary requires a normalized trace");
+  os.write(kBinaryMagic, sizeof(kBinaryMagic));
+  PutVarint(os, entries_.size());
+  sim::Slot prev = 0;
+  for (const TraceEntry& e : entries_) {
+    SIM_CHECK(e.slot >= prev && e.slot >= 0,
+              "SaveBinary requires nonnegative sorted slots");
+    SIM_CHECK(e.input >= 0 && e.output >= 0,
+              "SaveBinary requires nonnegative port ids");
+    PutVarint(os, static_cast<std::uint64_t>(e.slot - prev));
+    PutVarint(os, static_cast<std::uint64_t>(e.input));
+    PutVarint(os, static_cast<std::uint64_t>(e.output));
+    prev = e.slot;
+  }
+  SIM_CHECK(os.good(), "SaveBinary: stream write failed");
+}
+
+Trace Trace::LoadBinary(std::istream& is) {
+  char magic[sizeof(kBinaryMagic)] = {};
+  is.read(magic, sizeof(magic));
+  SIM_CHECK(is.gcount() == sizeof(magic) &&
+                std::equal(magic, magic + sizeof(magic), kBinaryMagic),
+            "binary trace: bad magic");
+  std::uint64_t count = 0;
+  SIM_CHECK(GetVarint(is, &count), "binary trace: missing entry count");
+  Trace t;
+  t.entries_.reserve(static_cast<std::size_t>(count));
+  sim::Slot prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceEntry e;
+    SIM_CHECK(GetBinaryEntry(is, prev, &e),
+              "binary trace: truncated after " << i << " of " << count
+                                               << " entries");
+    t.Add(e.slot, e.input, e.output);
+    prev = e.slot;
+  }
+  t.Normalize();
+  return t;
+}
+
 Trace Trace::Load(std::istream& is) {
+  // Sniff the binary magic; fall back to the text format.
+  const std::istream::pos_type start = is.tellg();
+  char magic[sizeof(kBinaryMagic)] = {};
+  is.read(magic, sizeof(magic));
+  const bool binary =
+      is.gcount() == sizeof(magic) &&
+      std::equal(magic, magic + sizeof(magic), kBinaryMagic);
+  is.clear();
+  is.seekg(start);
+  if (binary) return LoadBinary(is);
+
   Trace t;
   std::string line;
   while (std::getline(is, line)) {
@@ -97,6 +210,149 @@ std::vector<sim::Arrival> TraceTraffic::ArrivalsAt(sim::Slot t) {
 bool TraceTraffic::Exhausted(sim::Slot t) const {
   (void)t;
   return cursor_ >= trace_.entries().size();
+}
+
+void TraceTraffic::SaveState(ckpt::Writer& w) const {
+  w.Marker("TRCT");
+  w.Size(trace_.entries().size());  // resume-time consistency check
+  w.Size(cursor_);
+}
+
+void TraceTraffic::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("TRCT");
+  const std::size_t recorded = r.Size();
+  SIM_CHECK(recorded == trace_.entries().size(),
+            "trace checkpoint was taken over " << recorded
+                                               << " entries, this trace has "
+                                               << trace_.entries().size());
+  cursor_ = r.Size();
+  SIM_CHECK(cursor_ <= trace_.entries().size(),
+            "trace checkpoint cursor out of range");
+}
+
+// --- StreamingTraceSource --------------------------------------------------
+
+struct StreamingTraceSource::Impl {
+  std::ifstream is;
+  bool binary = false;
+  std::uint64_t binary_count = 0;  // declared entries (binary framing only)
+};
+
+StreamingTraceSource::StreamingTraceSource(std::string path)
+    : path_(std::move(path)), impl_(new Impl) {
+  impl_->is.open(path_, std::ios::binary);
+  SIM_CHECK(impl_->is.good(), "cannot open trace " << path_);
+  char magic[sizeof(kBinaryMagic)] = {};
+  impl_->is.read(magic, sizeof(magic));
+  impl_->binary =
+      impl_->is.gcount() == sizeof(magic) &&
+      std::equal(magic, magic + sizeof(magic), kBinaryMagic);
+  if (impl_->binary) {
+    SIM_CHECK(GetVarint(impl_->is, &impl_->binary_count),
+              "binary trace: missing entry count in " << path_);
+  } else {
+    impl_->is.clear();
+    impl_->is.seekg(0);
+  }
+  Advance();
+}
+
+StreamingTraceSource::~StreamingTraceSource() = default;
+
+void StreamingTraceSource::Advance() {
+  have_lookahead_ = false;
+  if (eof_) return;
+  if (impl_->binary) {
+    if (entries_read_ >= impl_->binary_count) {
+      eof_ = true;
+      return;
+    }
+    TraceEntry e;
+    SIM_CHECK(GetBinaryEntry(impl_->is, prev_slot_, &e),
+              "binary trace: truncated after " << entries_read_ << " of "
+                                               << impl_->binary_count
+                                               << " entries in " << path_);
+    SIM_CHECK(e.slot >= prev_slot_, "trace not sorted at entry "
+                                        << entries_read_ << " in " << path_);
+    lookahead_ = e;
+  } else {
+    std::string line;
+    for (;;) {
+      if (!std::getline(impl_->is, line)) {
+        eof_ = true;
+        return;
+      }
+      if (!line.empty() && line[0] != '#') break;
+    }
+    std::istringstream ls(line);
+    TraceEntry e;
+    SIM_CHECK(static_cast<bool>(ls >> e.slot >> e.input >> e.output),
+              "malformed trace line in " << path_ << ": " << line);
+    SIM_CHECK(e.slot >= prev_slot_,
+              "streaming replay requires a sorted trace; entry "
+                  << entries_read_ << " of " << path_ << " goes backwards");
+    lookahead_ = e;
+  }
+  prev_slot_ = lookahead_.slot;
+  have_lookahead_ = true;
+  ++entries_read_;
+}
+
+std::vector<sim::Arrival> StreamingTraceSource::ArrivalsAt(sim::Slot t) {
+  std::vector<sim::Arrival> out;
+  while (have_lookahead_ && lookahead_.slot < t) Advance();
+  while (have_lookahead_ && lookahead_.slot == t) {
+    out.push_back({lookahead_.input, lookahead_.output});
+    Advance();
+  }
+  return out;
+}
+
+bool StreamingTraceSource::Exhausted(sim::Slot t) const {
+  (void)t;
+  return !have_lookahead_ && eof_;
+}
+
+void StreamingTraceSource::SaveState(ckpt::Writer& w) const {
+  w.Marker("TRCS");
+  w.Str(path_);
+  const std::istream::pos_type pos = impl_->is.tellg();
+  SIM_CHECK(pos != std::istream::pos_type(-1) || eof_,
+            "streaming trace: cannot record file offset of " << path_);
+  w.I64(eof_ ? -1 : static_cast<std::int64_t>(pos));
+  w.Bool(have_lookahead_);
+  if (have_lookahead_) {
+    w.I64(lookahead_.slot);
+    w.I32(lookahead_.input);
+    w.I32(lookahead_.output);
+  }
+  w.Bool(eof_);
+  w.U64(entries_read_);
+  w.I64(prev_slot_);
+}
+
+void StreamingTraceSource::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("TRCS");
+  const std::string recorded_path = r.Str();
+  SIM_CHECK(recorded_path == path_,
+            "streaming trace checkpoint was taken over '"
+                << recorded_path << "', this source reads '" << path_ << "'");
+  const std::int64_t pos = r.I64();
+  have_lookahead_ = r.Bool();
+  if (have_lookahead_) {
+    lookahead_.slot = r.I64();
+    lookahead_.input = r.I32();
+    lookahead_.output = r.I32();
+  }
+  eof_ = r.Bool();
+  entries_read_ = r.U64();
+  prev_slot_ = r.I64();
+  if (!eof_) {
+    impl_->is.clear();
+    impl_->is.seekg(pos);
+    SIM_CHECK(impl_->is.good(),
+              "streaming trace: cannot seek " << path_ << " to " << pos);
+  }
 }
 
 }  // namespace traffic

@@ -4,7 +4,16 @@
 //
 // A trace is a time-sorted list of (slot, input, output) events.  It can be
 // built programmatically, recorded from another source, saved to and loaded
-// from a simple text format, and replayed as a TrafficSource.
+// from a simple text format or a compact binary framing, and replayed as a
+// TrafficSource.
+//
+// Formats:
+//   * text ("# pps trace v1"): one "slot input output" line per entry —
+//     human-editable, the historical format;
+//   * binary ("PPSTRCB1" magic): varint-delta framing — slots are stored
+//     as deltas from the previous entry, ports as raw varints, so dense
+//     long-horizon traces shrink to a few bytes per cell.  Load sniffs
+//     the magic, so either format can be handed to any loader.
 #pragma once
 
 #include <iosfwd>
@@ -13,6 +22,11 @@
 
 #include "sim/types.h"
 #include "traffic/source.h"
+
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
 
 namespace traffic {
 
@@ -34,7 +48,9 @@ class Trace {
   // are a model violation and rejected by Validate().
   void Add(sim::Slot slot, sim::PortId input, sim::PortId output);
 
-  // Appends every entry of `other` shifted by `offset` slots.
+  // Appends every entry of `other` shifted by `offset` slots.  Throws
+  // sim::SimError if any shifted slot overflows the Slot domain (or lands
+  // on the kNoSlot sentinel) instead of silently wrapping.
   void Append(const Trace& other, sim::Slot offset);
 
   // Sorts entries by (slot, input).
@@ -50,16 +66,23 @@ class Trace {
   // Slot of the last entry (requires nonempty, normalized).
   sim::Slot last_slot() const;
 
-  // Serialization: one "slot input output" line per entry, '#' comments.
+  // Text serialization: one "slot input output" line per entry, '#'
+  // comments.
   void Save(std::ostream& os) const;
+  // Loads either format: sniffs the binary magic, falls back to text.
   static Trace Load(std::istream& is);
+
+  // Compact binary framing (varint slot deltas); requires a normalized
+  // trace so the deltas are nonnegative.
+  void SaveBinary(std::ostream& os) const;
+  static Trace LoadBinary(std::istream& is);
 
  private:
   std::vector<TraceEntry> entries_;
   bool normalized_ = true;
 };
 
-// TrafficSource replaying a trace.
+// TrafficSource replaying an in-memory trace.
 class TraceTraffic final : public TrafficSource {
  public:
   explicit TraceTraffic(Trace trace);
@@ -67,11 +90,48 @@ class TraceTraffic final : public TrafficSource {
   std::vector<sim::Arrival> ArrivalsAt(sim::Slot t) override;
   bool Exhausted(sim::Slot t) const override;
 
+  bool checkpointable() const override { return true; }
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
+
   const Trace& trace() const { return trace_; }
 
  private:
   Trace trace_;
   std::size_t cursor_ = 0;
+};
+
+// TrafficSource streaming a trace file (text or binary) without holding
+// the whole trace in memory: entries are decoded on demand with a
+// one-entry lookahead, so serving multi-billion-slot traces keeps O(1)
+// traffic state.  Checkpointable — the resume seeks the underlying file
+// back to the recorded byte offset.
+class StreamingTraceSource final : public TrafficSource {
+ public:
+  explicit StreamingTraceSource(std::string path);
+  ~StreamingTraceSource() override;
+
+  std::vector<sim::Arrival> ArrivalsAt(sim::Slot t) override;
+  bool Exhausted(sim::Slot t) const override;
+
+  bool checkpointable() const override { return true; }
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
+
+  std::uint64_t entries_read() const { return entries_read_; }
+
+ private:
+  struct Impl;
+  // Decodes the next entry into lookahead_; sets eof_ when drained.
+  void Advance();
+
+  std::string path_;
+  std::unique_ptr<Impl> impl_;
+  TraceEntry lookahead_{};
+  bool have_lookahead_ = false;
+  bool eof_ = false;
+  std::uint64_t entries_read_ = 0;
+  sim::Slot prev_slot_ = 0;  // binary delta base; doubles as an order check
 };
 
 }  // namespace traffic

@@ -1,0 +1,626 @@
+// The exact-state checkpoint/restore contract (ckpt/ + SlotEngine wiring):
+//
+//  * serializer container: CRC/magic/version/truncation rejection — a
+//    corrupted checkpoint must fail loudly, never load approximately;
+//  * the hard engine guarantee: checkpoint-at-S then restore-and-continue
+//    is byte-identical to the uninterrupted run for every RunResult field
+//    (Welford doubles bit_cast-compared, timelines entry by entry), for
+//    EVERY registered fabric, in serial and sharded (threads=7) engines,
+//    under an active lossy fault schedule;
+//  * windowed service mode: rows partition the run's totals exactly, and
+//    a resumed windowed run emits the uninterrupted run's post-snapshot
+//    rows verbatim;
+//  * binary trace framing: round-trip, format sniffing, truncation, and
+//    the StreamingTraceSource ≡ in-memory TraceTraffic equivalence;
+//  * satellite regressions riding this PR: JSON double round-trip
+//    precision, ThreadBudget lease release on the ShardPool exception
+//    path, Trace::Append slot-domain overflow.
+#include <bit>
+#include <cfloat>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/serializer.h"
+#include "core/harness.h"
+#include "core/metrics_json.h"
+#include "core/shard_pool.h"
+#include "core/slot_engine.h"
+#include "fabric/registry.h"
+#include "sim/error.h"
+#include "sim/rng.h"
+#include "switch/config.h"
+#include "traffic/random_sources.h"
+#include "traffic/trace.h"
+
+namespace {
+
+std::uint64_t Bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "ckpt_" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Serializer container
+
+TEST(Serializer, PrimitivesRoundTrip) {
+  ckpt::Writer w;
+  w.Marker("TEST");
+  w.U8(0xab);
+  w.Bool(true);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefULL);
+  w.I32(-7);
+  w.I64(sim::kNoSlot);
+  w.Size(12345);
+  w.Double(1.0 / 3.0);
+  w.Str("hello");
+
+  ckpt::Reader r(w.bytes());
+  r.ExpectMarker("TEST");
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_TRUE(r.Bool());
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.I32(), -7);
+  EXPECT_EQ(r.I64(), sim::kNoSlot);
+  EXPECT_EQ(r.Size(), 12345u);
+  EXPECT_EQ(Bits(r.Double()), Bits(1.0 / 3.0));
+  EXPECT_EQ(r.Str(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serializer, WrongMarkerNamesBothTags) {
+  ckpt::Writer w;
+  w.Marker("AAAA");
+  ckpt::Reader r(w.bytes());
+  try {
+    r.ExpectMarker("BBBB");
+    FAIL() << "must throw";
+  } catch (const sim::SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("AAAA"), std::string::npos) << what;
+    EXPECT_NE(what.find("BBBB"), std::string::npos) << what;
+  }
+}
+
+TEST(Serializer, FileContainerRoundTripsAndValidates) {
+  const std::string path = TempPath("container.ckpt");
+  ckpt::Writer w;
+  w.Marker("PAYL");
+  w.U64(42);
+  ckpt::WriteFile(path, w);
+  EXPECT_EQ(ckpt::ReadFile(path), w.bytes());
+
+  // Missing file.
+  EXPECT_THROW(ckpt::ReadFile(path + ".nope"), sim::SimError);
+
+  std::string file;
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    file = ss.str();
+  }
+  const auto rewrite = [&](const std::string& bytes) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  // Bad magic.
+  std::string bad = file;
+  bad[0] = 'X';
+  rewrite(bad);
+  EXPECT_THROW(ckpt::ReadFile(path), sim::SimError);
+
+  // Unsupported version (u32 right after the 8-byte magic).
+  bad = file;
+  bad[8] = static_cast<char>(ckpt::kFormatVersion + 1);
+  rewrite(bad);
+  EXPECT_THROW(ckpt::ReadFile(path), sim::SimError);
+
+  // Truncation.
+  rewrite(file.substr(0, file.size() - 3));
+  EXPECT_THROW(ckpt::ReadFile(path), sim::SimError);
+
+  // A single flipped payload bit must fail the CRC.
+  bad = file;
+  bad[file.size() - 1] = static_cast<char>(bad[file.size() - 1] ^ 0x01);
+  rewrite(bad);
+  EXPECT_THROW(ckpt::ReadFile(path), sim::SimError);
+
+  rewrite(file);
+  EXPECT_EQ(ckpt::ReadFile(path), w.bytes());  // intact again
+}
+
+// ---------------------------------------------------------------------------
+// The engine guarantee: restore-and-continue == uninterrupted, bit for bit
+
+constexpr sim::Slot kCutoff = 220;
+constexpr sim::Slot kSnapshotAt = 130;  // mid-flight: faults armed, backlog up
+
+core::RunOptions BaseOptions(unsigned threads) {
+  core::RunOptions options;
+  options.threads = threads;
+  options.source_cutoff = kCutoff;
+  options.drain_grace = 120;
+  options.keep_timeline = true;
+  // A lossy schedule crossing the snapshot slot: plane 1 is down at the
+  // snapshot, a flaky link window is mid-flight, and the recovery is
+  // still pending — so the restore must carry fault state exactly.
+  options.fault_schedule.Fail(1, 60).Recover(1, 170).DropLink(0, 0, 0.5, 100,
+                                                              200);
+  return options;
+}
+
+pps::SwitchConfig TestConfig() {
+  pps::SwitchConfig config;
+  config.num_ports = 8;
+  config.num_planes = 4;
+  config.rate_ratio = 2;
+  config.reseq_timeout = 64;  // plane failures can strand sequence numbers
+  config.fault_visibility_lag = 3;
+  return config;
+}
+
+traffic::BernoulliSource TestSource(std::uint64_t seed) {
+  return traffic::BernoulliSource(8, 0.85, traffic::Pattern::kHotspot,
+                                  sim::Rng(seed));
+}
+
+void ExpectBitIdentical(const core::RunResult& run,
+                        const core::RunResult& golden) {
+  EXPECT_EQ(run.cells, golden.cells);
+  EXPECT_EQ(run.duration, golden.duration);
+  EXPECT_EQ(run.drained, golden.drained);
+  EXPECT_EQ(run.dropped, golden.dropped);
+  EXPECT_EQ(run.losses, golden.losses);
+  EXPECT_EQ(run.max_relative_delay, golden.max_relative_delay);
+  EXPECT_EQ(run.max_relative_jitter, golden.max_relative_jitter);
+  EXPECT_EQ(run.traffic_burstiness, golden.traffic_burstiness);
+  EXPECT_EQ(run.order_preserved, golden.order_preserved);
+  EXPECT_EQ(run.resequencing_stalls, golden.resequencing_stalls);
+  EXPECT_EQ(run.audit_violations, golden.audit_violations);
+  // Welford accumulators: bit_cast equality, not EXPECT_DOUBLE_EQ.
+  for (const auto& [stats, gstats] :
+       {std::pair{&run.relative_delay, &golden.relative_delay},
+        std::pair{&run.pps_delay, &golden.pps_delay},
+        std::pair{&run.shadow_delay, &golden.shadow_delay}}) {
+    EXPECT_EQ(stats->count(), gstats->count());
+    EXPECT_EQ(Bits(stats->mean()), Bits(gstats->mean()));
+    EXPECT_EQ(Bits(stats->variance()), Bits(gstats->variance()));
+    EXPECT_EQ(stats->min(), gstats->min());
+    EXPECT_EQ(stats->max(), gstats->max());
+  }
+  ASSERT_EQ(run.timeline.size(), golden.timeline.size());
+  for (std::size_t i = 0; i < run.timeline.size(); ++i) {
+    EXPECT_EQ(run.timeline[i].arrival, golden.timeline[i].arrival) << i;
+    EXPECT_EQ(run.timeline[i].relative_delay,
+              golden.timeline[i].relative_delay)
+        << i;
+    EXPECT_EQ(run.timeline[i].input, golden.timeline[i].input) << i;
+    EXPECT_EQ(run.timeline[i].output, golden.timeline[i].output) << i;
+  }
+}
+
+// Golden / interrupted / resumed triple for one fabric and thread count.
+void CheckRestoreDifferential(const std::string& name, unsigned threads) {
+  core::ScopedThreadBudget budget(16);
+  const pps::SwitchConfig config = TestConfig();
+  const std::string path = TempPath("diff_" + std::to_string(threads));
+
+  // Golden: uninterrupted.
+  auto golden_fabric = fabric::Make(name, config);
+  traffic::BernoulliSource golden_source = TestSource(7);
+  const core::RunResult golden =
+      core::SlotEngine{}.Run(*golden_fabric, golden_source,
+                             BaseOptions(threads));
+  ASSERT_GT(golden.cells, 0u);
+
+  // Interrupted: same run, slot budget ending exactly at the snapshot.
+  auto save_fabric = fabric::Make(name, config);
+  traffic::BernoulliSource save_source = TestSource(7);
+  core::RunOptions save_options = BaseOptions(threads);
+  save_options.max_slots = kSnapshotAt;
+  save_options.checkpoint_every = kSnapshotAt;
+  save_options.checkpoint_path = path;
+  core::SlotEngine{}.Run(*save_fabric, save_source, save_options);
+
+  // Resumed: fresh objects, state from the file, golden's slot budget.
+  auto resume_fabric = fabric::Make(name, config);
+  traffic::BernoulliSource resume_source = TestSource(7);
+  core::RunOptions resume_options = BaseOptions(threads);
+  resume_options.resume_from = path;
+  const core::RunResult resumed =
+      core::SlotEngine{}.Run(*resume_fabric, resume_source, resume_options);
+
+  ExpectBitIdentical(resumed, golden);
+}
+
+TEST(CheckpointRestore, EveryRegisteredFabricSerial) {
+  for (const std::string& name : fabric::RegisteredFabrics()) {
+    SCOPED_TRACE(name);
+    CheckRestoreDifferential(name, 1);
+  }
+}
+
+TEST(CheckpointRestore, EveryRegisteredFabricSharded) {
+  for (const std::string& name : fabric::RegisteredFabrics()) {
+    SCOPED_TRACE(name);
+    CheckRestoreDifferential(name, 7);
+  }
+}
+
+TEST(CheckpointRestore, CheckpointBytesAreCanonical) {
+  // Two identical runs write byte-identical checkpoint files — the
+  // sorted-key serialization rule, checked end to end.
+  const pps::SwitchConfig config = TestConfig();
+  std::string paths[2];
+  for (int i = 0; i < 2; ++i) {
+    paths[i] = TempPath("canon" + std::to_string(i));
+    auto fabric = fabric::Make("pps/rr-per-output", config);
+    traffic::BernoulliSource source = TestSource(7);
+    core::RunOptions options = BaseOptions(1);
+    options.max_slots = kSnapshotAt;
+    options.checkpoint_every = kSnapshotAt;
+    options.checkpoint_path = paths[i];
+    core::SlotEngine{}.Run(*fabric, source, options);
+  }
+  EXPECT_EQ(ckpt::ReadFile(paths[0]), ckpt::ReadFile(paths[1]));
+}
+
+TEST(CheckpointRestore, ResumeOnWrongFabricIsRejected) {
+  const pps::SwitchConfig config = TestConfig();
+  const std::string path = TempPath("wrongfab");
+  {
+    auto fabric = fabric::Make("pps/rr-per-output", config);
+    traffic::BernoulliSource source = TestSource(7);
+    core::RunOptions options = BaseOptions(1);
+    options.max_slots = kSnapshotAt;
+    options.checkpoint_every = kSnapshotAt;
+    options.checkpoint_path = path;
+    core::SlotEngine{}.Run(*fabric, source, options);
+  }
+  auto other = fabric::Make("pps/rr", config);
+  traffic::BernoulliSource source = TestSource(7);
+  core::RunOptions options = BaseOptions(1);
+  options.resume_from = path;
+  EXPECT_THROW(core::SlotEngine{}.Run(*other, source, options),
+               sim::SimError);
+}
+
+TEST(CheckpointRestore, NonCheckpointableSourceIsRejected) {
+  // A plain TrafficSource (no SaveState override) must be refused up
+  // front, not half-serialized.
+  class OneShotSource final : public traffic::TrafficSource {
+   public:
+    std::vector<sim::Arrival> ArrivalsAt(sim::Slot t) override {
+      if (t == 0) return {{0, 0}};
+      return {};
+    }
+    bool Exhausted(sim::Slot t) const override { return t > 0; }
+  };
+  auto fabric = fabric::Make("pps/rr", TestConfig());
+  OneShotSource source;
+  core::RunOptions options;
+  options.checkpoint_every = 16;
+  options.checkpoint_path = TempPath("nosource");
+  EXPECT_THROW(core::SlotEngine{}.Run(*fabric, source, options),
+               sim::SimError);
+}
+
+TEST(CheckpointRestore, StreamingTraceSourceResumesExactly) {
+  // The service path: a trace streamed from disk, snapshot mid-stream,
+  // resumed with a fresh source object seeked back by LoadState.
+  traffic::Trace trace;
+  sim::Rng rng(11);
+  for (sim::Slot t = 0; t < 200; ++t) {
+    for (sim::PortId i = 0; i < 8; ++i) {
+      if (rng.UniformDouble() < 0.6) {
+        trace.Add(t, i, static_cast<sim::PortId>(rng.UniformInt(8)));
+      }
+    }
+  }
+  trace.Normalize();
+  const std::string trace_path = TempPath("stream.btrace");
+  {
+    std::ofstream os(trace_path, std::ios::binary);
+    trace.SaveBinary(os);
+  }
+  const pps::SwitchConfig config = TestConfig();
+  const std::string path = TempPath("streamdiff");
+
+  auto golden_fabric = fabric::Make("pps/rr-per-output", config);
+  traffic::StreamingTraceSource golden_source(trace_path);
+  core::RunOptions golden_options = BaseOptions(1);
+  golden_options.source_cutoff = 0;
+  const core::RunResult golden = core::SlotEngine{}.Run(
+      *golden_fabric, golden_source, golden_options);
+  ASSERT_GT(golden.cells, 0u);
+
+  auto save_fabric = fabric::Make("pps/rr-per-output", config);
+  traffic::StreamingTraceSource save_source(trace_path);
+  core::RunOptions save_options = golden_options;
+  save_options.max_slots = kSnapshotAt;
+  save_options.checkpoint_every = kSnapshotAt;
+  save_options.checkpoint_path = path;
+  core::SlotEngine{}.Run(*save_fabric, save_source, save_options);
+
+  auto resume_fabric = fabric::Make("pps/rr-per-output", config);
+  traffic::StreamingTraceSource resume_source(trace_path);
+  core::RunOptions resume_options = golden_options;
+  resume_options.resume_from = path;
+  const core::RunResult resumed = core::SlotEngine{}.Run(
+      *resume_fabric, resume_source, resume_options);
+
+  ExpectBitIdentical(resumed, golden);
+}
+
+// ---------------------------------------------------------------------------
+// Windowed service mode
+
+TEST(WindowedMode, RowsPartitionTheRunExactly) {
+  auto fabric = fabric::Make("pps/rr-per-output", TestConfig());
+  // Uniform traffic so the run drains within the grace period (the
+  // hotspot pattern overloads output 0 and leaves backlog behind) —
+  // the finalized == cells - dropped identity below needs a drained run.
+  traffic::BernoulliSource source(8, 0.7, traffic::Pattern::kUniform,
+                                  sim::Rng(7));
+  core::RunOptions options = BaseOptions(1);
+  options.drain_grace = 400;
+  options.window_slots = 50;
+  std::vector<core::WindowRow> rows;
+  options.on_window = [&](const core::WindowRow& row) {
+    rows.push_back(row);
+  };
+  const core::RunResult result =
+      core::SlotEngine{}.Run(*fabric, source, options);
+
+  ASSERT_TRUE(result.drained);
+  ASSERT_FALSE(rows.empty());
+  std::uint64_t offered = 0, finalized = 0, dropped = 0;
+  fault::LossBreakdown losses;
+  sim::Slot max_rqd = 0;
+  sim::Slot prev_to = 0;
+  for (const core::WindowRow& row : rows) {
+    EXPECT_EQ(row.from, prev_to);          // contiguous
+    EXPECT_LE(row.to - row.from, 50);      // never longer than a window
+    prev_to = row.to;
+    offered += row.offered;
+    finalized += row.finalized;
+    dropped += row.dropped;
+    losses.input_drops += row.losses.input_drops;
+    losses.stranded_cells += row.losses.stranded_cells;
+    losses.stale_dispatches += row.losses.stale_dispatches;
+    losses.link_drops += row.losses.link_drops;
+    losses.late_arrivals += row.losses.late_arrivals;
+    losses.buffer_overflows += row.losses.buffer_overflows;
+    max_rqd = std::max(max_rqd, row.max_relative_delay);
+  }
+  EXPECT_EQ(prev_to, result.duration);
+  EXPECT_EQ(offered, result.cells);
+  EXPECT_EQ(dropped, result.dropped);
+  EXPECT_EQ(finalized, result.cells - result.dropped);
+  EXPECT_EQ(losses, result.losses);
+  EXPECT_EQ(max_rqd, result.max_relative_delay);
+}
+
+TEST(WindowedMode, ResumedRunEmitsTheGoldenTail) {
+  const pps::SwitchConfig config = TestConfig();
+  const std::string path = TempPath("winresume");
+  const auto run = [&](core::RunOptions options,
+                       std::vector<core::WindowRow>& rows) {
+    auto fabric = fabric::Make("pps/rr-per-output", config);
+    traffic::BernoulliSource source = TestSource(7);
+    options.window_slots = 40;
+    options.on_window = [&](const core::WindowRow& row) {
+      rows.push_back(row);
+    };
+    return core::SlotEngine{}.Run(*fabric, source, options);
+  };
+
+  std::vector<core::WindowRow> golden_rows;
+  const core::RunResult golden = run(BaseOptions(1), golden_rows);
+
+  std::vector<core::WindowRow> save_rows;
+  core::RunOptions save_options = BaseOptions(1);
+  save_options.max_slots = kSnapshotAt;
+  save_options.checkpoint_every = kSnapshotAt;
+  save_options.checkpoint_path = path;
+  run(save_options, save_rows);
+
+  std::vector<core::WindowRow> resumed_rows;
+  core::RunOptions resume_options = BaseOptions(1);
+  resume_options.resume_from = path;
+  const core::RunResult resumed = run(resume_options, resumed_rows);
+
+  ExpectBitIdentical(resumed, golden);
+  // kSnapshotAt = 130 with 40-slot windows: rows 0..2 were emitted before
+  // the snapshot; the resumed run must emit exactly the remaining rows.
+  ASSERT_LT(resumed_rows.size(), golden_rows.size());
+  const std::size_t skip = golden_rows.size() - resumed_rows.size();
+  for (std::size_t i = 0; i < resumed_rows.size(); ++i) {
+    const core::WindowRow& a = resumed_rows[i];
+    const core::WindowRow& b = golden_rows[skip + i];
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(a.from, b.from);
+    EXPECT_EQ(a.to, b.to);
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_EQ(a.finalized, b.finalized);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.losses, b.losses);
+    EXPECT_EQ(a.max_relative_delay, b.max_relative_delay);
+    EXPECT_EQ(a.max_relative_jitter, b.max_relative_jitter);
+    EXPECT_EQ(Bits(a.relative_delay.mean()), Bits(b.relative_delay.mean()));
+    EXPECT_EQ(a.backlog, b.backlog);
+    EXPECT_EQ(a.shadow_backlog, b.shadow_backlog);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binary trace framing
+
+traffic::Trace RandomTrace(std::uint64_t seed, sim::Slot slots) {
+  traffic::Trace trace;
+  sim::Rng rng(seed);
+  for (sim::Slot t = 0; t < slots; ++t) {
+    for (sim::PortId i = 0; i < 6; ++i) {
+      if (rng.UniformDouble() < 0.4) {
+        trace.Add(t, i, static_cast<sim::PortId>(rng.UniformInt(6)));
+      }
+    }
+  }
+  trace.Normalize();
+  return trace;
+}
+
+TEST(BinaryTrace, RoundTripsExactly) {
+  const traffic::Trace trace = RandomTrace(3, 500);
+  std::stringstream ss;
+  trace.SaveBinary(ss);
+  const traffic::Trace loaded = traffic::Trace::LoadBinary(ss);
+  ASSERT_EQ(loaded.entries().size(), trace.entries().size());
+  for (std::size_t i = 0; i < trace.entries().size(); ++i) {
+    EXPECT_EQ(loaded.entries()[i].slot, trace.entries()[i].slot);
+    EXPECT_EQ(loaded.entries()[i].input, trace.entries()[i].input);
+    EXPECT_EQ(loaded.entries()[i].output, trace.entries()[i].output);
+  }
+}
+
+TEST(BinaryTrace, LoadSniffsTheFormat) {
+  const traffic::Trace trace = RandomTrace(4, 100);
+  std::stringstream text, binary;
+  trace.Save(text);
+  trace.SaveBinary(binary);
+  const traffic::Trace from_text = traffic::Trace::Load(text);
+  const traffic::Trace from_binary = traffic::Trace::Load(binary);
+  ASSERT_EQ(from_text.entries().size(), trace.entries().size());
+  ASSERT_EQ(from_binary.entries().size(), trace.entries().size());
+  for (std::size_t i = 0; i < trace.entries().size(); ++i) {
+    EXPECT_EQ(from_binary.entries()[i].slot, from_text.entries()[i].slot);
+    EXPECT_EQ(from_binary.entries()[i].input, from_text.entries()[i].input);
+    EXPECT_EQ(from_binary.entries()[i].output,
+              from_text.entries()[i].output);
+  }
+}
+
+TEST(BinaryTrace, TruncationIsRejected) {
+  const traffic::Trace trace = RandomTrace(5, 200);
+  std::stringstream ss;
+  trace.SaveBinary(ss);
+  const std::string bytes = ss.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() * 2 / 3));
+  EXPECT_THROW(traffic::Trace::LoadBinary(cut), sim::SimError);
+}
+
+TEST(BinaryTrace, StreamingSourceMatchesInMemorySource) {
+  const traffic::Trace trace = RandomTrace(6, 300);
+  const std::string text_path = TempPath("equiv.trace");
+  const std::string binary_path = TempPath("equiv.btrace");
+  {
+    std::ofstream os(text_path);
+    trace.Save(os);
+  }
+  {
+    std::ofstream os(binary_path, std::ios::binary);
+    trace.SaveBinary(os);
+  }
+  traffic::TraceTraffic reference(trace);
+  traffic::StreamingTraceSource text_source(text_path);
+  traffic::StreamingTraceSource binary_source(binary_path);
+  for (sim::Slot t = 0; t < 320; ++t) {
+    const auto expected = reference.ArrivalsAt(t);
+    const auto from_text = text_source.ArrivalsAt(t);
+    const auto from_binary = binary_source.ArrivalsAt(t);
+    ASSERT_EQ(from_text.size(), expected.size()) << "slot " << t;
+    ASSERT_EQ(from_binary.size(), expected.size()) << "slot " << t;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(from_text[i].input, expected[i].input);
+      EXPECT_EQ(from_text[i].output, expected[i].output);
+      EXPECT_EQ(from_binary[i].input, expected[i].input);
+      EXPECT_EQ(from_binary[i].output, expected[i].output);
+    }
+    EXPECT_EQ(text_source.Exhausted(t), reference.Exhausted(t));
+    EXPECT_EQ(binary_source.Exhausted(t), reference.Exhausted(t));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: JSON double precision
+
+TEST(JsonPrecision, DoublesRoundTripBitExactly) {
+  // metrics_json writes doubles via std::to_chars shortest form; parsing
+  // the emitted token back must land on the same IEEE-754 bits for every
+  // value a Welford accumulator can produce.
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           3.111111111111111,
+                           2.2250738585072014e-308,  // DBL_MIN
+                           4.9406564584124654e-324,  // min denormal
+                           1.7976931348623157e308,   // DBL_MAX
+                           -0.0,
+                           123456789.123456789,
+                           1e-9 + 1e9};
+  for (const double v : values) {
+    core::json::Value doc = core::json::Value::MakeObject();
+    doc.Set("x", v);
+    const std::string dumped = doc.Dump();
+    // Extract the value token of {"x":<token>}.
+    const auto colon = dumped.find(':');
+    ASSERT_NE(colon, std::string::npos);
+    const std::string token =
+        dumped.substr(colon + 1, dumped.size() - colon - 2);
+    const double parsed = std::strtod(token.c_str(), nullptr);
+    EXPECT_EQ(Bits(parsed), Bits(v)) << "token '" << token << "'";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: ThreadBudget lease on the ShardPool exception path
+
+TEST(ThreadBudgetLease, ReleasedWhenAShardThrows) {
+  core::ScopedThreadBudget budget(8);
+  ASSERT_EQ(core::ThreadBudget::Instance().outstanding(), 0u);
+  try {
+    core::ShardPool pool(4);
+    EXPECT_GT(core::ThreadBudget::Instance().outstanding(), 0u);
+    pool.Run(16, [](std::size_t task, unsigned /*lane*/) {
+      if (task == 3) throw std::runtime_error("boom");
+    });
+    FAIL() << "Run must rethrow the shard's exception";
+  } catch (const std::runtime_error&) {
+    // The pool was destroyed during unwinding.
+  }
+  // The RAII lease must have drained with it — an engine run that dies
+  // mid-slot cannot permanently shrink the process thread budget.
+  EXPECT_EQ(core::ThreadBudget::Instance().outstanding(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: Trace::Append slot-domain overflow
+
+TEST(TraceAppend, OverflowPastTheSlotDomainThrows) {
+  constexpr sim::Slot kMax = std::numeric_limits<sim::Slot>::max();
+  traffic::Trace near_end;
+  near_end.Add(kMax - 5, 0, 0);
+
+  // Exactly reaching the last representable slot is fine.
+  traffic::Trace ok;
+  ok.Append(near_end, 5);
+  ASSERT_EQ(ok.entries().size(), 1u);
+  EXPECT_EQ(ok.entries()[0].slot, kMax);
+
+  // One slot further must throw, not wrap negative.
+  traffic::Trace overflow;
+  EXPECT_THROW(overflow.Append(near_end, 6), sim::SimError);
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+// pps_serve: the windowed service driver.
+//
+// Streams a traffic::Trace (text or compact binary framing) through any
+// registered fabric with O(1) trace memory and emits one JSON line per
+// service window — per-interval relative queuing delay, jitter, and the
+// loss taxonomy — followed by a final `summary` line with the whole-run
+// RunResult.  With --checkpoint-every the run snapshots its exact state
+// periodically, and --resume continues a snapshot such that the row
+// stream and summary are byte-identical to the uninterrupted run's
+// post-snapshot output.
+//
+// Usage:
+//   pps_serve --fabric=pps/rr-per-output --trace=cells.trace
+//             --ports=8 --planes=4 [--rate-ratio=2] [--window=1024]
+//             [--threads=T] [--drain-grace=G] [--max-slots=M]
+//             [--checkpoint-every=E --checkpoint=run.ckpt]
+//             [--resume=run.ckpt]
+//
+// Convert a text trace to the binary framing with --pack-trace:
+//   pps_serve --pack-trace=in.trace --out=out.btrace
+
+#include <charconv>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/harness.h"
+#include "core/metrics_json.h"
+#include "core/slot_engine.h"
+#include "fabric/registry.h"
+#include "sim/error.h"
+#include "traffic/trace.h"
+
+namespace {
+
+struct Args {
+  std::string fabric = "pps/rr-per-output";
+  std::string trace;
+  std::string pack_trace;  // --pack-trace mode: input text trace
+  std::string out;         // --pack-trace mode: output binary trace
+  pps::SwitchConfig config{.num_ports = 8, .num_planes = 4, .rate_ratio = 2};
+  core::RunOptions options;
+};
+
+std::int64_t ParseInt(std::string_view flag, std::string_view value) {
+  std::int64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  SIM_CHECK(ec == std::errc{} && ptr == value.data() + value.size(),
+            "bad integer for --" << flag << ": '" << value << "'");
+  return parsed;
+}
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  args.options.window_slots = 1024;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto eq = arg.find('=');
+    SIM_CHECK(arg.size() > 2 && arg.substr(0, 2) == "--" &&
+                  eq != std::string_view::npos,
+              "expected --flag=value, got '" << arg << "'");
+    const std::string_view flag = arg.substr(2, eq - 2);
+    const std::string_view value = arg.substr(eq + 1);
+    if (flag == "fabric") {
+      args.fabric = value;
+    } else if (flag == "trace") {
+      args.trace = value;
+    } else if (flag == "pack-trace") {
+      args.pack_trace = value;
+    } else if (flag == "out") {
+      args.out = value;
+    } else if (flag == "ports") {
+      args.config.num_ports = static_cast<sim::PortId>(ParseInt(flag, value));
+    } else if (flag == "planes") {
+      args.config.num_planes = static_cast<int>(ParseInt(flag, value));
+    } else if (flag == "rate-ratio") {
+      args.config.rate_ratio = static_cast<int>(ParseInt(flag, value));
+    } else if (flag == "buffer") {
+      args.config.input_buffer_size = static_cast<int>(ParseInt(flag, value));
+    } else if (flag == "reseq-timeout") {
+      args.config.reseq_timeout = static_cast<int>(ParseInt(flag, value));
+    } else if (flag == "window") {
+      args.options.window_slots = ParseInt(flag, value);
+    } else if (flag == "threads") {
+      args.options.threads = static_cast<unsigned>(ParseInt(flag, value));
+    } else if (flag == "drain-grace") {
+      args.options.drain_grace = ParseInt(flag, value);
+    } else if (flag == "max-slots") {
+      args.options.max_slots = ParseInt(flag, value);
+    } else if (flag == "checkpoint-every") {
+      args.options.checkpoint_every = ParseInt(flag, value);
+    } else if (flag == "checkpoint") {
+      args.options.checkpoint_path = value;
+    } else if (flag == "resume") {
+      args.options.resume_from = value;
+    } else {
+      SIM_CHECK(false, "unknown flag --" << flag);
+    }
+  }
+  return args;
+}
+
+core::json::Value LossJson(const fault::LossBreakdown& l) {
+  auto v = core::json::Value::MakeObject();
+  v.Set("input_drops", l.input_drops);
+  v.Set("stranded_cells", l.stranded_cells);
+  v.Set("stale_dispatches", l.stale_dispatches);
+  v.Set("link_drops", l.link_drops);
+  v.Set("late_arrivals", l.late_arrivals);
+  v.Set("buffer_overflows", l.buffer_overflows);
+  return v;
+}
+
+void PrintRow(const core::WindowRow& row) {
+  auto v = core::json::Value::MakeObject();
+  v.Set("kind", "window");
+  v.Set("index", row.index);
+  v.Set("from", row.from);
+  v.Set("to", row.to);
+  v.Set("offered", row.offered);
+  v.Set("finalized", row.finalized);
+  v.Set("dropped", row.dropped);
+  v.Set("losses", LossJson(row.losses));
+  v.Set("max_relative_delay", row.max_relative_delay);
+  v.Set("max_relative_jitter", row.max_relative_jitter);
+  v.Set("mean_relative_delay", row.relative_delay.mean());
+  v.Set("backlog", row.backlog);
+  v.Set("shadow_backlog", row.shadow_backlog);
+  std::cout << v.Dump() << "\n" << std::flush;
+}
+
+void PrintSummary(const core::RunResult& result) {
+  auto v = core::json::Value::MakeObject();
+  v.Set("kind", "summary");
+  v.Set("cells", result.cells);
+  v.Set("duration", result.duration);
+  v.Set("drained", result.drained);
+  v.Set("dropped", result.dropped);
+  v.Set("losses", LossJson(result.losses));
+  v.Set("max_relative_delay", result.max_relative_delay);
+  v.Set("max_relative_jitter", result.max_relative_jitter);
+  v.Set("mean_relative_delay", result.relative_delay.mean());
+  v.Set("traffic_burstiness", result.traffic_burstiness);
+  v.Set("order_preserved", result.order_preserved);
+  v.Set("resequencing_stalls", result.resequencing_stalls);
+  std::cout << v.Dump() << "\n" << std::flush;
+}
+
+int PackTrace(const Args& args) {
+  SIM_CHECK(!args.out.empty(), "--pack-trace needs --out=<path>");
+  std::ifstream is(args.pack_trace, std::ios::binary);
+  SIM_CHECK(is.good(), "cannot open trace " << args.pack_trace);
+  traffic::Trace trace = traffic::Trace::Load(is);
+  trace.Normalize();
+  std::ofstream os(args.out, std::ios::binary | std::ios::trunc);
+  SIM_CHECK(os.good(), "cannot open output " << args.out);
+  trace.SaveBinary(os);
+  SIM_CHECK(os.good(), "write failed for " << args.out);
+  std::cerr << "packed " << trace.entries().size() << " entries into "
+            << args.out << "\n";
+  return 0;
+}
+
+int Serve(const Args& args) {
+  SIM_CHECK(!args.trace.empty(), "--trace=<path> is required");
+  args.config.Validate();
+  std::unique_ptr<fabric::Fabric> fabric =
+      fabric::Make(args.fabric, args.config);
+  traffic::StreamingTraceSource source(args.trace);
+  core::RunOptions options = args.options;
+  options.on_window = PrintRow;
+  const core::RunResult result =
+      core::SlotEngine{}.Run(*fabric, source, options);
+  PrintSummary(result);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = Parse(argc, argv);
+    if (!args.pack_trace.empty()) return PackTrace(args);
+    return Serve(args);
+  } catch (const sim::SimError& e) {
+    std::cerr << "pps_serve: " << e.what() << "\n";
+    return 1;
+  }
+}
