@@ -42,7 +42,7 @@ core::RunResult RunCongested(unsigned threads, sim::Slot slots) {
   traffic::BernoulliSource source(64, 0.5, traffic::Pattern::kHotspot,
                                   sim::Rng(11), /*hotspot_fraction=*/0.3);
   core::RunOptions options;
-  options.max_slots = slots + 1'000;
+  options.max_slots = sim::SlotPlus(slots, 1'000);
   options.source_cutoff = slots;
   options.drain_grace = 200;
   options.threads = threads;

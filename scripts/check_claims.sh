@@ -70,9 +70,30 @@ else
   echo "skip : bench_sim_throughput not built (build/ or build-release/)"
 fi
 
+# House-contract linter: pps_lint must prove its checkers fire on the
+# seeded fixtures and then find nothing across the tree.  A missing binary
+# is a SKIP, never a silent pass — only -DPPS_LINT_TOOL=OFF builds lack it.
+PPS_LINT=""
+for d in "$ROOT/build" "$ROOT/build-lint" "$ROOT/build-release"; do
+  [ -x "$d/tools/pps_lint/pps_lint" ] \
+    && PPS_LINT="$d/tools/pps_lint/pps_lint" && break
+done
+if [ -n "$PPS_LINT" ]; then
+  if "$PPS_LINT" --self-test "$ROOT/tests/lint_fixtures" >/dev/null 2>&1 \
+      && "$PPS_LINT" --root "$ROOT" src bench tests tools >/dev/null 2>&1; then
+    echo "ok   : pps_lint self-test + clean tree (determinism, ckpt, slots)"
+  else
+    echo "FAIL : pps_lint (run it with --root . src bench tests tools)"
+    fail=1
+  fi
+else
+  echo "skip : pps_lint not built (PPS_LINT_TOOL=OFF?)"
+fi
+
 # Static-analysis gate: the committed .clang-tidy + -Werror extended
-# warnings must stay clean (scripts/lint.sh reuses build-lint/ so repeat
-# runs are incremental).
+# warnings plus the pps_lint and clang-format stages must stay clean
+# (scripts/lint.sh reuses build-lint/ so repeat runs are incremental;
+# stages whose binaries are missing on this machine are skipped there).
 if "$ROOT/scripts/lint.sh" >/dev/null 2>&1; then
   echo "ok   : lint gate (scripts/lint.sh) clean"
 else

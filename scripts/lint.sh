@@ -1,13 +1,22 @@
 #!/usr/bin/env bash
-# Static-analysis gate: clang-tidy over src/ bench/ tests/ (when a
-# clang-tidy binary is available) plus a -Werror build with the extended
-# warning set (PPS_EXTRA_WARNINGS; always runs, gcc or clang).
+# Static-analysis gate, four stages:
+#
+#   1. -Werror build with the extended warning set (PPS_EXTRA_WARNINGS;
+#      always runs, gcc or clang).  Also builds tools/pps_lint.
+#   2. pps_lint — the house-contract checker (checkpoint field coverage,
+#      determinism bans, checked slot arithmetic).  Dependency-free, so it
+#      always runs: fixture self-test first, then the whole tree.
+#   3. clang-tidy over src/ bench/ tests/ tools/ (when a clang-tidy binary
+#      is available; fixtures under tests/lint_fixtures are excluded — they
+#      are linted by pps_lint, not compiled).
+#   4. clang-format --dry-run -Werror over every .h/.cc (when a
+#      clang-format binary is available).
 #
 # The gate passes only if every stage that can run on this machine exits
 # clean.  clang-tidy reads the committed .clang-tidy and the
 # compile_commands.json exported by any CMake configure of this project;
-# containers without clang-tidy still get the full -Werror wall, and CI
-# runs both.
+# containers without the clang tools still get stages 1 and 2, and CI
+# runs everything.
 #
 #   ./scripts/lint.sh [build-dir]        # default build-lint/
 set -uo pipefail
@@ -29,6 +38,23 @@ else
   echo "lint: -Werror build clean"
 fi
 
+PPS_LINT="$BUILD/tools/pps_lint/pps_lint"
+if [ -x "$PPS_LINT" ]; then
+  echo "== lint: pps_lint house contracts =="
+  if ! "$PPS_LINT" --self-test "$ROOT/tests/lint_fixtures"; then
+    echo "lint: FAIL (pps_lint fixture self-test)" >&2
+    fail=1
+  fi
+  if ! "$PPS_LINT" --root "$ROOT" src bench tests tools; then
+    echo "lint: FAIL (pps_lint findings above)" >&2
+    fail=1
+  fi
+else
+  # Only reachable with -DPPS_LINT_TOOL=OFF; the default build always has
+  # the binary, so a missing tool is worth a loud line, not a silent pass.
+  echo "== lint: pps_lint not built (PPS_LINT_TOOL=OFF); skipping =="
+fi
+
 # Prefer an unversioned clang-tidy, else the newest versioned one.
 TIDY="$(command -v clang-tidy || true)"
 if [ -z "$TIDY" ]; then
@@ -41,9 +67,10 @@ if [ -z "$TIDY" ]; then
 fi
 
 if [ -n "$TIDY" ]; then
-  echo "== lint: $TIDY over src/ bench/ tests/ =="
+  echo "== lint: $TIDY over src/ bench/ tests/ tools/ =="
   mapfile -t SOURCES < <(find "$ROOT/src" "$ROOT/bench" "$ROOT/tests" \
-                              -name '*.cc' | sort)
+                              "$ROOT/tools" -name '*.cc' \
+                              -not -path '*/lint_fixtures/*' | sort)
   # WarningsAsErrors is set in .clang-tidy, so any finding is a failure.
   if ! printf '%s\n' "${SOURCES[@]}" \
        | xargs -P "$(nproc)" -n 4 "$TIDY" -p "$BUILD" --quiet; then
@@ -54,6 +81,34 @@ if [ -n "$TIDY" ]; then
   fi
 else
   echo "== lint: clang-tidy not installed; skipping tidy stage =="
+fi
+
+# Prefer an unversioned clang-format, else the newest versioned one.
+FORMAT="$(command -v clang-format || true)"
+if [ -z "$FORMAT" ]; then
+  for v in 21 20 19 18 17 16 15 14; do
+    if command -v "clang-format-$v" >/dev/null 2>&1; then
+      FORMAT="clang-format-$v"
+      break
+    fi
+  done
+fi
+
+if [ -n "$FORMAT" ]; then
+  echo "== lint: $FORMAT --dry-run -Werror =="
+  mapfile -t FMT_FILES < <(find "$ROOT/src" "$ROOT/bench" "$ROOT/tests" \
+                                "$ROOT/tools" "$ROOT/examples" \
+                                \( -name '*.cc' -o -name '*.cpp' \
+                                   -o -name '*.h' \) | sort)
+  if ! printf '%s\n' "${FMT_FILES[@]}" \
+       | xargs -P "$(nproc)" -n 8 "$FORMAT" --dry-run -Werror; then
+    echo "lint: FAIL (clang-format drift above)" >&2
+    fail=1
+  else
+    echo "lint: clang-format clean (${#FMT_FILES[@]} files)"
+  fi
+else
+  echo "== lint: clang-format not installed; skipping format stage =="
 fi
 
 if [ "$fail" -ne 0 ]; then

@@ -26,7 +26,7 @@ void CioqSwitch::Inject(sim::Cell cell, sim::Slot t) {
   // Stamp the shadow FCFS departure (injection order = FCFS tie-break).
   sim::Slot& next = next_dep_[static_cast<std::size_t>(cell.output)];
   cell.tag = std::max(t, next);
-  next = cell.tag + 1;
+  next = sim::SlotPlus(cell.tag, 1);
   voqs_.Push(cell);
 }
 

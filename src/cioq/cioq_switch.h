@@ -81,6 +81,7 @@ class CioqSwitch {
   // with its value (Cell::tag), which urgency-based schedulers (CCF) use.
   std::vector<sim::Slot> next_dep_;
   // Per-slot scratch reused across Advance calls (cleared, never freed).
+  // ckpt-skip: cleared at the top of every Advance; never live across slots
   std::vector<sim::Cell> departed_scratch_;
   std::uint64_t infeasible_ = 0;
   std::uint64_t nonmaximal_ = 0;

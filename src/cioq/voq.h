@@ -53,6 +53,7 @@ class VoqBank {
 
   sim::PortId num_ports_;
   std::vector<std::deque<sim::Cell>> queues_;
+  // ckpt-skip: recomputed from the restored queue sizes in LoadState
   std::int64_t total_ = 0;
 };
 

@@ -24,11 +24,15 @@
 // leaves a plausible-looking half checkpoint behind.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "sim/cell.h"
 #include "sim/error.h"
@@ -160,6 +164,34 @@ void WriteFile(const std::string& path, const Writer& writer);
 // Throws sim::SimError on missing file, bad magic, unsupported version,
 // truncation, or checksum mismatch.
 std::string ReadFile(const std::string& path);
+
+// --- canonical unordered-container traversal -------------------------------
+
+namespace detail {
+template <typename K, typename V>
+const K& KeyOf(const std::pair<const K, V>& entry) {
+  return entry.first;
+}
+template <typename K>
+const K& KeyOf(const K& entry) {
+  return entry;
+}
+}  // namespace detail
+
+// The canonical deterministic view of an unordered container: its keys,
+// sorted.  Serialization and merge paths that walk an unordered_map/set
+// MUST iterate SortedKeys(c) — pps_lint's determinism checker enforces it —
+// so equal states produce equal bytes regardless of hash-table insertion
+// history.
+template <typename Container>
+auto SortedKeys(const Container& c) {
+  using Key = std::decay_t<decltype(detail::KeyOf(*c.begin()))>;
+  std::vector<Key> keys;
+  keys.reserve(c.size());
+  for (const auto& entry : c) keys.push_back(detail::KeyOf(entry));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
 
 // --- shared small-object helpers -------------------------------------------
 

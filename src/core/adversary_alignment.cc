@@ -142,8 +142,8 @@ AlignmentPlan BuildAlignmentTraffic(const pps::SwitchConfig& config,
 
   // Phase 2: quiet period until all plane buffers drain.  Every alignment
   // cell is gone after at most (cells so far) * r' slots of silence.
-  cursor += static_cast<sim::Slot>(best.total_probes) * rp + rp +
-            options.extra_gap;
+  const sim::Slot drain = static_cast<sim::Slot>(best.total_probes + 1) * rp;
+  cursor = sim::SlotPlus(sim::SlotPlus(cursor, drain), options.extra_gap);
 
   // Phase 3: the concentration burst — d cells destined for j in d
   // consecutive slots, one per aligned input (leaky-bucket with B = 0).
@@ -158,8 +158,9 @@ AlignmentPlan BuildAlignmentTraffic(const pps::SwitchConfig& config,
   // the maximal delay sends one cell through an empty switch (delay 0), so
   // its jitter equals the burst cell's delay (Lemma 4(2)).
   if (options.jitter_probe) {
-    cursor += static_cast<sim::Slot>(best.aligned.size()) * rp + rp +
-              options.extra_gap;
+    const sim::Slot settle =
+        static_cast<sim::Slot>(best.aligned.size() + 1) * rp;
+    cursor = sim::SlotPlus(sim::SlotPlus(cursor, settle), options.extra_gap);
     plan.trace.Add(cursor, best.aligned.back(), j);
   }
 

@@ -59,7 +59,7 @@ StaleBurstPlan BuildStaleBurstTraffic(const pps::SwitchConfig& config,
         static_cast<sim::Slot>(m) * config.rate_ratio + config.rate_ratio + 8;
     const sim::PortId probe_input =
         static_cast<sim::PortId>((next_input + n - 1) % n);
-    plan.trace.Add(slot + gap, probe_input, j);
+    plan.trace.Add(sim::SlotPlus(slot, gap), probe_input, j);
   }
 
   plan.trace.Normalize();
@@ -105,7 +105,8 @@ double MeasureCongestedFraction(const pps::SwitchConfig& config,
   std::unordered_map<sim::FlowId, std::uint64_t> seq;
   sim::CellId next_id = 0;
   sim::Slot congested = 0;
-  const sim::Slot window = plan.sustain_end - plan.flood_end;
+  const sim::Slot window =
+      sim::SlotDifference(plan.sustain_end, plan.flood_end);
   SIM_CHECK(window > 0, "empty sustained window");
   for (sim::Slot t = 0; t < plan.sustain_end; ++t) {
     for (const auto& a : source.ArrivalsAt(t)) {

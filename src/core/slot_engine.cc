@@ -134,7 +134,7 @@ const std::vector<sim::Cell>& ArrivalFeeder::CellsAt(sim::Slot t) {
 
 bool ArrivalFeeder::ExhaustedAfter(sim::Slot t) const {
   const bool cut = cutoff_ > 0 && t >= cutoff_;
-  return cut || source_.Exhausted(t + 1);
+  return cut || source_.Exhausted(sim::SlotPlus(t, 1));
 }
 
 std::int64_t ArrivalFeeder::OfferedBurstiness() const {
@@ -383,10 +383,10 @@ void RelativeDelayLedger::Finish(RunResult& result) {
   for (const auto& [flow, mm] : jitter_measured_) {
     if (!mm.seen) continue;
     const auto& qq = jitter_shadow_.at(flow);
-    const sim::Slot jp = mm.max - mm.min;
-    const sim::Slot jq = qq.max - qq.min;
+    const sim::Slot jp = sim::SlotDifference(mm.max, mm.min);
+    const sim::Slot jq = sim::SlotDifference(qq.max, qq.min);
     result.max_relative_jitter =
-        std::max(result.max_relative_jitter, jp - jq);
+        std::max(result.max_relative_jitter, sim::SlotDifference(jp, jq));
   }
   if (keep_timeline_) {
     std::sort(result.timeline.begin(), result.timeline.end(),
@@ -516,10 +516,13 @@ void WindowAccumulator::EmitRow(sim::Slot end, const RunResult& result,
   row.max_relative_delay = max_relative_delay_;
   row.relative_delay = relative_delay_;
   for (const auto& [flow, fe] : flow_extremes_) {
-    const sim::Slot measured_jitter = fe.measured_max - fe.measured_min;
-    const sim::Slot shadow_jitter = fe.shadow_max - fe.shadow_min;
-    row.max_relative_jitter =
-        std::max(row.max_relative_jitter, measured_jitter - shadow_jitter);
+    const sim::Slot measured_jitter =
+        sim::SlotDifference(fe.measured_max, fe.measured_min);
+    const sim::Slot shadow_jitter =
+        sim::SlotDifference(fe.shadow_max, fe.shadow_min);
+    row.max_relative_jitter = std::max(
+        row.max_relative_jitter,
+        sim::SlotDifference(measured_jitter, shadow_jitter));
   }
   row.backlog = backlog;
   row.shadow_backlog = shadow_backlog;
@@ -540,8 +543,8 @@ void WindowAccumulator::OnSlotEnd(sim::Slot t, const RunResult& result,
                                   std::int64_t backlog,
                                   std::int64_t shadow_backlog) {
   if (!enabled()) return;
-  if ((t + 1) % window_slots_ != 0) return;
-  EmitRow(t + 1, result, cum_losses, backlog, shadow_backlog);
+  if (sim::SlotPlus(t, 1) % window_slots_ != 0) return;
+  EmitRow(sim::SlotPlus(t, 1), result, cum_losses, backlog, shadow_backlog);
 }
 
 void WindowAccumulator::Finish(sim::Slot end, const RunResult& result,
@@ -880,7 +883,7 @@ RunResult SlotEngine::Run(fabric::Fabric& fabric,
     // finalized — reclaim it now so pending memory stays bounded by the
     // in-flight backlog in long fault runs, not by the run length.
     constexpr sim::Slot kReconcilePeriod = 1024;
-    if (known_lost > 0 && (t + 1) % kReconcilePeriod == 0 &&
+    if (known_lost > 0 && sim::SlotPlus(t, 1) % kReconcilePeriod == 0 &&
         fabric.Drained()) {
       ledger.SweepLossLeaks(result);
     }
@@ -891,14 +894,14 @@ RunResult SlotEngine::Run(fabric::Fabric& fabric,
     }
 
     if (!drain.exhausted() && feeder.ExhaustedAfter(t)) {
-      drain.NoteExhausted(t + 1);
+      drain.NoteExhausted(sim::SlotPlus(t, 1));
     }
     const bool stop =
         drain.ShouldStop(t, fabric.Drained() && shadow.Drained());
-    if (checkpointing && (t + 1) % options.checkpoint_every == 0) {
+    if (checkpointing && sim::SlotPlus(t, 1) % options.checkpoint_every == 0) {
       WriteCheckpoint(options, fabric, shadow, source, faults, feeder,
-                      ledger, drain, window, result, losses_base, t + 1,
-                      stop);
+                      ledger, drain, window, result, losses_base,
+                      sim::SlotPlus(t, 1), stop);
     }
     if (stop) {
       ++t;

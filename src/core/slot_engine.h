@@ -75,6 +75,7 @@ class FaultScheduleApplier {
   void LoadState(ckpt::Reader& r);
 
  private:
+  // ckpt-skip: wiring reference re-established by the run harness on resume
   fabric::Fabric& fabric_;
   fault::FaultSchedule schedule_;
   std::size_t cursor_ = 0;
@@ -104,12 +105,14 @@ class ArrivalFeeder {
   void LoadState(ckpt::Reader& r);
 
  private:
+  // ckpt-skip: wiring reference; the source checkpoints itself separately
   traffic::TrafficSource& source_;
   sim::PortId num_ports_;
   sim::Slot cutoff_;  // 0 = pull until the source reports Exhausted
   traffic::BurstinessMeter meter_;
   std::unordered_map<sim::FlowId, std::uint64_t> seq_;
   sim::CellId next_id_ = 0;
+  // ckpt-skip: per-slot scratch, rebuilt by the next CellsAt call
   std::vector<sim::Cell> cells_scratch_;
 };
 
@@ -191,6 +194,7 @@ class WindowAccumulator {
                std::int64_t shadow_backlog);
 
   sim::Slot window_slots_;
+  // ckpt-skip: caller-supplied sink callback, re-bound on resume
   std::function<void(const WindowRow&)> emit_;
   std::uint64_t index_ = 0;
   sim::Slot window_start_ = 0;
@@ -266,7 +270,9 @@ class RelativeDelayLedger {
 
   sim::PortId num_ports_;
   bool keep_timeline_;
+  // ckpt-skip: wiring reference; the taps checkpoint with the run loop
   AuditTaps& taps_;
+  // ckpt-skip: wiring pointer to a stage that checkpoints itself
   WindowAccumulator* window_;
   sim::LatencyRecorder measured_rec_;
   sim::LatencyRecorder shadow_rec_;

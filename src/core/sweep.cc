@@ -147,13 +147,15 @@ json::Value Sweep::Run(const std::function<PointResult(const SweepPoint&)>& fn,
         point.index = i;
         point.seed = SweepSeed(options_.base_seed, options_.bench, i);
         point.params = &params_[i];
+        // pps-lint: allow(determinism): wall-clock brackets the point for
+        // the progress report only; it never feeds simulation results.
         const auto start = std::chrono::steady_clock::now();
         TimedResult timed;
         timed.result = fn(point);
+        // pps-lint: allow(determinism): see above — reported runtime only.
+        const auto stop = std::chrono::steady_clock::now();
         timed.wall_ms =
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - start)
-                .count();
+            std::chrono::duration<double, std::milli>(stop - start).count();
         SIM_CHECK(timed.result.cells.size() == options_.columns.size(),
                   "sweep point " << i << " of " << options_.bench
                                  << " returned " << timed.result.cells.size()

@@ -74,8 +74,8 @@ CpaEmulationCore::Plan CpaEmulationCore::PlanFor(sim::PortId output,
   // The shadow FCFS departure, exactly as the bufferless CPA computes it.
   sim::Slot& next = next_dep_[static_cast<std::size_t>(output)];
   const sim::Slot dep = std::max(now, next);
-  next = dep + 1;
-  return {now + u_, dep + u_};
+  next = sim::SlotPlus(dep, 1);
+  return {sim::SlotPlus(now, u_), sim::SlotPlus(dep, u_)};
 }
 
 pps::DispatchDecision CpaEmulationCore::Assign(
@@ -92,7 +92,7 @@ pps::DispatchDecision CpaEmulationCore::Assign(
 }
 
 void CpaEmulationCore::EndOfSlot(sim::Slot now) {
-  bookings_->ExpireBefore(now - config_.rate_ratio + 2);
+  bookings_->ExpireBefore(sim::SlotPlus(now, 2 - config_.rate_ratio));
 }
 
 void CpaEmulationDemux::Reset(const pps::SwitchConfig& config,
@@ -155,7 +155,7 @@ void ArbiterCore::Reset(const pps::SwitchConfig& config, int u) {
 void ArbiterCore::Request(sim::CellId cell, sim::PortId output,
                           sim::Slot now) {
   int& p = rr_[static_cast<std::size_t>(output)];
-  grants_[cell] = {now + u_, static_cast<sim::PlaneId>(p)};
+  grants_[cell] = {sim::SlotPlus(now, u_), static_cast<sim::PlaneId>(p)};
   p = (p + 1) % num_planes_;
 }
 
@@ -237,10 +237,7 @@ void CpaEmulationCore::LoadState(ckpt::Reader& r) {
 void CpaEmulationDemux::SaveState(ckpt::Writer& w) const {
   w.Marker("DXCE");
   if (input_ == 0) core_->SaveState(w);
-  std::vector<sim::CellId> keys;
-  keys.reserve(plans_.size());
-  for (const auto& [id, plan] : plans_) keys.push_back(id);
-  std::sort(keys.begin(), keys.end());
+  const std::vector<sim::CellId> keys = ckpt::SortedKeys(plans_);
   w.Size(keys.size());
   for (sim::CellId id : keys) {
     const CpaEmulationCore::Plan& plan = plans_.at(id);
@@ -269,10 +266,7 @@ void ArbiterCore::SaveState(ckpt::Writer& w) const {
   w.Marker("ARBC");
   w.Size(rr_.size());
   for (int p : rr_) w.I32(p);
-  std::vector<sim::CellId> keys;
-  keys.reserve(grants_.size());
-  for (const auto& [id, g] : grants_) keys.push_back(id);
-  std::sort(keys.begin(), keys.end());
+  const std::vector<sim::CellId> keys = ckpt::SortedKeys(grants_);
   w.Size(keys.size());
   for (sim::CellId id : keys) {
     const Grant& g = grants_.at(id);

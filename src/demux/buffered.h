@@ -47,6 +47,7 @@ class BufferedRoundRobinDemux final : public pps::BufferedDemultiplexor {
   void LoadState(ckpt::Reader& r) override;
 
  private:
+  // ckpt-skip: configuration re-pinned by Reset before any LoadState
   int num_planes_ = 0;
   std::vector<int> pointer_;  // per output
 };
@@ -79,7 +80,9 @@ class CpaEmulationCore {
   void LoadState(ckpt::Reader& r);
 
  private:
+  // ckpt-skip: configuration re-pinned by Reset before any LoadState
   pps::SwitchConfig config_;
+  // ckpt-skip: configuration re-pinned by Reset before any LoadState
   int u_ = 0;
   std::vector<sim::Slot> next_dep_;
   std::unique_ptr<pps::ReservationBank> bookings_;
@@ -114,6 +117,7 @@ class CpaEmulationDemux final : public pps::BufferedDemultiplexor {
 
  private:
   std::shared_ptr<CpaEmulationCore> core_;
+  // ckpt-skip: construction-time constant, identical on resume
   int u_;
   sim::PortId input_ = 0;
   std::unordered_map<sim::CellId, CpaEmulationCore::Plan> plans_;
@@ -147,7 +151,9 @@ class ArbiterCore {
     sim::Slot visible_at;
     sim::PlaneId plane;
   };
+  // ckpt-skip: configuration re-pinned by Reset before any LoadState
   int u_ = 0;
+  // ckpt-skip: configuration re-pinned by Reset before any LoadState
   int num_planes_ = 0;
   std::vector<int> rr_;  // per output
   std::unordered_map<sim::CellId, Grant> grants_;
@@ -180,6 +186,7 @@ class RequestGrantDemux final : public pps::BufferedDemultiplexor {
 
  private:
   std::shared_ptr<ArbiterCore> core_;
+  // ckpt-skip: construction-time constant, identical on resume
   int u_;
   sim::PortId input_ = 0;
 };

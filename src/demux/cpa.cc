@@ -34,7 +34,7 @@ pps::DispatchDecision CpaCore::Assign(
     if (!input_link_free[static_cast<std::size_t>(k)]) continue;
     if (bookings_->Conflicts(k, output, dep)) continue;
     bookings_->Reserve(k, output, dep);
-    next_dep_[static_cast<std::size_t>(output)] = dep + 1;
+    next_dep_[static_cast<std::size_t>(output)] = sim::SlotPlus(dep, 1);
     rotate_ = (k + 1) % config_.num_planes;
     return {static_cast<sim::PlaneId>(k), dep};
   }
@@ -46,7 +46,7 @@ void CpaCore::EndOfSlot(sim::Slot now) {
   // A booking at slot s conflicts with future bookings only while
   // s > dep - r'; future deps are >= now + 1... wait, deps can equal now+1
   // onward, so bookings with s <= now - r' + 1 can never conflict again.
-  bookings_->ExpireBefore(now - config_.rate_ratio + 2);
+  bookings_->ExpireBefore(sim::SlotPlus(now, 2 - config_.rate_ratio));
 }
 
 void CpaDemux::Reset(const pps::SwitchConfig& config, sim::PortId input) {

@@ -51,6 +51,7 @@ class CpaCore {
   void LoadState(ckpt::Reader& r);
 
  private:
+  // ckpt-skip: configuration re-pinned by Reset before any LoadState
   pps::SwitchConfig config_;
   std::vector<sim::Slot> next_dep_;                 // per output
   std::unique_ptr<pps::ReservationBank> bookings_;  // K x N output lines

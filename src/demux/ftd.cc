@@ -61,10 +61,7 @@ pps::DispatchDecision FtdDemux::Dispatch(const sim::Cell& cell,
 void FtdDemux::SaveState(ckpt::Writer& w) const {
   w.Marker("DXFT");
   w.U64(block_violations_);
-  std::vector<sim::PortId> keys;
-  keys.reserve(flows_.size());
-  for (const auto& [output, fs] : flows_) keys.push_back(output);
-  std::sort(keys.begin(), keys.end());
+  const std::vector<sim::PortId> keys = ckpt::SortedKeys(flows_);
   w.Size(keys.size());
   for (sim::PortId output : keys) {
     const FlowState& fs = flows_.at(output);

@@ -56,8 +56,11 @@ class FtdDemux final : public pps::Demultiplexor {
     int next = 0;  // rotating start so blocks cycle through all planes
   };
 
+  // ckpt-skip: construction-time constant, identical on resume
   int h_;
+  // ckpt-skip: configuration re-pinned by Reset before any LoadState
   int num_planes_ = 0;
+  // ckpt-skip: configuration re-pinned by Reset before any LoadState
   int block_size_ = 0;
   std::uint64_t block_violations_ = 0;
   std::unordered_map<sim::PortId, FlowState> flows_;  // keyed by output

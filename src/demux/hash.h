@@ -30,7 +30,9 @@ class HashDemux final : public pps::Demultiplexor {
   void LoadState(ckpt::Reader& r) override;
 
  private:
+  // ckpt-skip: construction-time constant, identical on resume
   std::uint64_t salt_;
+  // ckpt-skip: configuration re-pinned by Reset before any LoadState
   int num_planes_ = 0;
   std::uint64_t counter_ = 0;  // advances once per arriving cell
 };

@@ -38,8 +38,10 @@ class RandomDemux final : public pps::Demultiplexor {
   void LoadState(ckpt::Reader& r) override;
 
  private:
+  // ckpt-skip: construction-time constant; the live rng_ stream is saved
   std::uint64_t seed_;
   sim::Rng rng_;
+  // ckpt-skip: configuration re-pinned by Reset before any LoadState
   int num_planes_ = 0;
 };
 

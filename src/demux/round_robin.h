@@ -41,6 +41,7 @@ class RoundRobinDemux final : public pps::Demultiplexor {
   void LoadState(ckpt::Reader& r) override;
 
  private:
+  // ckpt-skip: configuration re-pinned by Reset before any LoadState
   int num_planes_ = 0;
   int pointer_ = 0;
 };
@@ -61,6 +62,7 @@ class PerOutputRoundRobinDemux final : public pps::Demultiplexor {
   void LoadState(ckpt::Reader& r) override;
 
  private:
+  // ckpt-skip: configuration re-pinned by Reset before any LoadState
   int num_planes_ = 0;
   std::vector<int> pointer_;  // per output
 };

@@ -48,7 +48,7 @@ pps::DispatchDecision StaleJsqDemux::Dispatch(const sim::Cell& cell,
 
 void StaleJsqDemux::OnSlotEnd(sim::Slot now) {
   // Drop records old enough to be covered by any snapshot we will see.
-  const sim::Slot horizon = now - u_ - 1;
+  const sim::Slot horizon = sim::SlotDifference(now, u_ + 1);
   recent_.erase(std::remove_if(recent_.begin(), recent_.end(),
                                [horizon](const Recent& r) {
                                  return r.slot <= horizon;

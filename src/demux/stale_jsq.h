@@ -52,8 +52,11 @@ class StaleJsqDemux final : public pps::Demultiplexor {
     sim::PortId output;
   };
 
+  // ckpt-skip: construction-time constant, identical on resume
   int u_;
+  // ckpt-skip: configuration re-pinned by Reset before any LoadState
   int num_planes_ = 0;
+  // ckpt-skip: configuration re-pinned by Reset before any LoadState
   sim::PortId num_ports_ = 0;
   std::vector<Recent> recent_;  // own dispatches newer than the snapshot
 };

@@ -50,7 +50,10 @@ class StaticPartitionDemux final : public pps::Demultiplexor {
   void LoadState(ckpt::Reader& r) override;
 
  private:
+  // ckpt-skip: construction-time constant, identical on resume
   int d_;
+  // ckpt-skip: recomputed by Reset from d_ and the switch config;
+  // LoadState only cross-checks it
   std::vector<sim::PlaneId> planes_;
   std::size_t pointer_ = 0;
 };

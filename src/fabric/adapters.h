@@ -79,6 +79,8 @@ class BufferlessPpsFabric final : public Fabric {
   const pps::BufferlessPps& underlying() const { return *sw_; }
 
  private:
+  // ckpt-skip: ownership handle only; sw_ aliases it and the
+  // pointee serializes through SaveState/LoadState above
   std::unique_ptr<pps::BufferlessPps> owned_;
   pps::BufferlessPps* sw_;
 };
@@ -148,6 +150,8 @@ class InputBufferedPpsFabric final : public Fabric {
   const pps::InputBufferedPps& underlying() const { return *sw_; }
 
  private:
+  // ckpt-skip: ownership handle only; sw_ aliases it and the
+  // pointee serializes through SaveState/LoadState above
   std::unique_ptr<pps::InputBufferedPps> owned_;
   pps::InputBufferedPps* sw_;
 };
@@ -191,6 +195,8 @@ class CioqFabric final : public Fabric {
   const cioq::CioqSwitch& underlying() const { return *sw_; }
 
  private:
+  // ckpt-skip: ownership handle only; sw_ aliases it and the
+  // pointee serializes through SaveState/LoadState above
   std::unique_ptr<cioq::CioqSwitch> owned_;
   cioq::CioqSwitch* sw_;
 };
@@ -230,6 +236,8 @@ class OutputQueuedFabric final : public Fabric {
   const pps::OutputQueuedSwitch& underlying() const { return *sw_; }
 
  private:
+  // ckpt-skip: ownership handle only; sw_ aliases it and the
+  // pointee serializes through SaveState/LoadState above
   std::unique_ptr<pps::OutputQueuedSwitch> owned_;
   pps::OutputQueuedSwitch* sw_;
 };
@@ -268,6 +276,8 @@ class RateLimitedOqFabric final : public Fabric {
   const pps::RateLimitedOqSwitch& underlying() const { return *sw_; }
 
  private:
+  // ckpt-skip: ownership handle only; sw_ aliases it and the
+  // pointee serializes through SaveState/LoadState above
   std::unique_ptr<pps::RateLimitedOqSwitch> owned_;
   pps::RateLimitedOqSwitch* sw_;
 };

@@ -182,7 +182,9 @@ class Fabric {
   }
 
  private:
+  // ckpt-skip: fixed identity string set at construction, never mutated
   std::string name_;
+  // ckpt-skip: per-slot scratch, rewritten by every InjectBatch call
   std::vector<std::uint8_t> inject_dropped_scratch_;
 };
 

@@ -22,7 +22,7 @@ bool JitterRegulator::Push(sim::Slot arrival) {
   }
   if (!next_release_.has_value()) {
     // Anchor the release grid on the first cell.
-    next_release_ = arrival + hold_back_;
+    next_release_ = sim::SlotPlus(arrival, hold_back_);
   }
   pending_.push_back(arrival);
   return true;
@@ -38,14 +38,18 @@ std::vector<sim::Slot> JitterRegulator::ReleasesUpTo(sim::Slot t) {
     if (due > t) break;
     pending_.pop_front();
     out.push_back(due);
-    max_violation_ = std::max(max_violation_, due - *next_release_);
-    max_added_delay_ = std::max(max_added_delay_, due - arrival);
+    max_violation_ =
+        std::max(max_violation_, sim::SlotDifference(due, *next_release_));
+    max_added_delay_ =
+        std::max(max_added_delay_, sim::SlotDifference(due, arrival));
     if (sim::IsSlot(last_release_)) {
-      max_violation_ = std::max(
-          max_violation_, sim::SlotDifference(due, last_release_) - period_);
+      max_violation_ =
+          std::max(max_violation_,
+                   sim::SlotPlus(sim::SlotDifference(due, last_release_),
+                                 -period_));
     }
     last_release_ = due;
-    next_release_ = due + period_;
+    next_release_ = sim::SlotPlus(due, period_);
     ++released_;
   }
   return out;
@@ -55,7 +59,7 @@ int JitterRegulator::RequiredCapacity(sim::Slot jitter, sim::Slot period) {
   SIM_CHECK(jitter >= 0 && period >= 1, "bad jitter/period");
   // ceil(J / p) + 1: up to ceil(J/p) cells can bunch inside one release
   // window on top of the one being released.
-  return static_cast<int>((jitter + period - 1) / period) + 1;
+  return static_cast<int>((sim::SlotPlus(jitter, period) - 1) / period) + 1;
 }
 
 }  // namespace qos

@@ -42,13 +42,13 @@ void LatencyRecorder::Record(const Cell& cell) {
 Slot LatencyRecorder::FlowJitter(FlowId flow) const {
   auto it = flows_.find(flow);
   if (it == flows_.end()) return 0;
-  return it->second.max_delay - it->second.min_delay;
+  return sim::SlotDifference(it->second.max_delay, it->second.min_delay);
 }
 
 Slot LatencyRecorder::MaxJitter() const {
   Slot best = 0;
   for (const auto& [flow, fr] : flows_) {
-    best = std::max(best, fr.max_delay - fr.min_delay);
+    best = std::max(best, sim::SlotDifference(fr.max_delay, fr.min_delay));
   }
   return best;
 }
@@ -68,10 +68,7 @@ void LatencyRecorder::Reset() {
 void LatencyRecorder::SaveState(ckpt::Writer& w) const {
   w.Marker("LREC");
   delay_stats_.SaveState(w);
-  std::vector<FlowId> flow_keys;
-  flow_keys.reserve(flows_.size());
-  for (const auto& [flow, fr] : flows_) flow_keys.push_back(flow);
-  std::sort(flow_keys.begin(), flow_keys.end());
+  const std::vector<FlowId> flow_keys = ckpt::SortedKeys(flows_);
   w.Size(flow_keys.size());
   for (FlowId flow : flow_keys) {
     const FlowRecord& fr = flows_.at(flow);
@@ -82,10 +79,7 @@ void LatencyRecorder::SaveState(ckpt::Writer& w) const {
     w.U64(fr.last_seq);
     w.I64(fr.last_departure);
   }
-  std::vector<CellId> cell_keys;
-  cell_keys.reserve(per_cell_.size());
-  for (const auto& [id, d] : per_cell_) cell_keys.push_back(id);
-  std::sort(cell_keys.begin(), cell_keys.end());
+  const std::vector<CellId> cell_keys = ckpt::SortedKeys(per_cell_);
   w.Size(cell_keys.size());
   for (CellId id : cell_keys) {
     w.U64(id);

@@ -59,13 +59,14 @@ std::vector<TimeSeries::Bucket> TimeSeries::Buckets(int count) const {
   if (points_.empty()) return buckets;
   const Slot lo = first_slot();
   const Slot hi = last_slot() + 1;
-  const Slot width = std::max<Slot>(1, (hi - lo + count - 1) / count);
+  const Slot width =
+      std::max<Slot>(1, (SlotDifference(hi, lo) + count - 1) / count);
   buckets.reserve(static_cast<std::size_t>(count));
   std::size_t cursor = 0;
   for (Slot from = lo; from < hi; from += width) {
     Bucket b;
     b.from = from;
-    b.to = std::min(hi, from + width);
+    b.to = std::min(hi, SlotPlus(from, width));
     double sum = 0;
     while (cursor < points_.size() && points_[cursor].slot < b.to) {
       const std::int64_t v = points_[cursor].value;

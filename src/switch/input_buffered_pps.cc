@@ -85,7 +85,7 @@ const GlobalSnapshot* InputBufferedPps::GlobalViewFor(
     case InfoModel::kCentralized:
       return ring_.Latest();
     case InfoModel::kRealTimeDistributed:
-      return ring_.Lookup(t - d.info_delay());
+      return ring_.Lookup(sim::SlotDifference(t, d.info_delay()));
   }
   return nullptr;
 }

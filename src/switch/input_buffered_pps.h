@@ -124,6 +124,7 @@ class InputBufferedPps {
   void Launch(sim::PortId input, const sim::Cell& cell,
               const DispatchDecision& decision, sim::Slot t);
 
+  // ckpt-skip: configuration re-pinned by Reset before any LoadState
   SwitchConfig config_;
   std::vector<std::unique_ptr<BufferedDemultiplexor>> demux_;
   std::vector<Plane> planes_;
@@ -139,24 +140,33 @@ class InputBufferedPps {
   std::uint64_t failed_plane_losses_ = 0;
   std::uint64_t stale_dispatch_losses_ = 0;
   std::uint64_t link_drop_losses_ = 0;
+  // ckpt-skip: derived from the demux info models by Reset
   bool needs_global_ = false;
+  // ckpt-skip: per-dispatch scratch, overwritten before every use
   std::unique_ptr<bool[]> free_buf_;
   // Per-slot scratch reused across Advance calls (cleared, never freed).
+  // ckpt-skip: per-slot scratch, cleared at the top of every Advance
   std::vector<sim::Cell> delivered_scratch_;
+  // ckpt-skip: per-slot scratch, cleared at the top of every Advance
   std::vector<sim::Cell> departed_scratch_;
   // Sharded-path scratch.
   struct LaunchRec {
     sim::Cell cell;
     DispatchDecision decision;
   };
+  // ckpt-skip: worker-pool scratch, rebuilt every sharded slot
   ShardSlotScratch shard_;
+  // ckpt-skip: per-slot scratch, cleared at the top of every sharded slot
   std::vector<std::vector<LaunchRec>> launches_scratch_;  // per input
+  // ckpt-skip: per-slot scratch, cleared at the top of every sharded slot
   std::vector<std::vector<sim::Cell>> kept_scratch_;      // per input
+  // ckpt-skip: per-slot scratch, cleared at the top of every sharded slot
   std::vector<std::uint8_t> overflow_scratch_;            // per input
   struct LaunchRef {
     std::uint32_t input;
     std::uint32_t idx;
   };
+  // ckpt-skip: per-slot scratch, cleared at the top of every sharded slot
   std::vector<std::vector<LaunchRef>> accept_buckets_;  // per plane
 };
 

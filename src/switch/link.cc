@@ -21,7 +21,7 @@ void LinkBank::Start(int row, int col, sim::Slot t) {
   SIM_DCHECK(next_free_[idx] <= t,
              "link (" << row << "," << col << ") busy until "
                       << next_free_[idx] << ", start at " << t);
-  next_free_[idx] = t + rate_ratio_;
+  next_free_[idx] = sim::SlotPlus(t, rate_ratio_);
 }
 
 int LinkBank::FreeCount(int row, sim::Slot t) const {
@@ -72,7 +72,10 @@ bool ReservationBank::Conflicts(int row, int col, sim::Slot t) const {
   constexpr sim::Slot kMin = std::numeric_limits<sim::Slot>::min();
   constexpr sim::Slot kMax = std::numeric_limits<sim::Slot>::max();
   const sim::Slot r = rate_ratio_ - 1;
+  // pps-lint: allow(slot-arith): deliberate saturating bound; kMin aliases
+  // the kNoSlot sentinel, so the checked helpers would reject it.
   const sim::Slot lo = t < kMin + r ? kMin : t - r;
+  // pps-lint: allow(slot-arith): saturating bound, see above.
   const sim::Slot hi = t > kMax - r ? kMax : t + r;
   auto it = slots.lower_bound(lo);
   return it != slots.end() && it->first <= hi;

@@ -161,10 +161,7 @@ void OutputMux::SaveState(ckpt::Writer& w) const {
   for (std::size_t i = fifo_head_; i < fifo_.size(); ++i) {
     ckpt::SaveCell(w, fifo_[i]);
   }
-  std::vector<sim::FlowId> flow_keys;
-  flow_keys.reserve(flows_.size());
-  for (const auto& [flow, fs] : flows_) flow_keys.push_back(flow);
-  std::sort(flow_keys.begin(), flow_keys.end());
+  const std::vector<sim::FlowId> flow_keys = ckpt::SortedKeys(flows_);
   w.Size(flow_keys.size());
   for (sim::FlowId flow : flow_keys) {
     const FlowState& fs = flows_.at(flow);

@@ -62,6 +62,7 @@ class OutputQueuedSwitch {
   sim::PortId num_ports_;
   std::vector<std::deque<sim::Cell>> queues_;
   // Per-slot scratch reused across Advance calls (cleared, never freed).
+  // ckpt-skip: cleared at the top of every Advance; never live across slots
   std::vector<sim::Cell> departed_scratch_;
   std::uint64_t idle_violations_ = 0;
 };

@@ -103,7 +103,7 @@ void Plane::Deliver(sim::Slot t, std::vector<sim::Cell>& out) {
     calendar_pending_ -= static_cast<std::int64_t>(bucket.cells.size());
     bucket.cells.clear();  // keeps capacity: the bucket storage recycles
     bucket.slot = sim::kNoSlot;
-    bookings_.ExpireBefore(t + 1);
+    bookings_.ExpireBefore(sim::SlotPlus(t, 1));
   }
 }
 

@@ -96,7 +96,9 @@ class Plane {
   LinkBank out_links_;
   std::vector<std::deque<sim::Cell>> queues_;  // eager mode
   std::vector<CalendarBucket> calendar_;       // booked mode (ring)
+  // ckpt-skip: recomputed by LoadState from the restored calendar ring
   std::size_t calendar_mask_ = 0;              // calendar_.size() - 1
+  // ckpt-skip: recomputed by LoadState from the restored calendar ring
   std::int64_t calendar_pending_ = 0;          // booked cells outstanding
   ReservationBank bookings_;                   // booked mode
   std::vector<std::int64_t> backlog_;          // per output

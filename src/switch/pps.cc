@@ -70,7 +70,7 @@ const GlobalSnapshot* BufferlessPps::GlobalViewFor(const Demultiplexor& d,
     case InfoModel::kCentralized:
       return ring_.Latest();  // end of slot t-1: full, immediate knowledge
     case InfoModel::kRealTimeDistributed:
-      return ring_.Lookup(t - d.info_delay());
+      return ring_.Lookup(sim::SlotDifference(t, d.info_delay()));
   }
   return nullptr;
 }

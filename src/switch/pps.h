@@ -174,6 +174,7 @@ class BufferlessPps {
   void FillSnapshotSharded(sim::Slot t, GlobalSnapshot& snap,
                            core::ShardPool& pool) const;
 
+  // ckpt-skip: configuration re-pinned by Reset before any LoadState
   SwitchConfig config_;
   std::vector<std::unique_ptr<Demultiplexor>> demux_;
   std::vector<Plane> planes_;
@@ -183,13 +184,17 @@ class BufferlessPps {
   std::vector<std::uint64_t> dispatch_count_;
   sim::PortId last_inject_input_ = -1;
   sim::Slot last_inject_slot_ = sim::kNoSlot;
+  // ckpt-skip: derived from the demux info models by Reset
   bool needs_global_ = false;
+  // ckpt-skip: per-dispatch scratch, overwritten before every use
   std::unique_ptr<bool[]> free_buf_;  // reusable DispatchContext buffer
   std::vector<bool> failed_;          // per plane, ground truth
   fault::PlaneVisibility visibility_;  // what the demultiplexors believe
   fault::LinkFaultInjector link_faults_;
   // Per-slot scratch reused across Advance calls (cleared, never freed).
+  // ckpt-skip: per-slot scratch, cleared at the top of every Advance
   std::vector<sim::Cell> delivered_scratch_;
+  // ckpt-skip: per-slot scratch, cleared at the top of every Advance
   std::vector<sim::Cell> departed_scratch_;
   std::uint64_t input_drops_ = 0;
   std::uint64_t failed_plane_losses_ = 0;
@@ -197,12 +202,19 @@ class BufferlessPps {
   std::uint64_t link_drop_losses_ = 0;
   std::int64_t max_plane_backlog_ = 0;
   std::int64_t max_output_backlog_ = 0;
+  // ckpt-skip: SaveState enforces the log is disabled or empty, so
+  // LoadState has nothing to restore
   sim::EventLog log_;
   // Sharded-path scratch (all reused, never freed between slots).
+  // ckpt-skip: worker-pool scratch, rebuilt every sharded slot
   ShardSlotScratch shard_;
+  // ckpt-skip: per-slot scratch, cleared at the top of every sharded slot
   std::vector<DispatchDecision> decisions_scratch_;  // per arriving cell
+  // ckpt-skip: per-slot scratch, cleared at the top of every sharded slot
   std::vector<std::uint8_t> outcome_scratch_;        // per arriving cell
+  // ckpt-skip: per-slot scratch, cleared at the top of every sharded slot
   std::vector<std::uint8_t> inject_dropped_scratch_;
+  // ckpt-skip: per-slot scratch, cleared at the top of every sharded slot
   std::vector<std::vector<std::uint32_t>> accept_buckets_;  // per plane
 };
 

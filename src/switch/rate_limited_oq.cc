@@ -32,7 +32,7 @@ const std::vector<sim::Cell>& RateLimitedOqSwitch::Advance(sim::Slot t) {
     q.pop_front();
     cell.reached_output = t;
     cell.departure = t;
-    next = t + service_interval_;
+    next = sim::SlotPlus(t, service_interval_);
     departed_scratch_.push_back(cell);
   }
   return departed_scratch_;

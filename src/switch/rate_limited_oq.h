@@ -55,6 +55,7 @@ class RateLimitedOqSwitch {
   std::vector<std::deque<sim::Cell>> queues_;
   std::vector<sim::Slot> next_service_;
   // Per-slot scratch reused across Advance calls (cleared, never freed).
+  // ckpt-skip: cleared at the top of every Advance; never live across slots
   std::vector<sim::Cell> departed_scratch_;
 };
 

@@ -9,7 +9,7 @@ namespace pps {
 
 void SnapshotRing::Push(GlobalSnapshot snap) {
   if (capacity_ == 0) return;
-  SIM_CHECK(ring_.empty() || snap.slot == ring_.back().slot + 1,
+  SIM_CHECK(ring_.empty() || snap.slot == sim::SlotPlus(ring_.back().slot, 1),
             "snapshots must be recorded every slot");
   if (static_cast<int>(ring_.size()) == capacity_) ring_.pop_front();
   ring_.push_back(std::move(snap));
@@ -19,7 +19,8 @@ const GlobalSnapshot* SnapshotRing::Lookup(sim::Slot t) const {
   if (ring_.empty()) return nullptr;
   if (t <= ring_.front().slot) return &ring_.front();
   if (t >= ring_.back().slot) return &ring_.back();
-  const auto offset = static_cast<std::size_t>(t - ring_.front().slot);
+  const auto offset =
+      static_cast<std::size_t>(sim::SlotDifference(t, ring_.front().slot));
   return &ring_[offset];
 }
 

@@ -19,7 +19,8 @@ AqtValidator::AqtValidator(sim::PortId num_ports, int window,
 }
 
 void AqtValidator::RecordPort(PortWindow& pw, sim::Slot t) {
-  while (!pw.recent.empty() && pw.recent.front() <= t - window_) {
+  while (!pw.recent.empty() &&
+         pw.recent.front() <= sim::SlotDifference(t, window_)) {
     pw.recent.pop_front();
   }
   pw.recent.push_back(t);

@@ -17,13 +17,14 @@ PhasedSource::PhasedSource(std::vector<Phase> phases)
 
 std::vector<sim::Arrival> PhasedSource::ArrivalsAt(sim::Slot t) {
   while (current_ < phases_.size() &&
-         t >= phase_start_ + phases_[current_].duration) {
+         t >= sim::SlotPlus(phase_start_, phases_[current_].duration)) {
     phase_start_ += phases_[current_].duration;
     ++current_;
   }
   if (current_ >= phases_.size()) return {};
   // Phases see local time starting at 0.
-  return phases_[current_].source->ArrivalsAt(t - phase_start_);
+  return phases_[current_].source->ArrivalsAt(
+      sim::SlotDifference(t, phase_start_));
 }
 
 bool PhasedSource::Exhausted(sim::Slot t) const { return t >= total_; }

@@ -17,8 +17,9 @@ TokenBucket::TokenBucket(std::int64_t burst, std::int64_t rate_num,
 
 void TokenBucket::AdvanceTo(sim::Slot t) {
   SIM_CHECK(t >= now_, "token bucket time moved backwards");
-  tokens_scaled_ = std::min(capacity_ * rate_den_,
-                            tokens_scaled_ + (t - now_) * rate_num_);
+  tokens_scaled_ =
+      std::min(capacity_ * rate_den_,
+               tokens_scaled_ + sim::SlotDifference(t, now_) * rate_num_);
   now_ = t;
 }
 
@@ -62,10 +63,12 @@ void BurstinessMeter::RecordPort(PortState& ps, sim::Slot t) {
   SIM_CHECK(t >= ps.last, "BurstinessMeter slots must be non-decreasing");
   // F(s) = count - s decreases while no cell arrives, so its minimum over
   // (last, t] is attained at s = t.
-  ps.min_excess = std::min(ps.min_excess, ps.count - t);
+  ps.min_excess = std::min(ps.min_excess, sim::SlotDifference(ps.count, t));
   ++ps.count;
+  const sim::Slot excess_now =
+      sim::SlotDifference(ps.count, sim::SlotPlus(t, 1));
   ps.max_burst =
-      std::max(ps.max_burst, (ps.count - (t + 1)) - ps.min_excess);
+      std::max(ps.max_burst, sim::SlotDifference(excess_now, ps.min_excess));
   ps.last = t;
 }
 

@@ -27,8 +27,8 @@ sim::PortId BernoulliSource::PickOutput(sim::PortId input, sim::Slot t,
       return static_cast<sim::PortId>(
           rng.UniformInt(static_cast<std::uint64_t>(num_ports_)));
     case Pattern::kDiagonal:
-      return static_cast<sim::PortId>(
-          (input + t) % static_cast<sim::Slot>(num_ports_));
+      return static_cast<sim::PortId>(sim::SlotPlus(t, input) %
+                                      static_cast<sim::Slot>(num_ports_));
     case Pattern::kHotspot:
       if (rng.Bernoulli(hotspot_fraction_)) return 0;
       return static_cast<sim::PortId>(

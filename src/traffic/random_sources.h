@@ -38,9 +38,13 @@ class BernoulliSource final : public TrafficSource {
  private:
   sim::PortId PickOutput(sim::PortId input, sim::Slot t, sim::Rng& rng);
 
+  // ckpt-skip: construction-time constant, identical on resume
   sim::PortId num_ports_;
+  // ckpt-skip: construction-time constant, identical on resume
   double load_;
+  // ckpt-skip: construction-time constant, identical on resume
   Pattern pattern_;
+  // ckpt-skip: construction-time constant, identical on resume
   double hotspot_fraction_;
   std::vector<sim::Rng> per_input_rng_;
 };
@@ -69,8 +73,11 @@ class OnOffSource final : public TrafficSource {
     sim::Rng rng{0};
   };
 
+  // ckpt-skip: construction-time constant, identical on resume
   sim::PortId num_ports_;
+  // ckpt-skip: construction-time constant, identical on resume
   double p_on_;   // OFF -> ON transition probability
+  // ckpt-skip: construction-time constant, identical on resume
   double p_off_;  // ON -> OFF transition probability
   std::vector<PortState> ports_;
 };

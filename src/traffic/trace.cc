@@ -131,7 +131,8 @@ void Trace::SaveBinary(std::ostream& os) const {
               "SaveBinary requires nonnegative sorted slots");
     SIM_CHECK(e.input >= 0 && e.output >= 0,
               "SaveBinary requires nonnegative port ids");
-    PutVarint(os, static_cast<std::uint64_t>(e.slot - prev));
+    PutVarint(
+        os, static_cast<std::uint64_t>(sim::SlotDifference(e.slot, prev)));
     PutVarint(os, static_cast<std::uint64_t>(e.input));
     PutVarint(os, static_cast<std::uint64_t>(e.output));
     prev = e.slot;

@@ -7,8 +7,9 @@ namespace traffic {
 Trace Shift(const Trace& trace, sim::Slot offset) {
   Trace out;
   for (const TraceEntry& e : trace.entries()) {
-    SIM_CHECK(e.slot + offset >= 0, "shift would produce a negative slot");
-    out.Add(e.slot + offset, e.input, e.output);
+    const sim::Slot shifted = sim::SlotPlus(e.slot, offset);
+    SIM_CHECK(shifted >= 0, "shift would produce a negative slot");
+    out.Add(shifted, e.input, e.output);
   }
   out.Normalize();
   return out;

@@ -1,0 +1,104 @@
+// pps_lint fixture: checkpoint field coverage (checker `ckpt-coverage`).
+//
+// NOT compiled into any target — this file is linted by the
+// pps_lint_selftest ctest target, which asserts that every line tagged
+// with an expect-finding annotation fires exactly that finding and that
+// no other line fires anything.  It mirrors the house serialization idiom
+// (trailing-underscore members, SaveState/LoadState over ckpt streams).
+
+#include <cstdint>
+#include <vector>
+
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
+namespace fixture {
+
+// Fully covered: every member appears in both methods — must stay silent.
+class CoveredInline {
+ public:
+  void SaveState(ckpt::Writer& w) const {
+    Put(w, count_);
+    Put(w, mean_);
+  }
+  void LoadState(ckpt::Reader& r) {
+    Get(r, count_);
+    Get(r, mean_);
+  }
+
+ private:
+  static void Put(ckpt::Writer&, double);
+  static void Get(ckpt::Reader&, double&);
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+};
+
+// A member added after the checkpoint methods were written: serialized in
+// neither, in SaveState only, and in LoadState only.
+class Rotted {
+ public:
+  void SaveState(ckpt::Writer& w) const {
+    Put(w, saved_);
+    Put(w, save_only_);
+  }
+  void LoadState(ckpt::Reader& r) {
+    Get(r, saved_);
+    Get(r, load_only_);
+  }
+
+ private:
+  static void Put(ckpt::Writer&, double);
+  static void Get(ckpt::Reader&, double&);
+  double saved_ = 0.0;
+  double forgotten_ = 0.0;  // expect-finding(ckpt-coverage)
+  double save_only_ = 0.0;  // expect-finding(ckpt-coverage)
+  double load_only_ = 0.0;  // expect-finding(ckpt-coverage)
+};
+
+// Deliberately unserialized scratch state carries an annotation with the
+// reason — must stay silent.
+class Annotated {
+ public:
+  void SaveState(ckpt::Writer& w) const { Put(w, total_); }
+  void LoadState(ckpt::Reader& r) { Get(r, total_); }
+
+ private:
+  static void Put(ckpt::Writer&, double);
+  static void Get(ckpt::Reader&, double&);
+  double total_ = 0.0;
+  // ckpt-skip: rebuilt lazily by the next Advance; never part of state
+  std::vector<int> scratch_;
+  double cache_ = 0.0;  // ckpt-skip: derived from total_ on first read
+};
+
+// Out-of-line bodies (the common .h/.cc split) are matched through the
+// class name.
+class OutOfLine {
+ public:
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
+
+ private:
+  std::uint64_t kept_ = 0;
+  std::uint64_t dropped_ = 0;  // expect-finding(ckpt-coverage)
+};
+
+void OutOfLine::SaveState(ckpt::Writer& w) const {
+  (void)w;
+  (void)kept_;
+}
+void OutOfLine::LoadState(ckpt::Reader& r) {
+  (void)r;
+  kept_ = 0;
+}
+
+// A class without checkpoint methods is out of scope no matter what its
+// members look like — must stay silent.
+class NotCheckpointed {
+ private:
+  double untouched_ = 0.0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,132 @@
+// pps_lint fixture: determinism lint (checker `determinism`).
+//
+// NOT compiled — linted by the pps_lint_selftest ctest target.  Seeds one
+// violation per banned construct plus the allowlisted/annotated twins that
+// must stay silent.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <functional>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ckpt {
+class Writer;
+class Reader;
+template <typename Container>
+std::vector<int> SortedKeys(const Container& c);
+}  // namespace ckpt
+
+namespace fixture {
+
+// --- banned entropy / wall-clock sources ------------------------------------
+
+inline std::uint64_t NondeterministicSeed() {
+  std::random_device rd;  // expect-finding(determinism)
+  return rd();
+}
+
+inline int LibcRandom() {
+  return std::rand();  // expect-finding(determinism)
+}
+
+inline long WallClockSeconds() {
+  return std::time(nullptr);  // expect-finding(determinism)
+}
+
+inline double WallClockNow() {
+  const auto t =
+      std::chrono::steady_clock::now();  // expect-finding(determinism)
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+inline double AnnotatedTiming() {
+  // pps-lint: allow(determinism): feeds the reported runtime only, never
+  // simulation results.
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+// --- pointer-value ordering / hashing ---------------------------------------
+
+struct Node {
+  int value = 0;
+};
+
+inline std::size_t HashByAddress(const Node* n) {
+  return std::hash<const Node*>{}(n);  // expect-finding(determinism)
+}
+
+inline std::uint64_t AddressAsInteger(const Node* n) {
+  return reinterpret_cast<std::uintptr_t>(n);  // expect-finding(determinism)
+}
+
+inline std::size_t HashByValue(const Node& n) {
+  return std::hash<int>{}(n.value);  // value hash: silent
+}
+
+// --- unordered iteration in serialization/merge paths -----------------------
+
+class Table {
+ public:
+  void SaveState(ckpt::Writer& w) const {
+    (void)w;
+    for (const auto& [key, value] : cells_) {  // expect-finding(determinism)
+      (void)key;
+      (void)value;
+    }
+    (void)seen_;
+  }
+  void LoadState(ckpt::Reader& r) {
+    (void)r;
+    cells_.clear();
+    seen_.clear();
+  }
+  void Merge(const Table& other) {
+    for (int key : other.seen_) {  // expect-finding(determinism)
+      seen_.insert(key);
+    }
+    std::unordered_map<int, int> local;
+    for (const auto& [key, value] : local) {  // expect-finding(determinism)
+      (void)key;
+      (void)value;
+    }
+  }
+
+ private:
+  // ckpt-skip: fixture exercises the iteration checker, not coverage
+  std::unordered_map<int, long> cells_;
+  std::unordered_set<int> seen_;  // ckpt-skip: fixture scratch
+};
+
+// Routed through the canonical helper — must stay silent.
+class SortedTable {
+ public:
+  void SaveState(ckpt::Writer& w) const {
+    (void)w;
+    for (int key : ckpt::SortedKeys(cells_)) {
+      (void)cells_.at(key);
+    }
+  }
+  void LoadState(ckpt::Reader& r) {
+    (void)r;
+    cells_.clear();
+  }
+
+ private:
+  std::unordered_map<int, long> cells_;
+};
+
+// Iteration outside a serialization/merge path is fine (order never
+// reaches results or bytes) — must stay silent.
+inline int SumAnywhere(const std::unordered_map<int, int>& m) {
+  int total = 0;
+  for (const auto& [key, value] : m) total += value;
+  return total;
+}
+
+}  // namespace fixture

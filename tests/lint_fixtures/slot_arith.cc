@@ -1,0 +1,77 @@
+// pps_lint fixture: checked slot arithmetic (checker `slot-arith`).
+//
+// NOT compiled — linted by the pps_lint_selftest ctest target.  Raw
+// `+`/`-` with a Slot-typed operand must go through SlotPlus /
+// SlotDifference / CheckedSlotPlus; everything else stays silent.
+
+#include <cstdint>
+
+namespace sim {
+using Slot = std::int64_t;
+inline constexpr Slot kNoSlot = -9223372036854775807LL - 1;
+// Declarations only: the real helpers live in sim/types.h, which is
+// allowlisted; this fixture file is not, so definitions would self-flag.
+Slot SlotPlus(Slot s, std::int64_t delta);
+Slot SlotDifference(Slot lhs, Slot rhs);
+
+struct Cell {
+  Slot arrival = kNoSlot;
+  Slot departure = kNoSlot;
+};
+}  // namespace sim
+
+namespace fixture {
+
+using sim::Cell;
+using sim::Slot;
+
+inline Slot RawPlus(Slot now) {
+  return now + 1;  // expect-finding(slot-arith)
+}
+
+inline Slot RawDifference(Slot a, Slot b) {
+  return a - b;  // expect-finding(slot-arith)
+}
+
+inline Slot RawFieldAccess(const Cell& c) {
+  return c.departure - c.arrival;  // expect-finding(slot-arith)
+}
+
+inline Slot RawRightOperand(std::int64_t offset, const Cell& c) {
+  return offset + c.arrival;  // expect-finding(slot-arith)
+}
+
+inline Slot LocalDeclared() {
+  Slot deadline = 0;
+  std::int64_t grace = 4;
+  return deadline - grace;  // expect-finding(slot-arith)
+}
+
+// Routed through the checked helpers — must stay silent.
+inline Slot Checked(Slot now, const Cell& c) {
+  const Slot next = sim::SlotPlus(now, 1);
+  return sim::SlotDifference(next, c.arrival);
+}
+
+// Annotated raw arithmetic (e.g. proven-set operands on a hot path) —
+// must stay silent.
+inline Slot AnnotatedHotPath(Slot now) {
+  // pps-lint: allow(slot-arith): `now` is the engine clock, never a
+  // sentinel; this is the per-slot hot path.
+  return now + 1;
+}
+
+// Arithmetic on untyped integers is out of scope — must stay silent.
+// (The names deliberately avoid every Slot-declared identifier in this
+// file: the symbol table is file-granular.)
+inline std::int64_t PlainIntegers(std::int64_t first, std::int64_t second) {
+  return first + second - 1;
+}
+
+// Unary minus is not slot arithmetic — must stay silent.
+inline Slot UnaryMinus(std::int64_t delta) {
+  const Slot shifted = sim::SlotPlus(0, -delta);
+  return shifted;
+}
+
+}  // namespace fixture

@@ -65,7 +65,7 @@ TEST(InvariantAuditor, DetectsDroppedCellUndercount) {
   for (sim::Slot t = 0; t < 9; ++t) {
     aud.OnDepart(MakeCell(static_cast<sim::CellId>(t), 0, 1,
                           static_cast<std::uint64_t>(t), t),
-                 10 + t);
+                 sim::SlotPlus(t, 10));
   }
   aud.OnSlotEnd(19, /*backlog=*/0, /*lost=*/0);
   EXPECT_GT(aud.report().count(Invariant::kConservation), 0u);
@@ -79,7 +79,7 @@ TEST(InvariantAuditor, DetectsDroppedCellUndercount) {
   for (sim::Slot t = 0; t < 9; ++t) {
     honest.OnDepart(MakeCell(static_cast<sim::CellId>(t), 0, 1,
                              static_cast<std::uint64_t>(t), t),
-                    10 + t);
+                    sim::SlotPlus(t, 10));
   }
   honest.OnSlotEnd(19, /*backlog=*/0, /*lost=*/1);
   EXPECT_TRUE(honest.clean()) << honest.report().Summary();

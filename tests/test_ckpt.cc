@@ -1,7 +1,10 @@
 // The exact-state checkpoint/restore contract (ckpt/ + SlotEngine wiring):
 //
 //  * serializer container: CRC/magic/version/truncation rejection — a
-//    corrupted checkpoint must fail loudly, never load approximately;
+//    corrupted checkpoint must fail loudly, never load approximately —
+//    plus the in-stream guards: mid-stream section-marker mismatch,
+//    zero-length container round-trip, and malformed bool/size/string
+//    bytes;
 //  * the hard engine guarantee: checkpoint-at-S then restore-and-continue
 //    is byte-identical to the uninterrupted run for every RunResult field
 //    (Welford doubles bit_cast-compared, timelines entry by entry), for
@@ -24,6 +27,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -139,6 +143,92 @@ TEST(Serializer, FileContainerRoundTripsAndValidates) {
 
   rewrite(file);
   EXPECT_EQ(ckpt::ReadFile(path), w.bytes());  // intact again
+}
+
+// A marker mismatch deep inside an otherwise-valid stream must fail at the
+// exact section boundary, after the preceding sections parsed cleanly — the
+// markers exist so a misaligned LoadState never reinterprets a neighbour's
+// bytes as its own.
+TEST(Serializer, SectionMarkerMismatchMidStream) {
+  ckpt::Writer w;
+  w.Marker("HEAD");
+  w.U64(7);
+  w.Marker("BODY");
+  w.I64(-1);
+  w.Marker("TAIL");
+
+  ckpt::Reader r(w.bytes());
+  r.ExpectMarker("HEAD");
+  EXPECT_EQ(r.U64(), 7u);
+  try {
+    r.ExpectMarker("FOOT");  // stream actually holds "BODY" here
+    FAIL() << "must throw";
+  } catch (const sim::SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("FOOT"), std::string::npos) << what;
+    EXPECT_NE(what.find("BODY"), std::string::npos) << what;
+    // The reported offset is the marker's position: 4 ("HEAD") + 8 (U64).
+    EXPECT_NE(what.find("offset 12"), std::string::npos) << what;
+  }
+
+  // The failed expectation must not consume the marker: a reader that
+  // catches the mismatch to dispatch on section type can still match it.
+  r.ExpectMarker("BODY");
+  EXPECT_EQ(r.I64(), -1);
+  r.ExpectMarker("TAIL");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+// Zero-length containers are a real state (drained queues, empty flow maps)
+// and must round-trip as exactly "size 0, no elements" — with the stream
+// positioned correctly for whatever follows.
+TEST(Serializer, ZeroLengthContainerRoundTrip) {
+  ckpt::Writer w;
+  w.Marker("VECS");
+  w.Size(0);          // empty vector: no element bytes follow
+  w.Str("");          // empty string
+  w.Size(0);          // empty map
+  w.Marker("NEXT");   // the section after the empties must still align
+  w.U32(99);
+
+  ckpt::Reader r(w.bytes());
+  r.ExpectMarker("VECS");
+  EXPECT_EQ(r.Size(), 0u);
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_EQ(r.Size(), 0u);
+  r.ExpectMarker("NEXT");
+  EXPECT_EQ(r.U32(), 99u);
+  EXPECT_TRUE(r.AtEnd());
+
+  // SortedKeys of an empty unordered container is an empty key list, not UB
+  // on begin() — the canonical traversal the determinism lint routes
+  // serialization through.
+  const std::unordered_map<int, int> empty_map;
+  EXPECT_TRUE(ckpt::SortedKeys(empty_map).empty());
+}
+
+// The malformed-byte guards: a bool byte outside {0, 1}, an implausible
+// 64-bit size, and a string whose declared length overruns the stream all
+// throw instead of fabricating state.
+TEST(Serializer, MalformedBytesAreRejected) {
+  {
+    ckpt::Writer w;
+    w.U8(2);  // not a valid Bool encoding
+    ckpt::Reader r(w.bytes());
+    EXPECT_THROW(r.Bool(), sim::SimError);
+  }
+  {
+    ckpt::Writer w;
+    w.U64(std::uint64_t{1} << 60);  // absurd container size
+    ckpt::Reader r(w.bytes());
+    EXPECT_THROW(r.Size(), sim::SimError);
+  }
+  {
+    ckpt::Writer w;
+    w.Size(32);  // declares 32 bytes, stream ends immediately
+    ckpt::Reader r(w.bytes());
+    EXPECT_THROW(r.Str(), sim::SimError);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -610,7 +700,7 @@ TEST(ThreadBudgetLease, ReleasedWhenAShardThrows) {
 TEST(TraceAppend, OverflowPastTheSlotDomainThrows) {
   constexpr sim::Slot kMax = std::numeric_limits<sim::Slot>::max();
   traffic::Trace near_end;
-  near_end.Add(kMax - 5, 0, 0);
+  near_end.Add(sim::SlotDifference(kMax, 5), 0, 0);
 
   // Exactly reaching the last representable slot is fine.
   traffic::Trace ok;

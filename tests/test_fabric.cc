@@ -242,7 +242,8 @@ core::RunResult LegacyRunImpl(PpsT& pps, traffic::TrafficSource& source,
     }
 
     constexpr sim::Slot kReconcilePeriod = 1024;
-    if (known_lost > 0 && (t + 1) % kReconcilePeriod == 0 && pps.Drained()) {
+    if (known_lost > 0 && sim::SlotPlus(t, 1) % kReconcilePeriod == 0 &&
+        pps.Drained()) {
       for (auto it = pending.begin(); it != pending.end();) {
         if (it->second.pps_delay == sim::kNoSlot &&
             it->second.shadow_delay != sim::kNoSlot) {
@@ -255,8 +256,8 @@ core::RunResult LegacyRunImpl(PpsT& pps, traffic::TrafficSource& source,
     }
 
     if (exhausted_at == sim::kNoSlot &&
-        (cut || source.Exhausted(t + 1))) {
-      exhausted_at = t + 1;
+        (cut || source.Exhausted(sim::SlotPlus(t, 1)))) {
+      exhausted_at = sim::SlotPlus(t, 1);
     }
     if (exhausted_at != sim::kNoSlot) {
       const bool drained = pps.Drained() && shadow.Drained();
@@ -294,10 +295,10 @@ core::RunResult LegacyRunImpl(PpsT& pps, traffic::TrafficSource& source,
   for (const auto& [flow, mm] : jitter_pps) {
     if (!mm.seen) continue;
     const auto& qq = jitter_oq.at(flow);
-    const sim::Slot jp = mm.max - mm.min;
-    const sim::Slot jq = qq.max - qq.min;
+    const sim::Slot jp = sim::SlotDifference(mm.max, mm.min);
+    const sim::Slot jq = sim::SlotDifference(qq.max, qq.min);
     result.max_relative_jitter =
-        std::max(result.max_relative_jitter, jp - jq);
+        std::max(result.max_relative_jitter, sim::SlotDifference(jp, jq));
   }
   if (options.keep_timeline) {
     std::sort(result.timeline.begin(), result.timeline.end(),

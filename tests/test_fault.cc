@@ -438,7 +438,7 @@ TEST(StaleVisibility, DispatchToFailedPlaneIsCountedNotFatal) {
       sim::Cell cell;
       cell.id = id++;
       cell.input = i;
-      cell.output = static_cast<sim::PortId>((i + t) % 4);
+      cell.output = static_cast<sim::PortId>(sim::SlotPlus(t, i) % 4);
       cell.seq = static_cast<std::uint64_t>(t);
       EXPECT_NO_THROW(sw.Inject(cell, t));
     }

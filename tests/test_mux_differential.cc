@@ -168,8 +168,9 @@ std::vector<PlannedDelivery> MakeTraffic(std::uint64_t seed, sim::PortId n,
       cell.seq = seq[idx]++;
       cell.arrival = t;
       if (rng.Bernoulli(loss_prob)) continue;  // lost inside the switch
-      plan.push_back({t + 1 + static_cast<sim::Slot>(rng.UniformInt(8)),
-                      cell});
+      plan.push_back(
+          {sim::SlotPlus(t, 1 + static_cast<sim::Slot>(rng.UniformInt(8))),
+           cell});
     }
   }
   std::stable_sort(plan.begin(), plan.end(),
@@ -222,7 +223,7 @@ void RunDifferential(pps::MuxPolicy policy, int reseq_timeout,
     ASSERT_EQ(mux.seq_gaps_closed(), ref.seq_gaps_closed())
         << "slot " << t << " seed " << seed;
     const bool quiet = next == plan.size() && !new_departed;
-    idle = quiet ? idle + 1 : 0;
+    idle = quiet ? sim::SlotPlus(idle, 1) : 0;
   }
   // With a timeout (or no losses) everything deliverable must drain; with
   // losses and no timeout both muxes must strand the identical remainder.

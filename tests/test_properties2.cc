@@ -117,7 +117,7 @@ TEST(CpaBoundary, WorksAtExactlyKEquals2RPrimeMinus1) {
     traffic::Trace trace;
     for (sim::Slot t = 0; t < 400; ++t) {
       trace.Add(t, static_cast<sim::PortId>(t % 8), 0);      // hot output
-      trace.Add(t, static_cast<sim::PortId>((t + 3) % 8),    // background
+      trace.Add(t, static_cast<sim::PortId>(sim::SlotPlus(t, 3) % 8),
                 static_cast<sim::PortId>(1 + (t % 7)));
     }
     trace.Normalize();

@@ -100,10 +100,10 @@ TEST(ReservationBank, ClearRemovesSentinelSlotReservation) {
   res.Reserve(0, 0, kMax);
   res.ExpireBefore(kMax);
   EXPECT_EQ(res.pending(), 1u);                // the sentinel-slot leak
-  EXPECT_TRUE(res.Conflicts(0, 0, kMax - 1));
+  EXPECT_TRUE(res.Conflicts(0, 0, sim::SlotDifference(kMax, 1)));
   res.Clear();
   EXPECT_EQ(res.pending(), 0u);
-  EXPECT_FALSE(res.Conflicts(0, 0, kMax - 1));
+  EXPECT_FALSE(res.Conflicts(0, 0, sim::SlotDifference(kMax, 1)));
   EXPECT_FALSE(res.Conflicts(0, 0, 5));
 }
 

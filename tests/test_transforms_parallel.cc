@@ -115,7 +115,7 @@ std::int64_t BruteForceBurstiness(const std::vector<sim::Slot>& arrivals) {
     for (std::size_t b = a; b < arrivals.size(); ++b) {
       const std::int64_t cells = static_cast<std::int64_t>(b - a + 1);
       const sim::Slot span = arrivals[b] - arrivals[a] + 1;
-      best = std::max(best, cells - span);
+      best = std::max(best, sim::SlotDifference(cells, span));
     }
   }
   return best;

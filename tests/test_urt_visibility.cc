@@ -48,7 +48,7 @@ std::vector<sim::PlaneId> ProbePlanesAfterBacklog(int u) {
       cell.id = id++;
       cell.input = 0;
       cell.output = 0;
-      cell.seq = static_cast<std::uint64_t>(t - 3);
+      cell.seq = static_cast<std::uint64_t>(sim::SlotDifference(t, 3));
       sw.Inject(cell, t);
     }
     for (const auto& c : sw.Advance(t)) {

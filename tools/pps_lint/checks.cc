@@ -1,0 +1,354 @@
+#include "checks.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace lint {
+namespace {
+
+bool PathContains(const std::string& path, const std::string& piece) {
+  return path.find(piece) != std::string::npos;
+}
+
+bool PathEndsWith(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string Basename(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+// Wall-clock reads are legitimate only in benchmark timing code.
+bool ClockAllowlisted(const std::string& path) {
+  return PathContains(path, "bench/") ||
+         Basename(path).rfind("bench_", 0) == 0;
+}
+
+bool Allowed(const LexedFile& file, int line, const std::string& checker) {
+  return LineAnnotated(file, line, "allow(" + checker);
+}
+
+bool IsIdent(const Token& t) { return t.kind == TokKind::kIdentifier; }
+
+const std::set<std::string>& SlotFields() {
+  // Slot-typed fields of the core structs (sim::Cell, traffic::TraceEntry,
+  // switch snapshots): `x.arrival` etc. are Slot-typed expressions even
+  // when `x` itself is not in the symbol table.
+  static const std::set<std::string> kFields = {
+      "arrival", "departure", "dispatched", "reached_output", "tag", "slot"};
+  return kFields;
+}
+
+// --- slot-arith -------------------------------------------------------------
+
+// Identifier-shaped keywords after which `+`/`-` is unary.
+bool UnaryContextKeyword(const std::string& t) {
+  static const std::set<std::string> kKeywords = {
+      "return", "case", "throw", "co_return", "co_yield",
+      "operator", "new", "delete", "else", "sizeof"};
+  return kKeywords.count(t) != 0;
+}
+
+void CheckSlotArith(const FileModel& fm, const std::set<std::string>& slots,
+                    std::vector<Finding>& out) {
+  const std::string& path = fm.lex.path;
+  // The helpers themselves (and the Cell convenience accessors) live here.
+  if (PathEndsWith(path, "sim/types.h") || PathEndsWith(path, "sim/cell.h")) {
+    return;
+  }
+  const std::vector<Token>& toks = fm.lex.tokens;
+  auto is_slot_expr_end = [&](std::size_t i) {  // expression ending at i
+    if (!IsIdent(toks[i])) return false;
+    if (slots.count(toks[i].text) != 0) return true;
+    return i >= 2 && SlotFields().count(toks[i].text) != 0 &&
+           (toks[i - 1].text == "." || toks[i - 1].text == "->");
+  };
+  auto is_slot_expr_start = [&](std::size_t i) {  // expression starting at i
+    if (i >= toks.size() || !IsIdent(toks[i])) return false;
+    const bool call = i + 1 < toks.size() && toks[i + 1].text == "(";
+    if (slots.count(toks[i].text) != 0 && !call) return true;
+    return i + 2 < toks.size() &&
+           (toks[i + 1].text == "." || toks[i + 1].text == "->") &&
+           SlotFields().count(toks[i + 2].text) != 0;
+  };
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct || (t.text != "+" && t.text != "-")) {
+      continue;
+    }
+    // Binary only: the left neighbour must terminate an expression.
+    const Token& prev = toks[i - 1];
+    const bool binary =
+        (IsIdent(prev) && !UnaryContextKeyword(prev.text)) ||
+        prev.kind == TokKind::kNumber || prev.text == ")" || prev.text == "]";
+    if (!binary) continue;
+    const bool left_slot = is_slot_expr_end(i - 1);
+    const bool right_slot = is_slot_expr_start(i + 1);
+    if (!left_slot && !right_slot) continue;
+    if (Allowed(fm.lex, t.line, kSlotArith)) continue;
+    out.push_back(
+        {path, t.line, kSlotArith,
+         "raw `" + t.text +
+             "` on a Slot-typed operand; use SlotPlus / SlotDifference / "
+             "CheckedSlotPlus (sim/types.h) so sentinel operands assert "
+             "instead of overflowing"});
+  }
+}
+
+// --- determinism: banned calls and types ------------------------------------
+
+// Skips from the `<` at `open` to the index of its matching `>`.
+std::size_t MatchCloseAngle(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "<") ++depth;
+    if (t == ">") {
+      if (--depth == 0) return i;
+    }
+    if (t == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i;
+    }
+    if (t == ";" || t == "{") break;  // malformed; stop scanning
+  }
+  return open;
+}
+
+void CheckBannedTokens(const FileModel& fm, std::vector<Finding>& out) {
+  const std::string& path = fm.lex.path;
+  const std::vector<Token>& toks = fm.lex.tokens;
+  static const std::set<std::string> kClocks = {
+      "system_clock", "steady_clock", "high_resolution_clock"};
+  static const std::set<std::string> kBannedCalls = {
+      "rand",      "srand",    "random_shuffle", "time",
+      "clock",     "gettimeofday", "localtime",  "gmtime"};
+  auto report = [&](const Token& t, const std::string& msg) {
+    if (!Allowed(fm.lex, t.line, kDeterminism)) {
+      out.push_back({path, t.line, kDeterminism, msg});
+    }
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!IsIdent(t)) continue;
+    const bool member_access =
+        i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+    if (t.text == "random_device") {
+      report(t, "std::random_device is non-deterministic; seed sim::Rng "
+                "from the run configuration instead");
+      continue;
+    }
+    if (kClocks.count(t.text) != 0 && !ClockAllowlisted(path)) {
+      report(t, "wall-clock read (`std::chrono::" + t.text +
+                    "`) outside the bench-timing allowlist makes results "
+                    "irreproducible");
+      continue;
+    }
+    const bool call = i + 1 < toks.size() && toks[i + 1].text == "(";
+    if (call && !member_access && kBannedCalls.count(t.text) != 0) {
+      report(t, "`" + t.text +
+                    "()` injects wall-clock / libc-RNG state; use sim::Rng "
+                    "or the harness clock");
+      continue;
+    }
+    if ((t.text == "hash" || t.text == "less") && i + 1 < toks.size() &&
+        toks[i + 1].text == "<") {
+      const std::size_t close = MatchCloseAngle(toks, i + 1);
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (toks[j].text == "*") {
+          report(t, "std::" + t.text +
+                        " over a pointer type orders/hashes by address, "
+                        "which varies across runs");
+          break;
+        }
+      }
+      continue;
+    }
+    if (t.text == "reinterpret_cast" && i + 1 < toks.size() &&
+        toks[i + 1].text == "<") {
+      const std::size_t close = MatchCloseAngle(toks, i + 1);
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (toks[j].text == "uintptr_t" || toks[j].text == "intptr_t") {
+          report(t, "casting a pointer to an integer bakes an address into "
+                    "arithmetic; addresses vary across runs");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// --- determinism: unordered iteration in serialization/merge paths ----------
+
+// Collects identifiers declared with an unordered container type inside a
+// token range (locals and parameters).
+std::set<std::string> UnorderedDeclsIn(const std::vector<Token>& toks,
+                                       std::size_t begin, std::size_t end) {
+  std::set<std::string> decls;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!IsIdent(toks[i]) ||
+        (toks[i].text != "unordered_map" && toks[i].text != "unordered_set")) {
+      continue;
+    }
+    if (i + 1 >= end || toks[i + 1].text != "<") continue;
+    std::size_t j = MatchCloseAngle(toks, i + 1);
+    if (j == i + 1) continue;
+    ++j;
+    while (j < end &&
+           (toks[j].text == "&" || toks[j].text == "*" ||
+            toks[j].text == "const")) {
+      ++j;
+    }
+    if (j < end && IsIdent(toks[j])) decls.insert(toks[j].text);
+  }
+  return decls;
+}
+
+void CheckUnorderedIteration(const Project& project,
+                             std::vector<Finding>& out) {
+  for (const auto& [name, cls] : project.classes) {
+    for (const char* method : {"SaveState", "Merge"}) {
+      const auto it = cls.bodies.find(method);
+      if (it == cls.bodies.end() || !it->second.found()) continue;
+      const MethodBody& body = it->second;
+      const LexedFile& file = *body.file;
+      // The canonical sorted-key helper's own implementation lives here.
+      if (PathEndsWith(file.path, "ckpt/serializer.h")) continue;
+      const std::vector<Token>& toks = file.tokens;
+      std::set<std::string> unordered = cls.unordered_members;
+      const std::set<std::string> locals =
+          UnorderedDeclsIn(toks, body.begin, body.end);
+      unordered.insert(locals.begin(), locals.end());
+      if (unordered.empty()) continue;
+      for (std::size_t i = body.begin; i + 1 < body.end; ++i) {
+        if (!IsIdent(toks[i]) || toks[i].text != "for" ||
+            toks[i + 1].text != "(") {
+          continue;
+        }
+        // Find the range-for `:` at parenthesis depth 1.
+        int depth = 0;
+        std::size_t colon = 0, close = 0;
+        for (std::size_t j = i + 1; j < body.end; ++j) {
+          const std::string& p = toks[j].text;
+          if (p == "(") ++depth;
+          if (p == ")") {
+            if (--depth == 0) {
+              close = j;
+              break;
+            }
+          }
+          if (p == ":" && depth == 1 && colon == 0) colon = j;
+        }
+        if (colon == 0 || close == 0) continue;
+        bool sorted = false, hit = false;
+        int hit_line = toks[i].line;
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (!IsIdent(toks[j])) continue;
+          if (toks[j].text == "SortedKeys") sorted = true;
+          if (unordered.count(toks[j].text) != 0) {
+            hit = true;
+            hit_line = toks[j].line;
+          }
+        }
+        if (hit && !sorted && !Allowed(file, hit_line, kDeterminism) &&
+            !Allowed(file, toks[i].line, kDeterminism)) {
+          out.push_back(
+              {file.path, toks[i].line, kDeterminism,
+               "range-for over an unordered container inside " + cls.name +
+                   "::" + method +
+                   " has traversal-order-dependent results; iterate "
+                   "ckpt::SortedKeys(...) instead"});
+        }
+      }
+    }
+  }
+}
+
+// --- ckpt-coverage ----------------------------------------------------------
+
+bool BodyMentions(const MethodBody& body, const std::string& name) {
+  const std::vector<Token>& toks = body.file->tokens;
+  for (std::size_t i = body.begin; i < body.end; ++i) {
+    if (toks[i].kind == TokKind::kIdentifier && toks[i].text == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckCkptCoverage(const Project& project, std::vector<Finding>& out) {
+  for (const auto& [name, cls] : project.classes) {
+    if (cls.ambiguous || cls.members.empty()) continue;
+    if (cls.declared_methods.count("SaveState") == 0 ||
+        cls.declared_methods.count("LoadState") == 0) {
+      continue;
+    }
+    const auto save = cls.bodies.find("SaveState");
+    const auto load = cls.bodies.find("LoadState");
+    // Pure-virtual interfaces (or bodies outside the scanned set) cannot
+    // be checked; the concrete classes behind them are.
+    if (save == cls.bodies.end() || !save->second.found() ||
+        load == cls.bodies.end() || !load->second.found()) {
+      continue;
+    }
+    for (const Member& m : cls.members) {
+      if (m.ckpt_skip) continue;
+      const bool in_save = BodyMentions(save->second, m.name);
+      const bool in_load = BodyMentions(load->second, m.name);
+      if (in_save && in_load) continue;
+      const std::string where =
+          (!in_save && !in_load)
+              ? "SaveState or LoadState"
+              : (!in_save ? "SaveState" : "LoadState");
+      if (cls.file == nullptr) continue;
+      out.push_back(
+          {cls.file->path, m.line, kCkptCoverage,
+           "member '" + m.name + "' of " + cls.name +
+               " is not referenced in " + where +
+               "; serialize it or annotate `// ckpt-skip: <reason>`"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> RunChecks(const Project& project) {
+  std::vector<Finding> out;
+
+  // Slot symbols declared in a header apply to the sibling .cc (and vice
+  // versa): `Slot next_release_;` in foo.h types uses inside foo.cc.
+  std::map<std::string, std::set<std::string>> by_stem;
+  auto stem_of = [](const std::string& path) {
+    const auto dot = path.find_last_of('.');
+    return dot == std::string::npos ? path : path.substr(0, dot);
+  };
+  for (const auto& fm : project.files) {
+    auto& slots = by_stem[stem_of(fm->lex.path)];
+    slots.insert(fm->slot_vars.begin(), fm->slot_vars.end());
+  }
+
+  for (const auto& fm : project.files) {
+    CheckSlotArith(*fm, by_stem[stem_of(fm->lex.path)], out);
+    CheckBannedTokens(*fm, out);
+  }
+  CheckUnorderedIteration(project, out);
+  CheckCkptCoverage(project, out);
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.path, a.line, a.checker, a.message) <
+           std::tie(b.path, b.line, b.checker, b.message);
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Finding& a, const Finding& b) {
+                          return a.path == b.path && a.line == b.line &&
+                                 a.checker == b.checker;
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace lint

@@ -1,0 +1,43 @@
+// The three pps_lint checkers (DESIGN.md "Static-analysis gates"):
+//
+//   ckpt-coverage  every non-static data member of a class declaring
+//                  SaveState/LoadState must be referenced in both bodies,
+//                  or carry `// ckpt-skip: <reason>`.
+//   determinism    no std::random_device / rand / wall-clock reads
+//                  (std::chrono clocks are allowed only under bench/ or
+//                  with an annotation), no pointer hashing/ordering, and
+//                  no range-for over unordered containers inside
+//                  SaveState/Merge unless routed through
+//                  ckpt::SortedKeys (src/ckpt/serializer.h).
+//   slot-arith     raw `+`/`-` with a Slot-typed operand outside
+//                  src/sim/{types,cell}.h must use SlotPlus /
+//                  SlotDifference / CheckedSlotPlus.
+//
+// Any finding can be suppressed in place with
+// `// pps-lint: allow(<checker>): <reason>` on the flagged line or on the
+// comment lines directly above it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace lint {
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string checker;
+  std::string message;
+};
+
+inline const char kCkptCoverage[] = "ckpt-coverage";
+inline const char kDeterminism[] = "determinism";
+inline const char kSlotArith[] = "slot-arith";
+
+// Runs every checker over the project; findings are sorted by
+// (path, line, checker) and deduplicated.
+std::vector<Finding> RunChecks(const Project& project);
+
+}  // namespace lint

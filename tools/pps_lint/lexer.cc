@@ -1,0 +1,175 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators, longest first so the longest match wins.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "<=>", "...", "->*", "::", "->", "++", "--", "+=",
+    "-=",  "*=",  "/=",  "%=",  "==",  "!=", "<=", ">=", "&&", "||",
+    "<<",  ">>",  "&=",  "|=",  "^=",  ".*",
+};
+
+}  // namespace
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) throw std::runtime_error("pps_lint: cannot read " + path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+LexedFile Lex(const std::string& path, const std::string& source) {
+  LexedFile out;
+  out.path = path;
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  int line = 1;
+  // Per-line bookkeeping for comment-only detection.
+  int code_seen_on_line = 0;
+
+  auto new_line = [&] {
+    if (code_seen_on_line == 0 && out.comments.count(line) != 0) {
+      out.comment_only_lines[line] = true;
+    }
+    ++line;
+    code_seen_on_line = 0;
+  };
+  auto add_comment = [&](int at, const std::string& text) {
+    std::string& slot = out.comments[at];
+    if (!slot.empty()) slot += ' ';
+    slot += text;
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      new_line();
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: drop the whole (continued) line.
+    if (c == '#' && code_seen_on_line == 0) {
+      while (i < n) {
+        if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
+          new_line();
+          i += 2;
+          continue;
+        }
+        if (source[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && source[j] != '\n') ++j;
+      add_comment(line, source.substr(i + 2, j - (i + 2)));
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const int at = line;
+      std::size_t j = i + 2;
+      std::string text;
+      while (j + 1 < n && !(source[j] == '*' && source[j + 1] == '/')) {
+        if (source[j] == '\n') new_line();
+        text += source[j];
+        ++j;
+      }
+      add_comment(at, text);
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+    code_seen_on_line += 1;
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && source[j] != '(') delim += source[j++];
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = source.find(close, j);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; ++k) {
+        if (source[k] == '\n') new_line();
+      }
+      out.tokens.push_back({TokKind::kString, "<raw-string>", line});
+      i = (end == n) ? n : end + close.size();
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\\' && j + 1 < n) ++j;
+        if (source[j] == '\n') new_line();
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kString, "<literal>", line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::size_t j = i;
+      while (j < n && IsIdentChar(source[j])) ++j;
+      out.tokens.push_back({TokKind::kIdentifier, source.substr(i, j - i),
+                            line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n &&
+             (IsIdentChar(source[j]) || source[j] == '.' ||
+              source[j] == '\'' ||
+              ((source[j] == '+' || source[j] == '-') && j > i &&
+               (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                source[j - 1] == 'p' || source[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kNumber, source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (source.compare(i, len, p) == 0) {
+        out.tokens.push_back({TokKind::kPunct, p, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  new_line();  // flush the final line's comment-only flag
+  return out;
+}
+
+}  // namespace lint

@@ -1,0 +1,49 @@
+// Tokenizer for pps_lint (tools/pps_lint/README in DESIGN.md).
+//
+// A deliberately small C++ lexer: identifiers, numbers, string/char
+// literals, punctuation (longest-match), with comments and preprocessor
+// lines stripped from the token stream but comments retained per line so
+// the checkers can honour `// ckpt-skip:` / `// pps-lint: allow(...)`
+// annotations and the fixture self-test can read `// expect-finding(...)`
+// expectations.  It does not expand macros or track templates precisely —
+// the structural pass (model.h) layers house-style heuristics on top.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lint {
+
+enum class TokKind {
+  kIdentifier,
+  kNumber,
+  kString,  // string or character literal (raw strings included)
+  kPunct,
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  // Concatenated `//` and `/* */` comment text per line (keyed by the line
+  // the comment starts on); used for lint annotations.
+  std::map<int, std::string> comments;
+  // Lines that contain nothing but whitespace and comments: an annotation
+  // on such a line applies to the next code line.
+  std::map<int, bool> comment_only_lines;
+};
+
+// Tokenizes `source`; never fails (unterminated literals are consumed to
+// end of file, which is good enough for a linter).
+LexedFile Lex(const std::string& path, const std::string& source);
+
+// Reads a file fully; throws std::runtime_error when unreadable.
+std::string ReadWholeFile(const std::string& path);
+
+}  // namespace lint

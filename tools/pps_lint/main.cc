@@ -1,0 +1,234 @@
+// pps_lint: domain-specific static analysis for the PPS simulator.
+//
+// Enforces the repo's three machine-checkable house contracts — checkpoint
+// field coverage, determinism, and checked slot arithmetic (see checks.h
+// and DESIGN.md "Static-analysis gates") — over any set of files or
+// directories, with no toolchain dependency beyond a C++20 compiler.
+//
+// Usage:
+//   pps_lint [--root DIR] [-p BUILD_DIR] [PATH...]
+//       Lints PATH... (files or directories, default: src bench tests
+//       tools, resolved against --root / the current directory).  With
+//       -p, the file list is augmented from BUILD_DIR/compile_commands
+//       .json.  Exit 1 when findings exist.
+//   pps_lint --self-test FIXTURE_DIR
+//       Mutation-style self check: every fixture line carrying
+//       `// expect-finding(<checker>)` must produce exactly that finding,
+//       and no unannotated line may produce any.  Exit 1 on mismatch.
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "checks.h"
+#include "lexer.h"
+#include "model.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+bool SkippedDir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "lint_fixtures" || name.rfind("build", 0) == 0 ||
+         name == ".git";
+}
+
+void CollectFiles(const fs::path& root, std::vector<std::string>& out) {
+  if (fs::is_regular_file(root)) {
+    if (IsSourceFile(root)) out.push_back(root.string());
+    return;
+  }
+  if (!fs::is_directory(root)) return;
+  for (fs::recursive_directory_iterator it(root), end; it != end; ++it) {
+    if (it->is_directory() && SkippedDir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && IsSourceFile(it->path())) {
+      out.push_back(it->path().string());
+    }
+  }
+}
+
+// Minimal compile_commands.json scan: collect every `"file": "..."` value.
+// (No JSON dependency; the format CMake emits is regular enough.)
+void CollectFromCompdb(const std::string& build_dir,
+                       std::vector<std::string>& out) {
+  const std::string path = build_dir + "/compile_commands.json";
+  std::string text;
+  try {
+    text = lint::ReadWholeFile(path);
+  } catch (const std::exception& e) {
+    std::cerr << "pps_lint: warning: " << e.what() << " (ignoring -p)\n";
+    return;
+  }
+  const std::string key = "\"file\":";
+  for (std::size_t pos = text.find(key); pos != std::string::npos;
+       pos = text.find(key, pos + key.size())) {
+    const std::size_t open = text.find('"', pos + key.size());
+    if (open == std::string::npos) break;
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string::npos) break;
+    const std::string file = text.substr(open + 1, close - open - 1);
+    if (IsSourceFile(file) &&
+        file.find("lint_fixtures") == std::string::npos) {
+      out.push_back(file);
+    }
+  }
+}
+
+lint::Project BuildProject(const std::vector<std::string>& files) {
+  lint::Project project;
+  project.files.reserve(files.size());
+  for (const std::string& f : files) {
+    lint::AddFile(project, lint::Lex(f, lint::ReadWholeFile(f)));
+  }
+  return project;
+}
+
+// Expected findings parsed from `// expect-finding(<checker>)` comments.
+std::set<std::tuple<std::string, int, std::string>> ExpectedFindings(
+    const lint::Project& project) {
+  std::set<std::tuple<std::string, int, std::string>> expected;
+  const std::string key = "expect-finding(";
+  for (const auto& fm : project.files) {
+    for (const auto& [line, text] : fm->lex.comments) {
+      for (std::size_t pos = text.find(key); pos != std::string::npos;
+           pos = text.find(key, pos + key.size())) {
+        const std::size_t close = text.find(')', pos + key.size());
+        if (close == std::string::npos) break;
+        expected.emplace(fm->lex.path, line,
+                         text.substr(pos + key.size(),
+                                     close - pos - key.size()));
+      }
+    }
+  }
+  return expected;
+}
+
+int SelfTest(const std::string& fixture_dir) {
+  std::vector<std::string> files;
+  CollectFiles(fixture_dir, files);
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "pps_lint: self-test found no fixtures in " << fixture_dir
+              << "\n";
+    return 2;
+  }
+  const lint::Project project = BuildProject(files);
+  const auto expected = ExpectedFindings(project);
+  if (expected.empty()) {
+    std::cerr << "pps_lint: self-test fixtures carry no expect-finding "
+                 "annotations\n";
+    return 2;
+  }
+  std::set<std::tuple<std::string, int, std::string>> actual;
+  for (const lint::Finding& f : lint::RunChecks(project)) {
+    actual.emplace(f.path, f.line, f.checker);
+  }
+  int bad = 0;
+  for (const auto& [path, line, checker] : expected) {
+    if (actual.count({path, line, checker}) == 0) {
+      std::cerr << "MISSING  " << path << ":" << line << ": expected ["
+                << checker << "] finding did not fire\n";
+      ++bad;
+    }
+  }
+  for (const auto& [path, line, checker] : actual) {
+    if (expected.count({path, line, checker}) == 0) {
+      std::cerr << "SPURIOUS " << path << ":" << line << ": unexpected ["
+                << checker << "] finding\n";
+      ++bad;
+    }
+  }
+  if (bad != 0) {
+    std::cerr << "pps_lint self-test FAILED (" << bad << " mismatches over "
+              << files.size() << " fixtures)\n";
+    return 1;
+  }
+  std::cout << "pps_lint self-test passed: " << expected.size()
+            << " seeded findings fired, zero spurious (" << files.size()
+            << " fixtures)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string self_test_dir;
+  std::string compdb;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::cerr << "pps_lint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--self-test") {
+      self_test_dir = need_value("--self-test");
+    } else if (arg == "--root") {
+      root = need_value("--root");
+    } else if (arg == "-p") {
+      compdb = need_value("-p");
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: pps_lint [--root DIR] [-p BUILD_DIR] [PATH...]\n"
+                   "       pps_lint --self-test FIXTURE_DIR\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "pps_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  try {
+    if (!self_test_dir.empty()) return SelfTest(self_test_dir);
+
+    if (paths.empty()) paths = {"src", "bench", "tests", "tools"};
+    std::vector<std::string> files;
+    for (const std::string& p : paths) {
+      const fs::path resolved =
+          fs::path(p).is_absolute() ? fs::path(p) : fs::path(root) / p;
+      CollectFiles(resolved, files);
+    }
+    if (!compdb.empty()) CollectFromCompdb(compdb, files);
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    if (files.empty()) {
+      std::cerr << "pps_lint: no source files found\n";
+      return 2;
+    }
+
+    const lint::Project project = BuildProject(files);
+    const std::vector<lint::Finding> findings = lint::RunChecks(project);
+    for (const lint::Finding& f : findings) {
+      std::cout << f.path << ":" << f.line << ": [" << f.checker << "] "
+                << f.message << "\n";
+    }
+    if (!findings.empty()) {
+      std::cout << "pps_lint: " << findings.size() << " finding(s) over "
+                << files.size() << " files\n";
+      return 1;
+    }
+    std::cout << "pps_lint: clean (" << files.size() << " files)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "pps_lint: " << e.what() << "\n";
+    return 2;
+  }
+}

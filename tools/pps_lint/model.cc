@@ -1,0 +1,365 @@
+#include "model.h"
+
+#include <algorithm>
+
+namespace lint {
+namespace {
+
+const std::set<std::string>& InterestingMethods() {
+  static const std::set<std::string> kMethods = {"SaveState", "LoadState",
+                                                 "Merge"};
+  return kMethods;
+}
+
+bool IsIdent(const Token& t) { return t.kind == TokKind::kIdentifier; }
+
+// Statement-leading keywords that can never begin a data-member
+// declaration.
+bool IsNonMemberLead(const std::string& t) {
+  static const std::set<std::string> kLeads = {
+      "using",  "typedef", "friend",    "template", "public",
+      "private", "protected", "operator", "static",   "enum",
+      "class",  "struct",  "union",     "namespace", "return"};
+  return kLeads.count(t) != 0;
+}
+
+// One parsed scope on the brace stack.
+struct Scope {
+  enum Kind { kNamespace, kClass, kBlock, kFunction } kind = kBlock;
+  ClassInfo* cls = nullptr;        // for kClass
+  std::vector<std::size_t> stmt;   // statement token buffer (class scope)
+};
+
+// Finds the token index of the `(` matching the `)` at `close`, walking
+// backwards; returns close when unbalanced.
+std::size_t MatchOpenParen(const std::vector<Token>& toks, std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    const std::string& t = toks[i].text;
+    if (toks[i].kind == TokKind::kPunct) {
+      if (t == ")") ++depth;
+      if (t == "(") {
+        --depth;
+        if (depth == 0) return i;
+      }
+    }
+  }
+  return close;
+}
+
+// From a `{` believed to open a function body, extracts the function
+// name: skips trailing qualifiers back to the parameter list's `)`, then
+// returns the identifier in front of the matching `(`.  `*class_name` is
+// set for out-of-line `Class::Method` heads.  Returns "" when the brace
+// is not a function body.
+std::string FunctionNameBefore(const std::vector<Token>& toks,
+                               std::size_t brace, std::string* class_name) {
+  class_name->clear();
+  std::size_t i = brace;
+  // Skip a constructor initializer list: `) : a_(x), b_(y) {`.  Walk back
+  // over balanced `(...)` groups and identifiers until something else.
+  static const std::set<std::string> kQuals = {"const",   "override",
+                                               "final",   "noexcept",
+                                               "mutable", "try"};
+  while (i > 0) {
+    const Token& prev = toks[i - 1];
+    if (IsIdent(prev) && kQuals.count(prev.text) != 0) {
+      --i;
+      continue;
+    }
+    break;
+  }
+  if (i == 0 || toks[i - 1].text != ")") {
+    // Allow one initializer-list hop: `...) : member_(v) {`.
+    // Handled by the caller treating non-`)` heads as plain blocks.
+    return "";
+  }
+  const std::size_t open = MatchOpenParen(toks, i - 1);
+  if (open == i - 1 || open == 0) return "";
+  // `: a_(x), b_(y)` initializer groups — keep walking left across them
+  // until the parameter list, recognized by an identifier() preceded by
+  // `::`, a type, or a class-scope position.  One hop at a time:
+  std::size_t name_idx = open;
+  while (name_idx > 0 && !IsIdent(toks[name_idx - 1])) {
+    // `operator<<(`, `](` (lambda), `)(`: not a named function.
+    if (toks[name_idx - 1].text == "," || toks[name_idx - 1].text == ":") {
+      // Initializer-list group: skip the group and continue left.
+      std::size_t j = name_idx - 1;
+      // Walk left to the previous `)` then across it.
+      while (j > 0 && toks[j - 1].text != ")") --j;
+      if (j == 0) return "";
+      const std::size_t prev_open = MatchOpenParen(toks, j - 1);
+      if (prev_open == j - 1) return "";
+      name_idx = prev_open;
+      continue;
+    }
+    return "";
+  }
+  if (name_idx == 0) return "";
+  const Token& name = toks[name_idx - 1];
+  if (!IsIdent(name)) return "";
+  if (name_idx >= 3 && toks[name_idx - 2].text == "::" &&
+      IsIdent(toks[name_idx - 3])) {
+    *class_name = toks[name_idx - 3].text;
+  }
+  return name.text;
+}
+
+// Skips forward from `open_brace` to one past its matching `}`.
+std::size_t SkipBraces(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == "{") ++depth;
+    if (toks[i].text == "}") {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+ClassInfo& RegisterClass(Project& project, const std::string& name,
+                         const LexedFile* file, int line) {
+  auto [it, inserted] = project.classes.try_emplace(name);
+  ClassInfo& cls = *&it->second;
+  if (inserted) {
+    cls.name = name;
+    cls.file = file;
+    cls.line = line;
+  } else if (cls.file != nullptr && !cls.declared_methods.empty() &&
+             cls.file != file) {
+    // A second definition elsewhere: only a problem when both declare
+    // checkpoint methods (the later ProcessStatement calls detect that
+    // and flip `ambiguous`).  Track the newest definition site anyway.
+  }
+  return cls;
+}
+
+// Processes one class-scope statement: records SaveState/LoadState/Merge
+// declarations and data-member declarations.
+void ProcessStatement(ClassInfo& cls, const LexedFile& file,
+                      const std::vector<std::size_t>& stmt) {
+  const std::vector<Token>& toks = file.tokens;
+  if (stmt.empty()) return;
+  if (IsNonMemberLead(toks[stmt[0]].text)) return;
+  bool statement_has_unordered = false;
+  // Method declaration?
+  for (std::size_t k = 0; k + 1 < stmt.size(); ++k) {
+    const Token& t = toks[stmt[k]];
+    if (IsIdent(t) && InterestingMethods().count(t.text) != 0 &&
+        toks[stmt[k + 1]].text == "(") {
+      if (cls.declared_methods.count(t.text) != 0 && cls.file != &file) {
+        cls.ambiguous = true;
+      }
+      cls.declared_methods.insert(t.text);
+      return;
+    }
+  }
+  for (std::size_t idx : stmt) {
+    const std::string& t = toks[idx].text;
+    if (t == "unordered_map" || t == "unordered_set") {
+      statement_has_unordered = true;
+    }
+  }
+  // Data members: identifiers ending in `_` at top nesting, before the
+  // first top-level `=` or `{` (everything after is initializer).
+  int paren = 0, angle = 0, bracket = 0;
+  for (std::size_t k = 0; k < stmt.size(); ++k) {
+    const Token& t = toks[stmt[k]];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(") ++paren;
+      if (t.text == ")") paren = std::max(0, paren - 1);
+      if (t.text == "[") ++bracket;
+      if (t.text == "]") bracket = std::max(0, bracket - 1);
+      if (t.text == "<" && k > 0 && IsIdent(toks[stmt[k - 1]])) ++angle;
+      if (t.text == ">") angle = std::max(0, angle - 1);
+      if (t.text == ">>") angle = std::max(0, angle - 2);
+      if (paren == 0 && angle == 0 && bracket == 0 &&
+          (t.text == "=" || t.text == "{")) {
+        break;
+      }
+      continue;
+    }
+    if (paren != 0 || angle != 0 || bracket != 0) continue;
+    if (!IsIdent(t) || t.text.size() < 2 || t.text.back() != '_') continue;
+    // The terminating `;` is not buffered, so the statement's last token
+    // is implicitly followed by one.
+    const std::string next =
+        (k + 1 < stmt.size()) ? toks[stmt[k + 1]].text : ";";
+    if (next != ";" && next != "=" && next != "{" && next != "[" &&
+        next != ",") {
+      continue;
+    }
+    Member m;
+    m.name = t.text;
+    m.line = t.line;
+    m.ckpt_skip = LineAnnotated(file, t.line, "ckpt-skip");
+    if (std::none_of(cls.members.begin(), cls.members.end(),
+                     [&](const Member& e) { return e.name == m.name; })) {
+      cls.members.push_back(m);
+    }
+    if (statement_has_unordered) cls.unordered_members.insert(m.name);
+  }
+}
+
+// Scans the file for `(sim::)Slot name` declarations.
+void CollectSlotVars(FileModel& fm) {
+  const std::vector<Token>& toks = fm.lex.tokens;
+  fm.slot_vars.insert("kNoSlot");
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i]) || toks[i].text != "Slot") continue;
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*" ||
+            toks[j].text == "const")) {
+      ++j;
+    }
+    if (j >= toks.size() || !IsIdent(toks[j])) continue;
+    if (j + 1 < toks.size() && toks[j + 1].text == "(") continue;  // function
+    fm.slot_vars.insert(toks[j].text);
+  }
+}
+
+}  // namespace
+
+bool LineAnnotated(const LexedFile& file, int line,
+                   const std::string& needle) {
+  auto has = [&](int l) {
+    auto it = file.comments.find(l);
+    return it != file.comments.end() &&
+           it->second.find(needle) != std::string::npos;
+  };
+  if (has(line)) return true;
+  for (int l = line - 1;
+       l > 0 && file.comment_only_lines.count(l) != 0; --l) {
+    if (has(l)) return true;
+  }
+  return false;
+}
+
+void AddFile(Project& project, LexedFile lex) {
+  project.files.push_back(std::make_unique<FileModel>());
+  FileModel& fm = *project.files.back();
+  fm.lex = std::move(lex);
+  CollectSlotVars(fm);
+
+  const LexedFile& file = fm.lex;
+  const std::vector<Token>& toks = file.tokens;
+  std::vector<Scope> stack;
+  stack.push_back({Scope::kNamespace, nullptr, {}});
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    Scope& top = stack.back();
+
+    if (t.kind == TokKind::kPunct && t.text == "}") {
+      // Class-scope statement buffers survive the pop on purpose: a
+      // nested `enum class E { ... };` or brace-init `vector<int> v_{4};`
+      // finishes at the following `;`, which processes the buffered head.
+      if (stack.size() > 1) stack.pop_back();
+      continue;
+    }
+
+    if (t.kind == TokKind::kPunct && t.text == "{") {
+      // Decide what this brace opens based on the lookbehind.
+      std::string cls_name;
+      const std::string fn = FunctionNameBefore(toks, i, &cls_name);
+      if (!fn.empty() && InterestingMethods().count(fn) != 0) {
+        ClassInfo* owner = nullptr;
+        if (top.kind == Scope::kClass) {
+          owner = top.cls;
+        } else if (!cls_name.empty()) {
+          owner = &RegisterClass(project, cls_name, nullptr, t.line);
+        }
+        if (owner != nullptr) {
+          owner->declared_methods.insert(fn);
+          MethodBody body;
+          body.file = &file;
+          body.begin = i;
+          body.end = SkipBraces(toks, i);
+          if (owner->bodies.count(fn) != 0 &&
+              owner->bodies[fn].file != &file) {
+            owner->ambiguous = true;
+          }
+          owner->bodies[fn] = body;
+          i = body.end - 1;  // the `}` is consumed by the loop header
+          if (top.kind == Scope::kClass) top.stmt.clear();
+          continue;
+        }
+      }
+      if (!fn.empty()) {
+        // Some other function body: skip it wholesale (its braces must
+        // not disturb class-scope statement tracking).
+        i = SkipBraces(toks, i) - 1;
+        if (top.kind == Scope::kClass) top.stmt.clear();
+        continue;
+      }
+      stack.push_back({Scope::kBlock, nullptr, {}});
+      continue;
+    }
+
+    // namespace / class heads.
+    if (IsIdent(t) && t.text == "namespace") {
+      std::size_t j = i + 1;
+      while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].text == "{") {
+        stack.push_back({Scope::kNamespace, nullptr, {}});
+        i = j;
+      } else {
+        i = j;
+      }
+      continue;
+    }
+    if (IsIdent(t) && (t.text == "class" || t.text == "struct") &&
+        (i == 0 || toks[i - 1].text != "enum")) {
+      // Definition iff `name` is directly followed by `{`, `:` or `final`.
+      if (i + 1 < toks.size() && IsIdent(toks[i + 1])) {
+        const std::string& name = toks[i + 1].text;
+        std::size_t j = i + 2;
+        if (j < toks.size() &&
+            (toks[j].text == "{" || toks[j].text == ":" ||
+             toks[j].text == "final")) {
+          // Skip the (possibly templated) base clause to the `{`.
+          while (j < toks.size() && toks[j].text != "{" &&
+                 toks[j].text != ";") {
+            ++j;
+          }
+          if (j < toks.size() && toks[j].text == "{") {
+            ClassInfo& cls =
+                RegisterClass(project, name, &file, toks[i + 1].line);
+            if (cls.file == nullptr) cls.file = &file;
+            stack.push_back({Scope::kClass, &cls, {}});
+            i = j;
+            continue;
+          }
+          i = j;
+          continue;
+        }
+      }
+      continue;
+    }
+
+    if (top.kind != Scope::kClass) continue;
+
+    // Class-scope statement tracking.
+    if (t.kind == TokKind::kPunct && t.text == ";") {
+      ProcessStatement(*top.cls, file, top.stmt);
+      top.stmt.clear();
+      continue;
+    }
+    if (t.kind == TokKind::kPunct && t.text == ":" && top.stmt.size() == 1 &&
+        IsNonMemberLead(toks[top.stmt[0]].text)) {
+      top.stmt.clear();  // access specifier `public:` etc.
+      continue;
+    }
+    top.stmt.push_back(i);
+  }
+}
+
+}  // namespace lint

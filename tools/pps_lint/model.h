@@ -1,0 +1,78 @@
+// Structural pass for pps_lint: classes, data members, the checkpoint /
+// merge method bodies, and Slot-typed symbols, extracted from the token
+// stream with house-style heuristics instead of a full C++ parser.
+//
+// The heuristics this pass (and therefore the whole linter) relies on are
+// the repo's enforced conventions, documented in DESIGN.md:
+//   * private data members carry a trailing underscore (clang-tidy
+//     readability-identifier-naming.PrivateMemberSuffix enforces this), so
+//     a class-scope identifier `foo_` followed by `;`/`=`/`{`/`[`/`,` is a
+//     data-member declaration;
+//   * checkpointing is spelled `SaveState(ckpt::Writer&)` /
+//     `LoadState(ckpt::Reader&)`, inline or as `Class::SaveState` in the
+//     matching .cc; shard reductions are spelled `Merge`.
+// A member the linter cannot see under these conventions cannot be
+// checked — the fixture self-test (tests/lint_fixtures/) pins exactly what
+// is and is not recognized.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace lint {
+
+struct Member {
+  std::string name;
+  int line = 0;
+  bool ckpt_skip = false;  // carries a `// ckpt-skip: <reason>` annotation
+};
+
+// A captured method body: a token range inside the file it was defined in.
+struct MethodBody {
+  const LexedFile* file = nullptr;
+  std::size_t begin = 0;  // token index of the `{`
+  std::size_t end = 0;    // token index one past the matching `}`
+  bool found() const { return file != nullptr && end > begin; }
+};
+
+struct ClassInfo {
+  std::string name;
+  const LexedFile* file = nullptr;  // file of the definition
+  int line = 0;
+  std::vector<Member> members;
+  std::set<std::string> unordered_members;  // unordered_map/set members
+  std::set<std::string> declared_methods;   // SaveState/LoadState/Merge
+  std::map<std::string, MethodBody> bodies;
+  // Two same-named class definitions both declaring checkpoint methods:
+  // the linter cannot attribute out-of-line bodies, so it skips the name.
+  bool ambiguous = false;
+};
+
+struct FileModel {
+  LexedFile lex;
+  // Identifiers declared with type (sim::)Slot anywhere in the file, plus
+  // the well-known kNoSlot sentinel.
+  std::set<std::string> slot_vars;
+};
+
+struct Project {
+  std::vector<std::unique_ptr<FileModel>> files;
+  std::map<std::string, ClassInfo> classes;  // keyed by simple class name
+};
+
+// Parses `lex` into `project` (classes merge across files so that
+// out-of-line `Class::SaveState` bodies in a .cc attach to the class
+// defined in its header).
+void AddFile(Project& project, LexedFile lex);
+
+// True when `line` (or the run of comment-only lines directly above it)
+// carries a comment containing `needle`.
+bool LineAnnotated(const LexedFile& file, int line, const std::string& needle);
+
+}  // namespace lint

@@ -21,6 +21,7 @@
 
 #include <charconv>
 #include <cstdint>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -61,7 +62,7 @@ Args Parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const auto eq = arg.find('=');
-    SIM_CHECK(arg.size() > 2 && arg.substr(0, 2) == "--" &&
+    SIM_CHECK(arg.size() > 2 && arg.starts_with("--") &&
                   eq != std::string_view::npos,
               "expected --flag=value, got '" << arg << "'");
     const std::string_view flag = arg.substr(2, eq - 2);
@@ -188,6 +189,11 @@ int main(int argc, char** argv) {
     if (!args.pack_trace.empty()) return PackTrace(args);
     return Serve(args);
   } catch (const sim::SimError& e) {
+    std::cerr << "pps_serve: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    // I/O and allocation failures surface as std::exception subclasses;
+    // report them instead of letting them escape main and terminate.
     std::cerr << "pps_serve: " << e.what() << "\n";
     return 1;
   }
