@@ -17,6 +17,11 @@
 #   test_input_buffered    buffered fabric scratch reuse
 #   test_ckpt              checkpoint restore differential: serialize and
 #                          rebuild every container mid-flight, then run on
+#   test_corruption        adversarial checkpoint bytes: truncations, bit
+#                          flips, and CRC-passing payload corruption must
+#                          throw SimError, never read out of bounds
+#   test_serve             supervisor recovery loop: rotation, fault
+#                          injection, corrupt-generation fallback
 #
 #   ./scripts/asan_tests.sh [build-dir]
 set -euo pipefail
@@ -25,7 +30,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build-asan}"
 
 TESTS=(test_mux_differential test_switch_parts test_pps_fabric test_fault
-       test_input_buffered test_ckpt)
+       test_input_buffered test_ckpt test_corruption test_serve)
 
 cmake -B "$BUILD" -G Ninja -S "$ROOT" -DPPS_ASAN=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo

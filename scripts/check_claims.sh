@@ -143,6 +143,17 @@ else
   fail=1
 fi
 
+# Serve supervisor: a supervised run killed with SIGKILL mid-stream must
+# resume from the surviving checkpoint generations and reproduce the
+# uninterrupted run byte-for-byte; with every generation corrupted it
+# must refuse to restart from slot 0 and exit with the documented code.
+if "$ROOT/scripts/crash_recovery.sh" >/dev/null 2>&1; then
+  echo "ok   : kill -9 crash recovery, resume byte-identical"
+else
+  echo "FAIL : crash recovery (run scripts/crash_recovery.sh)"
+  fail=1
+fi
+
 # Fault subsystem: the chaos grid (flap storms x notification lag) must
 # run under PPS_AUDIT with zero invariant violations and an exactly
 # reconciled loss taxonomy on every drained point.

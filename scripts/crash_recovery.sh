@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Crash-recovery gate: the self-healing serve loop, end to end through a
+# real SIGKILL.
+#
+# A supervised pps_serve run is killed with -9 mid-stream (no signal
+# handler runs, no final checkpoint goes out — exactly a host crash).
+# Restarting the same command must rescan the surviving checkpoint
+# generations, resume from the newest valid one, and finish the run; the
+# crashed run's rows up to the resume point plus the resumed run's output
+# must be byte-identical to an uninterrupted golden run.  Finally,
+# corrupting every surviving generation must make the restart fail loudly
+# with the documented exit code 5 (generations exist, none validates) —
+# never resume from bad bytes.
+#
+#   ./scripts/crash_recovery.sh [build-dir]
+set -uo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+BUILD="${1:-}"
+if [ -z "$BUILD" ]; then
+  for d in "$ROOT/build" "$ROOT/build-release"; do
+    [ -x "$d/tools/pps_serve" ] && BUILD="$d" && break
+  done
+fi
+SERVE="$BUILD/tools/pps_serve"
+[ -x "$SERVE" ] || { echo "pps_serve not built at $SERVE"; exit 2; }
+
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+# A deterministic heavy-tailed workload long enough that the kill lands
+# mid-run (seeded MMPP: the golden and the crashed+resumed runs see the
+# same arrival stream without a multi-megabyte trace file).
+COMMON=(--fabric=pps/rr-per-output --source=mmpp --load=0.6 --seed=42
+        --ports=8 --planes=4 --rate-ratio=2 --window=16384
+        --max-slots=3000000 --source-cutoff=2900000 --drain-grace=50000)
+SUPERVISED=("${COMMON[@]}" --supervise=1 --checkpoint-every=32768
+            --checkpoint="$DIR/run.ckpt" --keep-checkpoints=3
+            --max-retries=2)
+
+# Golden: the same workload, uninterrupted and unsupervised.
+"$SERVE" "${COMMON[@]}" >"$DIR/golden.jsonl" 2>/dev/null || {
+  echo "FAIL: golden run failed"; exit 1
+}
+
+# Crash leg: kill -9 once the run has emitted a window row and rotated at
+# least one checkpoint generation to disk.
+"$SERVE" "${SUPERVISED[@]}" >"$DIR/crash.jsonl" 2>"$DIR/crash.log" &
+PID=$!
+for _ in $(seq 1 500); do
+  if grep -q '"kind":"window"' "$DIR/crash.jsonl" 2>/dev/null \
+      && ls "$DIR"/run.ckpt.g???????? >/dev/null 2>&1; then
+    break
+  fi
+  kill -0 "$PID" 2>/dev/null || break
+  sleep 0.02
+done
+if ! kill -0 "$PID" 2>/dev/null; then
+  echo "FAIL: supervised run finished before the kill landed (tune the"
+  echo "      workload length up)"; wait "$PID"; exit 1
+fi
+kill -9 "$PID"
+wait "$PID" 2>/dev/null
+ls "$DIR"/run.ckpt.g???????? >/dev/null 2>&1 || {
+  echo "FAIL: no checkpoint generation survived the crash"; exit 1
+}
+
+# Recovery leg: the same command again.  The supervisor must rescan the
+# generation files, resume, and complete with exit code 0.
+"$SERVE" "${SUPERVISED[@]}" >"$DIR/resume.jsonl" 2>"$DIR/resume.log"
+code=$?
+if [ "$code" -ne 0 ]; then
+  echo "FAIL: restarted run exited $code (want 0)"
+  tail -5 "$DIR/resume.log"; exit 1
+fi
+# Merge: the resumed run replays from its checkpoint, so it re-emits every
+# window row from the resume point on.  The crashed run's rows BEFORE that
+# point, plus the resumed output, must reproduce the golden run exactly.
+R0="$(grep -m1 '"kind":"window"' "$DIR/resume.jsonl" \
+      | sed 's/.*"index":\([0-9]*\).*/\1/')"
+[ -n "$R0" ] || { echo "FAIL: resumed run emitted no window rows"; exit 1; }
+if [ "$R0" -eq 0 ]; then
+  echo "FAIL: restarted run began at window 0 — it restarted from scratch"
+  echo "      instead of resuming from a checkpoint generation"
+  exit 1
+fi
+awk -v r0="$R0" '/"kind":"window"/ {
+  line = $0
+  sub(/.*"index":/, "", line); sub(/[^0-9].*/, "", line)
+  if (line + 0 < r0 + 0) print
+}' "$DIR/crash.jsonl" >"$DIR/merged.jsonl"
+cat "$DIR/resume.jsonl" >>"$DIR/merged.jsonl"
+cmp -s "$DIR/golden.jsonl" "$DIR/merged.jsonl" || {
+  echo "FAIL: crashed+resumed output diverged from the golden run"
+  diff "$DIR/golden.jsonl" "$DIR/merged.jsonl" | head -20
+  exit 1
+}
+
+# Poisoned-generations leg: flip a byte inside every surviving generation.
+# The restart must refuse to resume from any of them and exit with the
+# documented code 5 — silent resumption from corrupt state is the one
+# unforgivable outcome.
+for g in "$DIR"/run.ckpt.g????????; do
+  printf '\xff' | dd of="$g" bs=1 seek=100 count=1 conv=notrunc 2>/dev/null
+done
+"$SERVE" "${SUPERVISED[@]}" >/dev/null 2>"$DIR/corrupt.log"
+code=$?
+if [ "$code" -ne 5 ]; then
+  echo "FAIL: all-generations-corrupt restart exited $code (want 5)"
+  tail -5 "$DIR/corrupt.log"; exit 1
+fi
+
+echo "crash_recovery: kill -9 resume byte-identical; corrupt gens exit 5"

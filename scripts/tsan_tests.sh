@@ -20,6 +20,8 @@
 #                            shardable fabrics, incl. a lossy fault
 #                            schedule (filtered: the serial golden
 #                            differential has no threads to race)
+#   test_serve               supervisor retry loop with checkpoints cut by
+#                            the sharded engine (stop-flag polling races)
 #
 #   ./scripts/tsan_tests.sh [build-dir]
 set -euo pipefail
@@ -28,7 +30,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build-tsan}"
 
 TESTS=(test_sweep test_stats test_transforms_parallel test_fault
-       test_shard_engine test_fabric)
+       test_shard_engine test_fabric test_serve)
 
 cmake -B "$BUILD" -G Ninja -S "$ROOT" -DPPS_TSAN=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -105,8 +105,10 @@ void CioqSwitch::LoadState(ckpt::Reader& r) {
   voqs_.LoadState(r);
   for (auto& q : output_queues_) {
     q.clear();
-    const std::size_t n = r.Size();
-    for (std::size_t c = 0; c < n; ++c) q.push_back(ckpt::LoadCell(r));
+    const std::size_t n = r.Count();
+    for (std::size_t c = 0; c < n; ++c) {
+      q.push_back(ckpt::LoadCell(r, config_.num_ports));
+    }
   }
   for (sim::Slot& s : next_dep_) s = r.I64();
   infeasible_ = r.U64();

@@ -67,8 +67,10 @@ void VoqBank::LoadState(ckpt::Reader& r) {
   total_ = 0;
   for (auto& q : queues_) {
     q.clear();
-    const std::size_t n = r.Size();
-    for (std::size_t c = 0; c < n; ++c) q.push_back(ckpt::LoadCell(r));
+    const std::size_t n = r.Count();
+    for (std::size_t c = 0; c < n; ++c) {
+      q.push_back(ckpt::LoadCell(r, num_ports_));
+    }
     total_ += static_cast<std::int64_t>(n);
   }
 }

@@ -1,0 +1,207 @@
+#include "ckpt/faulty_io.h"
+
+#include <cstddef>
+#include <utility>
+
+#include "sim/error.h"
+
+namespace ckpt {
+
+namespace {
+
+// SplitMix64 (same mixer sim::Rng seeds with), used to place injected
+// damage deterministically without pulling pps_sim's Rng into this layer.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool IsWriteFault(IoFaultKind kind) {
+  switch (kind) {
+    case IoFaultKind::kShortWrite:
+    case IoFaultKind::kEnospc:
+    case IoFaultKind::kFsyncFail:
+      return true;
+    case IoFaultKind::kBitFlip:
+    case IoFaultKind::kReadError:
+      return false;
+  }
+  return false;
+}
+
+std::string_view IoFaultKindName(IoFaultKind kind) {
+  switch (kind) {
+    case IoFaultKind::kShortWrite:
+      return "short-write";
+    case IoFaultKind::kEnospc:
+      return "enospc";
+    case IoFaultKind::kFsyncFail:
+      return "fsync-fail";
+    case IoFaultKind::kBitFlip:
+      return "bit-flip";
+    case IoFaultKind::kReadError:
+      return "read-error";
+  }
+  return "?";
+}
+
+IoFaultPlan& IoFaultPlan::Add(IoFaultKind kind, std::int64_t op) {
+  SIM_CHECK(op >= 0, "io-fault: operation index must be >= 0, got " << op);
+  events_.push_back({kind, op});
+  return *this;
+}
+
+IoFaultPlan IoFaultPlan::Parse(std::string_view spec, std::uint64_t seed) {
+  IoFaultPlan plan(seed);
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+
+    const std::size_t at = item.find('@');
+    SIM_CHECK(at != std::string_view::npos,
+              "io-fault: expected kind@op, got '" << item << "'");
+    const std::string_view name = item.substr(0, at);
+    const std::string_view num = item.substr(at + 1);
+
+    IoFaultKind kind;
+    if (name == "short-write") {
+      kind = IoFaultKind::kShortWrite;
+    } else if (name == "enospc") {
+      kind = IoFaultKind::kEnospc;
+    } else if (name == "fsync-fail") {
+      kind = IoFaultKind::kFsyncFail;
+    } else if (name == "bit-flip") {
+      kind = IoFaultKind::kBitFlip;
+    } else if (name == "read-error") {
+      kind = IoFaultKind::kReadError;
+    } else {
+      SIM_CHECK(false, "io-fault: unknown fault kind '" << name << "'");
+    }
+
+    SIM_CHECK(!num.empty(), "io-fault: missing operation index in '" << item
+                                                                     << "'");
+    std::int64_t op = 0;
+    for (char c : num) {
+      SIM_CHECK(c >= '0' && c <= '9',
+                "io-fault: bad operation index '" << num << "'");
+      op = op * 10 + (c - '0');
+      SIM_CHECK(op <= (std::int64_t{1} << 40),
+                "io-fault: implausible operation index '" << num << "'");
+    }
+    plan.Add(kind, op);
+  }
+  return plan;
+}
+
+std::string IoFaultPlan::ToString() const {
+  std::string out;
+  for (const IoFaultEvent& e : events_) {
+    if (!out.empty()) out += ',';
+    out += IoFaultKindName(e.kind);
+    out += '@';
+    out += std::to_string(e.op);
+  }
+  return out;
+}
+
+FaultyIo::FaultyIo(Io& backend, IoFaultPlan plan)
+    : backend_(backend),
+      plan_(std::move(plan)),
+      fired_(plan_.events().size(), false),
+      injected_(5, 0) {}
+
+std::int64_t FaultyIo::injected(IoFaultKind kind) const {
+  return injected_[static_cast<std::size_t>(kind)];
+}
+
+int FaultyIo::TakeEvent(bool write_category, std::int64_t op) {
+  const auto& events = plan_.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (fired_[i]) continue;
+    if (IsWriteFault(events[i].kind) != write_category) continue;
+    if (events[i].op != op) continue;
+    fired_[i] = true;
+    injected_[static_cast<std::size_t>(events[i].kind)]++;
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void FaultyIo::WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::int64_t op = write_ops_++;
+  const int idx = TakeEvent(/*write_category=*/true, op);
+  if (idx < 0) {
+    backend_.WriteFileAtomic(path, data);
+    return;
+  }
+  switch (plan_.events()[idx].kind) {
+    case IoFaultKind::kShortWrite: {
+      // Model post-rename corruption: a truncated prefix lands at the final
+      // path and the caller is told nothing.  The truncation point derives
+      // from the plan seed and the event index so it is reproducible, and
+      // always cuts at least one byte.
+      const std::size_t keep =
+          data.empty()
+              ? 0
+              : static_cast<std::size_t>(
+                    Mix64(plan_.seed() ^ (0x51ull << 32) ^
+                          static_cast<std::uint64_t>(idx)) %
+                    data.size());
+      backend_.WriteFileAtomic(path, data.substr(0, keep));
+      return;
+    }
+    case IoFaultKind::kEnospc:
+      throw IoError("io-fault: injected ENOSPC writing " + path);
+    case IoFaultKind::kFsyncFail:
+      backend_.WriteFileAtomic(path, data);
+      throw IoError("io-fault: injected fsync failure on " + path);
+    case IoFaultKind::kBitFlip:
+    case IoFaultKind::kReadError:
+      break;  // unreachable: write category only
+  }
+}
+
+std::string FaultyIo::ReadWholeFile(const std::string& path) {
+  const std::int64_t op = read_ops_++;
+  const int idx = TakeEvent(/*write_category=*/false, op);
+  if (idx < 0) return backend_.ReadWholeFile(path);
+  switch (plan_.events()[idx].kind) {
+    case IoFaultKind::kReadError:
+      throw IoError("io-fault: injected read error on " + path);
+    case IoFaultKind::kBitFlip: {
+      std::string bytes = backend_.ReadWholeFile(path);
+      if (!bytes.empty()) {
+        const std::size_t bit = static_cast<std::size_t>(
+            Mix64(plan_.seed() ^ (0xb1ull << 32) ^
+                  static_cast<std::uint64_t>(idx)) %
+            (static_cast<std::uint64_t>(bytes.size()) * 8));
+        bytes[bit / 8] = static_cast<char>(
+            static_cast<std::uint8_t>(bytes[bit / 8]) ^ (1u << (bit % 8)));
+      }
+      return bytes;
+    }
+    case IoFaultKind::kShortWrite:
+    case IoFaultKind::kEnospc:
+    case IoFaultKind::kFsyncFail:
+      break;  // unreachable: read category only
+  }
+  return backend_.ReadWholeFile(path);
+}
+
+bool FaultyIo::Exists(const std::string& path) { return backend_.Exists(path); }
+
+void FaultyIo::Remove(const std::string& path) { backend_.Remove(path); }
+
+std::vector<std::string> FaultyIo::ListDir(const std::string& dir) {
+  return backend_.ListDir(dir);
+}
+
+}  // namespace ckpt

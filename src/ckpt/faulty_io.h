@@ -1,0 +1,135 @@
+// Deterministic, seeded I/O fault injection — src/fault/'s philosophy
+// (scheduled, reproducible failures, never random surprises) applied to the
+// filesystem boundary instead of the switching fabric.
+//
+// An IoFaultPlan is an ordered list of events, each naming a fault kind and
+// the *operation index* it fires on.  Write-class faults (short-write,
+// enospc, fsync-fail) count atomic-write calls; read-class faults (bit-flip,
+// read-error) count whole-file reads.  Indices are per category, zero-based,
+// and each event fires exactly once.  Where a fault needs a position (which
+// byte to truncate at, which bit to flip) the position is a SplitMix64 hash
+// of the plan seed and the event's index, so a given (plan, run) is exactly
+// reproducible while different events perturb different bytes.
+//
+// Fault semantics, chosen to model what real filesystems actually do:
+//
+//   short-write  the atomic-write protocol is bypassed and a truncated
+//                prefix lands at the *final* path, silently.  The caller
+//                sees success; the damage is discovered at the next read
+//                (container validation → CorruptError).  This models
+//                fs-level corruption/teardown after rename — the case
+//                checkpoint rotation exists for.
+//   enospc       the write throws IoError and the target is untouched
+//                (classic no-space failure, old generation survives).
+//   fsync-fail   the bytes land completely and *then* IoError is thrown —
+//                the ambiguous "fsync reported failure" case; the caller
+//                must treat the write as failed even though the file is
+//                actually fine.
+//   bit-flip     the read completes but one seeded bit of the returned
+//                buffer is flipped (media/DMA corruption on the read side).
+//   read-error   the read throws IoError outright.
+//
+// FaultyIo wraps any Io and injects the plan; pps_serve builds one from
+// --io-faults=short-write@2,bit-flip@0 (see IoFaultPlan::Parse).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ckpt/io.h"
+
+namespace ckpt {
+
+enum class IoFaultKind : std::uint8_t {
+  kShortWrite,
+  kEnospc,
+  kFsyncFail,
+  kBitFlip,
+  kReadError,
+};
+
+// True for kinds that count write operations; false for read-side kinds.
+bool IsWriteFault(IoFaultKind kind);
+
+// "short-write" / "enospc" / "fsync-fail" / "bit-flip" / "read-error".
+std::string_view IoFaultKindName(IoFaultKind kind);
+
+struct IoFaultEvent {
+  IoFaultKind kind = IoFaultKind::kShortWrite;
+  // Zero-based index within the kind's category (write ops or read ops).
+  std::int64_t op = 0;
+};
+
+class IoFaultPlan {
+ public:
+  explicit IoFaultPlan(std::uint64_t seed = 0) : seed_(seed) {}
+
+  // Builder-style scheduling, mirroring fault::FaultSchedule.
+  IoFaultPlan& ShortWrite(std::int64_t write_op) {
+    return Add(IoFaultKind::kShortWrite, write_op);
+  }
+  IoFaultPlan& Enospc(std::int64_t write_op) {
+    return Add(IoFaultKind::kEnospc, write_op);
+  }
+  IoFaultPlan& FsyncFail(std::int64_t write_op) {
+    return Add(IoFaultKind::kFsyncFail, write_op);
+  }
+  IoFaultPlan& BitFlip(std::int64_t read_op) {
+    return Add(IoFaultKind::kBitFlip, read_op);
+  }
+  IoFaultPlan& ReadError(std::int64_t read_op) {
+    return Add(IoFaultKind::kReadError, read_op);
+  }
+  IoFaultPlan& Add(IoFaultKind kind, std::int64_t op);
+
+  // Parses "kind@op[,kind@op...]" (e.g. "short-write@2,bit-flip@0"); the
+  // empty string is an empty plan.  Throws sim::SimError on a malformed
+  // spec — pps_serve maps that to a usage error.
+  static IoFaultPlan Parse(std::string_view spec, std::uint64_t seed);
+
+  // The canonical spec string (inverse of Parse, events in schedule order).
+  std::string ToString() const;
+
+  const std::vector<IoFaultEvent>& events() const { return events_; }
+  std::uint64_t seed() const { return seed_; }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<IoFaultEvent> events_;
+};
+
+// An Io decorator that injects the plan's faults into a wrapped backend.
+// Deterministic: same plan + same call sequence = same faults, same bytes.
+class FaultyIo final : public Io {
+ public:
+  FaultyIo(Io& backend, IoFaultPlan plan);
+
+  void WriteFileAtomic(const std::string& path, std::string_view data) override;
+  std::string ReadWholeFile(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  void Remove(const std::string& path) override;
+  std::vector<std::string> ListDir(const std::string& dir) override;
+
+  // Operation counters (all calls, faulted or not) and per-kind injection
+  // counts, for tests asserting that a plan actually fired.
+  std::int64_t write_ops() const { return write_ops_; }
+  std::int64_t read_ops() const { return read_ops_; }
+  std::int64_t injected(IoFaultKind kind) const;
+
+ private:
+  // Returns the index into plan_.events() of the unfired event matching
+  // (kind category, op), or -1.  Marks it fired.
+  int TakeEvent(bool write_category, std::int64_t op);
+
+  Io& backend_;
+  IoFaultPlan plan_;
+  std::vector<bool> fired_;
+  std::int64_t write_ops_ = 0;
+  std::int64_t read_ops_ = 0;
+  std::vector<std::int64_t> injected_;
+};
+
+}  // namespace ckpt

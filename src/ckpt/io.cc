@@ -1,0 +1,86 @@
+#include "ckpt/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <system_error>
+
+#include "sim/error.h"
+
+namespace ckpt {
+
+namespace {
+
+class RealIo final : public Io {
+ public:
+  void WriteFileAtomic(const std::string& path,
+                       std::string_view data) override {
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      if (!os.good()) {
+        throw IoError("io: cannot open " + tmp + " for writing");
+      }
+      os.write(data.data(), static_cast<std::streamsize>(data.size()));
+      os.flush();
+      if (!os.good()) {
+        throw IoError("io: short write to " + tmp);
+      }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw IoError("io: cannot rename " + tmp + " to " + path);
+    }
+  }
+
+  std::string ReadWholeFile(const std::string& path) override {
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good()) {
+      throw IoError("io: cannot open " + path);
+    }
+    std::string contents((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+    if (is.bad()) {
+      throw IoError("io: read failure on " + path);
+    }
+    return contents;
+  }
+
+  bool Exists(const std::string& path) override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+  }
+
+  void Remove(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    if (ec && ec != std::errc::no_such_file_or_directory) {
+      throw IoError("io: cannot remove " + path + ": " + ec.message());
+    }
+  }
+
+  std::vector<std::string> ListDir(const std::string& dir) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) return names;  // missing/unreadable dir: nothing to list
+    for (const auto& entry : it) {
+      std::error_code type_ec;
+      if (entry.is_regular_file(type_ec)) {
+        names.push_back(entry.path().filename().string());
+      }
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+};
+
+}  // namespace
+
+Io& DefaultIo() {
+  static RealIo io;
+  return io;
+}
+
+}  // namespace ckpt

@@ -1,0 +1,78 @@
+// The checkpoint subsystem's filesystem seam.
+//
+// Everything ckpt:: (and the serve:: supervisor above it) does to disk goes
+// through this five-call interface instead of raw <fstream>, for one
+// reason: every recovery path in the tree must be *provable in-tree*.  A
+// torn write, ENOSPC, a failed fsync, or a bit flip on the read side is a
+// once-a-quarter production event but a deterministic, schedulable one
+// through ckpt::FaultyIo (faulty_io.h) — the same philosophy src/fault/
+// applies to planes and links, moved up to the process/filesystem boundary.
+//
+// Error taxonomy (the serve:: supervisor keys its retry policy off these
+// types — see DESIGN.md "Recovery model"):
+//
+//   IoError       the operation itself failed (open/write/rename/space/
+//                 fsync).  Transient by classification: the bytes that were
+//                 supposed to move may move on retry.
+//   CorruptError  the operation succeeded but the bytes are wrong (bad
+//                 magic, truncated container, CRC mismatch).  Also
+//                 recoverable — not by retrying the read, but by falling
+//                 back to an older checkpoint generation.
+//
+// Both derive from sim::SimError so existing catch sites keep working;
+// anything that is *neither* is a genuine model/config error and fatal.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/error.h"
+
+namespace ckpt {
+
+// The operation failed at the filesystem level (transient class).
+class IoError : public sim::SimError {
+ public:
+  explicit IoError(const std::string& what) : sim::SimError(what) {}
+};
+
+// The file was read but its contents fail validation (recover by falling
+// back to an older generation, never by trusting the payload).
+class CorruptError : public sim::SimError {
+ public:
+  explicit CorruptError(const std::string& what) : sim::SimError(what) {}
+};
+
+// Minimal filesystem interface: exactly the operations checkpointing
+// needs, each with loud failure semantics.
+class Io {
+ public:
+  virtual ~Io() = default;
+
+  // Atomically replaces `path` with `data`: writes "<path>.tmp", flushes,
+  // renames over `path`.  Throws IoError on any failure; a crash mid-call
+  // leaves either the old file or a stray .tmp, never a half-new `path`.
+  virtual void WriteFileAtomic(const std::string& path,
+                               std::string_view data) = 0;
+
+  // The whole file's bytes.  Throws IoError when the file cannot be
+  // opened or read.
+  virtual std::string ReadWholeFile(const std::string& path) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+
+  // Removes `path`; missing files are fine (idempotent prune).  Throws
+  // IoError only on a real failure (e.g. permission).
+  virtual void Remove(const std::string& path) = 0;
+
+  // The plain-file names (no directory prefix) in `dir`, sorted.  A
+  // missing directory is an empty listing, not an error — rotation scans
+  // before the first generation is ever written.
+  virtual std::vector<std::string> ListDir(const std::string& dir) = 0;
+};
+
+// The real filesystem.
+Io& DefaultIo();
+
+}  // namespace ckpt

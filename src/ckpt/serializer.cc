@@ -1,9 +1,9 @@
 #include "ckpt/serializer.h"
 
 #include <array>
-#include <cstdio>
-#include <fstream>
+#include <sstream>
 
+#include "ckpt/io.h"
 #include "sim/error.h"
 
 namespace ckpt {
@@ -35,58 +35,65 @@ std::uint32_t Crc32(std::string_view data) {
   return crc ^ 0xffffffffu;
 }
 
-void WriteFile(const std::string& path, const Writer& writer) {
+void WriteFile(const std::string& path, const Writer& writer, Io& io) {
   const std::string& payload = writer.bytes();
 
-  Writer header;
-  header.U32(kFormatVersion);
-  header.U64(payload.size());
-  header.U32(Crc32(payload));
-
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    SIM_CHECK(os.good(), "checkpoint: cannot open " << tmp << " for writing");
-    os.write(kMagic, sizeof(kMagic));
-    os.write(header.bytes().data(),
-             static_cast<std::streamsize>(header.bytes().size()));
-    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    os.flush();
-    SIM_CHECK(os.good(), "checkpoint: short write to " << tmp);
-  }
-  SIM_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
-            "checkpoint: cannot rename " << tmp << " to " << path);
+  Writer file;
+  file.Marker("PPSC");
+  file.Marker("KPT1");
+  file.U32(kFormatVersion);
+  file.U64(payload.size());
+  file.U32(Crc32(payload));
+  std::string bytes = file.bytes();
+  bytes.append(payload);
+  io.WriteFileAtomic(path, bytes);
 }
 
-std::string ReadFile(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  SIM_CHECK(is.good(), "checkpoint: cannot open " << path);
-  std::string contents((std::istreambuf_iterator<char>(is)),
-                       std::istreambuf_iterator<char>());
+namespace {
 
-  SIM_CHECK(contents.size() >= sizeof(kMagic) + 4 + 8 + 4,
-            "checkpoint: " << path << " is truncated ("
-                           << contents.size() << " bytes)");
-  SIM_CHECK(std::string_view(contents.data(), sizeof(kMagic)) ==
-                std::string_view(kMagic, sizeof(kMagic)),
-            "checkpoint: " << path << " has wrong magic");
+// Container-level validation failures mean "this file is bad, not the
+// model" — throw CorruptError so the serve supervisor knows to fall back
+// to an older checkpoint generation instead of aborting the run.
+#define CKPT_CONTAINER_CHECK(cond, msg)            \
+  do {                                             \
+    if (!(cond)) {                                 \
+      std::ostringstream oss__;                    \
+      oss__ << msg; /* NOLINT */                   \
+      throw ::ckpt::CorruptError(oss__.str());     \
+    }                                              \
+  } while (false)
+
+}  // namespace
+
+std::string ReadFile(const std::string& path, Io& io) {
+  const std::string contents = io.ReadWholeFile(path);
+
+  CKPT_CONTAINER_CHECK(contents.size() >= sizeof(kMagic) + 4 + 8 + 4,
+                       "checkpoint: " << path << " is truncated ("
+                                      << contents.size() << " bytes)");
+  CKPT_CONTAINER_CHECK(std::string_view(contents.data(), sizeof(kMagic)) ==
+                           std::string_view(kMagic, sizeof(kMagic)),
+                       "checkpoint: " << path << " has wrong magic");
 
   Reader header(std::string_view(contents).substr(sizeof(kMagic), 16));
   const std::uint32_t version = header.U32();
-  SIM_CHECK(version == kFormatVersion,
-            "checkpoint: " << path << " has format version " << version
-                           << ", this build reads " << kFormatVersion);
+  CKPT_CONTAINER_CHECK(version == kFormatVersion,
+                       "checkpoint: " << path << " has format version "
+                                      << version << ", this build reads "
+                                      << kFormatVersion);
   const std::uint64_t payload_size = header.U64();
   const std::uint32_t crc = header.U32();
 
   const std::size_t header_bytes = sizeof(kMagic) + 16;
-  SIM_CHECK(contents.size() - header_bytes == payload_size,
-            "checkpoint: " << path << " payload is "
-                           << contents.size() - header_bytes
-                           << " bytes, header claims " << payload_size);
+  CKPT_CONTAINER_CHECK(contents.size() - header_bytes == payload_size,
+                       "checkpoint: " << path << " payload is "
+                                      << contents.size() - header_bytes
+                                      << " bytes, header claims "
+                                      << payload_size);
   std::string payload = contents.substr(header_bytes);
-  SIM_CHECK(Crc32(payload) == crc,
-            "checkpoint: " << path << " fails its checksum (corrupted)");
+  CKPT_CONTAINER_CHECK(Crc32(payload) == crc,
+                       "checkpoint: " << path
+                                      << " fails its checksum (corrupted)");
   return payload;
 }
 

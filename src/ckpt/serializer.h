@@ -18,10 +18,13 @@
 //
 // File container (WriteFile / ReadFile):
 //   magic "PPSCKPT1" | u32 version | u64 payload size | u32 CRC-32 | payload
-// ReadFile validates all four and throws sim::SimError on any mismatch —
-// truncation, bit flips, or a version this build does not understand.
-// WriteFile writes to "<path>.tmp" and renames, so a crash mid-write never
-// leaves a plausible-looking half checkpoint behind.
+// ReadFile validates all four and throws ckpt::CorruptError (a SimError) on
+// any mismatch — truncation, bit flips, or a version this build does not
+// understand — so callers can distinguish "this file is bad, fall back to an
+// older generation" from genuine model errors.  WriteFile writes to
+// "<path>.tmp" and renames, so a crash mid-write never leaves a
+// plausible-looking half checkpoint behind.  Both go through a ckpt::Io
+// (io.h) so the serve supervisor can inject filesystem faults in tests.
 #pragma once
 
 #include <algorithm>
@@ -34,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/io.h"
 #include "sim/cell.h"
 #include "sim/error.h"
 #include "sim/rng.h"
@@ -106,6 +110,20 @@ class Reader {
               "checkpoint: implausible size " << v);
     return static_cast<std::size_t>(v);
   }
+  // An element count about to drive a container allocation.  Every element
+  // consumes at least one byte of stream, so a count beyond the remaining
+  // bytes is corruption — reject it *before* the assign/reserve instead of
+  // attempting a fabricated multi-gigabyte allocation.  (Size() stays
+  // unbounded for genuine scalar counts, e.g. Welford sample totals, which
+  // legitimately exceed the stream length.)
+  std::size_t Count() {
+    const std::size_t v = Size();
+    SIM_CHECK(v <= remaining(),
+              "checkpoint: declared element count "
+                  << v << " overruns the stream (" << remaining()
+                  << " bytes left)");
+    return v;
+  }
   double Double() {
     const std::uint64_t bits = U64();
     double v;
@@ -157,13 +175,16 @@ class Reader {
 std::uint32_t Crc32(std::string_view data);
 
 // Wraps the writer's payload in the validated container and writes it
-// atomically (tmp + rename).  Throws sim::SimError on I/O failure.
-void WriteFile(const std::string& path, const Writer& writer);
+// atomically (tmp + rename) through `io`.  Throws ckpt::IoError on I/O
+// failure.
+void WriteFile(const std::string& path, const Writer& writer,
+               Io& io = DefaultIo());
 
-// Reads and validates a checkpoint container; returns the payload.
-// Throws sim::SimError on missing file, bad magic, unsupported version,
-// truncation, or checksum mismatch.
-std::string ReadFile(const std::string& path);
+// Reads and validates a checkpoint container through `io`; returns the
+// payload.  Throws ckpt::IoError when the file cannot be read and
+// ckpt::CorruptError on bad magic, unsupported version, truncation, or
+// checksum mismatch (both are SimErrors).
+std::string ReadFile(const std::string& path, Io& io = DefaultIo());
 
 // --- canonical unordered-container traversal -------------------------------
 
@@ -219,11 +240,26 @@ inline void SaveCell(Writer& w, const sim::Cell& c) {
   w.I64(c.departure);
   w.I64(c.tag);
 }
-inline sim::Cell LoadCell(Reader& r) {
+// `num_ports` bounds the restored endpoints: a cell's input/output index
+// per-port arrays all over the switch (mux staging, backlog counters), so
+// an out-of-range port from corrupt bytes must die here, not as an OOB
+// access downstream.
+inline sim::Cell LoadCell(Reader& r, sim::PortId num_ports) {
   sim::Cell c;
   c.id = r.U64();
   c.input = r.I32();
   c.output = r.I32();
+  SIM_CHECK(c.input >= 0 && c.input < num_ports && c.output >= 0 &&
+                c.output < num_ports,
+            "checkpoint cell has ports " << c.input << "->" << c.output
+                                         << " outside a " << num_ports
+                                         << "-port switch");
+  // Timestamps are kNoSlot or >= 0 for live cells.  Enforcing that here
+  // keeps release-mode SlotDifference (plain subtraction) off signed
+  // overflow when a corrupt byte lands in a timestamp.
+  const auto valid_stamp = [](sim::Slot s) {
+    return s == sim::kNoSlot || s >= 0;
+  };
   c.seq = r.U64();
   c.arrival = r.I64();
   c.plane = r.I32();
@@ -231,6 +267,10 @@ inline sim::Cell LoadCell(Reader& r) {
   c.reached_output = r.I64();
   c.departure = r.I64();
   c.tag = r.I64();
+  SIM_CHECK(valid_stamp(c.arrival) && valid_stamp(c.dispatched) &&
+                valid_stamp(c.reached_output) && valid_stamp(c.departure) &&
+                valid_stamp(c.tag),
+            "checkpoint cell " << c << " has a negative timestamp");
   return c;
 }
 

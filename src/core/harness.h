@@ -16,12 +16,15 @@
 // and model audits (order preservation, no constraint violations).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "audit/invariant_auditor.h"
+#include "ckpt/io.h"
+#include "ckpt/serializer.h"
 #include "cioq/cioq_switch.h"
 #include "fault/fault_schedule.h"
 #include "fault/loss.h"
@@ -137,6 +140,26 @@ struct RunOptions {
   // mismatches fail loudly at load (wrong fabric name, port count,
   // keep_timeline, window_slots, drain_grace, source identity, ...).
   std::string resume_from;
+  // Filesystem seam for checkpoint_path writes and resume_from reads
+  // (null = the real filesystem).  The serve supervisor threads a
+  // ckpt::FaultyIo through here so injected torn writes / ENOSPC / read
+  // corruption exercise the engine's real checkpoint path in tests.
+  ckpt::Io* checkpoint_io = nullptr;
+  // When set, replaces the checkpoint_path write entirely: at every
+  // checkpoint boundary the engine hands the serialized snapshot (and the
+  // slot the snapshot resumes at, plus whether the run is stopping in this
+  // slot) to the sink, which owns persistence — the serve supervisor uses
+  // this for generation rotation.  Exceptions thrown by the sink propagate
+  // out of the run, exactly like a failed direct write.  With a sink set,
+  // checkpoint_path may be empty.
+  std::function<void(const ckpt::Writer&, sim::Slot, bool)> checkpoint_sink;
+  // Graceful-shutdown flag, polled at each slot boundary (null = never
+  // stop early).  When it becomes true the engine finishes the current
+  // slot, writes a final *resumable* checkpoint (if checkpointing), marks
+  // RunResult::interrupted, and returns — the windowed-mode partial row
+  // still goes out through on_window.  pps_serve latches SIGINT/SIGTERM
+  // into this flag.
+  const std::atomic<bool>* stop_flag = nullptr;
 
   // --- windowed service mode ---
   //
@@ -162,6 +185,11 @@ struct RunResult {
   std::uint64_t cells = 0;     // cells offered to both switches
   sim::Slot duration = 0;      // slots simulated
   bool drained = false;        // both switches empty at the end
+  // True when the run ended because RunOptions::stop_flag was raised
+  // rather than by draining or hitting max_slots.  An interrupted run's
+  // final checkpoint is resumable; resuming it and letting the run finish
+  // reproduces the uninterrupted results bit for bit.
+  bool interrupted = false;
   // Cells the measured switch lost (inject drops under plane failures or
   // an exhausted static partition, cells stranded in a failed plane,
   // buffer overflows).  These cells are excluded from the delay statistics

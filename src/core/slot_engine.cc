@@ -1,10 +1,12 @@
 #include "core/slot_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <optional>
 #include <utility>
 
+#include "ckpt/io.h"
 #include "ckpt/serializer.h"
 #include "core/shard_pool.h"
 #include "sim/error.h"
@@ -165,7 +167,7 @@ void ArrivalFeeder::LoadState(ckpt::Reader& r) {
   meter_.LoadState(r);
   next_id_ = r.U64();
   seq_.clear();
-  const std::size_t n = r.Size();
+  const std::size_t n = r.Count();
   for (std::size_t i = 0; i < n; ++i) {
     const sim::FlowId flow = r.U64();
     seq_[flow] = r.U64();
@@ -382,7 +384,11 @@ void RelativeDelayLedger::Finish(RunResult& result) {
 
   for (const auto& [flow, mm] : jitter_measured_) {
     if (!mm.seen) continue;
-    const auto& qq = jitter_shadow_.at(flow);
+    const auto it = jitter_shadow_.find(flow);
+    SIM_CHECK(it != jitter_shadow_.end(),
+              "jitter ledger has no shadow entry for flow "
+                  << flow << " (corrupt restore?)");
+    const auto& qq = it->second;
     const sim::Slot jp = sim::SlotDifference(mm.max, mm.min);
     const sim::Slot jq = sim::SlotDifference(qq.max, qq.min);
     result.max_relative_jitter =
@@ -414,13 +420,19 @@ void SaveMinMaxMap(ckpt::Writer& w, const Map& map) {
 template <typename Map>
 void LoadMinMaxMap(ckpt::Reader& r, Map& map) {
   map.clear();
-  const std::size_t n = r.Size();
+  const std::size_t n = r.Count();
   for (std::size_t i = 0; i < n; ++i) {
     const sim::FlowId flow = r.U64();
     auto& mm = map[flow];
     mm.min = r.I64();
     mm.max = r.I64();
     mm.seen = r.Bool();
+    // Finish() subtracts these: negative or inverted extremes (delays are
+    // non-negative) would be signed-overflow UB, so a corrupt entry must
+    // die here instead.
+    SIM_CHECK(mm.min >= 0 && mm.min <= mm.max,
+              "jitter ledger checkpoint has invalid extremes ["
+                  << mm.min << ", " << mm.max << "] for flow " << flow);
   }
 }
 
@@ -457,7 +469,7 @@ void RelativeDelayLedger::LoadState(ckpt::Reader& r) {
   measured_rec_.LoadState(r);
   shadow_rec_.LoadState(r);
   pending_.clear();
-  const std::size_t n = r.Size();
+  const std::size_t n = r.Count();
   for (std::size_t i = 0; i < n; ++i) {
     const sim::CellId id = r.U64();
     PendingCell cell;
@@ -467,6 +479,16 @@ void RelativeDelayLedger::LoadState(ckpt::Reader& r) {
     cell.measured_delay = r.I64();
     cell.shadow_delay = r.I64();
     cell.inject_dropped = r.Bool();
+    // Finalize() subtracts the delays and fans the ports out to taps, so
+    // the restored entry must look like one Track() could have produced.
+    const auto delay_ok = [](sim::Slot d) {
+      return d == sim::kNoSlot || d >= 0;
+    };
+    SIM_CHECK(cell.arrival >= 0 && cell.input >= 0 &&
+                  cell.input < num_ports_ && cell.output >= 0 &&
+                  cell.output < num_ports_ && delay_ok(cell.measured_delay) &&
+                  delay_ok(cell.shadow_delay),
+              "ledger checkpoint pending cell " << id << " is out of range");
     pending_.emplace(id, cell);
   }
   LoadMinMaxMap(r, jitter_measured_);
@@ -589,6 +611,8 @@ void WindowAccumulator::LoadState(ckpt::Reader& r) {
             "checkpoint was taken with a different window_slots");
   index_ = r.U64();
   window_start_ = r.I64();
+  SIM_CHECK(window_start_ >= 0, "window checkpoint start "
+                                    << window_start_ << " is not a slot");
   prev_cells_ = r.U64();
   prev_dropped_ = r.U64();
   prev_losses_ = LoadLoss(r);
@@ -596,7 +620,7 @@ void WindowAccumulator::LoadState(ckpt::Reader& r) {
   max_relative_delay_ = r.I64();
   relative_delay_.LoadState(r);
   flow_extremes_.clear();
-  const std::size_t n = r.Size();
+  const std::size_t n = r.Count();
   for (std::size_t i = 0; i < n; ++i) {
     const sim::FlowId flow = r.U64();
     FlowExtremes fe;
@@ -604,6 +628,12 @@ void WindowAccumulator::LoadState(ckpt::Reader& r) {
     fe.measured_max = r.I64();
     fe.shadow_min = r.I64();
     fe.shadow_max = r.I64();
+    // EmitRow subtracts each pair: extremes come from finalized delays,
+    // which are non-negative and ordered.
+    SIM_CHECK(fe.measured_min >= 0 && fe.measured_min <= fe.measured_max &&
+                  fe.shadow_min >= 0 && fe.shadow_min <= fe.shadow_max,
+              "window checkpoint extremes for flow " << flow
+                                                     << " are out of range");
     flow_extremes_.emplace(flow, fe);
   }
 }
@@ -629,6 +659,11 @@ void DrainController::LoadState(ckpt::Reader& r) {
   SIM_CHECK(r.I64() == drain_grace_,
             "drain checkpoint has a different drain_grace");
   exhausted_at_ = r.I64();
+  // ShouldStop subtracts this from the current slot: unset or a genuine
+  // non-negative slot only.
+  SIM_CHECK(exhausted_at_ == sim::kNoSlot || exhausted_at_ >= 0,
+            "drain checkpoint exhausted_at " << exhausted_at_
+                                             << " is not a slot");
 }
 
 // ---------------------------------------------------------------------------
@@ -650,7 +685,7 @@ void WriteCheckpoint(const RunOptions& options, fabric::Fabric& fabric,
                      const DrainController& drain,
                      const WindowAccumulator& window, const RunResult& result,
                      const fault::LossBreakdown& losses_base,
-                     sim::Slot next_slot, bool stopping) {
+                     sim::Slot next_slot, bool stopping, ckpt::Io& io) {
   ckpt::Writer w;
   w.Marker("ENG0");
   w.Str(fabric.name());
@@ -685,7 +720,11 @@ void WriteCheckpoint(const RunOptions& options, fabric::Fabric& fabric,
   faults.SaveState(w);
   w.Bool(window.enabled());
   if (window.enabled()) window.SaveState(w);
-  ckpt::WriteFile(options.checkpoint_path, w);
+  if (options.checkpoint_sink) {
+    options.checkpoint_sink(w, next_slot, stopping);
+  } else {
+    ckpt::WriteFile(options.checkpoint_path, w, io);
+  }
 }
 
 // Returns next_slot; sets `stopping` when the saving run stopped in the
@@ -696,8 +735,9 @@ sim::Slot LoadCheckpoint(const RunOptions& options, fabric::Fabric& fabric,
                          FaultScheduleApplier& faults, ArrivalFeeder& feeder,
                          RelativeDelayLedger& ledger, DrainController& drain,
                          WindowAccumulator& window, RunResult& result,
-                         fault::LossBreakdown& losses_base, bool& stopping) {
-  const std::string payload = ckpt::ReadFile(options.resume_from);
+                         fault::LossBreakdown& losses_base, bool& stopping,
+                         ckpt::Io& io) {
+  const std::string payload = ckpt::ReadFile(options.resume_from, io);
   ckpt::Reader r(payload);
   r.ExpectMarker("ENG0");
   const std::string saved_name = r.Str();
@@ -710,6 +750,8 @@ sim::Slot LoadCheckpoint(const RunOptions& options, fabric::Fabric& fabric,
   // with a larger slot budget is the normal use (the saving run's budget
   // was what got it interrupted).
   const sim::Slot next_slot = r.I64();
+  SIM_CHECK(next_slot >= 0,
+            "checkpoint resume slot " << next_slot << " is not a slot");
   stopping = r.Bool();
   losses_base = LoadLoss(r);
   r.ExpectMarker("RES0");
@@ -720,7 +762,7 @@ sim::Slot LoadCheckpoint(const RunOptions& options, fabric::Fabric& fabric,
   SIM_CHECK(r.Bool() == options.keep_timeline,
             "checkpoint was taken with a different keep_timeline");
   result.timeline.clear();
-  const std::size_t timeline_size = r.Size();
+  const std::size_t timeline_size = r.Count();
   result.timeline.reserve(timeline_size);
   for (std::size_t i = 0; i < timeline_size; ++i) {
     CellRelative c;
@@ -763,9 +805,11 @@ RunResult SlotEngine::Run(fabric::Fabric& fabric,
   const bool checkpointing = options.checkpoint_every > 0;
   const bool resuming = !options.resume_from.empty();
   if (checkpointing) {
-    SIM_CHECK(!options.checkpoint_path.empty(),
-              "checkpoint_every needs a checkpoint_path");
+    SIM_CHECK(!options.checkpoint_path.empty() || options.checkpoint_sink,
+              "checkpoint_every needs a checkpoint_path or checkpoint_sink");
   }
+  ckpt::Io& io =
+      options.checkpoint_io ? *options.checkpoint_io : ckpt::DefaultIo();
   if (checkpointing || resuming) {
     SIM_CHECK(fabric.checkpointable(),
               "fabric '" << fabric.name()
@@ -800,7 +844,7 @@ RunResult SlotEngine::Run(fabric::Fabric& fabric,
     start_slot =
         LoadCheckpoint(options, fabric, shadow, source, faults, feeder,
                        ledger, drain, window, result, losses_base,
-                       resumed_stopping);
+                       resumed_stopping, io);
   }
   const std::uint64_t lost_base = losses_base.total();
   std::uint64_t known_lost = fabric.losses().total();
@@ -898,12 +942,22 @@ RunResult SlotEngine::Run(fabric::Fabric& fabric,
     }
     const bool stop =
         drain.ShouldStop(t, fabric.Drained() && shadow.Drained());
-    if (checkpointing && sim::SlotPlus(t, 1) % options.checkpoint_every == 0) {
+    // Graceful shutdown: the flag is polled only at slot boundaries, so
+    // the current slot always completes.  The extra checkpoint written on
+    // the way out is marked stopping=false — the run did NOT finish, and
+    // resuming from it must continue the loop.
+    const bool interrupted =
+        !stop && options.stop_flag &&
+        options.stop_flag->load(std::memory_order_acquire);
+    const bool boundary =
+        checkpointing && sim::SlotPlus(t, 1) % options.checkpoint_every == 0;
+    if (boundary || (checkpointing && interrupted)) {
       WriteCheckpoint(options, fabric, shadow, source, faults, feeder,
                       ledger, drain, window, result, losses_base,
-                      sim::SlotPlus(t, 1), stop);
+                      sim::SlotPlus(t, 1), stop, io);
     }
-    if (stop) {
+    if (stop || interrupted) {
+      result.interrupted = interrupted;
       ++t;
       break;
     }

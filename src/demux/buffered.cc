@@ -3,6 +3,7 @@
 #include "ckpt/serializer.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "sim/error.h"
 
@@ -216,7 +217,14 @@ void BufferedRoundRobinDemux::LoadState(ckpt::Reader& r) {
   r.ExpectMarker("DXBR");
   SIM_CHECK(r.Size() == pointer_.size(),
             "buffered-rr checkpoint has a different port count");
-  for (int& p : pointer_) p = r.I32();
+  for (int& p : pointer_) {
+    p = r.I32();
+    // try_launch does (p + step) % K: a negative restored pointer would
+    // index the availability vector out of bounds.
+    SIM_CHECK(p >= 0 && p < num_planes_,
+              "buffered-rr checkpoint pointer " << p << " outside [0, "
+                                                << num_planes_ << ")");
+  }
 }
 
 void CpaEmulationCore::SaveState(ckpt::Writer& w) const {
@@ -230,7 +238,14 @@ void CpaEmulationCore::LoadState(ckpt::Reader& r) {
   r.ExpectMarker("CPEC");
   SIM_CHECK(r.Size() == next_dep_.size(),
             "CPA-emulation checkpoint has a different port count");
-  for (sim::Slot& d : next_dep_) d = r.I64();
+  for (sim::Slot& d : next_dep_) {
+    d = r.I64();
+    // PlanFor feeds these into SlotPlus: require genuine non-negative
+    // slots with headroom, not sentinels or corrupt extremes.
+    SIM_CHECK(d >= 0 && d < std::numeric_limits<sim::Slot>::max(),
+              "CPA-emulation checkpoint departure horizon "
+                  << d << " is not a slot");
+  }
   bookings_->LoadState(r);
 }
 
@@ -251,7 +266,7 @@ void CpaEmulationDemux::LoadState(ckpt::Reader& r) {
   r.ExpectMarker("DXCE");
   if (input_ == 0) core_->LoadState(r);
   plans_.clear();
-  const std::size_t n = r.Size();
+  const std::size_t n = r.Count();
   plans_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const sim::CellId id = r.U64();
@@ -280,15 +295,25 @@ void ArbiterCore::LoadState(ckpt::Reader& r) {
   r.ExpectMarker("ARBC");
   SIM_CHECK(r.Size() == rr_.size(),
             "arbiter checkpoint has a different port count");
-  for (int& p : rr_) p = r.I32();
+  for (int& p : rr_) {
+    p = r.I32();
+    // Request() hands the pointer out verbatim as the granted plane.
+    SIM_CHECK(p >= 0 && p < num_planes_,
+              "arbiter checkpoint pointer " << p << " outside [0, "
+                                            << num_planes_ << ")");
+  }
   grants_.clear();
-  const std::size_t n = r.Size();
+  const std::size_t n = r.Count();
   grants_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const sim::CellId id = r.U64();
     Grant g;
     g.visible_at = r.I64();
     g.plane = r.I32();
+    // The grant becomes decision.plane, which indexes planes_/failed_.
+    SIM_CHECK(g.plane >= 0 && g.plane < num_planes_,
+              "arbiter checkpoint grants plane " << g.plane << " outside [0, "
+                                                 << num_planes_ << ")");
     grants_.emplace(id, g);
   }
 }

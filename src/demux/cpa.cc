@@ -3,6 +3,7 @@
 #include "ckpt/serializer.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "sim/error.h"
 
@@ -82,9 +83,18 @@ void CpaCore::LoadState(ckpt::Reader& r) {
   r.ExpectMarker("CPAC");
   SIM_CHECK(r.Size() == next_dep_.size(),
             "CPA checkpoint has a different port count");
-  for (sim::Slot& d : next_dep_) d = r.I64();
+  for (sim::Slot& d : next_dep_) {
+    d = r.I64();
+    // Departure horizons feed SlotPlus: they must be genuine non-negative
+    // slots with headroom, not a sentinel or corrupt extreme.
+    SIM_CHECK(d >= 0 && d < std::numeric_limits<sim::Slot>::max(),
+              "CPA checkpoint departure horizon " << d << " is not a slot");
+  }
   bookings_->LoadState(r);
   rotate_ = r.I32();
+  SIM_CHECK(rotate_ >= 0 && rotate_ < config_.num_planes,
+            "CPA checkpoint rotation pointer " << rotate_ << " outside [0, "
+                                               << config_.num_planes << ")");
 }
 
 void CpaDemux::SaveState(ckpt::Writer& w) const {

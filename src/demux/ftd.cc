@@ -77,15 +77,26 @@ void FtdDemux::LoadState(ckpt::Reader& r) {
   r.ExpectMarker("DXFT");
   block_violations_ = r.U64();
   flows_.clear();
-  const std::size_t n = r.Size();
+  const std::size_t n = r.Count();
   flows_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const sim::PortId output = r.I32();
     FlowState& fs = flows_[output];
-    fs.used.assign(r.Size(), false);
+    fs.used.assign(r.Count(), false);
+    // Dispatch indexes fs.used with planes [0, K) and rotates fs.next
+    // modulo K: a corrupt size or negative pointer reads out of bounds.
+    SIM_CHECK(fs.used.empty() ||
+                  fs.used.size() == static_cast<std::size_t>(num_planes_),
+              "FTD checkpoint block bitmap covers " << fs.used.size()
+                                                    << " of " << num_planes_
+                                                    << " planes");
     for (std::size_t k = 0; k < fs.used.size(); ++k) fs.used[k] = r.Bool();
     fs.cells_in_block = r.I32();
     fs.next = r.I32();
+    SIM_CHECK(fs.next >= 0 && fs.next < num_planes_ &&
+                  fs.cells_in_block >= 0 && fs.cells_in_block < block_size_,
+              "FTD checkpoint flow state for output " << output
+                                                      << " is out of range");
   }
 }
 

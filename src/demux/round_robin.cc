@@ -60,6 +60,11 @@ void RoundRobinDemux::SaveState(ckpt::Writer& w) const {
 void RoundRobinDemux::LoadState(ckpt::Reader& r) {
   r.ExpectMarker("DXRR");
   pointer_ = r.I32();
+  // FirstFreePlane does (start + step) % K: a negative pointer from corrupt
+  // bytes would index input_link_free out of bounds.
+  SIM_CHECK(pointer_ >= 0 && pointer_ < num_planes_,
+            "round-robin checkpoint pointer " << pointer_ << " outside [0, "
+                                              << num_planes_ << ")");
 }
 
 void PerOutputRoundRobinDemux::SaveState(ckpt::Writer& w) const {
@@ -72,7 +77,12 @@ void PerOutputRoundRobinDemux::LoadState(ckpt::Reader& r) {
   r.ExpectMarker("DXRO");
   SIM_CHECK(r.Size() == pointer_.size(),
             "round-robin checkpoint has a different port count");
-  for (int& p : pointer_) p = r.I32();
+  for (int& p : pointer_) {
+    p = r.I32();
+    SIM_CHECK(p >= 0 && p < num_planes_,
+              "round-robin checkpoint pointer " << p << " outside [0, "
+                                                << num_planes_ << ")");
+  }
 }
 
 }  // namespace demux

@@ -70,7 +70,7 @@ void StaleJsqDemux::SaveState(ckpt::Writer& w) const {
 void StaleJsqDemux::LoadState(ckpt::Reader& r) {
   r.ExpectMarker("DXSJ");
   recent_.clear();
-  const std::size_t n = r.Size();
+  const std::size_t n = r.Count();
   recent_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     Recent rec;

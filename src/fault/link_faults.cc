@@ -55,7 +55,7 @@ void LinkFaultInjector::SaveState(ckpt::Writer& w) const {
 void LinkFaultInjector::LoadState(ckpt::Reader& r) {
   r.ExpectMarker("LFLT");
   windows_.clear();
-  const std::size_t n = r.Size();
+  const std::size_t n = r.Count();
   windows_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     Window win;

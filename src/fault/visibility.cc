@@ -100,10 +100,10 @@ void PlaneVisibility::SaveState(ckpt::Writer& w) const {
 
 void PlaneVisibility::LoadState(ckpt::Reader& r) {
   r.ExpectMarker("PVIS");
-  planes_.assign(r.Size(), PlaneState{});
+  planes_.assign(r.Count(), PlaneState{});
   for (PlaneState& state : planes_) {
     state.base_down = r.Bool();
-    const std::size_t n = r.Size();
+    const std::size_t n = r.Count();
     state.transitions.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       Transition tr;

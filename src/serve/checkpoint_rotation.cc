@@ -1,0 +1,104 @@
+#include "serve/checkpoint_rotation.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/error.h"
+
+namespace serve {
+
+namespace {
+
+constexpr int kGenDigits = 8;
+
+// Parses the generation number out of "<base_name>.g<8 digits>", or -1.
+std::int64_t ParseGen(const std::string& name, const std::string& base_name) {
+  const std::string prefix = base_name + ".g";
+  if (name.size() != prefix.size() + kGenDigits) return -1;
+  if (name.compare(0, prefix.size(), prefix) != 0) return -1;
+  std::int64_t gen = 0;
+  for (std::size_t i = prefix.size(); i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return -1;
+    gen = gen * 10 + (c - '0');
+  }
+  return gen;
+}
+
+}  // namespace
+
+CheckpointRotation::CheckpointRotation(ckpt::Io& io, std::string base,
+                                       int keep)
+    : io_(io), keep_(keep) {
+  SIM_CHECK(keep_ >= 1, "checkpoint rotation needs keep >= 1, got " << keep_);
+  SIM_CHECK(!base.empty(), "checkpoint rotation needs a base path");
+  const std::size_t slash = base.find_last_of('/');
+  if (slash == std::string::npos) {
+    // std::string temporaries, not const char* assignment: GCC 12's
+    // -Wrestrict misfires on the _M_replace path under -Werror (PR105329).
+    dir_ = std::string(".");
+    base_name_ = std::move(base);
+  } else {
+    dir_ = base.substr(0, slash);
+    base_name_ = base.substr(slash + 1);
+  }
+  SIM_CHECK(!base_name_.empty(),
+            "checkpoint rotation base path ends in '/': " << dir_ << '/');
+
+  std::int64_t min_gen = -1;
+  std::int64_t max_gen = -1;
+  for (const std::string& name : io_.ListDir(dir_)) {
+    const std::int64_t gen = ParseGen(name, base_name_);
+    if (gen < 0) continue;
+    had_initial_files_ = true;
+    if (min_gen < 0 || gen < min_gen) min_gen = gen;
+    if (gen > max_gen) max_gen = gen;
+  }
+  if (max_gen >= 0) {
+    next_gen_ = max_gen + 1;
+    oldest_ = min_gen;
+  }
+}
+
+std::string CheckpointRotation::GenPath(std::int64_t gen) const {
+  std::string digits = std::to_string(gen);
+  if (digits.size() < kGenDigits) {
+    digits.insert(0, kGenDigits - digits.size(), '0');
+  }
+  return dir_ + "/" + base_name_ + ".g" + digits;
+}
+
+void CheckpointRotation::Write(const ckpt::Writer& writer) {
+  ckpt::WriteFile(GenPath(next_gen_), writer, io_);
+  ++next_gen_;
+  ++generations_written_;
+  while (oldest_ + keep_ < next_gen_) {
+    io_.Remove(GenPath(oldest_));
+    ++oldest_;
+  }
+}
+
+std::optional<std::string> CheckpointRotation::NewestValidPath() {
+  for (std::int64_t gen = next_gen_ - 1; gen >= oldest_; --gen) {
+    const std::string path = GenPath(gen);
+    if (!io_.Exists(path)) continue;
+    try {
+      ckpt::ReadFile(path, io_);  // container validation only
+      return path;
+    } catch (const sim::SimError&) {
+      // Torn, corrupt, or unreadable: fall back to the next older one.
+    }
+  }
+  return std::nullopt;
+}
+
+void CheckpointRotation::MarkBad(const std::string& path) {
+  for (std::int64_t gen = oldest_; gen < next_gen_; ++gen) {
+    if (GenPath(gen) == path) {
+      io_.Remove(path);
+      return;
+    }
+  }
+}
+
+}  // namespace serve

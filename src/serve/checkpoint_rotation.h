@@ -1,0 +1,72 @@
+// Checkpoint generation rotation: keep the last N snapshots, restore from
+// the newest one that validates.
+//
+// A single checkpoint file is a single point of failure — the exact
+// scenario PR 7's atomic tmp+rename cannot cover is filesystem-level
+// damage *after* the rename (torn sectors, bit rot, an injected
+// short-write in tests).  Rotation turns "the checkpoint is corrupt" from
+// run-fatal into a bounded rollback: generations are written as
+//   <base>.g00000000, <base>.g00000001, ...
+// monotonically, the oldest pruned once more than `keep` exist, and
+// restore walks newest → oldest, taking the first file whose container
+// validates (magic, version, size, CRC — ckpt::ReadFile).  The price of a
+// fallback is bounded replay work: at most keep × checkpoint_every slots.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ckpt/io.h"
+#include "ckpt/serializer.h"
+
+namespace serve {
+
+class CheckpointRotation {
+ public:
+  // Scans for existing "<base>.g<8 digits>" generations through `io` (so
+  // a restart resumes the numbering instead of overwriting) and remembers
+  // whether any were present — the supervisor's all-corrupt fatal rule
+  // keys off that.
+  CheckpointRotation(ckpt::Io& io, std::string base, int keep);
+
+  // Writes the snapshot as the next generation (atomic, CRC'd container)
+  // and prunes generations beyond `keep`.  Throws ckpt::IoError through
+  // from the write — the caller decides whether that is retryable.
+  void Write(const ckpt::Writer& writer);
+
+  // The newest generation whose *container* validates (payload-level
+  // validation happens when the engine actually restores).  Generations
+  // that fail are skipped, not deleted — a later fsck may still want the
+  // bytes; MarkBad is the explicit discard.
+  std::optional<std::string> NewestValidPath();
+
+  // Discards a generation the engine rejected at restore time (payload
+  // corruption below the container layer), so the next NewestValidPath
+  // falls back to an older one.  Paths not produced by this rotation are
+  // ignored.
+  void MarkBad(const std::string& path);
+
+  // Path of generation `gen` (for tests and external tooling).
+  std::string GenPath(std::int64_t gen) const;
+
+  // True when generation files existed before this process wrote any.
+  bool had_initial_files() const { return had_initial_files_; }
+  // Generations successfully written by this instance.
+  std::int64_t generations_written() const { return generations_written_; }
+  std::int64_t next_gen() const { return next_gen_; }
+  std::int64_t oldest_gen() const { return oldest_; }
+  int keep() const { return keep_; }
+
+ private:
+  ckpt::Io& io_;
+  std::string dir_;        // directory part of base ("." when none)
+  std::string base_name_;  // file-name part of base
+  int keep_;
+  bool had_initial_files_ = false;
+  std::int64_t next_gen_ = 0;  // next generation number to write
+  std::int64_t oldest_ = 0;    // oldest generation not yet pruned
+  std::int64_t generations_written_ = 0;
+};
+
+}  // namespace serve

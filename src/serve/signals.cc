@@ -1,0 +1,38 @@
+#include "serve/signals.h"
+
+#include <csignal>
+
+#include "sim/error.h"
+
+namespace serve {
+
+namespace {
+
+std::atomic<bool>* g_stop_flag = nullptr;
+
+extern "C" void HandleStopSignal(int /*signum*/) {
+  // Only a lock-free atomic store: the one operation (besides
+  // sig_atomic_t) the standard allows in a handler.
+  if (g_stop_flag != nullptr) {
+    g_stop_flag->store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace
+
+void InstallStopHandlers(std::atomic<bool>& flag) {
+  SIM_CHECK(flag.is_lock_free(),
+            "std::atomic<bool> is not lock-free on this platform; signal "
+            "handlers cannot use it");
+  g_stop_flag = &flag;
+  struct sigaction action = {};
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking calls too
+  SIM_CHECK(sigaction(SIGINT, &action, nullptr) == 0,
+            "cannot install SIGINT handler");
+  SIM_CHECK(sigaction(SIGTERM, &action, nullptr) == 0,
+            "cannot install SIGTERM handler");
+}
+
+}  // namespace serve

@@ -1,0 +1,20 @@
+// Graceful-shutdown signal plumbing for pps_serve.
+//
+// SIGINT/SIGTERM are latched into an atomic flag the engine polls at slot
+// boundaries (RunOptions::stop_flag): the current slot completes, a final
+// resumable checkpoint is written, the windowed partial row goes out, and
+// the process exits 0.  Only SIGKILL skips all of that — which is exactly
+// the case scripts/crash_recovery.sh proves recoverable from the outside.
+#pragma once
+
+#include <atomic>
+
+namespace serve {
+
+// Installs SIGINT/SIGTERM handlers that store `true` into `flag` (which
+// must outlive the handlers — pps_serve uses a process-lifetime atomic).
+// The handlers do nothing else: std::atomic<bool> stores are async-signal
+// safe when lock-free, which SIM_CHECKed at install time.
+void InstallStopHandlers(std::atomic<bool>& flag);
+
+}  // namespace serve

@@ -1,0 +1,148 @@
+#include "serve/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "fabric/fabric.h"
+#include "traffic/source.h"
+
+namespace serve {
+
+namespace {
+
+void DefaultSleepMs(std::int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorOptions options)
+    : options_(std::move(options)) {
+  SIM_CHECK(!options_.checkpoint_base.empty(),
+            "supervisor needs a checkpoint_base");
+  SIM_CHECK(options_.keep_checkpoints >= 1,
+            "supervisor needs keep_checkpoints >= 1, got "
+                << options_.keep_checkpoints);
+  SIM_CHECK(options_.max_retries >= 0,
+            "supervisor needs max_retries >= 0, got " << options_.max_retries);
+  if (!options_.sleep_ms) options_.sleep_ms = DefaultSleepMs;
+}
+
+core::RunResult Supervisor::Run(const FabricFactory& make_fabric,
+                                const SourceFactory& make_source,
+                                const core::RunOptions& base) {
+  SIM_CHECK(base.checkpoint_every > 0,
+            "the supervisor requires checkpoint_every > 0 (it recovers by "
+            "rolling back to checkpoints)");
+  SIM_CHECK(base.checkpoint_path.empty() && !base.checkpoint_sink,
+            "checkpoint_path/checkpoint_sink are owned by the supervisor");
+
+  ckpt::Io& io = options_.io != nullptr ? *options_.io : ckpt::DefaultIo();
+  CheckpointRotation rotation(io, options_.checkpoint_base,
+                              options_.keep_checkpoints);
+
+  const auto note = [this](const std::string& line) {
+    if (options_.log) options_.log(line);
+  };
+
+  attempts_ = 0;
+  int consecutive_failures = 0;
+  // Monotone dedup cursor over window rows: replayed slots re-emit rows a
+  // previous attempt already delivered (bit-identical, by the engine's
+  // restore guarantee); only indices >= the cursor reach the consumer.
+  std::uint64_t next_window_index = 0;
+
+  for (;;) {
+    ++attempts_;
+
+    std::string resume;
+    bool resume_is_generation = false;
+    if (std::optional<std::string> newest = rotation.NewestValidPath()) {
+      resume = *newest;
+      resume_is_generation = true;
+    } else if (rotation.had_initial_files() ||
+               rotation.generations_written() > 0) {
+      throw NoValidCheckpointError(
+          "serve: no checkpoint generation under '" +
+          options_.checkpoint_base +
+          "' validates (all torn or corrupt); refusing to restart from "
+          "slot 0 and re-emit rows the consumer already has");
+    } else if (!base.resume_from.empty()) {
+      // Explicit starting checkpoint, used only until the first
+      // generation exists.
+      resume = base.resume_from;
+    }
+
+    std::unique_ptr<fabric::Fabric> fabric = make_fabric();
+    std::unique_ptr<traffic::TrafficSource> source = make_source();
+
+    core::RunOptions opts = base;
+    opts.resume_from = resume;
+    opts.checkpoint_io = &io;
+    opts.checkpoint_path.clear();
+    opts.checkpoint_sink = [&rotation](const ckpt::Writer& w, sim::Slot,
+                                       bool) { rotation.Write(w); };
+    if (base.on_window) {
+      opts.on_window = [&next_window_index,
+                        emit = base.on_window](const core::WindowRow& row) {
+        if (row.index < next_window_index) return;
+        next_window_index = row.index + 1;
+        emit(row);
+      };
+    }
+
+    const std::int64_t gens_before = rotation.generations_written();
+    try {
+      return core::RunRelative(*fabric, *source, opts);
+    } catch (const ckpt::CorruptError& e) {
+      // The restore source is bad.  Waiting will not fix bytes: discard
+      // the generation and fall back immediately.
+      consecutive_failures = rotation.generations_written() > gens_before
+                                 ? 1
+                                 : consecutive_failures + 1;
+      if (resume_is_generation) {
+        rotation.MarkBad(resume);
+        note("serve: attempt " + std::to_string(attempts_) +
+             ": checkpoint " + resume + " is corrupt (" + e.what() +
+             "); falling back to an older generation");
+      } else if (!resume.empty()) {
+        throw NoValidCheckpointError(
+            "serve: explicit resume checkpoint '" + resume +
+            "' is corrupt and no generations exist: " + e.what());
+      }
+      if (consecutive_failures > options_.max_retries) {
+        throw RetriesExhaustedError(
+            "serve: " + std::to_string(consecutive_failures) +
+            " consecutive recoverable failures without progress (budget " +
+            std::to_string(options_.max_retries) + "); last: " + e.what());
+      }
+    } catch (const ckpt::IoError& e) {
+      // The filesystem misbehaved (ENOSPC, failed fsync, read error):
+      // transient by classification — retry after exponential backoff.
+      consecutive_failures = rotation.generations_written() > gens_before
+                                 ? 1
+                                 : consecutive_failures + 1;
+      if (consecutive_failures > options_.max_retries) {
+        throw RetriesExhaustedError(
+            "serve: " + std::to_string(consecutive_failures) +
+            " consecutive recoverable failures without progress (budget " +
+            std::to_string(options_.max_retries) + "); last: " + e.what());
+      }
+      const int exponent = std::min(consecutive_failures - 1, 20);
+      const std::int64_t backoff_ms =
+          std::min(options_.backoff_cap_ms,
+                   options_.backoff_base_ms << exponent);
+      note("serve: attempt " + std::to_string(attempts_) +
+           ": transient I/O failure (" + e.what() + "); retrying in " +
+           std::to_string(backoff_ms) + " ms");
+      options_.sleep_ms(backoff_ms);
+    }
+    // Any other sim::SimError is a model/config error: deliberately not
+    // caught — it propagates to the caller as fatal.
+  }
+}
+
+}  // namespace serve

@@ -1,0 +1,134 @@
+// The self-healing serve supervisor: a crash-safe wrapper around the slot
+// engine.
+//
+// The engine (core/slot_engine.cc) already guarantees that
+// checkpoint-at-S + restore-and-continue is byte-identical to the
+// uninterrupted run.  The supervisor turns that primitive into an
+// *automatic* property of a whole run:
+//
+//   write side   every checkpoint boundary goes through a
+//                CheckpointRotation (keep last N generations, atomic,
+//                CRC'd), so one bad write never destroys the only copy;
+//   failure      a sim::SimError out of the run is classified by type —
+//                ckpt::IoError (transient: retry after exponential
+//                backoff), ckpt::CorruptError (the restore file is bad:
+//                discard it and fall back to an older generation),
+//                anything else (model/config: fatal, rethrown);
+//   replay       each retry reconstructs the fabric and source from
+//                factories and resumes from the newest valid generation;
+//                window rows the previous attempt already emitted are
+//                deduplicated by their monotone index, so the downstream
+//                consumer sees exactly the uninterrupted row sequence;
+//   budget       the retry counter counts *consecutive failures without
+//                progress* — it resets whenever an attempt lands a new
+//                valid generation — and RetriesExhaustedError ends runs
+//                that fail without ever advancing;
+//   fatal floor  when generations exist (on disk at startup, or written
+//                by this process) and none validates, the supervisor
+//                throws NoValidCheckpointError instead of silently
+//                restarting from slot 0 and emitting wrong (duplicate)
+//                results.
+//
+// The acceptance bar, proven in tests/test_serve.cc: a run failed and
+// recovered K times under injected I/O faults produces RunResult fields
+// and window rows byte-identical (bit_cast-level for doubles) to the
+// uninterrupted golden run.  DESIGN.md "Recovery model" has the state
+// diagram; tools/pps_serve.cc maps the error types to exit codes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/harness.h"
+#include "serve/checkpoint_rotation.h"
+#include "sim/error.h"
+
+namespace fabric {
+class Fabric;
+}  // namespace fabric
+
+namespace serve {
+
+// Process exit codes pps_serve maps run outcomes to (documented in
+// README.md; scripts/crash_recovery.sh asserts them).
+inline constexpr int kExitOk = 0;                 // finished or graceful stop
+inline constexpr int kExitUsage = 2;              // bad flags
+inline constexpr int kExitFatal = 3;              // model/config SimError
+inline constexpr int kExitRetriesExhausted = 4;   // RetriesExhaustedError
+inline constexpr int kExitNoValidCheckpoint = 5;  // NoValidCheckpointError
+
+// The retry budget ran out: max_retries consecutive attempts failed with
+// recoverable errors and no new generation was written between them.
+class RetriesExhaustedError : public sim::SimError {
+ public:
+  explicit RetriesExhaustedError(const std::string& what)
+      : sim::SimError(what) {}
+};
+
+// Checkpoint generations exist but none validates (all torn/corrupt).
+// Restarting from slot 0 would re-emit rows the consumer already has, so
+// this is fatal by design.
+class NoValidCheckpointError : public sim::SimError {
+ public:
+  explicit NoValidCheckpointError(const std::string& what)
+      : sim::SimError(what) {}
+};
+
+struct SupervisorOptions {
+  // Generation base path: generations land at "<base>.g00000000", ...
+  std::string checkpoint_base;
+  // Generations to keep (--keep-checkpoints).
+  int keep_checkpoints = 3;
+  // Max consecutive recoverable failures without progress (--max-retries).
+  int max_retries = 5;
+  // Exponential backoff for transient (IoError) failures: attempt n waits
+  // min(backoff_base_ms << (n-1), backoff_cap_ms).  Corrupt-checkpoint
+  // fallback retries immediately — waiting cannot un-corrupt a file.
+  std::int64_t backoff_base_ms = 100;
+  std::int64_t backoff_cap_ms = 5000;
+  // Filesystem seam (null = real filesystem).  Tests thread a
+  // ckpt::FaultyIo through here; the engine inherits it via
+  // RunOptions::checkpoint_io.
+  ckpt::Io* io = nullptr;
+  // Backoff sleeper (null = std::this_thread::sleep_for).  Injectable so
+  // tests run instantly; must not read wall clocks.
+  std::function<void(std::int64_t)> sleep_ms;
+  // Recovery narration (retry/fallback/give-up events), one line per
+  // call; null = silent.  pps_serve points this at stderr.
+  std::function<void(const std::string&)> log;
+};
+
+class Supervisor {
+ public:
+  using FabricFactory = std::function<std::unique_ptr<fabric::Fabric>()>;
+  using SourceFactory =
+      std::function<std::unique_ptr<traffic::TrafficSource>()>;
+
+  explicit Supervisor(SupervisorOptions options);
+
+  // Runs `base` to completion under supervision, reconstructing the
+  // fabric/source from the factories for every attempt.  `base` must have
+  // checkpoint_every > 0; its checkpoint_path/resume_from/checkpoint_sink
+  // are owned by the supervisor and must be empty — except resume_from,
+  // which may name an explicit (non-generation) checkpoint to start from
+  // when no generations exist yet.
+  //
+  // Returns the completed RunResult (RunResult::interrupted set when a
+  // graceful stop ended the run early).  Throws RetriesExhaustedError,
+  // NoValidCheckpointError, or the original fatal sim::SimError.
+  core::RunResult Run(const FabricFactory& make_fabric,
+                      const SourceFactory& make_source,
+                      const core::RunOptions& base);
+
+  // Attempts made by the last Run (1 = no recovery needed).
+  int attempts() const { return attempts_; }
+
+ private:
+  SupervisorOptions options_;
+  int attempts_ = 0;
+};
+
+}  // namespace serve

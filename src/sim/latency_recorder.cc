@@ -94,7 +94,7 @@ void LatencyRecorder::LoadState(ckpt::Reader& r) {
   r.ExpectMarker("LREC");
   delay_stats_.LoadState(r);
   flows_.clear();
-  const std::size_t num_flows = r.Size();
+  const std::size_t num_flows = r.Count();
   flows_.reserve(num_flows);
   for (std::size_t i = 0; i < num_flows; ++i) {
     const FlowId flow = r.U64();
@@ -104,10 +104,16 @@ void LatencyRecorder::LoadState(ckpt::Reader& r) {
     fr.cells = r.U64();
     fr.last_seq = r.U64();
     fr.last_departure = r.I64();
+    // FlowJitter subtracts the extremes: a record only exists after a
+    // Record() call, so delays are non-negative and ordered.
+    SIM_CHECK(fr.min_delay >= 0 && fr.min_delay <= fr.max_delay &&
+                  fr.last_departure >= 0,
+              "latency recorder checkpoint flow " << flow
+                                                  << " is out of range");
     flows_.emplace(flow, fr);
   }
   per_cell_.clear();
-  const std::size_t num_cells = r.Size();
+  const std::size_t num_cells = r.Count();
   per_cell_.reserve(num_cells);
   for (std::size_t i = 0; i < num_cells; ++i) {
     const CellId id = r.U64();

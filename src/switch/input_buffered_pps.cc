@@ -458,9 +458,11 @@ void InputBufferedPps::LoadState(ckpt::Reader& r) {
   ring_.LoadState(r);
   for (auto& buffer : buffers_) {
     buffer.clear();
-    const std::size_t n = r.Size();
+    const std::size_t n = r.Count();
     buffer.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) buffer.push_back(ckpt::LoadCell(r));
+    for (std::size_t i = 0; i < n; ++i) {
+      buffer.push_back(ckpt::LoadCell(r, config_.num_ports));
+    }
   }
   for (auto& inc : incoming_) inc.reset();
   SIM_CHECK(r.Size() == failed_.size(),

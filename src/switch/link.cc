@@ -122,7 +122,7 @@ void ReservationBank::LoadState(ckpt::Reader& r) {
             "reservation bank checkpoint has a different shape");
   for (auto& slots : reserved_) {
     slots.clear();
-    const std::size_t n = r.Size();
+    const std::size_t n = r.Count();
     for (std::size_t i = 0; i < n; ++i) {
       const sim::Slot slot = r.I64();
       slots.emplace(slot, r.Bool());

@@ -204,24 +204,29 @@ void OutputMux::LoadState(ckpt::Reader& r) {
   total_staged_ = r.I64();
   fifo_.clear();
   fifo_head_ = 0;
-  const std::size_t staged = r.Size();
+  const std::size_t staged = r.Count();
   fifo_.reserve(staged);
-  for (std::size_t i = 0; i < staged; ++i) fifo_.push_back(ckpt::LoadCell(r));
+  for (std::size_t i = 0; i < staged; ++i) {
+    fifo_.push_back(ckpt::LoadCell(r, num_ports_));
+  }
   flows_.clear();
-  const std::size_t num_flows = r.Size();
+  const std::size_t num_flows = r.Count();
   flows_.reserve(num_flows);
   for (std::size_t i = 0; i < num_flows; ++i) {
     const sim::FlowId flow = r.U64();
     FlowState& fs = flows_[flow];
     fs.next_seq = r.U64();
-    const std::size_t cells = r.Size();
+    const std::size_t cells = r.Count();
     for (std::size_t c = 0; c < cells; ++c) {
       const std::uint64_t seq = r.U64();
-      fs.staged.emplace(seq, ckpt::LoadCell(r));
+      sim::Cell cell = ckpt::LoadCell(r, num_ports_);
+      SIM_CHECK(cell.seq == seq, "output mux checkpoint stages "
+                                     << cell << " under sequence key " << seq);
+      fs.staged.emplace(seq, cell);
     }
   }
   eligible_.clear();
-  const std::size_t heads = r.Size();
+  const std::size_t heads = r.Count();
   eligible_.reserve(heads);
   for (std::size_t i = 0; i < heads; ++i) {
     EligibleHead h;
@@ -236,6 +241,40 @@ void OutputMux::LoadState(ckpt::Reader& r) {
   seq_gaps_closed_ = r.U64();
   late_drops_ = r.U64();
   stall_streak_ = r.I32();
+
+  // Depart() trusts the cross-structure invariants below with debug-only
+  // checks; corrupt bytes that decode field-by-field can still break them,
+  // so a restore re-validates what a live mux maintains by construction.
+  std::int64_t staged_in_flows = 0;
+  for (const auto& [flow, fs] : flows_) {
+    staged_in_flows += static_cast<std::int64_t>(fs.staged.size());
+  }
+  const auto fifo_live = static_cast<std::int64_t>(fifo_.size());
+  SIM_CHECK(total_staged_ == fifo_live + staged_in_flows,
+            "output mux checkpoint claims " << total_staged_
+                                            << " staged cells but restores "
+                                            << fifo_live + staged_in_flows);
+  SIM_CHECK(policy_ != MuxPolicy::kFcfsArrival || staged_in_flows == 0,
+            "FCFS output mux checkpoint has resequencer-staged cells");
+  std::vector<sim::FlowId> head_flows;
+  head_flows.reserve(eligible_.size());
+  for (const EligibleHead& h : eligible_) {
+    const auto it = flows_.find(h.flow);
+    SIM_CHECK(it != flows_.end(),
+              "output mux checkpoint eligible head references unknown flow "
+                  << h.flow);
+    const auto cell_it = it->second.staged.find(it->second.next_seq);
+    SIM_CHECK(cell_it != it->second.staged.end() &&
+                  cell_it->second.id == h.id &&
+                  cell_it->second.arrival == h.arrival,
+              "output mux checkpoint eligible head is out of sync with flow "
+                  << h.flow);
+    head_flows.push_back(h.flow);
+  }
+  std::sort(head_flows.begin(), head_flows.end());
+  SIM_CHECK(std::adjacent_find(head_flows.begin(), head_flows.end()) ==
+                head_flows.end(),
+            "output mux checkpoint has duplicate eligible heads for a flow");
 }
 
 }  // namespace pps

@@ -58,8 +58,10 @@ void OutputQueuedSwitch::LoadState(ckpt::Reader& r) {
             "shadow switch checkpoint has a different port count");
   for (auto& q : queues_) {
     q.clear();
-    const std::size_t n = r.Size();
-    for (std::size_t i = 0; i < n; ++i) q.push_back(ckpt::LoadCell(r));
+    const std::size_t n = r.Count();
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push_back(ckpt::LoadCell(r, num_ports_));
+    }
   }
   idle_violations_ = r.U64();
 }

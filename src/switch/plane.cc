@@ -176,16 +176,29 @@ void Plane::LoadState(ckpt::Reader& r) {
   out_links_.LoadState(r);
   for (auto& q : queues_) {
     q.clear();
-    const std::size_t n = r.Size();
-    for (std::size_t i = 0; i < n; ++i) q.push_back(ckpt::LoadCell(r));
+    const std::size_t n = r.Count();
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push_back(ckpt::LoadCell(r, num_ports_));
+    }
   }
   const std::size_t ring = r.Size();
   SIM_CHECK(ring == 0 || (ring & (ring - 1)) == 0,
             "plane checkpoint calendar size is not a power of two");
+  // The ring is sparse capacity (only occupied buckets follow in the
+  // stream), so it can legitimately exceed the remaining bytes — but a
+  // live calendar starts at 64 and doubles only on collisions between
+  // outstanding bookings, so a ring past 2^26 is corruption, not load.
+  SIM_CHECK(ring <= (std::size_t{1} << 26),
+            "plane checkpoint calendar ring of " << ring << " is implausible");
   calendar_.assign(ring, CalendarBucket{});
   calendar_mask_ = ring == 0 ? 0 : ring - 1;
   calendar_pending_ = 0;
   const std::size_t buckets = r.Size();
+  SIM_CHECK(buckets <= ring,
+            "plane checkpoint has " << buckets
+                                    << " occupied calendar buckets in a ring "
+                                       "of "
+                                    << ring);
   for (std::size_t i = 0; i < buckets; ++i) {
     const sim::Slot slot = r.I64();
     CalendarBucket& bucket =
@@ -193,10 +206,10 @@ void Plane::LoadState(ckpt::Reader& r) {
     SIM_CHECK(bucket.slot == sim::kNoSlot,
               "plane checkpoint calendar buckets collide");
     bucket.slot = slot;
-    const std::size_t cells = r.Size();
+    const std::size_t cells = r.Count();
     bucket.cells.reserve(cells);
     for (std::size_t c = 0; c < cells; ++c) {
-      bucket.cells.push_back(ckpt::LoadCell(r));
+      bucket.cells.push_back(ckpt::LoadCell(r, num_ports_));
     }
     calendar_pending_ += static_cast<std::int64_t>(cells);
   }

@@ -63,8 +63,10 @@ void RateLimitedOqSwitch::LoadState(ckpt::Reader& r) {
             "rate-limited OQ checkpoint has a different shape");
   for (auto& q : queues_) {
     q.clear();
-    const std::size_t n = r.Size();
-    for (std::size_t i = 0; i < n; ++i) q.push_back(ckpt::LoadCell(r));
+    const std::size_t n = r.Count();
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push_back(ckpt::LoadCell(r, config_.num_ports));
+    }
   }
   for (sim::Slot& s : next_service_) s = r.I64();
 }

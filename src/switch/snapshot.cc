@@ -53,13 +53,13 @@ void GlobalSnapshot::SaveState(ckpt::Writer& w) const {
 void GlobalSnapshot::LoadState(ckpt::Reader& r) {
   r.ExpectMarker("SNAP");
   slot = r.I64();
-  plane_backlog.assign(r.Size(), 0);
+  plane_backlog.assign(r.Count(), 0);
   for (std::int32_t& b : plane_backlog) b = r.I32();
-  input_link_next_free.assign(r.Size(), 0);
+  input_link_next_free.assign(r.Count(), 0);
   for (sim::Slot& s : input_link_next_free) s = r.I64();
-  output_link_next_free.assign(r.Size(), 0);
+  output_link_next_free.assign(r.Count(), 0);
   for (sim::Slot& s : output_link_next_free) s = r.I64();
-  output_backlog.assign(r.Size(), 0);
+  output_backlog.assign(r.Count(), 0);
   for (std::int32_t& b : output_backlog) b = r.I32();
 }
 
@@ -75,7 +75,7 @@ void SnapshotRing::LoadState(ckpt::Reader& r) {
   SIM_CHECK(r.I32() == capacity_,
             "snapshot ring checkpoint has a different capacity");
   ring_.clear();
-  const std::size_t n = r.Size();
+  const std::size_t n = r.Count();
   for (std::size_t i = 0; i < n; ++i) {
     GlobalSnapshot snap;
     snap.LoadState(r);

@@ -1,0 +1,243 @@
+#include "traffic/bursty.h"
+
+#include <cmath>
+#include <utility>
+
+#include "ckpt/serializer.h"
+#include "sim/error.h"
+
+namespace traffic {
+
+namespace {
+
+// Geometric dwell with the given mean (>= 1), support {1, 2, ...}:
+// 1 + failures-before-success at p = 1/mean has mean exactly `mean`.
+std::int64_t DrawDwell(sim::Rng& rng, double mean) {
+  return 1 + static_cast<std::int64_t>(rng.Geometric(1.0 / mean));
+}
+
+double IdleMeanFor(double load, double mean_burst) {
+  // Long-run per-port rate is B / (B + D); solve D for the target load.
+  // Dwells are at least one slot, so extremely high loads are clamped
+  // (slightly under-offered) rather than mis-drawn.
+  return std::max(1.0, mean_burst * (1.0 - load) / load);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MmppSource
+
+MmppSource::MmppSource(sim::PortId num_ports, double load,
+                       std::vector<Phase> phases, sim::Rng rng)
+    : num_ports_(num_ports), phases_(std::move(phases)) {
+  SIM_CHECK(num_ports > 0, "need ports");
+  SIM_CHECK(load > 0.0 && load < 1.0, "load must be in (0,1)");
+  SIM_CHECK(!phases_.empty(), "mmpp needs at least one burst phase");
+  double total_weight = 0.0;
+  double weighted_mean = 0.0;
+  cumulative_weight_.reserve(phases_.size());
+  for (const Phase& phase : phases_) {
+    SIM_CHECK(phase.mean_burst >= 1.0,
+              "mmpp phase mean burst must be >= 1, got " << phase.mean_burst);
+    SIM_CHECK(phase.weight > 0.0,
+              "mmpp phase weight must be > 0, got " << phase.weight);
+    total_weight += phase.weight;
+    weighted_mean += phase.weight * phase.mean_burst;
+    cumulative_weight_.push_back(total_weight);
+  }
+  mean_burst_ = weighted_mean / total_weight;
+  mean_idle_ = IdleMeanFor(load, mean_burst_);
+
+  ports_.resize(static_cast<std::size_t>(num_ports));
+  for (sim::PortId i = 0; i < num_ports; ++i) {
+    PortState& ps = ports_[static_cast<std::size_t>(i)];
+    ps.rng = rng.Fork(static_cast<std::uint64_t>(i) + 0x4d50u);
+    StartIdle(ps);
+  }
+}
+
+MmppSource MmppSource::HeavyTailed(sim::PortId num_ports, double load,
+                                   int num_phases, double base_burst,
+                                   sim::Rng rng) {
+  SIM_CHECK(num_phases >= 1, "heavy-tailed mmpp needs >= 1 phase");
+  SIM_CHECK(base_burst >= 1.0, "base burst must be >= 1");
+  std::vector<Phase> phases;
+  phases.reserve(static_cast<std::size_t>(num_phases));
+  double mean = base_burst;
+  double weight = 1.0;
+  for (int k = 0; k < num_phases; ++k) {
+    phases.push_back({mean, weight});
+    mean *= 4.0;
+    weight *= 0.5;
+  }
+  return MmppSource(num_ports, load, std::move(phases), rng);
+}
+
+void MmppSource::StartBurst(PortState& ps) {
+  const double total = cumulative_weight_.back();
+  const double u = ps.rng.UniformDouble() * total;
+  std::size_t phase = 0;
+  while (phase + 1 < cumulative_weight_.size() &&
+         u >= cumulative_weight_[phase]) {
+    ++phase;
+  }
+  ps.on = true;
+  ps.phase = static_cast<std::int32_t>(phase);
+  ps.remaining = DrawDwell(ps.rng, phases_[phase].mean_burst);
+  ps.dest = static_cast<sim::PortId>(
+      ps.rng.UniformInt(static_cast<std::uint64_t>(num_ports_)));
+}
+
+void MmppSource::StartIdle(PortState& ps) {
+  ps.on = false;
+  ps.remaining = DrawDwell(ps.rng, mean_idle_);
+}
+
+std::vector<sim::Arrival> MmppSource::ArrivalsAt(sim::Slot t) {
+  (void)t;
+  std::vector<sim::Arrival> out;
+  for (sim::PortId i = 0; i < num_ports_; ++i) {
+    PortState& ps = ports_[static_cast<std::size_t>(i)];
+    if (ps.on) out.push_back({i, ps.dest});
+    if (--ps.remaining == 0) {
+      if (ps.on) {
+        StartIdle(ps);
+      } else {
+        StartBurst(ps);
+      }
+    }
+  }
+  return out;
+}
+
+void MmppSource::SaveState(ckpt::Writer& w) const {
+  w.Marker("MMPP");
+  w.Size(ports_.size());
+  for (const PortState& ps : ports_) {
+    w.Bool(ps.on);
+    w.I32(ps.phase);
+    w.I64(ps.remaining);
+    w.I32(ps.dest);
+    ckpt::SaveRng(w, ps.rng);
+  }
+}
+
+void MmppSource::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("MMPP");
+  SIM_CHECK(r.Size() == ports_.size(),
+            "mmpp checkpoint has a different port count");
+  for (PortState& ps : ports_) {
+    ps.on = r.Bool();
+    ps.phase = r.I32();
+    SIM_CHECK(ps.phase >= 0 &&
+                  static_cast<std::size_t>(ps.phase) < phases_.size(),
+              "mmpp checkpoint has phase " << ps.phase << " out of range");
+    ps.remaining = r.I64();
+    SIM_CHECK(ps.remaining >= 1,
+              "mmpp checkpoint has dwell " << ps.remaining << " < 1");
+    ps.dest = r.I32();
+    ckpt::LoadRng(r, ps.rng);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ParetoOnOffSource
+
+ParetoOnOffSource::ParetoOnOffSource(sim::PortId num_ports, double load,
+                                     double alpha, double min_burst,
+                                     std::int64_t max_burst, sim::Rng rng)
+    : num_ports_(num_ports),
+      alpha_(alpha),
+      min_burst_(min_burst),
+      max_burst_(max_burst) {
+  SIM_CHECK(num_ports > 0, "need ports");
+  SIM_CHECK(load > 0.0 && load < 1.0, "load must be in (0,1)");
+  SIM_CHECK(alpha > 1.0, "pareto alpha must be > 1 (finite mean)");
+  SIM_CHECK(min_burst >= 1.0, "pareto min burst must be >= 1");
+  SIM_CHECK(max_burst >= static_cast<std::int64_t>(std::ceil(min_burst)),
+            "pareto max burst must be >= ceil(min burst)");
+  SIM_CHECK(max_burst <= 10'000'000,
+            "pareto max burst above 1e7 (exact mean computation is O(cap))");
+
+  // E[X] of the capped discrete dwell X = min(cap, ceil(Y)) via the tail
+  // sum E[X] = sum_{x>=1} P(X >= x); P(X >= x) = P(Y > x-1).
+  double mean = 0.0;
+  for (std::int64_t x = 1; x <= max_burst_; ++x) {
+    const double boundary = static_cast<double>(x - 1);
+    mean += boundary < min_burst_
+                ? 1.0
+                : std::pow(min_burst_ / boundary, alpha_);
+  }
+  mean_burst_ = mean;
+  mean_idle_ = IdleMeanFor(load, mean_burst_);
+
+  ports_.resize(static_cast<std::size_t>(num_ports));
+  for (sim::PortId i = 0; i < num_ports; ++i) {
+    PortState& ps = ports_[static_cast<std::size_t>(i)];
+    ps.rng = rng.Fork(static_cast<std::uint64_t>(i) + 0x5041u);
+    StartIdle(ps);
+  }
+}
+
+std::int64_t ParetoOnOffSource::DrawBurst(sim::Rng& rng) const {
+  // Inverse-CDF draw: Y = xm * (1-U)^(-1/alpha), U uniform in [0,1), so
+  // 1-U is in (0,1] and the pow never divides by zero.
+  const double y =
+      min_burst_ * std::pow(1.0 - rng.UniformDouble(), -1.0 / alpha_);
+  if (!(y < static_cast<double>(max_burst_))) return max_burst_;
+  const std::int64_t dwell = static_cast<std::int64_t>(std::ceil(y));
+  return dwell < 1 ? 1 : dwell;
+}
+
+void ParetoOnOffSource::StartIdle(PortState& ps) {
+  ps.on = false;
+  ps.remaining = DrawDwell(ps.rng, mean_idle_);
+}
+
+std::vector<sim::Arrival> ParetoOnOffSource::ArrivalsAt(sim::Slot t) {
+  (void)t;
+  std::vector<sim::Arrival> out;
+  for (sim::PortId i = 0; i < num_ports_; ++i) {
+    PortState& ps = ports_[static_cast<std::size_t>(i)];
+    if (ps.on) out.push_back({i, ps.dest});
+    if (--ps.remaining == 0) {
+      if (ps.on) {
+        StartIdle(ps);
+      } else {
+        ps.on = true;
+        ps.remaining = DrawBurst(ps.rng);
+        ps.dest = static_cast<sim::PortId>(
+            ps.rng.UniformInt(static_cast<std::uint64_t>(num_ports_)));
+      }
+    }
+  }
+  return out;
+}
+
+void ParetoOnOffSource::SaveState(ckpt::Writer& w) const {
+  w.Marker("PAR0");
+  w.Size(ports_.size());
+  for (const PortState& ps : ports_) {
+    w.Bool(ps.on);
+    w.I64(ps.remaining);
+    w.I32(ps.dest);
+    ckpt::SaveRng(w, ps.rng);
+  }
+}
+
+void ParetoOnOffSource::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("PAR0");
+  SIM_CHECK(r.Size() == ports_.size(),
+            "pareto checkpoint has a different port count");
+  for (PortState& ps : ports_) {
+    ps.on = r.Bool();
+    ps.remaining = r.I64();
+    SIM_CHECK(ps.remaining >= 1,
+              "pareto checkpoint has dwell " << ps.remaining << " < 1");
+    ps.dest = r.I32();
+    ckpt::LoadRng(r, ps.rng);
+  }
+}
+
+}  // namespace traffic

@@ -1,0 +1,141 @@
+// Heavy-tailed burst generators: the workloads that make long supervised
+// runs worth protecting (ROADMAP item 3's remaining generator gap).
+//
+// OnOffSource's geometric bursts have exponential tails — long runs
+// average out and the backlog process mixes quickly.  Real aggregates
+// don't behave that way: flow sizes are heavy-tailed, so a switch sees
+// rare, *very* long bursts that dominate the queueing behaviour (the
+// overload regimes in Bienkowski's multi-queue lower bound and Fung's
+// bounded-buffer model, PAPERS.md).  Two checkpointable models:
+//
+//   MmppSource        Markov-modulated on-off: each burst first draws a
+//                     *phase* from a weighted ladder of mean burst
+//                     lengths, then a geometric dwell with that phase's
+//                     mean.  A ladder with geometrically spaced means and
+//                     slowly decaying weights is the standard
+//                     hyperexponential approximation of a heavy tail —
+//                     MmppSource::HeavyTailed builds exactly that.
+//   ParetoOnOffSource on-off with *discrete Pareto* ON dwells
+//                     (X = ceil(xm * U^{-1/alpha}), capped), the textbook
+//                     heavy-tail: for alpha in (1, 2) the dwell has finite
+//                     mean but infinite variance.
+//
+// Both hold one destination per burst (bursts are flows), emit one cell
+// per slot while ON, and scale the idle dwell so the long-run offered
+// load per port is `load`.  Each port has an independent forked RNG
+// stream, and SaveState/LoadState capture phase, remaining dwell,
+// destination and RNG words exactly — the supervisor's replay guarantee
+// extends to these sources unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+#include "traffic/source.h"
+
+namespace traffic {
+
+// Markov-modulated burst source with a weighted ladder of burst phases.
+class MmppSource final : public TrafficSource {
+ public:
+  struct Phase {
+    double mean_burst = 1.0;  // mean ON dwell in slots, >= 1
+    double weight = 1.0;      // relative pick probability, > 0
+  };
+
+  // `load` in (0,1); at least one phase.  Idle dwells are geometric with
+  // mean max(1, B*(1-load)/load) where B is the weight-averaged mean
+  // burst length (the max(1, .) clamp slightly under-loads extremely
+  // high-load configs; dwells are at least one slot).
+  MmppSource(sim::PortId num_ports, double load, std::vector<Phase> phases,
+             sim::Rng rng);
+
+  // The standard heavy-tail approximation: `num_phases` phases with means
+  // base_burst * 4^k and weights decaying as 2^-k, so each rung is 4x
+  // longer but only 2x rarer — burst-length mass keeps shifting into the
+  // tail the way a Pareto's does.
+  static MmppSource HeavyTailed(sim::PortId num_ports, double load,
+                                int num_phases, double base_burst,
+                                sim::Rng rng);
+
+  std::vector<sim::Arrival> ArrivalsAt(sim::Slot t) override;
+
+  bool checkpointable() const override { return true; }
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
+
+  double mean_burst() const { return mean_burst_; }
+
+ private:
+  struct PortState {
+    bool on = false;
+    std::int32_t phase = 0;        // burst phase while ON
+    std::int64_t remaining = 0;    // slots left in the current dwell
+    sim::PortId dest = 0;
+    sim::Rng rng{0};
+  };
+
+  void StartBurst(PortState& ps);
+  void StartIdle(PortState& ps);
+
+  // ckpt-skip: construction-time constant, identical on resume
+  sim::PortId num_ports_;
+  // ckpt-skip: construction-time constant, identical on resume
+  std::vector<Phase> phases_;
+  // ckpt-skip: derived constant (cumulative phase weights)
+  std::vector<double> cumulative_weight_;
+  // ckpt-skip: derived constant (weight-averaged mean burst)
+  double mean_burst_ = 1.0;
+  // ckpt-skip: derived constant (mean idle dwell for the target load)
+  double mean_idle_ = 1.0;
+  std::vector<PortState> ports_;
+};
+
+// On-off source with discrete Pareto ON dwells.
+class ParetoOnOffSource final : public TrafficSource {
+ public:
+  // alpha > 1 (finite-mean tail; 1 < alpha < 2 gives infinite variance),
+  // min_burst >= 1 slots (the Pareto scale xm), dwells capped at
+  // max_burst so a single draw cannot exceed the run.  `load` in (0,1).
+  ParetoOnOffSource(sim::PortId num_ports, double load, double alpha,
+                    double min_burst, std::int64_t max_burst, sim::Rng rng);
+
+  std::vector<sim::Arrival> ArrivalsAt(sim::Slot t) override;
+
+  bool checkpointable() const override { return true; }
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
+
+  // E[dwell] of the capped discrete Pareto, computed exactly at
+  // construction (the idle scaling uses it).
+  double mean_burst() const { return mean_burst_; }
+
+ private:
+  struct PortState {
+    bool on = false;
+    std::int64_t remaining = 0;
+    sim::PortId dest = 0;
+    sim::Rng rng{0};
+  };
+
+  std::int64_t DrawBurst(sim::Rng& rng) const;
+  void StartIdle(PortState& ps);
+
+  // ckpt-skip: construction-time constant, identical on resume
+  sim::PortId num_ports_;
+  // ckpt-skip: construction-time constant, identical on resume
+  double alpha_;
+  // ckpt-skip: construction-time constant, identical on resume
+  double min_burst_;
+  // ckpt-skip: construction-time constant, identical on resume
+  std::int64_t max_burst_;
+  // ckpt-skip: derived constant (exact capped-Pareto mean)
+  double mean_burst_ = 1.0;
+  // ckpt-skip: derived constant (mean idle dwell for the target load)
+  double mean_idle_ = 1.0;
+  std::vector<PortState> ports_;
+};
+
+}  // namespace traffic

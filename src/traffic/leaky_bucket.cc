@@ -51,6 +51,12 @@ void TokenBucket::LoadState(ckpt::Reader& r) {
             "token bucket checkpoint has different parameters");
   tokens_scaled_ = r.I64();
   now_ = r.I64();
+  // AdvanceTo does arithmetic on both: a live bucket keeps its clock
+  // non-negative and its tokens within [0, full], so anything else is
+  // corruption that would overflow downstream.
+  SIM_CHECK(now_ >= 0 && tokens_scaled_ >= 0 &&
+                tokens_scaled_ <= capacity_ * rate_den_,
+            "token bucket checkpoint state is out of range");
 }
 
 BurstinessMeter::BurstinessMeter(sim::PortId num_ports)
@@ -119,6 +125,14 @@ void BurstinessMeter::LoadState(ckpt::Reader& r) {
       ps.min_excess = r.I64();
       ps.max_burst = r.I64();
       ps.last = r.I64();
+      // RecordPort subtracts these from one another: a live meter keeps
+      // count/last/max_burst non-negative and min_excess within
+      // [-(last+1), count], so reject corrupt extremes before they reach
+      // the (overflow-prone) slot arithmetic.
+      SIM_CHECK(ps.count >= 0 && ps.last >= 0 && ps.max_burst >= 0 &&
+                    ps.max_burst <= ps.count && ps.min_excess <= ps.count &&
+                    ps.min_excess >= -1 - ps.last,
+                "burstiness meter checkpoint state is out of range");
     }
   }
   cells_ = r.U64();

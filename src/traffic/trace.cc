@@ -149,7 +149,12 @@ Trace Trace::LoadBinary(std::istream& is) {
   std::uint64_t count = 0;
   SIM_CHECK(GetVarint(is, &count), "binary trace: missing entry count");
   Trace t;
-  t.entries_.reserve(static_cast<std::size_t>(count));
+  // Cap the up-front reservation: a corrupted count must not translate
+  // into a multi-terabyte allocation before the (cheap) per-entry reads
+  // discover the stream is short.  Honest oversized traces still load —
+  // the vector just grows normally past the cap.
+  t.entries_.reserve(
+      static_cast<std::size_t>(std::min<std::uint64_t>(count, 1u << 20)));
   sim::Slot prev = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
     TraceEntry e;

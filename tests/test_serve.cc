@@ -1,0 +1,588 @@
+// The self-healing serve supervisor (serve/) and its I/O fault layer
+// (ckpt/faulty_io.h):
+//
+//  * FaultyIo semantics: short writes land silently at the final path,
+//    ENOSPC leaves the target untouched, fsync failure throws after a
+//    complete write, read bit flips perturb exactly one bit, and plans
+//    parse/print round-trip;
+//  * CheckpointRotation: monotone generation numbering, pruning to the
+//    keep budget, newest-valid-wins restore with fallback past torn
+//    generations, and restart-time rescanning of surviving files;
+//  * the acceptance bar: a supervised run failed and recovered multiple
+//    times by injected I/O faults produces RunResult fields and window
+//    rows byte-identical (bit_cast for doubles) to the uninterrupted
+//    golden run, with no duplicated or missing rows downstream;
+//  * the failure taxonomy: retry budgets exhaust with exponential
+//    backoff, all-generations-corrupt is fatal (NoValidCheckpointError),
+//    model errors pass through uncaught, and graceful stop + a second
+//    supervised run reproduce the golden row stream end to end;
+//  * the heavy-tailed sources ride the same engine restore guarantee
+//    (golden/interrupt/resume differential with MmppSource and
+//    ParetoOnOffSource).
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/faulty_io.h"
+#include "ckpt/io.h"
+#include "ckpt/serializer.h"
+#include "core/harness.h"
+#include "core/slot_engine.h"
+#include "fabric/registry.h"
+#include "serve/checkpoint_rotation.h"
+#include "serve/supervisor.h"
+#include "sim/error.h"
+#include "sim/rng.h"
+#include "switch/config.h"
+#include "traffic/bursty.h"
+#include "traffic/random_sources.h"
+
+namespace {
+
+std::uint64_t Bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "serve_" + name;
+}
+
+std::string ReadRaw(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::string s((std::istreambuf_iterator<char>(is)),
+                std::istreambuf_iterator<char>());
+  return s;
+}
+
+void WriteRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------------------
+// FaultyIo
+
+TEST(FaultyIo, ShortWriteLandsSilentlyTruncated) {
+  const std::string path = TempPath("short.bin");
+  ckpt::FaultyIo io(ckpt::DefaultIo(), ckpt::IoFaultPlan(7).ShortWrite(0));
+  const std::string data(1000, 'x');
+  io.WriteFileAtomic(path, data);  // no throw: the damage is silent
+  const std::string landed = ReadRaw(path);
+  EXPECT_LT(landed.size(), data.size());
+  EXPECT_EQ(landed, data.substr(0, landed.size()));
+  EXPECT_EQ(io.injected(ckpt::IoFaultKind::kShortWrite), 1);
+
+  // The next write is clean.
+  io.WriteFileAtomic(path, data);
+  EXPECT_EQ(ReadRaw(path).size(), data.size());
+}
+
+TEST(FaultyIo, EnospcThrowsAndPreservesTarget) {
+  const std::string path = TempPath("enospc.bin");
+  ckpt::DefaultIo().WriteFileAtomic(path, "old contents");
+  ckpt::FaultyIo io(ckpt::DefaultIo(), ckpt::IoFaultPlan(7).Enospc(0));
+  EXPECT_THROW(io.WriteFileAtomic(path, "new contents"), ckpt::IoError);
+  EXPECT_EQ(ReadRaw(path), "old contents");
+}
+
+TEST(FaultyIo, FsyncFailThrowsAfterCompleteWrite) {
+  const std::string path = TempPath("fsync.bin");
+  ckpt::FaultyIo io(ckpt::DefaultIo(), ckpt::IoFaultPlan(7).FsyncFail(0));
+  EXPECT_THROW(io.WriteFileAtomic(path, "all of it"), ckpt::IoError);
+  EXPECT_EQ(ReadRaw(path), "all of it");  // the ambiguous-failure case
+}
+
+TEST(FaultyIo, BitFlipPerturbsExactlyOneBit) {
+  const std::string path = TempPath("flip.bin");
+  const std::string data(256, '\0');
+  ckpt::DefaultIo().WriteFileAtomic(path, data);
+  ckpt::FaultyIo io(ckpt::DefaultIo(), ckpt::IoFaultPlan(7).BitFlip(0));
+  const std::string read = io.ReadWholeFile(path);
+  ASSERT_EQ(read.size(), data.size());
+  int bits_differing = 0;
+  for (std::size_t i = 0; i < read.size(); ++i) {
+    bits_differing +=
+        std::popcount(static_cast<unsigned>(static_cast<std::uint8_t>(read[i]) ^
+                                            static_cast<std::uint8_t>(data[i])));
+  }
+  EXPECT_EQ(bits_differing, 1);
+  // Same plan, same call sequence: the same bit flips (determinism).
+  ckpt::FaultyIo io2(ckpt::DefaultIo(), ckpt::IoFaultPlan(7).BitFlip(0));
+  EXPECT_EQ(io2.ReadWholeFile(path), read);
+  // The second read is clean.
+  EXPECT_EQ(io.ReadWholeFile(path), data);
+}
+
+TEST(FaultyIo, ReadErrorThrowsOnScheduledOp) {
+  const std::string path = TempPath("readerr.bin");
+  ckpt::DefaultIo().WriteFileAtomic(path, "bytes");
+  ckpt::FaultyIo io(ckpt::DefaultIo(), ckpt::IoFaultPlan(7).ReadError(1));
+  EXPECT_EQ(io.ReadWholeFile(path), "bytes");  // op 0 passes
+  EXPECT_THROW(io.ReadWholeFile(path), ckpt::IoError);  // op 1 fails
+  EXPECT_EQ(io.ReadWholeFile(path), "bytes");  // op 2 passes again
+  EXPECT_EQ(io.read_ops(), 3);
+}
+
+TEST(FaultyIo, PlanParsesAndPrintsRoundTrip) {
+  const ckpt::IoFaultPlan plan =
+      ckpt::IoFaultPlan::Parse("short-write@2,bit-flip@0,enospc@11", 42);
+  ASSERT_EQ(plan.events().size(), 3u);
+  EXPECT_EQ(plan.events()[0].kind, ckpt::IoFaultKind::kShortWrite);
+  EXPECT_EQ(plan.events()[0].op, 2);
+  EXPECT_EQ(plan.events()[1].kind, ckpt::IoFaultKind::kBitFlip);
+  EXPECT_EQ(plan.events()[2].op, 11);
+  EXPECT_EQ(plan.ToString(), "short-write@2,bit-flip@0,enospc@11");
+  EXPECT_TRUE(ckpt::IoFaultPlan::Parse("", 0).empty());
+
+  EXPECT_THROW(ckpt::IoFaultPlan::Parse("torn@1", 0), sim::SimError);
+  EXPECT_THROW(ckpt::IoFaultPlan::Parse("enospc", 0), sim::SimError);
+  EXPECT_THROW(ckpt::IoFaultPlan::Parse("enospc@", 0), sim::SimError);
+  EXPECT_THROW(ckpt::IoFaultPlan::Parse("enospc@-1", 0), sim::SimError);
+  EXPECT_THROW(ckpt::IoFaultPlan::Parse("enospc@x", 0), sim::SimError);
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointRotation
+
+ckpt::Writer PayloadWriter(std::uint64_t tag) {
+  ckpt::Writer w;
+  w.Marker("PAYL");
+  w.U64(tag);
+  return w;
+}
+
+TEST(CheckpointRotation, NumbersPrunesAndRestoresNewestFirst) {
+  const std::string dir = TempPath("rot");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string base = dir + "/run.ckpt";
+  serve::CheckpointRotation rot(ckpt::DefaultIo(), base, 3);
+  EXPECT_FALSE(rot.had_initial_files());
+
+  for (std::uint64_t g = 0; g < 5; ++g) rot.Write(PayloadWriter(g));
+  EXPECT_EQ(rot.next_gen(), 5);
+  EXPECT_EQ(rot.oldest_gen(), 2);
+  EXPECT_FALSE(ckpt::DefaultIo().Exists(rot.GenPath(0)));
+  EXPECT_FALSE(ckpt::DefaultIo().Exists(rot.GenPath(1)));
+  for (std::int64_t g = 2; g < 5; ++g) {
+    EXPECT_TRUE(ckpt::DefaultIo().Exists(rot.GenPath(g))) << g;
+  }
+
+  ASSERT_TRUE(rot.NewestValidPath().has_value());
+  EXPECT_EQ(*rot.NewestValidPath(), rot.GenPath(4));
+
+  // Tear the newest: restore falls back to generation 3.
+  const std::string g4 = ReadRaw(rot.GenPath(4));
+  WriteRaw(rot.GenPath(4), g4.substr(0, g4.size() / 2));
+  ASSERT_TRUE(rot.NewestValidPath().has_value());
+  EXPECT_EQ(*rot.NewestValidPath(), rot.GenPath(3));
+
+  // MarkBad discards a generation the engine rejected below the container
+  // layer; the next fallback goes one older.
+  rot.MarkBad(rot.GenPath(3));
+  EXPECT_FALSE(ckpt::DefaultIo().Exists(rot.GenPath(3)));
+  ASSERT_TRUE(rot.NewestValidPath().has_value());
+  EXPECT_EQ(*rot.NewestValidPath(), rot.GenPath(2));
+}
+
+TEST(CheckpointRotation, RescansSurvivingGenerationsOnRestart) {
+  const std::string dir = TempPath("rescan");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string base = dir + "/run.ckpt";
+  {
+    serve::CheckpointRotation rot(ckpt::DefaultIo(), base, 2);
+    rot.Write(PayloadWriter(0));
+    rot.Write(PayloadWriter(1));
+    rot.Write(PayloadWriter(2));  // prunes generation 0
+  }
+  serve::CheckpointRotation rot(ckpt::DefaultIo(), base, 2);
+  EXPECT_TRUE(rot.had_initial_files());
+  EXPECT_EQ(rot.next_gen(), 3);  // numbering continues, never overwrites
+  EXPECT_EQ(rot.oldest_gen(), 1);
+  ASSERT_TRUE(rot.NewestValidPath().has_value());
+  EXPECT_EQ(*rot.NewestValidPath(), rot.GenPath(2));
+  rot.Write(PayloadWriter(3));
+  EXPECT_EQ(*rot.NewestValidPath(), rot.GenPath(3));
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor: the bit-exact recovery acceptance bar
+
+constexpr sim::Slot kCutoff = 220;
+
+core::RunOptions ServeOptions() {
+  core::RunOptions options;
+  options.source_cutoff = kCutoff;
+  options.drain_grace = 120;
+  options.keep_timeline = true;
+  options.window_slots = 50;
+  // A lossy fault schedule spanning several checkpoint boundaries, so
+  // recovery replays through plane failures and flaky links.
+  options.fault_schedule.Fail(1, 60).Recover(1, 170).DropLink(0, 0, 0.5, 100,
+                                                              200);
+  options.checkpoint_every = 40;
+  return options;
+}
+
+pps::SwitchConfig ServeConfig() {
+  pps::SwitchConfig config;
+  config.num_ports = 8;
+  config.num_planes = 4;
+  config.rate_ratio = 2;
+  config.reseq_timeout = 64;
+  config.fault_visibility_lag = 3;
+  return config;
+}
+
+serve::Supervisor::FabricFactory MakeFabricFactory() {
+  return [] { return fabric::Make("pps/rr-per-output", ServeConfig()); };
+}
+
+serve::Supervisor::SourceFactory MakeSourceFactory() {
+  return [] {
+    return std::make_unique<traffic::BernoulliSource>(
+        8, 0.85, traffic::Pattern::kHotspot, sim::Rng(7));
+  };
+}
+
+void ExpectBitIdentical(const core::RunResult& run,
+                        const core::RunResult& golden) {
+  EXPECT_EQ(run.cells, golden.cells);
+  EXPECT_EQ(run.duration, golden.duration);
+  EXPECT_EQ(run.drained, golden.drained);
+  EXPECT_EQ(run.interrupted, golden.interrupted);
+  EXPECT_EQ(run.dropped, golden.dropped);
+  EXPECT_EQ(run.losses, golden.losses);
+  EXPECT_EQ(run.max_relative_delay, golden.max_relative_delay);
+  EXPECT_EQ(run.max_relative_jitter, golden.max_relative_jitter);
+  EXPECT_EQ(run.traffic_burstiness, golden.traffic_burstiness);
+  EXPECT_EQ(run.order_preserved, golden.order_preserved);
+  EXPECT_EQ(run.resequencing_stalls, golden.resequencing_stalls);
+  for (const auto& [stats, gstats] :
+       {std::pair{&run.relative_delay, &golden.relative_delay},
+        std::pair{&run.pps_delay, &golden.pps_delay},
+        std::pair{&run.shadow_delay, &golden.shadow_delay}}) {
+    EXPECT_EQ(stats->count(), gstats->count());
+    EXPECT_EQ(Bits(stats->mean()), Bits(gstats->mean()));
+    EXPECT_EQ(Bits(stats->variance()), Bits(gstats->variance()));
+  }
+  ASSERT_EQ(run.timeline.size(), golden.timeline.size());
+  for (std::size_t i = 0; i < run.timeline.size(); ++i) {
+    EXPECT_EQ(run.timeline[i].arrival, golden.timeline[i].arrival) << i;
+    EXPECT_EQ(run.timeline[i].relative_delay,
+              golden.timeline[i].relative_delay)
+        << i;
+  }
+}
+
+void ExpectRowsIdentical(const std::vector<core::WindowRow>& rows,
+                         const std::vector<core::WindowRow>& golden) {
+  ASSERT_EQ(rows.size(), golden.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].index, golden[i].index) << i;
+    EXPECT_EQ(rows[i].from, golden[i].from) << i;
+    EXPECT_EQ(rows[i].to, golden[i].to) << i;
+    EXPECT_EQ(rows[i].offered, golden[i].offered) << i;
+    EXPECT_EQ(rows[i].finalized, golden[i].finalized) << i;
+    EXPECT_EQ(rows[i].dropped, golden[i].dropped) << i;
+    EXPECT_EQ(rows[i].losses, golden[i].losses) << i;
+    EXPECT_EQ(rows[i].max_relative_delay, golden[i].max_relative_delay) << i;
+    EXPECT_EQ(rows[i].max_relative_jitter, golden[i].max_relative_jitter) << i;
+    EXPECT_EQ(rows[i].relative_delay.count(), golden[i].relative_delay.count())
+        << i;
+    EXPECT_EQ(Bits(rows[i].relative_delay.mean()),
+              Bits(golden[i].relative_delay.mean()))
+        << i;
+    EXPECT_EQ(rows[i].backlog, golden[i].backlog) << i;
+    EXPECT_EQ(rows[i].shadow_backlog, golden[i].shadow_backlog) << i;
+  }
+}
+
+core::RunResult GoldenRun(std::vector<core::WindowRow>* rows) {
+  auto fabric = MakeFabricFactory()();
+  auto source = MakeSourceFactory()();
+  core::RunOptions options = ServeOptions();
+  options.checkpoint_every = 0;  // the golden run does not checkpoint
+  options.on_window = [rows](const core::WindowRow& r) { rows->push_back(r); };
+  return core::SlotEngine{}.Run(*fabric, *source, options);
+}
+
+TEST(Supervisor, RecoversFromInjectedFaultsBitIdentical) {
+  std::vector<core::WindowRow> golden_rows;
+  const core::RunResult golden = GoldenRun(&golden_rows);
+  ASSERT_GT(golden.cells, 0u);
+  ASSERT_GT(golden_rows.size(), 3u);
+
+  const std::string dir = TempPath("sup_faults");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // Write ops 1 and 3 fail (one loud, one silent torn write); read op 2
+  // is bit-flipped, so at least one restore has to fall back.
+  ckpt::FaultyIo io(ckpt::DefaultIo(), ckpt::IoFaultPlan(99)
+                                           .Enospc(1)
+                                           .ShortWrite(3)
+                                           .BitFlip(2)
+                                           .ReadError(4));
+  std::vector<std::int64_t> sleeps;
+  serve::SupervisorOptions sup;
+  sup.checkpoint_base = dir + "/run.ckpt";
+  sup.keep_checkpoints = 3;
+  sup.max_retries = 6;
+  sup.io = &io;
+  sup.sleep_ms = [&sleeps](std::int64_t ms) { sleeps.push_back(ms); };
+  serve::Supervisor supervisor(sup);
+
+  std::vector<core::WindowRow> rows;
+  core::RunOptions options = ServeOptions();
+  options.on_window = [&rows](const core::WindowRow& r) {
+    rows.push_back(r);
+  };
+  const core::RunResult result =
+      supervisor.Run(MakeFabricFactory(), MakeSourceFactory(), options);
+
+  EXPECT_GT(supervisor.attempts(), 1);  // recovery actually happened
+  EXPECT_GT(io.injected(ckpt::IoFaultKind::kEnospc), 0);
+  ExpectBitIdentical(result, golden);
+  ExpectRowsIdentical(rows, golden_rows);
+}
+
+TEST(Supervisor, AllGenerationsCorruptIsFatal) {
+  const std::string dir = TempPath("sup_allbad");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string base = dir + "/run.ckpt";
+  {
+    serve::CheckpointRotation rot(ckpt::DefaultIo(), base, 3);
+    rot.Write(PayloadWriter(0));
+    rot.Write(PayloadWriter(1));
+  }
+  // Corrupt every surviving generation.
+  for (int g = 0; g < 2; ++g) {
+    const std::string path =
+        serve::CheckpointRotation(ckpt::DefaultIo(), base, 3).GenPath(g);
+    std::string bytes = ReadRaw(path);
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+    WriteRaw(path, bytes);
+  }
+
+  serve::SupervisorOptions sup;
+  sup.checkpoint_base = base;
+  sup.sleep_ms = [](std::int64_t) {};
+  serve::Supervisor supervisor(sup);
+  EXPECT_THROW(supervisor.Run(MakeFabricFactory(), MakeSourceFactory(),
+                              ServeOptions()),
+               serve::NoValidCheckpointError);
+}
+
+TEST(Supervisor, RetryBudgetExhaustsWithExponentialBackoff) {
+  // Every write fails: no progress is ever made, so the budget runs dry
+  // after exactly max_retries backoffs, doubling from backoff_base_ms and
+  // capped at backoff_cap_ms.
+  class WriteAlwaysFailsIo final : public ckpt::Io {
+   public:
+    void WriteFileAtomic(const std::string& path, std::string_view) override {
+      throw ckpt::IoError("disk on fire: " + path);
+    }
+    std::string ReadWholeFile(const std::string& path) override {
+      return ckpt::DefaultIo().ReadWholeFile(path);
+    }
+    bool Exists(const std::string& path) override {
+      return ckpt::DefaultIo().Exists(path);
+    }
+    void Remove(const std::string& path) override {
+      ckpt::DefaultIo().Remove(path);
+    }
+    std::vector<std::string> ListDir(const std::string& dir) override {
+      return ckpt::DefaultIo().ListDir(dir);
+    }
+  };
+
+  const std::string dir = TempPath("sup_exhaust");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  WriteAlwaysFailsIo io;
+  std::vector<std::int64_t> sleeps;
+  serve::SupervisorOptions sup;
+  sup.checkpoint_base = dir + "/run.ckpt";
+  sup.max_retries = 4;
+  sup.backoff_base_ms = 10;
+  sup.backoff_cap_ms = 50;
+  sup.io = &io;
+  sup.sleep_ms = [&sleeps](std::int64_t ms) { sleeps.push_back(ms); };
+  serve::Supervisor supervisor(sup);
+  EXPECT_THROW(supervisor.Run(MakeFabricFactory(), MakeSourceFactory(),
+                              ServeOptions()),
+               serve::RetriesExhaustedError);
+  EXPECT_EQ(supervisor.attempts(), 5);  // 1 + max_retries
+  ASSERT_EQ(sleeps.size(), 4u);
+  EXPECT_EQ(sleeps[0], 10);
+  EXPECT_EQ(sleeps[1], 20);
+  EXPECT_EQ(sleeps[2], 40);
+  EXPECT_EQ(sleeps[3], 50);  // capped, not 80
+}
+
+TEST(Supervisor, ModelErrorsAreFatalNotRetried) {
+  // A non-checkpointable source is a configuration error: the supervisor
+  // must let it escape untouched instead of burning the retry budget.
+  class PlainSource final : public traffic::TrafficSource {
+   public:
+    std::vector<sim::Arrival> ArrivalsAt(sim::Slot t) override {
+      if (t == 0) return {{0, 0}};
+      return {};
+    }
+    bool Exhausted(sim::Slot t) const override { return t > 0; }
+  };
+
+  const std::string dir = TempPath("sup_fatal");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  int sleep_calls = 0;
+  serve::SupervisorOptions sup;
+  sup.checkpoint_base = dir + "/run.ckpt";
+  sup.sleep_ms = [&sleep_calls](std::int64_t) { ++sleep_calls; };
+  serve::Supervisor supervisor(sup);
+  try {
+    supervisor.Run(
+        MakeFabricFactory(),
+        [] { return std::make_unique<PlainSource>(); }, ServeOptions());
+    FAIL() << "must throw";
+  } catch (const serve::RetriesExhaustedError&) {
+    FAIL() << "model error was misclassified as recoverable";
+  } catch (const sim::SimError&) {
+    // expected: the original error type, first attempt, no backoff
+  }
+  EXPECT_EQ(supervisor.attempts(), 1);
+  EXPECT_EQ(sleep_calls, 0);
+}
+
+TEST(Supervisor, GracefulStopThenSecondRunReproducesGoldenRows) {
+  std::vector<core::WindowRow> golden_rows;
+  const core::RunResult golden = GoldenRun(&golden_rows);
+
+  const std::string dir = TempPath("sup_stop");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // First supervised run: the stop flag trips partway through.
+  std::atomic<bool> stop{false};
+  std::vector<core::WindowRow> first_rows;
+  core::RunOptions options = ServeOptions();
+  options.stop_flag = &stop;
+  options.on_window = [&first_rows, &stop](const core::WindowRow& r) {
+    first_rows.push_back(r);
+    if (r.index == 1) stop.store(true);  // request stop mid-run
+  };
+  serve::SupervisorOptions sup;
+  sup.checkpoint_base = dir + "/run.ckpt";
+  sup.sleep_ms = [](std::int64_t) {};
+  core::RunResult stopped;
+  {
+    serve::Supervisor supervisor(sup);
+    stopped = supervisor.Run(MakeFabricFactory(), MakeSourceFactory(),
+                             options);
+  }
+  EXPECT_TRUE(stopped.interrupted);
+  ASSERT_FALSE(first_rows.empty());
+  ASSERT_LT(first_rows.size(), golden_rows.size());
+
+  // Second supervised run (fresh process in real life): resumes from the
+  // surviving generations and finishes.
+  std::vector<core::WindowRow> resumed_rows;
+  core::RunOptions options2 = ServeOptions();
+  options2.on_window = [&resumed_rows](const core::WindowRow& r) {
+    resumed_rows.push_back(r);
+  };
+  serve::Supervisor supervisor2(sup);
+  const core::RunResult result =
+      supervisor2.Run(MakeFabricFactory(), MakeSourceFactory(), options2);
+  ExpectBitIdentical(result, golden);
+
+  // Stitch the streams the way a downstream consumer does: first-run rows
+  // strictly before the first resumed index (the graceful stop's partial
+  // row is superseded by the resumed run's full row), then the resumed
+  // rows.
+  std::vector<core::WindowRow> merged;
+  for (const core::WindowRow& r : first_rows) {
+    if (resumed_rows.empty() || r.index < resumed_rows.front().index) {
+      merged.push_back(r);
+    }
+  }
+  merged.insert(merged.end(), resumed_rows.begin(), resumed_rows.end());
+  ExpectRowsIdentical(merged, golden_rows);
+}
+
+TEST(Supervisor, RequiresCheckpointingOptions) {
+  serve::SupervisorOptions sup;
+  sup.checkpoint_base = TempPath("sup_req");
+  serve::Supervisor supervisor(sup);
+  core::RunOptions options = ServeOptions();
+  options.checkpoint_every = 0;
+  EXPECT_THROW(supervisor.Run(MakeFabricFactory(), MakeSourceFactory(),
+                              options),
+               sim::SimError);
+  options = ServeOptions();
+  options.checkpoint_path = "owned-elsewhere";
+  EXPECT_THROW(supervisor.Run(MakeFabricFactory(), MakeSourceFactory(),
+                              options),
+               sim::SimError);
+}
+
+// ---------------------------------------------------------------------------
+// Heavy-tailed sources ride the engine restore guarantee
+
+template <typename MakeSource>
+void CheckEngineDifferential(MakeSource make_source) {
+  const std::string path = TempPath("bursty_diff");
+  core::RunOptions base;
+  base.source_cutoff = 300;
+  base.drain_grace = 200;
+  base.keep_timeline = true;
+  base.window_slots = 64;
+
+  auto golden_fabric = fabric::Make("pps/rr-per-output", ServeConfig());
+  auto golden_source = make_source();
+  const core::RunResult golden =
+      core::SlotEngine{}.Run(*golden_fabric, *golden_source, base);
+  ASSERT_GT(golden.cells, 0u);
+
+  auto save_fabric = fabric::Make("pps/rr-per-output", ServeConfig());
+  auto save_source = make_source();
+  core::RunOptions save_options = base;
+  save_options.max_slots = 150;
+  save_options.checkpoint_every = 150;
+  save_options.checkpoint_path = path;
+  core::SlotEngine{}.Run(*save_fabric, *save_source, save_options);
+
+  auto resume_fabric = fabric::Make("pps/rr-per-output", ServeConfig());
+  auto resume_source = make_source();
+  core::RunOptions resume_options = base;
+  resume_options.resume_from = path;
+  const core::RunResult resumed =
+      core::SlotEngine{}.Run(*resume_fabric, *resume_source, resume_options);
+  ExpectBitIdentical(resumed, golden);
+}
+
+TEST(BurstySources, MmppEngineRestoreDifferential) {
+  CheckEngineDifferential([] {
+    return std::make_unique<traffic::MmppSource>(
+        traffic::MmppSource::HeavyTailed(8, 0.6, 3, 2.0, sim::Rng(11)));
+  });
+}
+
+TEST(BurstySources, ParetoEngineRestoreDifferential) {
+  CheckEngineDifferential([] {
+    return std::make_unique<traffic::ParetoOnOffSource>(8, 0.6, 1.5, 1.0,
+                                                        10'000, sim::Rng(11));
+  });
+}
+
+}  // namespace

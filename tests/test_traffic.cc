@@ -2,8 +2,10 @@
 
 #include <sstream>
 
+#include "ckpt/serializer.h"
 #include "sim/error.h"
 #include "sim/rng.h"
+#include "traffic/bursty.h"
 #include "traffic/composite.h"
 #include "traffic/leaky_bucket.h"
 #include "traffic/random_sources.h"
@@ -281,6 +283,143 @@ TEST(SilentSource, EmitsNothing) {
   traffic::SilentSource src;
   EXPECT_TRUE(src.ArrivalsAt(0).empty());
   EXPECT_TRUE(src.Exhausted(0));
+}
+
+// --- Heavy-tailed burst sources ----------------------------------------------
+
+TEST(MmppSource, LongRunLoadMatches) {
+  traffic::MmppSource src =
+      traffic::MmppSource::HeavyTailed(8, 0.5, 2, 4.0, sim::Rng(9));
+  std::uint64_t cells = 0;
+  const int slots = 100000;
+  for (sim::Slot t = 0; t < slots; ++t) cells += src.ArrivalsAt(t).size();
+  EXPECT_NEAR(static_cast<double>(cells) / (8.0 * slots), 0.5, 0.05);
+}
+
+TEST(MmppSource, AtMostOnePerInputPerSlotAndStableDestWithinBurst) {
+  traffic::MmppSource src =
+      traffic::MmppSource::HeavyTailed(4, 0.7, 3, 4.0, sim::Rng(5));
+  std::vector<sim::PortId> last_dest(4, sim::kNoPort);
+  std::vector<bool> was_on(4, false);
+  for (sim::Slot t = 0; t < 5000; ++t) {
+    std::vector<bool> seen(4, false);
+    std::vector<bool> on_now(4, false);
+    for (const auto& a : src.ArrivalsAt(t)) {
+      const auto i = static_cast<std::size_t>(a.input);
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+      on_now[i] = true;
+      // Bursts are flows: the destination holds until the burst ends.
+      if (was_on[i]) {
+        EXPECT_EQ(a.output, last_dest[i]);
+      }
+      last_dest[i] = a.output;
+    }
+    was_on = on_now;
+  }
+}
+
+TEST(MmppSource, ProducesLongBursts) {
+  traffic::MmppSource src =
+      traffic::MmppSource::HeavyTailed(4, 0.3, 4, 4.0, sim::Rng(3));
+  traffic::BurstinessMeter meter(4);
+  for (sim::Slot t = 0; t < 20000; ++t) {
+    for (const auto& a : src.ArrivalsAt(t)) meter.Record(t, a.input, a.output);
+  }
+  // The phase ladder's tail (means 4, 16, 64, 256) must show up as far
+  // more burstiness than a geometric source with the base mean.
+  EXPECT_GT(meter.OutputBurstiness(), 16);
+}
+
+TEST(ParetoOnOffSource, LongRunLoadMatches) {
+  traffic::ParetoOnOffSource src(8, 0.5, 1.5, 1.0, 500, sim::Rng(9));
+  EXPECT_GT(src.mean_burst(), 1.0);
+  std::uint64_t cells = 0;
+  const int slots = 100000;
+  for (sim::Slot t = 0; t < slots; ++t) cells += src.ArrivalsAt(t).size();
+  EXPECT_NEAR(static_cast<double>(cells) / (8.0 * slots), 0.5, 0.05);
+}
+
+// The supervisor's replay guarantee rides on exact state capture: a fresh
+// source restored from SaveState bytes must continue the *identical*
+// arrival stream, cell for cell.
+template <typename Source>
+void CheckExactResume(Source& running, Source& restored) {
+  for (sim::Slot t = 0; t < 600; ++t) (void)running.ArrivalsAt(t);
+  ckpt::Writer w;
+  running.SaveState(w);
+  ckpt::Reader r(w.bytes());
+  restored.LoadState(r);
+  EXPECT_TRUE(r.AtEnd());
+  for (sim::Slot t = 600; t < 1200; ++t) {
+    const auto a = running.ArrivalsAt(t);
+    const auto b = restored.ArrivalsAt(t);
+    ASSERT_EQ(a.size(), b.size()) << "slot " << t;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].input, b[i].input) << "slot " << t;
+      EXPECT_EQ(a[i].output, b[i].output) << "slot " << t;
+    }
+  }
+}
+
+TEST(MmppSource, SaveLoadResumesExactArrivalStream) {
+  traffic::MmppSource running =
+      traffic::MmppSource::HeavyTailed(8, 0.6, 3, 2.0, sim::Rng(11));
+  traffic::MmppSource restored =
+      traffic::MmppSource::HeavyTailed(8, 0.6, 3, 2.0, sim::Rng(999));
+  CheckExactResume(running, restored);
+}
+
+TEST(ParetoOnOffSource, SaveLoadResumesExactArrivalStream) {
+  traffic::ParetoOnOffSource running(8, 0.6, 1.5, 1.0, 10000, sim::Rng(11));
+  traffic::ParetoOnOffSource restored(8, 0.6, 1.5, 1.0, 10000, sim::Rng(999));
+  CheckExactResume(running, restored);
+}
+
+TEST(MmppSource, LoadStateRejectsCorruptFields) {
+  traffic::MmppSource src =
+      traffic::MmppSource::HeavyTailed(4, 0.5, 2, 2.0, sim::Rng(1));
+  ckpt::Writer w;
+  src.SaveState(w);
+
+  {  // port-count mismatch
+    traffic::MmppSource other =
+        traffic::MmppSource::HeavyTailed(8, 0.5, 2, 2.0, sim::Rng(1));
+    ckpt::Reader r(w.bytes());
+    EXPECT_THROW(other.LoadState(r), sim::SimError);
+  }
+  {  // phase index beyond the configured ladder
+    ckpt::Writer bad;
+    bad.Marker("MMPP");
+    bad.Size(4);
+    for (int i = 0; i < 4; ++i) {
+      bad.Bool(true);
+      bad.I32(5);  // only phases 0..1 exist in a 2-phase config
+      bad.I64(3);
+      bad.I32(0);
+      ckpt::SaveRng(bad, sim::Rng(1));
+    }
+    traffic::MmppSource other =
+        traffic::MmppSource::HeavyTailed(4, 0.5, 2, 2.0, sim::Rng(1));
+    ckpt::Reader r(bad.bytes());
+    EXPECT_THROW(other.LoadState(r), sim::SimError);
+  }
+  {  // invariant guard: a dwell below one slot is rejected
+    ckpt::Writer bad;
+    bad.Marker("MMPP");
+    bad.Size(4);
+    for (int i = 0; i < 4; ++i) {
+      bad.Bool(false);
+      bad.I32(0);
+      bad.I64(0);  // remaining = 0: invalid, dwells are >= 1
+      bad.I32(0);
+      ckpt::SaveRng(bad, sim::Rng(1));
+    }
+    traffic::MmppSource other =
+        traffic::MmppSource::HeavyTailed(4, 0.5, 2, 2.0, sim::Rng(1));
+    ckpt::Reader r(bad.bytes());
+    EXPECT_THROW(other.LoadState(r), sim::SimError);
+  }
 }
 
 }  // namespace

@@ -1,42 +1,99 @@
-// pps_serve: the windowed service driver.
+// pps_serve: the windowed service driver, now crash-safe.
 //
-// Streams a traffic::Trace (text or compact binary framing) through any
+// Streams a traffic::Trace (text or compact binary framing) — or a
+// heavy-tailed stochastic workload (--source=mmpp|pareto) — through any
 // registered fabric with O(1) trace memory and emits one JSON line per
-// service window — per-interval relative queuing delay, jitter, and the
-// loss taxonomy — followed by a final `summary` line with the whole-run
-// RunResult.  With --checkpoint-every the run snapshots its exact state
-// periodically, and --resume continues a snapshot such that the row
-// stream and summary are byte-identical to the uninterrupted run's
-// post-snapshot output.
+// service window, followed by a final `summary` line with the whole-run
+// RunResult.
+//
+// Two checkpointing modes:
+//   plain       --checkpoint-every=E --checkpoint=run.ckpt writes a
+//               single rolling snapshot file; --resume=run.ckpt continues
+//               it (PR 7 behaviour, byte-identical output).
+//   supervised  --supervise=1 hands the run to serve::Supervisor:
+//               checkpoints rotate through --keep-checkpoints generations
+//               at "<--checkpoint>.gNNNNNNNN", recoverable failures
+//               (ckpt::IoError / ckpt::CorruptError) roll back to the
+//               newest valid generation and replay (bounded by
+//               --max-retries consecutive failures, exponential backoff
+//               from --backoff-ms), and restarting the binary resumes
+//               from the surviving generations automatically.
+//
+// SIGINT/SIGTERM stop gracefully in both modes: the current slot
+// finishes, a final resumable checkpoint and the partial window row go
+// out, and the exit code is 0.  --io-faults injects deterministic
+// filesystem faults (see ckpt/faulty_io.h) for recovery drills.
+//
+// Exit codes: 0 success or graceful stop; 2 usage error; 3 fatal
+// model/config error; 4 retry budget exhausted; 5 checkpoint generations
+// exist but none validates.
 //
 // Usage:
 //   pps_serve --fabric=pps/rr-per-output --trace=cells.trace
 //             --ports=8 --planes=4 [--rate-ratio=2] [--window=1024]
 //             [--threads=T] [--drain-grace=G] [--max-slots=M]
+//             [--source=trace|mmpp|pareto] [--load=L] [--seed=S]
+//             [--source-cutoff=C] [--alpha=A] [--min-burst=B]
+//             [--max-burst=B] [--phases=P] [--base-burst=B]
 //             [--checkpoint-every=E --checkpoint=run.ckpt]
 //             [--resume=run.ckpt]
+//             [--supervise=1 --keep-checkpoints=N --max-retries=R
+//              --backoff-ms=MS]
+//             [--io-faults=spec --io-fault-seed=S]
 //
 // Convert a text trace to the binary framing with --pack-trace:
 //   pps_serve --pack-trace=in.trace --out=out.btrace
 
+#include <atomic>
 #include <charconv>
 #include <cstdint>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "ckpt/faulty_io.h"
+#include "ckpt/io.h"
 #include "core/harness.h"
 #include "core/metrics_json.h"
 #include "core/slot_engine.h"
 #include "fabric/registry.h"
+#include "serve/signals.h"
+#include "serve/supervisor.h"
 #include "sim/error.h"
+#include "traffic/bursty.h"
 #include "traffic/trace.h"
 
 namespace {
+
+// A bad command line: reported with the usage text and exit code 2,
+// distinct from runtime failures.
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+constexpr std::string_view kUsage =
+    "usage: pps_serve --fabric=NAME --trace=PATH --ports=N --planes=K\n"
+    "                 [--rate-ratio=R] [--buffer=B] [--reseq-timeout=T]\n"
+    "                 [--window=W] [--threads=T] [--drain-grace=G]\n"
+    "                 [--max-slots=M] [--source=trace|mmpp|pareto]\n"
+    "                 [--load=L] [--seed=S] [--source-cutoff=C]\n"
+    "                 [--alpha=A] [--min-burst=B] [--max-burst=B]\n"
+    "                 [--phases=P] [--base-burst=B]\n"
+    "                 [--checkpoint-every=E --checkpoint=PATH]\n"
+    "                 [--resume=PATH] [--supervise=0|1]\n"
+    "                 [--keep-checkpoints=N] [--max-retries=R]\n"
+    "                 [--backoff-ms=MS]\n"
+    "                 [--io-faults=kind@op,...] [--io-fault-seed=S]\n"
+    "   or: pps_serve --pack-trace=IN.trace --out=OUT.btrace\n"
+    "exit codes: 0 ok/graceful stop, 2 usage, 3 fatal error,\n"
+    "            4 retries exhausted, 5 no valid checkpoint\n";
 
 struct Args {
   std::string fabric = "pps/rr-per-output";
@@ -45,15 +102,54 @@ struct Args {
   std::string out;         // --pack-trace mode: output binary trace
   pps::SwitchConfig config{.num_ports = 8, .num_planes = 4, .rate_ratio = 2};
   core::RunOptions options;
+
+  std::string source = "trace";  // trace | mmpp | pareto
+  double load = 0.6;
+  std::uint64_t seed = 1;
+  double alpha = 1.5;
+  double min_burst = 1.0;
+  std::int64_t max_burst = 100'000;
+  std::int64_t phases = 4;
+  double base_burst = 2.0;
+
+  bool supervise = false;
+  int keep_checkpoints = 3;
+  int max_retries = 5;
+  std::int64_t backoff_ms = 100;
+
+  std::string io_faults;
+  std::uint64_t io_fault_seed = 0;
 };
 
 std::int64_t ParseInt(std::string_view flag, std::string_view value) {
   std::int64_t parsed = 0;
   const auto [ptr, ec] =
       std::from_chars(value.data(), value.data() + value.size(), parsed);
-  SIM_CHECK(ec == std::errc{} && ptr == value.data() + value.size(),
-            "bad integer for --" << flag << ": '" << value << "'");
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    throw UsageError("bad integer for --" + std::string(flag) + ": '" +
+                     std::string(value) + "'");
+  }
   return parsed;
+}
+
+double ParseDouble(std::string_view flag, std::string_view value) {
+  // std::from_chars for doubles is missing on some libstdc++ configs the
+  // tree still builds with; strtod on a NUL-terminated copy is enough.
+  const std::string copy(value);
+  char* end = nullptr;
+  const double parsed = std::strtod(copy.c_str(), &end);
+  if (copy.empty() || end != copy.c_str() + copy.size()) {
+    throw UsageError("bad number for --" + std::string(flag) + ": '" + copy +
+                     "'");
+  }
+  return parsed;
+}
+
+bool ParseBool(std::string_view flag, std::string_view value) {
+  if (value == "1" || value == "true") return true;
+  if (value == "0" || value == "false") return false;
+  throw UsageError("bad boolean for --" + std::string(flag) + ": '" +
+                   std::string(value) + "' (want 0/1/true/false)");
 }
 
 Args Parse(int argc, char** argv) {
@@ -62,9 +158,11 @@ Args Parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const auto eq = arg.find('=');
-    SIM_CHECK(arg.size() > 2 && arg.starts_with("--") &&
-                  eq != std::string_view::npos,
-              "expected --flag=value, got '" << arg << "'");
+    if (arg.size() <= 2 || !arg.starts_with("--") ||
+        eq == std::string_view::npos) {
+      throw UsageError("expected --flag=value, got '" + std::string(arg) +
+                       "'");
+    }
     const std::string_view flag = arg.substr(2, eq - 2);
     const std::string_view value = arg.substr(eq + 1);
     if (flag == "fabric") {
@@ -93,17 +191,118 @@ Args Parse(int argc, char** argv) {
       args.options.drain_grace = ParseInt(flag, value);
     } else if (flag == "max-slots") {
       args.options.max_slots = ParseInt(flag, value);
+    } else if (flag == "source-cutoff") {
+      args.options.source_cutoff = ParseInt(flag, value);
     } else if (flag == "checkpoint-every") {
       args.options.checkpoint_every = ParseInt(flag, value);
     } else if (flag == "checkpoint") {
       args.options.checkpoint_path = value;
     } else if (flag == "resume") {
       args.options.resume_from = value;
+    } else if (flag == "source") {
+      args.source = value;
+    } else if (flag == "load") {
+      args.load = ParseDouble(flag, value);
+    } else if (flag == "seed") {
+      args.seed = static_cast<std::uint64_t>(ParseInt(flag, value));
+    } else if (flag == "alpha") {
+      args.alpha = ParseDouble(flag, value);
+    } else if (flag == "min-burst") {
+      args.min_burst = ParseDouble(flag, value);
+    } else if (flag == "max-burst") {
+      args.max_burst = ParseInt(flag, value);
+    } else if (flag == "phases") {
+      args.phases = ParseInt(flag, value);
+    } else if (flag == "base-burst") {
+      args.base_burst = ParseDouble(flag, value);
+    } else if (flag == "supervise") {
+      args.supervise = ParseBool(flag, value);
+    } else if (flag == "keep-checkpoints") {
+      args.keep_checkpoints = static_cast<int>(ParseInt(flag, value));
+    } else if (flag == "max-retries") {
+      args.max_retries = static_cast<int>(ParseInt(flag, value));
+    } else if (flag == "backoff-ms") {
+      args.backoff_ms = ParseInt(flag, value);
+    } else if (flag == "io-faults") {
+      args.io_faults = value;
+    } else if (flag == "io-fault-seed") {
+      args.io_fault_seed = static_cast<std::uint64_t>(ParseInt(flag, value));
     } else {
-      SIM_CHECK(false, "unknown flag --" << flag);
+      throw UsageError("unknown flag --" + std::string(flag));
     }
   }
   return args;
+}
+
+// Flag validation beyond per-value syntax: contradictions and missing
+// requirements are usage errors (exit 2), caught before any run state or
+// files are touched.
+void Validate(const Args& args) {
+  const bool packing = !args.pack_trace.empty();
+  if (packing) {
+    if (args.out.empty()) throw UsageError("--pack-trace needs --out=PATH");
+    if (!args.trace.empty()) {
+      throw UsageError("--pack-trace and --trace are mutually exclusive");
+    }
+    return;
+  }
+  if (!args.out.empty()) {
+    throw UsageError("--out only makes sense with --pack-trace");
+  }
+
+  if (args.source == "trace") {
+    if (args.trace.empty()) {
+      throw UsageError("--source=trace needs --trace=PATH");
+    }
+  } else if (args.source == "mmpp" || args.source == "pareto") {
+    if (!args.trace.empty()) {
+      throw UsageError("--trace contradicts --source=" + args.source);
+    }
+    if (!(args.load > 0.0 && args.load < 1.0)) {
+      throw UsageError("--load must be in (0,1) for stochastic sources");
+    }
+    if (args.options.source_cutoff <= 0) {
+      throw UsageError("--source=" + args.source +
+                       " is infinite; set --source-cutoff=SLOTS");
+    }
+  } else {
+    throw UsageError("unknown --source=" + args.source +
+                     " (want trace, mmpp, or pareto)");
+  }
+
+  if (args.options.checkpoint_every < 0) {
+    throw UsageError("--checkpoint-every must be >= 0");
+  }
+  if (args.options.checkpoint_every > 0 &&
+      args.options.checkpoint_path.empty()) {
+    throw UsageError("--checkpoint-every needs --checkpoint=PATH");
+  }
+  if (args.options.checkpoint_every == 0 &&
+      !args.options.checkpoint_path.empty()) {
+    throw UsageError("--checkpoint needs --checkpoint-every=SLOTS");
+  }
+  if (!args.options.resume_from.empty() &&
+      !ckpt::DefaultIo().Exists(args.options.resume_from)) {
+    throw UsageError("--resume=" + args.options.resume_from +
+                     ": file does not exist");
+  }
+  if (args.supervise) {
+    if (args.options.checkpoint_every <= 0) {
+      throw UsageError(
+          "--supervise=1 needs --checkpoint-every and --checkpoint (it "
+          "recovers by rolling back to checkpoints)");
+    }
+    if (args.keep_checkpoints < 1) {
+      throw UsageError("--keep-checkpoints must be >= 1");
+    }
+    if (args.max_retries < 0) throw UsageError("--max-retries must be >= 0");
+    if (args.backoff_ms < 0) throw UsageError("--backoff-ms must be >= 0");
+  } else if (!args.io_faults.empty()) {
+    throw UsageError("--io-faults without --supervise=1 would just kill the "
+                     "run; supervise it");
+  }
+  if (args.options.window_slots < 0) throw UsageError("--window must be >= 0");
+  if (args.options.max_slots <= 0) throw UsageError("--max-slots must be > 0");
 }
 
 core::json::Value LossJson(const fault::LossBreakdown& l) {
@@ -141,6 +340,7 @@ void PrintSummary(const core::RunResult& result) {
   v.Set("cells", result.cells);
   v.Set("duration", result.duration);
   v.Set("drained", result.drained);
+  v.Set("interrupted", result.interrupted);
   v.Set("dropped", result.dropped);
   v.Set("losses", LossJson(result.losses));
   v.Set("max_relative_delay", result.max_relative_delay);
@@ -153,7 +353,6 @@ void PrintSummary(const core::RunResult& result) {
 }
 
 int PackTrace(const Args& args) {
-  SIM_CHECK(!args.out.empty(), "--pack-trace needs --out=<path>");
   std::ifstream is(args.pack_trace, std::ios::binary);
   SIM_CHECK(is.good(), "cannot open trace " << args.pack_trace);
   traffic::Trace trace = traffic::Trace::Load(is);
@@ -167,18 +366,74 @@ int PackTrace(const Args& args) {
   return 0;
 }
 
+std::unique_ptr<traffic::TrafficSource> MakeSource(const Args& args) {
+  if (args.source == "mmpp") {
+    return std::make_unique<traffic::MmppSource>(traffic::MmppSource::HeavyTailed(
+        args.config.num_ports, args.load, static_cast<int>(args.phases),
+        args.base_burst, sim::Rng(args.seed)));
+  }
+  if (args.source == "pareto") {
+    return std::make_unique<traffic::ParetoOnOffSource>(
+        args.config.num_ports, args.load, args.alpha, args.min_burst,
+        args.max_burst, sim::Rng(args.seed));
+  }
+  return std::make_unique<traffic::StreamingTraceSource>(args.trace);
+}
+
+std::atomic<bool> g_stop{false};
+
 int Serve(const Args& args) {
-  SIM_CHECK(!args.trace.empty(), "--trace=<path> is required");
   args.config.Validate();
-  std::unique_ptr<fabric::Fabric> fabric =
-      fabric::Make(args.fabric, args.config);
-  traffic::StreamingTraceSource source(args.trace);
+  serve::InstallStopHandlers(g_stop);
+
   core::RunOptions options = args.options;
   options.on_window = PrintRow;
-  const core::RunResult result =
-      core::SlotEngine{}.Run(*fabric, source, options);
+  options.stop_flag = &g_stop;
+
+  core::RunResult result;
+  if (args.supervise) {
+    ckpt::Io* io = nullptr;
+    std::optional<ckpt::FaultyIo> faulty;
+    if (!args.io_faults.empty()) {
+      ckpt::IoFaultPlan plan;
+      try {
+        plan = ckpt::IoFaultPlan::Parse(args.io_faults, args.io_fault_seed);
+      } catch (const sim::SimError& e) {
+        throw UsageError(e.what());
+      }
+      faulty.emplace(ckpt::DefaultIo(), plan);
+      io = &*faulty;
+    }
+    serve::SupervisorOptions sup;
+    sup.checkpoint_base = args.options.checkpoint_path;
+    sup.keep_checkpoints = args.keep_checkpoints;
+    sup.max_retries = args.max_retries;
+    sup.backoff_base_ms = args.backoff_ms;
+    sup.io = io;
+    sup.log = [](const std::string& line) { std::cerr << line << "\n"; };
+    serve::Supervisor supervisor(std::move(sup));
+    // The supervisor owns checkpoint placement; the base options carry
+    // only the cadence (and a possible explicit --resume starting file).
+    options.checkpoint_path.clear();
+    result = supervisor.Run(
+        [&args] { return fabric::Make(args.fabric, args.config); },
+        [&args] { return MakeSource(args); }, options);
+    if (supervisor.attempts() > 1) {
+      std::cerr << "pps_serve: recovered; " << supervisor.attempts()
+                << " attempts\n";
+    }
+  } else {
+    std::unique_ptr<fabric::Fabric> fabric =
+        fabric::Make(args.fabric, args.config);
+    std::unique_ptr<traffic::TrafficSource> source = MakeSource(args);
+    result = core::SlotEngine{}.Run(*fabric, *source, options);
+  }
+  if (result.interrupted) {
+    std::cerr << "pps_serve: stopped gracefully at slot " << result.duration
+              << "; checkpoint is resumable\n";
+  }
   PrintSummary(result);
-  return 0;
+  return serve::kExitOk;
 }
 
 }  // namespace
@@ -186,11 +441,21 @@ int Serve(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args = Parse(argc, argv);
+    Validate(args);
     if (!args.pack_trace.empty()) return PackTrace(args);
     return Serve(args);
+  } catch (const UsageError& e) {
+    std::cerr << "pps_serve: " << e.what() << "\n" << kUsage;
+    return serve::kExitUsage;
+  } catch (const serve::RetriesExhaustedError& e) {
+    std::cerr << "pps_serve: " << e.what() << "\n";
+    return serve::kExitRetriesExhausted;
+  } catch (const serve::NoValidCheckpointError& e) {
+    std::cerr << "pps_serve: " << e.what() << "\n";
+    return serve::kExitNoValidCheckpoint;
   } catch (const sim::SimError& e) {
     std::cerr << "pps_serve: " << e.what() << "\n";
-    return 1;
+    return serve::kExitFatal;
   } catch (const std::exception& e) {
     // I/O and allocation failures surface as std::exception subclasses;
     // report them instead of letting them escape main and terminate.
