@@ -48,6 +48,8 @@ void RunExperiment() {
     cases.push_back({"cioq/islip-s2", "R and 2R (crossbar)", load});
     cases.push_back({"cioq/oldest-s2", "R and 2R (crossbar)", load});
     cases.push_back({"cioq/ccf-s2", "R and 2R (crossbar)", load});
+    cases.push_back({"cioq/qps-r-s1", "R and 1R (crossbar)", load});
+    cases.push_back({"cioq/qps-r-s2", "R and 2R (crossbar)", load});
   }
 
   // One geometry for every PPS case: r' = 2 at speedup 2 (K = 4).  The

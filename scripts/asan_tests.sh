@@ -22,6 +22,9 @@
 #                          throw SimError, never read out of bounds
 #   test_serve             supervisor recovery loop: rotation, fault
 #                          injection, corrupt-generation fallback
+#   test_topo              network engine: per-link in-flight deques,
+#                          per-node scratch reuse across the splice, and
+#                          whole-topology checkpoint rebuild mid-flight
 #
 #   ./scripts/asan_tests.sh [build-dir]
 set -euo pipefail
@@ -30,7 +33,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build-asan}"
 
 TESTS=(test_mux_differential test_switch_parts test_pps_fabric test_fault
-       test_input_buffered test_ckpt test_corruption test_serve)
+       test_input_buffered test_ckpt test_corruption test_serve test_topo)
 
 cmake -B "$BUILD" -G Ninja -S "$ROOT" -DPPS_ASAN=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -122,6 +122,17 @@ else
   fail=1
 fi
 
+# Topology matrix: multi-hop networks of registered fabrics must drain
+# audited (edge conservation, flow order, shadow-OQ work conservation)
+# across a Clos scenario x node-fabric grid, with the sharded
+# NetworkEngine byte-identical to the serial one.
+if "$ROOT/scripts/topo_matrix.sh" >/dev/null 2>&1; then
+  echo "ok   : audited topology matrix + sharded network differential"
+else
+  echo "FAIL : topology matrix (run scripts/topo_matrix.sh for details)"
+  fail=1
+fi
+
 # Model-invariant audit: a congested-output sweep through the PPS_AUDIT=ON
 # tree must finish with zero invariant violations (the audited harness
 # throws on any detector hit).

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Topology matrix: multi-hop networks of registered fabrics must survive
+# an audited end-to-end run.  Builds the PPS_AUDIT=ON tree (build-audit/,
+# shared with fabric_matrix.sh), where topo::NetworkEngine arms its
+# edge/shadow InvariantAuditor pair on every run and throws on any
+# detector hit, then:
+#
+#   1. runs the topology contract suite (tests/test_topo: config error
+#      paths, JSON round-trip, conservation, checkpoint/resume and
+#      threads differentials, forked resume) in the audited tree;
+#   2. drives a scenario x node-fabric matrix through tools/pps_topo —
+#      3-stage Clos geometries emitted on the fly for each registered
+#      fabric family plus the committed examples/topologies/clos3.json —
+#      requiring every point to drain with zero drops;
+#   3. pins the sharded NetworkEngine: --threads=4 JSON output must be
+#      byte-identical to --threads=1 on the committed scenario.
+#
+#   ./scripts/topo_matrix.sh [build-dir]     # default build-audit/
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-audit}"
+
+cmake -B "$BUILD" -S "$ROOT" -DPPS_AUDIT=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$BUILD" -j --target test_topo pps_topo >/dev/null
+
+echo "== topology contracts (audited tree) =="
+"$BUILD/tests/test_topo" --gtest_brief=1
+echo "ok   : topology contract suite green under PPS_AUDIT"
+
+PPS_TOPO="$BUILD/tools/pps_topo"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== scenario x fabric matrix (audited end-to-end runs) =="
+run_point() {  # scenario-file, label
+  local out
+  out="$("$PPS_TOPO" --scenario="$1" --source-cutoff=2000 --json=1)"
+  if echo "$out" | grep -q '"drained":true' \
+      && echo "$out" | grep -q '"dropped":0,'; then
+    echo "ok   : $2 drained with zero drops"
+  else
+    echo "FAIL : $2"
+    echo "$out"
+    return 1
+  fi
+}
+
+for fabric in cioq/islip-s2 cioq/oldest-s2 cioq/qps-r-s2 \
+              pps/rr-per-output pps/stale-jsq-u4; do
+  for geom in 2x2x2 4x2x2; do
+    file="$TMP/$(echo "$fabric-$geom" | tr '/' '_').json"
+    "$PPS_TOPO" --emit-clos="$geom" --fabric="$fabric" > "$file"
+    run_point "$file" "clos3 $geom $fabric"
+  done
+done
+run_point "$ROOT/examples/topologies/clos3.json" "committed clos3.json"
+
+echo "== sharded NetworkEngine differential (threads=4 vs 1) =="
+"$PPS_TOPO" --scenario="$ROOT/examples/topologies/clos3.json" \
+  --source-cutoff=2000 --threads=1 --json=1 > "$TMP/t1.json"
+"$PPS_TOPO" --scenario="$ROOT/examples/topologies/clos3.json" \
+  --source-cutoff=2000 --threads=4 --json=1 > "$TMP/t4.json"
+cmp "$TMP/t1.json" "$TMP/t4.json"
+echo "ok   : threads=4 byte-identical to threads=1"

@@ -22,6 +22,11 @@
 #                            differential has no threads to race)
 #   test_serve               supervisor retry loop with checkpoints cut by
 #                            the sharded engine (stop-flag polling races)
+#   test_topo (NetworkEngine.Threads*)
+#                            sharded NetworkEngine: one ShardPool lane per
+#                            node advancing fabrics concurrently, spliced
+#                            serially (filtered: the config validation and
+#                            JSON tests have no threads to race)
 #
 #   ./scripts/tsan_tests.sh [build-dir]
 set -euo pipefail
@@ -30,7 +35,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build-tsan}"
 
 TESTS=(test_sweep test_stats test_transforms_parallel test_fault
-       test_shard_engine test_fabric test_serve)
+       test_shard_engine test_fabric test_serve test_topo)
 
 cmake -B "$BUILD" -G Ninja -S "$ROOT" -DPPS_TSAN=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -44,6 +49,8 @@ for t in "${TESTS[@]}"; do
   echo "== tsan: $t =="
   if [ "$t" = test_fabric ]; then
     "$BUILD/tests/$t" --gtest_filter='ShardedDifferential.*' || status=$?
+  elif [ "$t" = test_topo ]; then
+    "$BUILD/tests/$t" --gtest_filter='NetworkEngine.Threads*' || status=$?
   else
     "$BUILD/tests/$t" || status=$?
   fi

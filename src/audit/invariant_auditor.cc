@@ -210,29 +210,58 @@ void InvariantAuditor::CheckConservation(Invariant as, sim::Slot t,
   }
 }
 
+// Work conservation (Section 1.1's reference discipline): an output with
+// pending cells must emit one this slot.  `lost` cells may include cells
+// that were silently removed from an output's pending count, so the
+// check is only exact for lossless switches; skip once losses appear.
+void InvariantAuditor::CheckWorkConservation(sim::Slot t,
+                                             std::uint64_t lost) {
+  if (!options_.check_work_conservation || lost != 0) return;
+  const bool fresh_slot = (current_slot_ != t);
+  for (sim::PortId j = 0; j < num_ports_; ++j) {
+    const auto out = static_cast<std::size_t>(j);
+    const bool departed_now = !fresh_slot && output_departed_[out] != 0;
+    if (output_pending_[out] > 0 && !departed_now) {
+      std::ostringstream os;
+      os << "output " << j << " idled with " << output_pending_[out]
+         << " pending cell(s)";
+      Fail(Invariant::kWorkConservation, t, os.str());
+    }
+  }
+}
+
 void InvariantAuditor::OnSlotEnd(sim::Slot t, std::int64_t backlog,
                                  std::uint64_t lost) {
   // Cell conservation, reconciled against the switch's own loss counters:
   // every injected cell is either in flight, departed, or accounted lost.
   CheckConservation(Invariant::kConservation, t, backlog, lost);
+  CheckWorkConservation(t, lost);
+}
 
-  // Work conservation (Section 1.1's reference discipline): an output with
-  // pending cells must emit one this slot.  `lost` cells may include cells
-  // that were silently removed from an output's pending count, so the
-  // check is only exact for lossless switches; skip once losses appear.
-  if (options_.check_work_conservation && lost == 0) {
-    const bool fresh_slot = (current_slot_ != t);
-    for (sim::PortId j = 0; j < num_ports_; ++j) {
-      const auto out = static_cast<std::size_t>(j);
-      const bool departed_now = !fresh_slot && output_departed_[out] != 0;
-      if (output_pending_[out] > 0 && !departed_now) {
+void InvariantAuditor::OnNetworkSlotEnd(sim::Slot t, std::int64_t node_backlog,
+                                        std::int64_t link_cells,
+                                        std::uint64_t lost) {
+  if (options_.check_conservation) {
+    if (node_backlog < 0 || link_cells < 0) {
+      std::ostringstream os;
+      os << "network reported negative backlog (nodes " << node_backlog
+         << ", links " << link_cells << ")";
+      Fail(Invariant::kConservation, t, os.str());
+    } else {
+      const std::uint64_t accounted =
+          departed_ + static_cast<std::uint64_t>(node_backlog) +
+          static_cast<std::uint64_t>(link_cells) + lost;
+      if (accounted != injected_) {
         std::ostringstream os;
-        os << "output " << j << " idled with " << output_pending_[out]
-           << " pending cell(s)";
-        Fail(Invariant::kWorkConservation, t, os.str());
+        os << "network: injected " << injected_ << " != departed "
+           << departed_ << " + queued in nodes " << node_backlog
+           << " + in flight on links " << link_cells << " + lost " << lost
+           << " (= " << accounted << ")";
+        Fail(Invariant::kConservation, t, os.str());
       }
     }
   }
+  CheckWorkConservation(t, lost);
 }
 
 void InvariantAuditor::OnRelativeDelay(sim::PortId input, sim::PortId output,

@@ -145,6 +145,18 @@ class InvariantAuditor {
   // counters (inject drops, stranded cells, buffer overflows).
   void OnSlotEnd(sim::Slot t, std::int64_t backlog, std::uint64_t lost = 0);
 
+  // Network-level cell conservation across hops (topo::NetworkEngine):
+  // with this auditor observing the network *edge* (OnInject at external
+  // ingress, OnDepart at external egress), every injected cell must at the
+  // end of each slot be departed, queued inside some node's fabric, in
+  // flight on an inter-node link, or accounted lost by a node.  Fires the
+  // kConservation detector with the in-network backlog decomposed, so a
+  // violation names which component leaks cells.  Runs the same per-slot
+  // bookkeeping as OnSlotEnd otherwise; call exactly one of the two per
+  // slot.
+  void OnNetworkSlotEnd(sim::Slot t, std::int64_t node_backlog,
+                        std::int64_t link_cells, std::uint64_t lost);
+
   // A finalized relative queuing delay (measured minus shadow delay) for a
   // cell of flow (input, output) that arrived in slot t.
   void OnRelativeDelay(sim::PortId input, sim::PortId output, sim::Slot t,
@@ -184,6 +196,7 @@ class InvariantAuditor {
   void Fail(Invariant inv, sim::Slot slot, std::string detail);
   void CheckConservation(Invariant as, sim::Slot t, std::int64_t backlog,
                          std::uint64_t lost);
+  void CheckWorkConservation(sim::Slot t, std::uint64_t lost);
 
   sim::PortId num_ports_;
   Options options_;

@@ -1,0 +1,96 @@
+#include "cioq/qps.h"
+
+#include "ckpt/serializer.h"
+#include "sim/error.h"
+
+namespace cioq {
+
+void QpsScheduler::Reset(sim::PortId num_ports) {
+  SIM_CHECK(rounds_ >= 1, "need at least one QPS round");
+  num_ports_ = num_ports;
+  rngs_.clear();
+  rngs_.reserve(static_cast<std::size_t>(num_ports));
+  sim::Rng base(seed_);
+  for (sim::PortId i = 0; i < num_ports; ++i) {
+    rngs_.push_back(base.Fork(static_cast<std::uint64_t>(i)));
+  }
+}
+
+Matching QpsScheduler::Schedule(const VoqBank& voqs) {
+  const sim::PortId n = num_ports_;
+  Matching matching(static_cast<std::size_t>(n), sim::kNoPort);
+  std::vector<bool> input_matched(static_cast<std::size_t>(n), false);
+  std::vector<bool> output_matched(static_cast<std::size_t>(n), false);
+
+  for (int round = 0; round < rounds_; ++round) {
+    // Propose phase: queue-proportional sampling.  Input i draws a point
+    // uniform in [0, InputBacklog(i)) and walks its VOQ lengths to find the
+    // output that point lands in — VOQ(i, j) is proposed with probability
+    // len(i,j) / InputBacklog(i).
+    std::vector<sim::PortId> proposal(static_cast<std::size_t>(n),
+                                      sim::kNoPort);
+    bool any_proposal = false;
+    for (sim::PortId i = 0; i < n; ++i) {
+      if (input_matched[static_cast<std::size_t>(i)]) continue;
+      const std::int64_t backlog = voqs.InputBacklog(i);
+      if (backlog == 0) continue;
+      std::uint64_t point =
+          rngs_[static_cast<std::size_t>(i)].UniformInt(
+              static_cast<std::uint64_t>(backlog));
+      for (sim::PortId j = 0; j < n; ++j) {
+        const auto len = static_cast<std::uint64_t>(voqs.Backlog(i, j));
+        if (point < len) {
+          if (!output_matched[static_cast<std::size_t>(j)]) {
+            proposal[static_cast<std::size_t>(i)] = j;
+            any_proposal = true;
+          }
+          break;
+        }
+        point -= len;
+      }
+    }
+    if (!any_proposal) break;
+
+    // Accept phase: each output takes its longest-VOQ proposer.
+    bool any_match = false;
+    for (sim::PortId j = 0; j < n; ++j) {
+      if (output_matched[static_cast<std::size_t>(j)]) continue;
+      sim::PortId best = sim::kNoPort;
+      std::int64_t best_len = 0;
+      for (sim::PortId i = 0; i < n; ++i) {
+        if (proposal[static_cast<std::size_t>(i)] != j) continue;
+        const std::int64_t len = voqs.Backlog(i, j);
+        if (len > best_len) {
+          best_len = len;
+          best = i;
+        }
+      }
+      if (best == sim::kNoPort) continue;
+      matching[static_cast<std::size_t>(best)] = j;
+      input_matched[static_cast<std::size_t>(best)] = true;
+      output_matched[static_cast<std::size_t>(j)] = true;
+      any_match = true;
+    }
+    if (!any_match) break;
+  }
+  return matching;
+}
+
+void QpsScheduler::SaveState(ckpt::Writer& w) const {
+  w.Marker("QPS0");
+  w.I32(rounds_);
+  w.U64(seed_);
+  w.I32(num_ports_);
+  for (const sim::Rng& rng : rngs_) ckpt::SaveRng(w, rng);
+}
+
+void QpsScheduler::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("QPS0");
+  SIM_CHECK(r.I32() == rounds_, "QPS checkpoint has a different round count");
+  SIM_CHECK(r.U64() == seed_, "QPS checkpoint was taken under another seed");
+  SIM_CHECK(r.I32() == num_ports_,
+            "QPS checkpoint has a different port count");
+  for (sim::Rng& rng : rngs_) ckpt::LoadRng(r, rng);
+}
+
+}  // namespace cioq

@@ -1,0 +1,50 @@
+// QPS-r (Gong et al.): queue-proportional sampling with r rounds of
+// propose/accept — a crossbar scheduler with O(1) work per input per round
+// that still delivers throughput and delay comparable to maximal matching.
+//
+// Each round has two phases over the still-unmatched ports:
+//   propose — every unmatched input with backlog samples ONE output, with
+//             probability proportional to its VOQ lengths (hence
+//             "queue-proportional": hot VOQs are proposed more often);
+//   accept  — every unmatched output that received proposals accepts the
+//             proposer with the longest VOQ (ties to the lowest input id).
+// Unlike iSLIP the result is deliberately not maximal — that is the cost
+// of constant-time sampling — so CioqSwitch's nonmaximal_matchings counter
+// is expected to be nonzero under QPS (it stays a counter, not an audit
+// failure).
+//
+// Sampling draws from per-input sim::Rng streams forked from a fixed seed
+// at Reset, so runs are exactly reproducible and the streams checkpoint as
+// plain generator state.
+#pragma once
+
+#include <vector>
+
+#include "cioq/voq.h"
+#include "sim/rng.h"
+
+namespace cioq {
+
+class QpsScheduler final : public Scheduler {
+ public:
+  explicit QpsScheduler(int rounds = 2,
+                        std::uint64_t seed = 0x9c56a737c4a51fb3ull)
+      : rounds_(rounds), seed_(seed) {}
+
+  void Reset(sim::PortId num_ports) override;
+  Matching Schedule(const VoqBank& voqs) override;
+  std::string name() const override {
+    return "qps-r" + std::to_string(rounds_);
+  }
+
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
+
+ private:
+  int rounds_;
+  std::uint64_t seed_;
+  sim::PortId num_ports_ = 0;
+  std::vector<sim::Rng> rngs_;  // one stream per input port
+};
+
+}  // namespace cioq

@@ -47,7 +47,7 @@ namespace ckpt {
 
 // Bumped whenever the payload layout changes; ReadFile rejects files with
 // any other version (no silent cross-version reinterpretation).
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 class Writer {
  public:
@@ -239,6 +239,11 @@ inline void SaveCell(Writer& w, const sim::Cell& c) {
   w.I64(c.reached_output);
   w.I64(c.departure);
   w.I64(c.tag);
+  w.I32(c.hop);
+  w.I32(c.net_ingress);
+  w.I32(c.net_egress);
+  w.U64(c.net_seq);
+  w.I64(c.net_arrival);
 }
 // `num_ports` bounds the restored endpoints: a cell's input/output index
 // per-port arrays all over the switch (mux staging, backlog counters), so
@@ -271,6 +276,19 @@ inline sim::Cell LoadCell(Reader& r, sim::PortId num_ports) {
                 valid_stamp(c.reached_output) && valid_stamp(c.departure) &&
                 valid_stamp(c.tag),
             "checkpoint cell " << c << " has a negative timestamp");
+  // Multi-hop metadata.  The network-edge port space is not bounded by this
+  // node's num_ports, so the edge ports are only checked for the sentinel
+  // shape (kNoPort or a real index), like the timestamps.
+  c.hop = r.I32();
+  c.net_ingress = r.I32();
+  c.net_egress = r.I32();
+  const auto valid_port = [](sim::PortId p) { return p == sim::kNoPort || p >= 0; };
+  SIM_CHECK(c.hop >= 0 && valid_port(c.net_ingress) && valid_port(c.net_egress),
+            "checkpoint cell " << c << " has corrupt hop metadata");
+  c.net_seq = r.U64();
+  c.net_arrival = r.I64();
+  SIM_CHECK(valid_stamp(c.net_arrival),
+            "checkpoint cell " << c << " has a negative net_arrival");
   return c;
 }
 

@@ -140,6 +140,19 @@ struct RunOptions {
   // mismatches fail loudly at load (wrong fabric name, port count,
   // keep_timeline, window_slots, drain_grace, source identity, ...).
   std::string resume_from;
+  // Forked resume (pps_serve --fork): with fork = true, resume_from loads
+  // the checkpoint's exact state but the run continues under THIS options'
+  // fault_schedule instead of the saved one — the saved fault cursor is
+  // discarded and the new schedule takes over from the resume slot (events
+  // strictly before it are treated as history; link-drop windows are
+  // re-armed from the new schedule).  fork_source_seed != 0 additionally
+  // re-seeds the traffic source's randomness streams after its state loads
+  // (requires TrafficSource::reseedable()), so a forked run explores a
+  // *diverged* future — different faults, different coin flips — from the
+  // same exact mid-run state.  A plain resume (fork = false) keeps the
+  // byte-identity guarantee; a forked run deliberately gives it up.
+  bool fork = false;
+  std::uint64_t fork_source_seed = 0;
   // Filesystem seam for checkpoint_path writes and resume_from reads
   // (null = the real filesystem).  The serve supervisor threads a
   // ckpt::FaultyIo through here so injected torn writes / ENOSPC / read

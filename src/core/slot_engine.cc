@@ -92,6 +92,39 @@ void FaultScheduleApplier::LoadState(ckpt::Reader& r) {
             "checkpoint fault cursor out of range");
 }
 
+void FaultScheduleApplier::LoadStateForked(ckpt::Reader& r,
+                                           sim::Slot resume_slot) {
+  r.ExpectMarker("FLT0");
+  const std::size_t saved_events = r.Size();
+  const std::size_t saved_cursor = r.Size();
+  SIM_CHECK(saved_cursor <= saved_events,
+            "checkpoint fault cursor out of range");
+  // The saved timeline is history; this run's schedule takes over from the
+  // resume slot.  Events before it are treated as already applied (the
+  // restored fabric state reflects whatever actually happened).
+  cursor_ = 0;
+  while (cursor_ < schedule_.events().size() &&
+         schedule_.events()[cursor_].at < resume_slot) {
+    ++cursor_;
+  }
+  // The fabric's LoadState just restored the *saving* run's link-drop
+  // windows; replace them with this schedule's (Clear + re-arm, exactly
+  // the constructor's arming pass).
+  fault::LinkFaultInjector* injector = fabric_.link_faults();
+  if (injector != nullptr) {
+    injector->Clear();
+    if (!schedule_.empty()) {
+      injector->Seed(schedule_.seed());
+      for (const fault::FaultEvent& ev : schedule_.events()) {
+        if (ev.kind == fault::FaultKind::kLinkDrop) {
+          injector->AddWindow(ev.input, ev.plane, ev.probability, ev.at,
+                              ev.window);
+        }
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // ArrivalFeeder
 
@@ -276,7 +309,8 @@ void RelativeDelayLedger::MinMax::Add(sim::Slot v) {
 }
 
 RelativeDelayLedger::RelativeDelayLedger(sim::PortId num_ports,
-                                         bool keep_timeline, AuditTaps& taps,
+                                         bool keep_timeline,
+                                         RelativeDelayObserver& taps,
                                          WindowAccumulator* window)
     : num_ports_(num_ports),
       keep_timeline_(keep_timeline),
@@ -778,10 +812,18 @@ sim::Slot LoadCheckpoint(const RunOptions& options, fabric::Fabric& fabric,
   shadow.LoadState(r);
   r.ExpectMarker("SRC0");
   source.LoadState(r);
+  if (options.fork && options.fork_source_seed != 0) {
+    // Forked run: same exact source state, diverged randomness stream.
+    source.Reseed(options.fork_source_seed);
+  }
   feeder.LoadState(r);
   ledger.LoadState(r);
   drain.LoadState(r);
-  faults.LoadState(r);
+  if (options.fork) {
+    faults.LoadStateForked(r, next_slot);
+  } else {
+    faults.LoadState(r);
+  }
   const bool saved_window = r.Bool();
   SIM_CHECK(saved_window == window.enabled(),
             "checkpoint was taken with a different window_slots");
@@ -823,6 +865,12 @@ RunResult SlotEngine::Run(fabric::Fabric& fabric,
     // resume), so audited builds still checkpoint fine.
     SIM_CHECK(options.auditor == nullptr,
               "an externally attached auditor cannot be checkpointed");
+  }
+  if (options.fork) {
+    SIM_CHECK(resuming, "fork = true needs a resume_from checkpoint");
+    SIM_CHECK(options.fork_source_seed == 0 || source.reseedable(),
+              "fork_source_seed set but this traffic source cannot be "
+              "reseeded (TrafficSource::reseedable)");
   }
 
   FaultScheduleApplier faults(fabric, options);

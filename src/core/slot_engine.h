@@ -74,6 +74,13 @@ class FaultScheduleApplier {
   void SaveState(ckpt::Writer& w) const;
   void LoadState(ckpt::Reader& r);
 
+  // Forked-resume variant (RunOptions::fork): consumes the saved cursor
+  // without pinning the saved schedule to this run's, then repositions the
+  // cursor onto THIS applier's schedule at `resume_slot` (events strictly
+  // before it are history) and re-arms the fabric's link-drop windows from
+  // this schedule, replacing the restored run's windows wholesale.
+  void LoadStateForked(ckpt::Reader& r, sim::Slot resume_slot);
+
  private:
   // ckpt-skip: wiring reference re-established by the run harness on resume
   fabric::Fabric& fabric_;
@@ -116,11 +123,27 @@ class ArrivalFeeder {
   std::vector<sim::Cell> cells_scratch_;
 };
 
+// Observation seam between the delay ledger and whoever audits finalized
+// relative delays.  AuditTaps implements it for single-switch runs; the
+// topology engine's edge taps (topo/network_engine.cc) implement it for
+// network-edge measurements, which is what lets RelativeDelayLedger be
+// reused verbatim across both engines.
+class RelativeDelayObserver {
+ public:
+  virtual ~RelativeDelayObserver() = default;
+
+  // A finalized relative delay for a cell of flow (input, output) that
+  // arrived (at the measured boundary) in slot `arrival`.
+  virtual void OnRelativeDelay(sim::PortId input, sim::PortId output,
+                               sim::Slot arrival,
+                               sim::Slot relative_delay) = 0;
+};
+
 // The audit tap points of a run: an explicitly attached auditor always
 // observes the measured switch; under -DPPS_AUDIT=ON a fresh auditor pair
 // (measured + shadow) is constructed per run and a dirty report is a hard
 // error at run end.
-class AuditTaps {
+class AuditTaps final : public RelativeDelayObserver {
  public:
   AuditTaps(fabric::Fabric& fabric, const RunOptions& options);
 
@@ -128,7 +151,7 @@ class AuditTaps {
   void OnMeasuredDepart(const sim::Cell& cell, sim::Slot t);
   void OnShadowDepart(const sim::Cell& cell, sim::Slot t);
   void OnRelativeDelay(sim::PortId input, sim::PortId output,
-                       sim::Slot arrival, sim::Slot relative_delay);
+                       sim::Slot arrival, sim::Slot relative_delay) override;
   void OnSlotEnd(sim::Slot t, std::int64_t backlog, std::uint64_t lost,
                  std::int64_t shadow_backlog);
 
@@ -218,7 +241,8 @@ class WindowAccumulator {
 class RelativeDelayLedger {
  public:
   RelativeDelayLedger(sim::PortId num_ports, bool keep_timeline,
-                      AuditTaps& taps, WindowAccumulator* window = nullptr);
+                      RelativeDelayObserver& taps,
+                      WindowAccumulator* window = nullptr);
 
   // A cell offered to both switches this slot.
   void Track(const sim::Cell& cell);
@@ -271,7 +295,7 @@ class RelativeDelayLedger {
   sim::PortId num_ports_;
   bool keep_timeline_;
   // ckpt-skip: wiring reference; the taps checkpoint with the run loop
-  AuditTaps& taps_;
+  RelativeDelayObserver& taps_;
   // ckpt-skip: wiring pointer to a stage that checkpoints itself
   WindowAccumulator* window_;
   sim::LatencyRecorder measured_rec_;

@@ -7,6 +7,7 @@
 #include "cioq/ccf.h"
 #include "cioq/islip.h"
 #include "cioq/oldest_first.h"
+#include "cioq/qps.h"
 #include "demux/registry.h"
 #include "fabric/adapters.h"
 #include "sim/error.h"
@@ -69,6 +70,8 @@ std::unique_ptr<Fabric> MakeCioq(const std::string& name,
     scheduler = std::make_unique<cioq::OldestFirstScheduler>();
   } else if (ParseSuffix(tail, "ccf-s", &speedup)) {
     scheduler = std::make_unique<cioq::CcfScheduler>();
+  } else if (ParseSuffix(tail, "qps-r-s", &speedup)) {
+    scheduler = std::make_unique<cioq::QpsScheduler>(2);
   } else {
     SIM_CHECK(false, "unknown cioq scheduler in fabric name: " << name);
   }
@@ -124,8 +127,8 @@ std::vector<std::string> RegisteredFabrics() {
     names.push_back("buffered-pps/" + algorithm);
   }
   names.insert(names.end(), {"cioq/islip-s1", "cioq/islip-s2",
-                             "cioq/oldest-s2", "cioq/ccf-s2", "oq",
-                             "rate-limited-oq"});
+                             "cioq/oldest-s2", "cioq/ccf-s2",
+                             "cioq/qps-r-s2", "oq", "rate-limited-oq"});
   return names;
 }
 

@@ -12,6 +12,8 @@
 //   "cioq/islip-s<S>"       CIOQ crossbar at integer speedup S with
 //   "cioq/oldest-s<S>"      iSLIP (2 iterations), oldest-cell-first or
 //   "cioq/ccf-s<S>"         CCF stable-matching scheduling
+//   "cioq/qps-r-s<S>"       queue-proportional sampling (QPS-r, 2 rounds
+//                           of propose/accept per phase)
 //   "oq"                    the ideal work-conserving OQ switch itself
 //   "rate-limited-oq"       non-work-conserving OQ serving each output
 //                           once every config.rate_ratio slots

@@ -155,7 +155,7 @@ class JsonReader {
   void ParseSchedule(FaultSchedule& schedule) {
     ExpectObject([&](std::string_view key) {
       if (key == "seed") {
-        schedule.set_seed(static_cast<std::uint64_t>(ParseInt()));
+        schedule.set_seed(ParseUint());
       } else if (key == "events") {
         Expect('[');
         SkipSpace();
@@ -239,6 +239,18 @@ class JsonReader {
     const auto res = std::from_chars(tok.begin(), tok.end(), v);
     if (res.ec != std::errc{} || res.ptr != tok.end()) {
       Fail("expected integer, got '" + std::string(tok) + "'");
+    }
+    return v;
+  }
+
+  // The seed is a full 64-bit value (the default is above INT64_MAX), so
+  // it gets its own unsigned parse.
+  std::uint64_t ParseUint() {
+    const std::string_view tok = NumberToken();
+    std::uint64_t v = 0;
+    const auto res = std::from_chars(tok.begin(), tok.end(), v);
+    if (res.ec != std::errc{} || res.ptr != tok.end()) {
+      Fail("expected unsigned integer, got '" + std::string(tok) + "'");
     }
     return v;
   }

@@ -40,6 +40,18 @@ struct LossBreakdown {
            late_arrivals + buffer_overflows;
   }
 
+  // Summing across nodes (topo::NetworkRunResult aggregates the per-node
+  // taxonomies into one network ledger).
+  friend LossBreakdown operator+(const LossBreakdown& a,
+                                 const LossBreakdown& b) {
+    return {a.input_drops + b.input_drops,
+            a.stranded_cells + b.stranded_cells,
+            a.stale_dispatches + b.stale_dispatches,
+            a.link_drops + b.link_drops,
+            a.late_arrivals + b.late_arrivals,
+            a.buffer_overflows + b.buffer_overflows};
+  }
+
   friend LossBreakdown operator-(const LossBreakdown& a,
                                  const LossBreakdown& b) {
     return {a.input_drops - b.input_drops,

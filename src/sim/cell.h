@@ -21,6 +21,17 @@ struct Cell {
   std::uint64_t seq = 0;   // sequence number within the (input,output) flow
   Slot arrival = kNoSlot;  // slot the cell arrived at the switch
 
+  // --- multi-hop metadata (topo/) -----------------------------------------
+  // In a topology run a cell traverses several fabrics; the identity fields
+  // above are rewritten per hop (input/output/seq/arrival are *local* to the
+  // current node), while these carry the network-level view.  Single-switch
+  // runs leave them at their defaults.
+  std::int32_t hop = 0;         // fabrics fully traversed before this one
+  PortId net_ingress = kNoPort; // external ingress port index
+  PortId net_egress = kNoPort;  // external egress port index
+  std::uint64_t net_seq = 0;    // seq within the (net_ingress,net_egress) flow
+  Slot net_arrival = kNoSlot;   // slot the cell entered the network edge
+
   // Trajectory through a PPS; kNoSlot / kNoPlane until the event happens.
   PlaneId plane = kNoPlane;       // middle-stage switch the cell traversed
   Slot dispatched = kNoSlot;      // slot the demultiplexor launched it
@@ -37,6 +48,11 @@ struct Cell {
   // its arrival slot).  Asserts (debug) that both timestamps are set:
   // subtracting the kNoSlot sentinel is signed overflow.
   Slot delay() const { return SlotDifference(departure, arrival); }
+
+  // End-to-end delay across a topology: departure at the final hop minus
+  // the slot the cell entered the network edge.  Only meaningful once both
+  // stamps are set (topology runs).
+  Slot net_delay() const { return SlotDifference(departure, net_arrival); }
 
   friend bool operator==(const Cell& a, const Cell& b) { return a.id == b.id; }
 };

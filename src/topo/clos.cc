@@ -1,0 +1,104 @@
+#include "topo/clos.h"
+
+#include <algorithm>
+
+#include "sim/error.h"
+
+namespace topo {
+
+Scenario MakeClos3(int leaves, int spines, int externals_per_leaf,
+                   const std::string& fabric, const pps::SwitchConfig& base,
+                   sim::Slot link_delay) {
+  SIM_CHECK(leaves > 0 && spines > 0 && externals_per_leaf > 0,
+            "MakeClos3 needs positive leaves/spines/externals, got "
+                << leaves << "/" << spines << "/" << externals_per_leaf);
+  SIM_CHECK(link_delay >= 0,
+            "MakeClos3 link_delay " << link_delay << " is negative");
+  const int m = leaves;
+  const int n = spines;
+  const int r = externals_per_leaf;
+  const int num_egress = m * r;
+
+  Scenario s;
+  s.name = "clos3-" + std::to_string(m) + "x" + std::to_string(n) + "x" +
+           std::to_string(r) + "-" + fabric;
+
+  const auto add_node = [&](const std::string& name, int ports) {
+    NodeSpec node;
+    node.name = name;
+    node.fabric = fabric;
+    node.config = base;
+    node.config.num_ports = ports;
+    s.nodes.push_back(node);
+  };
+  for (int i = 0; i < m; ++i) {
+    add_node("in" + std::to_string(i), std::max(r, n));
+  }
+  for (int k = 0; k < n; ++k) {
+    add_node("sp" + std::to_string(k), m);
+  }
+  for (int j = 0; j < m; ++j) {
+    add_node("out" + std::to_string(j), std::max(n, r));
+  }
+
+  const auto link = [&](const std::string& from, sim::PortId from_port,
+                        const std::string& to, sim::PortId to_port) {
+    LinkSpec l;
+    l.from = from;
+    l.from_port = from_port;
+    l.to = to;
+    l.to_port = to_port;
+    l.delay = link_delay;
+    s.links.push_back(l);
+  };
+  // Full bipartite wiring both stages: ingress leaf i's output k feeds
+  // spine k's input i; spine k's output j feeds egress leaf j's input k.
+  for (int i = 0; i < m; ++i) {
+    for (int k = 0; k < n; ++k) {
+      link("in" + std::to_string(i), k, "sp" + std::to_string(k), i);
+    }
+  }
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < m; ++j) {
+      link("sp" + std::to_string(k), j, "out" + std::to_string(j), k);
+    }
+  }
+
+  // External ports: r per leaf on each side, in leaf-major order.
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < r; ++p) {
+      s.ingress.push_back(PortRef{"in" + std::to_string(i), p});
+      s.egress.push_back(PortRef{"out" + std::to_string(i), p});
+    }
+  }
+
+  // Routing: per-destination spine spraying at the ingress leaf, then
+  // destination-leaf selection at the spine, then the local egress port.
+  for (int i = 0; i < m; ++i) {
+    RouteSpec route;
+    route.node = "in" + std::to_string(i);
+    for (int e = 0; e < num_egress; ++e) {
+      route.table.push_back(e % n);
+    }
+    s.routes.push_back(route);
+  }
+  for (int k = 0; k < n; ++k) {
+    RouteSpec route;
+    route.node = "sp" + std::to_string(k);
+    for (int e = 0; e < num_egress; ++e) {
+      route.table.push_back(e / r);
+    }
+    s.routes.push_back(route);
+  }
+  for (int j = 0; j < m; ++j) {
+    RouteSpec route;
+    route.node = "out" + std::to_string(j);
+    for (int e = 0; e < num_egress; ++e) {
+      route.table.push_back(e / r == j ? e % r : sim::kNoPort);
+    }
+    s.routes.push_back(route);
+  }
+  return s;
+}
+
+}  // namespace topo

@@ -1,0 +1,43 @@
+// Canonical multi-hop scenario generators.
+//
+// The 3-stage Clos network is the shape the ROADMAP's "switching for
+// millions of users" question is really about: r external ports per leaf,
+// m ingress leaves fanning out over n spines and back down to m egress
+// leaves.  Every node is one registered fabric — so the per-hop RQD of a
+// PPS (the paper's subject) composes with the fan-out/load geometry of
+// the network around it.
+#pragma once
+
+#include <string>
+
+#include "sim/types.h"
+#include "switch/config.h"
+#include "topo/topology.h"
+
+namespace topo {
+
+// Builds a 3-stage Clos scenario:
+//
+//   * `leaves`   ingress leaf switches and the same number of egress leaf
+//     switches (named in0..in{m-1} / out0..out{m-1});
+//   * `spines`   middle-stage switches (sp0..sp{n-1}), each connected to
+//     every leaf on both sides;
+//   * `externals_per_leaf` external ports per leaf: ingress leaf i serves
+//     external ingress ports [i*r, (i+1)*r), egress leaf j serves external
+//     egress ports [j*r, (j+1)*r);
+//   * every node runs `fabric` (a fabric::Make registry name) with `base`'s
+//     config, its num_ports overridden to the stage's geometry — ingress
+//     leaves are max(r, n)-port, spines are m-port, egress leaves are
+//     max(n, r)-port;
+//   * all inter-stage links carry `link_delay` extra propagation slots;
+//   * routing spreads egress e over spine e mod n at the ingress leaf
+//     (deterministic per-destination spraying), down to leaf e / r at the
+//     spine, out port e mod r at the egress leaf.
+//
+// The returned scenario carries default (uniform Bernoulli) traffic;
+// callers adjust scenario.traffic before Topology::Build.
+Scenario MakeClos3(int leaves, int spines, int externals_per_leaf,
+                   const std::string& fabric, const pps::SwitchConfig& base,
+                   sim::Slot link_delay = 0);
+
+}  // namespace topo

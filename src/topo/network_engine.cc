@@ -1,0 +1,633 @@
+#include "topo/network_engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "audit/enabled.h"
+#include "ckpt/serializer.h"
+#include "core/shard_pool.h"
+#include "core/slot_engine.h"
+#include "sim/error.h"
+#include "switch/output_queued.h"
+
+namespace topo {
+
+namespace {
+
+// A cell crossing an inter-node link: offered to the downstream node in
+// slot `due`.  Due slots are non-decreasing per link (every link has one
+// fixed delay and one upstream port), so delivery is a front-of-deque
+// check, and each link carries at most one cell per slot.
+struct InFlight {
+  sim::Slot due = sim::kNoSlot;
+  sim::Cell cell;
+};
+
+// The "edge view" of a delivered cell: the network-level identity the
+// ledger, recorders and auditors measure.  The per-hop fields (input,
+// output, seq, arrival) are the *last* node's local identity at this
+// point; the net_* fields carry the identity the cell entered the edge
+// with, which is what end-to-end delay and flow order are defined over.
+sim::Cell EdgeView(const sim::Cell& cell) {
+  sim::Cell edge = cell;
+  edge.input = cell.net_ingress;
+  edge.output = cell.net_egress;
+  edge.seq = cell.net_seq;
+  edge.arrival = cell.net_arrival;
+  return edge;  // departure stays: last-hop departure IS the network exit
+}
+
+// The network edge's audit tap points: mirrors core::AuditTaps but feeds
+// the per-slot conservation check through OnNetworkSlotEnd, where the
+// in-network backlog decomposes into node backlog + link cells.
+class EdgeTaps final : public core::RelativeDelayObserver {
+ public:
+  EdgeTaps(sim::PortId num_edge_ports, bool flow_order_promised,
+           const NetworkRunOptions& options) {
+    aud_ = options.auditor;
+#if PPS_AUDIT_ENABLED
+    // Same engagement rule as the single-switch auto pair: fresh nodes
+    // start empty (they are built per run), so only a resumed run — which
+    // is mid-flight by definition — keeps the auto pair off.
+    if (aud_ == nullptr && options.resume_from.empty()) {
+      audit::InvariantAuditor::Options aopts;
+      // Edge flow order is promised iff every node promises local flow
+      // order: a network flow follows one deterministic path, links are
+      // FIFO, and at each node it is a subsequence of a local flow.
+      aopts.check_flow_order = flow_order_promised;
+      auto_aud_.emplace(num_edge_ports, aopts);
+      aud_ = &*auto_aud_;
+      audit::InvariantAuditor::Options sopts;
+      sopts.check_work_conservation = true;  // the reference discipline
+      auto_shadow_aud_.emplace(num_edge_ports, sopts);
+      shadow_aud_ = &*auto_shadow_aud_;
+    }
+#else
+    (void)num_edge_ports;
+    (void)flow_order_promised;
+#endif
+  }
+
+  void OnInject(const sim::Cell& cell, sim::Slot t) {
+    if (aud_ != nullptr) aud_->OnInject(cell, t);
+    if (shadow_aud_ != nullptr) shadow_aud_->OnInject(cell, t);
+  }
+
+  void OnMeasuredDepart(const sim::Cell& cell, sim::Slot t) {
+    if (aud_ != nullptr) aud_->OnDepart(cell, t);
+  }
+
+  void OnShadowDepart(const sim::Cell& cell, sim::Slot t) {
+    if (shadow_aud_ != nullptr) shadow_aud_->OnDepart(cell, t);
+  }
+
+  void OnRelativeDelay(sim::PortId input, sim::PortId output,
+                       sim::Slot arrival, sim::Slot relative_delay) override {
+    if (aud_ != nullptr) {
+      aud_->OnRelativeDelay(input, output, arrival, relative_delay);
+    }
+  }
+
+  void OnNetworkSlotEnd(sim::Slot t, std::int64_t node_backlog,
+                        std::int64_t link_cells, std::uint64_t lost,
+                        std::int64_t shadow_backlog) {
+    if (aud_ != nullptr) {
+      aud_->OnNetworkSlotEnd(t, node_backlog, link_cells, lost);
+    }
+    if (shadow_aud_ != nullptr) shadow_aud_->OnSlotEnd(t, shadow_backlog);
+  }
+
+  // Mirrors core::AuditTaps::Finish over the edge accumulator (the caller
+  // fills edge.drained / edge.losses / edge.dropped first).
+  void Finish(core::RunResult& edge, sim::Slot t, std::int64_t network_backlog,
+              std::uint64_t lost, std::int64_t shadow_backlog) {
+    if (aud_ != nullptr) {
+      if (edge.drained) {
+        aud_->OnLossTaxonomy(edge.losses, edge.dropped, t);
+      }
+      aud_->OnRunEnd(t, network_backlog, lost);
+      edge.audit_violations += aud_->report().total();
+    }
+    if (shadow_aud_ != nullptr) {
+      shadow_aud_->OnRunEnd(t, shadow_backlog);
+      edge.audit_violations += shadow_aud_->report().total();
+    }
+#if PPS_AUDIT_ENABLED
+    if (auto_aud_.has_value()) {
+      SIM_CHECK(auto_aud_->clean() && auto_shadow_aud_->clean(),
+                "network edge: " << auto_aud_->report().Summary()
+                                 << "; shadow: "
+                                 << auto_shadow_aud_->report().Summary());
+    }
+#endif
+  }
+
+ private:
+  audit::InvariantAuditor* aud_ = nullptr;
+  audit::InvariantAuditor* shadow_aud_ = nullptr;
+#if PPS_AUDIT_ENABLED
+  std::optional<audit::InvariantAuditor> auto_aud_;
+  std::optional<audit::InvariantAuditor> auto_shadow_aud_;
+#endif
+};
+
+// Whole-topology snapshot, same discipline as the single-switch engine's:
+// a header pinning the network's identity, the in-place accumulators, then
+// every stateful component in fixed order, each behind its own marker.
+void WriteNetCheckpoint(const NetworkRunOptions& options, const Topology& topo,
+                        const std::vector<std::unique_ptr<Node>>& nodes,
+                        const std::vector<std::deque<InFlight>>& link_q,
+                        const pps::OutputQueuedSwitch& shadow,
+                        const traffic::TrafficSource& source,
+                        const core::ArrivalFeeder& feeder,
+                        const core::RelativeDelayLedger& ledger,
+                        const core::DrainController& drain,
+                        const core::RunResult& edge,
+                        const NetworkRunResult& result, sim::Slot next_slot,
+                        bool stopping, ckpt::Io& io) {
+  ckpt::Writer w;
+  w.Marker("NET0");
+  w.Str(topo.scenario().name);
+  w.Size(nodes.size());
+  w.Size(link_q.size());
+  w.I32(topo.num_ingress());
+  w.I32(topo.num_egress());
+  w.I64(next_slot);
+  w.Bool(stopping);
+  // The in-place accumulators the loop owns (everything else is
+  // recomputed at Finish from restored component state).
+  w.Marker("RES0");
+  w.U64(edge.cells);
+  w.U64(edge.dropped);
+  w.U64(result.delivered);
+  w.I32(result.max_hops);
+  w.I64(edge.max_relative_delay);
+  edge.relative_delay.SaveState(w);
+  for (const std::unique_ptr<Node>& node : nodes) node->SaveState(w);
+  w.Marker("LNK0");
+  for (const std::deque<InFlight>& q : link_q) {
+    w.Size(q.size());
+    for (const InFlight& f : q) {
+      w.I64(f.due);
+      ckpt::SaveCell(w, f.cell);
+    }
+  }
+  w.Marker("SHQ0");
+  shadow.SaveState(w);
+  w.Marker("SRC0");
+  source.SaveState(w);
+  feeder.SaveState(w);
+  ledger.SaveState(w);
+  drain.SaveState(w);
+  ckpt::WriteFile(options.checkpoint_path, w, io);
+}
+
+// Returns next_slot; sets `stopping` when the saving run stopped in the
+// checkpointed slot.
+sim::Slot LoadNetCheckpoint(const NetworkRunOptions& options,
+                            const Topology& topo,
+                            std::vector<std::unique_ptr<Node>>& nodes,
+                            std::vector<std::deque<InFlight>>& link_q,
+                            pps::OutputQueuedSwitch& shadow,
+                            traffic::TrafficSource& source,
+                            core::ArrivalFeeder& feeder,
+                            core::RelativeDelayLedger& ledger,
+                            core::DrainController& drain,
+                            core::RunResult& edge, NetworkRunResult& result,
+                            bool& stopping, ckpt::Io& io) {
+  const std::string payload = ckpt::ReadFile(options.resume_from, io);
+  ckpt::Reader r(payload);
+  r.ExpectMarker("NET0");
+  const std::string saved_name = r.Str();
+  SIM_CHECK(saved_name == topo.scenario().name,
+            "topology checkpoint was taken on scenario '"
+                << saved_name << "', resuming on '" << topo.scenario().name
+                << "'");
+  SIM_CHECK(r.Size() == nodes.size(),
+            "topology checkpoint has a different node count");
+  SIM_CHECK(r.Size() == link_q.size(),
+            "topology checkpoint has a different link count");
+  SIM_CHECK(r.I32() == topo.num_ingress(),
+            "topology checkpoint has a different ingress count");
+  SIM_CHECK(r.I32() == topo.num_egress(),
+            "topology checkpoint has a different egress count");
+  const sim::Slot next_slot = r.I64();
+  SIM_CHECK(next_slot >= 0,
+            "topology checkpoint resume slot " << next_slot
+                                               << " is not a slot");
+  stopping = r.Bool();
+  r.ExpectMarker("RES0");
+  edge.cells = r.U64();
+  edge.dropped = r.U64();
+  result.delivered = r.U64();
+  result.max_hops = r.I32();
+  SIM_CHECK(result.max_hops >= 0, "topology checkpoint max_hops "
+                                      << result.max_hops << " is negative");
+  edge.max_relative_delay = r.I64();
+  edge.relative_delay.LoadState(r);
+  // Node sections pin each node's identity (name, fabric, ports) and
+  // replace any link-fault windows the constructors armed, wholesale.
+  for (std::unique_ptr<Node>& node : nodes) node->LoadState(r);
+  r.ExpectMarker("LNK0");
+  for (std::size_t li = 0; li < link_q.size(); ++li) {
+    std::deque<InFlight>& q = link_q[li];
+    q.clear();
+    const std::size_t depth = r.Count();
+    // An in-flight cell still carries the *upstream* node's local
+    // identity (StampArrival runs at delivery), so its port bound is the
+    // from-node's.
+    const Topology::CompiledLink& link =
+        topo.links()[li];
+    const sim::PortId from_ports = topo.node(link.from_node).config.num_ports;
+    sim::Slot prev_due = sim::kNoSlot;
+    for (std::size_t i = 0; i < depth; ++i) {
+      InFlight f;
+      f.due = r.I64();
+      SIM_CHECK(f.due >= next_slot,
+                "topology checkpoint link " << li << " has a cell due at "
+                                            << f.due << " before resume slot "
+                                            << next_slot);
+      SIM_CHECK(prev_due == sim::kNoSlot || f.due >= prev_due,
+                "topology checkpoint link " << li
+                                            << " queue is not due-ordered");
+      prev_due = f.due;
+      f.cell = ckpt::LoadCell(r, from_ports);
+      q.push_back(f);
+    }
+  }
+  r.ExpectMarker("SHQ0");
+  shadow.LoadState(r);
+  r.ExpectMarker("SRC0");
+  source.LoadState(r);
+  feeder.LoadState(r);
+  ledger.LoadState(r);
+  drain.LoadState(r);
+  SIM_CHECK(r.AtEnd(),
+            "topology checkpoint has " << r.remaining() << " trailing bytes");
+  return next_slot;
+}
+
+}  // namespace
+
+NetworkRunResult NetworkEngine::Run(const Topology& topo,
+                                    traffic::TrafficSource& source,
+                                    const NetworkRunOptions& options) {
+  const int num_nodes = topo.num_nodes();
+  const sim::PortId e_in = topo.num_ingress();
+  const sim::PortId e_out = topo.num_egress();
+  const sim::PortId n_ext = topo.num_edge_ports();
+  const std::size_t num_links = topo.links().size();
+
+  NetworkRunResult result;
+  // The ledger/taps accumulator over edge-view cells; mapped into the
+  // NetworkRunResult at the end.  keep_timeline stays off: the network
+  // engine reports distributions, not per-cell timelines.
+  core::RunResult edge;
+
+  // Fresh nodes per run: each builds its registry fabric and arms its
+  // fault schedule (loss baselines therefore start at zero).
+  std::vector<std::unique_ptr<Node>> nodes;
+  nodes.reserve(static_cast<std::size_t>(num_nodes));
+  for (int k = 0; k < num_nodes; ++k) {
+    nodes.push_back(std::make_unique<Node>(topo.node(k), topo.node_faults(k)));
+  }
+
+  // The network-wide shadow: one ideal OQ switch over the external port
+  // space.  A cell reaches its egress queue the instant it enters the
+  // network; end-to-end RQD is measured against this.
+  pps::OutputQueuedSwitch shadow(n_ext);
+
+  const bool checkpointing = options.checkpoint_every > 0;
+  const bool resuming = !options.resume_from.empty();
+  if (checkpointing) {
+    SIM_CHECK(!options.checkpoint_path.empty(),
+              "checkpoint_every needs a checkpoint_path");
+  }
+  ckpt::Io& io =
+      options.checkpoint_io ? *options.checkpoint_io : ckpt::DefaultIo();
+  if (checkpointing || resuming) {
+    for (const std::unique_ptr<Node>& node : nodes) {
+      SIM_CHECK(node->fabric().checkpointable(),
+                "node '" << node->name() << "': fabric '"
+                         << node->fabric().name()
+                         << "' does not support exact-state checkpointing");
+    }
+    SIM_CHECK(source.checkpointable(),
+              "this traffic source does not support exact-state "
+              "checkpointing (TrafficSource::checkpointable)");
+    SIM_CHECK(options.auditor == nullptr,
+              "an externally attached auditor cannot be checkpointed");
+  }
+
+  bool flow_order_promised = true;
+  for (const std::unique_ptr<Node>& node : nodes) {
+    flow_order_promised =
+        flow_order_promised && node->fabric().flow_order_promised();
+  }
+
+  EdgeTaps taps(n_ext, flow_order_promised, options);
+  core::ArrivalFeeder feeder(source, n_ext, options.source_cutoff);
+  core::RelativeDelayLedger ledger(n_ext, /*keep_timeline=*/false, taps);
+  core::DrainController drain(options.drain_grace);
+
+  std::vector<std::deque<InFlight>> link_q(num_links);
+
+  sim::Slot start_slot = 0;
+  bool resumed_stopping = false;
+  if (resuming) {
+    start_slot = LoadNetCheckpoint(options, topo, nodes, link_q, shadow,
+                                   source, feeder, ledger, drain, edge, result,
+                                   resumed_stopping, io);
+  }
+
+  // Per-node cumulative loss watermark for synchronous inject-drop
+  // attribution (a nonzero delta after one Inject names the dropped cell).
+  std::vector<std::uint64_t> known_lost(static_cast<std::size_t>(num_nodes));
+  for (int k = 0; k < num_nodes; ++k) {
+    known_lost[static_cast<std::size_t>(k)] =
+        nodes[static_cast<std::size_t>(k)]->fabric().losses().total();
+  }
+
+  // One worker pool for the run, one node per lane per slot.  Node
+  // advancement within a slot touches only that node's state (the gather
+  // and splice phases on either side are serial, in fixed node/link
+  // order), so any lane count — including a budget-degraded serial grant —
+  // produces byte-identical results.
+  std::optional<core::ShardPool> pool;
+  if (options.threads > 1 && num_nodes > 1) pool.emplace(options.threads);
+
+  // Per-slot scratch, indexed by node; cleared every slot.
+  std::vector<std::vector<sim::Cell>> offered(
+      static_cast<std::size_t>(num_nodes));
+  std::vector<std::vector<sim::Cell>> departed(
+      static_cast<std::size_t>(num_nodes));
+  std::vector<std::vector<sim::CellId>> drops(
+      static_cast<std::size_t>(num_nodes));
+
+  sim::Slot t = start_slot;
+  for (; !resumed_stopping && t < options.max_slots; ++t) {
+    // 1. Fault timelines, serial per node in index order.
+    for (int k = 0; k < num_nodes; ++k) {
+      const std::size_t ki = static_cast<std::size_t>(k);
+      if (nodes[ki]->faults().ApplyDue(t)) {
+        known_lost[ki] = nodes[ki]->fabric().losses().total();
+      }
+    }
+
+    // 2. Serial gather: link deliveries first (link index order), then
+    // external arrivals.  Each delivery is restamped with this node's
+    // local identity; the network identity (id, net_*) rides along.
+    for (std::size_t ki = 0; ki < offered.size(); ++ki) offered[ki].clear();
+    for (std::size_t li = 0; li < num_links; ++li) {
+      std::deque<InFlight>& q = link_q[li];
+      const Topology::CompiledLink& link = topo.links()[li];
+      while (!q.empty() && q.front().due == t) {
+        sim::Cell cell = q.front().cell;
+        q.pop_front();
+        const sim::PortId out = topo.Route(link.to_node, cell.net_egress);
+        SIM_CHECK(out != sim::kNoPort,
+                  "no route from node '" << topo.node(link.to_node).name
+                                         << "' to egress "
+                                         << cell.net_egress);
+        nodes[static_cast<std::size_t>(link.to_node)]->StampArrival(
+            cell, link.to_port, out, t);
+        offered[static_cast<std::size_t>(link.to_node)].push_back(cell);
+      }
+    }
+    for (const sim::Cell& cell : feeder.CellsAt(t)) {
+      // The feeder validates against the edge space [0, n_ext); rectangular
+      // edges need the tight per-side bounds too.
+      SIM_CHECK(cell.input < e_in && cell.output < e_out,
+                "source emitted edge ports (" << cell.input << " -> "
+                                              << cell.output
+                                              << ") outside " << e_in << "x"
+                                              << e_out << " in slot " << t);
+      ledger.Track(cell);
+      taps.OnInject(cell, t);
+      shadow.Inject(cell, t);
+      ++edge.cells;
+      sim::Cell net = cell;
+      net.net_ingress = cell.input;
+      net.net_egress = cell.output;
+      net.net_seq = cell.seq;
+      net.net_arrival = t;
+      net.hop = 0;
+      const Topology::CompiledEndpoint& in = topo.ingress(net.net_ingress);
+      const sim::PortId out = topo.Route(in.node, net.net_egress);
+      SIM_CHECK(out != sim::kNoPort,
+                "no route from ingress node '" << topo.node(in.node).name
+                                               << "' to egress "
+                                               << net.net_egress);
+      nodes[static_cast<std::size_t>(in.node)]->StampArrival(net, in.port, out,
+                                                             t);
+      offered[static_cast<std::size_t>(in.node)].push_back(net);
+    }
+    // Fabrics take arrivals in increasing input-port order.  At most one
+    // cell lands per local input per slot by construction (each input
+    // port is fed by exactly one link or one ingress, links deliver at
+    // most one cell per slot, and the feeder enforces the external line
+    // rate), which the adjacency check pins.
+    for (std::size_t ki = 0; ki < offered.size(); ++ki) {
+      std::vector<sim::Cell>& cells = offered[ki];
+      std::sort(cells.begin(), cells.end(),
+                [](const sim::Cell& a, const sim::Cell& b) {
+                  return a.input < b.input;
+                });
+      for (std::size_t i = 1; i < cells.size(); ++i) {
+        SIM_CHECK(cells[i].input != cells[i - 1].input,
+                  "two cells on node " << ki << " input " << cells[i].input
+                                       << " in slot " << t);
+      }
+    }
+
+    // 3. Advance every node — the parallel region.  Each task reads and
+    // writes only node k's fabric, its drop/departure scratch and its
+    // loss watermark; no shared state.
+    auto advance_node = [&](std::size_t ki, unsigned /*lane*/) {
+      fabric::Fabric& fab = nodes[ki]->fabric();
+      drops[ki].clear();
+      for (const sim::Cell& cell : offered[ki]) {
+        fab.Inject(cell, t);
+        const std::uint64_t lost = fab.losses().total();
+        if (lost != known_lost[ki]) {
+          known_lost[ki] = lost;
+          drops[ki].push_back(cell.id);
+        }
+      }
+      departed[ki] = fab.Advance(t);
+      // Advance-time losses (overflows, stranded cells) carry no ids;
+      // fold them into the watermark so the next Inject is not blamed.
+      known_lost[ki] = fab.losses().total();
+    };
+    if (pool.has_value()) {
+      pool->Run(static_cast<std::size_t>(num_nodes), advance_node);
+    } else {
+      for (int k = 0; k < num_nodes; ++k) {
+        advance_node(static_cast<std::size_t>(k), 0);
+      }
+    }
+
+    // 4. Serial splice in node order: drop attribution, departure
+    // hand-off to the next hop or the network edge.
+    for (int k = 0; k < num_nodes; ++k) {
+      const std::size_t ki = static_cast<std::size_t>(k);
+      for (const sim::CellId id : drops[ki]) {
+        ledger.MarkInjectDropped(id, edge);
+      }
+      for (const sim::Cell& d : departed[ki]) {
+        nodes[ki]->RecordDeparture(d);
+        const int eg = topo.EgressAt(k, d.output);
+        if (eg >= 0) {
+          SIM_CHECK(eg == d.net_egress,
+                    d << " left the network at egress " << eg
+                      << " but was addressed to " << d.net_egress);
+          result.max_hops = std::max(result.max_hops, d.hop + 1);
+          const sim::Cell ev = EdgeView(d);
+          taps.OnMeasuredDepart(ev, t);
+          ledger.OnMeasuredDepart(ev, edge);
+          ++result.delivered;
+        } else {
+          const int li = topo.OutLink(k, d.output);
+          SIM_CHECK(li >= 0, d << " departed node '" << nodes[ki]->name()
+                               << "' on unlinked output " << d.output);
+          InFlight f;
+          f.due = sim::SlotPlus(sim::SlotPlus(t, 1),
+                                topo.links()[static_cast<std::size_t>(li)]
+                                    .delay);
+          f.cell = d;
+          f.cell.hop = d.hop + 1;
+          link_q[static_cast<std::size_t>(li)].push_back(f);
+        }
+      }
+    }
+
+    // 5. The shadow sees the same slot.
+    for (const sim::Cell& cell : shadow.Advance(t)) {
+      taps.OnShadowDepart(cell, t);
+      ledger.OnShadowDepart(cell, edge);
+    }
+
+    // 6. Slot-end bookkeeping: network cell conservation decomposed into
+    // node backlog + cells in flight on links.
+    std::int64_t node_backlog = 0;
+    std::uint64_t lost_total = 0;
+    bool nodes_drained = true;
+    for (int k = 0; k < num_nodes; ++k) {
+      const std::size_t ki = static_cast<std::size_t>(k);
+      node_backlog += nodes[ki]->fabric().TotalBacklog();
+      lost_total += known_lost[ki];
+      nodes_drained = nodes_drained && nodes[ki]->fabric().Drained();
+    }
+    std::int64_t link_cells = 0;
+    for (const std::deque<InFlight>& q : link_q) {
+      link_cells += static_cast<std::int64_t>(q.size());
+    }
+    taps.OnNetworkSlotEnd(t, node_backlog, link_cells, lost_total,
+                          shadow.TotalBacklog());
+
+    // Periodic loss reconciliation, same cadence as the single-switch
+    // engine: once the measured side is drained, a pending entry whose
+    // shadow copy departed can never be finalized.
+    constexpr sim::Slot kReconcilePeriod = 1024;
+    if (lost_total > 0 && sim::SlotPlus(t, 1) % kReconcilePeriod == 0 &&
+        nodes_drained && link_cells == 0) {
+      ledger.SweepLossLeaks(edge);
+    }
+
+    if (!drain.exhausted() && feeder.ExhaustedAfter(t)) {
+      drain.NoteExhausted(sim::SlotPlus(t, 1));
+    }
+    const bool all_drained =
+        nodes_drained && link_cells == 0 && shadow.Drained();
+    const bool stop = drain.ShouldStop(t, all_drained);
+    const bool interrupted = !stop && options.stop_flag &&
+                             options.stop_flag->load(std::memory_order_acquire);
+    const bool boundary =
+        checkpointing && sim::SlotPlus(t, 1) % options.checkpoint_every == 0;
+    if (boundary || (checkpointing && interrupted)) {
+      WriteNetCheckpoint(options, topo, nodes, link_q, shadow, source, feeder,
+                         ledger, drain, edge, result, sim::SlotPlus(t, 1),
+                         stop, io);
+    }
+    if (stop || interrupted) {
+      result.interrupted = interrupted;
+      ++t;
+      break;
+    }
+  }
+  result.duration = t;
+
+  // Run-end reconciliation, mirroring SlotEngine::Run's epilogue.
+  bool nodes_drained = true;
+  std::int64_t node_backlog = 0;
+  std::uint64_t lost_total = 0;
+  for (int k = 0; k < num_nodes; ++k) {
+    const std::size_t ki = static_cast<std::size_t>(k);
+    nodes_drained = nodes_drained && nodes[ki]->fabric().Drained();
+    node_backlog += nodes[ki]->fabric().TotalBacklog();
+    lost_total += nodes[ki]->fabric().losses().total();
+    result.losses = result.losses + nodes[ki]->fabric().losses();
+  }
+  std::int64_t link_cells = 0;
+  for (const std::deque<InFlight>& q : link_q) {
+    link_cells += static_cast<std::int64_t>(q.size());
+  }
+  const bool measured_drained = nodes_drained && link_cells == 0;
+  result.drained = measured_drained && shadow.Drained();
+  if (measured_drained) {
+    ledger.ReconcileUndeparted(edge);
+  }
+  ledger.Finish(edge);
+  edge.drained = result.drained;
+  edge.losses = result.losses;
+  taps.Finish(edge, t, node_backlog + link_cells, lost_total,
+              shadow.TotalBacklog());
+
+  result.cells = edge.cells;
+  result.dropped = edge.dropped;
+  result.max_relative_delay = edge.max_relative_delay;
+  result.max_relative_jitter = edge.max_relative_jitter;
+  result.relative_delay = edge.relative_delay;
+  result.net_delay = edge.pps_delay;
+  result.shadow_delay = edge.shadow_delay;
+  result.order_preserved = edge.order_preserved;
+  result.audit_violations = edge.audit_violations;
+  result.node_backlog = node_backlog;
+  result.link_cells = link_cells;
+  result.node_stats.reserve(static_cast<std::size_t>(num_nodes));
+  for (int k = 0; k < num_nodes; ++k) {
+    result.node_stats.push_back(
+        nodes[static_cast<std::size_t>(k)]->Stats());
+  }
+  return result;
+}
+
+NetworkRunResult RunScenario(const Topology& topo,
+                             const NetworkRunOptions& options) {
+  traffic::SourcePtr source = MakeTrafficSource(
+      topo.scenario(), topo.num_ingress(), topo.num_egress());
+  NetworkRunOptions opts = options;
+  if (opts.source_cutoff == 0) {
+    opts.source_cutoff = topo.scenario().traffic.cutoff;
+  }
+  return NetworkEngine().Run(topo, *source, opts);
+}
+
+std::string Summarize(const NetworkRunResult& result) {
+  std::ostringstream os;
+  os << "cells=" << result.cells << " delivered=" << result.delivered
+     << " dropped=" << result.dropped << " slots=" << result.duration
+     << (result.drained ? " drained" : " UNDRAINED") << " hops<="
+     << result.max_hops << " rqd_mean=" << result.relative_delay.mean()
+     << " rqd_max=" << result.max_relative_delay
+     << " net_delay_mean=" << result.net_delay.mean()
+     << " shadow_delay_mean=" << result.shadow_delay.mean()
+     << (result.order_preserved ? "" : " REORDERED");
+  return os.str();
+}
+
+}  // namespace topo

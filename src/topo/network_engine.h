@@ -1,0 +1,114 @@
+// The slot-synchronous network run loop: every node of a Topology driven
+// in lockstep, with end-to-end relative queuing delay measured against a
+// single network-wide shadow OQ switch spanning the external ports.
+//
+// The paper's shadow-switch methodology (Section 1.1) lifts to networks
+// unchanged: the ideal reference for a whole fabric of switches is still
+// one output-queued switch over the external ingress/egress ports —
+// cells reach their egress queue the instant they enter the network.
+// Every slot the engine offers identical cells to the real topology and
+// the shadow; end-to-end RQD is the (network delay - shadow delay) gap,
+// which is exactly the queuing penalty of *distributing* the switching
+// over multiple hops (per-hop RQD compounding plus wire latency).
+//
+// Structure reuses the SlotEngine stage decomposition: the same
+// ArrivalFeeder stamps and meters edge arrivals, the same
+// RelativeDelayLedger finalizes relative delays over edge-view cells, the
+// same DrainController decides the stop, and core::ShardPool runs one
+// lane per node.  Node advancement is embarrassingly parallel within a
+// slot (a departure is offered to the next hop no earlier than t + 1),
+// and all cross-node splicing — link pushes, edge departures, stats —
+// happens serially in fixed node order between the barriers, so
+// threads = T is bit-identical to threads = 1.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/invariant_auditor.h"
+#include "ckpt/io.h"
+#include "fault/loss.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+#include "topo/node.h"
+#include "topo/topology.h"
+#include "traffic/source.h"
+
+namespace topo {
+
+struct NetworkRunOptions {
+  // Hard cap on simulated slots (safety against non-draining runs).
+  sim::Slot max_slots = 1'000'000;
+  // Worker lanes, one node per lane per slot (clamped by the process-wide
+  // core::ThreadBudget).  Results are byte-identical for every lane count.
+  unsigned threads = 1;
+  // Stop offering arrivals at this slot (0 = pull until the source
+  // reports Exhausted).
+  sim::Slot source_cutoff = 0;
+  // Stop this many slots after exhaustion even if not drained (0 = run
+  // until drained or max_slots).
+  sim::Slot drain_grace = 0;
+  // Edge-view auditor: observes external-ingress injects, external-egress
+  // departs, finalized end-to-end relative delays, and per-slot network
+  // cell conservation via OnNetworkSlotEnd.  When null and the tree is
+  // built with -DPPS_AUDIT=ON, the engine arms its own edge + shadow
+  // auditor pair and throws if any detector fires.
+  audit::InvariantAuditor* auditor = nullptr;
+
+  // Whole-topology exact-state checkpointing, same contract as the
+  // single-switch engine (core/harness.h): every node's fabric, the link
+  // queues in flight, the shadow OQ, the source, and every measurement
+  // accumulator travel in one snapshot; resume is byte-identical.
+  // Requires every node fabric and the source to be checkpointable, and
+  // no externally attached auditor.
+  sim::Slot checkpoint_every = 0;
+  std::string checkpoint_path;
+  std::string resume_from;
+  ckpt::Io* checkpoint_io = nullptr;  // null = the real filesystem
+  // Graceful-shutdown flag, polled at slot boundaries.
+  const std::atomic<bool>* stop_flag = nullptr;
+};
+
+struct NetworkRunResult {
+  std::uint64_t cells = 0;   // cells offered at the network edge
+  sim::Slot duration = 0;    // slots simulated
+  bool drained = false;      // nodes, links and shadow all empty
+  bool interrupted = false;  // stop_flag raised
+  std::uint64_t delivered = 0;  // cells that reached their egress port
+  std::uint64_t dropped = 0;    // cells lost somewhere in the network
+  fault::LossBreakdown losses;  // summed node loss taxonomy
+  std::int32_t max_hops = 0;    // longest fabric path any cell traversed
+
+  // End-to-end relative measurements against the network-wide shadow OQ.
+  sim::Slot max_relative_delay = 0;
+  sim::Slot max_relative_jitter = 0;
+  sim::OnlineStats relative_delay;  // per delivered cell
+  sim::OnlineStats net_delay;       // measured end-to-end delay
+  sim::OnlineStats shadow_delay;    // shadow OQ delay
+  bool order_preserved = true;      // per net-flow egress order
+
+  std::uint64_t audit_violations = 0;
+  std::int64_t node_backlog = 0;  // cells inside fabrics at run end
+  std::int64_t link_cells = 0;    // cells in flight on links at run end
+
+  // Per-hop latency attribution, indexed like Topology::node().
+  std::vector<NodeStats> node_stats;
+};
+
+class NetworkEngine {
+ public:
+  NetworkRunResult Run(const Topology& topo, traffic::TrafficSource& source,
+                       const NetworkRunOptions& options = {});
+};
+
+// Convenience: builds the scenario's traffic source (topology.h) and runs
+// it.  A zero options.source_cutoff takes the scenario traffic's cutoff.
+NetworkRunResult RunScenario(const Topology& topo,
+                             const NetworkRunOptions& options = {});
+
+// Human-readable one-line summary.
+std::string Summarize(const NetworkRunResult& result);
+
+}  // namespace topo

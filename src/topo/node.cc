@@ -1,0 +1,108 @@
+#include "topo/node.h"
+
+#include <utility>
+
+#include "ckpt/serializer.h"
+#include "fabric/registry.h"
+#include "sim/error.h"
+
+namespace topo {
+
+namespace {
+
+core::RunOptions OptionsWith(const fault::FaultSchedule& schedule) {
+  core::RunOptions options;
+  options.fault_schedule = schedule;
+  return options;
+}
+
+}  // namespace
+
+Node::Node(const NodeSpec& spec, const fault::FaultSchedule& faults)
+    : spec_(spec),
+      fabric_(fabric::Make(spec.fabric, spec.config)),
+      faults_(*fabric_, OptionsWith(faults)) {}
+
+void Node::StampArrival(sim::Cell& cell, sim::PortId input, sim::PortId output,
+                        sim::Slot t) {
+  SIM_CHECK(input >= 0 && input < num_ports() && output >= 0 &&
+                output < num_ports(),
+            "node '" << spec_.name << "': hop identity " << input << "->"
+                     << output << " outside " << num_ports() << " ports");
+  cell.input = input;
+  cell.output = output;
+  cell.seq = seq_[sim::MakeFlowId(input, output, num_ports())]++;
+  cell.arrival = t;
+  // The previous hop's trajectory is history; this fabric starts fresh.
+  cell.plane = sim::kNoPlane;
+  cell.dispatched = sim::kNoSlot;
+  cell.reached_output = sim::kNoSlot;
+  cell.departure = sim::kNoSlot;
+  cell.tag = sim::kNoSlot;
+}
+
+void Node::RecordDeparture(const sim::Cell& cell) {
+  const sim::Slot delay = cell.delay();
+  ++forwarded_;
+  if (delay > max_hop_delay_) max_hop_delay_ = delay;
+  hop_delay_.Add(static_cast<double>(delay));
+}
+
+NodeStats Node::Stats() const {
+  NodeStats stats;
+  stats.name = spec_.name;
+  stats.forwarded = forwarded_;
+  stats.max_hop_delay = max_hop_delay_;
+  stats.hop_delay = hop_delay_;
+  stats.backlog = fabric_->TotalBacklog();
+  stats.losses = fabric_->losses();
+  return stats;
+}
+
+void Node::SaveState(ckpt::Writer& w) const {
+  w.Marker("NOD0");
+  w.Str(spec_.name);
+  w.Str(fabric_->name());
+  w.I32(spec_.config.num_ports);
+  fabric_->SaveState(w);
+  faults_.SaveState(w);
+  w.Size(seq_.size());
+  for (const sim::FlowId flow : ckpt::SortedKeys(seq_)) {
+    w.U64(flow);
+    w.U64(seq_.at(flow));
+  }
+  w.U64(forwarded_);
+  w.I64(max_hop_delay_);
+  hop_delay_.SaveState(w);
+}
+
+void Node::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("NOD0");
+  const std::string name = r.Str();
+  SIM_CHECK(name == spec_.name, "topology checkpoint: node '"
+                                    << name << "' where '" << spec_.name
+                                    << "' was expected");
+  const std::string fabric_name = r.Str();
+  SIM_CHECK(fabric_name == fabric_->name(),
+            "topology checkpoint: node '" << spec_.name << "' ran fabric '"
+                                          << fabric_name << "', this run has '"
+                                          << fabric_->name() << "'");
+  const sim::PortId ports = r.I32();
+  SIM_CHECK(ports == num_ports(), "topology checkpoint: node '"
+                                      << spec_.name << "' had " << ports
+                                      << " ports, this run has "
+                                      << num_ports());
+  fabric_->LoadState(r);
+  faults_.LoadState(r);
+  seq_.clear();
+  const std::size_t flows = r.Count();
+  for (std::size_t i = 0; i < flows; ++i) {
+    const sim::FlowId flow = r.U64();
+    seq_[flow] = r.U64();
+  }
+  forwarded_ = r.U64();
+  max_hop_delay_ = r.I64();
+  hop_delay_.LoadState(r);
+}
+
+}  // namespace topo

@@ -1,0 +1,78 @@
+// One switching element of a topology: a registry fabric plus the
+// per-node run state the NetworkEngine needs — its fault applier, the
+// local per-flow sequence counters used to stamp each hop's identity, and
+// the per-hop latency attribution accumulators.
+//
+// The identity-rewrite contract: a cell crossing the network keeps its
+// global id and net_* fields forever, but every node sees a *local*
+// (input, output, seq, arrival) identity minted by StampArrival when the
+// cell is offered to this node.  That is what lets any single-switch
+// fabric — which resequences and audits in terms of its own N-port flow
+// space — participate in a multi-hop network unchanged.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/slot_engine.h"
+#include "fabric/fabric.h"
+#include "fault/fault_schedule.h"
+#include "fault/loss.h"
+#include "sim/cell.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+#include "topo/topology.h"
+
+namespace topo {
+
+// Per-node attribution snapshot reported in NetworkRunResult: where the
+// end-to-end delay was spent.
+struct NodeStats {
+  std::string name;
+  std::uint64_t forwarded = 0;   // cells that departed this node
+  sim::Slot max_hop_delay = 0;   // worst local queuing delay
+  sim::OnlineStats hop_delay;    // distribution of local queuing delay
+  std::int64_t backlog = 0;      // cells still queued at run end
+  fault::LossBreakdown losses;   // this node's loss taxonomy
+};
+
+class Node {
+ public:
+  // Builds the spec's fabric via the registry and arms its fault schedule
+  // (empty schedule = no-fault node).
+  Node(const NodeSpec& spec, const fault::FaultSchedule& faults);
+
+  const std::string& name() const { return spec_.name; }
+  sim::PortId num_ports() const { return spec_.config.num_ports; }
+  fabric::Fabric& fabric() { return *fabric_; }
+  const fabric::Fabric& fabric() const { return *fabric_; }
+  core::FaultScheduleApplier& faults() { return faults_; }
+
+  // Rewrites the cell's local identity for this hop: local ports, a fresh
+  // per-(input,output) sequence number, arrival slot t, and cleared
+  // trajectory stamps.  Global id / hop / net_* fields are untouched.
+  void StampArrival(sim::Cell& cell, sim::PortId input, sim::PortId output,
+                    sim::Slot t);
+
+  // Folds a departed cell's local queuing delay into the hop stats.
+  void RecordDeparture(const sim::Cell& cell);
+
+  // Attribution snapshot (name, hop delays, live backlog and losses).
+  NodeStats Stats() const;
+
+  void SaveState(ckpt::Writer& w) const;
+  void LoadState(ckpt::Reader& r);
+
+ private:
+  // ckpt-skip: construction-time spec, identical on resume
+  const NodeSpec spec_;
+  std::unique_ptr<fabric::Fabric> fabric_;
+  core::FaultScheduleApplier faults_;
+  std::unordered_map<sim::FlowId, std::uint64_t> seq_;
+  std::uint64_t forwarded_ = 0;
+  sim::Slot max_hop_delay_ = 0;
+  sim::OnlineStats hop_delay_;
+};
+
+}  // namespace topo

@@ -1,0 +1,699 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "fabric/registry.h"
+#include "sim/error.h"
+#include "sim/rng.h"
+#include "traffic/random_sources.h"
+
+namespace topo {
+
+// --- JSON ------------------------------------------------------------------
+//
+// Hand-rolled for the same reason fault_schedule.cc's is: the scenario
+// format must be readable below core::json in the dependency graph, and
+// the shape is fixed.  Fault schedules embed as verbatim sub-objects and
+// are delegated to fault::FaultSchedule::FromJson/ToJson.
+
+namespace {
+
+void AppendNumber(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);  // shortest round-trip form, byte-stable
+}
+
+// Minimal recursive-descent JSON reader for the scenario shape.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  Scenario ParseScenario() {
+    Scenario s;
+    ExpectObject([&](std::string_view key) {
+      if (key == "name") {
+        s.name = std::string(ParseString());
+      } else if (key == "nodes") {
+        ParseArray([&] { s.nodes.push_back(ParseNode()); });
+      } else if (key == "links") {
+        ParseArray([&] { s.links.push_back(ParseLink()); });
+      } else if (key == "ingress") {
+        ParseArray([&] { s.ingress.push_back(ParsePortRef("ingress")); });
+      } else if (key == "egress") {
+        ParseArray([&] { s.egress.push_back(ParsePortRef("egress")); });
+      } else if (key == "routes") {
+        ParseArray([&] { s.routes.push_back(ParseRoute()); });
+      } else if (key == "traffic") {
+        s.traffic = ParseTraffic();
+      } else if (key == "faults") {
+        ParseArray([&] { s.faults.push_back(ParseFault()); });
+      } else {
+        Fail("unknown scenario key '" + std::string(key) + "'");
+      }
+    });
+    SkipSpace();
+    if (pos_ != text_.size()) Fail("trailing characters after document");
+    return s;
+  }
+
+ private:
+  NodeSpec ParseNode() {
+    NodeSpec n;
+    n.config.num_planes = 1;  // sensible for non-PPS fabrics; override via key
+    ExpectObject([&](std::string_view key) {
+      if (key == "name") {
+        n.name = std::string(ParseString());
+      } else if (key == "fabric") {
+        n.fabric = std::string(ParseString());
+      } else if (key == "ports") {
+        n.config.num_ports = static_cast<sim::PortId>(ParseInt());
+      } else if (key == "planes") {
+        n.config.num_planes = static_cast<int>(ParseInt());
+      } else if (key == "rate_ratio") {
+        n.config.rate_ratio = static_cast<int>(ParseInt());
+      } else if (key == "input_buffer") {
+        n.config.input_buffer_size = static_cast<int>(ParseInt());
+      } else if (key == "reseq_timeout") {
+        n.config.reseq_timeout = static_cast<int>(ParseInt());
+      } else {
+        Fail("unknown node key '" + std::string(key) + "'");
+      }
+    });
+    return n;
+  }
+
+  LinkSpec ParseLink() {
+    LinkSpec l;
+    ExpectObject([&](std::string_view key) {
+      if (key == "from") {
+        l.from = std::string(ParseString());
+      } else if (key == "from_port") {
+        l.from_port = static_cast<sim::PortId>(ParseInt());
+      } else if (key == "to") {
+        l.to = std::string(ParseString());
+      } else if (key == "to_port") {
+        l.to_port = static_cast<sim::PortId>(ParseInt());
+      } else if (key == "delay") {
+        l.delay = ParseInt();
+      } else {
+        Fail("unknown link key '" + std::string(key) + "'");
+      }
+    });
+    return l;
+  }
+
+  PortRef ParsePortRef(const char* what) {
+    PortRef ref;
+    ExpectObject([&](std::string_view key) {
+      if (key == "node") {
+        ref.node = std::string(ParseString());
+      } else if (key == "port") {
+        ref.port = static_cast<sim::PortId>(ParseInt());
+      } else {
+        Fail("unknown " + std::string(what) + " key '" + std::string(key) +
+             "'");
+      }
+    });
+    return ref;
+  }
+
+  RouteSpec ParseRoute() {
+    RouteSpec r;
+    ExpectObject([&](std::string_view key) {
+      if (key == "node") {
+        r.node = std::string(ParseString());
+      } else if (key == "table") {
+        ParseArray(
+            [&] { r.table.push_back(static_cast<sim::PortId>(ParseInt())); });
+      } else {
+        Fail("unknown route key '" + std::string(key) + "'");
+      }
+    });
+    return r;
+  }
+
+  TrafficSpec ParseTraffic() {
+    TrafficSpec t;
+    ExpectObject([&](std::string_view key) {
+      if (key == "kind") {
+        t.kind = std::string(ParseString());
+      } else if (key == "pattern") {
+        t.pattern = std::string(ParseString());
+      } else if (key == "load") {
+        t.load = ParseDouble();
+      } else if (key == "hotspot_fraction") {
+        t.hotspot_fraction = ParseDouble();
+      } else if (key == "rows") {
+        ParseArray([&] {
+          std::vector<double> row;
+          ParseArray([&] { row.push_back(ParseDouble()); });
+          t.rows.push_back(std::move(row));
+        });
+      } else if (key == "seed") {
+        t.seed = static_cast<std::uint64_t>(ParseInt());
+      } else if (key == "cutoff") {
+        t.cutoff = ParseInt();
+      } else {
+        Fail("unknown traffic key '" + std::string(key) + "'");
+      }
+    });
+    return t;
+  }
+
+  FaultSpec ParseFault() {
+    FaultSpec f;
+    ExpectObject([&](std::string_view key) {
+      if (key == "node") {
+        f.node = std::string(ParseString());
+      } else if (key == "schedule") {
+        // The schedule is a verbatim fault::FaultSchedule document; capture
+        // the balanced object and delegate to its own parser.
+        f.schedule = fault::FaultSchedule::FromJson(CaptureObject());
+      } else {
+        Fail("unknown fault key '" + std::string(key) + "'");
+      }
+    });
+    return f;
+  }
+
+  // Captures a balanced {...} sub-document (strings respected; the house
+  // JSON style uses no escapes) and advances past it.
+  std::string_view CaptureObject() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '{') Fail("expected object");
+    const std::size_t start = pos_;
+    int depth = 0;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+          if (text_[pos_] == '\\') Fail("escapes are not used in scenarios");
+          ++pos_;
+        }
+        if (pos_ >= text_.size()) Fail("unterminated string");
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (--depth == 0) {
+          ++pos_;
+          return text_.substr(start, pos_ - start);
+        }
+      }
+      ++pos_;
+    }
+    Fail("unterminated object");
+  }
+
+  template <typename ElemFn>
+  void ParseArray(ElemFn&& on_elem) {
+    Expect('[');
+    SkipSpace();
+    if (Consume(']')) return;
+    do {
+      on_elem();
+    } while (Consume(','));
+    Expect(']');
+  }
+
+  template <typename KeyFn>
+  void ExpectObject(KeyFn&& on_key) {
+    Expect('{');
+    SkipSpace();
+    if (Consume('}')) return;
+    do {
+      const std::string_view key = ParseString();
+      Expect(':');
+      on_key(key);
+    } while (Consume(','));
+    Expect('}');
+  }
+
+  std::string_view ParseString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') Fail("expected string");
+    const std::size_t start = ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') Fail("escapes are not used in scenarios");
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) Fail("unterminated string");
+    return text_.substr(start, pos_++ - start);
+  }
+
+  std::int64_t ParseInt() {
+    const std::string_view tok = NumberToken();
+    std::int64_t v = 0;
+    const auto res = std::from_chars(tok.begin(), tok.end(), v);
+    if (res.ec != std::errc{} || res.ptr != tok.end()) {
+      Fail("expected integer, got '" + std::string(tok) + "'");
+    }
+    return v;
+  }
+
+  double ParseDouble() {
+    const std::string_view tok = NumberToken();
+    double v = 0;
+    const auto res = std::from_chars(tok.begin(), tok.end(), v);
+    if (res.ec != std::errc{} || res.ptr != tok.end()) {
+      Fail("expected number, got '" + std::string(tok) + "'");
+    }
+    return v;
+  }
+
+  std::string_view NumberToken() {
+    SkipSpace();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected number");
+    return text_.substr(start, pos_ - start);
+  }
+
+  void Expect(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[noreturn]] void Fail(const std::string& what) const {
+    std::ostringstream os;
+    os << "topology JSON: " << what << " at offset " << pos_;
+    throw sim::SimError(os.str());
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void AppendPortRefs(std::string& out, const std::vector<PortRef>& refs,
+                    const std::string& nl, const std::string& pad) {
+  out += "[";
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    out += (i == 0 ? nl : "," + nl) + pad;
+    out += "{\"node\": \"" + refs[i].node +
+           "\", \"port\": " + std::to_string(refs[i].port) + "}";
+  }
+  if (!refs.empty()) out += nl + pad.substr(0, pad.size() / 2);
+  out += "]";
+}
+
+}  // namespace
+
+std::string ToJson(const Scenario& s, int indent) {
+  const std::string nl = indent >= 0 ? "\n" : "";
+  const std::string pad1 = indent >= 0 ? std::string(indent, ' ') : "";
+  const std::string pad2 = pad1 + pad1;
+  std::string out = "{" + nl;
+  out += pad1 + "\"name\": \"" + s.name + "\"," + nl;
+
+  out += pad1 + "\"nodes\": [";
+  for (std::size_t i = 0; i < s.nodes.size(); ++i) {
+    const NodeSpec& n = s.nodes[i];
+    out += (i == 0 ? nl : "," + nl) + pad2;
+    out += "{\"name\": \"" + n.name + "\", \"fabric\": \"" + n.fabric +
+           "\", \"ports\": " + std::to_string(n.config.num_ports) +
+           ", \"planes\": " + std::to_string(n.config.num_planes) +
+           ", \"rate_ratio\": " + std::to_string(n.config.rate_ratio) +
+           ", \"input_buffer\": " + std::to_string(n.config.input_buffer_size) +
+           ", \"reseq_timeout\": " + std::to_string(n.config.reseq_timeout) +
+           "}";
+  }
+  if (!s.nodes.empty()) out += nl + pad1;
+  out += "]," + nl;
+
+  out += pad1 + "\"links\": [";
+  for (std::size_t i = 0; i < s.links.size(); ++i) {
+    const LinkSpec& l = s.links[i];
+    out += (i == 0 ? nl : "," + nl) + pad2;
+    out += "{\"from\": \"" + l.from +
+           "\", \"from_port\": " + std::to_string(l.from_port) +
+           ", \"to\": \"" + l.to +
+           "\", \"to_port\": " + std::to_string(l.to_port) +
+           ", \"delay\": " + std::to_string(l.delay) + "}";
+  }
+  if (!s.links.empty()) out += nl + pad1;
+  out += "]," + nl;
+
+  out += pad1 + "\"ingress\": ";
+  AppendPortRefs(out, s.ingress, nl, pad2);
+  out += "," + nl;
+  out += pad1 + "\"egress\": ";
+  AppendPortRefs(out, s.egress, nl, pad2);
+  out += "," + nl;
+
+  out += pad1 + "\"routes\": [";
+  for (std::size_t i = 0; i < s.routes.size(); ++i) {
+    const RouteSpec& r = s.routes[i];
+    out += (i == 0 ? nl : "," + nl) + pad2;
+    out += "{\"node\": \"" + r.node + "\", \"table\": [";
+    for (std::size_t j = 0; j < r.table.size(); ++j) {
+      if (j != 0) out += ", ";
+      out += std::to_string(r.table[j]);
+    }
+    out += "]}";
+  }
+  if (!s.routes.empty()) out += nl + pad1;
+  out += "]," + nl;
+
+  out += pad1 + "\"traffic\": {\"kind\": \"" + s.traffic.kind +
+         "\", \"pattern\": \"" + s.traffic.pattern + "\", \"load\": ";
+  AppendNumber(out, s.traffic.load);
+  out += ", \"hotspot_fraction\": ";
+  AppendNumber(out, s.traffic.hotspot_fraction);
+  out += ", \"rows\": [";
+  for (std::size_t i = 0; i < s.traffic.rows.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "[";
+    for (std::size_t j = 0; j < s.traffic.rows[i].size(); ++j) {
+      if (j != 0) out += ", ";
+      AppendNumber(out, s.traffic.rows[i][j]);
+    }
+    out += "]";
+  }
+  out += "], \"seed\": " + std::to_string(s.traffic.seed) +
+         ", \"cutoff\": " + std::to_string(s.traffic.cutoff) + "}," + nl;
+
+  out += pad1 + "\"faults\": [";
+  for (std::size_t i = 0; i < s.faults.size(); ++i) {
+    out += (i == 0 ? nl : "," + nl) + pad2;
+    out += "{\"node\": \"" + s.faults[i].node +
+           "\", \"schedule\": " + s.faults[i].schedule.ToJson(-1) + "}";
+  }
+  if (!s.faults.empty()) out += nl + pad1;
+  out += "]" + nl + "}" + nl;
+  return out;
+}
+
+Scenario FromJson(std::string_view json) {
+  JsonReader reader(json);
+  return reader.ParseScenario();
+}
+
+traffic::SourcePtr MakeTrafficSource(const Scenario& scenario,
+                                     sim::PortId num_ingress,
+                                     sim::PortId num_egress) {
+  const TrafficSpec& t = scenario.traffic;
+  SIM_CHECK(num_ingress > 0 && num_egress > 0,
+            "topology traffic needs external ports");
+  if (t.kind == "matrix") {
+    SIM_CHECK(t.rows.size() == static_cast<std::size_t>(num_ingress),
+              "traffic matrix has " << t.rows.size() << " rows for "
+                                    << num_ingress << " ingress ports");
+    for (const std::vector<double>& row : t.rows) {
+      SIM_CHECK(row.size() == static_cast<std::size_t>(num_egress),
+                "traffic matrix row has " << row.size() << " columns for "
+                                          << num_egress << " egress ports");
+    }
+    return std::make_unique<traffic::RateMatrixSource>(t.rows,
+                                                       sim::Rng(t.seed));
+  }
+  SIM_CHECK(t.kind == "bernoulli",
+            "unknown traffic kind '" << t.kind << "' (bernoulli | matrix)");
+  SIM_CHECK(t.load >= 0.0 && t.load <= 1.0, "traffic load must be in [0,1]");
+  if (t.pattern == "uniform" || t.pattern == "hotspot") {
+    // Uniform/hotspot Bernoulli generalises to rectangular edge spaces as a
+    // rate matrix: emit w.p. `load`, destination proportional to the row.
+    const double hot = t.pattern == "hotspot" ? t.hotspot_fraction : 0.0;
+    SIM_CHECK(hot >= 0.0 && hot <= 1.0, "hotspot fraction must be in [0,1]");
+    std::vector<std::vector<double>> rows(
+        static_cast<std::size_t>(num_ingress),
+        std::vector<double>(static_cast<std::size_t>(num_egress),
+                            t.load * (1.0 - hot) /
+                                static_cast<double>(num_egress)));
+    for (std::vector<double>& row : rows) row[0] += t.load * hot;
+    return std::make_unique<traffic::RateMatrixSource>(std::move(rows),
+                                                       sim::Rng(t.seed));
+  }
+  // Port-permutation patterns only make sense on a square edge.
+  SIM_CHECK(num_ingress == num_egress,
+            "traffic pattern '" << t.pattern << "' needs ingress count == "
+                                << "egress count (got " << num_ingress
+                                << " x " << num_egress << ")");
+  traffic::Pattern pattern = traffic::Pattern::kDiagonal;
+  if (t.pattern == "diagonal") {
+    pattern = traffic::Pattern::kDiagonal;
+  } else if (t.pattern == "transpose") {
+    pattern = traffic::Pattern::kTranspose;
+  } else {
+    SIM_CHECK(false, "unknown traffic pattern '" << t.pattern << "'");
+  }
+  return std::make_unique<traffic::BernoulliSource>(
+      num_ingress, t.load, pattern, sim::Rng(t.seed), t.hotspot_fraction);
+}
+
+// --- Topology --------------------------------------------------------------
+
+int Topology::NodeIndex(std::string_view name) const {
+  for (std::size_t k = 0; k < scenario_.nodes.size(); ++k) {
+    if (scenario_.nodes[k].name == name) return static_cast<int>(k);
+  }
+  return -1;
+}
+
+Topology Topology::Build(Scenario scenario) {
+  Topology topo;
+  topo.scenario_ = std::move(scenario);
+  const Scenario& s = topo.scenario_;
+
+  // --- nodes: unique names, positive ports, instantiable fabrics ---
+  SIM_CHECK(!s.nodes.empty(), "topology: needs at least one node");
+  std::map<std::string, int> index;
+  for (std::size_t k = 0; k < s.nodes.size(); ++k) {
+    const NodeSpec& n = s.nodes[k];
+    SIM_CHECK(!n.name.empty(), "topology: node " << k << " has no name");
+    SIM_CHECK(index.emplace(n.name, static_cast<int>(k)).second,
+              "topology: duplicate node name '" << n.name << "'");
+    SIM_CHECK(n.config.num_ports > 0, "topology: node '"
+                                          << n.name
+                                          << "' needs a positive port count");
+    try {
+      (void)fabric::Make(n.fabric, n.config);  // validates name and config
+    } catch (const sim::SimError& e) {
+      throw sim::SimError("topology: node '" + n.name + "': " + e.what());
+    }
+  }
+  const auto node_of = [&](const std::string& name, const char* what,
+                           std::size_t at) -> int {
+    const auto it = index.find(name);
+    SIM_CHECK(it != index.end(), "topology: " << what << " " << at
+                                              << ": unknown node '" << name
+                                              << "'");
+    return it->second;
+  };
+  const auto ports_of = [&](int node) {
+    return s.nodes[static_cast<std::size_t>(node)].config.num_ports;
+  };
+
+  // --- faults: every schedule names a known node, at most one each ---
+  topo.node_faults_.resize(s.nodes.size());
+  std::vector<char> has_faults(s.nodes.size(), 0);
+  for (std::size_t i = 0; i < s.faults.size(); ++i) {
+    const int k = node_of(s.faults[i].node, "fault schedule", i);
+    const auto ki = static_cast<std::size_t>(k);
+    SIM_CHECK(!has_faults[ki], "topology: duplicate fault schedule for node '"
+                                   << s.faults[i].node << "'");
+    has_faults[ki] = 1;
+    topo.node_faults_[ki] = s.faults[i].schedule;
+  }
+
+  // --- links and external ports: every port used at most once per side ---
+  // Input side: 0 = free, 1 = link-fed, 2 = ingress.  Output side is
+  // covered by out_link_ / egress_at_ themselves.
+  std::vector<std::vector<char>> in_use(s.nodes.size());
+  topo.out_link_.resize(s.nodes.size());
+  topo.egress_at_.resize(s.nodes.size());
+  for (std::size_t k = 0; k < s.nodes.size(); ++k) {
+    const auto ports = static_cast<std::size_t>(ports_of(static_cast<int>(k)));
+    in_use[k].assign(ports, 0);
+    topo.out_link_[k].assign(ports, -1);
+    topo.egress_at_[k].assign(ports, -1);
+  }
+  const auto check_port = [&](int node, sim::PortId port, const char* what,
+                              std::size_t at) {
+    SIM_CHECK(port >= 0 && port < ports_of(node),
+              "topology: " << what << " " << at << ": port " << port
+                           << " out of range for node '"
+                           << s.nodes[static_cast<std::size_t>(node)].name
+                           << "' (" << ports_of(node) << " ports)");
+  };
+  for (std::size_t i = 0; i < s.links.size(); ++i) {
+    const LinkSpec& l = s.links[i];
+    const int from = node_of(l.from, "link", i);
+    const int to = node_of(l.to, "link", i);
+    check_port(from, l.from_port, "link", i);
+    check_port(to, l.to_port, "link", i);
+    SIM_CHECK(l.delay >= 0,
+              "topology: link " << i << ": negative delay " << l.delay);
+    int& out_slot = topo.out_link_[static_cast<std::size_t>(from)]
+                                  [static_cast<std::size_t>(l.from_port)];
+    SIM_CHECK(out_slot == -1, "topology: output port "
+                                  << l.from_port << " of node '" << l.from
+                                  << "' feeds two links");
+    out_slot = static_cast<int>(i);
+    char& in_slot = in_use[static_cast<std::size_t>(to)]
+                          [static_cast<std::size_t>(l.to_port)];
+    SIM_CHECK(in_slot == 0, "topology: input port " << l.to_port
+                                                    << " of node '" << l.to
+                                                    << "' is fed twice");
+    in_slot = 1;
+    topo.links_.push_back({from, l.from_port, to, l.to_port, l.delay});
+  }
+  SIM_CHECK(!s.ingress.empty(), "topology: needs at least one ingress port");
+  SIM_CHECK(!s.egress.empty(), "topology: needs at least one egress port");
+  for (std::size_t e = 0; e < s.ingress.size(); ++e) {
+    const PortRef& ref = s.ingress[e];
+    const int k = node_of(ref.node, "ingress", e);
+    check_port(k, ref.port, "ingress", e);
+    char& in_slot = in_use[static_cast<std::size_t>(k)]
+                          [static_cast<std::size_t>(ref.port)];
+    SIM_CHECK(in_slot != 1, "topology: ingress " << e << ": input port "
+                                                 << ref.port << " of node '"
+                                                 << ref.node
+                                                 << "' is also fed by a link");
+    SIM_CHECK(in_slot != 2, "topology: ingress " << e << ": input port "
+                                                 << ref.port << " of node '"
+                                                 << ref.node
+                                                 << "' is already an ingress");
+    in_slot = 2;
+    topo.ingress_.push_back({k, ref.port});
+  }
+  for (std::size_t e = 0; e < s.egress.size(); ++e) {
+    const PortRef& ref = s.egress[e];
+    const int k = node_of(ref.node, "egress", e);
+    check_port(k, ref.port, "egress", e);
+    SIM_CHECK(topo.out_link_[static_cast<std::size_t>(k)]
+                            [static_cast<std::size_t>(ref.port)] == -1,
+              "topology: egress " << e << ": output port " << ref.port
+                                  << " of node '" << ref.node
+                                  << "' also feeds a link");
+    int& eg_slot = topo.egress_at_[static_cast<std::size_t>(k)]
+                                  [static_cast<std::size_t>(ref.port)];
+    SIM_CHECK(eg_slot == -1, "topology: egress " << e << ": output port "
+                                                 << ref.port << " of node '"
+                                                 << ref.node
+                                                 << "' is already an egress");
+    eg_slot = static_cast<int>(e);
+    topo.egress_.push_back({k, ref.port});
+  }
+
+  // --- routes: one table per routing node, entries in range ---
+  const auto num_egress = static_cast<std::size_t>(topo.num_egress());
+  topo.route_.assign(s.nodes.size(),
+                     std::vector<sim::PortId>(num_egress, sim::kNoPort));
+  std::vector<char> has_routes(s.nodes.size(), 0);
+  for (std::size_t i = 0; i < s.routes.size(); ++i) {
+    const RouteSpec& r = s.routes[i];
+    const int k = node_of(r.node, "route table", i);
+    const auto ki = static_cast<std::size_t>(k);
+    SIM_CHECK(!has_routes[ki],
+              "topology: duplicate route table for node '" << r.node << "'");
+    has_routes[ki] = 1;
+    SIM_CHECK(r.table.size() == num_egress,
+              "topology: route table for node '"
+                  << r.node << "' has " << r.table.size() << " entries for "
+                  << num_egress << " egress ports");
+    for (std::size_t e = 0; e < r.table.size(); ++e) {
+      const sim::PortId p = r.table[e];
+      SIM_CHECK(p == sim::kNoPort || (p >= 0 && p < ports_of(k)),
+                "topology: route table for node '"
+                    << r.node << "': entry " << e << " is port " << p
+                    << ", out of range (" << ports_of(k) << " ports)");
+      topo.route_[ki][e] = p;
+    }
+  }
+
+  // --- routing sanity: egress nodes route their own egress ports; every
+  // routed path reaches its egress without dead ends or cycles; every
+  // egress is reachable from every ingress node ---
+  for (std::size_t e = 0; e < topo.egress_.size(); ++e) {
+    const CompiledEndpoint& eg = topo.egress_[e];
+    const sim::PortId routed =
+        topo.route_[static_cast<std::size_t>(eg.node)][e];
+    SIM_CHECK(routed == eg.port,
+              "topology: node '"
+                  << s.nodes[static_cast<std::size_t>(eg.node)].name
+                  << "' must route egress " << e << " to its local port "
+                  << eg.port << " (route table says "
+                  << (routed == sim::kNoPort ? std::string("unreachable")
+                                             : std::to_string(routed))
+                  << ")");
+  }
+  std::vector<char> visited(s.nodes.size());
+  for (int k = 0; k < topo.num_nodes(); ++k) {
+    for (std::size_t e = 0; e < num_egress; ++e) {
+      if (topo.route_[static_cast<std::size_t>(k)][e] == sim::kNoPort) {
+        continue;
+      }
+      std::fill(visited.begin(), visited.end(), 0);
+      int cur = k;
+      for (;;) {
+        const auto ci = static_cast<std::size_t>(cur);
+        SIM_CHECK(!visited[ci], "topology: routing cycle for egress "
+                                    << e << " through node '"
+                                    << s.nodes[ci].name << "'");
+        visited[ci] = 1;
+        const sim::PortId p = topo.route_[ci][e];
+        SIM_CHECK(p != sim::kNoPort,
+                  "topology: route for egress "
+                      << e << " dies at node '" << s.nodes[ci].name
+                      << "' (no route entry; path started at node '"
+                      << s.nodes[static_cast<std::size_t>(k)].name << "')");
+        const int at_egress = topo.egress_at_[ci][static_cast<std::size_t>(p)];
+        if (at_egress == static_cast<int>(e)) break;  // delivered
+        SIM_CHECK(at_egress == -1, "topology: node '"
+                                       << s.nodes[ci].name
+                                       << "' routes egress " << e
+                                       << " into egress " << at_egress
+                                       << "'s port");
+        const int li = topo.out_link_[ci][static_cast<std::size_t>(p)];
+        SIM_CHECK(li >= 0, "topology: route for egress "
+                               << e << " dead-ends at output port " << p
+                               << " of node '" << s.nodes[ci].name
+                               << "' (port is neither linked nor egress "
+                               << e << ")");
+        cur = topo.links_[static_cast<std::size_t>(li)].to_node;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < topo.ingress_.size(); ++i) {
+    const auto ki = static_cast<std::size_t>(topo.ingress_[i].node);
+    for (std::size_t e = 0; e < num_egress; ++e) {
+      SIM_CHECK(topo.route_[ki][e] != sim::kNoPort,
+                "topology: egress " << e << " is unreachable from ingress "
+                                    << i << " (node '" << s.nodes[ki].name
+                                    << "')");
+    }
+  }
+  return topo;
+}
+
+}  // namespace topo

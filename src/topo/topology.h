@@ -1,0 +1,225 @@
+// Multi-hop networks of registered fabrics: scenario description and the
+// validated topology graph.
+//
+// ROADMAP item 2 ("switching for millions of users"): the paper bounds the
+// relative queuing delay of ONE parallel packet switch; datacenter-scale
+// questions are about graphs of them — Clos/fat-tree stages, PPS-of-PPS
+// recursion — where per-hop queuing delays compound.  A Scenario is the
+// config-file form of such a graph (node fabric names, link table, routing,
+// traffic matrix; hand-rolled JSON exactly like fault::FaultSchedule), and
+// Topology is its validated, index-compiled form the NetworkEngine runs.
+//
+// Model:
+//   * every node wraps one fabric::Make-registered fabric (an N x N switch
+//     whose input ports and output ports are separate index spaces [0, N));
+//   * a directed link connects (from-node, output port) to (to-node, input
+//     port) with a propagation delay of `delay` extra slots — a cell
+//     departing its node in slot t is offered to the next node in slot
+//     t + 1 + delay (one slot of wire latency minimum, which keeps all
+//     nodes independent within a slot and cyclic graphs well-defined);
+//   * external ingress ports are unlinked (node, input-port) pairs and
+//     external egress ports unlinked (node, output-port) pairs; traffic
+//     enters and leaves the network only there;
+//   * routing is destination-based and deterministic: per node, a table
+//     mapping each egress index to the local output port toward it (-1 =
+//     unreachable from this node).
+//
+// Validation (Topology::Build) throws a distinct sim::SimError for every
+// config-error class: malformed JSON, unknown fabric names, dangling link
+// endpoints, port-count mismatches (double-booked or double-fed ports,
+// external ports also linked), and routing errors (missing tables, dead
+// ends, cycles, egresses unreachable from an ingress node) — never a
+// crash.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault_schedule.h"
+#include "sim/types.h"
+#include "switch/config.h"
+#include "traffic/source.h"
+
+namespace topo {
+
+// One switching element: a named instance of a registry fabric.
+struct NodeSpec {
+  std::string name;
+  std::string fabric;  // fabric::Make registry name, e.g. "pps/round-robin"
+  pps::SwitchConfig config;  // num_ports/num_planes/rate_ratio/buffers/...
+
+  friend bool operator==(const NodeSpec& a, const NodeSpec& b) {
+    return a.name == b.name && a.fabric == b.fabric &&
+           a.config.num_ports == b.config.num_ports &&
+           a.config.num_planes == b.config.num_planes &&
+           a.config.rate_ratio == b.config.rate_ratio &&
+           a.config.input_buffer_size == b.config.input_buffer_size &&
+           a.config.reseq_timeout == b.config.reseq_timeout;
+  }
+};
+
+// Directed link: output port `from_port` of `from` feeds input port
+// `to_port` of `to`; a cell takes 1 + delay slots to cross.
+struct LinkSpec {
+  std::string from;
+  sim::PortId from_port = 0;
+  std::string to;
+  sim::PortId to_port = 0;
+  sim::Slot delay = 0;  // extra propagation slots beyond the 1-slot minimum
+
+  friend bool operator==(const LinkSpec&, const LinkSpec&) = default;
+};
+
+// An external port of the network: `port` is an input port for ingress
+// refs and an output port for egress refs.
+struct PortRef {
+  std::string node;
+  sim::PortId port = 0;
+
+  friend bool operator==(const PortRef&, const PortRef&) = default;
+};
+
+// Per-node destination-based route table, keyed by node name: table[e] is
+// the local output port toward egress index e, or -1 when unreachable.
+struct RouteSpec {
+  std::string node;
+  std::vector<sim::PortId> table;
+
+  friend bool operator==(const RouteSpec&, const RouteSpec&) = default;
+};
+
+// The offered workload over the external ports.
+struct TrafficSpec {
+  std::string kind = "bernoulli";  // "bernoulli" | "matrix"
+  // kind == "bernoulli": pattern over the external egress space.
+  std::string pattern = "uniform";  // uniform | diagonal | hotspot | transpose
+  double load = 0.5;
+  double hotspot_fraction = 0.5;
+  // kind == "matrix": rows[i][e] = load from ingress i to egress e.
+  std::vector<std::vector<double>> rows;
+  std::uint64_t seed = 1;
+  sim::Slot cutoff = 20'000;  // stop offering arrivals at this slot
+
+  friend bool operator==(const TrafficSpec&, const TrafficSpec&) = default;
+};
+
+// A fault timeline applied to one node's fabric.
+struct FaultSpec {
+  std::string node;
+  fault::FaultSchedule schedule;
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+// The config-file form of a network: what FromJson/ToJson round-trip.
+struct Scenario {
+  std::string name;
+  std::vector<NodeSpec> nodes;
+  std::vector<LinkSpec> links;
+  std::vector<PortRef> ingress;
+  std::vector<PortRef> egress;
+  std::vector<RouteSpec> routes;
+  TrafficSpec traffic;
+  std::vector<FaultSpec> faults;
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+};
+
+// JSON round-trip, hand-rolled like fault::FaultSchedule's (no third-party
+// parser; the fault schedules embed verbatim).  ToJson output parses back
+// to an equal Scenario; FromJson throws sim::SimError on malformed input
+// or unknown keys.
+std::string ToJson(const Scenario& scenario, int indent = 2);
+Scenario FromJson(std::string_view json);
+
+// Constructs the scenario's traffic source over the external port spaces
+// (arrivals carry ingress indices on `input`, egress indices on `output`).
+// Throws sim::SimError on an unknown kind/pattern or a matrix whose shape
+// does not match the scenario's external ports.
+traffic::SourcePtr MakeTrafficSource(const Scenario& scenario,
+                                     sim::PortId num_ingress,
+                                     sim::PortId num_egress);
+
+// The validated, index-compiled graph.  Node/link/external-port indices
+// are positions in the scenario's vectors; all lookup tables are dense.
+class Topology {
+ public:
+  // Validates and compiles; throws sim::SimError (see file comment for the
+  // error classes) on any inconsistency.
+  static Topology Build(Scenario scenario);
+
+  const Scenario& scenario() const { return scenario_; }
+
+  int num_nodes() const { return static_cast<int>(scenario_.nodes.size()); }
+  const NodeSpec& node(int k) const {
+    return scenario_.nodes[static_cast<std::size_t>(k)];
+  }
+  // The node's fault schedule from the scenario (empty if none declared).
+  const fault::FaultSchedule& node_faults(int k) const {
+    return node_faults_[static_cast<std::size_t>(k)];
+  }
+
+  sim::PortId num_ingress() const {
+    return static_cast<sim::PortId>(scenario_.ingress.size());
+  }
+  sim::PortId num_egress() const {
+    return static_cast<sim::PortId>(scenario_.egress.size());
+  }
+  // The edge port space the shadow OQ and edge flow ids run over.
+  sim::PortId num_edge_ports() const {
+    return std::max(num_ingress(), num_egress());
+  }
+
+  struct CompiledEndpoint {
+    int node = -1;
+    sim::PortId port = sim::kNoPort;
+  };
+  const CompiledEndpoint& ingress(sim::PortId e) const {
+    return ingress_[static_cast<std::size_t>(e)];
+  }
+  const CompiledEndpoint& egress(sim::PortId e) const {
+    return egress_[static_cast<std::size_t>(e)];
+  }
+
+  struct CompiledLink {
+    int from_node = -1;
+    sim::PortId from_port = sim::kNoPort;
+    int to_node = -1;
+    sim::PortId to_port = sim::kNoPort;
+    sim::Slot delay = 0;
+  };
+  const std::vector<CompiledLink>& links() const { return links_; }
+
+  // Link leaving (node, output port), or -1 when that port is not linked.
+  int OutLink(int node, sim::PortId port) const {
+    return out_link_[static_cast<std::size_t>(node)]
+                    [static_cast<std::size_t>(port)];
+  }
+  // Egress index at (node, output port), or -1.
+  int EgressAt(int node, sim::PortId port) const {
+    return egress_at_[static_cast<std::size_t>(node)]
+                     [static_cast<std::size_t>(port)];
+  }
+  // Local output port of `node` toward egress index e, or kNoPort when
+  // unreachable from this node.
+  sim::PortId Route(int node, sim::PortId e) const {
+    return route_[static_cast<std::size_t>(node)][static_cast<std::size_t>(e)];
+  }
+
+  int NodeIndex(std::string_view name) const;  // -1 when unknown
+
+ private:
+  Topology() = default;
+
+  Scenario scenario_;
+  std::vector<fault::FaultSchedule> node_faults_;  // per node, maybe empty
+  std::vector<CompiledEndpoint> ingress_;
+  std::vector<CompiledEndpoint> egress_;
+  std::vector<CompiledLink> links_;
+  std::vector<std::vector<int>> out_link_;    // [node][output port]
+  std::vector<std::vector<int>> egress_at_;   // [node][output port]
+  std::vector<std::vector<sim::PortId>> route_;  // [node][egress]
+};
+
+}  // namespace topo

@@ -141,6 +141,15 @@ void MmppSource::LoadState(ckpt::Reader& r) {
   }
 }
 
+void MmppSource::Reseed(std::uint64_t seed) {
+  sim::Rng base(seed);
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    // Same per-port salt as the constructor; phase/dwell/destination state
+    // is deliberately kept — only the randomness stream changes.
+    ports_[i].rng = base.Fork(static_cast<std::uint64_t>(i) + 0x4d50u);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // ParetoOnOffSource
 
@@ -237,6 +246,15 @@ void ParetoOnOffSource::LoadState(ckpt::Reader& r) {
               "pareto checkpoint has dwell " << ps.remaining << " < 1");
     ps.dest = r.I32();
     ckpt::LoadRng(r, ps.rng);
+  }
+}
+
+void ParetoOnOffSource::Reseed(std::uint64_t seed) {
+  sim::Rng base(seed);
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    // Same per-port salt as the constructor; on/off and dwell state is
+    // deliberately kept — only the randomness stream changes.
+    ports_[i].rng = base.Fork(static_cast<std::uint64_t>(i) + 0x5041u);
   }
 }
 

@@ -66,6 +66,9 @@ class MmppSource final : public TrafficSource {
   void SaveState(ckpt::Writer& w) const override;
   void LoadState(ckpt::Reader& r) override;
 
+  bool reseedable() const override { return true; }
+  void Reseed(std::uint64_t seed) override;
+
   double mean_burst() const { return mean_burst_; }
 
  private:
@@ -107,6 +110,9 @@ class ParetoOnOffSource final : public TrafficSource {
   bool checkpointable() const override { return true; }
   void SaveState(ckpt::Writer& w) const override;
   void LoadState(ckpt::Reader& r) override;
+
+  bool reseedable() const override { return true; }
+  void Reseed(std::uint64_t seed) override;
 
   // E[dwell] of the capped discrete Pareto, computed exactly at
   // construction (the idle scaling uses it).

@@ -63,6 +63,14 @@ void BernoulliSource::LoadState(ckpt::Reader& r) {
   for (sim::Rng& rng : per_input_rng_) ckpt::LoadRng(r, rng);
 }
 
+void BernoulliSource::Reseed(std::uint64_t seed) {
+  sim::Rng base(seed);
+  for (sim::PortId i = 0; i < num_ports_; ++i) {
+    per_input_rng_[static_cast<std::size_t>(i)] =
+        base.Fork(static_cast<std::uint64_t>(i));
+  }
+}
+
 OnOffSource::OnOffSource(sim::PortId num_ports, double load,
                          double mean_burst_len, sim::Rng rng)
     : num_ports_(num_ports) {
@@ -105,6 +113,16 @@ void OnOffSource::LoadState(ckpt::Reader& r) {
   }
 }
 
+void OnOffSource::Reseed(std::uint64_t seed) {
+  sim::Rng base(seed);
+  for (sim::PortId i = 0; i < num_ports_; ++i) {
+    // Same per-port salt as the constructor; on/off phase and destination
+    // are deliberately kept — only the randomness stream changes.
+    ports_[static_cast<std::size_t>(i)].rng =
+        base.Fork(static_cast<std::uint64_t>(i) + 0x5151u);
+  }
+}
+
 std::vector<sim::Arrival> OnOffSource::ArrivalsAt(sim::Slot t) {
   (void)t;
   std::vector<sim::Arrival> out;
@@ -124,6 +142,78 @@ std::vector<sim::Arrival> OnOffSource::ArrivalsAt(sim::Slot t) {
     }
   }
   return out;
+}
+
+RateMatrixSource::RateMatrixSource(std::vector<std::vector<double>> rates,
+                                   sim::Rng rng)
+    : rates_(std::move(rates)) {
+  SIM_CHECK(!rates_.empty(), "rate matrix needs at least one ingress row");
+  const std::size_t egress = rates_.front().size();
+  SIM_CHECK(egress > 0, "rate matrix needs at least one egress column");
+  row_sum_.reserve(rates_.size());
+  for (const std::vector<double>& row : rates_) {
+    SIM_CHECK(row.size() == egress,
+              "rate matrix rows must all have the same egress count");
+    double sum = 0.0;
+    for (double rate : row) {
+      SIM_CHECK(rate >= 0.0, "rate matrix entries must be non-negative");
+      sum += rate;
+    }
+    SIM_CHECK(sum <= 1.0 + 1e-9,
+              "rate matrix row offers more than the line rate (sum " << sum
+                                                                     << ")");
+    row_sum_.push_back(sum);
+  }
+  per_input_rng_.reserve(rates_.size());
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    per_input_rng_.push_back(rng.Fork(static_cast<std::uint64_t>(i)));
+  }
+}
+
+std::vector<sim::Arrival> RateMatrixSource::ArrivalsAt(sim::Slot t) {
+  (void)t;
+  std::vector<sim::Arrival> out;
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    sim::Rng& rng = per_input_rng_[i];
+    const double sum = row_sum_[i];
+    if (sum <= 0.0 || !rng.Bernoulli(sum)) continue;
+    // Destination proportional to the row: one uniform draw over the total
+    // row mass, walked cumulatively.
+    double point = rng.UniformDouble() * sum;
+    const std::vector<double>& row = rates_[i];
+    sim::PortId dest = 0;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      point -= row[j];
+      if (point < 0.0) {
+        dest = static_cast<sim::PortId>(j);
+        break;
+      }
+      // Floating-point tail: the last positive-rate column absorbs it.
+      if (row[j] > 0.0) dest = static_cast<sim::PortId>(j);
+    }
+    out.push_back({static_cast<sim::PortId>(i), dest});
+  }
+  return out;
+}
+
+void RateMatrixSource::SaveState(ckpt::Writer& w) const {
+  w.Marker("RMTX");
+  w.Size(per_input_rng_.size());
+  for (const sim::Rng& rng : per_input_rng_) ckpt::SaveRng(w, rng);
+}
+
+void RateMatrixSource::LoadState(ckpt::Reader& r) {
+  r.ExpectMarker("RMTX");
+  SIM_CHECK(r.Size() == per_input_rng_.size(),
+            "rate-matrix checkpoint has a different ingress count");
+  for (sim::Rng& rng : per_input_rng_) ckpt::LoadRng(r, rng);
+}
+
+void RateMatrixSource::Reseed(std::uint64_t seed) {
+  sim::Rng base(seed);
+  for (std::size_t i = 0; i < per_input_rng_.size(); ++i) {
+    per_input_rng_[i] = base.Fork(static_cast<std::uint64_t>(i));
+  }
 }
 
 }  // namespace traffic

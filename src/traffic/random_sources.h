@@ -35,6 +35,9 @@ class BernoulliSource final : public TrafficSource {
   void SaveState(ckpt::Writer& w) const override;
   void LoadState(ckpt::Reader& r) override;
 
+  bool reseedable() const override { return true; }
+  void Reseed(std::uint64_t seed) override;
+
  private:
   sim::PortId PickOutput(sim::PortId input, sim::Slot t, sim::Rng& rng);
 
@@ -66,6 +69,9 @@ class OnOffSource final : public TrafficSource {
   void SaveState(ckpt::Writer& w) const override;
   void LoadState(ckpt::Reader& r) override;
 
+  bool reseedable() const override { return true; }
+  void Reseed(std::uint64_t seed) override;
+
  private:
   struct PortState {
     bool on = false;
@@ -80,6 +86,44 @@ class OnOffSource final : public TrafficSource {
   // ckpt-skip: construction-time constant, identical on resume
   double p_off_;  // ON -> OFF transition probability
   std::vector<PortState> ports_;
+};
+
+// Rectangular rate-matrix traffic for topology scenarios (topo/): entry
+// (i, j) is the load offered from external ingress i toward external
+// egress j, in cells per slot.  Each slot, ingress i emits a cell with
+// probability sum_j rate[i][j] (each row sum must be <= 1, the external
+// line rate) and picks the destination proportionally to its row — the
+// standard admissible-traffic-matrix workload of multi-stage fabric
+// studies.  Note the port spaces may differ: arrivals carry ingress
+// indices on `input` and egress indices on `output`.
+class RateMatrixSource final : public TrafficSource {
+ public:
+  explicit RateMatrixSource(std::vector<std::vector<double>> rates,
+                            sim::Rng rng);
+
+  std::vector<sim::Arrival> ArrivalsAt(sim::Slot t) override;
+
+  bool checkpointable() const override { return true; }
+  void SaveState(ckpt::Writer& w) const override;
+  void LoadState(ckpt::Reader& r) override;
+
+  bool reseedable() const override { return true; }
+  void Reseed(std::uint64_t seed) override;
+
+  sim::PortId num_ingress() const {
+    return static_cast<sim::PortId>(rates_.size());
+  }
+  sim::PortId num_egress() const {
+    return rates_.empty() ? 0
+                          : static_cast<sim::PortId>(rates_.front().size());
+  }
+
+ private:
+  // ckpt-skip: construction-time constant, identical on resume
+  std::vector<std::vector<double>> rates_;
+  // ckpt-skip: derived constant (per-row total offered load)
+  std::vector<double> row_sum_;
+  std::vector<sim::Rng> per_input_rng_;
 };
 
 }  // namespace traffic

@@ -37,6 +37,20 @@ class TrafficSource {
     return false;
   }
 
+  // --- run forking (tools/pps_serve --fork) ---
+  //
+  // Reseeding replaces every internal RNG stream with fresh streams forked
+  // from `seed`, leaving modulation state (on/off phases, dwell counters,
+  // cursors) intact: a forked resume keeps the same traffic regime but
+  // draws different randomness from the fork point on — the "what if the
+  // arrivals had gone differently" question.  Deterministic trace-backed
+  // sources cannot reseed and keep the default.
+  virtual bool reseedable() const { return false; }
+  virtual void Reseed(std::uint64_t seed) {
+    (void)seed;
+    throw sim::SimError("traffic source cannot be reseeded");
+  }
+
   // --- exact-state checkpointing (ckpt/) ---
   //
   // A checkpointable source can serialize its complete mutable state

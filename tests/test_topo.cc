@@ -1,0 +1,543 @@
+// The topology layer's contract tests (src/topo/):
+//
+//  * Scenario JSON: ToJson/FromJson round-trip to an equal Scenario;
+//    malformed input, unknown keys, and bad traffic shapes throw
+//    sim::SimError with messages that name the offending construct;
+//  * Topology::Build validation: unknown fabrics, dangling links,
+//    out-of-range ports, double-driven inputs, routing cycles, and
+//    wrong-size route tables are distinct SimErrors, never crashes;
+//  * the run loop: a 3-stage Clos of registered fabrics drains with
+//    exact edge conservation (delivered == injected), bounded hops, and
+//    preserved per-flow order; an externally attached InvariantAuditor
+//    stays clean, and a hand-fed auditor catches a vanished network
+//    cell (mutation test for OnNetworkSlotEnd);
+//  * determinism: threads=T is bit-identical to threads=1 across every
+//    accumulator (bit_cast doubles, not EXPECT_DOUBLE_EQ);
+//  * whole-topology checkpointing: a run that writes checkpoints equals
+//    one that does not, and an interrupted run resumed from the rolling
+//    checkpoint reproduces the uninterrupted results bit for bit;
+//  * forked resume (RunOptions::fork): a fork with a re-seeded source or
+//    an overridden fault schedule diverges from the same mid-run state,
+//    while a fork that overrides nothing reproduces the golden run;
+//  * the QPS satellite: cioq/qps-r-s<S> constructs from the registry and
+//    carries a Clos as the node fabric;
+//  * link propagation delay shifts end-to-end latency by exactly the
+//    extra slots without changing what is delivered.
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "audit/invariant_auditor.h"
+#include "core/harness.h"
+#include "core/slot_engine.h"
+#include "fabric/registry.h"
+#include "sim/cell.h"
+#include "sim/error.h"
+#include "sim/rng.h"
+#include "switch/config.h"
+#include "topo/clos.h"
+#include "topo/network_engine.h"
+#include "topo/topology.h"
+#include "traffic/random_sources.h"
+
+namespace {
+
+std::uint64_t Bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "topo_" + name;
+}
+
+pps::SwitchConfig SmallConfig(int ports) {
+  pps::SwitchConfig config;
+  config.num_ports = ports;
+  config.num_planes = 2;
+  config.rate_ratio = 2;
+  return config;
+}
+
+topo::Scenario SmallClos(const std::string& fabric = "cioq/islip-s2") {
+  topo::Scenario scenario =
+      topo::MakeClos3(2, 2, 2, fabric, SmallConfig(1));
+  scenario.traffic.load = 0.7;
+  scenario.traffic.cutoff = 2'000;
+  scenario.traffic.seed = 11;
+  return scenario;
+}
+
+// Two switches in series: both external ports of `a` feed `b`, which owns
+// both egress ports.  The simplest multi-hop network there is.
+topo::Scenario Line2(const std::string& fabric, sim::Slot delay) {
+  topo::Scenario s;
+  s.name = "line2";
+  s.nodes = {{"a", fabric, SmallConfig(2)}, {"b", fabric, SmallConfig(2)}};
+  s.links = {{"a", 0, "b", 0, delay}, {"a", 1, "b", 1, delay}};
+  s.ingress = {{"a", 0}, {"a", 1}};
+  s.egress = {{"b", 0}, {"b", 1}};
+  s.routes = {{"a", {0, 1}}, {"b", {0, 1}}};
+  s.traffic.load = 0.6;
+  s.traffic.cutoff = 1'500;
+  s.traffic.seed = 3;
+  return s;
+}
+
+std::string BuildError(topo::Scenario scenario) {
+  try {
+    topo::Topology::Build(std::move(scenario));
+  } catch (const sim::SimError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected Topology::Build to throw sim::SimError";
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Scenario JSON
+
+TEST(TopoJson, RoundTripsToAnEqualScenario) {
+  topo::Scenario scenario = SmallClos();
+  scenario.traffic.pattern = "hotspot";
+  scenario.traffic.hotspot_fraction = 0.25;
+  for (topo::LinkSpec& link : scenario.links) link.delay = 2;
+  const std::string json = topo::ToJson(scenario);
+  const topo::Scenario parsed = topo::FromJson(json);
+  EXPECT_EQ(parsed, scenario);
+  // And the parse is stable: a second trip emits identical text.
+  EXPECT_EQ(topo::ToJson(parsed), json);
+}
+
+TEST(TopoJson, RoundTripsMatrixTrafficAndFaults) {
+  topo::Scenario scenario = Line2("pps/rr-per-output", 1);
+  scenario.traffic.kind = "matrix";
+  scenario.traffic.rows = {{0.0, 0.5}, {0.25, 0.0}};
+  topo::FaultSpec fault;
+  fault.node = "a";
+  fault.schedule.Fail(1, 40).Recover(1, 90);
+  scenario.faults.push_back(fault);
+  const topo::Scenario parsed = topo::FromJson(topo::ToJson(scenario));
+  EXPECT_EQ(parsed, scenario);
+}
+
+TEST(TopoJson, MalformedInputThrows) {
+  EXPECT_THROW(topo::FromJson(""), sim::SimError);
+  EXPECT_THROW(topo::FromJson("{"), sim::SimError);
+  EXPECT_THROW(topo::FromJson("[1, 2]"), sim::SimError);
+  EXPECT_THROW(topo::FromJson("{\"name\": }"), sim::SimError);
+  EXPECT_THROW(topo::FromJson("{\"name\": \"x\"} trailing"), sim::SimError);
+}
+
+TEST(TopoJson, UnknownKeysAndWrongTypesThrow) {
+  EXPECT_THROW(topo::FromJson("{\"bogus\": 1}"), sim::SimError);
+  EXPECT_THROW(topo::FromJson("{\"nodes\": 7}"), sim::SimError);
+  EXPECT_THROW(
+      topo::FromJson("{\"nodes\": [{\"name\": \"a\", \"mystery\": 0}]}"),
+      sim::SimError);
+}
+
+TEST(TopoJson, TrafficShapeErrorsThrow) {
+  topo::Scenario scenario = Line2("cioq/islip-s2", 0);
+  scenario.traffic.kind = "matrix";
+  scenario.traffic.rows = {{0.1}};  // 1x1 matrix for a 2x2 edge
+  EXPECT_THROW(topo::MakeTrafficSource(scenario, 2, 2), sim::SimError);
+  scenario.traffic.kind = "teleport";
+  EXPECT_THROW(topo::MakeTrafficSource(scenario, 2, 2), sim::SimError);
+  scenario.traffic.kind = "bernoulli";
+  scenario.traffic.pattern = "spiral";
+  EXPECT_THROW(topo::MakeTrafficSource(scenario, 2, 2), sim::SimError);
+  scenario.traffic.pattern = "uniform";
+  scenario.traffic.load = 1.5;
+  EXPECT_THROW(topo::MakeTrafficSource(scenario, 2, 2), sim::SimError);
+}
+
+// ---------------------------------------------------------------------------
+// Topology::Build validation — distinct errors, never crashes
+
+TEST(TopoBuild, UnknownFabricNamesTheNode) {
+  topo::Scenario s = Line2("no-such/fabric", 0);
+  const std::string err = BuildError(std::move(s));
+  EXPECT_NE(err.find("node 'a'"), std::string::npos) << err;
+}
+
+TEST(TopoBuild, DanglingLinkNamesTheMissingNode) {
+  topo::Scenario s = Line2("cioq/islip-s2", 0);
+  s.links[0].to = "ghost";
+  const std::string err = BuildError(std::move(s));
+  EXPECT_NE(err.find("ghost"), std::string::npos) << err;
+}
+
+TEST(TopoBuild, OutOfRangePortRejected) {
+  topo::Scenario s = Line2("cioq/islip-s2", 0);
+  s.links[0].from_port = 9;  // node has 2 ports
+  const std::string err = BuildError(std::move(s));
+  EXPECT_NE(err.find("port"), std::string::npos) << err;
+}
+
+TEST(TopoBuild, DoubleDrivenInputPortRejected) {
+  topo::Scenario s = Line2("cioq/islip-s2", 0);
+  s.links[1].to_port = 0;  // both links now feed b's input 0
+  const std::string err = BuildError(std::move(s));
+  EXPECT_NE(err.find("input port"), std::string::npos) << err;
+}
+
+TEST(TopoBuild, IngressOnLinkDrivenPortRejected) {
+  topo::Scenario s = Line2("cioq/islip-s2", 0);
+  s.ingress[0] = {"b", 0};  // b's input 0 is already fed by a link
+  const std::string err = BuildError(std::move(s));
+  EXPECT_NE(err.find("ingress"), std::string::npos) << err;
+}
+
+TEST(TopoBuild, NegativeLinkDelayRejected) {
+  topo::Scenario s = Line2("cioq/islip-s2", 0);
+  s.links[0].delay = -1;
+  const std::string err = BuildError(std::move(s));
+  EXPECT_NE(err.find("delay"), std::string::npos) << err;
+}
+
+TEST(TopoBuild, WrongSizeRouteTableRejected) {
+  topo::Scenario s = Line2("cioq/islip-s2", 0);
+  s.routes[0].table = {0};  // 2 egresses need 2 entries
+  const std::string err = BuildError(std::move(s));
+  EXPECT_NE(err.find("route"), std::string::npos) << err;
+}
+
+TEST(TopoBuild, RoutingCycleDetected) {
+  // a and b bounce egress 0's cells between each other; c (the egress
+  // node) routes correctly but is never reached from a.
+  topo::Scenario s;
+  s.name = "cycle";
+  const std::string fabric = "cioq/islip-s2";
+  s.nodes = {{"a", fabric, SmallConfig(2)},
+             {"b", fabric, SmallConfig(2)},
+             {"c", fabric, SmallConfig(2)}};
+  s.links = {{"a", 0, "b", 0, 0}, {"b", 0, "a", 0, 0}, {"b", 1, "c", 0, 0}};
+  s.ingress = {{"a", 1}};
+  s.egress = {{"c", 0}};
+  s.routes = {{"a", {0}}, {"b", {0}}, {"c", {0}}};
+  const std::string err = BuildError(std::move(s));
+  EXPECT_NE(err.find("cycle"), std::string::npos) << err;
+}
+
+TEST(TopoBuild, DuplicateNodeNameRejected) {
+  topo::Scenario s = Line2("cioq/islip-s2", 0);
+  s.nodes[1].name = "a";
+  const std::string err = BuildError(std::move(s));
+  EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------------------
+// The run loop: conservation, attribution, auditing
+
+TEST(NetworkEngine, ClosDrainsWithExactEdgeConservation) {
+  const topo::Topology topology = topo::Topology::Build(SmallClos());
+  const topo::NetworkRunResult result = topo::RunScenario(topology);
+  EXPECT_TRUE(result.drained);
+  EXPECT_EQ(result.dropped, 0u);
+  EXPECT_EQ(result.delivered, result.cells);
+  EXPECT_GT(result.cells, 0u);
+  EXPECT_EQ(result.max_hops, 3);
+  EXPECT_TRUE(result.order_preserved);
+  EXPECT_EQ(result.audit_violations, 0u);
+  EXPECT_EQ(result.node_backlog, 0);
+  EXPECT_EQ(result.link_cells, 0);
+  // Per-hop attribution: every stage forwarded every cell exactly once.
+  ASSERT_EQ(result.node_stats.size(), 6u);
+  std::uint64_t forwarded = 0;
+  for (const topo::NodeStats& ns : result.node_stats) {
+    forwarded += ns.forwarded;
+    EXPECT_EQ(ns.backlog, 0) << ns.name;
+    EXPECT_EQ(ns.losses.total(), 0u) << ns.name;
+  }
+  EXPECT_EQ(forwarded, 3 * result.cells);
+  // Two wire crossings put a hard floor under end-to-end delay.  (Per-cell
+  // RQD has no such floor: unlike a single PPS, a network can reorder
+  // across inputs and deliver some cell ahead of its FIFO shadow slot.)
+  EXPECT_GE(result.net_delay.min(), 2.0);
+}
+
+TEST(NetworkEngine, ExternalAuditorStaysClean) {
+  const topo::Topology topology = topo::Topology::Build(SmallClos());
+  audit::InvariantAuditor::Options aopt;
+  aopt.check_flow_order = true;
+  audit::InvariantAuditor auditor(topology.num_edge_ports(), aopt);
+  topo::NetworkRunOptions opt;
+  opt.auditor = &auditor;
+  const topo::NetworkRunResult result = topo::RunScenario(topology, opt);
+  EXPECT_TRUE(result.drained);
+  EXPECT_TRUE(auditor.clean()) << auditor.report().Summary();
+}
+
+TEST(NetworkAudit, VanishedCellFiresConservation) {
+  audit::InvariantAuditor auditor(2);
+  sim::Cell cell;
+  cell.input = 0;
+  cell.output = 1;
+  cell.arrival = 0;
+  auditor.OnInject(cell, 0);
+  // The cell is neither departed, queued, in flight, nor lost: leak.
+  auditor.OnNetworkSlotEnd(0, /*node_backlog=*/0, /*link_cells=*/0,
+                           /*lost=*/0);
+  EXPECT_FALSE(auditor.clean());
+}
+
+TEST(NetworkAudit, AccountedCellStaysClean) {
+  audit::InvariantAuditor auditor(2);
+  sim::Cell cell;
+  cell.input = 0;
+  cell.output = 1;
+  cell.arrival = 0;
+  auditor.OnInject(cell, 0);
+  auditor.OnNetworkSlotEnd(0, /*node_backlog=*/1, /*link_cells=*/0,
+                           /*lost=*/0);
+  auditor.OnNetworkSlotEnd(1, /*node_backlog=*/0, /*link_cells=*/1,
+                           /*lost=*/0);
+  auditor.OnDepart(cell, 2);
+  auditor.OnNetworkSlotEnd(2, 0, 0, 0);
+  auditor.OnRunEnd(2, 0, 0);
+  EXPECT_TRUE(auditor.clean()) << auditor.report().Summary();
+}
+
+TEST(NetworkEngine, QpsFabricCarriesAClos) {
+  pps::SwitchConfig config = SmallConfig(4);
+  const auto fabric = fabric::Make("cioq/qps-r-s2", config);
+  ASSERT_NE(fabric, nullptr);
+  EXPECT_EQ(fabric->num_ports(), 4);
+
+  const topo::Topology topology =
+      topo::Topology::Build(SmallClos("cioq/qps-r-s2"));
+  const topo::NetworkRunResult result = topo::RunScenario(topology);
+  EXPECT_TRUE(result.drained);
+  EXPECT_EQ(result.delivered, result.cells);
+  EXPECT_EQ(result.audit_violations, 0u);
+}
+
+TEST(NetworkEngine, LinkDelayShiftsLatencyNotDelivery) {
+  topo::Scenario fast = Line2("cioq/islip-s2", 0);
+  topo::Scenario slow = Line2("cioq/islip-s2", 5);
+  const topo::NetworkRunResult a =
+      topo::RunScenario(topo::Topology::Build(fast));
+  const topo::NetworkRunResult b =
+      topo::RunScenario(topo::Topology::Build(slow));
+  EXPECT_EQ(a.cells, b.cells);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.max_hops, b.max_hops);
+  // Same arrivals, same per-node schedules — only the wire got longer.
+  EXPECT_NEAR(a.net_delay.mean() + 5.0, b.net_delay.mean(), 1e-9);
+  EXPECT_EQ(a.max_relative_delay + 5, b.max_relative_delay);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: threads=T bit-identical to threads=1
+
+void ExpectNetworkBitIdentical(const topo::NetworkRunResult& run,
+                               const topo::NetworkRunResult& golden) {
+  EXPECT_EQ(run.cells, golden.cells);
+  EXPECT_EQ(run.duration, golden.duration);
+  EXPECT_EQ(run.drained, golden.drained);
+  EXPECT_EQ(run.delivered, golden.delivered);
+  EXPECT_EQ(run.dropped, golden.dropped);
+  EXPECT_EQ(run.max_hops, golden.max_hops);
+  EXPECT_EQ(run.max_relative_delay, golden.max_relative_delay);
+  EXPECT_EQ(run.max_relative_jitter, golden.max_relative_jitter);
+  EXPECT_EQ(run.order_preserved, golden.order_preserved);
+  EXPECT_EQ(run.audit_violations, golden.audit_violations);
+  EXPECT_EQ(run.node_backlog, golden.node_backlog);
+  EXPECT_EQ(run.link_cells, golden.link_cells);
+  for (const auto& [stats, gstats] :
+       {std::pair{&run.relative_delay, &golden.relative_delay},
+        std::pair{&run.net_delay, &golden.net_delay},
+        std::pair{&run.shadow_delay, &golden.shadow_delay}}) {
+    EXPECT_EQ(stats->count(), gstats->count());
+    EXPECT_EQ(Bits(stats->mean()), Bits(gstats->mean()));
+    EXPECT_EQ(Bits(stats->variance()), Bits(gstats->variance()));
+  }
+  ASSERT_EQ(run.node_stats.size(), golden.node_stats.size());
+  for (std::size_t k = 0; k < run.node_stats.size(); ++k) {
+    const topo::NodeStats& ns = run.node_stats[k];
+    const topo::NodeStats& gs = golden.node_stats[k];
+    EXPECT_EQ(ns.name, gs.name);
+    EXPECT_EQ(ns.forwarded, gs.forwarded) << ns.name;
+    EXPECT_EQ(ns.max_hop_delay, gs.max_hop_delay) << ns.name;
+    EXPECT_EQ(Bits(ns.hop_delay.mean()), Bits(gs.hop_delay.mean()))
+        << ns.name;
+    EXPECT_EQ(ns.backlog, gs.backlog) << ns.name;
+  }
+}
+
+TEST(NetworkEngine, ThreadsAreBitIdenticalToSerial) {
+  const topo::Topology topology = topo::Topology::Build(SmallClos());
+  topo::NetworkRunOptions serial;
+  serial.threads = 1;
+  const topo::NetworkRunResult golden = topo::RunScenario(topology, serial);
+  for (const unsigned threads : {2u, 5u}) {
+    topo::NetworkRunOptions opt;
+    opt.threads = threads;
+    const topo::NetworkRunResult run = topo::RunScenario(topology, opt);
+    ExpectNetworkBitIdentical(run, golden);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-topology checkpointing
+
+TEST(NetworkEngine, CheckpointWriterDoesNotPerturbTheRun) {
+  const topo::Topology topology = topo::Topology::Build(SmallClos());
+  const topo::NetworkRunResult golden = topo::RunScenario(topology);
+  topo::NetworkRunOptions opt;
+  opt.checkpoint_every = 256;
+  opt.checkpoint_path = TempPath("writer.ckpt");
+  const topo::NetworkRunResult run = topo::RunScenario(topology, opt);
+  ExpectNetworkBitIdentical(run, golden);
+}
+
+TEST(NetworkEngine, ResumeFromRollingCheckpointIsBitIdentical) {
+  const topo::Topology topology = topo::Topology::Build(SmallClos());
+  const topo::NetworkRunResult golden = topo::RunScenario(topology);
+
+  const std::string path = TempPath("resume.ckpt");
+  topo::NetworkRunOptions partial;
+  partial.checkpoint_every = 256;
+  partial.checkpoint_path = path;
+  partial.max_slots = 900;  // cut mid-flight, past several boundaries
+  const topo::NetworkRunResult cut = topo::RunScenario(topology, partial);
+  EXPECT_FALSE(cut.drained);
+
+  topo::NetworkRunOptions resume;
+  resume.resume_from = path;
+  const topo::NetworkRunResult run = topo::RunScenario(topology, resume);
+  ExpectNetworkBitIdentical(run, golden);
+}
+
+TEST(NetworkEngine, ResumeRejectsAMismatchedTopology) {
+  const topo::Topology topology = topo::Topology::Build(SmallClos());
+  const std::string path = TempPath("mismatch.ckpt");
+  topo::NetworkRunOptions partial;
+  partial.checkpoint_every = 256;
+  partial.checkpoint_path = path;
+  partial.max_slots = 600;
+  (void)topo::RunScenario(topology, partial);
+
+  const topo::Topology other =
+      topo::Topology::Build(Line2("cioq/islip-s2", 0));
+  topo::NetworkRunOptions resume;
+  resume.resume_from = path;
+  EXPECT_THROW((void)topo::RunScenario(other, resume), sim::SimError);
+}
+
+// ---------------------------------------------------------------------------
+// Forked resume (the pps_serve --fork seam, exercised at engine level)
+
+core::RunOptions ForkBaseOptions() {
+  core::RunOptions options;
+  options.source_cutoff = 400;
+  options.drain_grace = 200;
+  options.fault_schedule.Fail(1, 80).Recover(1, 260);
+  return options;
+}
+
+traffic::BernoulliSource ForkSource() {
+  return traffic::BernoulliSource(4, 0.8, traffic::Pattern::kUniform,
+                                  sim::Rng(21));
+}
+
+std::unique_ptr<fabric::Fabric> ForkFabric() {
+  pps::SwitchConfig config = SmallConfig(4);
+  config.num_planes = 3;
+  return fabric::Make("pps/rr-per-output", config);
+}
+
+TEST(ForkedResume, UnchangedForkReproducesTheGoldenRun) {
+  auto golden_fabric = ForkFabric();
+  traffic::BernoulliSource golden_source = ForkSource();
+  const core::RunResult golden =
+      core::SlotEngine{}.Run(*golden_fabric, golden_source, ForkBaseOptions());
+
+  const std::string path = TempPath("fork_same.ckpt");
+  auto save_fabric = ForkFabric();
+  traffic::BernoulliSource save_source = ForkSource();
+  core::RunOptions save = ForkBaseOptions();
+  save.max_slots = 150;
+  save.checkpoint_every = 50;
+  save.checkpoint_path = path;
+  (void)core::SlotEngine{}.Run(*save_fabric, save_source, save);
+
+  auto fork_fabric = ForkFabric();
+  traffic::BernoulliSource fork_source = ForkSource();
+  core::RunOptions fork = ForkBaseOptions();  // same schedule, same seed
+  fork.fork = true;
+  fork.resume_from = path;
+  const core::RunResult rerun =
+      core::SlotEngine{}.Run(*fork_fabric, fork_source, fork);
+  EXPECT_EQ(rerun.cells, golden.cells);
+  EXPECT_EQ(rerun.duration, golden.duration);
+  EXPECT_EQ(rerun.dropped, golden.dropped);
+  EXPECT_EQ(rerun.max_relative_delay, golden.max_relative_delay);
+  EXPECT_EQ(Bits(rerun.relative_delay.mean()),
+            Bits(golden.relative_delay.mean()));
+}
+
+TEST(ForkedResume, ReseededSourceDiverges) {
+  const std::string path = TempPath("fork_seed.ckpt");
+  auto save_fabric = ForkFabric();
+  traffic::BernoulliSource save_source = ForkSource();
+  core::RunOptions save = ForkBaseOptions();
+  save.max_slots = 150;
+  save.checkpoint_every = 50;
+  save.checkpoint_path = path;
+  (void)core::SlotEngine{}.Run(*save_fabric, save_source, save);
+
+  auto golden_fabric = ForkFabric();
+  traffic::BernoulliSource golden_source = ForkSource();
+  const core::RunResult golden =
+      core::SlotEngine{}.Run(*golden_fabric, golden_source, ForkBaseOptions());
+
+  auto fork_fabric = ForkFabric();
+  traffic::BernoulliSource fork_source = ForkSource();
+  core::RunOptions fork = ForkBaseOptions();
+  fork.fork = true;
+  fork.resume_from = path;
+  fork.fork_source_seed = 9999;
+  const core::RunResult diverged =
+      core::SlotEngine{}.Run(*fork_fabric, fork_source, fork);
+  // Different coin flips after the snapshot: the futures must differ.
+  EXPECT_FALSE(diverged.cells == golden.cells &&
+               Bits(diverged.relative_delay.mean()) ==
+                   Bits(golden.relative_delay.mean()) &&
+               diverged.duration == golden.duration);
+}
+
+TEST(ForkedResume, OverriddenFaultScheduleDiverges) {
+  const std::string path = TempPath("fork_faults.ckpt");
+  auto save_fabric = ForkFabric();
+  traffic::BernoulliSource save_source = ForkSource();
+  core::RunOptions save = ForkBaseOptions();
+  save.max_slots = 150;
+  save.checkpoint_every = 50;
+  save.checkpoint_path = path;
+  (void)core::SlotEngine{}.Run(*save_fabric, save_source, save);
+
+  auto golden_fabric = ForkFabric();
+  traffic::BernoulliSource golden_source = ForkSource();
+  const core::RunResult golden =
+      core::SlotEngine{}.Run(*golden_fabric, golden_source, ForkBaseOptions());
+
+  auto fork_fabric = ForkFabric();
+  traffic::BernoulliSource fork_source = ForkSource();
+  core::RunOptions fork = ForkBaseOptions();
+  fork.fork = true;
+  fork.resume_from = path;
+  // Harsher future: a second plane dies right after the snapshot.
+  fork.fault_schedule.Fail(2, 160).Recover(2, 300);
+  const core::RunResult diverged =
+      core::SlotEngine{}.Run(*fork_fabric, fork_source, fork);
+  EXPECT_FALSE(diverged.max_relative_delay == golden.max_relative_delay &&
+               Bits(diverged.relative_delay.mean()) ==
+                   Bits(golden.relative_delay.mean()) &&
+               diverged.losses == golden.losses);
+}
+
+}  // namespace

@@ -19,6 +19,14 @@
 //               from --backoff-ms), and restarting the binary resumes
 //               from the surviving generations automatically.
 //
+// Forked resumes (--fork=run.ckpt) restore the exact checkpoint state but
+// let the continuation diverge deliberately: --fork-seed=S reseeds the
+// stochastic source's randomness from the resume slot onward, and
+// --fork-faults=FILE.json (a fault::FaultSchedule JSON) replaces the fault
+// timeline for the remainder of the run.  What-if replays of a captured
+// run — "same first 100k slots, different failures after" — come out as
+// ordinary diverged window rows.
+//
 // SIGINT/SIGTERM stop gracefully in both modes: the current slot
 // finishes, a final resumable checkpoint and the partial window row go
 // out, and the exit code is 0.  --io-faults injects deterministic
@@ -53,11 +61,13 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "ckpt/faulty_io.h"
+#include "fault/fault_schedule.h"
 #include "ckpt/io.h"
 #include "core/harness.h"
 #include "core/metrics_json.h"
@@ -88,6 +98,8 @@ constexpr std::string_view kUsage =
     "                 [--phases=P] [--base-burst=B]\n"
     "                 [--checkpoint-every=E --checkpoint=PATH]\n"
     "                 [--resume=PATH] [--supervise=0|1]\n"
+    "                 [--fork=PATH [--fork-seed=S]\n"
+    "                  [--fork-faults=SCHEDULE.json]]\n"
     "                 [--keep-checkpoints=N] [--max-retries=R]\n"
     "                 [--backoff-ms=MS]\n"
     "                 [--io-faults=kind@op,...] [--io-fault-seed=S]\n"
@@ -119,6 +131,9 @@ struct Args {
 
   std::string io_faults;
   std::uint64_t io_fault_seed = 0;
+
+  std::string fork_from;    // --fork=PATH (a resume that may diverge)
+  std::string fork_faults;  // --fork-faults=FILE.json (FaultSchedule JSON)
 };
 
 std::int64_t ParseInt(std::string_view flag, std::string_view value) {
@@ -199,6 +214,13 @@ Args Parse(int argc, char** argv) {
       args.options.checkpoint_path = value;
     } else if (flag == "resume") {
       args.options.resume_from = value;
+    } else if (flag == "fork") {
+      args.fork_from = value;
+    } else if (flag == "fork-seed") {
+      args.options.fork_source_seed =
+          static_cast<std::uint64_t>(ParseInt(flag, value));
+    } else if (flag == "fork-faults") {
+      args.fork_faults = value;
     } else if (flag == "source") {
       args.source = value;
     } else if (flag == "load") {
@@ -285,6 +307,32 @@ void Validate(const Args& args) {
       !ckpt::DefaultIo().Exists(args.options.resume_from)) {
     throw UsageError("--resume=" + args.options.resume_from +
                      ": file does not exist");
+  }
+  if (!args.fork_from.empty()) {
+    if (!args.options.resume_from.empty()) {
+      throw UsageError("--fork and --resume are mutually exclusive (a fork "
+                       "IS a resume, with divergence allowed)");
+    }
+    if (args.supervise) {
+      throw UsageError("--fork under --supervise=1 is not supported: the "
+                       "supervisor replays checkpoints expecting "
+                       "deterministic continuation");
+    }
+    if (!ckpt::DefaultIo().Exists(args.fork_from)) {
+      throw UsageError("--fork=" + args.fork_from + ": file does not exist");
+    }
+    if (!args.fork_faults.empty() &&
+        !ckpt::DefaultIo().Exists(args.fork_faults)) {
+      throw UsageError("--fork-faults=" + args.fork_faults +
+                       ": file does not exist");
+    }
+  } else {
+    if (args.options.fork_source_seed != 0) {
+      throw UsageError("--fork-seed needs --fork=PATH");
+    }
+    if (!args.fork_faults.empty()) {
+      throw UsageError("--fork-faults needs --fork=PATH");
+    }
   }
   if (args.supervise) {
     if (args.options.checkpoint_every <= 0) {
@@ -389,6 +437,17 @@ int Serve(const Args& args) {
   core::RunOptions options = args.options;
   options.on_window = PrintRow;
   options.stop_flag = &g_stop;
+  if (!args.fork_from.empty()) {
+    options.fork = true;
+    options.resume_from = args.fork_from;
+    if (!args.fork_faults.empty()) {
+      std::ifstream is(args.fork_faults, std::ios::binary);
+      SIM_CHECK(is.good(), "cannot open fault schedule " << args.fork_faults);
+      std::ostringstream buffer;
+      buffer << is.rdbuf();
+      options.fault_schedule = fault::FaultSchedule::FromJson(buffer.str());
+    }
+  }
 
   core::RunResult result;
   if (args.supervise) {

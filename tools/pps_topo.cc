@@ -1,0 +1,271 @@
+// pps_topo: run a multi-hop topology scenario end to end.
+//
+// Loads a topo::Scenario JSON (see examples/topologies/), validates and
+// compiles it, drives every node slot-synchronously against one
+// network-wide shadow OQ switch, and reports:
+//   * per-hop latency attribution: one row per node (cells forwarded,
+//     local queuing delay distribution, backlog, loss taxonomy);
+//   * the end-to-end relative queuing delay of the whole network vs the
+//     ideal single switch over its external ports.
+//
+// Scenario generation: --emit-clos=LEAVESxSPINESxEXT prints a ready
+// 3-stage Clos scenario JSON to stdout (edit traffic/fabrics and feed it
+// back in).  --validate=FILE.json only builds the topology, so config
+// errors surface with exit 3 and a one-line SimError, never a crash.
+//
+// Exit codes: 0 success, 2 usage error, 3 model/config error.
+//
+// Usage:
+//   pps_topo --scenario=FILE.json [--threads=T] [--max-slots=M]
+//            [--drain-grace=G] [--source-cutoff=C] [--json=0|1]
+//            [--checkpoint-every=E --checkpoint=PATH] [--resume=PATH]
+//   pps_topo --emit-clos=MxNxR [--fabric=NAME] [--link-delay=D]
+//   pps_topo --validate=FILE.json
+
+#include <charconv>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "core/metrics_json.h"
+#include "core/table.h"
+#include "sim/error.h"
+#include "topo/clos.h"
+#include "topo/network_engine.h"
+#include "topo/topology.h"
+
+namespace {
+
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+constexpr std::string_view kUsage =
+    "usage: pps_topo --scenario=FILE.json [--threads=T] [--max-slots=M]\n"
+    "                [--drain-grace=G] [--source-cutoff=C] [--json=0|1]\n"
+    "                [--checkpoint-every=E --checkpoint=PATH]\n"
+    "                [--resume=PATH]\n"
+    "   or: pps_topo --emit-clos=MxNxR [--fabric=NAME] [--link-delay=D]\n"
+    "   or: pps_topo --validate=FILE.json\n"
+    "exit codes: 0 ok, 2 usage, 3 model/config error\n";
+
+struct Args {
+  std::string scenario;
+  std::string validate;
+  std::string emit_clos;
+  std::string fabric = "cioq/islip-s2";
+  sim::Slot link_delay = 0;
+  bool json = false;
+  topo::NetworkRunOptions options;
+};
+
+std::int64_t ParseInt(std::string_view flag, std::string_view value) {
+  std::int64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    throw UsageError("bad integer for --" + std::string(flag) + ": '" +
+                     std::string(value) + "'");
+  }
+  return parsed;
+}
+
+bool ParseBool(std::string_view flag, std::string_view value) {
+  if (value == "1" || value == "true") return true;
+  if (value == "0" || value == "false") return false;
+  throw UsageError("bad boolean for --" + std::string(flag) + ": '" +
+                   std::string(value) + "' (want 0/1/true/false)");
+}
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto eq = arg.find('=');
+    if (arg.size() <= 2 || !arg.starts_with("--") ||
+        eq == std::string_view::npos) {
+      throw UsageError("expected --flag=value, got '" + std::string(arg) +
+                       "'");
+    }
+    const std::string_view flag = arg.substr(2, eq - 2);
+    const std::string_view value = arg.substr(eq + 1);
+    if (flag == "scenario") {
+      args.scenario = value;
+    } else if (flag == "validate") {
+      args.validate = value;
+    } else if (flag == "emit-clos") {
+      args.emit_clos = value;
+    } else if (flag == "fabric") {
+      args.fabric = value;
+    } else if (flag == "link-delay") {
+      args.link_delay = ParseInt(flag, value);
+    } else if (flag == "json") {
+      args.json = ParseBool(flag, value);
+    } else if (flag == "threads") {
+      args.options.threads = static_cast<unsigned>(ParseInt(flag, value));
+    } else if (flag == "max-slots") {
+      args.options.max_slots = ParseInt(flag, value);
+    } else if (flag == "drain-grace") {
+      args.options.drain_grace = ParseInt(flag, value);
+    } else if (flag == "source-cutoff") {
+      args.options.source_cutoff = ParseInt(flag, value);
+    } else if (flag == "checkpoint-every") {
+      args.options.checkpoint_every = ParseInt(flag, value);
+    } else if (flag == "checkpoint") {
+      args.options.checkpoint_path = value;
+    } else if (flag == "resume") {
+      args.options.resume_from = value;
+    } else {
+      throw UsageError("unknown flag --" + std::string(flag));
+    }
+  }
+  const int modes = (args.scenario.empty() ? 0 : 1) +
+                    (args.validate.empty() ? 0 : 1) +
+                    (args.emit_clos.empty() ? 0 : 1);
+  if (modes != 1) {
+    throw UsageError(
+        "pick exactly one of --scenario, --validate, --emit-clos");
+  }
+  if (args.options.max_slots <= 0) {
+    throw UsageError("--max-slots must be > 0");
+  }
+  if (args.options.checkpoint_every > 0 &&
+      args.options.checkpoint_path.empty()) {
+    throw UsageError("--checkpoint-every needs --checkpoint=PATH");
+  }
+  return args;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SIM_CHECK(is.good(), "cannot open scenario " << path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+int EmitClos(const Args& args) {
+  // "MxNxR": leaves x spines x externals-per-leaf.
+  int dims[3] = {0, 0, 0};
+  std::string_view spec = args.emit_clos;
+  for (int d = 0; d < 3; ++d) {
+    const auto x = spec.find('x');
+    const std::string_view part =
+        d < 2 ? spec.substr(0, x) : spec;
+    if ((d < 2 && x == std::string_view::npos) || part.empty()) {
+      throw UsageError("--emit-clos wants MxNxR, got '" + args.emit_clos +
+                       "'");
+    }
+    dims[d] = static_cast<int>(ParseInt("emit-clos", part));
+    if (d < 2) spec.remove_prefix(x + 1);
+  }
+  const topo::Scenario scenario = topo::MakeClos3(
+      dims[0], dims[1], dims[2], args.fabric,
+      pps::SwitchConfig{.num_ports = 1, .num_planes = 2, .rate_ratio = 2},
+      args.link_delay);
+  topo::Topology::Build(scenario);  // never emit an invalid scenario
+  std::cout << topo::ToJson(scenario) << "\n";
+  return 0;
+}
+
+core::json::Value LossJson(const fault::LossBreakdown& l) {
+  auto v = core::json::Value::MakeObject();
+  v.Set("input_drops", l.input_drops);
+  v.Set("stranded_cells", l.stranded_cells);
+  v.Set("stale_dispatches", l.stale_dispatches);
+  v.Set("link_drops", l.link_drops);
+  v.Set("late_arrivals", l.late_arrivals);
+  v.Set("buffer_overflows", l.buffer_overflows);
+  return v;
+}
+
+void PrintJson(const topo::NetworkRunResult& result) {
+  auto v = core::json::Value::MakeObject();
+  v.Set("kind", "network_summary");
+  v.Set("cells", result.cells);
+  v.Set("delivered", result.delivered);
+  v.Set("dropped", result.dropped);
+  v.Set("duration", result.duration);
+  v.Set("drained", result.drained);
+  v.Set("interrupted", result.interrupted);
+  v.Set("max_hops", result.max_hops);
+  v.Set("max_relative_delay", result.max_relative_delay);
+  v.Set("max_relative_jitter", result.max_relative_jitter);
+  v.Set("mean_relative_delay", result.relative_delay.mean());
+  v.Set("mean_net_delay", result.net_delay.mean());
+  v.Set("mean_shadow_delay", result.shadow_delay.mean());
+  v.Set("order_preserved", result.order_preserved);
+  v.Set("losses", LossJson(result.losses));
+  auto hops = core::json::Value::MakeArray();
+  for (const topo::NodeStats& ns : result.node_stats) {
+    auto h = core::json::Value::MakeObject();
+    h.Set("node", ns.name);
+    h.Set("forwarded", ns.forwarded);
+    h.Set("mean_hop_delay", ns.hop_delay.mean());
+    h.Set("max_hop_delay", ns.max_hop_delay);
+    h.Set("backlog", ns.backlog);
+    h.Set("lost", ns.losses.total());
+    hops.Append(h);
+  }
+  v.Set("hops", hops);
+  std::cout << v.Dump() << "\n";
+}
+
+void PrintTable(const topo::Topology& topology,
+                const topo::NetworkRunResult& result) {
+  core::Table table("Per-hop attribution: " + topology.scenario().name,
+                    {"node", "fabric", "forwarded", "mean hop delay",
+                     "max hop delay", "backlog", "lost"});
+  for (int k = 0; k < topology.num_nodes(); ++k) {
+    const topo::NodeStats& ns =
+        result.node_stats[static_cast<std::size_t>(k)];
+    table.AddRow({ns.name, topology.node(k).fabric, core::Fmt(ns.forwarded),
+                  core::Fmt(ns.hop_delay.mean(), 3),
+                  core::Fmt(ns.max_hop_delay), core::Fmt(ns.backlog),
+                  core::Fmt(ns.losses.total())});
+  }
+  table.Print(std::cout);
+  std::cout << "end-to-end vs network-wide shadow OQ: "
+            << topo::Summarize(result) << "\n";
+}
+
+int RunScenarioFile(const Args& args) {
+  const topo::Topology topology =
+      topo::Topology::Build(topo::FromJson(ReadWholeFile(args.scenario)));
+  const topo::NetworkRunResult result =
+      topo::RunScenario(topology, args.options);
+  if (args.json) {
+    PrintJson(result);
+  } else {
+    PrintTable(topology, result);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = Parse(argc, argv);
+    if (!args.emit_clos.empty()) return EmitClos(args);
+    if (!args.validate.empty()) {
+      topo::Topology::Build(topo::FromJson(ReadWholeFile(args.validate)));
+      std::cout << "ok\n";
+      return 0;
+    }
+    return RunScenarioFile(args);
+  } catch (const UsageError& e) {
+    std::cerr << "pps_topo: " << e.what() << "\n" << kUsage;
+    return 2;
+  } catch (const sim::SimError& e) {
+    std::cerr << "pps_topo: " << e.what() << "\n";
+    return 3;
+  } catch (const std::exception& e) {
+    std::cerr << "pps_topo: " << e.what() << "\n";
+    return 1;
+  }
+}
